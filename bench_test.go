@@ -1,0 +1,347 @@
+// Benchmarks regenerating the paper's evaluation. One benchmark per
+// table/figure (run with -bench to print the reproduced tables via
+// -v + b.Log), plus the per-message update-cost and memory comparisons
+// behind Section V.E, and ablation benches for the design knobs called
+// out in DESIGN.md.
+package canids
+
+import (
+	"testing"
+	"time"
+
+	"canids/internal/attack"
+	"canids/internal/baseline"
+	"canids/internal/bus"
+	"canids/internal/can"
+	"canids/internal/core"
+	"canids/internal/detect"
+	"canids/internal/entropy"
+	"canids/internal/experiments"
+	"canids/internal/infer"
+	"canids/internal/metrics"
+	"canids/internal/sim"
+	"canids/internal/trace"
+	"canids/internal/vehicle"
+)
+
+// --- Paper tables and figures -------------------------------------------
+
+// BenchmarkFig2GoldenTemplate regenerates Fig. 2: training the golden
+// template across driving scenarios and measuring an attacked window.
+func BenchmarkFig2GoldenTemplate(b *testing.B) {
+	p := experiments.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.ViolatedBits) == 0 {
+			b.Fatal("attack not visible in entropy vector")
+		}
+	}
+}
+
+// BenchmarkFig3InjectionDetection regenerates Fig. 3: the injection-rate
+// and detection-rate sweep over 15 identifiers.
+func BenchmarkFig3InjectionDetection(b *testing.B) {
+	p := experiments.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rho := res.Spearman(func(pt experiments.Fig3Point) float64 { return pt.InjectionRate }); rho > -0.8 {
+			b.Fatalf("Ir shape regressed: Spearman %.2f", rho)
+		}
+	}
+}
+
+// BenchmarkTable1Scenarios regenerates Table I: detection rate and
+// inferring accuracy over the six attack rows.
+func BenchmarkTable1Scenarios(b *testing.B) {
+	p := experiments.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 6 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkStability regenerates the Section IV.B entropy-stability
+// study across driving behaviours.
+func BenchmarkStability(b *testing.B) {
+	p := experiments.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Stability(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.WorstRange > 0.05 {
+			b.Fatalf("stability regressed: %v", res.WorstRange)
+		}
+	}
+}
+
+// BenchmarkCompareDetectors regenerates the Section V.E comparison table
+// (ours vs Müter [8] vs Song [11]).
+func BenchmarkCompareDetectors(b *testing.B) {
+	p := experiments.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Compare(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 3 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+// --- Section V.E cost arguments ------------------------------------------
+
+// benchTrace builds a shared test trace once.
+func benchTrace(b *testing.B) trace.Trace {
+	b.Helper()
+	sched := sim.NewScheduler()
+	bs, err := bus.New(sched, bus.Config{BitRate: bus.DefaultMSCANBitRate})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var log trace.Trace
+	bs.Tap(func(r trace.Record) { log = append(log, r) })
+	vehicle.NewFusionProfile(1).Attach(sched, bs, vehicle.Options{Seed: 1})
+	if err := sched.RunUntil(10 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+	return log
+}
+
+func trainWindowsFor(b *testing.B, tr trace.Trace) []trace.Trace {
+	b.Helper()
+	return tr.Windows(time.Second, false)
+}
+
+// benchDetectorUpdate measures the per-message Observe cost — the
+// lightweight-detection argument of Section V.E.
+func benchDetectorUpdate(b *testing.B, d detect.Detector) {
+	tr := benchTrace(b)
+	if err := d.Train(trainWindowsFor(b, tr)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(d.StateBytes()), "state-bytes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Observe(tr[i%len(tr)])
+	}
+}
+
+// BenchmarkDetectorUpdateBitEntropy measures the paper's detector:
+// 11 counters updated per message, constant memory.
+func BenchmarkDetectorUpdateBitEntropy(b *testing.B) {
+	benchDetectorUpdate(b, core.MustNew(core.DefaultConfig()))
+}
+
+// BenchmarkDetectorUpdateMuter measures the message-entropy baseline:
+// a per-identifier map updated per message.
+func BenchmarkDetectorUpdateMuter(b *testing.B) {
+	m, err := baseline.NewMuter(baseline.DefaultMuterConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDetectorUpdate(b, m)
+}
+
+// BenchmarkDetectorUpdateSong measures the interval baseline: two
+// per-identifier maps consulted per message.
+func BenchmarkDetectorUpdateSong(b *testing.B) {
+	s, err := baseline.NewSong(baseline.DefaultSongConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDetectorUpdate(b, s)
+}
+
+// --- Ablations (DESIGN.md §5) ---------------------------------------------
+
+// BenchmarkAlphaSweep runs detection at the edges of the paper's α range
+// to quantify the sensitivity/specificity trade-off.
+func BenchmarkAlphaSweep(b *testing.B) {
+	tr := benchTrace(b)
+	windows := trainWindowsFor(b, tr)
+	profile := vehicle.NewFusionProfile(1)
+	attacked := attackedTrace(b, profile, 50)
+	for _, alpha := range []float64{3, 5, 10} {
+		cfg := core.DefaultConfig()
+		cfg.Alpha = alpha
+		b.Run(alphaName(alpha), func(b *testing.B) {
+			d := core.MustNew(cfg)
+			if err := d.Train(windows); err != nil {
+				b.Fatal(err)
+			}
+			var dr float64
+			for i := 0; i < b.N; i++ {
+				d.Reset()
+				var alerts []detect.Alert
+				for _, r := range attacked {
+					alerts = append(alerts, d.Observe(r)...)
+				}
+				alerts = append(alerts, d.Flush()...)
+				dr = metrics.DetectionRate(attacked, alerts)
+			}
+			b.ReportMetric(dr, "detection-rate")
+		})
+	}
+}
+
+func alphaName(a float64) string {
+	switch a {
+	case 3:
+		return "alpha=3"
+	case 5:
+		return "alpha=5"
+	default:
+		return "alpha=10"
+	}
+}
+
+func attackedTrace(b *testing.B, profile vehicle.Profile, freq float64) trace.Trace {
+	b.Helper()
+	sched := sim.NewScheduler()
+	bs, err := bus.New(sched, bus.Config{BitRate: bus.DefaultMSCANBitRate})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var log trace.Trace
+	bs.Tap(func(r trace.Record) { log = append(log, r) })
+	profile.Attach(sched, bs, vehicle.Options{Seed: 2})
+	if _, err := attack.Launch(sched, bs, nil, attack.Config{
+		Scenario:  attack.Single,
+		IDs:       []can.ID{profile.IDSet()[40]},
+		Frequency: freq,
+		Start:     2 * time.Second,
+		Duration:  6 * time.Second,
+		Seed:      3,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := sched.RunUntil(10 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+	return log
+}
+
+// BenchmarkRankSweep measures inference with different candidate-set
+// sizes (rank = 1 / 5 / 10 / 20).
+func BenchmarkRankSweep(b *testing.B) {
+	profile := vehicle.NewFusionProfile(1)
+	pool := profile.IDSet()
+	// A representative alert from a real detection run.
+	tr := benchTrace(b)
+	d := core.MustNew(core.DefaultConfig())
+	if err := d.Train(trainWindowsFor(b, tr)); err != nil {
+		b.Fatal(err)
+	}
+	attacked := attackedTrace(b, profile, 100)
+	var alert detect.Alert
+	for _, r := range attacked {
+		if as := d.Observe(r); len(as) > 0 {
+			alert = as[0]
+			break
+		}
+	}
+	if alert.Detector == "" {
+		b.Fatal("no alert to infer from")
+	}
+	for _, rank := range []int{1, 5, 10, 20} {
+		rank := rank
+		b.Run(rankName(rank), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := infer.Rank(alert, pool, can.StandardIDBits, rank); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func rankName(r int) string {
+	switch r {
+	case 1:
+		return "rank=1"
+	case 5:
+		return "rank=5"
+	case 10:
+		return "rank=10"
+	default:
+		return "rank=20"
+	}
+}
+
+// --- Substrate micro-benchmarks --------------------------------------------
+
+// BenchmarkBitCounterAdd measures the constant-time per-message counter
+// update at the heart of the detector.
+func BenchmarkBitCounterAdd(b *testing.B) {
+	c := entropy.MustBitCounter(11)
+	for i := 0; i < b.N; i++ {
+		c.Add(can.ID(i) & can.MaxStandardID)
+	}
+}
+
+// BenchmarkBinaryEntropy measures the H(p) evaluation.
+func BenchmarkBinaryEntropy(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += entropy.Binary(float64(i%1000) / 1000)
+	}
+	_ = sink
+}
+
+// BenchmarkFrameMarshalBits measures full physical-layer frame encoding
+// (CRC + stuffing), the cost model behind bus timing.
+func BenchmarkFrameMarshalBits(b *testing.B) {
+	f := can.MustFrame(0x2A4, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	for i := 0; i < b.N; i++ {
+		_ = f.MarshalBits()
+	}
+}
+
+// BenchmarkBusSimulation measures simulator throughput: simulated bus
+// seconds per wall-clock second at full fleet load.
+func BenchmarkBusSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sched := sim.NewScheduler()
+		bs, err := bus.New(sched, bus.Config{BitRate: bus.DefaultMSCANBitRate})
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames := 0
+		bs.Tap(func(trace.Record) { frames++ })
+		vehicle.NewFusionProfile(1).Attach(sched, bs, vehicle.Options{Seed: 1})
+		if err := sched.RunUntil(time.Second); err != nil {
+			b.Fatal(err)
+		}
+		if frames == 0 {
+			b.Fatal("no traffic")
+		}
+	}
+}
+
+// BenchmarkReaction regenerates the reaction-latency study (tumbling vs
+// sliding detector).
+func BenchmarkReaction(b *testing.B) {
+	p := experiments.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Reaction(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 4 {
+			b.Fatal("rows missing")
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"canids/internal/attack"
+	"canids/internal/can"
+	"canids/internal/trace"
+)
+
+func capture(t *testing.T, args []string) trace.Trace {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	tr, err := trace.ReadCSV(&out)
+	if err != nil {
+		t.Fatalf("output is not csv: %v", err)
+	}
+	return tr
+}
+
+func TestSingleAttackGroundTruth(t *testing.T) {
+	tr := capture(t, []string{"-attack", "SI", "-ids", "0B5", "-freq", "100",
+		"-duration", "6s", "-start", "1s", "-attack-duration", "3s"})
+	injected := tr.Filter(func(r trace.Record) bool { return r.Injected })
+	if len(injected) == 0 {
+		t.Fatal("no injected frames recorded")
+	}
+	for _, r := range injected {
+		if r.Frame.ID != 0x0B5 {
+			t.Fatalf("injected wrong ID %v", r.Frame.ID)
+		}
+	}
+}
+
+func TestFloodAttack(t *testing.T) {
+	tr := capture(t, []string{"-attack", "FI", "-freq", "300", "-duration", "4s"})
+	injected := tr.Filter(func(r trace.Record) bool { return r.Injected })
+	if len(injected) < 100 {
+		t.Fatalf("flood produced only %d injected frames", len(injected))
+	}
+	if ids := injected.IDs(); len(ids) < 5 {
+		t.Errorf("flood used only %d IDs", len(ids))
+	}
+}
+
+func TestMultiAttackAutoIDs(t *testing.T) {
+	tr := capture(t, []string{"-attack", "MI", "-ids", "auto", "-freq", "50", "-duration", "5s"})
+	injected := tr.Filter(func(r trace.Record) bool { return r.Injected })
+	if got := len(injected.IDs()); got != 3 {
+		t.Errorf("auto multi attack used %d IDs, want 3", got)
+	}
+}
+
+func TestWeakAttackFromECU(t *testing.T) {
+	tr := capture(t, []string{"-attack", "WI", "-ecu", "BCM", "-ids", "auto",
+		"-freq", "50", "-duration", "5s"})
+	injected := tr.Filter(func(r trace.Record) bool { return r.Injected })
+	if len(injected) == 0 {
+		t.Fatal("weak attack produced nothing")
+	}
+	for _, r := range injected {
+		if r.Source != "BCM" {
+			t.Fatalf("weak attack source %q, want BCM", r.Source)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-attack", "nope"},
+		{"-attack", "SI", "-ids", "XYZ"},
+		{"-attack", "WI", "-ecu", "NOPE"},
+		{"-attack", "SI", "-ids", "0B5", "-freq", "0"},
+		{"-unknown"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestParseAttack(t *testing.T) {
+	for name, want := range map[string]attack.Scenario{
+		"FI": attack.Flood, "flood": attack.Flood,
+		"SI": attack.Single, "single": attack.Single,
+		"mi": attack.Multi, "WEAK": attack.Weak,
+	} {
+		got, err := parseAttack(name)
+		if err != nil || got != want {
+			t.Errorf("parseAttack(%q) = %v, %v", name, got, err)
+		}
+	}
+}
+
+func TestParseIDs(t *testing.T) {
+	ids, err := parseIDs("0B5, 1a0,7FF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []can.ID{0x0B5, 0x1A0, 0x7FF}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("ids[%d] = %v, want %v", i, ids[i], want[i])
+		}
+	}
+	if _, err := parseIDs(",,"); err == nil {
+		t.Error("empty list should fail")
+	}
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"canids/internal/trace"
+)
+
+func TestRunCandumpToStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-duration", "2s", "-seed", "3"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	tr, err := trace.ReadCandump(&out)
+	if err != nil {
+		t.Fatalf("output is not candump: %v", err)
+	}
+	if len(tr) < 500 {
+		t.Errorf("only %d frames in 2s", len(tr))
+	}
+}
+
+func TestRunCSVFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := run([]string{"-duration", "1s", "-format", "csv", "-o", path}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadCSV(f)
+	if err != nil {
+		t.Fatalf("output is not csv: %v", err)
+	}
+	if tr.CountInjected() != 0 {
+		t.Error("clean capture must not contain injected frames")
+	}
+	for _, r := range tr {
+		if r.Source == "" {
+			t.Fatal("csv should carry source provenance")
+		}
+	}
+}
+
+func TestRunBinaryFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	if err := run([]string{"-duration", "1s", "-format", "binary", "-o", path}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := trace.ReadBinary(f); err != nil {
+		t.Fatalf("output is not binary trace: %v", err)
+	}
+}
+
+func TestRunScenarioSelection(t *testing.T) {
+	for _, s := range []string{"idle", "audio", "lights", "cruise"} {
+		var out bytes.Buffer
+		if err := run([]string{"-duration", "500ms", "-scenario", s}, &out); err != nil {
+			t.Errorf("scenario %s: %v", s, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-scenario", "flying"},
+		{"-format", "xml"},
+		{"-bitrate", "0"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestParseScenario(t *testing.T) {
+	if _, err := parseScenario("audio"); err != nil {
+		t.Error(err)
+	}
+	if _, err := parseScenario("AUDIO"); err == nil {
+		t.Error("scenario names are lowercase")
+	}
+}
+
+func TestRunDeterministicBySeed(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-duration", "1s", "-seed", "9"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-duration", "1s", "-seed", "9"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.EqualFold(a.String(), b.String()) {
+		t.Error("same seed should produce identical logs")
+	}
+}

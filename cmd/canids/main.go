@@ -1,0 +1,194 @@
+// Command canids trains the bit-entropy golden template and runs
+// intrusion detection over CAN logs.
+//
+// Train a template from clean captures (candump or csv):
+//
+//	canids -train -window 1s -o template.json clean1.log clean2.log
+//
+// Detect over a capture, inferring malicious IDs:
+//
+//	canids -detect -template template.json -alpha 5 -rank 10 attacked.csv
+//
+// When the input carries ground truth (csv), detection and inference are
+// also scored.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"canids/internal/can"
+	"canids/internal/core"
+	"canids/internal/detect"
+	"canids/internal/infer"
+	"canids/internal/metrics"
+	"canids/internal/trace"
+)
+
+// templateFile is the JSON document canids persists: the golden template
+// plus the legal ID pool observed during training (used by inference).
+type templateFile struct {
+	Template core.Template `json:"template"`
+	Pool     []can.ID      `json:"pool"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "canids:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("canids", flag.ContinueOnError)
+	var (
+		train    = fs.Bool("train", false, "build a golden template from clean logs")
+		detect   = fs.Bool("detect", false, "run detection over logs")
+		tmplPath = fs.String("template", "template.json", "template file path")
+		window   = fs.Duration("window", time.Second, "detection window")
+		alpha    = fs.Float64("alpha", 5, "threshold multiplier α (paper range [3,10])")
+		rank     = fs.Int("rank", infer.DefaultRank, "inference candidate set size")
+		out      = fs.String("o", "", "output file for -train (default: -template path)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	switch {
+	case *train == *detect:
+		return fmt.Errorf("exactly one of -train or -detect is required")
+	case len(files) == 0:
+		return fmt.Errorf("no input logs given")
+	}
+
+	if *train {
+		dest := *out
+		if dest == "" {
+			dest = *tmplPath
+		}
+		return runTrain(files, *window, dest, stdout)
+	}
+	return runDetect(files, *tmplPath, *window, *alpha, *rank, stdout)
+}
+
+// readLog loads a capture in csv or candump format, by extension first
+// and content as a fallback.
+func readLog(path string) (trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.EqualFold(filepath.Ext(path), ".csv") {
+		return trace.ReadCSV(f)
+	}
+	if strings.EqualFold(filepath.Ext(path), ".bin") {
+		return trace.ReadBinary(f)
+	}
+	return trace.ReadCandump(f)
+}
+
+func runTrain(files []string, window time.Duration, dest string, stdout io.Writer) error {
+	var windows []trace.Trace
+	poolSet := make(map[can.ID]bool)
+	for _, path := range files {
+		tr, err := readLog(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		tr.Sort()
+		for _, id := range tr.IDs() {
+			poolSet[id] = true
+		}
+		windows = append(windows, tr.Windows(window, false)...)
+	}
+	cfg := core.DefaultConfig()
+	tmpl, err := core.BuildTemplate(windows, cfg.Width, cfg.MinFrames)
+	if err != nil {
+		return err
+	}
+	pool := make([]can.ID, 0, len(poolSet))
+	for id := range poolSet {
+		pool = append(pool, id)
+	}
+	tf := templateFile{Template: tmpl, Pool: pool}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tf); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "trained template from %d windows (%d IDs); max per-bit range %.3e\nwritten to %s\n",
+		tmpl.Windows, len(pool), tmpl.MaxRange(), dest)
+	return nil
+}
+
+func runDetect(files []string, tmplPath string, window time.Duration, alpha float64, rank int, stdout io.Writer) error {
+	raw, err := os.ReadFile(tmplPath)
+	if err != nil {
+		return err
+	}
+	var tf templateFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		return fmt.Errorf("%s: %w", tmplPath, err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Window = window
+	cfg.Alpha = alpha
+	d, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := d.SetTemplate(tf.Template); err != nil {
+		return err
+	}
+
+	for _, path := range files {
+		tr, err := readLog(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		tr.Sort()
+		d.Reset()
+		var alerts []detect.Alert
+		for _, r := range tr {
+			alerts = append(alerts, d.Observe(r)...)
+		}
+		alerts = append(alerts, d.Flush()...)
+
+		fmt.Fprintf(stdout, "%s: %d frames, %d alerts\n", path, len(tr), len(alerts))
+		for _, a := range alerts {
+			fmt.Fprintf(stdout, "  ALERT %s\n", a)
+			if len(tf.Pool) > 0 {
+				res, err := infer.Rank(a, tf.Pool, can.StandardIDBits, rank)
+				if err == nil {
+					fmt.Fprintf(stdout, "        suspected IDs: %s\n", formatIDs(res.Candidates))
+				}
+			}
+		}
+		if tr.CountInjected() > 0 {
+			dr := metrics.DetectionRate(tr, alerts)
+			fmt.Fprintf(stdout, "  ground truth: %d injected frames, detection rate %.1f%%\n",
+				tr.CountInjected(), 100*dr)
+		}
+	}
+	return nil
+}
+
+func formatIDs(ids []can.ID) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = id.String()
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"canids/internal/attack"
+	"canids/internal/bus"
+	"canids/internal/can"
+	"canids/internal/sim"
+	"canids/internal/trace"
+	"canids/internal/vehicle"
+)
+
+// makeCapture simulates traffic and writes it as CSV, returning the path.
+func makeCapture(t *testing.T, dir, name string, scen vehicle.Scenario, seed int64,
+	d time.Duration, atk *attack.Config) string {
+
+	t.Helper()
+	sched := sim.NewScheduler()
+	b, err := bus.New(sched, bus.Config{BitRate: bus.DefaultMSCANBitRate, Channel: "ms-can"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log trace.Trace
+	b.Tap(func(r trace.Record) { log = append(log, r) })
+	profile := vehicle.NewFusionProfile(1)
+	profile.Attach(sched, b, vehicle.Options{Scenario: scen, Seed: seed})
+	if atk != nil {
+		if _, err := attack.Launch(sched, b, nil, *atk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sched.RunUntil(d); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteCSV(f, log); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTrainDetectPipeline(t *testing.T) {
+	dir := t.TempDir()
+	clean1 := makeCapture(t, dir, "clean1.csv", vehicle.Idle, 5, 8*time.Second, nil)
+	clean2 := makeCapture(t, dir, "clean2.csv", vehicle.Audio, 6, 8*time.Second, nil)
+	tmpl := filepath.Join(dir, "template.json")
+
+	var out bytes.Buffer
+	if err := run([]string{"-train", "-o", tmpl, clean1, clean2}, &out); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if !strings.Contains(out.String(), "trained template") {
+		t.Errorf("train output: %q", out.String())
+	}
+	if _, err := os.Stat(tmpl); err != nil {
+		t.Fatalf("template not written: %v", err)
+	}
+
+	attacked := makeCapture(t, dir, "attacked.csv", vehicle.Idle, 7, 10*time.Second, &attack.Config{
+		Scenario:  attack.Single,
+		IDs:       []can.ID{0x0B5},
+		Frequency: 100,
+		Start:     2 * time.Second,
+		Seed:      9,
+	})
+	out.Reset()
+	if err := run([]string{"-detect", "-template", tmpl, "-alpha", "4", attacked}, &out); err != nil {
+		t.Fatalf("detect: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "ALERT") {
+		t.Fatalf("no alerts in output:\n%s", text)
+	}
+	if !strings.Contains(text, "suspected IDs: 0B5") {
+		t.Errorf("injected ID not top suspect:\n%s", text)
+	}
+	if !strings.Contains(text, "detection rate") {
+		t.Errorf("ground truth scoring missing:\n%s", text)
+	}
+}
+
+func TestDetectCleanNoAlerts(t *testing.T) {
+	dir := t.TempDir()
+	clean := makeCapture(t, dir, "clean.csv", vehicle.Idle, 5, 8*time.Second, nil)
+	tmpl := filepath.Join(dir, "template.json")
+	if err := run([]string{"-train", "-o", tmpl, clean}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	other := makeCapture(t, dir, "other.csv", vehicle.Idle, 11, 6*time.Second, nil)
+	var out bytes.Buffer
+	if err := run([]string{"-detect", "-template", tmpl, other}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "ALERT") {
+		t.Errorf("clean capture raised alerts:\n%s", out.String())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cases := [][]string{
+		{},                             // neither mode
+		{"-train", "-detect", "x.csv"}, // both modes
+		{"-train"},                     // no files
+		{"-detect"},                    // no files
+		{"-train", "/nonexistent.csv"}, // missing input
+		{"-detect", "-template", "/nonexistent.json", "x.csv"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestReadLogFormats(t *testing.T) {
+	dir := t.TempDir()
+	tr := trace.Trace{{Time: time.Second, Frame: can.MustFrame(0x123, []byte{1}), Channel: "c"}}
+
+	csvPath := filepath.Join(dir, "a.csv")
+	f, _ := os.Create(csvPath)
+	if err := trace.WriteCSV(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := readLog(csvPath)
+	if err != nil || len(got) != 1 {
+		t.Errorf("readLog csv: %v %d", err, len(got))
+	}
+
+	dumpPath := filepath.Join(dir, "a.log")
+	f, _ = os.Create(dumpPath)
+	if err := trace.WriteCandump(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err = readLog(dumpPath)
+	if err != nil || len(got) != 1 {
+		t.Errorf("readLog candump: %v %d", err, len(got))
+	}
+
+	binPath := filepath.Join(dir, "a.bin")
+	f, _ = os.Create(binPath)
+	if err := trace.WriteBinary(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err = readLog(binPath)
+	if err != nil || len(got) != 1 {
+		t.Errorf("readLog binary: %v %d", err, len(got))
+	}
+}

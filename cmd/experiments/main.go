@@ -1,0 +1,97 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the simulated substrate.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig2
+//	experiments -run fig3
+//	experiments -run table1
+//	experiments -run stability
+//	experiments -run compare
+//
+// Results are printed as aligned text tables; Table I includes the
+// paper's reported numbers side by side.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"canids/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		which = fs.String("run", "all", "experiment: all|fig2|fig3|table1|stability|compare")
+		seed  = fs.Int64("seed", 0, "override the default seed")
+		alpha = fs.Float64("alpha", 0, "override the threshold multiplier α")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := experiments.DefaultParams()
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	if *alpha != 0 {
+		p.Alpha = *alpha
+	}
+
+	type experiment struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	table := func(f func() (interface{ Table() string }, error)) func() (fmt.Stringer, error) {
+		return func() (fmt.Stringer, error) {
+			r, err := f()
+			if err != nil {
+				return nil, err
+			}
+			return stringer{r.Table()}, nil
+		}
+	}
+	all := []experiment{
+		{"stability", table(func() (interface{ Table() string }, error) { return experiments.Stability(p) })},
+		{"fig2", table(func() (interface{ Table() string }, error) { return experiments.Fig2(p) })},
+		{"fig3", table(func() (interface{ Table() string }, error) { return experiments.Fig3(p) })},
+		{"table1", table(func() (interface{ Table() string }, error) { return experiments.Table1(p) })},
+		{"compare", table(func() (interface{ Table() string }, error) { return experiments.Compare(p) })},
+		{"reaction", table(func() (interface{ Table() string }, error) { return experiments.Reaction(p) })},
+	}
+
+	ran := 0
+	for _, e := range all {
+		if *which != "all" && *which != e.name {
+			continue
+		}
+		ran++
+		start := time.Now()
+		out, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Fprintln(stdout, out)
+		fmt.Fprintf(stdout, "[%s completed in %v, seed=%d, alpha=%v]\n\n",
+			e.name, time.Since(start).Round(time.Millisecond), p.Seed, p.Alpha)
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q", *which)
+	}
+	return nil
+}
+
+type stringer struct{ s string }
+
+func (s stringer) String() string { return s.s }

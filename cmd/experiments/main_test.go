@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "stability"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "Entropy stability") {
+		t.Errorf("missing stability table:\n%s", text)
+	}
+	if strings.Contains(text, "Table I") {
+		t.Error("only the requested experiment should run")
+	}
+}
+
+func TestRunFig2WithOverrides(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "fig2", "-seed", "2", "-alpha", "5"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "seed=2, alpha=5") {
+		t.Errorf("overrides not applied:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "fig9"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-run", "all"}, &out); err != nil {
+		t.Fatalf("run all: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{"Entropy stability", "Fig. 2", "Fig. 3", "Table I", "comparison with", "Reaction time"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in -run all output", want)
+		}
+	}
+}

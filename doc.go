@@ -1,0 +1,31 @@
+// Package canids is a reproduction of "An Entropy Analysis based
+// Intrusion Detection System for Controller Area Network in Vehicles"
+// (Wang, Lu, Qu — IEEE SOCC 2018): a bit-level-entropy intrusion
+// detection system for CAN, together with the complete substrate needed
+// to evaluate it — a bit-accurate CAN frame codec, a discrete-event bus
+// simulator with bitwise arbitration, a synthetic Ford-Fusion-like
+// vehicle traffic profile, the paper's four injection-attack scenarios,
+// malicious-ID inference, and the two comparison baselines (Müter
+// message entropy and Song interval analysis).
+//
+// Layout:
+//
+//	internal/core        the paper's bit-entropy IDS (template, detector)
+//	internal/infer       malicious-ID inference (rank selection)
+//	internal/can         CAN 2.0 frames, CRC-15, bit stuffing, codecs
+//	internal/bus         discrete-event CAN bus simulator
+//	internal/vehicle     Fusion-like ECU fleet and driving scenarios
+//	internal/attack      FI / SI / MI-k / WI injection campaigns
+//	internal/baseline    Müter [8] and Song [11] comparison detectors
+//	internal/entropy     bit-slice counters and entropy math
+//	internal/detect      shared detector interface and alert types
+//	internal/metrics     Ir, Dr, hit rate, confusion counts
+//	internal/trace       candump / CSV / binary log formats
+//	internal/sim         deterministic discrete-event scheduler
+//	internal/experiments one runner per paper table and figure
+//	cmd/...              cangen, canattack, canids, experiments
+//	examples/...         quickstart, livebus, offline, sweep
+//
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation; see EXPERIMENTS.md for the measured results.
+package canids

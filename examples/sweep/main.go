@@ -1,0 +1,146 @@
+// Sweep: sensitivity analysis over the paper's two tunables — the
+// threshold multiplier α (the paper picks it empirically from [3,10])
+// and the injection frequency — showing the detection/false-positive
+// trade-off that drives the choice.
+//
+// Run with:
+//
+//	go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"canids/internal/attack"
+	"canids/internal/bus"
+	"canids/internal/can"
+	"canids/internal/core"
+	"canids/internal/detect"
+	"canids/internal/metrics"
+	"canids/internal/sim"
+	"canids/internal/trace"
+	"canids/internal/vehicle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	profile := vehicle.NewFusionProfile(1)
+
+	// Shared training windows across all α values.
+	var trainWindows []trace.Trace
+	for si, scen := range vehicle.Scenarios {
+		tr, err := capture(profile, scen, int64(500+si), 10*time.Second, nil)
+		if err != nil {
+			return err
+		}
+		trainWindows = append(trainWindows, tr.Windows(time.Second, false)...)
+	}
+
+	// Shared test traces: one clean, one attacked per frequency.
+	clean, err := capture(profile, vehicle.Idle, 600, 12*time.Second, nil)
+	if err != nil {
+		return err
+	}
+	injected := profile.IDSet()[120]
+	freqs := []float64{100, 50, 20, 10}
+	attackedByFreq := make(map[float64]trace.Trace, len(freqs))
+	for _, f := range freqs {
+		tr, err := capture(profile, vehicle.Idle, 601, 12*time.Second, &attack.Config{
+			Scenario:  attack.Single,
+			IDs:       []can.ID{injected},
+			Frequency: f,
+			Start:     2 * time.Second,
+			Duration:  8 * time.Second,
+			Seed:      33,
+		})
+		if err != nil {
+			return err
+		}
+		attackedByFreq[f] = tr
+	}
+
+	fmt.Printf("α sweep — single-ID injection of %s, detection rate by frequency + clean FPR\n", injected)
+	fmt.Println("alpha   Dr@100Hz  Dr@50Hz  Dr@20Hz  Dr@10Hz  FPR(clean)")
+	for _, alpha := range []float64{3, 4, 5, 6, 8, 10} {
+		cfg := core.DefaultConfig()
+		cfg.Alpha = alpha
+		d := core.MustNew(cfg)
+		if err := d.Train(trainWindows); err != nil {
+			return err
+		}
+		fmt.Printf("%5.1f", alpha)
+		for _, f := range freqs {
+			alerts := feed(d, attackedByFreq[f])
+			fmt.Printf("  %7.1f%%", 100*metrics.DetectionRate(attackedByFreq[f], alerts))
+		}
+		cleanAlerts := feed(d, clean)
+		conf := metrics.WindowConfusion(clean, cleanAlerts, cfg.Window)
+		fmt.Printf("  %9.1f%%\n", 100*conf.FalsePositiveRate())
+	}
+
+	// Window-length ablation at the paper's α.
+	fmt.Println("\nwindow-length sweep at α=4 (100 Hz attack)")
+	fmt.Println("window   Dr       windows-scored")
+	for _, w := range []time.Duration{250 * time.Millisecond, 500 * time.Millisecond, time.Second, 2 * time.Second} {
+		cfg := core.DefaultConfig()
+		cfg.Alpha = 4
+		cfg.Window = w
+		cfg.MinFrames = 20
+		d := core.MustNew(cfg)
+		if err := d.Train(rewindow(trainWindows, w)); err != nil {
+			return err
+		}
+		tr := attackedByFreq[100]
+		alerts := feed(d, tr)
+		fmt.Printf("%6v  %6.1f%%  %d\n", w, 100*metrics.DetectionRate(tr, alerts), d.WindowsScored())
+	}
+	return nil
+}
+
+// rewindow re-slices training windows to a different length.
+func rewindow(windows []trace.Trace, w time.Duration) []trace.Trace {
+	var flat trace.Trace
+	for _, win := range windows {
+		flat = append(flat, win...)
+	}
+	flat.Sort()
+	return flat.Windows(w, false)
+}
+
+func feed(d detect.Detector, tr trace.Trace) []detect.Alert {
+	d.Reset()
+	var alerts []detect.Alert
+	for _, r := range tr {
+		alerts = append(alerts, d.Observe(r)...)
+	}
+	return append(alerts, d.Flush()...)
+}
+
+func capture(profile vehicle.Profile, scen vehicle.Scenario, seed int64,
+	d time.Duration, atk *attack.Config) (trace.Trace, error) {
+
+	sched := sim.NewScheduler()
+	b, err := bus.New(sched, bus.Config{BitRate: bus.DefaultMSCANBitRate, Channel: "ms-can"})
+	if err != nil {
+		return nil, err
+	}
+	var log trace.Trace
+	b.Tap(func(r trace.Record) { log = append(log, r) })
+	profile.Attach(sched, b, vehicle.Options{Scenario: scen, Seed: seed})
+	if atk != nil {
+		if _, err := attack.Launch(sched, b, nil, *atk); err != nil {
+			return nil, err
+		}
+	}
+	if err := sched.RunUntil(d); err != nil {
+		return nil, err
+	}
+	return log, nil
+}

@@ -1,0 +1,267 @@
+// Package attack implements the paper's four CAN message-injection
+// scenarios as nodes on the simulated bus:
+//
+//   - Flood (FI, strong adversary): massive injection using changeable
+//     high-priority identifiers, the strategy that evades the
+//     transceiver's zero-overload shutdown;
+//   - Single (SI, strong adversary): injection with one identifier,
+//     chosen to win arbitration and/or spoof a legal message;
+//   - Multi (MI-k, strong adversary): injection rotating over k
+//     identifiers (multiple compromised ECUs or one attacker with
+//     several IDs);
+//   - Weak (WI, weak adversary): the attacker sits behind a transmit
+//     filter and may only inject the identifiers legally assigned to the
+//     compromised ECU.
+//
+// An injector attempts transmissions at a configured frequency. Each
+// attempt occupies the node's single TX mailbox; if the previous attempt
+// has not yet won arbitration it is overwritten and counted as failed.
+// The ratio of on-bus injections to attempts is the paper's injection
+// rate I_r, and the number of successful injections follows
+// N_m = I_r × f × T_0.
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"canids/internal/bus"
+	"canids/internal/can"
+	"canids/internal/sim"
+)
+
+// Scenario enumerates the paper's attack scenarios.
+type Scenario int
+
+const (
+	// Flood is scenario 1: flooding message injection (strong model).
+	Flood Scenario = iota + 1
+	// Single is scenario 2: message injection with a single ID.
+	Single
+	// Multi is scenario 3: message injection with multiple IDs.
+	Multi
+	// Weak is scenario 4: fixed-ID injection behind a transmit filter.
+	Weak
+)
+
+// String implements fmt.Stringer using the paper's abbreviations.
+func (s Scenario) String() string {
+	switch s {
+	case Flood:
+		return "FI"
+	case Single:
+		return "SI"
+	case Multi:
+		return "MI"
+	case Weak:
+		return "WI"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// Errors returned by Launch.
+var (
+	ErrNoIDs        = errors.New("attack: scenario requires at least one ID")
+	ErrBadFrequency = errors.New("attack: frequency must be positive")
+	ErrFilter       = errors.New("attack: ID not permitted by transmit filter")
+)
+
+// DefaultFloodPool is the identifier pool a flooding attacker rotates
+// through when none is configured: high-priority but non-zero IDs, which
+// defeat the dominant-overload guard while still winning arbitration.
+func DefaultFloodPool() []can.ID {
+	ids := make([]can.ID, 31)
+	for i := range ids {
+		ids[i] = can.ID(i + 1) // 0x001..0x01F
+	}
+	return ids
+}
+
+// Config parameterizes an injection campaign.
+type Config struct {
+	// Scenario selects the attack type.
+	Scenario Scenario
+	// IDs are the identifiers to inject. Single requires exactly one;
+	// Multi at least two; Weak at least one (validated against the
+	// filter); Flood may leave it nil to use DefaultFloodPool.
+	IDs []can.ID
+	// Frequency is the attempted injection rate in attempts per second
+	// (the paper tests 100, 50, 20 and 10 Hz).
+	Frequency float64
+	// Start is when the campaign begins.
+	Start time.Duration
+	// Duration is how long the campaign lasts; zero means forever.
+	Duration time.Duration
+	// Filter, for the Weak scenario, is the set of identifiers the
+	// compromised ECU may legally transmit. Every configured ID must be
+	// in the filter.
+	Filter []can.ID
+	// DLC is the junk payload length (default 8).
+	DLC int
+	// Seed drives payload randomness and flood ID selection.
+	Seed int64
+}
+
+func (c Config) validate() error {
+	if c.Frequency <= 0 {
+		return fmt.Errorf("%w: %v", ErrBadFrequency, c.Frequency)
+	}
+	switch c.Scenario {
+	case Flood:
+		// nil IDs is fine.
+	case Single:
+		if len(c.IDs) != 1 {
+			return fmt.Errorf("%w: single injection needs exactly 1 ID, got %d", ErrNoIDs, len(c.IDs))
+		}
+	case Multi:
+		if len(c.IDs) < 2 {
+			return fmt.Errorf("%w: multi injection needs >=2 IDs, got %d", ErrNoIDs, len(c.IDs))
+		}
+	case Weak:
+		if len(c.IDs) == 0 {
+			return ErrNoIDs
+		}
+		allowed := make(map[can.ID]bool, len(c.Filter))
+		for _, id := range c.Filter {
+			allowed[id] = true
+		}
+		for _, id := range c.IDs {
+			if !allowed[id] {
+				return fmt.Errorf("%w: %v", ErrFilter, id)
+			}
+		}
+	default:
+		return fmt.Errorf("attack: unknown scenario %d", int(c.Scenario))
+	}
+	for _, id := range c.IDs {
+		if !id.Valid(false) {
+			return fmt.Errorf("attack: %w: %v", can.ErrIDRange, id)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a campaign.
+type Stats struct {
+	// Attempts is the number of injection attempts made.
+	Attempts int
+	// Note: successful injections are counted on the bus trace (records
+	// with Injected=true); the injector cannot know which mailbox writes
+	// eventually won arbitration.
+}
+
+// Injector is an armed attack campaign.
+type Injector struct {
+	cfg      Config
+	ports    []*bus.Port
+	rng      *rand.Rand
+	attempts int
+	rotate   int
+	stopped  bool
+}
+
+// Launch arms an attack on the scheduler. If port is nil attacker nodes
+// are attached to the bus — one for Flood/Single/Weak, and one per
+// identifier for Multi, modelling the paper's "multiple attackers with
+// different injected IDs", each attempting at the configured frequency.
+// The Weak scenario typically passes the compromised ECU's existing
+// port.
+func Launch(sched *sim.Scheduler, b *bus.Bus, port *bus.Port, cfg Config) (*Injector, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Scenario == Flood && len(cfg.IDs) == 0 {
+		cfg.IDs = DefaultFloodPool()
+	}
+	if cfg.DLC == 0 {
+		cfg.DLC = 8
+	}
+	inj := &Injector{cfg: cfg, rng: sim.NewRand(cfg.Seed)}
+	if port != nil {
+		inj.ports = []*bus.Port{port}
+	} else if cfg.Scenario == Multi {
+		for i := range cfg.IDs {
+			inj.ports = append(inj.ports,
+				b.AttachPort(fmt.Sprintf("attacker-MI-%d", i+1)))
+		}
+	} else {
+		inj.ports = []*bus.Port{b.AttachPort("attacker-" + cfg.Scenario.String())}
+	}
+
+	interval := time.Duration(float64(time.Second) / cfg.Frequency)
+	var end time.Duration
+	if cfg.Duration > 0 {
+		end = cfg.Start + cfg.Duration
+	}
+	// One attempt loop per attacker node. With a single port all
+	// identifiers share its mailbox (Single/Weak/Flood); with one port
+	// per ID (Multi) the attackers inject independently.
+	for pi, p := range inj.ports {
+		p := p
+		pick := inj.nextID
+		if cfg.Scenario == Multi && len(inj.ports) == len(cfg.IDs) {
+			id := cfg.IDs[pi]
+			pick = func() can.ID { return id }
+		}
+		var fire func()
+		fire = func() {
+			if inj.stopped || p.Disabled() {
+				return
+			}
+			if end > 0 && sched.Now() >= end {
+				return
+			}
+			inj.attempt(p, pick())
+			sched.After(interval, fire)
+		}
+		sched.At(cfg.Start, fire)
+	}
+	return inj, nil
+}
+
+// attempt issues one injection attempt on the given port.
+func (inj *Injector) attempt(p *bus.Port, id can.ID) {
+	data := make([]byte, inj.cfg.DLC)
+	inj.rng.Read(data)
+	f, err := can.NewFrame(id, data)
+	if err != nil {
+		return // unreachable for validated configs
+	}
+	inj.attempts++
+	_ = p.Send(f, true)
+}
+
+// nextID picks the identifier for the next attempt: random from the pool
+// for Flood, round-robin for Multi-on-one-port/Weak, fixed for Single.
+func (inj *Injector) nextID() can.ID {
+	ids := inj.cfg.IDs
+	switch inj.cfg.Scenario {
+	case Flood:
+		return ids[inj.rng.Intn(len(ids))]
+	case Single:
+		return ids[0]
+	default:
+		id := ids[inj.rotate%len(ids)]
+		inj.rotate++
+		return id
+	}
+}
+
+// Stop ends the campaign.
+func (inj *Injector) Stop() { inj.stopped = true }
+
+// Stats returns campaign counters.
+func (inj *Injector) Stats() Stats { return Stats{Attempts: inj.attempts} }
+
+// Port returns the attacker's first bus port (the only one except for
+// Multi campaigns).
+func (inj *Injector) Port() *bus.Port { return inj.ports[0] }
+
+// Ports returns every attacker node of the campaign.
+func (inj *Injector) Ports() []*bus.Port { return inj.ports }
+
+// Config returns the campaign configuration (with defaults applied).
+func (inj *Injector) Config() Config { return inj.cfg }

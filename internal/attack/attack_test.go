@@ -1,0 +1,302 @@
+package attack
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"canids/internal/bus"
+	"canids/internal/can"
+	"canids/internal/sim"
+	"canids/internal/trace"
+	"canids/internal/vehicle"
+)
+
+// testRig wires a Fusion fleet, a bus and a trace capture together.
+func testRig(t *testing.T) (*sim.Scheduler, *bus.Bus, *vehicle.Fleet, *trace.Trace) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	b, err := bus.New(sched, bus.Config{BitRate: bus.DefaultMSCANBitRate, Channel: "ms-can"})
+	if err != nil {
+		t.Fatalf("bus.New: %v", err)
+	}
+	var log trace.Trace
+	b.Tap(func(r trace.Record) { log = append(log, r) })
+	profile := vehicle.NewFusionProfile(1)
+	fleet := profile.Attach(sched, b, vehicle.Options{Scenario: vehicle.Idle, Seed: 7})
+	return sched, b, fleet, &log
+}
+
+func TestScenarioString(t *testing.T) {
+	want := map[Scenario]string{Flood: "FI", Single: "SI", Multi: "MI", Weak: "WI"}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), w)
+		}
+	}
+	if Scenario(9).String() != "Scenario(9)" {
+		t.Error("unknown scenario string")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	sched := sim.NewScheduler()
+	b, err := bus.New(sched, bus.Config{BitRate: bus.DefaultMSCANBitRate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		want error
+	}{
+		{"zero frequency", Config{Scenario: Single, IDs: []can.ID{1}}, ErrBadFrequency},
+		{"single no id", Config{Scenario: Single, Frequency: 10}, ErrNoIDs},
+		{"single two ids", Config{Scenario: Single, Frequency: 10, IDs: []can.ID{1, 2}}, ErrNoIDs},
+		{"multi one id", Config{Scenario: Multi, Frequency: 10, IDs: []can.ID{1}}, ErrNoIDs},
+		{"weak no id", Config{Scenario: Weak, Frequency: 10}, ErrNoIDs},
+		{"weak outside filter", Config{Scenario: Weak, Frequency: 10, IDs: []can.ID{5}, Filter: []can.ID{6}}, ErrFilter},
+		{"invalid id", Config{Scenario: Single, Frequency: 10, IDs: []can.ID{0x800}}, can.ErrIDRange},
+		{"unknown scenario", Config{Frequency: 10}, nil},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Launch(sched, b, nil, tt.cfg)
+			if err == nil {
+				t.Fatal("Launch succeeded, want error")
+			}
+			if tt.want != nil && !errors.Is(err, tt.want) {
+				t.Errorf("got %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestSingleInjectionAppearsInTrace(t *testing.T) {
+	sched, b, _, log := testRig(t)
+	inj, err := Launch(sched, b, nil, Config{
+		Scenario:  Single,
+		IDs:       []can.ID{0x0B5},
+		Frequency: 100,
+		Start:     time.Second,
+		Duration:  2 * time.Second,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if err := sched.RunUntil(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	injected := log.Filter(func(r trace.Record) bool { return r.Injected })
+	if len(injected) == 0 {
+		t.Fatal("no injected frames on the bus")
+	}
+	for _, r := range injected {
+		if r.Frame.ID != 0x0B5 {
+			t.Fatalf("injected frame with wrong ID %v", r.Frame.ID)
+		}
+		if r.Time < time.Second || r.Time > 3*time.Second+100*time.Millisecond {
+			t.Fatalf("injected frame outside campaign window at %v", r.Time)
+		}
+	}
+	// High-priority ID at moderate frequency: nearly all attempts win.
+	att := inj.Stats().Attempts
+	if att < 190 || att > 210 {
+		t.Errorf("attempts = %d, want ~200 (2s at 100Hz)", att)
+	}
+	if got := float64(len(injected)) / float64(att); got < 0.9 {
+		t.Errorf("high-priority injection rate %.2f, want >0.9", got)
+	}
+	if !inj.Port().Disabled() && inj.Port().Name() != "attacker-SI" {
+		t.Errorf("attacker port name %q", inj.Port().Name())
+	}
+}
+
+func TestInjectionRateDropsWithIDValue(t *testing.T) {
+	// The paper's Fig. 3 property: higher ID value → lower injection
+	// rate, because the mailbox gets overwritten before winning.
+	rates := make(map[can.ID]float64)
+	for _, id := range []can.ID{0x010, 0x7F0} {
+		sched, b, _, log := testRig(t)
+		inj, err := Launch(sched, b, nil, Config{
+			Scenario:  Single,
+			IDs:       []can.ID{id},
+			Frequency: 2000, // aggressive: 0.5ms deadline per attempt
+			Start:     time.Second,
+			Duration:  4 * time.Second,
+			Seed:      3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.RunUntil(6 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		n := log.CountInjected()
+		rates[id] = float64(n) / float64(inj.Stats().Attempts)
+	}
+	if rates[0x010] <= rates[0x7F0] {
+		t.Errorf("Ir(0x010)=%.3f should exceed Ir(0x7F0)=%.3f", rates[0x010], rates[0x7F0])
+	}
+}
+
+func TestFloodUsesChangeableIDsAndEvadesGuard(t *testing.T) {
+	sched := sim.NewScheduler()
+	b, err := bus.New(sched, bus.Config{
+		BitRate: bus.DefaultMSCANBitRate,
+		Guard:   &bus.DominantGuard{Threshold: 0x000, MaxConsecutive: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log trace.Trace
+	b.Tap(func(r trace.Record) { log = append(log, r) })
+	profile := vehicle.NewFusionProfile(1)
+	profile.Attach(sched, b, vehicle.Options{Seed: 7})
+
+	inj, err := Launch(sched, b, nil, Config{
+		Scenario:  Flood,
+		Frequency: 500,
+		Start:     0,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.RunUntil(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Port().Disabled() {
+		t.Fatal("rotating-ID flood should evade the dominant guard")
+	}
+	injected := log.Filter(func(r trace.Record) bool { return r.Injected })
+	if len(injected) < 2000 {
+		t.Fatalf("flood delivered only %d frames", len(injected))
+	}
+	// Multiple distinct IDs must appear.
+	if ids := injected.IDs(); len(ids) < 10 {
+		t.Errorf("flood used only %d distinct IDs", len(ids))
+	}
+}
+
+func TestMultiRoundRobin(t *testing.T) {
+	sched, b, _, log := testRig(t)
+	ids := []can.ID{0x0B5, 0x1A0, 0x2C3}
+	_, err := Launch(sched, b, nil, Config{
+		Scenario:  Multi,
+		IDs:       ids,
+		Frequency: 90,
+		Start:     time.Second,
+		Duration:  3 * time.Second,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.RunUntil(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	injected := log.Filter(func(r trace.Record) bool { return r.Injected })
+	counts := injected.IDCounts()
+	if len(counts) != 3 {
+		t.Fatalf("multi injection used %d IDs, want 3", len(counts))
+	}
+	// Round-robin: counts within 20% of each other.
+	for _, id := range ids {
+		if counts[id] == 0 {
+			t.Fatalf("ID %v never injected", id)
+		}
+	}
+	lo, hi := counts[ids[0]], counts[ids[0]]
+	for _, id := range ids {
+		if counts[id] < lo {
+			lo = counts[id]
+		}
+		if counts[id] > hi {
+			hi = counts[id]
+		}
+	}
+	if float64(lo) < 0.8*float64(hi) {
+		t.Errorf("round-robin imbalance: %v", counts)
+	}
+}
+
+func TestWeakInjectionRespectsFilter(t *testing.T) {
+	sched, b, fleet, log := testRig(t)
+	bcm, ok := fleet.Profile().FindECU("BCM")
+	if !ok {
+		t.Fatal("BCM missing")
+	}
+	port, _ := fleet.Port("BCM")
+	ids := bcm.IDs()[:2]
+	_, err := Launch(sched, b, port, Config{
+		Scenario:  Weak,
+		IDs:       ids,
+		Filter:    bcm.IDs(),
+		Frequency: 50,
+		Start:     time.Second,
+		Duration:  2 * time.Second,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.RunUntil(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	injected := log.Filter(func(r trace.Record) bool { return r.Injected })
+	if len(injected) == 0 {
+		t.Fatal("weak attack produced no injected frames")
+	}
+	allowed := map[can.ID]bool{ids[0]: true, ids[1]: true}
+	for _, r := range injected {
+		if !allowed[r.Frame.ID] {
+			t.Fatalf("weak attacker injected non-filter ID %v", r.Frame.ID)
+		}
+		if r.Source != "BCM" {
+			t.Fatalf("weak attack should originate from the compromised ECU, got %q", r.Source)
+		}
+	}
+}
+
+func TestInjectorStop(t *testing.T) {
+	sched, b, _, log := testRig(t)
+	inj, err := Launch(sched, b, nil, Config{
+		Scenario:  Single,
+		IDs:       []can.ID{0x0B5},
+		Frequency: 100,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.At(time.Second, inj.Stop)
+	if err := sched.RunUntil(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	injected := log.Filter(func(r trace.Record) bool { return r.Injected })
+	for _, r := range injected {
+		if r.Time > time.Second+50*time.Millisecond {
+			t.Fatalf("injection at %v after Stop", r.Time)
+		}
+	}
+	if inj.Stats().Attempts > 105 {
+		t.Errorf("attempts = %d after stopping at 1s/100Hz", inj.Stats().Attempts)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	sched, b, _, _ := testRig(t)
+	inj, err := Launch(sched, b, nil, Config{Scenario: Flood, Frequency: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := inj.Config()
+	if len(cfg.IDs) != len(DefaultFloodPool()) {
+		t.Errorf("flood pool not defaulted: %d IDs", len(cfg.IDs))
+	}
+	if cfg.DLC != 8 {
+		t.Errorf("DLC not defaulted: %d", cfg.DLC)
+	}
+}

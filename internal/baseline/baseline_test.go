@@ -1,0 +1,308 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"canids/internal/can"
+	"canids/internal/detect"
+	"canids/internal/sim"
+	"canids/internal/trace"
+)
+
+// periodicWindow builds one window of strictly periodic traffic from a
+// fixed schedule, with optional injected bursts of a given ID.
+func periodicWindow(start time.Duration, jitterSeed int64, injectID can.ID, injectN int) trace.Trace {
+	type sched struct {
+		id     can.ID
+		period time.Duration
+	}
+	schedule := []sched{
+		{0x0A0, 10 * time.Millisecond},
+		{0x123, 20 * time.Millisecond},
+		{0x250, 20 * time.Millisecond},
+		{0x333, 40 * time.Millisecond},
+		{0x401, 50 * time.Millisecond},
+		{0x555, 100 * time.Millisecond},
+		{0x600, 200 * time.Millisecond},
+		{0x7A0, 200 * time.Millisecond},
+	}
+	rng := sim.NewRand(jitterSeed)
+	var w trace.Trace
+	for _, s := range schedule {
+		phase := time.Duration(rng.Int63n(int64(s.period)))
+		for t := phase; t < time.Second; t += s.period {
+			jitter := time.Duration(rng.Int63n(int64(s.period)/50) - int64(s.period)/100)
+			w = append(w, trace.Record{Time: start + t + jitter, Frame: can.Frame{ID: s.id}})
+		}
+	}
+	for i := 0; i < injectN; i++ {
+		at := start + time.Duration(i)*time.Second/time.Duration(injectN+1)
+		w = append(w, trace.Record{Time: at, Frame: can.Frame{ID: injectID}, Injected: true})
+	}
+	w.Sort()
+	return w
+}
+
+func cleanWindows(n int) []trace.Trace {
+	var ws []trace.Trace
+	for i := 0; i < n; i++ {
+		ws = append(ws, periodicWindow(time.Duration(i)*time.Second, int64(i+1), 0, 0))
+	}
+	return ws
+}
+
+// feed runs a detector over windows and collects alerts.
+func feed(d detect.Detector, ws []trace.Trace) []detect.Alert {
+	var alerts []detect.Alert
+	for _, w := range ws {
+		for _, r := range w {
+			alerts = append(alerts, d.Observe(r)...)
+		}
+	}
+	alerts = append(alerts, d.Flush()...)
+	return alerts
+}
+
+func TestMuterConfigValidation(t *testing.T) {
+	if _, err := NewMuter(MuterConfig{Alpha: 0, Window: time.Second}); err == nil {
+		t.Error("zero alpha should fail")
+	}
+	if _, err := NewMuter(MuterConfig{Alpha: 5, Window: 0}); err == nil {
+		t.Error("zero window should fail")
+	}
+}
+
+func TestMuterTrainRequiresWindows(t *testing.T) {
+	m, err := NewMuter(DefaultMuterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Train(nil); err == nil {
+		t.Error("training with no windows should fail")
+	}
+}
+
+func TestMuterCleanTraffic(t *testing.T) {
+	m, err := NewMuter(DefaultMuterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Train(cleanWindows(35)); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	var test []trace.Trace
+	for i := 0; i < 10; i++ {
+		test = append(test, periodicWindow(time.Duration(i)*time.Second, int64(100+i), 0, 0))
+	}
+	if alerts := feed(m, test); len(alerts) != 0 {
+		t.Errorf("clean traffic raised %d alerts: %v", len(alerts), alerts)
+	}
+}
+
+func TestMuterDetectsFlood(t *testing.T) {
+	m, err := NewMuter(DefaultMuterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Train(cleanWindows(35)); err != nil {
+		t.Fatal(err)
+	}
+	// A heavy single-ID injection skews the ID distribution.
+	attacked := periodicWindow(0, 999, 0x050, 200)
+	alerts := feed(m, []trace.Trace{attacked})
+	if len(alerts) == 0 {
+		t.Fatal("muter missed a 200-frame injection")
+	}
+	if alerts[0].Detector != MuterName {
+		t.Errorf("detector name %q", alerts[0].Detector)
+	}
+	if alerts[0].Bits != nil {
+		t.Error("message-level detector must not report per-bit detail")
+	}
+}
+
+func TestMuterUntrainedSilent(t *testing.T) {
+	m, err := NewMuter(DefaultMuterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alerts := feed(m, []trace.Trace{periodicWindow(0, 1, 0x050, 300)}); len(alerts) != 0 {
+		t.Error("untrained muter must not alert")
+	}
+}
+
+func TestMuterStateGrowsWithIDs(t *testing.T) {
+	m, err := NewMuter(DefaultMuterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Train(cleanWindows(5)); err != nil {
+		t.Fatal(err)
+	}
+	feed(m, []trace.Trace{periodicWindow(0, 1, 0, 0)})
+	small := m.StateBytes()
+	// Feed a window with many more distinct IDs.
+	var big trace.Trace
+	for i := 0; i < 500; i++ {
+		big = append(big, trace.Record{
+			Time:  time.Duration(i) * time.Millisecond,
+			Frame: can.Frame{ID: can.ID(i & 0x7FF)},
+		})
+	}
+	feed(m, []trace.Trace{big})
+	if m.StateBytes() <= small {
+		t.Errorf("muter state should grow with distinct IDs: %d -> %d", small, m.StateBytes())
+	}
+}
+
+func TestMuterReset(t *testing.T) {
+	m, err := NewMuter(DefaultMuterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Train(cleanWindows(35)); err != nil {
+		t.Fatal(err)
+	}
+	a1 := len(feed(m, []trace.Trace{periodicWindow(0, 999, 0x050, 200)}))
+	m.Reset()
+	a2 := len(feed(m, []trace.Trace{periodicWindow(0, 999, 0x050, 200)}))
+	if a1 != a2 || a1 == 0 {
+		t.Errorf("replay after Reset differs: %d vs %d", a1, a2)
+	}
+}
+
+func TestSongConfigValidation(t *testing.T) {
+	bad := []SongConfig{
+		{Window: 0, IntervalRatio: 0.5, AnomalyThreshold: 5},
+		{Window: time.Second, IntervalRatio: 0, AnomalyThreshold: 5},
+		{Window: time.Second, IntervalRatio: 1.5, AnomalyThreshold: 5},
+		{Window: time.Second, IntervalRatio: 0.5, AnomalyThreshold: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSong(cfg); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+func TestSongLearnsPeriods(t *testing.T) {
+	s, err := NewSong(DefaultSongConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Train(cleanWindows(35)); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if s.KnownIDs() != 8 {
+		t.Errorf("KnownIDs = %d, want 8", s.KnownIDs())
+	}
+}
+
+func TestSongTrainRequiresWindows(t *testing.T) {
+	s, err := NewSong(DefaultSongConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Train(nil); err == nil {
+		t.Error("training with no windows should fail")
+	}
+}
+
+func TestSongCleanTraffic(t *testing.T) {
+	s, err := NewSong(DefaultSongConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Train(cleanWindows(35)); err != nil {
+		t.Fatal(err)
+	}
+	var test []trace.Trace
+	for i := 0; i < 10; i++ {
+		test = append(test, periodicWindow(time.Duration(i)*time.Second, int64(100+i), 0, 0))
+	}
+	if alerts := feed(s, test); len(alerts) != 0 {
+		t.Errorf("clean traffic raised %d alerts: %v", len(alerts), alerts)
+	}
+}
+
+func TestSongDetectsKnownIDInjection(t *testing.T) {
+	s, err := NewSong(DefaultSongConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Train(cleanWindows(35)); err != nil {
+		t.Fatal(err)
+	}
+	// Inject 50 extra frames of a known periodic ID: intervals collapse.
+	attacked := periodicWindow(0, 999, 0x123, 50)
+	alerts := feed(s, []trace.Trace{attacked})
+	if len(alerts) == 0 {
+		t.Fatal("song missed a known-ID injection")
+	}
+	if alerts[0].Detector != SongName {
+		t.Errorf("detector name %q", alerts[0].Detector)
+	}
+}
+
+func TestSongBlindToUnseenID(t *testing.T) {
+	// The weakness the paper calls out: an attacker using an ID absent
+	// from training is invisible to the interval detector.
+	s, err := NewSong(DefaultSongConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Train(cleanWindows(35)); err != nil {
+		t.Fatal(err)
+	}
+	attacked := periodicWindow(0, 999, 0x0FF, 50) // 0x0FF unseen in training
+	if alerts := feed(s, []trace.Trace{attacked}); len(alerts) != 0 {
+		t.Fatalf("song should be blind to unseen IDs, got %v", alerts)
+	}
+}
+
+func TestSongFlagUnknownOption(t *testing.T) {
+	cfg := DefaultSongConfig()
+	cfg.FlagUnknown = true
+	s, err := NewSong(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Train(cleanWindows(35)); err != nil {
+		t.Fatal(err)
+	}
+	attacked := periodicWindow(0, 999, 0x0FF, 50)
+	if alerts := feed(s, []trace.Trace{attacked}); len(alerts) == 0 {
+		t.Error("FlagUnknown should catch unseen-ID injection")
+	}
+}
+
+func TestSongReset(t *testing.T) {
+	s, err := NewSong(DefaultSongConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Train(cleanWindows(35)); err != nil {
+		t.Fatal(err)
+	}
+	a1 := len(feed(s, []trace.Trace{periodicWindow(0, 999, 0x123, 50)}))
+	s.Reset()
+	a2 := len(feed(s, []trace.Trace{periodicWindow(0, 999, 0x123, 50)}))
+	if a1 != a2 || a1 == 0 {
+		t.Errorf("replay after Reset differs: %d vs %d", a1, a2)
+	}
+}
+
+func TestSongStateLinearInIDs(t *testing.T) {
+	s, err := NewSong(DefaultSongConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Train(cleanWindows(5)); err != nil {
+		t.Fatal(err)
+	}
+	// 8 learned IDs -> state must reflect at least 8 period entries.
+	if s.StateBytes() < 8*24 {
+		t.Errorf("StateBytes = %d, want >= %d", s.StateBytes(), 8*24)
+	}
+}

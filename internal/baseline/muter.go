@@ -1,0 +1,198 @@
+// Package baseline re-implements the two intrusion detectors the paper
+// compares against in Section V.E:
+//
+//   - Müter & Asaj (IV 2011): message-level entropy — the Shannon entropy
+//     of the identifier distribution per window, treating the 11-bit ID
+//     as one inseparable symbol. Requires one counter per distinct
+//     identifier and cannot point at the malicious ID.
+//   - Song, Kim & Kim (ICOIN 2016): inter-arrival time analysis — learns
+//     each identifier's nominal period and flags frames arriving much
+//     sooner than expected. Requires per-identifier state and, by
+//     design, cannot score identifiers never seen in training.
+//
+// Both implement detect.Detector so the experiment harness can evaluate
+// them head-to-head with the paper's bit-entropy IDS.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"canids/internal/can"
+	"canids/internal/detect"
+	"canids/internal/entropy"
+	"canids/internal/trace"
+)
+
+// MuterName is the detector name of the message-entropy baseline.
+const MuterName = "muter-msg-entropy"
+
+// MuterConfig parameterizes the message-entropy detector.
+type MuterConfig struct {
+	// Alpha is the threshold multiplier over the training range, like
+	// the core detector's α.
+	Alpha float64
+	// Window is the detection window length.
+	Window time.Duration
+	// MinFrames skips windows with too few frames.
+	MinFrames int
+	// MinThreshold floors the detection threshold.
+	MinThreshold float64
+}
+
+// DefaultMuterConfig mirrors the paper's operating point. The threshold
+// floor is larger than the bit-entropy detector's because window-level
+// Shannon entropy lives on a log2(#IDs) ≈ 7.8-bit scale rather than the
+// [0,1] per-bit scale.
+func DefaultMuterConfig() MuterConfig {
+	return MuterConfig{Alpha: 5, Window: time.Second, MinFrames: 50, MinThreshold: 0.05}
+}
+
+// Muter is the message-level entropy detector of [8].
+type Muter struct {
+	cfg     MuterConfig
+	trained bool
+	meanH   float64
+	minH    float64
+	maxH    float64
+
+	counts      map[can.ID]int
+	frames      int
+	windowStart time.Duration
+	haveWindow  bool
+	// peakIDs tracks the historical maximum of distinct IDs per window,
+	// reflecting the detector's real memory footprint.
+	peakIDs int
+}
+
+var _ detect.Detector = (*Muter)(nil)
+
+// NewMuter creates the detector.
+func NewMuter(cfg MuterConfig) (*Muter, error) {
+	if cfg.Alpha <= 0 {
+		return nil, fmt.Errorf("baseline: muter alpha must be positive, got %v", cfg.Alpha)
+	}
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("baseline: muter window must be positive, got %v", cfg.Window)
+	}
+	return &Muter{cfg: cfg, counts: make(map[can.ID]int)}, nil
+}
+
+// Name implements detect.Detector.
+func (m *Muter) Name() string { return MuterName }
+
+// Train implements detect.Detector: learns the mean and range of the
+// window-level Shannon entropy over clean windows.
+func (m *Muter) Train(windows []trace.Trace) error {
+	n := 0
+	sum := 0.0
+	m.minH = math.Inf(1)
+	m.maxH = math.Inf(-1)
+	for _, w := range windows {
+		if len(w) < m.cfg.MinFrames {
+			continue
+		}
+		h := entropy.Shannon(w.IDCounts())
+		n++
+		sum += h
+		if h < m.minH {
+			m.minH = h
+		}
+		if h > m.maxH {
+			m.maxH = h
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("baseline: muter: no usable training windows")
+	}
+	m.meanH = sum / float64(n)
+	m.trained = true
+	return nil
+}
+
+// Threshold returns the alert threshold α·(max−min), floored.
+func (m *Muter) Threshold() float64 {
+	th := m.cfg.Alpha * (m.maxH - m.minH)
+	if th < m.cfg.MinThreshold {
+		th = m.cfg.MinThreshold
+	}
+	return th
+}
+
+// Observe implements detect.Detector.
+func (m *Muter) Observe(rec trace.Record) []detect.Alert {
+	var alerts []detect.Alert
+	if !m.haveWindow {
+		m.windowStart = rec.Time
+		m.haveWindow = true
+	}
+	for rec.Time >= m.windowStart+m.cfg.Window {
+		if a := m.closeWindow(); a != nil {
+			alerts = append(alerts, *a)
+		}
+		m.windowStart += m.cfg.Window
+	}
+	m.counts[rec.Frame.ID]++
+	m.frames++
+	if len(m.counts) > m.peakIDs {
+		m.peakIDs = len(m.counts)
+	}
+	return alerts
+}
+
+// Flush implements detect.Detector.
+func (m *Muter) Flush() []detect.Alert {
+	if !m.haveWindow {
+		return nil
+	}
+	var alerts []detect.Alert
+	if a := m.closeWindow(); a != nil {
+		alerts = append(alerts, *a)
+	}
+	m.haveWindow = false
+	return alerts
+}
+
+// Reset implements detect.Detector.
+func (m *Muter) Reset() {
+	m.counts = make(map[can.ID]int)
+	m.frames = 0
+	m.haveWindow = false
+	m.windowStart = 0
+}
+
+// StateBytes implements detect.Detector: one (ID, count) slot per
+// distinct identifier seen in a window — linear in the ID set, the
+// paper's criticism of message-level entropy.
+func (m *Muter) StateBytes() int {
+	n := m.peakIDs
+	if len(m.counts) > n {
+		n = len(m.counts)
+	}
+	return 16 * n // 4-byte ID + 8-byte count, map overhead rounded in
+}
+
+func (m *Muter) closeWindow() *detect.Alert {
+	defer func() {
+		m.counts = make(map[can.ID]int, len(m.counts))
+		m.frames = 0
+	}()
+	if m.frames == 0 || !m.trained || m.frames < m.cfg.MinFrames {
+		return nil
+	}
+	h := entropy.Shannon(m.counts)
+	dev := math.Abs(h - m.meanH)
+	th := m.Threshold()
+	if dev <= th {
+		return nil
+	}
+	return &detect.Alert{
+		Detector:    MuterName,
+		WindowStart: m.windowStart,
+		WindowEnd:   m.windowStart + m.cfg.Window,
+		Frames:      m.frames,
+		Score:       dev / th,
+		Detail:      fmt.Sprintf("message entropy %.4f vs template %.4f", h, m.meanH),
+	}
+}

@@ -1,0 +1,488 @@
+// Package bus is a discrete-event simulator of a CAN bus segment.
+//
+// It reproduces the properties of CAN that matter to the entropy IDS and
+// to the paper's attack scenarios:
+//
+//   - bitwise identifier arbitration: when several nodes start
+//     transmitting at the same instant, the frame whose arbitration field
+//     carries the first dominant (0) bit where others are recessive wins
+//     (lower numeric ID wins);
+//   - losers automatically retry once the bus frees up;
+//   - bit-accurate frame durations including stuff bits, so bus load and
+//     the injection-rate metric behave as on real hardware;
+//   - a single TX mailbox per node: if a new send is requested while the
+//     previous frame is still waiting for the bus, the old frame is
+//     overwritten and counted as a failed injection attempt — this is what
+//     makes low-priority injections fail, as in the paper's Fig. 3;
+//   - a transceiver dominant-overload guard that shuts down a node which
+//     keeps transmitting the most dominant identifiers back to back (the
+//     defence a flooding attacker evades by rotating IDs);
+//   - CAN error confinement (TEC, error-active/passive/bus-off) driven by
+//     an optional random bit-error model.
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"canids/internal/can"
+	"canids/internal/sim"
+	"canids/internal/trace"
+)
+
+// Errors returned by Port operations.
+var (
+	ErrPortDisabled = errors.New("bus: port disabled")
+	ErrBusClosed    = errors.New("bus: closed")
+)
+
+// NodeState is the CAN fault-confinement state of a port.
+type NodeState int
+
+const (
+	// ErrorActive is the normal operating state.
+	ErrorActive NodeState = iota + 1
+	// ErrorPassive limits a node's ability to signal errors; it also
+	// suffers the suspend-transmission penalty after each frame.
+	ErrorPassive
+	// BusOff disconnects the node from the bus entirely.
+	BusOff
+)
+
+// String implements fmt.Stringer.
+func (s NodeState) String() string {
+	switch s {
+	case ErrorActive:
+		return "error-active"
+	case ErrorPassive:
+		return "error-passive"
+	case BusOff:
+		return "bus-off"
+	default:
+		return fmt.Sprintf("NodeState(%d)", int(s))
+	}
+}
+
+// Fault-confinement thresholds from ISO 11898-1.
+const (
+	errorPassiveTEC = 128
+	busOffTEC       = 256
+	// suspendTransmissionBits delays an error-passive node's next
+	// transmission attempt after it sends a frame.
+	suspendTransmissionBits = 8
+	// errorFrameBits approximates the bus occupancy of an active error
+	// frame plus recovery (error flag + delimiter + intermission).
+	errorFrameBits = 17
+)
+
+// DominantGuard models the transceiver protection the paper describes:
+// a node that keeps the bus occupied with the most dominant identifiers
+// is cut off. The guard counts consecutive frames sent by one node whose
+// identifier is at or below Threshold; exceeding MaxConsecutive disables
+// the node.
+type DominantGuard struct {
+	// Threshold is the identifier value at or below which a frame counts
+	// as "dominant flooding" (the classic case is 0x000).
+	Threshold can.ID
+	// MaxConsecutive is the number of consecutive dominant frames allowed
+	// before the node is shut down.
+	MaxConsecutive int
+}
+
+// ErrorModel injects stochastic transmission errors.
+type ErrorModel struct {
+	// FrameErrorRate is the probability that a transmitted frame is hit
+	// by a bit error and must be retransmitted.
+	FrameErrorRate float64
+	// Rand supplies the randomness; required if FrameErrorRate > 0.
+	Rand *rand.Rand
+}
+
+// Config configures a Bus.
+type Config struct {
+	// BitRate in bits per second. The paper's middle-speed CAN runs at
+	// 125 kbit/s; high-speed CAN at 500 kbit/s.
+	BitRate int
+	// Channel is the name stamped on emitted trace records.
+	Channel string
+	// Guard optionally enables the dominant-overload transceiver guard.
+	Guard *DominantGuard
+	// Errors optionally enables the stochastic error model.
+	Errors *ErrorModel
+}
+
+// DefaultMSCANBitRate is the paper's middle-speed CAN bit rate.
+const DefaultMSCANBitRate = 125_000
+
+// HSCANBitRate is the paper's high-speed CAN bit rate.
+const HSCANBitRate = 500_000
+
+// Stats aggregates bus-level counters.
+type Stats struct {
+	// FramesDelivered counts frames successfully transmitted.
+	FramesDelivered int
+	// BusyTime is the cumulative time the bus carried frames.
+	BusyTime time.Duration
+	// Collisions counts arbitration ties between identical arbitration
+	// fields (a protocol violation two nodes should never commit).
+	Collisions int
+	// ErrorFrames counts frames destroyed by injected bit errors.
+	ErrorFrames int
+}
+
+// PortStats aggregates per-node counters.
+type PortStats struct {
+	// Requested counts Send/Enqueue calls accepted.
+	Requested int
+	// Sent counts frames that won arbitration and completed.
+	Sent int
+	// Overwritten counts mailbox frames replaced before they could be
+	// transmitted (failed injection attempts in the paper's metric).
+	Overwritten int
+	// QueueDrops counts Enqueue calls rejected because the TX queue was
+	// full.
+	QueueDrops int
+	// ArbitrationLosses counts rounds lost to a higher-priority frame.
+	ArbitrationLosses int
+	// GuardTrips counts times the dominant guard disabled the port.
+	GuardTrips int
+}
+
+// DefaultQueueCap is the TX queue depth of an ECU port. Real CAN
+// controllers provide multiple TX mailboxes or a driver-side queue; this
+// keeps intra-ECU schedule collisions from dropping periodic frames.
+const DefaultQueueCap = 64
+
+// txRequest is a mailbox entry.
+type txRequest struct {
+	frame    can.Frame
+	injected bool
+	enqueued sim.Time
+}
+
+// Port is a node's attachment point to the bus.
+type Port struct {
+	bus      *Bus
+	name     string
+	queue    []*txRequest
+	queueCap int
+	disabled bool
+	state    NodeState
+	tec      int
+	// consecutiveDominant counts back-to-back dominant-ID frames for the
+	// guard.
+	consecutiveDominant int
+	// holdUntil delays the next transmission attempt (suspend
+	// transmission for error-passive nodes).
+	holdUntil sim.Time
+	stats     PortStats
+}
+
+// Bus is the simulated CAN segment. Create with New; attach nodes with
+// AttachPort; drive time through the shared sim.Scheduler.
+type Bus struct {
+	cfg       Config
+	sched     *sim.Scheduler
+	ports     []*Port
+	taps      []func(trace.Record)
+	busyUntil sim.Time
+	armed     bool // an arbitration event is scheduled
+	stats     Stats
+}
+
+// New creates a bus on the given scheduler. BitRate must be positive.
+func New(sched *sim.Scheduler, cfg Config) (*Bus, error) {
+	if cfg.BitRate <= 0 {
+		return nil, fmt.Errorf("bus: bit rate must be positive, got %d", cfg.BitRate)
+	}
+	if cfg.Errors != nil && cfg.Errors.FrameErrorRate > 0 && cfg.Errors.Rand == nil {
+		return nil, errors.New("bus: error model requires a Rand")
+	}
+	if cfg.Channel == "" {
+		cfg.Channel = "can0"
+	}
+	return &Bus{cfg: cfg, sched: sched}, nil
+}
+
+// BitTime returns the duration of one bit on this bus.
+func (b *Bus) BitTime() time.Duration {
+	return time.Second / time.Duration(b.cfg.BitRate)
+}
+
+// FrameTime returns the on-wire duration of the frame including the
+// interframe space.
+func (b *Bus) FrameTime(f can.Frame) time.Duration {
+	bits := f.BitLength() + can.InterframeSpaceBits
+	return time.Duration(bits) * b.BitTime()
+}
+
+// Stats returns a copy of the bus counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Load returns the fraction of elapsed time the bus spent busy.
+func (b *Bus) Load() float64 {
+	if b.sched.Now() == 0 {
+		return 0
+	}
+	return float64(b.stats.BusyTime) / float64(b.sched.Now())
+}
+
+// AttachPort adds a node to the bus.
+func (b *Bus) AttachPort(name string) *Port {
+	p := &Port{bus: b, name: name, state: ErrorActive, queueCap: DefaultQueueCap}
+	b.ports = append(b.ports, p)
+	return p
+}
+
+// Tap registers a listener invoked for every frame that completes
+// transmission. Taps model passive monitors such as the IDS sensor; they
+// see the same record the trace captures.
+func (b *Bus) Tap(fn func(trace.Record)) {
+	b.taps = append(b.taps, fn)
+}
+
+// Name returns the port's node name.
+func (p *Port) Name() string { return p.name }
+
+// Stats returns a copy of the port counters.
+func (p *Port) Stats() PortStats { return p.stats }
+
+// State returns the port's fault-confinement state.
+func (p *Port) State() NodeState { return p.state }
+
+// Disabled reports whether the port was shut down (guard trip, bus-off,
+// or explicit Disable).
+func (p *Port) Disabled() bool { return p.disabled }
+
+// Disable removes the port from the bus permanently.
+func (p *Port) Disable() { p.disabled = true }
+
+// Pending reports whether any frame is waiting to transmit.
+func (p *Port) Pending() bool { return len(p.queue) > 0 }
+
+// QueueLen returns the number of frames waiting to transmit.
+func (p *Port) QueueLen() int { return len(p.queue) }
+
+// SetQueueCap changes the TX queue depth used by Enqueue (minimum 1).
+func (p *Port) SetQueueCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.queueCap = n
+}
+
+// Send places a frame in the port's single TX mailbox. If a frame is
+// already waiting it is overwritten and counted in Overwritten — the
+// semantics of a real controller's highest-priority mailbox under
+// overload, and the denominator behaviour behind the paper's injection
+// rate. Send fails only if the port is disabled or the frame is invalid.
+func (p *Port) Send(f can.Frame, injected bool) error {
+	if p.disabled {
+		return fmt.Errorf("%w: %s", ErrPortDisabled, p.name)
+	}
+	if err := f.Validate(); err != nil {
+		return fmt.Errorf("bus: send on %s: %w", p.name, err)
+	}
+	req := &txRequest{frame: f, injected: injected, enqueued: p.bus.sched.Now()}
+	if len(p.queue) > 0 {
+		p.stats.Overwritten += len(p.queue)
+		p.queue = p.queue[:0]
+	}
+	p.queue = append(p.queue, req)
+	p.stats.Requested++
+	p.bus.arm()
+	return nil
+}
+
+// Enqueue appends a frame to the port's TX queue, as a driver with
+// multiple mailboxes would. When the queue is full the frame is dropped
+// and counted in QueueDrops.
+func (p *Port) Enqueue(f can.Frame, injected bool) error {
+	if p.disabled {
+		return fmt.Errorf("%w: %s", ErrPortDisabled, p.name)
+	}
+	if err := f.Validate(); err != nil {
+		return fmt.Errorf("bus: enqueue on %s: %w", p.name, err)
+	}
+	if len(p.queue) >= p.queueCap {
+		p.stats.QueueDrops++
+		return nil
+	}
+	p.queue = append(p.queue, &txRequest{frame: f, injected: injected, enqueued: p.bus.sched.Now()})
+	p.stats.Requested++
+	p.bus.arm()
+	return nil
+}
+
+// head returns the frame currently competing for the bus, or nil.
+func (p *Port) head() *txRequest {
+	if len(p.queue) == 0 {
+		return nil
+	}
+	return p.queue[0]
+}
+
+// pop removes the head of the queue.
+func (p *Port) pop() {
+	copy(p.queue, p.queue[1:])
+	p.queue[len(p.queue)-1] = nil
+	p.queue = p.queue[:len(p.queue)-1]
+}
+
+// arm schedules the next arbitration round if one is not already queued.
+func (b *Bus) arm() {
+	if b.armed {
+		return
+	}
+	b.armed = true
+	at := b.sched.Now()
+	if b.busyUntil > at {
+		at = b.busyUntil
+	}
+	b.sched.At(at, b.arbitrate)
+}
+
+// arbitrate resolves one arbitration round at the current virtual time.
+func (b *Bus) arbitrate() {
+	b.armed = false
+	now := b.sched.Now()
+	if b.busyUntil > now {
+		// The bus got busy between scheduling and firing; try again when
+		// it frees.
+		b.arm()
+		return
+	}
+
+	// Collect the competitors: enabled ports with a pending frame whose
+	// hold time has passed.
+	var winner *Port
+	var competitors int
+	var nextHold sim.Time
+	for _, p := range b.ports {
+		if p.disabled || p.head() == nil {
+			continue
+		}
+		if p.holdUntil > now {
+			if nextHold == 0 || p.holdUntil < nextHold {
+				nextHold = p.holdUntil
+			}
+			continue
+		}
+		competitors++
+		if winner == nil {
+			winner = p
+			continue
+		}
+		wk := winner.head().frame.ArbitrationKey()
+		pk := p.head().frame.ArbitrationKey()
+		switch {
+		case pk < wk:
+			winner.stats.ArbitrationLosses++
+			winner = p
+		case pk == wk:
+			// Two nodes driving identical arbitration fields: on real
+			// hardware this ends in an error frame once the payloads
+			// diverge. Count it and let the first-attached port win.
+			b.stats.Collisions++
+			p.stats.ArbitrationLosses++
+		default:
+			p.stats.ArbitrationLosses++
+		}
+	}
+	if winner == nil {
+		// Nothing ready now; if some port is only held, re-arm for then.
+		if nextHold > 0 {
+			b.armed = true
+			b.sched.At(nextHold, b.arbitrate)
+		}
+		return
+	}
+
+	req := winner.head()
+	frame := req.frame
+
+	// Optional stochastic bit error: the frame is destroyed, every node
+	// transmits an error frame, and the winner retries.
+	if em := b.cfg.Errors; em != nil && em.FrameErrorRate > 0 && em.Rand.Float64() < em.FrameErrorRate {
+		wasted := time.Duration(frame.BitLength()/2+errorFrameBits) * b.BitTime()
+		b.busyUntil = now + wasted
+		b.stats.BusyTime += wasted
+		b.stats.ErrorFrames++
+		winner.bumpTEC(8)
+		if !winner.disabled {
+			// Retry: leave the request pending.
+			b.arm()
+		} else if competitors > 1 {
+			b.arm()
+		}
+		return
+	}
+
+	dur := b.FrameTime(frame)
+	b.busyUntil = now + dur
+	b.stats.BusyTime += dur
+	b.stats.FramesDelivered++
+	winner.pop()
+	winner.stats.Sent++
+	winner.bumpTEC(-1)
+
+	// Transceiver dominant-overload guard.
+	if g := b.cfg.Guard; g != nil {
+		if frame.ID <= g.Threshold && !frame.Extended {
+			winner.consecutiveDominant++
+			if winner.consecutiveDominant > g.MaxConsecutive {
+				winner.disabled = true
+				winner.stats.GuardTrips++
+			}
+		} else {
+			winner.consecutiveDominant = 0
+		}
+	}
+
+	// Error-passive nodes must pause before competing again.
+	if winner.state == ErrorPassive {
+		winner.holdUntil = b.busyUntil + time.Duration(suspendTransmissionBits)*b.BitTime()
+	}
+
+	rec := trace.Record{
+		Time:     now,
+		Frame:    frame,
+		Channel:  b.cfg.Channel,
+		Source:   winner.name,
+		Injected: req.injected,
+	}
+	for _, tap := range b.taps {
+		tap(rec)
+	}
+
+	// More traffic waiting? Schedule the next round at bus-free time.
+	for _, p := range b.ports {
+		if !p.disabled && p.head() != nil {
+			b.arm()
+			break
+		}
+	}
+}
+
+// bumpTEC adjusts the transmit error counter and updates the
+// fault-confinement state.
+func (p *Port) bumpTEC(delta int) {
+	p.tec += delta
+	if p.tec < 0 {
+		p.tec = 0
+	}
+	switch {
+	case p.tec >= busOffTEC:
+		p.state = BusOff
+		p.disabled = true
+	case p.tec >= errorPassiveTEC:
+		p.state = ErrorPassive
+	default:
+		p.state = ErrorActive
+	}
+}
+
+// TEC returns the port's transmit error counter.
+func (p *Port) TEC() int { return p.tec }

@@ -1,0 +1,376 @@
+package bus
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"canids/internal/can"
+	"canids/internal/sim"
+	"canids/internal/trace"
+)
+
+func newTestBus(t *testing.T, cfg Config) (*sim.Scheduler, *Bus, *trace.Trace) {
+	t.Helper()
+	if cfg.BitRate == 0 {
+		cfg.BitRate = DefaultMSCANBitRate
+	}
+	sched := sim.NewScheduler()
+	b, err := New(sched, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var log trace.Trace
+	b.Tap(func(r trace.Record) { log = append(log, r) })
+	return sched, b, &log
+}
+
+func TestNewValidation(t *testing.T) {
+	sched := sim.NewScheduler()
+	if _, err := New(sched, Config{}); err == nil {
+		t.Error("zero bit rate should fail")
+	}
+	if _, err := New(sched, Config{BitRate: 1000, Errors: &ErrorModel{FrameErrorRate: 0.5}}); err == nil {
+		t.Error("error model without Rand should fail")
+	}
+}
+
+func TestSingleFrameDelivery(t *testing.T) {
+	sched, b, log := newTestBus(t, Config{})
+	p := b.AttachPort("ecu1")
+	f := can.MustFrame(0x123, []byte{1, 2, 3})
+	if err := p.Send(f, false); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := sched.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(*log) != 1 {
+		t.Fatalf("delivered %d frames, want 1", len(*log))
+	}
+	got := (*log)[0]
+	if !got.Frame.Equal(f) || got.Source != "ecu1" || got.Injected {
+		t.Errorf("unexpected record %+v", got)
+	}
+	if b.Stats().FramesDelivered != 1 {
+		t.Errorf("FramesDelivered = %d", b.Stats().FramesDelivered)
+	}
+}
+
+func TestArbitrationLowestIDWins(t *testing.T) {
+	sched, b, log := newTestBus(t, Config{})
+	hi := b.AttachPort("hi")
+	lo := b.AttachPort("lo")
+	mid := b.AttachPort("mid")
+	// All three enqueue at t=0; delivery order must follow priority.
+	if err := hi.Send(can.MustFrame(0x700, nil), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := lo.Send(can.MustFrame(0x010, nil), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := mid.Send(can.MustFrame(0x300, nil), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(*log) != 3 {
+		t.Fatalf("delivered %d, want 3", len(*log))
+	}
+	wantOrder := []can.ID{0x010, 0x300, 0x700}
+	for i, id := range wantOrder {
+		if (*log)[i].Frame.ID != id {
+			t.Errorf("position %d: got %v want %v", i, (*log)[i].Frame.ID, id)
+		}
+	}
+	if hi.Stats().ArbitrationLosses == 0 || mid.Stats().ArbitrationLosses == 0 {
+		t.Error("losers should record arbitration losses")
+	}
+	if lo.Stats().ArbitrationLosses != 0 {
+		t.Error("winner should not record losses in round one")
+	}
+}
+
+func TestLoserRetransmitsAfterBusFrees(t *testing.T) {
+	sched, b, log := newTestBus(t, Config{})
+	a := b.AttachPort("a")
+	c := b.AttachPort("c")
+	if err := a.Send(can.MustFrame(0x100, []byte{1}), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(can.MustFrame(0x200, []byte{2}), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(*log) != 2 {
+		t.Fatalf("delivered %d, want 2", len(*log))
+	}
+	first, second := (*log)[0], (*log)[1]
+	if first.Frame.ID != 0x100 || second.Frame.ID != 0x200 {
+		t.Fatalf("order wrong: %v then %v", first.Frame.ID, second.Frame.ID)
+	}
+	// The second frame must start exactly when the first releases the
+	// bus (frame time includes the interframe space).
+	if want := b.FrameTime(first.Frame); second.Time != want {
+		t.Errorf("second SOF at %v, want %v", second.Time, want)
+	}
+}
+
+func TestMailboxOverwrite(t *testing.T) {
+	sched, b, log := newTestBus(t, Config{})
+	blocker := b.AttachPort("blocker")
+	victim := b.AttachPort("victim")
+	// Blocker occupies the bus with a high-priority frame.
+	if err := blocker.Send(can.MustFrame(0x001, make([]byte, 8)), false); err != nil {
+		t.Fatal(err)
+	}
+	// Victim queues one frame, then overwrites it before the bus frees.
+	if err := victim.Send(can.MustFrame(0x400, []byte{1}), false); err != nil {
+		t.Fatal(err)
+	}
+	sched.After(b.BitTime(), func() {
+		if err := victim.Send(can.MustFrame(0x401, []byte{2}), false); err != nil {
+			t.Errorf("overwrite Send: %v", err)
+		}
+	})
+	if err := sched.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if victim.Stats().Overwritten != 1 {
+		t.Errorf("Overwritten = %d, want 1", victim.Stats().Overwritten)
+	}
+	// Only 0x401 (the overwriting frame) should appear.
+	var ids []can.ID
+	for _, r := range *log {
+		ids = append(ids, r.Frame.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) != 2 || ids[0] != 0x001 || ids[1] != 0x401 {
+		t.Errorf("delivered IDs %v, want [001 401]", ids)
+	}
+}
+
+func TestDisabledPortRejectsSend(t *testing.T) {
+	_, b, _ := newTestBus(t, Config{})
+	p := b.AttachPort("x")
+	p.Disable()
+	if err := p.Send(can.MustFrame(0x1, nil), false); !errors.Is(err, ErrPortDisabled) {
+		t.Errorf("got %v, want ErrPortDisabled", err)
+	}
+}
+
+func TestSendValidatesFrame(t *testing.T) {
+	_, b, _ := newTestBus(t, Config{})
+	p := b.AttachPort("x")
+	if err := p.Send(can.Frame{ID: 0x800}, false); !errors.Is(err, can.ErrIDRange) {
+		t.Errorf("got %v, want ErrIDRange", err)
+	}
+}
+
+func TestDominantGuardTripsOnZeroFlood(t *testing.T) {
+	sched, b, log := newTestBus(t, Config{
+		Guard: &DominantGuard{Threshold: 0x000, MaxConsecutive: 5},
+	})
+	atk := b.AttachPort("attacker")
+	// Keep re-sending ID 0 every time the mailbox drains.
+	refill := func() {
+		if !atk.Disabled() && !atk.Pending() {
+			_ = atk.Send(can.MustFrame(0x000, nil), true)
+		}
+	}
+	sched.Every(0, time.Millisecond, refill)
+	if err := sched.RunUntil(100 * time.Millisecond); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if !atk.Disabled() {
+		t.Fatal("guard should have disabled the all-zero flooder")
+	}
+	if atk.Stats().GuardTrips != 1 {
+		t.Errorf("GuardTrips = %d, want 1", atk.Stats().GuardTrips)
+	}
+	if len(*log) != 6 { // MaxConsecutive+1 frames made it out
+		t.Errorf("delivered %d frames, want 6", len(*log))
+	}
+}
+
+func TestDominantGuardSparedByRotatingIDs(t *testing.T) {
+	sched, b, log := newTestBus(t, Config{
+		Guard: &DominantGuard{Threshold: 0x000, MaxConsecutive: 5},
+	})
+	atk := b.AttachPort("attacker")
+	id := 0
+	sched.Every(0, time.Millisecond, func() {
+		if !atk.Pending() {
+			// Rotate among a handful of high-priority, non-zero IDs —
+			// the paper's smarter flooding strategy.
+			id = (id + 1) % 8
+			_ = atk.Send(can.MustFrame(can.ID(0x010+id), nil), true)
+		}
+	})
+	if err := sched.RunUntil(100 * time.Millisecond); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if atk.Disabled() {
+		t.Fatal("rotating-ID flooder should evade the dominant guard")
+	}
+	if len(*log) < 50 {
+		t.Errorf("expected sustained flooding, delivered only %d", len(*log))
+	}
+}
+
+func TestErrorModelRetransmitsAndCountsTEC(t *testing.T) {
+	sched, b, log := newTestBus(t, Config{
+		Errors: &ErrorModel{FrameErrorRate: 0.5, Rand: rand.New(rand.NewSource(1))},
+	})
+	p := b.AttachPort("ecu")
+	for i := 0; i < 50; i++ {
+		i := i
+		sched.At(time.Duration(i)*10*time.Millisecond, func() {
+			_ = p.Send(can.MustFrame(0x123, []byte{byte(i)}), false)
+		})
+	}
+	if err := sched.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := b.Stats()
+	if st.ErrorFrames == 0 {
+		t.Fatal("expected some error frames at 50% FER")
+	}
+	// Every frame eventually gets through (retransmission), unless the
+	// port went bus-off, which 50 frames at TEC +8/-1 cannot reach... it
+	// can: 32 consecutive errors reach 256. Check consistency instead.
+	if st.FramesDelivered+0 != len(*log) {
+		t.Errorf("stats/log mismatch: %d vs %d", st.FramesDelivered, len(*log))
+	}
+	if p.TEC() < 0 {
+		t.Error("TEC must be non-negative")
+	}
+}
+
+func TestBusOffAfterPersistentErrors(t *testing.T) {
+	sched, b, _ := newTestBus(t, Config{
+		Errors: &ErrorModel{FrameErrorRate: 1.0, Rand: rand.New(rand.NewSource(2))},
+	})
+	p := b.AttachPort("faulty")
+	if err := p.Send(can.MustFrame(0x123, nil), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if p.State() != BusOff || !p.Disabled() {
+		t.Errorf("state = %v, disabled = %v; want bus-off disabled", p.State(), p.Disabled())
+	}
+	// TEC climbed by 8 per error frame until the threshold.
+	if p.TEC() < busOffTEC {
+		t.Errorf("TEC = %d, want >= %d", p.TEC(), busOffTEC)
+	}
+}
+
+func TestNodeStateString(t *testing.T) {
+	if ErrorActive.String() != "error-active" || ErrorPassive.String() != "error-passive" ||
+		BusOff.String() != "bus-off" {
+		t.Error("unexpected NodeState strings")
+	}
+	if NodeState(0).String() != "NodeState(0)" {
+		t.Error("unknown state string")
+	}
+}
+
+func TestBusLoadAccounting(t *testing.T) {
+	sched, b, _ := newTestBus(t, Config{})
+	p := b.AttachPort("ecu")
+	f := can.MustFrame(0x123, make([]byte, 8))
+	// Saturate: refill whenever empty.
+	sched.Every(0, 500*time.Microsecond, func() {
+		if !p.Pending() {
+			_ = p.Send(f, false)
+		}
+	})
+	if err := sched.RunUntil(time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	// The last frame may straddle the deadline, so load can slightly
+	// exceed 1.0.
+	if load := b.Load(); load < 0.9 || load > 1.01 {
+		t.Errorf("saturated bus load = %v, want in [0.9, 1.01]", load)
+	}
+}
+
+func TestThroughputMatchesBitRate(t *testing.T) {
+	// At 125 kbit/s a saturated bus of 8-byte frames (~130 bits + IFS)
+	// carries roughly 900-950 frames per second.
+	sched, b, log := newTestBus(t, Config{})
+	p := b.AttachPort("ecu")
+	f := can.MustFrame(0x2AA, make([]byte, 8)) // alternating ID limits stuffing
+	sched.Every(0, 100*time.Microsecond, func() {
+		if !p.Pending() {
+			_ = p.Send(f, false)
+		}
+	})
+	if err := sched.RunUntil(time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	n := len(*log)
+	if n < 800 || n > 1100 {
+		t.Errorf("saturated throughput %d frames/s, want ~900", n)
+	}
+}
+
+func TestCollisionTie(t *testing.T) {
+	sched, b, log := newTestBus(t, Config{})
+	a := b.AttachPort("a")
+	c := b.AttachPort("c")
+	f := can.MustFrame(0x123, []byte{1})
+	if err := a.Send(f, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(f, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if b.Stats().Collisions != 1 {
+		t.Errorf("Collisions = %d, want 1", b.Stats().Collisions)
+	}
+	if len(*log) != 2 {
+		t.Errorf("both frames should still deliver, got %d", len(*log))
+	}
+}
+
+func TestInjectedFlagPropagates(t *testing.T) {
+	sched, b, log := newTestBus(t, Config{})
+	p := b.AttachPort("mal")
+	if err := p.Send(can.MustFrame(0x050, nil), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*log) != 1 || !(*log)[0].Injected {
+		t.Error("injected flag lost")
+	}
+}
+
+func TestFrameTimeScalesWithBitRate(t *testing.T) {
+	sched := sim.NewScheduler()
+	ms, err := New(sched, Config{BitRate: DefaultMSCANBitRate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := New(sched, Config{BitRate: HSCANBitRate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := can.MustFrame(0x123, make([]byte, 8))
+	if ms.FrameTime(f) != 4*hs.FrameTime(f) {
+		t.Errorf("125k frame time %v should be 4x the 500k time %v",
+			ms.FrameTime(f), hs.FrameTime(f))
+	}
+}

@@ -1,0 +1,244 @@
+package can
+
+import "fmt"
+
+// This file implements the bit-accurate physical-layer view of a classic
+// CAN frame: field layout, CRC insertion, and bit stuffing. The entropy
+// IDS itself only needs the identifier bits, but the bus simulator uses
+// the exact stuffed frame length to model bus occupancy and therefore
+// injection rates, and the codec doubles as a reference for tests.
+
+// appendBits appends the low `n` bits of v MSB-first as 0/1 bytes.
+func appendBits(dst []byte, v uint32, n int) []byte {
+	for i := n - 1; i >= 0; i-- {
+		dst = append(dst, byte(v>>i)&1)
+	}
+	return dst
+}
+
+// headerBits returns the frame bits from SOF through the end of the data
+// field — exactly the range covered by the CRC and by bit stuffing,
+// excluding the CRC itself.
+func (f Frame) headerBits() []byte {
+	bits := make([]byte, 0, 1+32+4+64)
+	bits = append(bits, 0) // SOF, dominant
+	if f.Extended {
+		bits = appendBits(bits, uint32(f.ID>>18)&0x7FF, 11) // base ID
+		bits = append(bits, 1)                              // SRR, recessive
+		bits = append(bits, 1)                              // IDE, recessive
+		bits = appendBits(bits, uint32(f.ID)&0x3FFFF, 18)   // ID extension
+		bits = append(bits, rtrBit(f.Remote))               // RTR
+		bits = append(bits, 0, 0)                           // r1, r0
+	} else {
+		bits = appendBits(bits, uint32(f.ID)&0x7FF, 11) // ID
+		bits = append(bits, rtrBit(f.Remote))           // RTR
+		bits = append(bits, 0)                          // IDE, dominant
+		bits = append(bits, 0)                          // r0
+	}
+	bits = appendBits(bits, uint32(f.Len), 4) // DLC
+	if !f.Remote {
+		for _, b := range f.Data[:f.Len] {
+			bits = appendBits(bits, uint32(b), 8)
+		}
+	}
+	return bits
+}
+
+func rtrBit(remote bool) byte {
+	if remote {
+		return 1
+	}
+	return 0
+}
+
+// Stuff inserts a complementary bit after every run of five identical
+// bits, per ISO 11898-1. Stuffing applies from SOF through the CRC
+// sequence.
+func Stuff(bits []byte) []byte {
+	out := make([]byte, 0, len(bits)+len(bits)/5+1)
+	run := 0
+	var last byte = 2 // sentinel: no previous bit
+	for _, b := range bits {
+		out = append(out, b)
+		if b == last {
+			run++
+		} else {
+			run = 1
+			last = b
+		}
+		if run == 5 {
+			stuffed := 1 - last
+			out = append(out, stuffed)
+			last = stuffed
+			run = 1
+		}
+	}
+	return out
+}
+
+// Destuff removes stuff bits, returning the logical bit sequence. It
+// returns ErrBadStuff if six identical consecutive bits appear (which on a
+// real bus signals an error frame).
+func Destuff(bits []byte) ([]byte, error) {
+	out := make([]byte, 0, len(bits))
+	run := 0
+	var last byte = 2
+	skip := false
+	for i, b := range bits {
+		if skip {
+			if b == last {
+				return nil, fmt.Errorf("%w: stuff bit at %d equals run bit", ErrBadStuff, i)
+			}
+			last = b
+			run = 1
+			skip = false
+			continue
+		}
+		out = append(out, b)
+		if b == last {
+			run++
+		} else {
+			run = 1
+			last = b
+		}
+		if run == 5 {
+			skip = true
+		}
+	}
+	return out, nil
+}
+
+// MarshalBits encodes the complete frame as transmitted on the wire,
+// including CRC, stuffing, CRC delimiter, ACK slot, ACK delimiter and the
+// 7-bit end-of-frame field. Bits are 0/1 bytes where 0 is dominant.
+// The ACK slot is encoded dominant (0), i.e. as observed on a bus with at
+// least one receiver.
+func (f Frame) MarshalBits() []byte {
+	header := f.headerBits()
+	crc := CRC15(header)
+	covered := appendBits(header, uint32(crc), 15)
+	wire := Stuff(covered)
+	wire = append(wire, 1)                   // CRC delimiter, recessive
+	wire = append(wire, 0)                   // ACK slot, dominant when acked
+	wire = append(wire, 1)                   // ACK delimiter
+	wire = append(wire, 1, 1, 1, 1, 1, 1, 1) // EOF
+	return wire
+}
+
+// BitLength returns the exact on-wire length in bits of the frame,
+// including stuff bits, CRC, delimiters, ACK and EOF (but not the 3-bit
+// interframe space).
+func (f Frame) BitLength() int { return len(f.MarshalBits()) }
+
+// InterframeSpaceBits is the mandatory idle gap between frames.
+const InterframeSpaceBits = 3
+
+// UnmarshalBits parses a wire bit sequence produced by MarshalBits back
+// into a frame, verifying stuffing, CRC and fixed-form fields.
+func UnmarshalBits(wire []byte) (Frame, error) {
+	var f Frame
+	// EOF + ACK delim + ACK slot + CRC delim = 10 trailing unstuffed bits.
+	if len(wire) < 10+1 {
+		return f, fmt.Errorf("%w: %d bits", ErrShortFrame, len(wire))
+	}
+	tail := wire[len(wire)-10:]
+	if tail[0] != 1 || tail[2] != 1 {
+		return f, fmt.Errorf("%w: CRC/ACK delimiter not recessive", ErrBadForm)
+	}
+	for _, b := range tail[3:] {
+		if b != 1 {
+			return f, fmt.Errorf("%w: EOF bit dominant", ErrBadForm)
+		}
+	}
+	logical, err := Destuff(wire[:len(wire)-10])
+	if err != nil {
+		return f, err
+	}
+	// Parse logical bits.
+	pos := 0
+	next := func(n int) (uint32, error) {
+		if pos+n > len(logical) {
+			return 0, fmt.Errorf("%w: want %d more bits at %d", ErrShortFrame, n, pos)
+		}
+		var v uint32
+		for i := 0; i < n; i++ {
+			v = v<<1 | uint32(logical[pos+i])
+		}
+		pos += n
+		return v, nil
+	}
+	sof, err := next(1)
+	if err != nil {
+		return f, err
+	}
+	if sof != 0 {
+		return f, fmt.Errorf("%w: SOF recessive", ErrBadForm)
+	}
+	base, err := next(11)
+	if err != nil {
+		return f, err
+	}
+	slot, err := next(1) // RTR (standard) or SRR (extended)
+	if err != nil {
+		return f, err
+	}
+	ide, err := next(1)
+	if err != nil {
+		return f, err
+	}
+	if ide == 1 {
+		f.Extended = true
+		ext, err := next(18)
+		if err != nil {
+			return f, err
+		}
+		rtr, err := next(1)
+		if err != nil {
+			return f, err
+		}
+		if _, err := next(2); err != nil { // r1, r0
+			return f, err
+		}
+		if slot != 1 {
+			return f, fmt.Errorf("%w: SRR dominant in extended frame", ErrBadForm)
+		}
+		f.ID = ID(base<<18 | ext)
+		f.Remote = rtr == 1
+	} else {
+		if _, err := next(1); err != nil { // r0
+			return f, err
+		}
+		f.ID = ID(base)
+		f.Remote = slot == 1
+	}
+	dlc, err := next(4)
+	if err != nil {
+		return f, err
+	}
+	if dlc > MaxDataLen {
+		return f, fmt.Errorf("%w: DLC=%d", ErrDataLen, dlc)
+	}
+	f.Len = uint8(dlc)
+	if !f.Remote {
+		for i := 0; i < int(dlc); i++ {
+			b, err := next(8)
+			if err != nil {
+				return f, err
+			}
+			f.Data[i] = byte(b)
+		}
+	}
+	crcEnd := pos
+	crc, err := next(15)
+	if err != nil {
+		return f, err
+	}
+	if pos != len(logical) {
+		return f, fmt.Errorf("%w: %d trailing logical bits", ErrBadForm, len(logical)-pos)
+	}
+	want := CRC15(logical[:crcEnd])
+	if uint16(crc) != want {
+		return f, fmt.Errorf("%w: got %#x want %#x", ErrBadCRC, crc, want)
+	}
+	return f, nil
+}

@@ -1,0 +1,215 @@
+// Package can models Controller Area Network (CAN 2.0) identifiers and
+// frames, including bit-accurate frame encoding (CRC-15, bit stuffing) so
+// that higher layers can reason about arbitration priority and on-wire
+// frame duration.
+//
+// Bit indexing convention: the paper ("An Entropy Analysis based Intrusion
+// Detection System for CAN", SOCC 2018) numbers identifier bits 1..11 from
+// the most significant bit — bit 1 is the first bit on the wire and the
+// most dominant position in arbitration. This package follows the same
+// MSB-first convention: ID.Bit(1) is the MSB.
+package can
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ID is a CAN identifier. Standard (CAN 2.0A) identifiers use 11 bits,
+// extended (CAN 2.0B) identifiers use 29 bits. Lower numeric values are
+// higher priority: a dominant 0 on the wire beats a recessive 1 during
+// arbitration.
+type ID uint32
+
+const (
+	// MaxStandardID is the largest valid 11-bit identifier.
+	MaxStandardID ID = 0x7FF
+	// MaxExtendedID is the largest valid 29-bit identifier.
+	MaxExtendedID ID = 0x1FFFFFFF
+
+	// StandardIDBits is the width of a CAN 2.0A identifier.
+	StandardIDBits = 11
+	// ExtendedIDBits is the width of a CAN 2.0B identifier.
+	ExtendedIDBits = 29
+
+	// MaxDataLen is the maximum payload length of a classic CAN frame.
+	MaxDataLen = 8
+
+	// IDSpaceStandard is the number of distinct standard identifiers.
+	IDSpaceStandard = 1 << StandardIDBits
+)
+
+// Errors returned by frame validation and decoding.
+var (
+	ErrIDRange    = errors.New("can: identifier out of range")
+	ErrDataLen    = errors.New("can: data length exceeds 8 bytes")
+	ErrBadCRC     = errors.New("can: CRC mismatch")
+	ErrBadStuff   = errors.New("can: bit stuffing violation")
+	ErrShortFrame = errors.New("can: truncated frame bitstream")
+	ErrBadForm    = errors.New("can: fixed-form field violation")
+)
+
+// Bit returns bit i of the identifier using the paper's 1-based MSB-first
+// numbering over the given width: Bit(1, 11) is the MSB of an 11-bit ID.
+// It panics if i is outside [1, width].
+func (id ID) Bit(i, width int) int {
+	if i < 1 || i > width {
+		panic(fmt.Sprintf("can: bit index %d out of range [1,%d]", i, width))
+	}
+	return int(id>>(width-i)) & 1
+}
+
+// Valid reports whether the identifier fits the given width (11 or 29).
+func (id ID) Valid(extended bool) bool {
+	if extended {
+		return id <= MaxExtendedID
+	}
+	return id <= MaxStandardID
+}
+
+// Priority returns the identifier's arbitration rank: smaller means the ID
+// wins arbitration earlier. For identifiers of equal width this is just
+// the numeric value.
+func (id ID) Priority() uint32 { return uint32(id) }
+
+// String formats the identifier in the conventional hex form, three digits
+// for a standard ID (width<=11 assumed unless the value needs more).
+func (id ID) String() string {
+	if id <= MaxStandardID {
+		return fmt.Sprintf("%03X", uint32(id))
+	}
+	return fmt.Sprintf("%08X", uint32(id))
+}
+
+// Frame is a classic CAN data or remote frame.
+//
+// The zero value is a valid data frame with ID 0 and no payload.
+type Frame struct {
+	// ID is the identifier; 11 bits unless Extended is set.
+	ID ID
+	// Extended selects the 29-bit CAN 2.0B format.
+	Extended bool
+	// Remote marks a remote transmission request (no data field).
+	Remote bool
+	// Len is the number of valid bytes in Data (the DLC), 0..8.
+	Len uint8
+	// Data is the payload; only the first Len bytes are meaningful.
+	Data [MaxDataLen]byte
+}
+
+// NewFrame builds a standard data frame and validates it.
+func NewFrame(id ID, data []byte) (Frame, error) {
+	var f Frame
+	if len(data) > MaxDataLen {
+		return f, fmt.Errorf("%w: %d", ErrDataLen, len(data))
+	}
+	f.ID = id
+	f.Len = uint8(len(data))
+	copy(f.Data[:], data)
+	if err := f.Validate(); err != nil {
+		return Frame{}, err
+	}
+	return f, nil
+}
+
+// MustFrame is like NewFrame but panics on error. It is intended for
+// tests and static tables.
+func MustFrame(id ID, data []byte) Frame {
+	f, err := NewFrame(id, data)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Validate checks identifier range and payload length.
+func (f Frame) Validate() error {
+	if !f.ID.Valid(f.Extended) {
+		return fmt.Errorf("%w: %#x (extended=%v)", ErrIDRange, uint32(f.ID), f.Extended)
+	}
+	if f.Len > MaxDataLen {
+		return fmt.Errorf("%w: DLC=%d", ErrDataLen, f.Len)
+	}
+	return nil
+}
+
+// Payload returns the valid portion of the data field. The returned slice
+// aliases the frame's array; callers must copy before mutating.
+func (f *Frame) Payload() []byte { return f.Data[:f.Len] }
+
+// SetData copies data into the frame and updates Len.
+func (f *Frame) SetData(data []byte) error {
+	if len(data) > MaxDataLen {
+		return fmt.Errorf("%w: %d", ErrDataLen, len(data))
+	}
+	f.Data = [MaxDataLen]byte{}
+	copy(f.Data[:], data)
+	f.Len = uint8(len(data))
+	return nil
+}
+
+// IDWidth returns the identifier width in bits (11 or 29).
+func (f Frame) IDWidth() int {
+	if f.Extended {
+		return ExtendedIDBits
+	}
+	return StandardIDBits
+}
+
+// Equal reports whether two frames are identical including payload bytes
+// beyond Len being ignored.
+func (f Frame) Equal(g Frame) bool {
+	if f.ID != g.ID || f.Extended != g.Extended || f.Remote != g.Remote || f.Len != g.Len {
+		return false
+	}
+	for i := 0; i < int(f.Len); i++ {
+		if f.Data[i] != g.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the frame in candump-like notation, e.g. "123#DEADBEEF"
+// or "123#R" for remote frames.
+func (f Frame) String() string {
+	if f.Remote {
+		return fmt.Sprintf("%s#R", f.ID)
+	}
+	return fmt.Sprintf("%s#%X", f.ID, f.Data[:f.Len])
+}
+
+// ArbitrationKey returns a sortable key such that the frame that wins
+// bitwise arbitration has the strictly smallest key among frames of the
+// same start instant. It captures the CAN rule set:
+//
+//   - lower identifier beats higher identifier (dominant 0 wins);
+//   - for the same 11-bit base identifier, a standard data frame beats a
+//     standard remote frame (RTR recessive), and any standard frame beats
+//     an extended frame with the same base (SRR/IDE recessive);
+//   - between two extended frames with the same base, the lower extension
+//     wins, then data beats remote.
+//
+// The key packs, MSB-first: base11, RTR/SRR slot, IDE, ext18, RTR.
+func (f Frame) ArbitrationKey() uint64 {
+	var base, ext uint64
+	var srr, ide, rtr uint64
+	if f.Extended {
+		base = uint64(f.ID>>18) & 0x7FF
+		ext = uint64(f.ID) & 0x3FFFF
+		srr = 1 // SRR is always recessive
+		ide = 1
+		if f.Remote {
+			rtr = 1
+		}
+	} else {
+		base = uint64(f.ID) & 0x7FF
+		ext = 0
+		ide = 0
+		if f.Remote {
+			srr = 1 // RTR bit occupies this slot in the base format
+		}
+		rtr = 0
+	}
+	return base<<21 | srr<<20 | ide<<19 | ext<<1 | rtr
+}

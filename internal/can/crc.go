@@ -1,0 +1,28 @@
+package can
+
+// CRC-15/CAN as specified by ISO 11898-1: polynomial
+// x^15 + x^14 + x^10 + x^8 + x^7 + x^4 + x^3 + 1 (0x4599), initial value 0,
+// no reflection, no final XOR. The checksum covers every transmitted bit
+// from the start-of-frame bit through the end of the data field, before
+// bit stuffing.
+
+const crcPoly = 0x4599
+
+// crc15Update advances the CRC register by a single bit (0 or 1).
+func crc15Update(crc uint16, bit int) uint16 {
+	crcNext := bit ^ int(crc>>14)&1
+	crc = (crc << 1) & 0x7FFF
+	if crcNext != 0 {
+		crc ^= crcPoly
+	}
+	return crc
+}
+
+// CRC15 computes the CAN CRC over a sequence of bits given as 0/1 bytes.
+func CRC15(bits []byte) uint16 {
+	var crc uint16
+	for _, b := range bits {
+		crc = crc15Update(crc, int(b&1))
+	}
+	return crc
+}

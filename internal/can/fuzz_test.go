@@ -1,0 +1,77 @@
+package can
+
+import (
+	"testing"
+)
+
+// Fuzz targets guard the parsers against malformed input: they must
+// return errors, never panic, and accepted inputs must round-trip.
+
+func FuzzParseFrame(f *testing.F) {
+	for _, seed := range []string{
+		"123#DEADBEEF", "7FF#", "000#00", "123#R", "123#R8",
+		"18FF0102#0102030405060708", "#", "123", "XYZ#00", "123#G",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		fr, err := ParseFrame(s)
+		if err != nil {
+			return
+		}
+		if err := fr.Validate(); err != nil {
+			t.Fatalf("ParseFrame(%q) accepted an invalid frame: %v", s, err)
+		}
+		// Accepted frames must survive the binary codec.
+		buf, err := fr.MarshalBinary()
+		if err != nil {
+			t.Fatalf("MarshalBinary of parsed frame: %v", err)
+		}
+		var back Frame
+		if err := back.UnmarshalBinary(buf); err != nil {
+			t.Fatalf("UnmarshalBinary round trip: %v", err)
+		}
+		if !fr.Equal(back) {
+			t.Fatalf("round trip mismatch: %v vs %v", fr, back)
+		}
+	})
+}
+
+func FuzzUnmarshalBinary(f *testing.F) {
+	good, _ := MustFrame(0x123, []byte{1, 2, 3}).MarshalBinary()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fr Frame
+		if err := fr.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if err := fr.Validate(); err != nil {
+			t.Fatalf("UnmarshalBinary accepted invalid frame: %v", err)
+		}
+	})
+}
+
+func FuzzUnmarshalBits(f *testing.F) {
+	f.Add(MustFrame(0x2A4, []byte{1, 2, 3, 4}).MarshalBits())
+	f.Add(make([]byte, 50))
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		for i := range wire {
+			wire[i] &= 1
+		}
+		fr, err := UnmarshalBits(wire)
+		if err != nil {
+			return
+		}
+		// Anything accepted must re-encode to a valid frame of the same
+		// content (the wire form itself is canonical).
+		back, err := UnmarshalBits(fr.MarshalBits())
+		if err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		if !fr.Equal(back) {
+			t.Fatalf("canonical round trip mismatch: %v vs %v", fr, back)
+		}
+	})
+}

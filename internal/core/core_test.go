@@ -1,0 +1,433 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"canids/internal/can"
+	"canids/internal/sim"
+	"canids/internal/trace"
+)
+
+// syntheticWindow builds a 1s window of periodic traffic drawn from a
+// fixed ID mix. Each ID's n frames are spread periodically across the
+// window (as real CAN schedules are), with tiny per-window count
+// perturbation driven by seed, so both tumbling and sliding windows see
+// a stationary mix.
+func syntheticWindow(start time.Duration, seed int64, extra map[can.ID]int) trace.Trace {
+	mix := []struct {
+		id can.ID
+		n  int
+	}{
+		{0x0A0, 100}, {0x123, 50}, {0x250, 50}, {0x333, 25},
+		{0x401, 20}, {0x555, 10}, {0x600, 5}, {0x7A0, 5},
+	}
+	rng := sim.NewRand(seed)
+	var w trace.Trace
+	periodic := func(id can.ID, n int, injected bool) {
+		if n <= 0 {
+			return
+		}
+		period := time.Second / time.Duration(n)
+		phase := time.Duration(rng.Int63n(int64(period)))
+		for i := 0; i < n; i++ {
+			w = append(w, trace.Record{
+				Time:     start + phase + time.Duration(i)*period,
+				Frame:    can.Frame{ID: id},
+				Injected: injected,
+			})
+		}
+	}
+	for _, m := range mix {
+		// ±1 frame of boundary jitter.
+		periodic(m.id, m.n+rng.Intn(3)-1, false)
+	}
+	for id, n := range extra {
+		periodic(id, n, true)
+	}
+	w.Sort()
+	return w
+}
+
+func trainWindows(n int) []trace.Trace {
+	var ws []trace.Trace
+	for i := 0; i < n; i++ {
+		ws = append(ws, syntheticWindow(time.Duration(i)*time.Second, int64(i+1), nil))
+	}
+	return ws
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Alpha != 5 {
+		t.Errorf("Alpha = %v, want 5 (paper)", cfg.Alpha)
+	}
+	if cfg.Window != time.Second {
+		t.Errorf("Window = %v, want 1s (paper)", cfg.Window)
+	}
+	if cfg.Width != 11 {
+		t.Errorf("Width = %v, want 11", cfg.Width)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Alpha: 0, Window: time.Second, Width: 11},
+		{Alpha: 5, Window: 0, Width: 11},
+		{Alpha: 5, Window: time.Second, Width: 0},
+		{Alpha: 5, Window: time.Second, Width: 64},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d should fail validation", i)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with bad config did not panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestBuildTemplate(t *testing.T) {
+	tmpl, err := BuildTemplate(trainWindows(35), 11, 10)
+	if err != nil {
+		t.Fatalf("BuildTemplate: %v", err)
+	}
+	if tmpl.Windows != 35 {
+		t.Errorf("Windows = %d, want 35", tmpl.Windows)
+	}
+	for i := 1; i <= 11; i++ {
+		if tmpl.Range(i) < 0 {
+			t.Errorf("bit %d: negative range", i)
+		}
+		if tmpl.MeanH[i-1] < 0 || tmpl.MeanH[i-1] > 1 {
+			t.Errorf("bit %d: mean entropy %v outside [0,1]", i, tmpl.MeanH[i-1])
+		}
+		if tmpl.MinH[i-1] > tmpl.MeanH[i-1]+1e-12 || tmpl.MaxH[i-1] < tmpl.MeanH[i-1]-1e-12 {
+			t.Errorf("bit %d: mean outside [min,max]", i)
+		}
+	}
+	// Stationary traffic ⇒ small spread.
+	if tmpl.MaxRange() > 0.2 {
+		t.Errorf("MaxRange = %v; training windows should be stable", tmpl.MaxRange())
+	}
+}
+
+func TestBuildTemplateErrors(t *testing.T) {
+	if _, err := BuildTemplate(nil, 11, 10); !errors.Is(err, ErrNoWindows) {
+		t.Errorf("no windows: got %v", err)
+	}
+	// All windows below MinFrames.
+	small := []trace.Trace{{{Frame: can.Frame{ID: 1}}}}
+	if _, err := BuildTemplate(small, 11, 10); !errors.Is(err, ErrNoWindows) {
+		t.Errorf("sparse windows: got %v", err)
+	}
+	if _, err := BuildTemplate(trainWindows(3), 0, 1); err == nil {
+		t.Error("bad width should fail")
+	}
+}
+
+func TestTemplateSaveLoadRoundTrip(t *testing.T) {
+	tmpl, err := BuildTemplate(trainWindows(5), 11, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tmpl.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := LoadTemplate(&buf)
+	if err != nil {
+		t.Fatalf("LoadTemplate: %v", err)
+	}
+	if got.Windows != tmpl.Windows || got.Width != tmpl.Width {
+		t.Error("metadata not preserved")
+	}
+	for i := range tmpl.MeanH {
+		if math.Abs(got.MeanH[i]-tmpl.MeanH[i]) > 1e-15 {
+			t.Errorf("MeanH[%d] differs after round trip", i)
+		}
+	}
+}
+
+func TestLoadTemplateRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"width": 11, "windows": 1, "mean_h": [0.5], "min_h": [], "max_h": [], "mean_p": []}`,
+		`{"width": 0}`,
+	}
+	for _, s := range cases {
+		if _, err := LoadTemplate(strings.NewReader(s)); err == nil {
+			t.Errorf("LoadTemplate(%q) succeeded", s)
+		}
+	}
+}
+
+func TestDetectorUntrainedEmitsNothing(t *testing.T) {
+	d := MustNew(DefaultConfig())
+	w := syntheticWindow(0, 1, map[can.ID]int{0x001: 200})
+	var alerts int
+	for _, r := range w {
+		alerts += len(d.Observe(r))
+	}
+	alerts += len(d.Flush())
+	if alerts != 0 {
+		t.Error("untrained detector must not alert")
+	}
+	if _, err := d.Template(); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("Template on untrained: got %v", err)
+	}
+}
+
+func TestDetectorCleanTrafficNoAlerts(t *testing.T) {
+	d := MustNew(DefaultConfig())
+	if err := d.Train(trainWindows(35)); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	var alerts []string
+	for i := 0; i < 10; i++ {
+		w := syntheticWindow(time.Duration(i)*time.Second, int64(100+i), nil)
+		for _, r := range w {
+			for _, a := range d.Observe(r) {
+				alerts = append(alerts, a.String())
+			}
+		}
+	}
+	for _, a := range d.Flush() {
+		alerts = append(alerts, a.String())
+	}
+	if len(alerts) != 0 {
+		t.Errorf("clean traffic raised %d alerts: %v", len(alerts), alerts)
+	}
+}
+
+func TestDetectorDetectsHighPriorityInjection(t *testing.T) {
+	d := MustNew(DefaultConfig())
+	if err := d.Train(trainWindows(35)); err != nil {
+		t.Fatal(err)
+	}
+	// Inject 100 frames of ID 0x001 into one second: a strong single-ID
+	// attack that shifts every bit's probability toward 0.
+	w := syntheticWindow(0, 999, map[can.ID]int{0x001: 100})
+	var alerts []struct{ a string }
+	var got *string
+	for _, r := range w {
+		for _, a := range d.Observe(r) {
+			s := a.String()
+			alerts = append(alerts, struct{ a string }{s})
+			got = &s
+		}
+	}
+	for _, a := range d.Flush() {
+		s := a.String()
+		alerts = append(alerts, struct{ a string }{s})
+		got = &s
+	}
+	if len(alerts) == 0 {
+		t.Fatal("injection not detected")
+	}
+	_ = got
+}
+
+func TestAlertCarriesDirectionalDeltaP(t *testing.T) {
+	d := MustNew(DefaultConfig())
+	if err := d.Train(trainWindows(35)); err != nil {
+		t.Fatal(err)
+	}
+	// Inject an ID with MSB=0 (0x050): bits that are 0 in the injected
+	// ID should see DeltaP < 0 where they deviate.
+	w := syntheticWindow(0, 999, map[can.ID]int{0x050: 150})
+	var alert *struct {
+		bits []struct {
+			bit      int
+			deltaP   float64
+			violated bool
+		}
+	}
+	handle := func(as []struct {
+		bit      int
+		deltaP   float64
+		violated bool
+	}) {
+		alert = &struct {
+			bits []struct {
+				bit      int
+				deltaP   float64
+				violated bool
+			}
+		}{as}
+	}
+	feed := func(rs trace.Trace) {
+		for _, r := range rs {
+			for _, a := range d.Observe(r) {
+				var bs []struct {
+					bit      int
+					deltaP   float64
+					violated bool
+				}
+				for _, b := range a.Bits {
+					bs = append(bs, struct {
+						bit      int
+						deltaP   float64
+						violated bool
+					}{b.Bit, b.DeltaP, b.Violated})
+				}
+				handle(bs)
+			}
+		}
+		for _, a := range d.Flush() {
+			var bs []struct {
+				bit      int
+				deltaP   float64
+				violated bool
+			}
+			for _, b := range a.Bits {
+				bs = append(bs, struct {
+					bit      int
+					deltaP   float64
+					violated bool
+				}{b.Bit, b.DeltaP, b.Violated})
+			}
+			handle(bs)
+		}
+	}
+	feed(w)
+	if alert == nil {
+		t.Fatal("no alert raised")
+	}
+	if len(alert.bits) != 11 {
+		t.Fatalf("alert carries %d bits, want 11", len(alert.bits))
+	}
+	// Injected ID 0x050 = 00001010000b. Bit 1 (MSB) is 0, and the mix
+	// has IDs with MSB 1, so p_1 must drop: DeltaP < 0.
+	if alert.bits[0].deltaP >= 0 {
+		t.Errorf("bit 1 DeltaP = %v, want negative (injected MSB=0)", alert.bits[0].deltaP)
+	}
+	// Bit 5 of 0x050 is 1 (0x050>>6 & 1 == 1): p_5 should rise.
+	if alert.bits[4].deltaP <= 0 {
+		t.Errorf("bit 5 DeltaP = %v, want positive (injected bit=1)", alert.bits[4].deltaP)
+	}
+}
+
+func TestDetectorWindowBoundaries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinFrames = 1
+	d := MustNew(cfg)
+	if err := d.Train(trainWindows(35)); err != nil {
+		t.Fatal(err)
+	}
+	var windows []int
+	d.OnWindow(func(_ time.Duration, m WindowMeasurement) { windows = append(windows, m.Frames) })
+	// Three frames in window 0, then one frame three windows later.
+	recs := trace.Trace{
+		{Time: 100 * time.Millisecond, Frame: can.Frame{ID: 0x100}},
+		{Time: 200 * time.Millisecond, Frame: can.Frame{ID: 0x100}},
+		{Time: 900 * time.Millisecond, Frame: can.Frame{ID: 0x100}},
+		{Time: 3500 * time.Millisecond, Frame: can.Frame{ID: 0x100}},
+	}
+	for _, r := range recs {
+		d.Observe(r)
+	}
+	d.Flush()
+	if len(windows) != 2 {
+		t.Fatalf("scored %d windows, want 2 (empty windows skipped)", len(windows))
+	}
+	if windows[0] != 3 || windows[1] != 1 {
+		t.Errorf("window frame counts %v, want [3 1]", windows)
+	}
+}
+
+func TestDetectorResetReplays(t *testing.T) {
+	d := MustNew(DefaultConfig())
+	if err := d.Train(trainWindows(35)); err != nil {
+		t.Fatal(err)
+	}
+	run := func() int {
+		n := 0
+		w := syntheticWindow(0, 999, map[can.ID]int{0x001: 100})
+		for _, r := range w {
+			n += len(d.Observe(r))
+		}
+		n += len(d.Flush())
+		return n
+	}
+	first := run()
+	d.Reset()
+	second := run()
+	if first != second {
+		t.Errorf("replay after Reset differs: %d vs %d", first, second)
+	}
+	if first == 0 {
+		t.Error("expected detection")
+	}
+}
+
+func TestSetTemplateWidthMismatch(t *testing.T) {
+	d := MustNew(DefaultConfig())
+	tmpl := Template{Width: 29}
+	if err := d.SetTemplate(tmpl); !errors.Is(err, ErrWidthMismatch) {
+		t.Errorf("got %v, want ErrWidthMismatch", err)
+	}
+}
+
+func TestThresholdFloor(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinThreshold = 0.01
+	d := MustNew(cfg)
+	// Degenerate template: zero range everywhere.
+	tmpl := Template{
+		Width: 11, Windows: 1,
+		MeanH: make([]float64, 11), MinH: make([]float64, 11),
+		MaxH: make([]float64, 11), MeanP: make([]float64, 11),
+	}
+	if err := d.SetTemplate(tmpl); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 11; i++ {
+		if th := d.Threshold(i); th != 0.01 {
+			t.Errorf("Threshold(%d) = %v, want floor 0.01", i, th)
+		}
+	}
+}
+
+func TestStateBytesConstantInTraffic(t *testing.T) {
+	d := MustNew(DefaultConfig())
+	if err := d.Train(trainWindows(35)); err != nil {
+		t.Fatal(err)
+	}
+	before := d.StateBytes()
+	for i := 0; i < 5; i++ {
+		w := syntheticWindow(time.Duration(i)*time.Second, int64(i), nil)
+		for _, r := range w {
+			d.Observe(r)
+		}
+	}
+	if d.StateBytes() != before {
+		t.Error("detector state must not grow with traffic")
+	}
+}
+
+func TestMeasureWindow(t *testing.T) {
+	w := trace.Trace{
+		{Frame: can.Frame{ID: 0x7FF}},
+		{Frame: can.Frame{ID: 0x000}},
+	}
+	m := MeasureWindow(w, 11)
+	if m.Frames != 2 {
+		t.Errorf("Frames = %d", m.Frames)
+	}
+	for i := 0; i < 11; i++ {
+		if m.P[i] != 0.5 || math.Abs(m.H[i]-1) > 1e-12 {
+			t.Errorf("bit %d: P=%v H=%v, want 0.5/1", i+1, m.P[i], m.H[i])
+		}
+	}
+}

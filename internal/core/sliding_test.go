@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"canids/internal/can"
+	"canids/internal/detect"
+	"canids/internal/trace"
+)
+
+func newTrainedSliding(t *testing.T, cfg SlidingConfig) *SlidingDetector {
+	t.Helper()
+	d, err := NewSliding(cfg)
+	if err != nil {
+		t.Fatalf("NewSliding: %v", err)
+	}
+	if err := d.Train(trainWindows(35)); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return d
+}
+
+func feedSliding(d detect.Detector, tr trace.Trace) []detect.Alert {
+	var alerts []detect.Alert
+	for _, r := range tr {
+		alerts = append(alerts, d.Observe(r)...)
+	}
+	return append(alerts, d.Flush()...)
+}
+
+func TestNewSlidingValidation(t *testing.T) {
+	if _, err := NewSliding(SlidingConfig{}); err == nil {
+		t.Error("zero base config should fail")
+	}
+	cfg := DefaultSlidingConfig()
+	cfg.Stride = -time.Second
+	if _, err := NewSliding(cfg); err == nil {
+		t.Error("negative stride should fail")
+	}
+}
+
+func TestSlidingDefaults(t *testing.T) {
+	d, err := NewSliding(DefaultSlidingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.cfg.Stride != 100*time.Millisecond {
+		t.Errorf("default stride = %v, want window/10", d.cfg.Stride)
+	}
+	if d.cfg.Cooldown != time.Second {
+		t.Errorf("default cooldown = %v, want window", d.cfg.Cooldown)
+	}
+	if d.Name() != SlidingDetectorName {
+		t.Errorf("Name = %q", d.Name())
+	}
+}
+
+func TestSlidingCleanTrafficSilent(t *testing.T) {
+	d := newTrainedSliding(t, DefaultSlidingConfig())
+	var tr trace.Trace
+	for i := 0; i < 10; i++ {
+		tr = append(tr, syntheticWindow(time.Duration(i)*time.Second, int64(200+i), nil)...)
+	}
+	if alerts := feedSliding(d, tr); len(alerts) != 0 {
+		t.Errorf("clean traffic raised %d alerts", len(alerts))
+	}
+}
+
+func TestSlidingDetectsInjection(t *testing.T) {
+	d := newTrainedSliding(t, DefaultSlidingConfig())
+	var tr trace.Trace
+	tr = append(tr, syntheticWindow(0, 300, nil)...)
+	tr = append(tr, syntheticWindow(time.Second, 301, map[can.ID]int{0x001: 120})...)
+	tr = append(tr, syntheticWindow(2*time.Second, 302, map[can.ID]int{0x001: 120})...)
+	alerts := feedSliding(d, tr)
+	if len(alerts) == 0 {
+		t.Fatal("sliding detector missed a strong injection")
+	}
+	if alerts[0].Detector != SlidingDetectorName {
+		t.Errorf("detector name %q", alerts[0].Detector)
+	}
+	if len(alerts[0].ViolatedBits()) == 0 {
+		t.Error("alert carries no violated bits")
+	}
+}
+
+func TestSlidingReactsFasterThanTumbling(t *testing.T) {
+	// Attack starts mid-window: the tumbling detector cannot alert
+	// before its window closes, the sliding detector can.
+	mk := func() trace.Trace {
+		var tr trace.Trace
+		tr = append(tr, syntheticWindow(0, 310, nil)...)
+		tr = append(tr, syntheticWindow(time.Second, 311, nil)...)
+		// Dense burst of a dominant ID starting at t=2.0s.
+		burst := syntheticWindow(2*time.Second, 312, map[can.ID]int{0x001: 200})
+		tr = append(tr, burst...)
+		return tr
+	}
+	attackStart := 2 * time.Second
+
+	tumbling := MustNew(DefaultConfig())
+	if err := tumbling.Train(trainWindows(35)); err != nil {
+		t.Fatal(err)
+	}
+	sliding := newTrainedSliding(t, DefaultSlidingConfig())
+
+	firstAlert := func(d detect.Detector) time.Duration {
+		for _, r := range mk() {
+			if as := d.Observe(r); len(as) > 0 {
+				return r.Time
+			}
+		}
+		if as := d.Flush(); len(as) > 0 {
+			return 3 * time.Second
+		}
+		return -1
+	}
+	tumblingAt := firstAlert(tumbling)
+	slidingAt := firstAlert(sliding)
+	if tumblingAt < 0 || slidingAt < 0 {
+		t.Fatalf("detection missing: tumbling %v sliding %v", tumblingAt, slidingAt)
+	}
+	if slidingAt >= tumblingAt {
+		t.Errorf("sliding alert at %v not earlier than tumbling %v", slidingAt, tumblingAt)
+	}
+	if slidingAt-attackStart > 700*time.Millisecond {
+		t.Errorf("sliding reaction %v too slow", slidingAt-attackStart)
+	}
+}
+
+func TestSlidingCooldownSuppressesRepeats(t *testing.T) {
+	cfg := DefaultSlidingConfig()
+	cfg.Cooldown = 10 * time.Second
+	d := newTrainedSliding(t, cfg)
+	var tr trace.Trace
+	for i := 0; i < 5; i++ {
+		tr = append(tr, syntheticWindow(time.Duration(i)*time.Second, int64(320+i),
+			map[can.ID]int{0x001: 150})...)
+	}
+	alerts := feedSliding(d, tr)
+	if len(alerts) != 1 {
+		t.Errorf("cooldown: got %d alerts, want 1", len(alerts))
+	}
+}
+
+func TestSlidingResetReplays(t *testing.T) {
+	d := newTrainedSliding(t, DefaultSlidingConfig())
+	tr := syntheticWindow(0, 330, map[can.ID]int{0x001: 150})
+	a := len(feedSliding(d, tr))
+	d.Reset()
+	b := len(feedSliding(d, tr))
+	if a != b {
+		t.Errorf("replay after Reset differs: %d vs %d", a, b)
+	}
+}
+
+func TestSlidingStateBounded(t *testing.T) {
+	d := newTrainedSliding(t, DefaultSlidingConfig())
+	var peak int
+	for i := 0; i < 30; i++ {
+		for _, r := range syntheticWindow(time.Duration(i)*time.Second, int64(340+i), nil) {
+			d.Observe(r)
+		}
+		if s := d.StateBytes(); s > peak {
+			peak = s
+		}
+	}
+	// The deque holds at most ~one window of frames (~270 synthetic
+	// frames * 12B) plus counters; it must not grow with total traffic.
+	if peak > 64*1024 {
+		t.Errorf("sliding state peaked at %dB; deque not bounded", peak)
+	}
+}
+
+func TestSlidingMasksWideIDs(t *testing.T) {
+	d := newTrainedSliding(t, DefaultSlidingConfig())
+	// Extended IDs masked to 11 bits must not panic the incremental
+	// Remove path.
+	var tr trace.Trace
+	for i := 0; i < 3000; i++ {
+		tr = append(tr, trace.Record{
+			Time:  time.Duration(i) * time.Millisecond,
+			Frame: can.Frame{ID: can.ID(0x1FFFF000 + i), Extended: true},
+		})
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on wide IDs: %v", r)
+			}
+		}()
+		feedSliding(d, tr)
+	}()
+}
+
+func TestSlidingSetTemplate(t *testing.T) {
+	d, err := NewSliding(DefaultSlidingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetTemplate(Template{Width: 29}); err == nil {
+		t.Error("width mismatch should fail")
+	}
+	tmpl, err := BuildTemplate(trainWindows(5), 11, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetTemplate(tmpl); err != nil {
+		t.Errorf("SetTemplate: %v", err)
+	}
+}

@@ -1,0 +1,58 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestViolatedBits(t *testing.T) {
+	a := Alert{
+		Bits: []BitDeviation{
+			{Bit: 1, Violated: false},
+			{Bit: 6, Violated: true},
+			{Bit: 7, Violated: true},
+			{Bit: 11, Violated: true},
+		},
+	}
+	v := a.ViolatedBits()
+	if len(v) != 3 {
+		t.Fatalf("ViolatedBits = %d, want 3", len(v))
+	}
+	if v[0].Bit != 6 || v[1].Bit != 7 || v[2].Bit != 11 {
+		t.Errorf("violated bits %v", v)
+	}
+}
+
+func TestViolatedBitsEmpty(t *testing.T) {
+	if got := (Alert{}).ViolatedBits(); got != nil {
+		t.Errorf("empty alert ViolatedBits = %v, want nil", got)
+	}
+}
+
+func TestAlertString(t *testing.T) {
+	a := Alert{
+		Detector:    "bit-entropy",
+		WindowStart: time.Second,
+		WindowEnd:   2 * time.Second,
+		Score:       3.25,
+		Detail:      "2/11 bits deviated",
+		Bits: []BitDeviation{
+			{Bit: 6, Violated: true},
+			{Bit: 7, Violated: true},
+		},
+	}
+	s := a.String()
+	for _, want := range []string{"bit-entropy", "1s..2s", "score=3.250", "bits=6,7", "2/11 bits deviated"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestAlertStringMinimal(t *testing.T) {
+	s := Alert{Detector: "x"}.String()
+	if strings.Contains(s, "bits=") || strings.Contains(s, "(") {
+		t.Errorf("minimal alert string has extra parts: %q", s)
+	}
+}

@@ -1,0 +1,182 @@
+// Package entropy implements the information-theoretic primitives of the
+// paper: per-bit Bernoulli ("binary") entropy over CAN identifier bits,
+// maintained by constant-memory bit-slice counters, plus the
+// message-level Shannon entropy used by the Müter & Asaj baseline.
+//
+// The paper's key cost argument is embodied in BitCounter: regardless of
+// how many distinct identifiers appear on the bus, the detector state is
+// one counter per identifier bit (11 for CAN 2.0A), while message-level
+// entropy needs a count per distinct identifier.
+package entropy
+
+import (
+	"fmt"
+	"math"
+
+	"canids/internal/can"
+)
+
+// Binary returns the entropy in bits (shannons) of a Bernoulli variable
+// with success probability p: H(p) = -p·log2(p) - (1-p)·log2(1-p).
+// By the usual convention 0·log2(0) = 0, so Binary(0) = Binary(1) = 0.
+// Inputs outside [0,1] are clamped.
+func Binary(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// BitCounter accumulates, for each identifier bit position, the number of
+// observed frames in which that bit was 1. It is the constant-memory
+// detector state: width counters plus a total, independent of how many
+// distinct identifiers exist.
+//
+// Bit positions follow the paper's 1-based MSB-first convention.
+type BitCounter struct {
+	width int
+	total uint64
+	ones  []uint64
+}
+
+// NewBitCounter creates a counter for identifiers of the given bit width
+// (can.StandardIDBits or can.ExtendedIDBits; any width in [1,32] works).
+func NewBitCounter(width int) (*BitCounter, error) {
+	if width < 1 || width > 32 {
+		return nil, fmt.Errorf("entropy: invalid ID width %d", width)
+	}
+	return &BitCounter{width: width, ones: make([]uint64, width)}, nil
+}
+
+// MustBitCounter is NewBitCounter that panics on error, for static
+// configuration.
+func MustBitCounter(width int) *BitCounter {
+	c, err := NewBitCounter(width)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Width returns the identifier width in bits.
+func (c *BitCounter) Width() int { return c.width }
+
+// Total returns the number of identifiers observed.
+func (c *BitCounter) Total() uint64 { return c.total }
+
+// Add folds one identifier into the counter. It runs in O(width) with
+// no allocation — the constant per-message cost behind the paper's
+// lightweight-detection argument.
+func (c *BitCounter) Add(id can.ID) {
+	c.total++
+	v := uint32(id)
+	ones := c.ones
+	for i := len(ones) - 1; i >= 0; i-- {
+		ones[i] += uint64(v & 1)
+		v >>= 1
+	}
+}
+
+// Remove subtracts one identifier, enabling sliding-window maintenance.
+// Removing more identifiers than were added panics (programming error).
+func (c *BitCounter) Remove(id can.ID) {
+	if c.total == 0 {
+		panic("entropy: Remove on empty BitCounter")
+	}
+	c.total--
+	v := uint32(id)
+	for i := 0; i < c.width; i++ {
+		bit := uint64(v>>(c.width-1-i)) & 1
+		if bit > c.ones[i] {
+			panic("entropy: Remove of identifier never added")
+		}
+		c.ones[i] -= bit
+	}
+}
+
+// Reset clears the counter.
+func (c *BitCounter) Reset() {
+	c.total = 0
+	for i := range c.ones {
+		c.ones[i] = 0
+	}
+}
+
+// P returns p_i, the empirical probability that bit i (1-based, MSB
+// first) is 1. With no observations it returns 0.
+func (c *BitCounter) P(i int) float64 {
+	if i < 1 || i > c.width {
+		panic(fmt.Sprintf("entropy: bit index %d out of range [1,%d]", i, c.width))
+	}
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.ones[i-1]) / float64(c.total)
+}
+
+// Probabilities returns the vector p_1..p_width.
+func (c *BitCounter) Probabilities() []float64 {
+	out := make([]float64, c.width)
+	for i := range out {
+		if c.total > 0 {
+			out[i] = float64(c.ones[i]) / float64(c.total)
+		}
+	}
+	return out
+}
+
+// Entropies returns the per-bit binary entropy vector
+// Ĥ = {H(p_1), ..., H(p_width)}.
+func (c *BitCounter) Entropies() []float64 {
+	out := c.Probabilities()
+	for i, p := range out {
+		out[i] = Binary(p)
+	}
+	return out
+}
+
+// Clone returns an independent copy of the counter.
+func (c *BitCounter) Clone() *BitCounter {
+	ones := make([]uint64, len(c.ones))
+	copy(ones, c.ones)
+	return &BitCounter{width: c.width, total: c.total, ones: ones}
+}
+
+// StateBytes returns the memory footprint of the counter state in bytes
+// — the paper's storage-cost metric (width+1 64-bit slots).
+func (c *BitCounter) StateBytes() int { return 8 * (len(c.ones) + 1) }
+
+// Shannon returns the Shannon entropy in bits of a discrete distribution
+// given as occurrence counts. Zero counts are ignored. This is the
+// message-level entropy of Müter & Asaj's detector, which must maintain
+// one count per distinct symbol (identifier).
+func Shannon[K comparable](counts map[K]int) float64 {
+	total := 0
+	for _, n := range counts {
+		if n < 0 {
+			panic("entropy: negative count")
+		}
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, n := range counts {
+		if n == 0 {
+			continue
+		}
+		p := float64(n) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// MaxShannon returns the maximum possible Shannon entropy for k distinct
+// symbols, log2(k).
+func MaxShannon(k int) float64 {
+	if k <= 1 {
+		return 0
+	}
+	return math.Log2(float64(k))
+}

@@ -1,0 +1,313 @@
+package entropy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"canids/internal/can"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestBinaryKnownValues(t *testing.T) {
+	tests := []struct {
+		p, want float64
+	}{
+		{0, 0},
+		{1, 0},
+		{0.5, 1},
+		{0.25, 0.8112781244591328},
+		{0.75, 0.8112781244591328},
+		{0.1, 0.4689955935892812},
+	}
+	for _, tt := range tests {
+		if got := Binary(tt.p); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Binary(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestBinaryClampsOutOfRange(t *testing.T) {
+	if Binary(-0.5) != 0 || Binary(1.5) != 0 {
+		t.Error("out-of-range p should clamp to entropy 0")
+	}
+}
+
+func TestBinaryProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+	// Symmetry: H(p) == H(1-p).
+	sym := func(raw uint32) bool {
+		p := float64(raw) / float64(math.MaxUint32)
+		return almostEqual(Binary(p), Binary(1-p), 1e-12)
+	}
+	if err := quick.Check(sym, cfg); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+	// Bounded in [0,1] with max exactly at 0.5.
+	bounded := func(raw uint32) bool {
+		p := float64(raw) / float64(math.MaxUint32)
+		h := Binary(p)
+		return h >= 0 && h <= 1
+	}
+	if err := quick.Check(bounded, cfg); err != nil {
+		t.Errorf("bounds: %v", err)
+	}
+	// Monotone increasing on [0, 0.5].
+	for p := 0.0; p < 0.49; p += 0.01 {
+		if Binary(p) >= Binary(p+0.01) {
+			t.Fatalf("Binary not increasing at p=%v", p)
+		}
+	}
+}
+
+func TestNewBitCounterValidation(t *testing.T) {
+	for _, w := range []int{0, -1, 33} {
+		if _, err := NewBitCounter(w); err == nil {
+			t.Errorf("width %d should fail", w)
+		}
+	}
+	c, err := NewBitCounter(can.StandardIDBits)
+	if err != nil || c.Width() != 11 {
+		t.Fatalf("NewBitCounter(11): %v, width %d", err, c.Width())
+	}
+}
+
+func TestMustBitCounterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBitCounter(0) did not panic")
+		}
+	}()
+	MustBitCounter(0)
+}
+
+func TestBitCounterAddP(t *testing.T) {
+	c := MustBitCounter(11)
+	// 0x7FF has all bits set; 0x000 none.
+	c.Add(0x7FF)
+	c.Add(0x000)
+	for i := 1; i <= 11; i++ {
+		if got := c.P(i); got != 0.5 {
+			t.Errorf("P(%d) = %v, want 0.5", i, got)
+		}
+	}
+	if c.Total() != 2 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	// Entropy of a fair bit is 1.
+	for i, h := range c.Entropies() {
+		if !almostEqual(h, 1, 1e-12) {
+			t.Errorf("H[%d] = %v, want 1", i+1, h)
+		}
+	}
+}
+
+func TestBitCounterMSBFirstConvention(t *testing.T) {
+	c := MustBitCounter(11)
+	c.Add(0x400) // only the MSB set
+	if c.P(1) != 1 {
+		t.Errorf("P(1) = %v, want 1 (bit 1 is MSB)", c.P(1))
+	}
+	for i := 2; i <= 11; i++ {
+		if c.P(i) != 0 {
+			t.Errorf("P(%d) = %v, want 0", i, c.P(i))
+		}
+	}
+}
+
+func TestBitCounterPPanicsOutOfRange(t *testing.T) {
+	c := MustBitCounter(11)
+	c.Add(1)
+	for _, i := range []int{0, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("P(%d) did not panic", i)
+				}
+			}()
+			c.P(i)
+		}()
+	}
+}
+
+func TestBitCounterRemove(t *testing.T) {
+	c := MustBitCounter(11)
+	ids := []can.ID{0x123, 0x456, 0x7FF, 0x000, 0x2AA}
+	for _, id := range ids {
+		c.Add(id)
+	}
+	snapshot := c.Probabilities()
+	c.Add(0x155)
+	c.Remove(0x155)
+	got := c.Probabilities()
+	for i := range snapshot {
+		if snapshot[i] != got[i] {
+			t.Fatalf("Add+Remove not a no-op at bit %d: %v vs %v", i+1, snapshot[i], got[i])
+		}
+	}
+}
+
+func TestBitCounterRemovePanics(t *testing.T) {
+	c := MustBitCounter(11)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Remove on empty counter did not panic")
+			}
+		}()
+		c.Remove(0x1)
+	}()
+	c.Add(0x000)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Remove of never-added bits did not panic")
+			}
+		}()
+		c.Remove(0x7FF)
+	}()
+}
+
+func TestBitCounterResetAndClone(t *testing.T) {
+	c := MustBitCounter(11)
+	c.Add(0x123)
+	clone := c.Clone()
+	c.Reset()
+	if c.Total() != 0 || c.P(1) != 0 {
+		t.Error("Reset did not clear")
+	}
+	if clone.Total() != 1 {
+		t.Error("Clone should be independent of Reset")
+	}
+	clone.Add(0x456)
+	if c.Total() != 0 {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestBitCounterIncrementalMatchesBatch(t *testing.T) {
+	// Property: maintaining a window incrementally (Add new, Remove old)
+	// produces exactly the same probabilities as recounting the window
+	// from scratch.
+	rng := rand.New(rand.NewSource(9))
+	const window = 64
+	ids := make([]can.ID, 1000)
+	for i := range ids {
+		ids[i] = can.ID(rng.Intn(0x800))
+	}
+	inc := MustBitCounter(11)
+	for i, id := range ids {
+		inc.Add(id)
+		if i >= window {
+			inc.Remove(ids[i-window])
+		}
+		if i >= window && i%97 == 0 {
+			batch := MustBitCounter(11)
+			for _, w := range ids[i-window+1 : i+1] {
+				batch.Add(w)
+			}
+			ip, bp := inc.Probabilities(), batch.Probabilities()
+			for b := range ip {
+				if ip[b] != bp[b] {
+					t.Fatalf("at %d bit %d: incremental %v != batch %v", i, b+1, ip[b], bp[b])
+				}
+			}
+		}
+	}
+}
+
+func TestBitCounterQuickPMatchesDefinition(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		c := MustBitCounter(11)
+		ones := make([]int, 11)
+		for _, r := range raw {
+			id := can.ID(r) & can.MaxStandardID
+			c.Add(id)
+			for i := 1; i <= 11; i++ {
+				ones[i-1] += id.Bit(i, 11)
+			}
+		}
+		if len(raw) == 0 {
+			return c.P(1) == 0
+		}
+		for i := 1; i <= 11; i++ {
+			want := float64(ones[i-1]) / float64(len(raw))
+			if c.P(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateBytesConstant(t *testing.T) {
+	c := MustBitCounter(11)
+	before := c.StateBytes()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		c.Add(can.ID(rng.Intn(0x800)))
+	}
+	if c.StateBytes() != before {
+		t.Error("BitCounter state must not grow with traffic")
+	}
+	if before != 8*12 {
+		t.Errorf("StateBytes = %d, want 96", before)
+	}
+}
+
+func TestShannonKnownValues(t *testing.T) {
+	if got := Shannon(map[can.ID]int{}); got != 0 {
+		t.Errorf("Shannon(empty) = %v", got)
+	}
+	if got := Shannon(map[can.ID]int{1: 5}); got != 0 {
+		t.Errorf("Shannon(single) = %v, want 0", got)
+	}
+	if got := Shannon(map[can.ID]int{1: 1, 2: 1}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Shannon(two equal) = %v, want 1", got)
+	}
+	if got := Shannon(map[can.ID]int{1: 1, 2: 1, 3: 1, 4: 1}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("Shannon(four equal) = %v, want 2", got)
+	}
+	// Zero counts are ignored.
+	if got := Shannon(map[can.ID]int{1: 1, 2: 1, 3: 0}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Shannon with zero count = %v, want 1", got)
+	}
+}
+
+func TestShannonPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative count did not panic")
+		}
+	}()
+	Shannon(map[can.ID]int{1: -1})
+}
+
+func TestShannonUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(64)
+		counts := make(map[int]int, k)
+		for i := 0; i < k; i++ {
+			counts[i] = 1 + rng.Intn(100)
+		}
+		h := Shannon(counts)
+		if h > MaxShannon(k)+1e-9 {
+			t.Fatalf("Shannon %v exceeds log2(%d)=%v", h, k, MaxShannon(k))
+		}
+	}
+}
+
+func TestMaxShannon(t *testing.T) {
+	if MaxShannon(0) != 0 || MaxShannon(1) != 0 {
+		t.Error("MaxShannon of <=1 symbols should be 0")
+	}
+	if !almostEqual(MaxShannon(8), 3, 1e-12) {
+		t.Errorf("MaxShannon(8) = %v, want 3", MaxShannon(8))
+	}
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"time"
+
+	"canids/internal/attack"
+	"canids/internal/baseline"
+	"canids/internal/can"
+	"canids/internal/detect"
+	"canids/internal/metrics"
+	"canids/internal/sim"
+	"canids/internal/trace"
+	"canids/internal/vehicle"
+)
+
+// CompareRow is one detector's result in the Section V.E comparison.
+type CompareRow struct {
+	// Detector is the detector name.
+	Detector string
+	// StateBytes is the steady-state memory after processing the test
+	// traffic — the paper's storage-cost argument (11 slots vs one per
+	// identifier).
+	StateBytes int
+	// DetectionKnownID is D_r against an injection that reuses a legal,
+	// trained identifier.
+	DetectionKnownID float64
+	// DetectionUnseenID is D_r against an injection using an identifier
+	// absent from training — the blind spot of the interval baseline.
+	DetectionUnseenID float64
+	// FalsePositiveRate is the window-level FPR on clean traffic.
+	FalsePositiveRate float64
+	// CanInferID reports whether the detector can point at the
+	// malicious identifier (only the bit-level detector can).
+	CanInferID bool
+}
+
+// CompareResult reproduces the Section V.E comparison.
+type CompareResult struct {
+	Rows []CompareRow
+}
+
+// Compare runs the bit-entropy IDS and both baselines over identical
+// traffic: clean test windows, a known-ID single injection, and an
+// unseen-ID single injection.
+func Compare(p Params) (CompareResult, error) {
+	tmpl, profile, err := TrainTemplate(p)
+	if err != nil {
+		return CompareResult{}, err
+	}
+
+	// Rebuild the raw training windows for the baselines: they need
+	// per-window traces, not the bit template.
+	trainTraces, err := trainingWindows(p, profile)
+	if err != nil {
+		return CompareResult{}, err
+	}
+
+	coreDet, err := newDetector(p, tmpl)
+	if err != nil {
+		return CompareResult{}, err
+	}
+	muter, err := baseline.NewMuter(baseline.DefaultMuterConfig())
+	if err != nil {
+		return CompareResult{}, err
+	}
+	song, err := baseline.NewSong(baseline.DefaultSongConfig())
+	if err != nil {
+		return CompareResult{}, err
+	}
+	if err := muter.Train(trainTraces); err != nil {
+		return CompareResult{}, err
+	}
+	if err := song.Train(trainTraces); err != nil {
+		return CompareResult{}, err
+	}
+
+	pool := profile.IDSet()
+	knownID := pool[4]
+	unseenID := unusedID(pool)
+
+	mkAttack := func(id can.ID, seed int64) runOptions {
+		return runOptions{
+			scenario: vehicle.Idle,
+			seed:     seed,
+			duration: 12 * p.Window,
+			attackCfg: &attack.Config{
+				Scenario:  attack.Single,
+				IDs:       []can.ID{id},
+				Frequency: 100,
+				Start:     2 * p.Window,
+				Duration:  8 * p.Window,
+				Seed:      sim.SplitSeed(seed, 1),
+			},
+		}
+	}
+
+	knownRun, err := run(p, profile, mkAttack(knownID, sim.SplitSeed(p.Seed, 0xC1)))
+	if err != nil {
+		return CompareResult{}, err
+	}
+	unseenRun, err := run(p, profile, mkAttack(unseenID, sim.SplitSeed(p.Seed, 0xC2)))
+	if err != nil {
+		return CompareResult{}, err
+	}
+	cleanRun, err := run(p, profile, runOptions{
+		scenario: vehicle.Idle,
+		seed:     sim.SplitSeed(p.Seed, 0xC3),
+		duration: 12 * p.Window,
+	})
+	if err != nil {
+		return CompareResult{}, err
+	}
+
+	var out CompareResult
+	for _, d := range []detect.Detector{coreDet, muter, song} {
+		row := CompareRow{Detector: d.Name(), CanInferID: d == detect.Detector(coreDet)}
+		row.DetectionKnownID = metrics.DetectionRate(knownRun.trace, replay(d, knownRun.trace))
+		row.DetectionUnseenID = metrics.DetectionRate(unseenRun.trace, replay(d, unseenRun.trace))
+		cleanAlerts := replay(d, cleanRun.trace)
+		conf := metrics.WindowConfusion(cleanRun.trace, cleanAlerts, p.Window)
+		row.FalsePositiveRate = conf.FalsePositiveRate()
+		row.StateBytes = d.StateBytes()
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// trainingWindows regenerates the clean training windows used by
+// TrainTemplate, for detectors that train on raw traces.
+func trainingWindows(p Params, profile vehicle.Profile) ([]trace.Trace, error) {
+	return trainingWindowsStressed(p, profile, 0)
+}
+
+// trainingWindowsStressed is trainingWindows with an extra stressor node
+// active, so detectors evaluated under bus stress can be trained on the
+// matching clean baseline.
+func trainingWindowsStressed(p Params, profile vehicle.Profile, stress int) ([]trace.Trace, error) {
+	// Two windows of headroom per scenario: one warm-up (discarded) and
+	// one spare, so partial trailing windows never starve the target
+	// count.
+	perScenario := (p.TrainWindows + len(vehicle.Scenarios) - 1) / len(vehicle.Scenarios)
+	dur := time.Duration(perScenario+2) * p.Window
+	var windows []trace.Trace
+	for si, scen := range vehicle.Scenarios {
+		res, err := run(p, profile, runOptions{
+			scenario:   scen,
+			seed:       sim.SplitSeed(p.Seed, int64(si)+100),
+			duration:   dur,
+			stressLoad: stress,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ws := res.trace.Windows(p.Window, false)
+		if len(ws) > 1 {
+			ws = ws[1:]
+		}
+		for _, w := range ws {
+			if len(windows) < p.TrainWindows {
+				windows = append(windows, w)
+			}
+		}
+	}
+	return windows, nil
+}
+
+// unusedID returns a valid standard identifier not present in the pool.
+func unusedID(pool []can.ID) can.ID {
+	used := make(map[can.ID]bool, len(pool))
+	for _, id := range pool {
+		used[id] = true
+	}
+	for id := can.ID(0x100); id <= can.MaxStandardID; id++ {
+		if !used[id] {
+			return id
+		}
+	}
+	return 0x7FF
+}
+
+// Table renders the comparison.
+func (r CompareResult) Table() string {
+	var sb strings.Builder
+	sb.WriteString("Sec. V.E — comparison with Müter [8] and Song [11]\n")
+	sb.WriteString("detector            state(B)  Dr(known)  Dr(unseen)  FPR     infers ID\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-18s  %8d  %8.1f%%  %9.1f%%  %5.1f%%  %v\n",
+			row.Detector, row.StateBytes, 100*row.DetectionKnownID,
+			100*row.DetectionUnseenID, 100*row.FalsePositiveRate, row.CanInferID)
+	}
+	return sb.String()
+}
+
+// Row returns the row for a detector name.
+func (r CompareResult) Row(name string) (CompareRow, bool) {
+	for _, row := range r.Rows {
+		if row.Detector == name {
+			return row, true
+		}
+	}
+	return CompareRow{}, false
+}

@@ -1,0 +1,200 @@
+// Package experiments reproduces every table and figure in the paper's
+// evaluation (Section V) on the simulated substrate:
+//
+//   - Fig. 2: the golden per-bit entropy template and one attacked
+//     window's entropy vector;
+//   - Fig. 3: injection rate and detection rate across identifiers;
+//   - Table I: detection rate and inferring accuracy for the FI / SI /
+//     MI-2 / MI-3 / MI-4 / WI scenarios;
+//   - the Section IV.B stability claim (entropy variation across driving
+//     behaviours);
+//   - the Section V.E comparison against the Müter and Song baselines.
+//
+// Each experiment is a pure function of its parameters; all randomness
+// flows from seeds, so results are reproducible.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"canids/internal/attack"
+	"canids/internal/bus"
+	"canids/internal/can"
+	"canids/internal/core"
+	"canids/internal/detect"
+	"canids/internal/sim"
+	"canids/internal/trace"
+	"canids/internal/vehicle"
+)
+
+// Params are the shared experiment parameters.
+type Params struct {
+	// Seed drives the profile, traffic phases and attack randomness.
+	Seed int64
+	// Alpha is the detection threshold multiplier (paper: 5).
+	Alpha float64
+	// Window is the detection window (paper: 1 s).
+	Window time.Duration
+	// Rank is the inference candidate-set size (paper: 10).
+	Rank int
+	// TrainWindows is the number of golden-template measurements
+	// (paper: 35).
+	TrainWindows int
+	// BitRate is the bus speed (paper: 125 kbit/s middle-speed CAN).
+	BitRate int
+}
+
+// DefaultParams returns the experiments' operating point. It matches the
+// paper everywhere except α: the paper picks α from [3,10] empirically on
+// its own vehicle data and lands on 5; the same empirical procedure on
+// this synthetic substrate (maximize low-frequency detection subject to
+// zero false positives on clean traffic — see EXPERIMENTS.md) lands on 4.
+func DefaultParams() Params {
+	return Params{
+		Seed:         1,
+		Alpha:        4,
+		Window:       time.Second,
+		Rank:         10,
+		TrainWindows: 35,
+		BitRate:      bus.DefaultMSCANBitRate,
+	}
+}
+
+// detectorConfig derives the core detector configuration.
+func (p Params) detectorConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Alpha = p.Alpha
+	cfg.Window = p.Window
+	return cfg
+}
+
+// runOptions configures one simulation run.
+type runOptions struct {
+	scenario vehicle.Scenario
+	seed     int64
+	duration time.Duration
+	// attackCfg, when non-nil, launches an injection campaign.
+	attackCfg *attack.Config
+	// weakECU names the compromised ECU whose port the attacker uses
+	// (Weak scenario); empty attaches a fresh attacker node.
+	weakECU string
+	// stressLoad, when positive, attaches an extra stressor node pushing
+	// the bus toward saturation (frames per second of mid-priority junk).
+	stressLoad int
+}
+
+// runResult is the outcome of one simulation run.
+type runResult struct {
+	trace    trace.Trace
+	attempts int
+	busLoad  float64
+}
+
+// run executes one simulation and captures its trace.
+func run(p Params, profile vehicle.Profile, opts runOptions) (runResult, error) {
+	sched := sim.NewScheduler()
+	b, err := bus.New(sched, bus.Config{
+		BitRate: p.BitRate,
+		Channel: "ms-can",
+		Guard:   &bus.DominantGuard{Threshold: 0x000, MaxConsecutive: 16},
+	})
+	if err != nil {
+		return runResult{}, fmt.Errorf("experiments: %w", err)
+	}
+	var log trace.Trace
+	b.Tap(func(r trace.Record) { log = append(log, r) })
+
+	fleet := profile.Attach(sched, b, vehicle.Options{Scenario: opts.scenario, Seed: opts.seed})
+
+	if opts.stressLoad > 0 {
+		attachStressor(sched, b, opts.stressLoad, opts.seed)
+	}
+
+	var inj *attack.Injector
+	if opts.attackCfg != nil {
+		var port *bus.Port
+		if opts.weakECU != "" {
+			var ok bool
+			port, ok = fleet.Port(opts.weakECU)
+			if !ok {
+				return runResult{}, fmt.Errorf("experiments: unknown ECU %q", opts.weakECU)
+			}
+		}
+		inj, err = attack.Launch(sched, b, port, *opts.attackCfg)
+		if err != nil {
+			return runResult{}, fmt.Errorf("experiments: %w", err)
+		}
+	}
+
+	if err := sched.RunUntil(opts.duration); err != nil {
+		return runResult{}, fmt.Errorf("experiments: %w", err)
+	}
+	res := runResult{trace: log, busLoad: b.Load()}
+	if inj != nil {
+		res.attempts = inj.Stats().Attempts
+	}
+	return res, nil
+}
+
+// attachStressor adds a node emitting mid-priority junk at the given
+// frame rate, used by the Fig. 3 experiment to put the bus under the
+// arbitration pressure where injection rates separate.
+func attachStressor(sched *sim.Scheduler, b *bus.Bus, framesPerSec int, seed int64) {
+	port := b.AttachPort("stressor")
+	rng := sim.NewRand(sim.SplitSeed(seed, 0x57))
+	interval := time.Second / time.Duration(framesPerSec)
+	var fire func()
+	fire = func() {
+		if !port.Disabled() {
+			id := can.ID(0x060 + rng.Intn(0x20)) // above the flood pool, below the fleet
+			data := make([]byte, 8)
+			rng.Read(data)
+			if f, err := can.NewFrame(id, data); err == nil && !port.Pending() {
+				_ = port.Send(f, false)
+			}
+			sched.After(interval, fire)
+		}
+	}
+	sched.At(0, fire)
+}
+
+// TrainTemplate produces the golden template from p.TrainWindows clean
+// windows spread across all driving scenarios, as the paper trains from
+// "35 measurements from diverse driving behaviors". It returns the
+// template together with the profile used.
+func TrainTemplate(p Params) (core.Template, vehicle.Profile, error) {
+	profile := vehicle.NewFusionProfile(p.Seed)
+	windows, err := trainingWindows(p, profile)
+	if err != nil {
+		return core.Template{}, vehicle.Profile{}, err
+	}
+	tmpl, err := core.BuildTemplate(windows, core.DefaultConfig().Width, core.DefaultConfig().MinFrames)
+	if err != nil {
+		return core.Template{}, vehicle.Profile{}, err
+	}
+	return tmpl, profile, nil
+}
+
+// newDetector builds a trained core detector from a template.
+func newDetector(p Params, tmpl core.Template) (*core.Detector, error) {
+	d, err := core.New(p.detectorConfig())
+	if err != nil {
+		return nil, err
+	}
+	if err := d.SetTemplate(tmpl); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// replay feeds a trace through a detector and returns all alerts.
+func replay(d detect.Detector, tr trace.Trace) []detect.Alert {
+	d.Reset()
+	var alerts []detect.Alert
+	for _, r := range tr {
+		alerts = append(alerts, d.Observe(r)...)
+	}
+	alerts = append(alerts, d.Flush()...)
+	return alerts
+}

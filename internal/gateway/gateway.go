@@ -1,0 +1,234 @@
+// Package gateway implements the CAN gateway filter the paper leans on
+// throughout Sections III and V: a bus-level policy node that
+//
+//   - drops frames whose identifier is not in the vehicle's legal set
+//     (the "network filters on the bus gateway" that stop naive
+//     flooding);
+//   - rate-limits each identifier against its learned nominal frequency,
+//     flagging senders that exceed it ("with 4 and more injection IDs,
+//     the compromised ECU would be easily figured out by the gateway
+//     filter");
+//   - enforces a dynamic blocklist, which is how the entropy IDS's
+//     inference output turns into prevention ("the malicious messages
+//     containing those IDs would be discarded or blocked").
+//
+// The gateway is a passive classifier over the observed record stream:
+// it returns a verdict per frame which a bus bridge (or the evaluation
+// harness) acts on. This matches real automotive gateways, which sit
+// between bus segments and forward selectively.
+package gateway
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"canids/internal/can"
+	"canids/internal/trace"
+)
+
+// Verdict classifies one frame.
+type Verdict int
+
+const (
+	// Forward lets the frame through.
+	Forward Verdict = iota + 1
+	// DropUnknown rejects a frame whose ID is not in the legal set.
+	DropUnknown
+	// DropRate rejects a frame exceeding its identifier's rate budget.
+	DropRate
+	// DropBlocked rejects a frame on the dynamic blocklist.
+	DropBlocked
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Forward:
+		return "forward"
+	case DropUnknown:
+		return "drop-unknown"
+	case DropRate:
+		return "drop-rate"
+	case DropBlocked:
+		return "drop-blocked"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Config parameterizes a Gateway.
+type Config struct {
+	// Legal is the set of identifiers allowed on the segment; empty
+	// disables the whitelist check.
+	Legal []can.ID
+	// RateWindow is the horizon over which per-ID rates are enforced.
+	RateWindow time.Duration
+	// RateSlack multiplies each identifier's learned per-window budget;
+	// e.g. 2.0 allows twice the nominal rate before dropping. Zero
+	// disables rate limiting.
+	RateSlack float64
+}
+
+// DefaultConfig returns a permissive gateway: whitelist only.
+func DefaultConfig(legal []can.ID) Config {
+	return Config{Legal: legal, RateWindow: time.Second, RateSlack: 0}
+}
+
+// Stats aggregates gateway counters.
+type Stats struct {
+	Forwarded   int
+	DropUnknown int
+	DropRate    int
+	DropBlocked int
+}
+
+// Dropped returns the total dropped frames.
+func (s Stats) Dropped() int { return s.DropUnknown + s.DropRate + s.DropBlocked }
+
+// Gateway is the policy engine. Create with New, optionally LearnRates
+// from clean traffic, then classify frames in timestamp order with
+// Classify.
+type Gateway struct {
+	cfg     Config
+	legal   map[can.ID]bool
+	budget  map[can.ID]int // allowed frames per RateWindow
+	blocked map[can.ID]time.Duration
+
+	windowStart time.Duration
+	haveWindow  bool
+	seen        map[can.ID]int
+	stats       Stats
+}
+
+// New creates a gateway.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.RateSlack < 0 {
+		return nil, fmt.Errorf("gateway: rate slack must be >= 0, got %v", cfg.RateSlack)
+	}
+	if cfg.RateSlack > 0 && cfg.RateWindow <= 0 {
+		return nil, fmt.Errorf("gateway: rate limiting needs a positive window, got %v", cfg.RateWindow)
+	}
+	g := &Gateway{
+		cfg:     cfg,
+		blocked: make(map[can.ID]time.Duration),
+		seen:    make(map[can.ID]int),
+	}
+	if len(cfg.Legal) > 0 {
+		g.legal = make(map[can.ID]bool, len(cfg.Legal))
+		for _, id := range cfg.Legal {
+			g.legal[id] = true
+		}
+	}
+	return g, nil
+}
+
+// LearnRates derives each identifier's per-window frame budget from
+// clean traffic windows: budget = ceil(max observed per window) ×
+// RateSlack. Must be called before Classify when RateSlack > 0.
+func (g *Gateway) LearnRates(windows []trace.Trace) error {
+	if g.cfg.RateSlack <= 0 {
+		return fmt.Errorf("gateway: rate limiting disabled (slack %v)", g.cfg.RateSlack)
+	}
+	peak := make(map[can.ID]int)
+	usable := 0
+	for _, w := range windows {
+		if len(w) == 0 {
+			continue
+		}
+		usable++
+		for id, n := range w.IDCounts() {
+			if n > peak[id] {
+				peak[id] = n
+			}
+		}
+	}
+	if usable == 0 {
+		return fmt.Errorf("gateway: no usable training windows")
+	}
+	g.budget = make(map[can.ID]int, len(peak))
+	for id, n := range peak {
+		b := int(float64(n)*g.cfg.RateSlack + 0.999)
+		if b < 1 {
+			b = 1
+		}
+		g.budget[id] = b
+	}
+	return nil
+}
+
+// Block adds an identifier to the blocklist until the given time
+// (zero = forever). The entropy IDS's inference feeds this.
+func (g *Gateway) Block(id can.ID, until time.Duration) {
+	g.blocked[id] = until
+}
+
+// Unblock removes an identifier from the blocklist.
+func (g *Gateway) Unblock(id can.ID) { delete(g.blocked, id) }
+
+// Blocked returns the currently blocked identifiers, ascending.
+func (g *Gateway) Blocked() []can.ID {
+	ids := make([]can.ID, 0, len(g.blocked))
+	for id := range g.blocked {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Classify returns the verdict for one frame. Records must arrive in
+// non-decreasing timestamp order for rate limiting to be meaningful.
+func (g *Gateway) Classify(rec trace.Record) Verdict {
+	id := rec.Frame.ID
+	if until, ok := g.blocked[id]; ok {
+		if until == 0 || rec.Time < until {
+			g.stats.DropBlocked++
+			return DropBlocked
+		}
+		delete(g.blocked, id)
+	}
+	if g.legal != nil && !g.legal[id] {
+		g.stats.DropUnknown++
+		return DropUnknown
+	}
+	if g.cfg.RateSlack > 0 && g.budget != nil {
+		if !g.haveWindow {
+			g.haveWindow = true
+			g.windowStart = rec.Time
+		}
+		for rec.Time >= g.windowStart+g.cfg.RateWindow {
+			g.windowStart += g.cfg.RateWindow
+			clear(g.seen)
+		}
+		g.seen[id]++
+		if budget, ok := g.budget[id]; ok && g.seen[id] > budget {
+			g.stats.DropRate++
+			return DropRate
+		}
+	}
+	g.stats.Forwarded++
+	return Forward
+}
+
+// Filter classifies a whole trace and returns the forwarded records plus
+// per-verdict counts.
+func (g *Gateway) Filter(tr trace.Trace) (trace.Trace, Stats) {
+	var out trace.Trace
+	for _, r := range tr {
+		if g.Classify(r) == Forward {
+			out = append(out, r)
+		}
+	}
+	return out, g.stats
+}
+
+// Stats returns a copy of the counters.
+func (g *Gateway) Stats() Stats { return g.stats }
+
+// Reset clears streaming state (not the learned budgets or blocklist).
+func (g *Gateway) Reset() {
+	g.haveWindow = false
+	g.windowStart = 0
+	clear(g.seen)
+	g.stats = Stats{}
+}

@@ -1,0 +1,207 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+
+	"canids/internal/can"
+	"canids/internal/trace"
+)
+
+func rec(at time.Duration, id can.ID) trace.Record {
+	return trace.Record{Time: at, Frame: can.Frame{ID: id}}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{RateSlack: -1}); err == nil {
+		t.Error("negative slack should fail")
+	}
+	if _, err := New(Config{RateSlack: 2}); err == nil {
+		t.Error("rate limiting without window should fail")
+	}
+	if _, err := New(DefaultConfig(nil)); err != nil {
+		t.Errorf("default config: %v", err)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	want := map[Verdict]string{
+		Forward: "forward", DropUnknown: "drop-unknown",
+		DropRate: "drop-rate", DropBlocked: "drop-blocked",
+	}
+	for v, s := range want {
+		if v.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(v), v.String(), s)
+		}
+	}
+	if Verdict(9).String() != "Verdict(9)" {
+		t.Error("unknown verdict string")
+	}
+}
+
+func TestWhitelist(t *testing.T) {
+	g, err := New(DefaultConfig([]can.ID{0x100, 0x200}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := g.Classify(rec(0, 0x100)); v != Forward {
+		t.Errorf("legal ID verdict %v", v)
+	}
+	if v := g.Classify(rec(0, 0x300)); v != DropUnknown {
+		t.Errorf("unknown ID verdict %v", v)
+	}
+	st := g.Stats()
+	if st.Forwarded != 1 || st.DropUnknown != 1 || st.Dropped() != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestNoWhitelistForwardsAll(t *testing.T) {
+	g, err := New(DefaultConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := g.Classify(rec(0, 0x7FF)); v != Forward {
+		t.Errorf("verdict %v, want forward", v)
+	}
+}
+
+func TestBlocklist(t *testing.T) {
+	g, err := New(DefaultConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Block(0x123, 0) // forever
+	g.Block(0x200, 5*time.Second)
+	if v := g.Classify(rec(time.Second, 0x123)); v != DropBlocked {
+		t.Errorf("blocked ID verdict %v", v)
+	}
+	if v := g.Classify(rec(time.Second, 0x200)); v != DropBlocked {
+		t.Errorf("timed block verdict %v", v)
+	}
+	// After expiry the timed block lifts.
+	if v := g.Classify(rec(6*time.Second, 0x200)); v != Forward {
+		t.Errorf("expired block verdict %v", v)
+	}
+	if ids := g.Blocked(); len(ids) != 1 || ids[0] != 0x123 {
+		t.Errorf("Blocked() = %v", ids)
+	}
+	g.Unblock(0x123)
+	if v := g.Classify(rec(7*time.Second, 0x123)); v != Forward {
+		t.Errorf("unblocked verdict %v", v)
+	}
+}
+
+// trainingWindows builds n windows where 0x100 appears 10x and 0x200 2x.
+func trainingWindows(n int) []trace.Trace {
+	var ws []trace.Trace
+	for w := 0; w < n; w++ {
+		start := time.Duration(w) * time.Second
+		var tr trace.Trace
+		for i := 0; i < 10; i++ {
+			tr = append(tr, rec(start+time.Duration(i)*100*time.Millisecond, 0x100))
+		}
+		for i := 0; i < 2; i++ {
+			tr = append(tr, rec(start+time.Duration(i)*500*time.Millisecond, 0x200))
+		}
+		tr.Sort()
+		ws = append(ws, tr)
+	}
+	return ws
+}
+
+func TestRateLimiting(t *testing.T) {
+	g, err := New(Config{RateWindow: time.Second, RateSlack: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.LearnRates(trainingWindows(5)); err != nil {
+		t.Fatalf("LearnRates: %v", err)
+	}
+	// 0x100 budget = 20/window. The 21st frame in one window drops.
+	var verdicts []Verdict
+	for i := 0; i < 25; i++ {
+		verdicts = append(verdicts, g.Classify(rec(time.Duration(i)*30*time.Millisecond, 0x100)))
+	}
+	drops := 0
+	for _, v := range verdicts {
+		if v == DropRate {
+			drops++
+		}
+	}
+	if drops != 5 {
+		t.Errorf("drops = %d, want 5 (25 frames vs budget 20)", drops)
+	}
+	// The next window resets the budget.
+	if v := g.Classify(rec(1500*time.Millisecond, 0x100)); v != Forward {
+		t.Errorf("fresh window verdict %v", v)
+	}
+}
+
+func TestRateLimitUnknownBudgetForwards(t *testing.T) {
+	g, err := New(Config{RateWindow: time.Second, RateSlack: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.LearnRates(trainingWindows(3)); err != nil {
+		t.Fatal(err)
+	}
+	// An ID with no learned budget is not rate-limited (whitelisting is
+	// a separate policy).
+	for i := 0; i < 50; i++ {
+		if v := g.Classify(rec(time.Duration(i)*time.Millisecond, 0x650)); v != Forward {
+			t.Fatalf("unbudgeted ID verdict %v", v)
+		}
+	}
+}
+
+func TestLearnRatesValidation(t *testing.T) {
+	g, err := New(DefaultConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.LearnRates(trainingWindows(3)); err == nil {
+		t.Error("LearnRates with disabled limiting should fail")
+	}
+	g2, err := New(Config{RateWindow: time.Second, RateSlack: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.LearnRates(nil); err == nil {
+		t.Error("LearnRates with no windows should fail")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	g, err := New(DefaultConfig([]can.ID{0x100}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Trace{rec(0, 0x100), rec(1, 0x999), rec(2, 0x100)}
+	out, st := g.Filter(tr)
+	if len(out) != 2 || st.DropUnknown != 1 {
+		t.Errorf("Filter: %d forwarded, stats %+v", len(out), st)
+	}
+}
+
+func TestResetKeepsPolicy(t *testing.T) {
+	g, err := New(Config{RateWindow: time.Second, RateSlack: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.LearnRates(trainingWindows(3)); err != nil {
+		t.Fatal(err)
+	}
+	g.Block(0x050, 0)
+	g.Classify(rec(0, 0x100))
+	g.Reset()
+	if g.Stats() != (Stats{}) {
+		t.Error("Reset should clear stats")
+	}
+	if v := g.Classify(rec(0, 0x050)); v != DropBlocked {
+		t.Error("Reset must keep the blocklist")
+	}
+	if g.budget == nil {
+		t.Error("Reset must keep learned budgets")
+	}
+}

@@ -1,0 +1,249 @@
+package infer
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"canids/internal/can"
+	"canids/internal/detect"
+)
+
+// alertFor fabricates an alert as a sustained single-ID injection of id
+// produces it: every bit's ΔP points at the ID's bit value, and the
+// listed bits exceeded their thresholds (Violated). Non-violated bits
+// carry a smaller but still directional ΔP, as on a real bus.
+func alertFor(id can.ID, bits []int, weight float64) detect.Alert {
+	var a detect.Alert
+	for i := 1; i <= 11; i++ {
+		bd := detect.BitDeviation{Bit: i, DeltaP: weight / 5}
+		for _, b := range bits {
+			if b == i {
+				bd.Violated = true
+				bd.DeltaP = weight
+			}
+		}
+		if id.Bit(i, 11) == 0 {
+			bd.DeltaP = -bd.DeltaP
+		}
+		a.Bits = append(a.Bits, bd)
+	}
+	return a
+}
+
+func TestDeriveConstraints(t *testing.T) {
+	a := alertFor(0x0B5, []int{1, 4, 11}, 0.05) // 0x0B5 = 00010110101b
+	cons := DeriveConstraints(a)
+	if len(cons) != 3 {
+		t.Fatalf("constraints = %d, want 3", len(cons))
+	}
+	want := map[int]int{1: 0, 4: 1, 11: 1}
+	for _, c := range cons {
+		if want[c.Bit] != c.Value {
+			t.Errorf("bit %d constraint value %d, want %d", c.Bit, c.Value, want[c.Bit])
+		}
+		if c.Weight != 0.05 {
+			t.Errorf("bit %d weight %v", c.Bit, c.Weight)
+		}
+	}
+}
+
+func TestDeriveConstraintsSkipsZeroDelta(t *testing.T) {
+	a := detect.Alert{Bits: []detect.BitDeviation{
+		{Bit: 3, Violated: true, DeltaP: 0}, // entropy moved, no direction
+		{Bit: 5, Violated: false, DeltaP: 0.3},
+	}}
+	if cons := DeriveConstraints(a); len(cons) != 0 {
+		t.Errorf("constraints = %v, want none", cons)
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	s := Constraint{Bit: 6, Value: 1, Weight: 0.0421}.String()
+	if !strings.Contains(s, "bit6=1") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestSatisfies(t *testing.T) {
+	cons := []Constraint{{Bit: 1, Value: 0}, {Bit: 11, Value: 1}}
+	if !Satisfies(0x0B5, 11, cons) { // MSB 0, LSB 1
+		t.Error("0x0B5 should satisfy")
+	}
+	if Satisfies(0x4B5, 11, cons) { // MSB 1
+		t.Error("0x4B5 should not satisfy (bit 1)")
+	}
+	if Satisfies(0x0B4, 11, cons) { // LSB 0
+		t.Error("0x0B4 should not satisfy (bit 11)")
+	}
+	if Satisfies(0x0B5, 11, []Constraint{{Bit: 12, Value: 1}}) {
+		t.Error("out-of-range constraint bit must not be satisfiable")
+	}
+}
+
+func TestScoreSignsAndMagnitude(t *testing.T) {
+	cons := []Constraint{{Bit: 1, Value: 0, Weight: 0.4}, {Bit: 11, Value: 1, Weight: 0.1}}
+	full := Score(0x001, 11, cons)    // matches both: +0.5
+	half := Score(0x000, 11, cons)    // matches bit1 only: 0.4-0.1
+	neither := Score(0x400, 11, cons) // matches neither: -0.5
+	if math.Abs(full-0.5) > 1e-12 || math.Abs(half-0.3) > 1e-12 || math.Abs(neither+0.5) > 1e-12 {
+		t.Errorf("scores = %v %v %v", full, half, neither)
+	}
+	// Out-of-range constraints are ignored in scoring.
+	if got := Score(0x001, 11, []Constraint{{Bit: 20, Value: 1, Weight: 1}}); got != 0 {
+		t.Errorf("out-of-range constraint score = %v, want 0", got)
+	}
+}
+
+func TestRankValidation(t *testing.T) {
+	a := alertFor(0x0B5, []int{1}, 0.1)
+	if _, err := Rank(a, nil, 11, 10); !errors.Is(err, ErrEmptyPool) {
+		t.Errorf("empty pool: %v", err)
+	}
+	if _, err := Rank(a, []can.ID{1}, 11, 0); !errors.Is(err, ErrBadRank) {
+		t.Errorf("bad rank: %v", err)
+	}
+}
+
+func TestRankSingleIDHit(t *testing.T) {
+	// Pool of 223-ish IDs; the injected ID must appear in the rank-10
+	// candidates when constraints mirror its bits.
+	var pool []can.ID
+	for i := 0; i < 2048; i += 9 {
+		pool = append(pool, can.ID(i))
+	}
+	target := can.ID(0x0B4) // in pool (0x0B4 = 180 = 9*20)
+	a := alertFor(target, []int{1, 2, 3, 4, 5, 8, 9}, 0.05)
+	res, err := Rank(a, pool, 11, DefaultRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != DefaultRank {
+		t.Fatalf("candidates = %d, want %d", len(res.Candidates), DefaultRank)
+	}
+	if !res.Hit(target) {
+		t.Errorf("target %v not in candidates %v", target, res.Candidates)
+	}
+	// The full ΔP evidence should rank the exact injected ID first.
+	if res.Candidates[0] != target {
+		t.Errorf("top candidate %v, want %v", res.Candidates[0], target)
+	}
+	// Strict counts candidates satisfying every hard constraint.
+	cons := DeriveConstraints(a)
+	strict := 0
+	for _, id := range res.Candidates {
+		if Satisfies(id, 11, cons) {
+			strict++
+		}
+	}
+	if strict != res.Strict {
+		t.Errorf("Strict = %d, recount = %d", res.Strict, strict)
+	}
+}
+
+func TestRankFillsWhenOverConstrained(t *testing.T) {
+	// Constraints that nothing in the pool satisfies: candidates are
+	// filled purely by score.
+	pool := []can.ID{0x700, 0x701, 0x702, 0x703}
+	a := detect.Alert{Bits: []detect.BitDeviation{
+		{Bit: 1, Violated: true, DeltaP: -0.5}, // wants MSB=0; pool is all 0x7xx
+	}}
+	res, err := Rank(a, pool, 11, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strict != 0 {
+		t.Errorf("Strict = %d, want 0", res.Strict)
+	}
+	if len(res.Candidates) != 3 {
+		t.Fatalf("candidates = %d, want 3", len(res.Candidates))
+	}
+	// Score ties; ascending ID breaks them.
+	if res.Candidates[0] != 0x700 {
+		t.Errorf("first candidate %v, want 0x700", res.Candidates[0])
+	}
+}
+
+func TestRankNoConstraintsGivesPriorityOrder(t *testing.T) {
+	pool := []can.ID{0x300, 0x100, 0x200, 0x050}
+	res, err := Rank(detect.Alert{}, pool, 11, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates[0] != 0x050 || res.Candidates[1] != 0x100 {
+		t.Errorf("candidates %v, want [050 100]", res.Candidates)
+	}
+}
+
+func TestHitCount(t *testing.T) {
+	res := Result{Candidates: []can.ID{1, 2, 3}}
+	if got := res.HitCount([]can.ID{2, 3, 9}); got != 2 {
+		t.Errorf("HitCount = %d, want 2", got)
+	}
+	if res.Hit(9) {
+		t.Error("Hit(9) should be false")
+	}
+}
+
+func TestRankDeterministic(t *testing.T) {
+	var pool []can.ID
+	for i := 0; i < 500; i += 3 {
+		pool = append(pool, can.ID(i))
+	}
+	a := alertFor(0x123, []int{2, 5, 7}, 0.02)
+	r1, err := Rank(a, pool, 11, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Rank(a, pool, 11, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Candidates {
+		if r1.Candidates[i] != r2.Candidates[i] {
+			t.Fatal("Rank not deterministic")
+		}
+	}
+}
+
+func TestQuickSatisfiesMatchesBitDefinition(t *testing.T) {
+	prop := func(raw uint16, bit uint8, val bool) bool {
+		id := can.ID(raw) & can.MaxStandardID
+		b := int(bit)%11 + 1
+		v := 0
+		if val {
+			v = 1
+		}
+		cons := []Constraint{{Bit: b, Value: v}}
+		return Satisfies(id, 11, cons) == (id.Bit(b, 11) == v)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStrictCandidatesAlwaysSatisfy(t *testing.T) {
+	prop := func(seed uint16, nbits uint8) bool {
+		target := can.ID(seed) & can.MaxStandardID
+		k := int(nbits)%6 + 1
+		bits := make([]int, 0, k)
+		for i := 1; len(bits) < k && i <= 11; i += 2 {
+			bits = append(bits, i)
+		}
+		a := alertFor(target, bits, 0.1)
+		pool := []can.ID{target, target ^ 0x400, target ^ 0x001, 0x155, 0x2AA}
+		res, err := Rank(a, pool, 11, 5)
+		if err != nil {
+			return false
+		}
+		if res.Strict > len(res.Candidates) {
+			return false
+		}
+		return res.Hit(target)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

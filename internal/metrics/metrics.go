@@ -1,0 +1,144 @@
+// Package metrics implements the paper's evaluation measures:
+//
+//   - injection rate I_r: successfully injected frames over injection
+//     attempts (Section V.B);
+//   - N_m = I_r × f × T_0, the expected number of injected frames;
+//   - detection rate D_r: injected frames falling inside alerted windows
+//     over all injected frames;
+//   - inferring accuracy (hit rate): how often the true malicious ID is
+//     inside the rank-n candidate set;
+//   - window-level confusion counts and false-positive rate on clean
+//     traffic.
+package metrics
+
+import (
+	"time"
+
+	"canids/internal/detect"
+	"canids/internal/trace"
+)
+
+// InjectionRate returns I_r = delivered / attempts, or 0 when no attempt
+// was made.
+func InjectionRate(delivered, attempts int) float64 {
+	if attempts == 0 {
+		return 0
+	}
+	return float64(delivered) / float64(attempts)
+}
+
+// ExpectedInjected returns N_m = I_r × f × T_0 from the paper's formula.
+func ExpectedInjected(ir, freqHz float64, t0 time.Duration) float64 {
+	return ir * freqHz * t0.Seconds()
+}
+
+// span is a half-open alerted time interval.
+type span struct{ from, to time.Duration }
+
+// alertSpans extracts the alerted window intervals.
+func alertSpans(alerts []detect.Alert) []span {
+	out := make([]span, 0, len(alerts))
+	for _, a := range alerts {
+		out = append(out, span{a.WindowStart, a.WindowEnd})
+	}
+	return out
+}
+
+func inAnySpan(t time.Duration, spans []span) bool {
+	for _, s := range spans {
+		if t >= s.from && t < s.to {
+			return true
+		}
+	}
+	return false
+}
+
+// DetectionRate returns D_r: the fraction of injected frames in tr that
+// fall inside an alerted window. It returns 0 when the trace holds no
+// injected frames.
+func DetectionRate(tr trace.Trace, alerts []detect.Alert) float64 {
+	spans := alertSpans(alerts)
+	total, detected := 0, 0
+	for _, r := range tr {
+		if !r.Injected {
+			continue
+		}
+		total++
+		if inAnySpan(r.Time, spans) {
+			detected++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(detected) / float64(total)
+}
+
+// Confusion holds window-level classification counts: a window is
+// positive (attacked) when it contains at least one injected frame, and
+// predicted positive when the detector alerted on it.
+type Confusion struct {
+	TP, FP, FN, TN int
+}
+
+// Precision returns TP/(TP+FP), or 0 if no positive predictions.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 if no positive windows.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FalsePositiveRate returns FP/(FP+TN), or 0 if no negative windows.
+func (c Confusion) FalsePositiveRate() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// WindowConfusion classifies each window of the trace. Windows are
+// anchored at the first record's timestamp, matching the detector's
+// windowing. Empty windows are ignored.
+func WindowConfusion(tr trace.Trace, alerts []detect.Alert, window time.Duration) Confusion {
+	var c Confusion
+	if len(tr) == 0 || window <= 0 {
+		return c
+	}
+	spans := alertSpans(alerts)
+	for _, w := range tr.Windows(window, true) {
+		if len(w) == 0 {
+			continue
+		}
+		attacked := w.CountInjected() > 0
+		alerted := inAnySpan(w[0].Time, spans)
+		switch {
+		case attacked && alerted:
+			c.TP++
+		case attacked && !alerted:
+			c.FN++
+		case !attacked && alerted:
+			c.FP++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// HitRate aggregates inference outcomes: hits over trials. Trials with
+// no inference attempt should not be counted.
+func HitRate(hits, trials int) float64 {
+	if trials == 0 {
+		return 0
+	}
+	return float64(hits) / float64(trials)
+}

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"canids/internal/can"
+	"canids/internal/detect"
+	"canids/internal/trace"
+)
+
+func TestInjectionRate(t *testing.T) {
+	if got := InjectionRate(50, 100); got != 0.5 {
+		t.Errorf("InjectionRate = %v, want 0.5", got)
+	}
+	if got := InjectionRate(0, 0); got != 0 {
+		t.Errorf("InjectionRate(0,0) = %v, want 0", got)
+	}
+}
+
+func TestExpectedInjected(t *testing.T) {
+	// N_m = I_r × f × T_0.
+	got := ExpectedInjected(0.8, 100, 5*time.Second)
+	if math.Abs(got-400) > 1e-9 {
+		t.Errorf("ExpectedInjected = %v, want 400", got)
+	}
+}
+
+func mkTrace() trace.Trace {
+	mk := func(at time.Duration, id can.ID, inj bool) trace.Record {
+		return trace.Record{Time: at, Frame: can.Frame{ID: id}, Injected: inj}
+	}
+	return trace.Trace{
+		mk(100*time.Millisecond, 0x100, false),
+		mk(200*time.Millisecond, 0x050, true),
+		mk(300*time.Millisecond, 0x100, false),
+		mk(1200*time.Millisecond, 0x050, true),
+		mk(1300*time.Millisecond, 0x100, false),
+		mk(2100*time.Millisecond, 0x100, false),
+		mk(3400*time.Millisecond, 0x050, true),
+	}
+}
+
+func alertAt(from, to time.Duration) detect.Alert {
+	return detect.Alert{WindowStart: from, WindowEnd: to}
+}
+
+func TestDetectionRate(t *testing.T) {
+	tr := mkTrace()
+	// Alerts cover windows [0,1s) and [3s,4s): catches injected at
+	// 200ms and 3400ms but misses 1200ms → 2/3.
+	alerts := []detect.Alert{alertAt(0, time.Second), alertAt(3*time.Second, 4*time.Second)}
+	got := DetectionRate(tr, alerts)
+	if math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("DetectionRate = %v, want 2/3", got)
+	}
+}
+
+func TestDetectionRateEdges(t *testing.T) {
+	if got := DetectionRate(nil, nil); got != 0 {
+		t.Errorf("empty trace rate = %v", got)
+	}
+	clean := trace.Trace{{Time: 0, Frame: can.Frame{ID: 1}}}
+	if got := DetectionRate(clean, []detect.Alert{alertAt(0, time.Second)}); got != 0 {
+		t.Errorf("no injected frames rate = %v", got)
+	}
+	// Boundary: window end is exclusive.
+	tr := trace.Trace{{Time: time.Second, Frame: can.Frame{ID: 1}, Injected: true}}
+	if got := DetectionRate(tr, []detect.Alert{alertAt(0, time.Second)}); got != 0 {
+		t.Errorf("frame at window end counted: %v", got)
+	}
+	if got := DetectionRate(tr, []detect.Alert{alertAt(time.Second, 2*time.Second)}); got != 1 {
+		t.Errorf("frame at window start missed: %v", got)
+	}
+}
+
+func TestWindowConfusion(t *testing.T) {
+	tr := mkTrace()
+	// Windows of 1s anchored at 100ms: [0.1,1.1) attacked, [1.1,2.1)
+	// attacked, [2.1,3.1) clean, [3.1,4.1) attacked.
+	alerts := []detect.Alert{
+		alertAt(100*time.Millisecond, 1100*time.Millisecond),  // TP
+		alertAt(2100*time.Millisecond, 3100*time.Millisecond), // FP
+	}
+	c := WindowConfusion(tr, alerts, time.Second)
+	if c.TP != 1 || c.FP != 1 || c.FN != 2 || c.TN != 0 {
+		t.Errorf("confusion = %+v, want TP1 FP1 FN2 TN0", c)
+	}
+	if p := c.Precision(); p != 0.5 {
+		t.Errorf("Precision = %v", p)
+	}
+	if r := c.Recall(); math.Abs(r-1.0/3.0) > 1e-12 {
+		t.Errorf("Recall = %v", r)
+	}
+	if f := c.FalsePositiveRate(); f != 1 {
+		t.Errorf("FPR = %v", f)
+	}
+}
+
+func TestWindowConfusionEdges(t *testing.T) {
+	if c := WindowConfusion(nil, nil, time.Second); c != (Confusion{}) {
+		t.Errorf("empty trace confusion = %+v", c)
+	}
+	if c := WindowConfusion(mkTrace(), nil, 0); c != (Confusion{}) {
+		t.Errorf("zero window confusion = %+v", c)
+	}
+	var zero Confusion
+	if zero.Precision() != 0 || zero.Recall() != 0 || zero.FalsePositiveRate() != 0 {
+		t.Error("zero confusion ratios should be 0")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	if got := HitRate(7, 10); got != 0.7 {
+		t.Errorf("HitRate = %v", got)
+	}
+	if got := HitRate(0, 0); got != 0 {
+		t.Errorf("HitRate(0,0) = %v", got)
+	}
+}

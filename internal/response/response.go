@@ -1,0 +1,126 @@
+// Package response closes the loop the paper's introduction promises:
+// "the malicious messages containing those IDs would be discarded or
+// blocked". A Responder consumes the bit-entropy detector's alerts, runs
+// malicious-ID inference, and pushes the top candidates onto a gateway
+// blocklist for a configurable quarantine period.
+package response
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"canids/internal/can"
+	"canids/internal/detect"
+	"canids/internal/gateway"
+	"canids/internal/infer"
+)
+
+// Errors returned by New.
+var (
+	ErrNoGateway = errors.New("response: gateway is required")
+	ErrNoPool    = errors.New("response: legal ID pool is required")
+)
+
+// Config parameterizes a Responder.
+type Config struct {
+	// Pool is the legal identifier set searched by inference.
+	Pool []can.ID
+	// Width is the identifier width in bits (11 for CAN 2.0A).
+	Width int
+	// Rank is the inference candidate-set size (paper: 10).
+	Rank int
+	// BlockTop is how many top-ranked candidates to block per alert
+	// (default 1 — blocking the whole candidate set would deny service
+	// to up to Rank legitimate message streams).
+	BlockTop int
+	// Quarantine is how long a block lasts from the alert's window end;
+	// zero blocks until manually lifted.
+	Quarantine time.Duration
+	// MinScore ignores alerts below this threshold-normalized score,
+	// avoiding knee-jerk blocking on marginal deviations.
+	MinScore float64
+}
+
+// DefaultConfig returns a conservative responder: block the single top
+// suspect for 30 seconds per alert.
+func DefaultConfig(pool []can.ID) Config {
+	return Config{
+		Pool:       pool,
+		Width:      can.StandardIDBits,
+		Rank:       infer.DefaultRank,
+		BlockTop:   1,
+		Quarantine: 30 * time.Second,
+	}
+}
+
+// Action records one response taken.
+type Action struct {
+	// Alert is the triggering alert.
+	Alert detect.Alert
+	// Blocked are the identifiers quarantined for this alert.
+	Blocked []can.ID
+	// Until is when the quarantine lapses (zero = manual).
+	Until time.Duration
+}
+
+// Responder turns alerts into gateway blocks.
+type Responder struct {
+	cfg     Config
+	gateway *gateway.Gateway
+	actions []Action
+}
+
+// New creates a responder bound to a gateway.
+func New(gw *gateway.Gateway, cfg Config) (*Responder, error) {
+	if gw == nil {
+		return nil, ErrNoGateway
+	}
+	if len(cfg.Pool) == 0 {
+		return nil, ErrNoPool
+	}
+	if cfg.Width == 0 {
+		cfg.Width = can.StandardIDBits
+	}
+	if cfg.Rank <= 0 {
+		cfg.Rank = infer.DefaultRank
+	}
+	if cfg.BlockTop <= 0 {
+		cfg.BlockTop = 1
+	}
+	if cfg.BlockTop > cfg.Rank {
+		return nil, fmt.Errorf("response: BlockTop %d exceeds Rank %d", cfg.BlockTop, cfg.Rank)
+	}
+	return &Responder{cfg: cfg, gateway: gw}, nil
+}
+
+// HandleAlert infers the malicious identifiers behind an alert and
+// blocks the top candidates. It returns the action taken, or nil when
+// the alert was below the score floor.
+func (r *Responder) HandleAlert(a detect.Alert) (*Action, error) {
+	if a.Score < r.cfg.MinScore {
+		return nil, nil
+	}
+	res, err := infer.Rank(a, r.cfg.Pool, r.cfg.Width, r.cfg.Rank)
+	if err != nil {
+		return nil, fmt.Errorf("response: %w", err)
+	}
+	until := time.Duration(0)
+	if r.cfg.Quarantine > 0 {
+		until = a.WindowEnd + r.cfg.Quarantine
+	}
+	act := Action{Alert: a, Until: until}
+	for _, id := range res.Candidates[:r.cfg.BlockTop] {
+		r.gateway.Block(id, until)
+		act.Blocked = append(act.Blocked, id)
+	}
+	r.actions = append(r.actions, act)
+	return &act, nil
+}
+
+// Actions returns a copy of the response history.
+func (r *Responder) Actions() []Action {
+	out := make([]Action, len(r.actions))
+	copy(out, r.actions)
+	return out
+}

@@ -1,0 +1,222 @@
+package response
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"canids/internal/attack"
+	"canids/internal/bus"
+	"canids/internal/can"
+	"canids/internal/core"
+	"canids/internal/detect"
+	"canids/internal/gateway"
+	"canids/internal/sim"
+	"canids/internal/trace"
+	"canids/internal/vehicle"
+)
+
+func newGateway(t *testing.T) *gateway.Gateway {
+	t.Helper()
+	g, err := gateway.New(gateway.DefaultConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	gw := newGateway(t)
+	if _, err := New(nil, DefaultConfig([]can.ID{1})); !errors.Is(err, ErrNoGateway) {
+		t.Errorf("nil gateway: %v", err)
+	}
+	if _, err := New(gw, DefaultConfig(nil)); !errors.Is(err, ErrNoPool) {
+		t.Errorf("empty pool: %v", err)
+	}
+	cfg := DefaultConfig([]can.ID{1})
+	cfg.BlockTop = 20
+	if _, err := New(gw, cfg); err == nil {
+		t.Error("BlockTop > Rank should fail")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	gw := newGateway(t)
+	r, err := New(gw, Config{Pool: []can.ID{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.cfg.Width != 11 || r.cfg.Rank != 10 || r.cfg.BlockTop != 1 {
+		t.Errorf("defaults not applied: %+v", r.cfg)
+	}
+}
+
+// fabricatedAlert mimics a single-ID injection of `id`.
+func fabricatedAlert(id can.ID, score float64) detect.Alert {
+	a := detect.Alert{
+		Score:       score,
+		WindowStart: 2 * time.Second,
+		WindowEnd:   3 * time.Second,
+	}
+	for i := 1; i <= 11; i++ {
+		dp := 0.05
+		if id.Bit(i, 11) == 0 {
+			dp = -0.05
+		}
+		a.Bits = append(a.Bits, detect.BitDeviation{
+			Bit: i, DeltaP: dp, Violated: true,
+		})
+	}
+	return a
+}
+
+func TestHandleAlertBlocksTopSuspect(t *testing.T) {
+	gw := newGateway(t)
+	pool := []can.ID{0x0B5, 0x100, 0x200, 0x300}
+	cfg := DefaultConfig(pool)
+	r, err := New(gw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act, err := r.HandleAlert(fabricatedAlert(0x0B5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act == nil || len(act.Blocked) != 1 || act.Blocked[0] != 0x0B5 {
+		t.Fatalf("action = %+v, want block of 0B5", act)
+	}
+	if act.Until != 33*time.Second {
+		t.Errorf("Until = %v, want window end + 30s", act.Until)
+	}
+	// The gateway now drops that ID until quarantine lapses.
+	v := gw.Classify(trace.Record{Time: 10 * time.Second, Frame: can.Frame{ID: 0x0B5}})
+	if v != gateway.DropBlocked {
+		t.Errorf("verdict %v, want drop-blocked", v)
+	}
+	v = gw.Classify(trace.Record{Time: 40 * time.Second, Frame: can.Frame{ID: 0x0B5}})
+	if v != gateway.Forward {
+		t.Errorf("post-quarantine verdict %v, want forward", v)
+	}
+	if len(r.Actions()) != 1 {
+		t.Errorf("actions = %d", len(r.Actions()))
+	}
+}
+
+func TestHandleAlertScoreFloor(t *testing.T) {
+	gw := newGateway(t)
+	cfg := DefaultConfig([]can.ID{0x0B5})
+	cfg.MinScore = 2
+	r, err := New(gw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act, err := r.HandleAlert(fabricatedAlert(0x0B5, 1))
+	if err != nil || act != nil {
+		t.Errorf("weak alert should be ignored: %v %v", act, err)
+	}
+}
+
+// TestEndToEndPrevention wires the full loop on simulated traffic: the
+// detector alerts, the responder blocks the inferred ID, and the gateway
+// then drops the attack traffic while legitimate frames keep flowing.
+func TestEndToEndPrevention(t *testing.T) {
+	profile := vehicle.NewFusionProfile(1)
+
+	// Train the detector.
+	var windows []trace.Trace
+	for si, scen := range vehicle.Scenarios {
+		sched := sim.NewScheduler()
+		b, err := bus.New(sched, bus.Config{BitRate: bus.DefaultMSCANBitRate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var log trace.Trace
+		b.Tap(func(r trace.Record) { log = append(log, r) })
+		profile.Attach(sched, b, vehicle.Options{Scenario: scen, Seed: int64(40 + si)})
+		if err := sched.RunUntil(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		windows = append(windows, log.Windows(time.Second, false)...)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Alpha = 4
+	det := core.MustNew(cfg)
+	if err := det.Train(windows); err != nil {
+		t.Fatal(err)
+	}
+
+	// Attack capture.
+	sched := sim.NewScheduler()
+	b, err := bus.New(sched, bus.Config{BitRate: bus.DefaultMSCANBitRate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log trace.Trace
+	b.Tap(func(r trace.Record) { log = append(log, r) })
+	profile.Attach(sched, b, vehicle.Options{Seed: 50})
+	injected := profile.IDSet()[30]
+	if _, err := attack.Launch(sched, b, nil, attack.Config{
+		Scenario:  attack.Single,
+		IDs:       []can.ID{injected},
+		Frequency: 100,
+		Start:     2 * time.Second,
+		Seed:      51,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Online loop: gateway in front, detector behind, responder closing
+	// the loop.
+	gw, err := gateway.New(gateway.DefaultConfig(profile.IDSet()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := New(gw, DefaultConfig(profile.IDSet()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var blockedAt time.Duration = -1
+	injectedDroppedAfterBlock := 0
+	injectedForwardedAfterBlock := 0
+	for _, r := range log {
+		verdict := gw.Classify(r)
+		if verdict != gateway.Forward {
+			if r.Injected && blockedAt >= 0 && r.Time > blockedAt {
+				injectedDroppedAfterBlock++
+			}
+			continue
+		}
+		if r.Injected && blockedAt >= 0 && r.Time > blockedAt {
+			injectedForwardedAfterBlock++
+		}
+		for _, a := range det.Observe(r) {
+			act, err := resp.HandleAlert(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if act != nil && blockedAt < 0 {
+				blockedAt = r.Time
+			}
+		}
+	}
+	if blockedAt < 0 {
+		t.Fatal("responder never acted")
+	}
+	acts := resp.Actions()
+	if !acts[0].Alert.ViolatedBits()[0].Violated {
+		t.Error("action should reference the triggering alert")
+	}
+	if got := acts[0].Blocked[0]; got != injected {
+		t.Fatalf("blocked %v, want the injected %v", got, injected)
+	}
+	if injectedForwardedAfterBlock != 0 {
+		t.Errorf("%d injected frames leaked after the block", injectedForwardedAfterBlock)
+	}
+	if injectedDroppedAfterBlock == 0 {
+		t.Error("no injected frames were stopped by the gateway")
+	}
+}

@@ -1,0 +1,310 @@
+// Package signal implements DBC-style CAN signal packing: extraction and
+// insertion of scaled physical values from frame payloads, with both
+// Intel (little-endian) and Motorola (big-endian) bit ordering.
+//
+// It is the substrate for building realistic vehicle profiles — payload
+// generators can speak in physical units (km/h, °C, rpm) instead of raw
+// bytes — and for decoding captured traffic in tooling.
+//
+// Bit numbering follows the DBC convention: bit b of a payload lives in
+// byte b/8 at in-byte position b%8 with 0 = least significant. Intel
+// signals grow upward from StartBit (which holds the LSB); Motorola
+// signals grow downward in the sawtooth order (StartBit holds the MSB).
+package signal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"canids/internal/can"
+)
+
+// ByteOrder selects the signal bit ordering.
+type ByteOrder int
+
+const (
+	// Intel is little-endian (DBC byte order 1).
+	Intel ByteOrder = iota + 1
+	// Motorola is big-endian (DBC byte order 0).
+	Motorola
+)
+
+// String implements fmt.Stringer.
+func (o ByteOrder) String() string {
+	switch o {
+	case Intel:
+		return "intel"
+	case Motorola:
+		return "motorola"
+	default:
+		return fmt.Sprintf("ByteOrder(%d)", int(o))
+	}
+}
+
+// Errors returned by signal operations.
+var (
+	ErrRange    = errors.New("signal: value outside physical range")
+	ErrLayout   = errors.New("signal: layout does not fit payload")
+	ErrOverlap  = errors.New("signal: signals overlap")
+	ErrNotFound = errors.New("signal: signal not found")
+)
+
+// Signal describes one field inside a CAN payload.
+type Signal struct {
+	// Name identifies the signal within its message.
+	Name string
+	// StartBit is the DBC start bit (LSB for Intel, MSB for Motorola).
+	StartBit int
+	// Length is the field width in bits, 1..64.
+	Length int
+	// Order is the bit ordering.
+	Order ByteOrder
+	// Signed interprets the raw field as two's complement.
+	Signed bool
+	// Scale and Offset map raw to physical: phys = raw·Scale + Offset.
+	// A zero Scale is treated as 1.
+	Scale, Offset float64
+	// Min and Max bound the physical value; both zero disables the
+	// check.
+	Min, Max float64
+	// Unit is a human-readable unit label.
+	Unit string
+}
+
+// scale returns the effective scale factor.
+func (s Signal) scale() float64 {
+	if s.Scale == 0 {
+		return 1
+	}
+	return s.Scale
+}
+
+// bits returns the payload bit positions of the signal from LSB to MSB,
+// or an error when the layout is invalid for the given DLC.
+func (s Signal) bits(dlc int) ([]int, error) {
+	if s.Length < 1 || s.Length > 64 {
+		return nil, fmt.Errorf("%w: length %d", ErrLayout, s.Length)
+	}
+	if s.StartBit < 0 || s.StartBit >= dlc*8 {
+		return nil, fmt.Errorf("%w: start bit %d with DLC %d", ErrLayout, s.StartBit, dlc)
+	}
+	out := make([]int, s.Length)
+	switch s.Order {
+	case Intel:
+		for i := 0; i < s.Length; i++ {
+			out[i] = s.StartBit + i
+		}
+	case Motorola:
+		// Walk MSB→LSB in the sawtooth order, then reverse into
+		// LSB-first.
+		pos := s.StartBit
+		for i := 0; i < s.Length; i++ {
+			out[s.Length-1-i] = pos
+			if pos%8 == 0 {
+				pos += 15
+			} else {
+				pos--
+			}
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown byte order %d", ErrLayout, int(s.Order))
+	}
+	for _, b := range out {
+		if b < 0 || b >= dlc*8 {
+			return nil, fmt.Errorf("%w: bit %d with DLC %d", ErrLayout, b, dlc)
+		}
+	}
+	return out, nil
+}
+
+// DecodeRaw extracts the unsigned raw field value.
+func (s Signal) DecodeRaw(data []byte) (uint64, error) {
+	bits, err := s.bits(len(data))
+	if err != nil {
+		return 0, err
+	}
+	var raw uint64
+	for i, b := range bits {
+		raw |= uint64(data[b/8]>>(b%8)&1) << i
+	}
+	return raw, nil
+}
+
+// Decode extracts the physical value.
+func (s Signal) Decode(data []byte) (float64, error) {
+	raw, err := s.DecodeRaw(data)
+	if err != nil {
+		return 0, err
+	}
+	var val float64
+	if s.Signed && s.Length < 64 && raw&(1<<(s.Length-1)) != 0 {
+		val = float64(int64(raw | ^uint64(0)<<s.Length))
+	} else if s.Signed {
+		val = float64(int64(raw))
+	} else {
+		val = float64(raw)
+	}
+	return val*s.scale() + s.Offset, nil
+}
+
+// EncodeRaw inserts an unsigned raw field value in place.
+func (s Signal) EncodeRaw(data []byte, raw uint64) error {
+	bits, err := s.bits(len(data))
+	if err != nil {
+		return err
+	}
+	if s.Length < 64 && raw >= 1<<s.Length && !s.Signed {
+		return fmt.Errorf("%w: raw %d exceeds %d bits", ErrRange, raw, s.Length)
+	}
+	for i, b := range bits {
+		mask := byte(1) << (b % 8)
+		if raw>>i&1 != 0 {
+			data[b/8] |= mask
+		} else {
+			data[b/8] &^= mask
+		}
+	}
+	return nil
+}
+
+// Encode inserts a physical value in place, applying offset, scale and
+// range checks. The value is rounded to the nearest raw step.
+func (s Signal) Encode(data []byte, value float64) error {
+	if s.Min != 0 || s.Max != 0 {
+		if value < s.Min || value > s.Max {
+			return fmt.Errorf("%w: %v not in [%v, %v] %s", ErrRange, value, s.Min, s.Max, s.Unit)
+		}
+	}
+	raw := math.Round((value - s.Offset) / s.scale())
+	if s.Signed {
+		lo := -(int64(1) << (s.Length - 1))
+		hi := int64(1)<<(s.Length-1) - 1
+		if int64(raw) < lo || int64(raw) > hi {
+			return fmt.Errorf("%w: raw %v outside signed %d-bit field", ErrRange, raw, s.Length)
+		}
+		mask := uint64(1)<<s.Length - 1
+		return s.EncodeRaw(data, uint64(int64(raw))&mask)
+	}
+	if raw < 0 || (s.Length < 64 && raw >= float64(uint64(1)<<s.Length)) {
+		return fmt.Errorf("%w: raw %v outside unsigned %d-bit field", ErrRange, raw, s.Length)
+	}
+	return s.EncodeRaw(data, uint64(raw))
+}
+
+// Message groups the signals of one CAN identifier.
+type Message struct {
+	// ID is the frame identifier carrying this message.
+	ID can.ID
+	// Name labels the message.
+	Name string
+	// DLC is the payload length in bytes.
+	DLC int
+	// Signals are the packed fields.
+	Signals []Signal
+}
+
+// Validate checks the layout: every signal fits the DLC and no two
+// signals overlap.
+func (m Message) Validate() error {
+	if m.DLC < 0 || m.DLC > can.MaxDataLen {
+		return fmt.Errorf("%w: DLC %d", ErrLayout, m.DLC)
+	}
+	used := make(map[int]string, m.DLC*8)
+	for _, s := range m.Signals {
+		bits, err := s.bits(m.DLC)
+		if err != nil {
+			return fmt.Errorf("signal %q: %w", s.Name, err)
+		}
+		for _, b := range bits {
+			if other, taken := used[b]; taken {
+				return fmt.Errorf("%w: %q and %q share bit %d", ErrOverlap, other, s.Name, b)
+			}
+			used[b] = s.Name
+		}
+	}
+	return nil
+}
+
+// Signal returns the named signal.
+func (m Message) Signal(name string) (Signal, bool) {
+	for _, s := range m.Signals {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Signal{}, false
+}
+
+// Decode extracts every signal's physical value from a frame.
+func (m Message) Decode(f can.Frame) (map[string]float64, error) {
+	if f.ID != m.ID {
+		return nil, fmt.Errorf("signal: frame ID %s does not match message %s", f.ID, m.ID)
+	}
+	data := f.Payload()
+	out := make(map[string]float64, len(m.Signals))
+	for _, s := range m.Signals {
+		v, err := s.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("signal %q: %w", s.Name, err)
+		}
+		out[s.Name] = v
+	}
+	return out, nil
+}
+
+// Encode builds a frame carrying the given physical values. Signals not
+// present in values are encoded as zero raw.
+func (m Message) Encode(values map[string]float64) (can.Frame, error) {
+	data := make([]byte, m.DLC)
+	for _, s := range m.Signals {
+		v, ok := values[s.Name]
+		if !ok {
+			continue
+		}
+		if err := s.Encode(data, v); err != nil {
+			return can.Frame{}, fmt.Errorf("signal %q: %w", s.Name, err)
+		}
+	}
+	return can.NewFrame(m.ID, data)
+}
+
+// Database maps identifiers to message definitions, like a DBC file.
+type Database struct {
+	messages map[can.ID]Message
+}
+
+// NewDatabase builds a database, validating every message layout and
+// rejecting duplicate identifiers.
+func NewDatabase(messages ...Message) (*Database, error) {
+	db := &Database{messages: make(map[can.ID]Message, len(messages))}
+	for _, m := range messages {
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("message %q: %w", m.Name, err)
+		}
+		if _, dup := db.messages[m.ID]; dup {
+			return nil, fmt.Errorf("signal: duplicate message ID %s", m.ID)
+		}
+		db.messages[m.ID] = m
+	}
+	return db, nil
+}
+
+// Message returns the definition for an identifier.
+func (db *Database) Message(id can.ID) (Message, bool) {
+	m, ok := db.messages[id]
+	return m, ok
+}
+
+// Len returns the number of message definitions.
+func (db *Database) Len() int { return len(db.messages) }
+
+// Decode resolves a frame against the database and decodes its signals.
+// Frames with unknown identifiers return ErrNotFound.
+func (db *Database) Decode(f can.Frame) (map[string]float64, error) {
+	m, ok := db.messages[f.ID]
+	if !ok {
+		return nil, fmt.Errorf("%w: ID %s", ErrNotFound, f.ID)
+	}
+	return m.Decode(f)
+}

@@ -1,0 +1,279 @@
+package signal
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"canids/internal/can"
+)
+
+func TestByteOrderString(t *testing.T) {
+	if Intel.String() != "intel" || Motorola.String() != "motorola" {
+		t.Error("order strings wrong")
+	}
+	if ByteOrder(7).String() != "ByteOrder(7)" {
+		t.Error("unknown order string")
+	}
+}
+
+func TestIntelRoundTrip(t *testing.T) {
+	s := Signal{Name: "speed", StartBit: 8, Length: 16, Order: Intel, Scale: 0.01, Unit: "km/h"}
+	data := make([]byte, 8)
+	if err := s.Encode(data, 123.45); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := s.Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if math.Abs(got-123.45) > 0.01 {
+		t.Errorf("round trip %v, want 123.45", got)
+	}
+	// Raw layout: 12345 = 0x3039 little-endian at byte 1.
+	if data[1] != 0x39 || data[2] != 0x30 {
+		t.Errorf("raw bytes % X", data)
+	}
+}
+
+func TestMotorolaRoundTrip(t *testing.T) {
+	// Classic DBC big-endian signal: start bit 7 (MSB of byte 0),
+	// 16 bits → bytes 0..1 big-endian.
+	s := Signal{Name: "rpm", StartBit: 7, Length: 16, Order: Motorola, Scale: 0.25}
+	data := make([]byte, 8)
+	if err := s.Encode(data, 4000); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if data[0] != 0x3E || data[1] != 0x80 { // 16000 = 0x3E80
+		t.Errorf("raw bytes % X, want 3E 80 ...", data[:2])
+	}
+	got, err := s.Decode(data)
+	if err != nil || got != 4000 {
+		t.Errorf("Decode = %v, %v", got, err)
+	}
+}
+
+func TestMotorolaSawtoothCrossesBytes(t *testing.T) {
+	// 12-bit Motorola signal starting at bit 3: spans byte 0 bits 3..0
+	// then byte 1 bits 7..0.
+	s := Signal{Name: "x", StartBit: 3, Length: 12, Order: Motorola}
+	data := make([]byte, 2)
+	if err := s.EncodeRaw(data, 0xABC); err != nil {
+		t.Fatalf("EncodeRaw: %v", err)
+	}
+	raw, err := s.DecodeRaw(data)
+	if err != nil || raw != 0xABC {
+		t.Errorf("raw round trip = %#x, %v", raw, err)
+	}
+	if data[0] != 0x0A || data[1] != 0xBC {
+		t.Errorf("bytes % X, want 0A BC", data)
+	}
+}
+
+func TestSignedSignals(t *testing.T) {
+	s := Signal{Name: "temp", StartBit: 0, Length: 8, Order: Intel, Signed: true, Offset: 0, Scale: 0.5}
+	data := make([]byte, 1)
+	if err := s.Encode(data, -20.5); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := s.Decode(data)
+	if err != nil || got != -20.5 {
+		t.Errorf("signed round trip = %v, %v", got, err)
+	}
+	// Signed range limits.
+	if err := s.Encode(data, 64); err == nil { // raw 128 > 127
+		t.Error("overflow of signed field should fail")
+	}
+	if err := s.Encode(data, -64.5); err == nil { // raw -129 < -128
+		t.Error("underflow of signed field should fail")
+	}
+}
+
+func TestPhysicalRangeCheck(t *testing.T) {
+	s := Signal{Name: "pct", StartBit: 0, Length: 8, Order: Intel, Min: 0, Max: 100}
+	data := make([]byte, 1)
+	if err := s.Encode(data, 101); !errors.Is(err, ErrRange) {
+		t.Errorf("above max: %v", err)
+	}
+	if err := s.Encode(data, -1); !errors.Is(err, ErrRange) {
+		t.Errorf("below min: %v", err)
+	}
+	if err := s.Encode(data, 55); err != nil {
+		t.Errorf("in range: %v", err)
+	}
+}
+
+func TestLayoutErrors(t *testing.T) {
+	data := make([]byte, 2)
+	cases := []Signal{
+		{StartBit: 0, Length: 0, Order: Intel},
+		{StartBit: 0, Length: 65, Order: Intel},
+		{StartBit: 16, Length: 4, Order: Intel},    // start outside DLC
+		{StartBit: 12, Length: 8, Order: Intel},    // runs past payload
+		{StartBit: 0, Length: 4, Order: 0},         // no byte order
+		{StartBit: 0, Length: 12, Order: Motorola}, // sawtooth runs past end
+	}
+	for i, s := range cases {
+		if _, err := s.DecodeRaw(data); !errors.Is(err, ErrLayout) {
+			t.Errorf("case %d: got %v, want ErrLayout", i, err)
+		}
+	}
+}
+
+func TestEncodeRawOverflow(t *testing.T) {
+	s := Signal{StartBit: 0, Length: 4, Order: Intel}
+	data := make([]byte, 1)
+	if err := s.EncodeRaw(data, 16); !errors.Is(err, ErrRange) {
+		t.Errorf("raw overflow: %v", err)
+	}
+}
+
+func TestQuickIntelRoundTrip(t *testing.T) {
+	prop := func(startRaw, lenRaw uint8, value uint64) bool {
+		length := int(lenRaw)%32 + 1
+		start := int(startRaw) % (64 - length)
+		s := Signal{StartBit: start, Length: length, Order: Intel}
+		raw := value & (1<<length - 1)
+		data := make([]byte, 8)
+		if err := s.EncodeRaw(data, raw); err != nil {
+			return false
+		}
+		got, err := s.DecodeRaw(data)
+		return err == nil && got == raw
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMotorolaRoundTrip(t *testing.T) {
+	prop := func(byteRaw, lenRaw uint8, value uint64) bool {
+		// Byte-aligned Motorola starts (MSB of a byte) with lengths that
+		// stay inside the payload.
+		startByte := int(byteRaw) % 6
+		length := int(lenRaw)%16 + 1
+		s := Signal{StartBit: startByte*8 + 7, Length: length, Order: Motorola}
+		raw := value & (1<<length - 1)
+		data := make([]byte, 8)
+		if err := s.EncodeRaw(data, raw); err != nil {
+			return false
+		}
+		got, err := s.DecodeRaw(data)
+		return err == nil && got == raw
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEncodeDoesNotDisturbNeighbours(t *testing.T) {
+	prop := func(value uint64) bool {
+		a := Signal{Name: "a", StartBit: 0, Length: 12, Order: Intel}
+		b := Signal{Name: "b", StartBit: 12, Length: 12, Order: Intel}
+		data := make([]byte, 3)
+		if err := a.EncodeRaw(data, 0xFFF); err != nil {
+			return false
+		}
+		if err := b.EncodeRaw(data, value&0xFFF); err != nil {
+			return false
+		}
+		got, err := a.DecodeRaw(data)
+		return err == nil && got == 0xFFF
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func wheelSpeedMessage() Message {
+	return Message{
+		ID: 0x0B4, Name: "WheelSpeeds", DLC: 8,
+		Signals: []Signal{
+			{Name: "fl", StartBit: 0, Length: 16, Order: Intel, Scale: 0.01, Min: 0, Max: 300, Unit: "km/h"},
+			{Name: "fr", StartBit: 16, Length: 16, Order: Intel, Scale: 0.01, Min: 0, Max: 300, Unit: "km/h"},
+			{Name: "rl", StartBit: 32, Length: 16, Order: Intel, Scale: 0.01, Min: 0, Max: 300, Unit: "km/h"},
+			{Name: "rr", StartBit: 48, Length: 16, Order: Intel, Scale: 0.01, Min: 0, Max: 300, Unit: "km/h"},
+		},
+	}
+}
+
+func TestMessageEncodeDecode(t *testing.T) {
+	m := wheelSpeedMessage()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	f, err := m.Encode(map[string]float64{"fl": 88.5, "fr": 88.25, "rl": 90, "rr": 89.75})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	vals, err := m.Decode(f)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	for name, want := range map[string]float64{"fl": 88.5, "fr": 88.25, "rl": 90, "rr": 89.75} {
+		if math.Abs(vals[name]-want) > 0.005 {
+			t.Errorf("%s = %v, want %v", name, vals[name], want)
+		}
+	}
+	if _, ok := m.Signal("fl"); !ok {
+		t.Error("Signal lookup failed")
+	}
+	if _, ok := m.Signal("nope"); ok {
+		t.Error("unknown signal lookup should fail")
+	}
+}
+
+func TestMessageDecodeWrongID(t *testing.T) {
+	m := wheelSpeedMessage()
+	if _, err := m.Decode(can.MustFrame(0x123, make([]byte, 8))); err == nil {
+		t.Error("wrong ID should fail")
+	}
+}
+
+func TestMessageValidateOverlap(t *testing.T) {
+	m := Message{
+		ID: 0x100, Name: "bad", DLC: 2,
+		Signals: []Signal{
+			{Name: "a", StartBit: 0, Length: 10, Order: Intel},
+			{Name: "b", StartBit: 8, Length: 4, Order: Intel},
+		},
+	}
+	if err := m.Validate(); !errors.Is(err, ErrOverlap) {
+		t.Errorf("overlap: %v", err)
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	m := wheelSpeedMessage()
+	db, err := NewDatabase(m)
+	if err != nil {
+		t.Fatalf("NewDatabase: %v", err)
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	f, err := m.Encode(map[string]float64{"fl": 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := db.Decode(f)
+	if err != nil || vals["fl"] != 50 {
+		t.Errorf("db.Decode = %v, %v", vals, err)
+	}
+	if _, err := db.Decode(can.MustFrame(0x7FF, nil)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown ID: %v", err)
+	}
+	if _, ok := db.Message(0x0B4); !ok {
+		t.Error("Message lookup failed")
+	}
+	// Duplicate IDs rejected.
+	if _, err := NewDatabase(m, m); err == nil {
+		t.Error("duplicate IDs should fail")
+	}
+	// Invalid layout rejected.
+	bad := Message{ID: 1, DLC: 1, Signals: []Signal{{StartBit: 0, Length: 16, Order: Intel}}}
+	if _, err := NewDatabase(bad); err == nil {
+		t.Error("invalid layout should fail")
+	}
+}

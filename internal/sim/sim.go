@@ -1,0 +1,157 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// a virtual clock, an event queue with stable FIFO ordering for
+// simultaneous events, and seeded randomness helpers.
+//
+// All experiments in this repository run on virtual time so that results
+// are exactly reproducible from a seed and independent of host speed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp, measured as a duration since the start of
+// the simulation.
+type Time = time.Duration
+
+// ErrStopped is returned by Run when the scheduler was stopped explicitly.
+var ErrStopped = errors.New("sim: stopped")
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among simultaneous events
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler is a discrete-event simulator. The zero value is ready to use.
+type Scheduler struct {
+	queue   eventQueue
+	now     Time
+	seq     uint64
+	stopped bool
+}
+
+// NewScheduler returns an empty scheduler at time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// At schedules fn to run at the given absolute virtual time. Scheduling
+// in the past (before Now) runs the event at the current time instead,
+// preserving causal order.
+func (s *Scheduler) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
+
+// Every schedules fn at t0, t0+period, ... until the scheduler stops or
+// the returned cancel function is called.
+func (s *Scheduler) Every(t0 Time, period time.Duration, fn func()) (cancel func()) {
+	if period <= 0 {
+		panic("sim: Every requires a positive period")
+	}
+	stop := false
+	var tick func()
+	next := t0
+	tick = func() {
+		if stop {
+			return
+		}
+		fn()
+		next += period
+		s.At(next, tick)
+	}
+	s.At(t0, tick)
+	return func() { stop = true }
+}
+
+// Stop halts Run after the currently executing event.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// RunUntil executes events in timestamp order until the queue is empty or
+// virtual time would pass the deadline. The clock finishes exactly at the
+// deadline if events remain beyond it.
+func (s *Scheduler) RunUntil(deadline Time) error {
+	for len(s.queue) > 0 {
+		if s.stopped {
+			s.stopped = false
+			return ErrStopped
+		}
+		next := s.queue[0]
+		if next.at > deadline {
+			s.now = deadline
+			return nil
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		next.fn()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return nil
+}
+
+// Run executes all queued events (including ones scheduled while running)
+// until the queue drains or Stop is called.
+func (s *Scheduler) Run() error {
+	for len(s.queue) > 0 {
+		if s.stopped {
+			s.stopped = false
+			return ErrStopped
+		}
+		next := heap.Pop(&s.queue).(*event)
+		s.now = next.at
+		next.fn()
+	}
+	return nil
+}
+
+// NewRand returns a deterministic RNG for the given seed. Experiments
+// derive all their randomness from seeds so runs are reproducible.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// SplitSeed derives a child seed from a parent seed and an index, so that
+// independent components get independent but reproducible streams.
+func SplitSeed(seed int64, index int64) int64 {
+	// SplitMix64-style mixing.
+	z := uint64(seed) + uint64(index)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.At(30*time.Millisecond, func() { order = append(order, 3) })
+	s.At(10*time.Millisecond, func() { order = append(order, 1) })
+	s.At(20*time.Millisecond, func() { order = append(order, 2) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Millisecond, func() { order = append(order, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	var hits int
+	s.At(time.Millisecond, func() {
+		s.After(time.Millisecond, func() { hits++ })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if hits != 1 {
+		t.Errorf("hits = %d, want 1", hits)
+	}
+	if s.Now() != 2*time.Millisecond {
+		t.Errorf("Now = %v, want 2ms", s.Now())
+	}
+}
+
+func TestSchedulerPastEventRunsNow(t *testing.T) {
+	s := NewScheduler()
+	var at Time
+	s.At(10*time.Millisecond, func() {
+		s.At(5*time.Millisecond, func() { at = s.Now() })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 10*time.Millisecond {
+		t.Errorf("past event ran at %v, want clamped to 10ms", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var hits int
+	s.Every(0, time.Second, func() { hits++ })
+	if err := s.RunUntil(3500 * time.Millisecond); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if hits != 4 { // t=0,1,2,3
+		t.Errorf("hits = %d, want 4", hits)
+	}
+	if s.Now() != 3500*time.Millisecond {
+		t.Errorf("Now = %v, want 3.5s", s.Now())
+	}
+	if s.Pending() == 0 {
+		t.Error("periodic event should still be pending")
+	}
+}
+
+func TestEveryCancel(t *testing.T) {
+	s := NewScheduler()
+	var hits int
+	cancel := s.Every(0, time.Second, func() { hits++ })
+	s.At(2500*time.Millisecond, cancel)
+	if err := s.RunUntil(10 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if hits != 3 { // t=0,1,2
+		t.Errorf("hits = %d, want 3", hits)
+	}
+}
+
+func TestEveryPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Every(0 period) did not panic")
+		}
+	}()
+	NewScheduler().Every(0, 0, func() {})
+}
+
+func TestStop(t *testing.T) {
+	s := NewScheduler()
+	var hits int
+	s.Every(0, time.Millisecond, func() {
+		hits++
+		if hits == 5 {
+			s.Stop()
+		}
+	})
+	if err := s.Run(); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Run: got %v, want ErrStopped", err)
+	}
+	if hits != 5 {
+		t.Errorf("hits = %d, want 5", hits)
+	}
+}
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(99), NewRand(99)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestSplitSeedProperties(t *testing.T) {
+	prop := func(seed int64, i, j uint8) bool {
+		if i == j {
+			return true
+		}
+		return SplitSeed(seed, int64(i)) != SplitSeed(seed, int64(j))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+	if SplitSeed(1, 0) == SplitSeed(2, 0) {
+		t.Error("different parents should give different children")
+	}
+}

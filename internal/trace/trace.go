@@ -1,0 +1,124 @@
+// Package trace defines timestamped CAN records with attack ground truth,
+// plus log readers and writers in three formats:
+//
+//   - candump text ("(1690000000.123456) can0 123#DEADBEEF"), the de-facto
+//     exchange format, which carries no ground truth;
+//   - CSV, a Vehicle-Spy-like table that preserves the source node and the
+//     injected flag, used for scored experiments;
+//   - a compact binary stream for large traces.
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"canids/internal/can"
+)
+
+// Record is one observed frame on the bus.
+type Record struct {
+	// Time is the virtual (or absolute) timestamp of the frame's start of
+	// transmission, measured from the beginning of the trace.
+	Time time.Duration
+	// Frame is the observed CAN frame.
+	Frame can.Frame
+	// Channel names the bus, e.g. "ms-can" or "can0".
+	Channel string
+	// Source names the transmitting node, when known. Empty for logs
+	// imported from formats without provenance.
+	Source string
+	// Injected is the attack ground truth: true if the frame was placed
+	// on the bus by an attacker.
+	Injected bool
+}
+
+// Trace is an ordered sequence of records.
+type Trace []Record
+
+// Sort orders the trace by timestamp, stably, in place.
+func (t Trace) Sort() {
+	sort.SliceStable(t, func(i, j int) bool { return t[i].Time < t[j].Time })
+}
+
+// Duration returns the time span covered by the trace (last minus first
+// timestamp), or zero for traces with fewer than two records.
+func (t Trace) Duration() time.Duration {
+	if len(t) < 2 {
+		return 0
+	}
+	return t[len(t)-1].Time - t[0].Time
+}
+
+// Slice returns the records with Time in [from, to). The trace must be
+// sorted by time.
+func (t Trace) Slice(from, to time.Duration) Trace {
+	lo := sort.Search(len(t), func(i int) bool { return t[i].Time >= from })
+	hi := sort.Search(len(t), func(i int) bool { return t[i].Time >= to })
+	return t[lo:hi]
+}
+
+// Windows cuts the trace into consecutive windows of the given length,
+// starting at the first record's timestamp. The final partial window is
+// included only if includePartial is set. The trace must be sorted.
+func (t Trace) Windows(length time.Duration, includePartial bool) []Trace {
+	if len(t) == 0 || length <= 0 {
+		return nil
+	}
+	var out []Trace
+	start := t[0].Time
+	end := t[len(t)-1].Time
+	for from := start; from <= end; from += length {
+		w := t.Slice(from, from+length)
+		if from+length > end+1 && !includePartial {
+			break
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// Filter returns the records for which keep returns true.
+func (t Trace) Filter(keep func(Record) bool) Trace {
+	var out Trace
+	for _, r := range t {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// CountInjected returns the number of injected (ground-truth attack)
+// records.
+func (t Trace) CountInjected() int {
+	n := 0
+	for _, r := range t {
+		if r.Injected {
+			n++
+		}
+	}
+	return n
+}
+
+// IDs returns the distinct identifiers appearing in the trace, ascending.
+func (t Trace) IDs() []can.ID {
+	seen := make(map[can.ID]bool)
+	for _, r := range t {
+		seen[r.Frame.ID] = true
+	}
+	ids := make([]can.ID, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// IDCounts returns the per-identifier frame counts.
+func (t Trace) IDCounts() map[can.ID]int {
+	counts := make(map[can.ID]int)
+	for _, r := range t {
+		counts[r.Frame.ID]++
+	}
+	return counts
+}

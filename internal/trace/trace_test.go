@@ -1,0 +1,273 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"canids/internal/can"
+)
+
+func sampleTrace() Trace {
+	return Trace{
+		{Time: 0, Frame: can.MustFrame(0x100, []byte{1}), Channel: "ms-can", Source: "ecu1"},
+		{Time: 10 * time.Millisecond, Frame: can.MustFrame(0x200, []byte{2, 3}), Channel: "ms-can", Source: "ecu2"},
+		{Time: 20 * time.Millisecond, Frame: can.MustFrame(0x0A0, nil), Channel: "ms-can", Source: "mal", Injected: true},
+		{Time: 1500 * time.Millisecond, Frame: can.MustFrame(0x100, []byte{4}), Channel: "ms-can", Source: "ecu1"},
+	}
+}
+
+func TestTraceSortAndDuration(t *testing.T) {
+	tr := sampleTrace()
+	// Shuffle then sort.
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(len(tr), func(i, j int) { tr[i], tr[j] = tr[j], tr[i] })
+	tr.Sort()
+	for i := 1; i < len(tr); i++ {
+		if tr[i-1].Time > tr[i].Time {
+			t.Fatal("trace not sorted")
+		}
+	}
+	if got, want := tr.Duration(), 1500*time.Millisecond; got != want {
+		t.Errorf("Duration = %v, want %v", got, want)
+	}
+	if (Trace{}).Duration() != 0 {
+		t.Error("empty trace duration should be 0")
+	}
+}
+
+func TestTraceSlice(t *testing.T) {
+	tr := sampleTrace()
+	got := tr.Slice(5*time.Millisecond, 25*time.Millisecond)
+	if len(got) != 2 {
+		t.Fatalf("Slice returned %d records, want 2", len(got))
+	}
+	if got[0].Frame.ID != 0x200 || got[1].Frame.ID != 0x0A0 {
+		t.Errorf("unexpected slice contents: %v", got)
+	}
+}
+
+func TestTraceWindows(t *testing.T) {
+	tr := sampleTrace()
+	ws := tr.Windows(time.Second, true)
+	if len(ws) != 2 {
+		t.Fatalf("Windows = %d, want 2", len(ws))
+	}
+	if len(ws[0]) != 3 || len(ws[1]) != 1 {
+		t.Errorf("window sizes = %d,%d want 3,1", len(ws[0]), len(ws[1]))
+	}
+	if got := tr.Windows(0, true); got != nil {
+		t.Error("zero-length windows should return nil")
+	}
+}
+
+func TestTraceFilterAndCounts(t *testing.T) {
+	tr := sampleTrace()
+	inj := tr.Filter(func(r Record) bool { return r.Injected })
+	if len(inj) != 1 || tr.CountInjected() != 1 {
+		t.Errorf("injected count mismatch: filter=%d count=%d", len(inj), tr.CountInjected())
+	}
+	ids := tr.IDs()
+	if len(ids) != 3 || ids[0] != 0x0A0 || ids[2] != 0x200 {
+		t.Errorf("IDs = %v", ids)
+	}
+	counts := tr.IDCounts()
+	if counts[0x100] != 2 {
+		t.Errorf("count[0x100] = %d, want 2", counts[0x100])
+	}
+}
+
+func TestCandumpRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteCandump(&buf, tr); err != nil {
+		t.Fatalf("WriteCandump: %v", err)
+	}
+	got, err := ReadCandump(&buf)
+	if err != nil {
+		t.Fatalf("ReadCandump: %v", err)
+	}
+	if len(got) != len(tr) {
+		t.Fatalf("len = %d, want %d", len(got), len(tr))
+	}
+	for i := range tr {
+		if got[i].Time != tr[i].Time || !got[i].Frame.Equal(tr[i].Frame) || got[i].Channel != tr[i].Channel {
+			t.Errorf("record %d mismatch: %+v vs %+v", i, got[i], tr[i])
+		}
+		// candump drops provenance by design.
+		if got[i].Source != "" || got[i].Injected {
+			t.Errorf("record %d: candump should not carry ground truth", i)
+		}
+	}
+}
+
+func TestReadCandumpSkipsCommentsAndBlank(t *testing.T) {
+	input := "# comment\n\n(1.000000) can0 123#AB\n"
+	got, err := ReadCandump(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("ReadCandump: %v", err)
+	}
+	if len(got) != 1 || got[0].Frame.ID != 0x123 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestReadCandumpErrors(t *testing.T) {
+	bad := []string{
+		"(1.0) can0",                  // missing frame
+		"(x.000000) can0 123#AB",      // bad seconds
+		"(1.00000x) can0 123#AB",      // bad microseconds
+		"(1000000) can0 123#AB",       // no dot
+		"(1.000000) can0 123#AB meta", // extra field
+	}
+	for _, s := range bad {
+		if _, err := ReadCandump(strings.NewReader(s)); err == nil {
+			t.Errorf("ReadCandump(%q) succeeded, want error", s)
+		}
+	}
+	if _, err := ReadCandump(strings.NewReader("(1.0) can0 123#ZZ")); err == nil {
+		t.Error("bad frame hex should fail")
+	}
+}
+
+func TestCSVRoundTripPreservesGroundTruth(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(got) != len(tr) {
+		t.Fatalf("len = %d, want %d", len(got), len(tr))
+	}
+	for i := range tr {
+		if got[i] != tr[i] {
+			t.Errorf("record %d: %+v vs %+v", i, got[i], tr[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	rows := []string{
+		"time_us,channel,id,dlc,data,source,injected\nx,ms,100,0,,a,0",
+		"time_us,channel,id,dlc,data,source,injected\n1,ms,ZZZ,0,,a,0",
+		"time_us,channel,id,dlc,data,source,injected\n1,ms,100,9,,a,0",
+		"time_us,channel,id,dlc,data,source,injected\n1,ms,100,2,AB,a,0",
+	}
+	for _, s := range rows {
+		if _, err := ReadCSV(strings.NewReader(s)); err == nil {
+			t.Errorf("ReadCSV(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader(""))
+	if err != nil || got != nil {
+		t.Errorf("empty csv: got %v, %v", got, err)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if len(got) != len(tr) {
+		t.Fatalf("len = %d, want %d", len(got), len(tr))
+	}
+	for i := range tr {
+		if got[i] != tr[i] {
+			t.Errorf("record %d mismatch: %+v vs %+v", i, got[i], tr[i])
+		}
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	_, err := ReadBinary(bytes.NewReader([]byte("NOPE....")))
+	if err == nil {
+		t.Error("bad magic should fail")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{5, 13, len(raw) - 3} {
+		if _, err := ReadBinary(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestCandumpLargeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var tr Trace
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(9)
+		data := make([]byte, n)
+		rng.Read(data)
+		tr = append(tr, Record{
+			Time:    time.Duration(i) * time.Millisecond,
+			Frame:   can.MustFrame(can.ID(rng.Intn(0x800)), data),
+			Channel: "can0",
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteCandump(&buf, tr); err != nil {
+		t.Fatalf("WriteCandump: %v", err)
+	}
+	got, err := ReadCandump(&buf)
+	if err != nil {
+		t.Fatalf("ReadCandump: %v", err)
+	}
+	for i := range tr {
+		if !got[i].Frame.Equal(tr[i].Frame) || got[i].Time != tr[i].Time {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+var errSentinel = errors.New("x")
+
+// failWriter fails after n bytes to exercise writer error paths.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errSentinel
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteErrorsPropagate(t *testing.T) {
+	tr := sampleTrace()
+	if err := WriteCandump(&failWriter{n: 10}, tr); err == nil {
+		t.Error("WriteCandump should propagate write errors")
+	}
+	if err := WriteBinary(&failWriter{n: 10}, tr); err == nil {
+		t.Error("WriteBinary should propagate write errors")
+	}
+	if err := WriteCSV(&failWriter{n: 4}, tr); err == nil {
+		t.Error("WriteCSV should propagate write errors")
+	}
+}

@@ -1,0 +1,287 @@
+package vehicle
+
+import (
+	"testing"
+	"time"
+
+	"canids/internal/bus"
+	"canids/internal/can"
+	"canids/internal/sim"
+	"canids/internal/trace"
+)
+
+func TestFusionProfileIDCount(t *testing.T) {
+	p := NewFusionProfile(1)
+	ids := p.IDSet()
+	if len(ids) != FusionIDCount {
+		t.Fatalf("ID count = %d, want %d", len(ids), FusionIDCount)
+	}
+	// All distinct and valid 11-bit.
+	for i := 1; i < len(ids); i++ {
+		if ids[i] == ids[i-1] {
+			t.Fatalf("duplicate ID %v", ids[i])
+		}
+	}
+	for _, id := range ids {
+		if !id.Valid(false) {
+			t.Fatalf("invalid standard ID %v", id)
+		}
+	}
+	// The paper's 10.88%.
+	frac := float64(len(ids)) / float64(can.IDSpaceStandard)
+	if frac < 0.108 || frac > 0.109 {
+		t.Errorf("ID space occupancy %.4f, want ~0.1088", frac)
+	}
+}
+
+func TestFusionProfileDeterministic(t *testing.T) {
+	a, b := NewFusionProfile(7), NewFusionProfile(7)
+	idsA, idsB := a.IDSet(), b.IDSet()
+	for i := range idsA {
+		if idsA[i] != idsB[i] {
+			t.Fatal("same seed produced different profiles")
+		}
+	}
+	c := NewFusionProfile(8)
+	idsC := c.IDSet()
+	same := true
+	for i := range idsA {
+		if idsA[i] != idsC[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical ID sets")
+	}
+}
+
+func TestFusionProfileECUStructure(t *testing.T) {
+	p := NewFusionProfile(3)
+	if len(p.ECUs) != 11 {
+		t.Fatalf("ECU count = %d, want 11", len(p.ECUs))
+	}
+	if p.MessageCount() != FusionIDCount {
+		t.Errorf("MessageCount = %d, want %d", p.MessageCount(), FusionIDCount)
+	}
+	pcm, ok := p.FindECU("PCM")
+	if !ok {
+		t.Fatal("PCM missing")
+	}
+	for _, id := range pcm.IDs() {
+		if id < 0x080 || id > 0x17F {
+			t.Errorf("PCM ID %v outside its range", id)
+		}
+	}
+	if _, ok := p.FindECU("NOPE"); ok {
+		t.Error("FindECU should fail for unknown name")
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	want := map[Scenario]string{Idle: "idle", Audio: "audio", Lights: "lights", Cruise: "cruise"}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), w)
+		}
+	}
+	if Scenario(99).String() != "Scenario(99)" {
+		t.Error("unknown scenario string")
+	}
+}
+
+func TestPayloadGenerators(t *testing.T) {
+	t.Run("counter", func(t *testing.T) {
+		g := CounterPayload(8, 0xAB)()
+		b0 := g(0, 0, nil)
+		b1 := g(1, 0, nil)
+		if b0[0] != 0 || b1[0] != 1 {
+			t.Error("rolling counter not advancing")
+		}
+		// XOR checksum over the first 7 bytes.
+		var x byte
+		for _, v := range b1[:7] {
+			x ^= v
+		}
+		if b1[7] != x {
+			t.Errorf("checksum %#x, want %#x", b1[7], x)
+		}
+	})
+	t.Run("counter short", func(t *testing.T) {
+		if got := CounterPayload(0, 1)()(5, 0, nil); len(got) != 0 {
+			t.Error("zero DLC should give empty payload")
+		}
+		if got := CounterPayload(1, 1)()(5, 0, nil); got[0] != 5 {
+			t.Error("DLC 1 counter payload wrong")
+		}
+	})
+	t.Run("sensor", func(t *testing.T) {
+		g := SensorPayload(4, 100, 10)()
+		rng := sim.NewRand(1)
+		b0 := g(0, 0, rng)
+		b5 := g(5, 0, rng)
+		v0 := uint16(b0[0])<<8 | uint16(b0[1])
+		v5 := uint16(b5[0])<<8 | uint16(b5[1])
+		if v0 != 100 || v5 != 150 {
+			t.Errorf("ramp values %d, %d want 100, 150", v0, v5)
+		}
+	})
+	t.Run("sensor dlc1", func(t *testing.T) {
+		g := SensorPayload(1, 0x1234, 0)()
+		if b := g(0, 0, nil); b[0] != 0x34 {
+			t.Errorf("DLC1 sensor byte = %#x", b[0])
+		}
+	})
+	t.Run("status", func(t *testing.T) {
+		g := StatusPayload(4, 0x0F, 0)() // never flips
+		rng := sim.NewRand(2)
+		for i := 0; i < 5; i++ {
+			b := g(uint64(i), 0, rng)
+			for _, v := range b {
+				if v != 0x0F {
+					t.Fatalf("status payload changed without flips: %v", b)
+				}
+			}
+		}
+	})
+}
+
+// runFleet attaches the profile to a fresh simulated bus and runs it.
+func runFleet(t *testing.T, p Profile, scen Scenario, seed int64, d time.Duration) trace.Trace {
+	t.Helper()
+	sched := sim.NewScheduler()
+	b, err := bus.New(sched, bus.Config{BitRate: bus.DefaultMSCANBitRate, Channel: "ms-can"})
+	if err != nil {
+		t.Fatalf("bus.New: %v", err)
+	}
+	var log trace.Trace
+	b.Tap(func(r trace.Record) { log = append(log, r) })
+	p.Attach(sched, b, Options{Scenario: scen, Seed: seed})
+	if err := sched.RunUntil(d); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	return log
+}
+
+func TestFleetGeneratesTraffic(t *testing.T) {
+	p := NewFusionProfile(1)
+	log := runFleet(t, p, Idle, 42, 5*time.Second)
+	if len(log) < 1000 {
+		t.Fatalf("only %d frames in 5s, expected >1000", len(log))
+	}
+	// All observed IDs must belong to the profile.
+	pool := make(map[can.ID]bool)
+	for _, id := range p.IDSet() {
+		pool[id] = true
+	}
+	for _, r := range log {
+		if !pool[r.Frame.ID] {
+			t.Fatalf("frame with unknown ID %v", r.Frame.ID)
+		}
+		if r.Injected {
+			t.Fatal("clean traffic must not be flagged injected")
+		}
+	}
+}
+
+func TestFleetBusLoadRealistic(t *testing.T) {
+	p := NewFusionProfile(1)
+	sched := sim.NewScheduler()
+	b, err := bus.New(sched, bus.Config{BitRate: bus.DefaultMSCANBitRate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Attach(sched, b, Options{Scenario: Idle, Seed: 1})
+	if err := sched.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	load := b.Load()
+	if load < 0.2 || load > 0.8 {
+		t.Errorf("bus load %.2f outside realistic band [0.2, 0.8]", load)
+	}
+}
+
+func TestFleetPeriodicityHolds(t *testing.T) {
+	p := NewFusionProfile(1)
+	log := runFleet(t, p, Idle, 42, 10*time.Second)
+	counts := log.IDCounts()
+	// The fastest message (10 ms) should appear ~1000 times in 10 s.
+	pcm, _ := p.FindECU("PCM")
+	var fastest Message
+	fastest.Period = time.Hour
+	for _, m := range pcm.Messages {
+		if m.Period < fastest.Period {
+			fastest = m
+		}
+	}
+	got := counts[fastest.ID]
+	want := int(10 * time.Second / fastest.Period)
+	if got < want*8/10 || got > want*11/10 {
+		t.Errorf("fastest message count %d, want ~%d", got, want)
+	}
+}
+
+func TestScenarioChangesAreSmall(t *testing.T) {
+	// Different scenarios must add/remove only a small fraction of
+	// traffic — this is what keeps the golden template stable.
+	p := NewFusionProfile(1)
+	idle := runFleet(t, p, Idle, 42, 5*time.Second)
+	audio := runFleet(t, p, Audio, 42, 5*time.Second)
+	idleIDs := make(map[can.ID]bool)
+	for _, id := range idle.IDs() {
+		idleIDs[id] = true
+	}
+	extra := 0
+	for _, id := range audio.IDs() {
+		if !idleIDs[id] {
+			extra++
+		}
+	}
+	if extra == 0 {
+		t.Error("audio scenario should enable at least one conditional message")
+	}
+	if extra > 15 {
+		t.Errorf("audio scenario enabled %d extra IDs; should be a small set", extra)
+	}
+	// Total frame volume should be within 10%.
+	ratio := float64(len(audio)) / float64(len(idle))
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("scenario changed traffic volume by %.0f%%", (ratio-1)*100)
+	}
+}
+
+func TestFleetPortLookup(t *testing.T) {
+	p := NewFusionProfile(1)
+	sched := sim.NewScheduler()
+	b, err := bus.New(sched, bus.Config{BitRate: bus.DefaultMSCANBitRate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := p.Attach(sched, b, Options{Seed: 1})
+	if _, ok := fleet.Port("BCM"); !ok {
+		t.Error("BCM port missing")
+	}
+	if _, ok := fleet.Port("nope"); ok {
+		t.Error("unknown port lookup should fail")
+	}
+	if fleet.Scenario() != Idle {
+		t.Errorf("default scenario = %v, want idle", fleet.Scenario())
+	}
+	if fleet.Profile().Name != p.Name {
+		t.Error("Profile accessor mismatch")
+	}
+}
+
+func TestAttachDeterministicTrace(t *testing.T) {
+	p := NewFusionProfile(1)
+	a := runFleet(t, p, Idle, 42, 2*time.Second)
+	b := runFleet(t, p, Idle, 42, 2*time.Second)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Time != b[i].Time || a[i].Frame.ID != b[i].Frame.ID {
+			t.Fatalf("record %d differs between identical runs", i)
+		}
+	}
+}
