@@ -26,10 +26,18 @@ import (
 
 // --- Paper tables and figures -------------------------------------------
 
+// Each experiment benchmark resets the pipeline cache once before its
+// timed loop, so the first iteration is a true cold run regardless of
+// which benchmarks ran earlier in the process, and later iterations
+// measure the warm (trace-cached) pipeline — both numbers are
+// meaningful and order-independent.
+
 // BenchmarkFig2GoldenTemplate regenerates Fig. 2: training the golden
 // template across driving scenarios and measuring an attacked window.
 func BenchmarkFig2GoldenTemplate(b *testing.B) {
 	p := experiments.DefaultParams()
+	experiments.ResetCache()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig2(p)
 		if err != nil {
@@ -45,6 +53,8 @@ func BenchmarkFig2GoldenTemplate(b *testing.B) {
 // and detection-rate sweep over 15 identifiers.
 func BenchmarkFig3InjectionDetection(b *testing.B) {
 	p := experiments.DefaultParams()
+	experiments.ResetCache()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig3(p)
 		if err != nil {
@@ -60,6 +70,8 @@ func BenchmarkFig3InjectionDetection(b *testing.B) {
 // inferring accuracy over the six attack rows.
 func BenchmarkTable1Scenarios(b *testing.B) {
 	p := experiments.DefaultParams()
+	experiments.ResetCache()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Table1(p)
 		if err != nil {
@@ -75,6 +87,8 @@ func BenchmarkTable1Scenarios(b *testing.B) {
 // study across driving behaviours.
 func BenchmarkStability(b *testing.B) {
 	p := experiments.DefaultParams()
+	experiments.ResetCache()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Stability(p)
 		if err != nil {
@@ -90,6 +104,8 @@ func BenchmarkStability(b *testing.B) {
 // (ours vs Müter [8] vs Song [11]).
 func BenchmarkCompareDetectors(b *testing.B) {
 	p := experiments.DefaultParams()
+	experiments.ResetCache()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Compare(p)
 		if err != nil {
@@ -284,11 +300,47 @@ func rankName(r int) string {
 // --- Substrate micro-benchmarks --------------------------------------------
 
 // BenchmarkBitCounterAdd measures the constant-time per-message counter
-// update at the heart of the detector.
+// update at the heart of the detector. Must report 0 allocs/op.
 func BenchmarkBitCounterAdd(b *testing.B) {
+	c := entropy.MustBitCounter(11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(can.ID(i) & can.MaxStandardID)
+	}
+}
+
+// BenchmarkBitCounterRemove measures the sliding-window counterpart;
+// Add and Remove share one loop shape and must cost the same. The
+// counter is pre-filled untimed so the loop measures Remove alone.
+func BenchmarkBitCounterRemove(b *testing.B) {
 	c := entropy.MustBitCounter(11)
 	for i := 0; i < b.N; i++ {
 		c.Add(can.ID(i) & can.MaxStandardID)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Remove(can.ID(i) & can.MaxStandardID)
+	}
+}
+
+// BenchmarkSchedulerAfter measures steady-state event scheduling: one
+// push + pop on the warm value-based event heap. Must report 0
+// allocs/op.
+func BenchmarkSchedulerAfter(b *testing.B) {
+	s := sim.NewScheduler()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		s.After(time.Duration(i), fn)
+	}
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, fn)
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -302,11 +354,21 @@ func BenchmarkBinaryEntropy(b *testing.B) {
 }
 
 // BenchmarkFrameMarshalBits measures full physical-layer frame encoding
-// (CRC + stuffing), the cost model behind bus timing.
+// (CRC + stuffing), the reference implementation of bus timing.
 func BenchmarkFrameMarshalBits(b *testing.B) {
 	f := can.MustFrame(0x2A4, []byte{1, 2, 3, 4, 5, 6, 7, 8})
 	for i := 0; i < b.N; i++ {
 		_ = f.MarshalBits()
+	}
+}
+
+// BenchmarkStuffedBitLength measures the allocation-free wire-length
+// fast path the bus simulator actually calls per transmission.
+func BenchmarkStuffedBitLength(b *testing.B) {
+	f := can.MustFrame(0x2A4, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.StuffedBitLength()
 	}
 }
 
@@ -335,6 +397,8 @@ func BenchmarkBusSimulation(b *testing.B) {
 // sliding detector).
 func BenchmarkReaction(b *testing.B) {
 	p := experiments.DefaultParams()
+	experiments.ResetCache()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Reaction(p)
 		if err != nil {

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus a benchmark smoke pass.
+#
+#   ./ci.sh            # vet + build + test + bench smoke -> BENCH_ci.json
+#   ./ci.sh BENCH_1.json   # write the smoke numbers to a named baseline
+#
+# The JSON output is one entry per benchmark (ns/op, B/op, allocs/op at
+# -benchtime=1x, i.e. cold single-shot numbers — the trace cache only
+# pays off from the second iteration on). Compare trajectories between
+# PRs with benchstat on the raw `go test -bench` output, or diff the
+# BENCH_*.json files directly; see EXPERIMENTS.md.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+out="${1:-BENCH_ci.json}"
+
+go vet ./...
+go build ./...
+go test ./...
+
+bench_raw=$(go test -run '^$' -bench . -benchtime=1x -benchmem .)
+echo "$bench_raw"
+
+{
+  echo '{'
+  echo "  \"go\": \"$(go env GOVERSION)\","
+  echo "  \"benchtime\": \"1x\","
+  echo '  "benchmarks": {'
+  echo "$bench_raw" | awk '
+    /^Benchmark/ {
+      name = $1
+      sub(/-[0-9]+$/, "", name)
+      ns = ""; bytes = ""; allocs = ""
+      for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i-1)
+        if ($i == "B/op") bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+      }
+      if (ns == "") next
+      if (bytes == "") bytes = "null"
+      if (allocs == "") allocs = "null"
+      lines[n++] = sprintf("    \"%s\": {\"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs)
+    }
+    END {
+      for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
+    }'
+  echo '  }'
+  echo '}'
+} > "$out"
+
+echo "wrote $out"

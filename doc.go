@@ -28,4 +28,37 @@
 //
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation; see EXPERIMENTS.md for the measured results.
+//
+// # Performance
+//
+// The paper's core claim is that bit-level entropy detection is
+// lightweight: constant per-message cost, constant memory. The
+// implementation enforces that claim with zero-allocation hot paths,
+// guarded by testing.AllocsPerRun regression tests:
+//
+//   - can.Frame.BitLength/StuffedBitLength computes the exact stuffed
+//     on-wire length arithmetically (packed bit words, table-driven
+//     CRC-15, run-length stuff counting) without materializing the wire
+//     bit slice; the bus calls it once per transmission and caches it
+//     per TX request;
+//   - sim.Scheduler stores events by value in a 4-ary heap, so At/After/
+//     Every schedule without allocating once the queue is warm;
+//   - entropy.BitCounter.Add/Remove share one LSB-first loop over fixed
+//     counters, and MeasureInto fills caller-provided entropy and
+//     probability vectors in one fused pass;
+//   - entropy.Binary serves mid-range probabilities from a quantized
+//     lookup table (within 1e-9 of the exact two-log form, exact at the
+//     nodes; BinaryExact is the reference and the near-edge fallback);
+//   - core.Detector.Observe scores windows into reusable scratch
+//     vectors and only builds per-bit alert detail when a threshold is
+//     actually violated — a clean record stream is 0 allocs/op.
+//
+// The experiment pipeline (internal/experiments) memoizes the clean
+// training traffic and golden template per parameter set, caches
+// completed simulation runs (every run is a pure function of its
+// seeds), and fans independent sweep points across a bounded worker
+// pool with pre-derived seeds — results are bit-identical to a
+// sequential pass at the same seed. ./ci.sh runs the tier-1 gate plus a
+// benchmark smoke pass and records the numbers in BENCH_*.json; see
+// EXPERIMENTS.md for how to compare runs with benchstat.
 package canids

@@ -1,0 +1,3 @@
+module canids
+
+go 1.24.0

@@ -158,6 +158,7 @@ type Injector struct {
 	cfg      Config
 	ports    []*bus.Port
 	rng      *rand.Rand
+	buf      []byte // junk payload, refilled per attempt
 	attempts int
 	rotate   int
 	stopped  bool
@@ -179,7 +180,7 @@ func Launch(sched *sim.Scheduler, b *bus.Bus, port *bus.Port, cfg Config) (*Inje
 	if cfg.DLC == 0 {
 		cfg.DLC = 8
 	}
-	inj := &Injector{cfg: cfg, rng: sim.NewRand(cfg.Seed)}
+	inj := &Injector{cfg: cfg, rng: sim.NewRand(cfg.Seed), buf: make([]byte, cfg.DLC)}
 	if port != nil {
 		inj.ports = []*bus.Port{port}
 	} else if cfg.Scenario == Multi {
@@ -222,9 +223,10 @@ func Launch(sched *sim.Scheduler, b *bus.Bus, port *bus.Port, cfg Config) (*Inje
 	return inj, nil
 }
 
-// attempt issues one injection attempt on the given port.
+// attempt issues one injection attempt on the given port. The payload
+// buffer is reused across attempts; NewFrame copies it into the frame.
 func (inj *Injector) attempt(p *bus.Port, id can.ID) {
-	data := make([]byte, inj.cfg.DLC)
+	data := inj.buf
 	inj.rng.Read(data)
 	f, err := can.NewFrame(id, data)
 	if err != nil {

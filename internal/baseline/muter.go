@@ -156,7 +156,7 @@ func (m *Muter) Flush() []detect.Alert {
 
 // Reset implements detect.Detector.
 func (m *Muter) Reset() {
-	m.counts = make(map[can.ID]int)
+	clear(m.counts)
 	m.frames = 0
 	m.haveWindow = false
 	m.windowStart = 0
@@ -175,7 +175,9 @@ func (m *Muter) StateBytes() int {
 
 func (m *Muter) closeWindow() *detect.Alert {
 	defer func() {
-		m.counts = make(map[can.ID]int, len(m.counts))
+		// clear keeps the map's buckets, so the per-window steady state
+		// stops allocating once the identifier set has been seen.
+		clear(m.counts)
 		m.frames = 0
 	}()
 	if m.frames == 0 || !m.trained || m.frames < m.cfg.MinFrames {

@@ -155,18 +155,24 @@ type PortStats struct {
 // keeps intra-ECU schedule collisions from dropping periodic frames.
 const DefaultQueueCap = 64
 
-// txRequest is a mailbox entry.
+// txRequest is a mailbox entry. Requests are stored by value in the TX
+// queue so steady-state Send/Enqueue allocate nothing once the queue's
+// backing array has grown.
 type txRequest struct {
 	frame    can.Frame
 	injected bool
 	enqueued sim.Time
+	// wireBits caches the frame's stuffed on-wire length, computed on
+	// first arbitration so retransmissions (error frames) don't redo the
+	// CRC+stuffing walk.
+	wireBits int
 }
 
 // Port is a node's attachment point to the bus.
 type Port struct {
 	bus      *Bus
 	name     string
-	queue    []*txRequest
+	queue    []txRequest
 	queueCap int
 	disabled bool
 	state    NodeState
@@ -190,6 +196,9 @@ type Bus struct {
 	busyUntil sim.Time
 	armed     bool // an arbitration event is scheduled
 	stats     Stats
+	// arbFn is b.arbitrate bound once; creating the method value per
+	// arm() call would allocate a closure for every frame.
+	arbFn func()
 }
 
 // New creates a bus on the given scheduler. BitRate must be positive.
@@ -203,7 +212,9 @@ func New(sched *sim.Scheduler, cfg Config) (*Bus, error) {
 	if cfg.Channel == "" {
 		cfg.Channel = "can0"
 	}
-	return &Bus{cfg: cfg, sched: sched}, nil
+	b := &Bus{cfg: cfg, sched: sched}
+	b.arbFn = b.arbitrate
+	return b, nil
 }
 
 // BitTime returns the duration of one bit on this bus.
@@ -285,12 +296,11 @@ func (p *Port) Send(f can.Frame, injected bool) error {
 	if err := f.Validate(); err != nil {
 		return fmt.Errorf("bus: send on %s: %w", p.name, err)
 	}
-	req := &txRequest{frame: f, injected: injected, enqueued: p.bus.sched.Now()}
 	if len(p.queue) > 0 {
 		p.stats.Overwritten += len(p.queue)
 		p.queue = p.queue[:0]
 	}
-	p.queue = append(p.queue, req)
+	p.queue = append(p.queue, txRequest{frame: f, injected: injected, enqueued: p.bus.sched.Now()})
 	p.stats.Requested++
 	p.bus.arm()
 	return nil
@@ -310,24 +320,25 @@ func (p *Port) Enqueue(f can.Frame, injected bool) error {
 		p.stats.QueueDrops++
 		return nil
 	}
-	p.queue = append(p.queue, &txRequest{frame: f, injected: injected, enqueued: p.bus.sched.Now()})
+	p.queue = append(p.queue, txRequest{frame: f, injected: injected, enqueued: p.bus.sched.Now()})
 	p.stats.Requested++
 	p.bus.arm()
 	return nil
 }
 
-// head returns the frame currently competing for the bus, or nil.
+// head returns the frame currently competing for the bus, or nil. The
+// pointer aliases the queue's backing array and is invalidated by the
+// next Send/Enqueue/pop on this port.
 func (p *Port) head() *txRequest {
 	if len(p.queue) == 0 {
 		return nil
 	}
-	return p.queue[0]
+	return &p.queue[0]
 }
 
 // pop removes the head of the queue.
 func (p *Port) pop() {
 	copy(p.queue, p.queue[1:])
-	p.queue[len(p.queue)-1] = nil
 	p.queue = p.queue[:len(p.queue)-1]
 }
 
@@ -341,7 +352,7 @@ func (b *Bus) arm() {
 	if b.busyUntil > at {
 		at = b.busyUntil
 	}
-	b.sched.At(at, b.arbitrate)
+	b.sched.At(at, b.arbFn)
 }
 
 // arbitrate resolves one arbitration round at the current virtual time.
@@ -395,18 +406,23 @@ func (b *Bus) arbitrate() {
 		// Nothing ready now; if some port is only held, re-arm for then.
 		if nextHold > 0 {
 			b.armed = true
-			b.sched.At(nextHold, b.arbitrate)
+			b.sched.At(nextHold, b.arbFn)
 		}
 		return
 	}
 
 	req := winner.head()
 	frame := req.frame
+	injected := req.injected
+	if req.wireBits == 0 {
+		req.wireBits = frame.BitLength()
+	}
+	wireBits := req.wireBits
 
 	// Optional stochastic bit error: the frame is destroyed, every node
 	// transmits an error frame, and the winner retries.
 	if em := b.cfg.Errors; em != nil && em.FrameErrorRate > 0 && em.Rand.Float64() < em.FrameErrorRate {
-		wasted := time.Duration(frame.BitLength()/2+errorFrameBits) * b.BitTime()
+		wasted := time.Duration(wireBits/2+errorFrameBits) * b.BitTime()
 		b.busyUntil = now + wasted
 		b.stats.BusyTime += wasted
 		b.stats.ErrorFrames++
@@ -420,7 +436,7 @@ func (b *Bus) arbitrate() {
 		return
 	}
 
-	dur := b.FrameTime(frame)
+	dur := time.Duration(wireBits+can.InterframeSpaceBits) * b.BitTime()
 	b.busyUntil = now + dur
 	b.stats.BusyTime += dur
 	b.stats.FramesDelivered++
@@ -451,7 +467,7 @@ func (b *Bus) arbitrate() {
 		Frame:    frame,
 		Channel:  b.cfg.Channel,
 		Source:   winner.name,
-		Injected: req.injected,
+		Injected: injected,
 	}
 	for _, tap := range b.taps {
 		tap(rec)

@@ -1,6 +1,9 @@
 package can
 
-import "fmt"
+import (
+	"fmt"
+	mbits "math/bits"
+)
 
 // This file implements the bit-accurate physical-layer view of a classic
 // CAN frame: field layout, CRC insertion, and bit stuffing. The entropy
@@ -20,7 +23,14 @@ func appendBits(dst []byte, v uint32, n int) []byte {
 // field — exactly the range covered by the CRC and by bit stuffing,
 // excluding the CRC itself.
 func (f Frame) headerBits() []byte {
-	bits := make([]byte, 0, 1+32+4+64)
+	return f.appendHeaderBits(make([]byte, 0, 1+32+4+64))
+}
+
+// appendHeaderBits appends the SOF..data bits to dst. With a dst whose
+// capacity already covers the frame it performs no allocation, which is
+// what keeps StuffedBitLength off the heap.
+func (f Frame) appendHeaderBits(dst []byte) []byte {
+	bits := dst
 	bits = append(bits, 0) // SOF, dominant
 	if f.Extended {
 		bits = appendBits(bits, uint32(f.ID>>18)&0x7FF, 11) // base ID
@@ -127,8 +137,109 @@ func (f Frame) MarshalBits() []byte {
 
 // BitLength returns the exact on-wire length in bits of the frame,
 // including stuff bits, CRC, delimiters, ACK and EOF (but not the 3-bit
-// interframe space).
-func (f Frame) BitLength() int { return len(f.MarshalBits()) }
+// interframe space). It equals len(MarshalBits()) but allocates nothing:
+// the bus simulator calls it for every transmission.
+func (f Frame) BitLength() int { return f.StuffedBitLength() }
+
+// StuffedBitLength computes the on-wire frame length — stuffing-covered
+// bits plus inserted stuff bits plus the fixed 10-bit tail (CRC
+// delimiter, ACK slot, ACK delimiter, 7-bit EOF) — without materializing
+// the wire bit slice MarshalBits builds. The covered region is packed
+// MSB-first into two machine words on the stack; the CRC runs a byte at
+// a time off a table, and stuff bits are counted per run of identical
+// bits (LeadingZeros64 finds run boundaries) instead of per bit. The
+// result equals len(MarshalBits()) exactly; the bus simulator calls this
+// for every transmission, so it must not allocate.
+func (f Frame) StuffedBitLength() int {
+	// Pack SOF..data MSB-first: stream bit i lives at bit 63-(i%64) of
+	// word i/64. Maximum stream is 103 header + 15 CRC = 118 bits.
+	var w [2]uint64
+	n := 0
+	if f.Extended {
+		// SOF(0) base11 SRR(1) IDE(1) ext18 RTR r1(0) r0(0)
+		n = packBits(&w, n, uint64(f.ID>>18)&0x7FF, 12) // SOF + base ID
+		n = packBits(&w, n, 3, 2)                       // SRR, IDE recessive
+		n = packBits(&w, n, uint64(f.ID)&0x3FFFF, 18)
+		n = packBits(&w, n, uint64(rtrBit(f.Remote)), 1)
+		n = packBits(&w, n, 0, 2) // r1, r0
+	} else {
+		// SOF(0) id11 RTR IDE(0) r0(0)
+		n = packBits(&w, n, uint64(f.ID)&0x7FF, 12) // SOF + ID
+		n = packBits(&w, n, uint64(rtrBit(f.Remote)), 1)
+		n = packBits(&w, n, 0, 2) // IDE, r0
+	}
+	n = packBits(&w, n, uint64(f.Len), 4)
+	if !f.Remote && f.Len > 0 {
+		// All payload bytes as one big-endian word, top-aligned.
+		var v uint64
+		for _, b := range f.Data[:f.Len] {
+			v = v<<8 | uint64(b)
+		}
+		n = packBits(&w, n, v, 8*int(f.Len))
+	}
+	n = packBits(&w, n, uint64(crc15Packed(&w, n)), 15)
+
+	// Count stuff insertions run by run. A run of e identical bits
+	// (including a stuff bit inherited from the previous run, which has
+	// the same value as this run) inserts e/5 stuff bits; when the last
+	// insertion lands exactly at the run's end, the inserted complement
+	// bit seeds the next run (carry).
+	stuffs := 0
+	carry := 0
+	lastVal := -1
+	runLen := 0
+	for wi := 0; wi*64 < n; wi++ {
+		word := w[wi]
+		k := n - wi*64
+		if k > 64 {
+			k = 64
+		}
+		for k > 0 {
+			b := int(word >> 63)
+			x := word
+			if b == 1 {
+				x = ^x
+			}
+			l := mbits.LeadingZeros64(x)
+			if l > k {
+				l = k
+			}
+			if b == lastVal {
+				runLen += l
+			} else {
+				if lastVal >= 0 {
+					e := runLen + carry
+					stuffs += e / 5
+					carry = 0
+					if e >= 5 && e%5 == 0 {
+						carry = 1
+					}
+				}
+				lastVal = b
+				runLen = l
+			}
+			word <<= l
+			k -= l
+		}
+	}
+	stuffs += (runLen + carry) / 5
+
+	return n + stuffs + 10 // + CRC delim, ACK slot, ACK delim, EOF
+}
+
+// packBits places the low k bits of v MSB-first at stream position n,
+// returning the new position. Callers guarantee n+k <= 128.
+func packBits(w *[2]uint64, n int, v uint64, k int) int {
+	rem := 64 - (n & 63)
+	idx := n >> 6
+	if k <= rem {
+		w[idx] |= v << (rem - k)
+	} else {
+		w[idx] |= v >> (k - rem)
+		w[idx+1] |= v << (64 - (k - rem))
+	}
+	return n + k
+}
 
 // InterframeSpaceBits is the mandatory idle gap between frames.
 const InterframeSpaceBits = 3

@@ -427,3 +427,50 @@ func TestQuickBinaryRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestStuffedBitLengthMatchesMarshalBits(t *testing.T) {
+	// The arithmetic fast path must agree with the materialized wire
+	// encoding for every frame shape: standard/extended, data/remote,
+	// every DLC, and payloads engineered to maximize or break up stuff
+	// runs.
+	frames := []Frame{
+		{},
+		{ID: 0x000, Len: 8},
+		{ID: 0x7FF, Len: 8, Data: [8]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}},
+		{ID: 0x555, Len: 4, Data: [8]byte{0xAA, 0x55, 0xAA, 0x55}},
+		{ID: 0x123, Remote: true},
+		{ID: 0x1FFFFFFF, Extended: true, Len: 8},
+		{ID: 0x00000000, Extended: true, Len: 8, Data: [8]byte{0, 0, 0, 0, 0, 0, 0, 0}},
+		{ID: 0x15555555, Extended: true, Remote: true},
+	}
+	for dlc := 0; dlc <= 8; dlc++ {
+		frames = append(frames, Frame{ID: 0x2A4, Len: uint8(dlc)})
+	}
+	for _, f := range frames {
+		if got, want := f.StuffedBitLength(), len(f.MarshalBits()); got != want {
+			t.Errorf("StuffedBitLength(%v) = %d, want %d", f, got, want)
+		}
+	}
+}
+
+func TestStuffedBitLengthQuick(t *testing.T) {
+	prop := func(rawID uint32, extended, remote bool, dlc uint8, data [8]byte) bool {
+		f := Frame{Extended: extended, Remote: remote, Len: dlc % 9, Data: data}
+		if extended {
+			f.ID = ID(rawID) & MaxExtendedID
+		} else {
+			f.ID = ID(rawID) & MaxStandardID
+		}
+		return f.StuffedBitLength() == len(f.MarshalBits())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStuffedBitLengthAllocs(t *testing.T) {
+	f := Frame{ID: 0x2A4, Len: 8, Data: [8]byte{1, 2, 3, 4, 5, 6, 7, 8}}
+	if n := testing.AllocsPerRun(100, func() { _ = f.BitLength() }); n != 0 {
+		t.Errorf("BitLength allocates %v times per call, want 0", n)
+	}
+}

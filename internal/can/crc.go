@@ -26,3 +26,45 @@ func CRC15(bits []byte) uint16 {
 	}
 	return crc
 }
+
+// crc15Tab drives the byte-at-a-time CRC used on packed bit streams:
+// entry x is the register after clocking the 8 bits of x through an
+// all-zero 15-bit register.
+var crc15Tab = func() [256]uint16 {
+	var tab [256]uint16
+	for b := 0; b < 256; b++ {
+		crc := uint16(b) << 7 // byte aligned to the register top
+		for i := 0; i < 8; i++ {
+			if crc&0x4000 != 0 {
+				crc = (crc << 1) ^ crcPoly
+			} else {
+				crc <<= 1
+			}
+			crc &= 0x7FFF
+		}
+		tab[b] = crc
+	}
+	return tab
+}()
+
+// crc15Byte advances the CRC register by eight stream bits at once.
+func crc15Byte(crc uint16, b byte) uint16 {
+	return ((crc << 8) ^ crc15Tab[byte(crc>>7)^b]) & 0x7FFF
+}
+
+// crc15Packed computes CRC15 over the first n bits of the MSB-first
+// packed stream (bit i at bit 63-(i%64) of w[i/64]), processing whole
+// bytes through the table and the trailing n%8 bits serially.
+func crc15Packed(w *[2]uint64, n int) uint16 {
+	var crc uint16
+	nb := n / 8
+	for j := 0; j < nb; j++ {
+		b := byte(w[j>>3] >> (56 - 8*(j&7)))
+		crc = crc15Byte(crc, b)
+	}
+	for i := nb * 8; i < n; i++ {
+		bit := int(w[i>>6]>>(63-(i&63))) & 1
+		crc = crc15Update(crc, bit)
+	}
+	return crc
+}

@@ -34,6 +34,11 @@ func FuzzParseFrame(f *testing.F) {
 		if !fr.Equal(back) {
 			t.Fatalf("round trip mismatch: %v vs %v", fr, back)
 		}
+		// The arithmetic wire-length fast path must agree with the
+		// materialized encoding on every corpus frame.
+		if got, want := fr.StuffedBitLength(), len(fr.MarshalBits()); got != want {
+			t.Fatalf("StuffedBitLength(%v) = %d, want %d", fr, got, want)
+		}
 	})
 }
 

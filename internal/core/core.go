@@ -138,7 +138,10 @@ func MeasureWindow(w trace.Trace, width int) WindowMeasurement {
 	for _, r := range w {
 		c.Add(r.Frame.ID)
 	}
-	return WindowMeasurement{H: c.Entropies(), P: c.Probabilities(), Frames: len(w)}
+	h := make([]float64, width)
+	p := make([]float64, width)
+	c.MeasureInto(h, p)
+	return WindowMeasurement{H: h, P: p, Frames: len(w)}
 }
 
 // BuildTemplate constructs the golden template from clean training
@@ -222,6 +225,11 @@ type Detector struct {
 	windowStart time.Duration
 	haveWindow  bool
 	windowCount int
+	// scratchH and scratchP are reusable per-window measurement vectors;
+	// closeWindow fills them in place so the no-alert steady state
+	// allocates nothing. They are only valid until the next closed
+	// window (see OnWindow).
+	scratchH, scratchP []float64
 	// onWindow, if set, receives every closed window's measurement —
 	// used by experiments to plot entropy trajectories (Fig. 2).
 	onWindow func(start time.Duration, m WindowMeasurement)
@@ -234,7 +242,12 @@ func New(cfg Config) (*Detector, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Detector{cfg: cfg, counter: entropy.MustBitCounter(cfg.Width)}, nil
+	return &Detector{
+		cfg:      cfg,
+		counter:  entropy.MustBitCounter(cfg.Width),
+		scratchH: make([]float64, cfg.Width),
+		scratchP: make([]float64, cfg.Width),
+	}, nil
 }
 
 // MustNew is New for static configuration; it panics on invalid config.
@@ -293,7 +306,9 @@ func (d *Detector) Threshold(i int) float64 {
 }
 
 // OnWindow registers a callback receiving every closed window's
-// measurement, before scoring. Pass nil to remove.
+// measurement, before scoring. Pass nil to remove. The measurement's H
+// and P slices alias the detector's scratch buffers and are only valid
+// for the duration of the callback; copy them to retain.
 func (d *Detector) OnWindow(fn func(start time.Duration, m WindowMeasurement)) {
 	d.onWindow = fn
 }
@@ -350,54 +365,80 @@ func (d *Detector) StateBytes() int {
 func (d *Detector) WindowsScored() int { return d.windowCount }
 
 // closeWindow scores the finished window and resets the counter. It
-// returns nil when the window is empty, too sparse, or clean.
+// returns nil when the window is empty, too sparse, or clean. The clean
+// steady state allocates nothing: measurements land in the detector's
+// scratch vectors, and the per-bit detail slice is only built when a
+// threshold was actually violated.
 func (d *Detector) closeWindow() *detect.Alert {
 	n := int(d.counter.Total())
 	defer d.counter.Reset()
 	if n == 0 {
 		return nil
 	}
-	m := WindowMeasurement{H: d.counter.Entropies(), P: d.counter.Probabilities(), Frames: n}
+	d.counter.MeasureInto(d.scratchH, d.scratchP)
+	hs, ps := d.scratchH, d.scratchP
 	if d.onWindow != nil {
-		d.onWindow(d.windowStart, m)
+		d.onWindow(d.windowStart, WindowMeasurement{H: hs, P: ps, Frames: n})
 	}
 	if !d.trained || n < d.cfg.MinFrames {
 		return nil
 	}
 	d.windowCount++
 
+	violated, score := scoreAgainstTemplate(d.cfg.Width, d.Threshold, d.template, hs)
+	if !violated {
+		return nil
+	}
+
 	alert := detect.Alert{
 		Detector:    DetectorName,
 		WindowStart: d.windowStart,
 		WindowEnd:   d.windowStart + d.cfg.Window,
 		Frames:      n,
-	}
-	violated := false
-	for i := 1; i <= d.cfg.Width; i++ {
-		th := d.Threshold(i)
-		dev := m.H[i-1] - d.template.MeanH[i-1]
-		bd := detect.BitDeviation{
-			Bit:       i,
-			Entropy:   m.H[i-1],
-			Template:  d.template.MeanH[i-1],
-			Threshold: th,
-			DeltaP:    m.P[i-1] - d.template.MeanP[i-1],
-			TemplateP: d.template.MeanP[i-1],
-			Violated:  math.Abs(dev) > th,
-		}
-		if th > 0 {
-			if score := math.Abs(dev) / th; score > alert.Score {
-				alert.Score = score
-			}
-		}
-		if bd.Violated {
-			violated = true
-		}
-		alert.Bits = append(alert.Bits, bd)
-	}
-	if !violated {
-		return nil
+		Score:       score,
+		Bits:        deviationBits(d.cfg.Width, d.Threshold, d.template, hs, ps),
 	}
 	alert.Detail = fmt.Sprintf("%d/%d bits deviated", len(alert.ViolatedBits()), d.cfg.Width)
 	return &alert
+}
+
+// scoreAgainstTemplate is the shared cheap first pass of window
+// scoring: whether any bit's entropy deviation exceeds its threshold,
+// and the largest threshold-normalized deviation. It allocates nothing,
+// so clean windows cost only this scan.
+func scoreAgainstTemplate(width int, threshold func(i int) float64, tmpl Template, hs []float64) (violated bool, score float64) {
+	for i := 1; i <= width; i++ {
+		th := threshold(i)
+		dev := math.Abs(hs[i-1] - tmpl.MeanH[i-1])
+		if th > 0 {
+			if s := dev / th; s > score {
+				score = s
+			}
+		}
+		if dev > th {
+			violated = true
+		}
+	}
+	return violated, score
+}
+
+// deviationBits builds the per-bit alert detail for a violated window —
+// the expensive second pass, shared by the tumbling and sliding
+// detectors and only reached when a window actually alerts.
+func deviationBits(width int, threshold func(i int) float64, tmpl Template, hs, ps []float64) []detect.BitDeviation {
+	bits := make([]detect.BitDeviation, 0, width)
+	for i := 1; i <= width; i++ {
+		th := threshold(i)
+		dev := hs[i-1] - tmpl.MeanH[i-1]
+		bits = append(bits, detect.BitDeviation{
+			Bit:       i,
+			Entropy:   hs[i-1],
+			Template:  tmpl.MeanH[i-1],
+			Threshold: th,
+			DeltaP:    ps[i-1] - tmpl.MeanP[i-1],
+			TemplateP: tmpl.MeanP[i-1],
+			Violated:  math.Abs(dev) > th,
+		})
+	}
+	return bits
 }

@@ -431,3 +431,39 @@ func TestMeasureWindow(t *testing.T) {
 		}
 	}
 }
+
+func TestObserveSteadyStateAllocs(t *testing.T) {
+	// The paper's lightweight-detection argument, enforced: once
+	// trained, a no-alert record stream must be processed without any
+	// heap allocation — counter updates land in fixed slots, window
+	// measurements in the detector's scratch vectors, and the per-bit
+	// detail slice is only built for windows that actually alert.
+	d := MustNew(DefaultConfig())
+	var windows []trace.Trace
+	for i := 0; i < 10; i++ {
+		windows = append(windows, syntheticWindow(time.Duration(i)*time.Second, int64(i), nil))
+	}
+	if err := d.Train(windows); err != nil {
+		t.Fatal(err)
+	}
+	// Clean replay traffic: same stationary mix, later timestamps.
+	var clean trace.Trace
+	for i := 0; i < 4; i++ {
+		clean = append(clean, syntheticWindow(time.Duration(i)*time.Second, int64(100+i), nil)...)
+	}
+	d.Reset()
+	// Warm up one pass so lazily grown state (alert slices never, but
+	// window bookkeeping) is settled, then measure.
+	idx := 0
+	n := testing.AllocsPerRun(len(clean)*2, func() {
+		rec := clean[idx%len(clean)]
+		rec.Time += time.Duration(idx/len(clean)) * 4 * time.Second // keep time monotone
+		if alerts := d.Observe(rec); len(alerts) != 0 {
+			t.Fatal("clean traffic should not alert")
+		}
+		idx++
+	})
+	if n != 0 {
+		t.Errorf("Observe allocates %v times per record on clean traffic, want 0", n)
+	}
+}

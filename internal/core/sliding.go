@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"canids/internal/can"
@@ -50,6 +49,9 @@ type SlidingDetector struct {
 	trained  bool
 
 	counter *entropy.BitCounter
+	// scratchH and scratchP are reusable evaluation vectors, filled in
+	// place each stride so clean evaluations allocate nothing.
+	scratchH, scratchP []float64
 	// window is a ring of the identifiers (and times) currently inside
 	// the sliding window.
 	times []time.Duration
@@ -79,8 +81,10 @@ func NewSliding(cfg SlidingConfig) (*SlidingDetector, error) {
 		cfg.Cooldown = cfg.Base.Window
 	}
 	return &SlidingDetector{
-		cfg:     cfg,
-		counter: entropy.MustBitCounter(cfg.Base.Width),
+		cfg:      cfg,
+		counter:  entropy.MustBitCounter(cfg.Base.Width),
+		scratchH: make([]float64, cfg.Base.Width),
+		scratchP: make([]float64, cfg.Base.Width),
 	}, nil
 }
 
@@ -171,39 +175,19 @@ func (d *SlidingDetector) evaluate(now time.Duration) []detect.Alert {
 	if n < d.cfg.Base.MinFrames {
 		return nil
 	}
-	hs := d.counter.Entropies()
-	ps := d.counter.Probabilities()
+	d.counter.MeasureInto(d.scratchH, d.scratchP)
+	hs, ps := d.scratchH, d.scratchP
+	violated, score := scoreAgainstTemplate(d.cfg.Base.Width, d.threshold, d.template, hs)
+	if !violated {
+		return nil
+	}
 	alert := detect.Alert{
 		Detector:    SlidingDetectorName,
 		WindowStart: now - d.cfg.Base.Window,
 		WindowEnd:   now,
 		Frames:      n,
-	}
-	violated := false
-	for i := 1; i <= d.cfg.Base.Width; i++ {
-		th := d.threshold(i)
-		dev := hs[i-1] - d.template.MeanH[i-1]
-		bd := detect.BitDeviation{
-			Bit:       i,
-			Entropy:   hs[i-1],
-			Template:  d.template.MeanH[i-1],
-			Threshold: th,
-			DeltaP:    ps[i-1] - d.template.MeanP[i-1],
-			TemplateP: d.template.MeanP[i-1],
-			Violated:  math.Abs(dev) > th,
-		}
-		if th > 0 {
-			if s := math.Abs(dev) / th; s > alert.Score {
-				alert.Score = s
-			}
-		}
-		if bd.Violated {
-			violated = true
-		}
-		alert.Bits = append(alert.Bits, bd)
-	}
-	if !violated {
-		return nil
+		Score:       score,
+		Bits:        deviationBits(d.cfg.Base.Width, d.threshold, d.template, hs, ps),
 	}
 	alert.Detail = fmt.Sprintf("%d/%d bits deviated (sliding)", len(alert.ViolatedBits()), d.cfg.Base.Width)
 	d.suppressTil = now + d.cfg.Cooldown

@@ -16,11 +16,57 @@ import (
 	"canids/internal/can"
 )
 
+// The Binary lookup table: H(p) sampled at 2^binaryLUTBits+1 uniform
+// nodes over [0,1], evaluated by linear interpolation. H'' = -1/(p(1-p)ln2)
+// is bounded by ~30.4 on [binaryLUTLo, binaryLUTHi], so the interpolation
+// error is at most |H''|·dx²/8 ≈ 8.9e-10 < binaryLUTMaxErr there. Outside
+// that band the curvature blows up and Binary falls back to the exact
+// two-log form (constant bits have p at or near 0/1 and mostly hit the
+// p<=0 / p>=1 early-out anyway).
+const (
+	binaryLUTBits   = 16
+	binaryLUTSize   = 1 << binaryLUTBits
+	binaryLUTLo     = 0.05
+	binaryLUTHi     = 1 - binaryLUTLo
+	binaryLUTMaxErr = 1e-9
+)
+
+var binaryLUT = func() *[binaryLUTSize + 1]float64 {
+	var t [binaryLUTSize + 1]float64
+	for i := range t {
+		t[i] = BinaryExact(float64(i) / binaryLUTSize)
+	}
+	return &t
+}()
+
 // Binary returns the entropy in bits (shannons) of a Bernoulli variable
 // with success probability p: H(p) = -p·log2(p) - (1-p)·log2(1-p).
 // By the usual convention 0·log2(0) = 0, so Binary(0) = Binary(1) = 0.
 // Inputs outside [0,1] are clamped.
+//
+// Mid-range inputs are served from a quantized lookup table with linear
+// interpolation, replacing the two math.Log2 calls the detector would
+// otherwise pay per bit per window; inputs near 0 or 1, where the
+// curvature exceeds the table's resolution, fall back to BinaryExact.
+// The result is always within binaryLUTMaxErr (1e-9) of BinaryExact, and
+// exact at table nodes (including Binary(0.5) == 1).
 func Binary(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	if p < binaryLUTLo || p > binaryLUTHi {
+		return BinaryExact(p)
+	}
+	x := p * binaryLUTSize
+	i := int(x)
+	frac := x - float64(i)
+	return binaryLUT[i] + frac*(binaryLUT[i+1]-binaryLUT[i])
+}
+
+// BinaryExact is the direct two-logarithm evaluation of H(p), kept as
+// the reference implementation for the lookup table's accuracy tests and
+// for its exact-fallback band.
+func BinaryExact(p float64) float64 {
 	if p <= 0 || p >= 1 {
 		return 0
 	}
@@ -67,6 +113,11 @@ func (c *BitCounter) Total() uint64 { return c.total }
 // Add folds one identifier into the counter. It runs in O(width) with
 // no allocation — the constant per-message cost behind the paper's
 // lightweight-detection argument.
+//
+// Add and Remove share the same LSB-first walk (descending slice index,
+// one shift per iteration): ones[i] tracks identifier bit width-i in the
+// paper's 1-based MSB-first numbering, and bits above the counter width
+// are ignored by both directions alike.
 func (c *BitCounter) Add(id can.ID) {
 	c.total++
 	v := uint32(id)
@@ -79,18 +130,22 @@ func (c *BitCounter) Add(id can.ID) {
 
 // Remove subtracts one identifier, enabling sliding-window maintenance.
 // Removing more identifiers than were added panics (programming error).
+// It mirrors Add's loop exactly, so Add followed by Remove of the same
+// identifier restores every counter.
 func (c *BitCounter) Remove(id can.ID) {
 	if c.total == 0 {
 		panic("entropy: Remove on empty BitCounter")
 	}
 	c.total--
 	v := uint32(id)
-	for i := 0; i < c.width; i++ {
-		bit := uint64(v>>(c.width-1-i)) & 1
-		if bit > c.ones[i] {
+	ones := c.ones
+	for i := len(ones) - 1; i >= 0; i-- {
+		bit := uint64(v & 1)
+		if bit > ones[i] {
 			panic("entropy: Remove of identifier never added")
 		}
-		c.ones[i] -= bit
+		ones[i] -= bit
+		v >>= 1
 	}
 }
 
@@ -116,23 +171,60 @@ func (c *BitCounter) P(i int) float64 {
 
 // Probabilities returns the vector p_1..p_width.
 func (c *BitCounter) Probabilities() []float64 {
-	out := make([]float64, c.width)
-	for i := range out {
-		if c.total > 0 {
-			out[i] = float64(c.ones[i]) / float64(c.total)
-		}
+	return c.ProbabilitiesInto(make([]float64, c.width))
+}
+
+// ProbabilitiesInto fills p (which must have length width) with the
+// vector p_1..p_width and returns it. It allocates nothing — the
+// detector's steady-state window scoring path.
+func (c *BitCounter) ProbabilitiesInto(p []float64) []float64 {
+	if len(p) != c.width {
+		panic(fmt.Sprintf("entropy: ProbabilitiesInto len %d, width %d", len(p), c.width))
 	}
-	return out
+	if c.total == 0 {
+		for i := range p {
+			p[i] = 0
+		}
+		return p
+	}
+	// Divide per element (not multiply-by-inverse): this must round
+	// identically to P(i) so cached and freshly computed vectors match
+	// bit for bit.
+	t := float64(c.total)
+	for i := range p {
+		p[i] = float64(c.ones[i]) / t
+	}
+	return p
 }
 
 // Entropies returns the per-bit binary entropy vector
 // Ĥ = {H(p_1), ..., H(p_width)}.
 func (c *BitCounter) Entropies() []float64 {
-	out := c.Probabilities()
-	for i, p := range out {
-		out[i] = Binary(p)
+	return c.EntropiesInto(make([]float64, c.width))
+}
+
+// EntropiesInto fills h (which must have length width) with the per-bit
+// binary entropy vector and returns it, allocating nothing.
+func (c *BitCounter) EntropiesInto(h []float64) []float64 {
+	c.ProbabilitiesInto(h)
+	for i, p := range h {
+		h[i] = Binary(p)
 	}
-	return out
+	return h
+}
+
+// MeasureInto fills h and p (each of length width) with the entropy and
+// probability vectors in one fused pass — each p_i is computed once and
+// feeds both outputs. This is the zero-allocation primitive behind
+// window scoring in the detectors.
+func (c *BitCounter) MeasureInto(h, p []float64) {
+	c.ProbabilitiesInto(p)
+	if len(h) != c.width {
+		panic(fmt.Sprintf("entropy: MeasureInto len %d, width %d", len(h), c.width))
+	}
+	for i, pi := range p {
+		h[i] = Binary(pi)
+	}
 }
 
 // Clone returns an independent copy of the counter.

@@ -22,9 +22,16 @@ func TestBinaryKnownValues(t *testing.T) {
 		{0.75, 0.8112781244591328},
 		{0.1, 0.4689955935892812},
 	}
+	// Binary is LUT-interpolated mid-range, accurate to 1e-9 (0, 1, 0.5,
+	// 0.25 and 0.75 land exactly on table nodes and stay exact).
 	for _, tt := range tests {
-		if got := Binary(tt.p); !almostEqual(got, tt.want, 1e-12) {
+		if got := Binary(tt.p); !almostEqual(got, tt.want, 1e-9) {
 			t.Errorf("Binary(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	for _, p := range []float64{0, 1, 0.5, 0.25, 0.75} {
+		if Binary(p) != BinaryExact(p) {
+			t.Errorf("Binary(%v) should be exact at a table node", p)
 		}
 	}
 }
@@ -309,5 +316,113 @@ func TestMaxShannon(t *testing.T) {
 	}
 	if !almostEqual(MaxShannon(8), 3, 1e-12) {
 		t.Errorf("MaxShannon(8) = %v, want 3", MaxShannon(8))
+	}
+}
+
+func TestBinaryLUTWithinBound(t *testing.T) {
+	// The quantized lookup table must stay within its documented error
+	// bound of the exact two-logarithm form everywhere on [0,1],
+	// including the exact-fallback bands near the edges and the
+	// crossover points themselves.
+	check := func(p float64) {
+		t.Helper()
+		if diff := math.Abs(Binary(p) - BinaryExact(p)); diff > binaryLUTMaxErr {
+			t.Fatalf("Binary(%v) off by %v, bound %v", p, diff, binaryLUTMaxErr)
+		}
+	}
+	for i := 0; i <= 1_000_000; i++ {
+		check(float64(i) / 1_000_000)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200_000; i++ {
+		check(rng.Float64())
+	}
+	for _, p := range []float64{binaryLUTLo, binaryLUTHi, math.Nextafter(binaryLUTLo, 0), math.Nextafter(binaryLUTHi, 1)} {
+		check(p)
+	}
+}
+
+func TestBitCounterAddRemoveSymmetry(t *testing.T) {
+	// Add and Remove share one loop direction; interleaving them in any
+	// order must keep each per-bit counter consistent with a recount.
+	rng := rand.New(rand.NewSource(7))
+	c := MustBitCounter(11)
+	var live []can.ID
+	for step := 0; step < 5000; step++ {
+		if len(live) > 0 && rng.Intn(2) == 0 {
+			i := rng.Intn(len(live))
+			c.Remove(live[i])
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		} else {
+			id := can.ID(rng.Intn(0x800))
+			c.Add(id)
+			live = append(live, id)
+		}
+	}
+	batch := MustBitCounter(11)
+	for _, id := range live {
+		batch.Add(id)
+	}
+	if c.Total() != batch.Total() {
+		t.Fatalf("total %d != %d", c.Total(), batch.Total())
+	}
+	for i := 1; i <= 11; i++ {
+		if c.P(i) != batch.P(i) {
+			t.Fatalf("bit %d: %v != %v after interleaved Add/Remove", i, c.P(i), batch.P(i))
+		}
+	}
+}
+
+func TestBitCounterHotPathAllocs(t *testing.T) {
+	c := MustBitCounter(11)
+	h := make([]float64, 11)
+	p := make([]float64, 11)
+	if n := testing.AllocsPerRun(200, func() { c.Add(0x2A4) }); n != 0 {
+		t.Errorf("Add allocates %v times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { c.Add(0x2A4); c.Remove(0x2A4) }); n != 0 {
+		t.Errorf("Add+Remove allocates %v times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { c.MeasureInto(h, p) }); n != 0 {
+		t.Errorf("MeasureInto allocates %v times per call, want 0", n)
+	}
+}
+
+func TestMeasureIntoMatchesSeparateCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := MustBitCounter(11)
+	for i := 0; i < 500; i++ {
+		c.Add(can.ID(rng.Intn(0x800)))
+	}
+	h := make([]float64, 11)
+	p := make([]float64, 11)
+	c.MeasureInto(h, p)
+	wantH, wantP := c.Entropies(), c.Probabilities()
+	for i := range h {
+		if h[i] != wantH[i] || p[i] != wantP[i] {
+			t.Fatalf("bit %d: fused (%v,%v) != separate (%v,%v)", i+1, h[i], p[i], wantH[i], wantP[i])
+		}
+	}
+	if n := MustBitCounter(11); n.ProbabilitiesInto(p)[0] != 0 {
+		t.Error("empty counter should fill zeros")
+	}
+}
+
+func TestIntoPanicsOnWrongLength(t *testing.T) {
+	c := MustBitCounter(11)
+	for _, fn := range []func(){
+		func() { c.ProbabilitiesInto(make([]float64, 5)) },
+		func() { c.EntropiesInto(make([]float64, 12)) },
+		func() { c.MeasureInto(make([]float64, 3), make([]float64, 11)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("wrong-length Into did not panic")
+				}
+			}()
+			fn()
+		}()
 	}
 }

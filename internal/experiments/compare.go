@@ -97,22 +97,28 @@ func Compare(p Params) (CompareResult, error) {
 		}
 	}
 
-	knownRun, err := run(p, profile, mkAttack(knownID, sim.SplitSeed(p.Seed, 0xC1)))
-	if err != nil {
+	// The three evaluation runs are independent; fan them out.
+	runOpts := []runOptions{
+		mkAttack(knownID, sim.SplitSeed(p.Seed, 0xC1)),
+		mkAttack(unseenID, sim.SplitSeed(p.Seed, 0xC2)),
+		{
+			scenario: vehicle.Idle,
+			seed:     sim.SplitSeed(p.Seed, 0xC3),
+			duration: 12 * p.Window,
+		},
+	}
+	runs := make([]runResult, len(runOpts))
+	if err := forEach(p.workers(), len(runOpts), func(i int) error {
+		res, err := cachedRun(p, profile, runOpts[i])
+		if err != nil {
+			return err
+		}
+		runs[i] = res
+		return nil
+	}); err != nil {
 		return CompareResult{}, err
 	}
-	unseenRun, err := run(p, profile, mkAttack(unseenID, sim.SplitSeed(p.Seed, 0xC2)))
-	if err != nil {
-		return CompareResult{}, err
-	}
-	cleanRun, err := run(p, profile, runOptions{
-		scenario: vehicle.Idle,
-		seed:     sim.SplitSeed(p.Seed, 0xC3),
-		duration: 12 * p.Window,
-	})
-	if err != nil {
-		return CompareResult{}, err
-	}
+	knownRun, unseenRun, cleanRun := runs[0], runs[1], runs[2]
 
 	var out CompareResult
 	for _, d := range []detect.Detector{coreDet, muter, song} {
@@ -136,24 +142,50 @@ func trainingWindows(p Params, profile vehicle.Profile) ([]trace.Trace, error) {
 
 // trainingWindowsStressed is trainingWindows with an extra stressor node
 // active, so detectors evaluated under bus stress can be trained on the
-// matching clean baseline.
+// matching clean baseline. The window set is memoized per parameters
+// and the per-scenario runs fan out across the worker pool; windows are
+// assembled in scenario order, so the result is identical to a
+// sequential pass. Returned windows are shared — callers must not
+// mutate them.
 func trainingWindowsStressed(p Params, profile vehicle.Profile, stress int) ([]trace.Trace, error) {
+	key := trainKey{
+		seed:         p.Seed,
+		window:       p.Window,
+		trainWindows: p.TrainWindows,
+		bitRate:      p.BitRate,
+		stress:       stress,
+	}
+	pipeline.mu.Lock()
+	cached, ok := pipeline.train[key]
+	pipeline.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+
 	// Two windows of headroom per scenario: one warm-up (discarded) and
 	// one spare, so partial trailing windows never starve the target
 	// count.
 	perScenario := (p.TrainWindows + len(vehicle.Scenarios) - 1) / len(vehicle.Scenarios)
 	dur := time.Duration(perScenario+2) * p.Window
-	var windows []trace.Trace
-	for si, scen := range vehicle.Scenarios {
-		res, err := run(p, profile, runOptions{
-			scenario:   scen,
+	results := make([]runResult, len(vehicle.Scenarios))
+	err := forEach(p.workers(), len(vehicle.Scenarios), func(si int) error {
+		res, err := cachedRun(p, profile, runOptions{
+			scenario:   vehicle.Scenarios[si],
 			seed:       sim.SplitSeed(p.Seed, int64(si)+100),
 			duration:   dur,
 			stressLoad: stress,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[si] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var windows []trace.Trace
+	for _, res := range results {
 		ws := res.trace.Windows(p.Window, false)
 		if len(ws) > 1 {
 			ws = ws[1:]
@@ -164,6 +196,33 @@ func trainingWindowsStressed(p Params, profile vehicle.Profile, stress int) ([]t
 			}
 		}
 	}
+	// Compact the windows into one fresh backing array before caching:
+	// the slices above alias the full run traces, and caching them
+	// as-is would pin those multi-second traces long after the run
+	// cache evicts them.
+	total := 0
+	for _, w := range windows {
+		total += len(w)
+	}
+	flat := make(trace.Trace, 0, total)
+	compact := make([]trace.Trace, len(windows))
+	for i, w := range windows {
+		start := len(flat)
+		flat = append(flat, w...)
+		compact[i] = flat[start:len(flat):len(flat)]
+	}
+	windows = compact
+
+	pipeline.mu.Lock()
+	if _, dup := pipeline.train[key]; !dup {
+		pipeline.train[key] = windows
+		pipeline.trainOrder = append(pipeline.trainOrder, key)
+		if len(pipeline.trainOrder) > trainCacheCap {
+			delete(pipeline.train, pipeline.trainOrder[0])
+			pipeline.trainOrder = pipeline.trainOrder[1:]
+		}
+	}
+	pipeline.mu.Unlock()
 	return windows, nil
 }
 

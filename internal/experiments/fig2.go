@@ -43,7 +43,7 @@ func Fig2(p Params) (Fig2Result, error) {
 
 	// Example attack: a high-priority single-ID injection at 100 Hz.
 	injected := profile.IDSet()[2]
-	res, err := run(p, profile, runOptions{
+	res, err := cachedRun(p, profile, runOptions{
 		scenario: vehicle.Idle,
 		seed:     sim.SplitSeed(p.Seed, 0xF2),
 		duration: 6 * p.Window,

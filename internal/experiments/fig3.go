@@ -60,16 +60,12 @@ func Fig3(p Params) (Fig3Result, error) {
 	// The detector is trained on clean traffic under the same stress
 	// load the sweep runs with, so alerts reflect the injections and
 	// not the stressor.
-	profile := vehicle.NewFusionProfile(p.Seed)
+	profile := fusionProfile(p.Seed)
 	windows, err := trainingWindowsStressed(p, profile, stressLoad)
 	if err != nil {
 		return Fig3Result{}, err
 	}
 	tmpl, err := core.BuildTemplate(windows, core.DefaultConfig().Width, core.DefaultConfig().MinFrames)
-	if err != nil {
-		return Fig3Result{}, err
-	}
-	d, err := newDetector(p, tmpl)
 	if err != nil {
 		return Fig3Result{}, err
 	}
@@ -82,9 +78,15 @@ func Fig3(p Params) (Fig3Result, error) {
 		ids = append(ids, pool[idx])
 	}
 
+	// Each sweep point derives its own seeds from its index and scores
+	// against a private detector built from the shared template, so the
+	// points are fully independent: the worker pool produces results
+	// bit-identical to a sequential loop.
 	out := Fig3Result{Frequency: frequency, StressLoad: stressLoad}
-	for i, id := range ids {
-		res, err := run(p, profile, runOptions{
+	out.Points = make([]Fig3Point, len(ids))
+	err = forEach(p.workers(), len(ids), func(i int) error {
+		id := ids[i]
+		res, err := cachedRun(p, profile, runOptions{
 			scenario:   vehicle.Idle,
 			seed:       sim.SplitSeed(p.Seed, int64(i)+0x300),
 			duration:   12 * p.Window,
@@ -99,17 +101,25 @@ func Fig3(p Params) (Fig3Result, error) {
 			},
 		})
 		if err != nil {
-			return Fig3Result{}, err
+			return err
+		}
+		d, err := newDetector(p, tmpl)
+		if err != nil {
+			return err
 		}
 		injected := res.trace.CountInjected()
 		alerts := replay(d, res.trace)
-		out.Points = append(out.Points, Fig3Point{
+		out.Points[i] = Fig3Point{
 			ID:            id,
 			InjectionRate: metrics.InjectionRate(injected, res.attempts),
 			DetectionRate: metrics.DetectionRate(res.trace, alerts),
 			Injected:      injected,
 			Attempts:      res.attempts,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return Fig3Result{}, err
 	}
 	sort.Slice(out.Points, func(i, j int) bool { return out.Points[i].ID < out.Points[j].ID })
 	return out, nil

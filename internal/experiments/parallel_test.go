@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestFig3ParallelMatchesSequential pins the pipeline's core guarantee:
+// fanning the sweep across workers yields byte-identical results to a
+// sequential pass at the same seed. The cache is reset between runs so
+// both passes genuinely simulate.
+func TestFig3ParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig3 twice")
+	}
+	resetPipelineCache()
+	seqP := testParams
+	seqP.Workers = 1
+	seq, err := Fig3(seqP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resetPipelineCache()
+	parP := testParams
+	parP.Workers = 4
+	par, err := Fig3(parP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel Fig3 diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestTable1ParallelMatchesSequential does the same for the Table I
+// rows, whose runs draw their seeds from one sequential counter — the
+// job list must pre-derive them in the historical order.
+func TestTable1ParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table1 twice")
+	}
+	resetPipelineCache()
+	seqP := testParams
+	seqP.Workers = 1
+	seq, err := Table1(seqP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resetPipelineCache()
+	parP := testParams
+	parP.Workers = 4
+	par, err := Table1(parP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// reflect.DeepEqual can't be used wholesale: the Flood row's
+	// InferAccuracy is NaN by design and NaN != NaN.
+	if len(seq.Rows) != len(par.Rows) {
+		t.Fatalf("row count %d vs %d", len(seq.Rows), len(par.Rows))
+	}
+	for i := range seq.Rows {
+		s, q := seq.Rows[i], par.Rows[i]
+		sameInfer := s.InferAccuracy == q.InferAccuracy ||
+			(math.IsNaN(s.InferAccuracy) && math.IsNaN(q.InferAccuracy))
+		if s.Scenario != q.Scenario || s.DetectionRate != q.DetectionRate ||
+			!sameInfer || s.Runs != q.Runs || !reflect.DeepEqual(s.Detail, q.Detail) {
+			t.Fatalf("parallel Table1 row %q diverged:\nseq: %+v\npar: %+v", s.Scenario, s, q)
+		}
+	}
+}
+
+// TestRunCacheHitsAndEviction exercises the trace cache directly: a
+// repeated configuration must replay the stored result, and the cache
+// must stay bounded.
+func TestRunCacheHits(t *testing.T) {
+	resetPipelineCache()
+	p := testParams
+	profile := fusionProfile(p.Seed)
+	opts := runOptions{scenario: 1, seed: 42, duration: 2 * p.Window}
+	a, err := cachedRun(p, profile, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cachedRun(p, profile, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a.trace[0] != &b.trace[0] {
+		t.Error("second identical run did not hit the cache")
+	}
+	if len(pipeline.runs) != 1 {
+		t.Errorf("cache has %d entries, want 1", len(pipeline.runs))
+	}
+	// Distinct seeds are distinct entries, capped at runCacheCap.
+	for s := int64(0); s < int64(runCacheCap)+8; s++ {
+		o := opts
+		o.seed = 1000 + s
+		if _, err := cachedRun(p, profile, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(pipeline.runs) != runCacheCap {
+		t.Errorf("cache grew to %d entries, cap %d", len(pipeline.runs), runCacheCap)
+	}
+	resetPipelineCache()
+}
+
+// TestForEachCoversAllIndices checks the pool helper under widths above,
+// at, and below the job count, plus error propagation.
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 3, 8, 64} {
+		var hits [40]atomic.Int32
+		if err := forEach(workers, len(hits), func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+	wantErr := fmt.Errorf("boom")
+	if err := forEach(4, 16, func(i int) error {
+		if i == 7 {
+			return wantErr
+		}
+		return nil
+	}); err != wantErr {
+		t.Fatalf("forEach error = %v, want %v", err, wantErr)
+	}
+}
+
+// TestRunKeyDistinguishesConfigs guards the cache key against aliasing:
+// any field that changes the simulation must change the key.
+func TestRunKeyDistinguishesConfigs(t *testing.T) {
+	p := testParams
+	base := runOptions{scenario: 1, seed: 1, duration: p.Window}
+	keys := map[string]string{}
+	addKey := func(name string, o runOptions, pp Params) {
+		k := runKeyOf(pp, o)
+		if prev, dup := keys[k]; dup {
+			t.Errorf("%s aliases %s: %q", name, prev, k)
+		}
+		keys[k] = name
+	}
+	addKey("base", base, p)
+	o := base
+	o.seed = 2
+	addKey("seed", o, p)
+	o = base
+	o.scenario = 2
+	addKey("scenario", o, p)
+	o = base
+	o.duration = 2 * p.Window
+	addKey("duration", o, p)
+	o = base
+	o.stressLoad = 470
+	addKey("stress", o, p)
+	o = base
+	o.weakECU = "BCM"
+	addKey("weak", o, p)
+	p2 := p
+	p2.BitRate = 500_000
+	addKey("bitrate", base, p2)
+	p3 := p
+	p3.Seed = 99
+	addKey("profile-seed", base, p3)
+}

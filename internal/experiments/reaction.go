@@ -42,7 +42,7 @@ func Reaction(p Params) (ReactionResult, error) {
 	var out ReactionResult
 	for fi, freq := range []float64{100, 50} {
 		attackStart := 3*p.Window + p.Window/2 // mid-window start
-		res, err := run(p, profile, runOptions{
+		res, err := cachedRun(p, profile, runOptions{
 			scenario: vehicle.Idle,
 			seed:     sim.SplitSeed(p.Seed, int64(fi)+0xE0),
 			duration: 10 * p.Window,

@@ -36,7 +36,7 @@ func Stability(p Params) (StabilityResult, error) {
 		MaxBitRange:        make([]float64, core.DefaultConfig().Width),
 		WindowsPerScenario: windowsPer,
 	}
-	profile := vehicle.NewFusionProfile(p.Seed)
+	profile := fusionProfile(p.Seed)
 	width := core.DefaultConfig().Width
 
 	minH := make([]float64, width)
@@ -46,16 +46,27 @@ func Stability(p Params) (StabilityResult, error) {
 		maxH[i] = -1
 	}
 
-	for si, scen := range vehicle.Scenarios {
-		res, err := run(p, profile, runOptions{
-			scenario: scen,
+	// The per-scenario simulations are independent; fan them out, then
+	// aggregate sequentially in scenario order.
+	results := make([]runResult, len(vehicle.Scenarios))
+	err := forEach(p.workers(), len(vehicle.Scenarios), func(si int) error {
+		res, err := cachedRun(p, profile, runOptions{
+			scenario: vehicle.Scenarios[si],
 			seed:     sim.SplitSeed(p.Seed, int64(si)+0x900),
 			duration: (windowsPer + 1) * p.Window,
 		})
 		if err != nil {
-			return StabilityResult{}, err
+			return err
 		}
-		ws := res.trace.Windows(p.Window, false)
+		results[si] = res
+		return nil
+	})
+	if err != nil {
+		return StabilityResult{}, err
+	}
+
+	for si, scen := range vehicle.Scenarios {
+		ws := results[si].trace.Windows(p.Window, false)
 		if len(ws) > 1 {
 			ws = ws[1:]
 		}

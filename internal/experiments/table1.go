@@ -79,16 +79,22 @@ type scenarioOutcome struct {
 }
 
 // runScenario executes one attack run and scores detection + inference.
-func runScenario(p Params, profile vehicle.Profile, d *core.Detector,
+// It builds a private detector from the shared template so concurrent
+// scenario runs never share mutable state.
+func runScenario(p Params, profile vehicle.Profile, tmpl core.Template,
 	pool []can.ID, cfg attack.Config, weakECU string, runSeed int64) (scenarioOutcome, error) {
 
-	res, err := run(p, profile, runOptions{
+	res, err := cachedRun(p, profile, runOptions{
 		scenario:  vehicle.Idle,
 		seed:      runSeed,
 		duration:  12 * p.Window,
 		attackCfg: &cfg,
 		weakECU:   weakECU,
 	})
+	if err != nil {
+		return scenarioOutcome{}, err
+	}
+	d, err := newDetector(p, tmpl)
 	if err != nil {
 		return scenarioOutcome{}, err
 	}
@@ -127,33 +133,136 @@ func pickIDs(pool []can.ID, k, draw int) []can.ID {
 	return out
 }
 
+// table1Job is one fully seeded scenario run, derived before dispatch so
+// that the seed sequence matches the historical sequential order
+// regardless of worker-pool width.
+type table1Job struct {
+	label   string
+	cfg     attack.Config
+	weakECU string
+	runSeed int64
+}
+
+// table1RowOrder is the paper's row order.
+var table1RowOrder = []string{
+	"Flood",
+	"Single Injection",
+	"Multiple_Injection_2",
+	"Multiple_Injection_3",
+	"Multiple_Injection_4",
+	"Weak Injection",
+}
+
 // Table1 reproduces Table I: detection rate and inferring accuracy for
 // the six attack rows, averaged across the paper's four injection
-// frequencies and several identifier draws.
+// frequencies and several identifier draws. All runs are seeded up
+// front in the fixed historical order and fan out across the worker
+// pool; aggregation walks the job list in order, so the table is
+// bit-identical whether it ran on one worker or many.
 func Table1(p Params) (Table1Result, error) {
 	tmpl, profile, err := TrainTemplate(p)
 	if err != nil {
 		return Table1Result{}, err
 	}
-	d, err := newDetector(p, tmpl)
-	if err != nil {
-		return Table1Result{}, err
-	}
 	pool := profile.IDSet()
 
-	var result Table1Result
 	seedCounter := int64(0x1000)
 	nextSeed := func() int64 {
 		seedCounter++
 		return sim.SplitSeed(p.Seed, seedCounter)
 	}
+	var jobs []table1Job
+	add := func(label string, cfg attack.Config, weakECU string) {
+		cfg.Seed = nextSeed()
+		jobs = append(jobs, table1Job{label: label, cfg: cfg, weakECU: weakECU, runSeed: nextSeed()})
+	}
 
-	aggregate := func(label string, outcomes []scenarioOutcome) {
-		row := Table1Row{Scenario: label, Runs: len(outcomes)}
+	// Row 1 — Flood: changeable high-priority IDs at high frequency.
+	for i := 0; i < 3; i++ {
+		add("Flood", attack.Config{
+			Scenario:  attack.Flood,
+			Frequency: 500,
+			Start:     2 * p.Window,
+			Duration:  8 * p.Window,
+		}, "")
+	}
+
+	// Row 2 — Single injection: every frequency × several IDs spanning
+	// the priority range ("the average on every test CAN IDs").
+	for _, f := range Table1Frequencies {
+		for draw := 0; draw < 4; draw++ {
+			add("Single Injection", attack.Config{
+				Scenario:  attack.Single,
+				IDs:       pickIDs(pool, 1, draw),
+				Frequency: f,
+				Start:     2 * p.Window,
+				Duration:  8 * p.Window,
+			}, "")
+		}
+	}
+
+	// Rows 3-5 — Multi injection with 2, 3 and 4 IDs.
+	for _, k := range []int{2, 3, 4} {
+		for _, f := range Table1Frequencies {
+			for draw := 0; draw < 2; draw++ {
+				add(fmt.Sprintf("Multiple_Injection_%d", k), attack.Config{
+					Scenario:  attack.Multi,
+					IDs:       pickIDs(pool, k, draw),
+					Frequency: f,
+					Start:     2 * p.Window,
+					Duration:  8 * p.Window,
+				}, "")
+			}
+		}
+	}
+
+	// Row 6 — Weak injection: the attacker is confined to a compromised
+	// ECU's transmit filter (we compromise the BCM) and injects one
+	// fixed legal ID per campaign — the paper observes this scenario's
+	// detection result matches single injection.
+	bcm, ok := profile.FindECU("BCM")
+	if !ok {
+		return Table1Result{}, fmt.Errorf("experiments: BCM not in profile")
+	}
+	filter := bcm.IDs()
+	for _, f := range Table1Frequencies {
+		for draw := 0; draw < 2; draw++ {
+			add("Weak Injection", attack.Config{
+				Scenario:  attack.Weak,
+				IDs:       []can.ID{filter[(draw*13+5)%len(filter)]},
+				Filter:    filter,
+				Frequency: f,
+				Start:     2 * p.Window,
+				Duration:  8 * p.Window,
+			}, "BCM")
+		}
+	}
+
+	outcomes := make([]scenarioOutcome, len(jobs))
+	err = forEach(p.workers(), len(jobs), func(i int) error {
+		o, err := runScenario(p, profile, tmpl, pool, jobs[i].cfg, jobs[i].weakECU, jobs[i].runSeed)
+		if err != nil {
+			return err
+		}
+		outcomes[i] = o
+		return nil
+	})
+	if err != nil {
+		return Table1Result{}, err
+	}
+
+	var result Table1Result
+	for _, label := range table1RowOrder {
+		row := Table1Row{Scenario: label}
 		drSum := 0.0
 		hits, trials := 0, 0
 		hasInfer := false
-		for _, o := range outcomes {
+		for i, job := range jobs {
+			if job.label != label {
+				continue
+			}
+			o := outcomes[i]
+			row.Runs++
 			drSum += o.dr
 			hits += o.hits
 			trials += o.trials
@@ -166,7 +275,7 @@ func Table1(p Params) (Table1Result, error) {
 				IDs:           o.ids,
 			})
 		}
-		row.DetectionRate = drSum / float64(len(outcomes))
+		row.DetectionRate = drSum / float64(row.Runs)
 		if hasInfer {
 			row.InferAccuracy = metrics.HitRate(hits, trials)
 		} else {
@@ -174,99 +283,6 @@ func Table1(p Params) (Table1Result, error) {
 		}
 		result.Rows = append(result.Rows, row)
 	}
-
-	// Row 1 — Flood: changeable high-priority IDs at high frequency.
-	var flood []scenarioOutcome
-	for i := 0; i < 3; i++ {
-		o, err := runScenario(p, profile, d, pool, attack.Config{
-			Scenario:  attack.Flood,
-			Frequency: 500,
-			Start:     2 * p.Window,
-			Duration:  8 * p.Window,
-			Seed:      nextSeed(),
-		}, "", nextSeed())
-		if err != nil {
-			return Table1Result{}, err
-		}
-		flood = append(flood, o)
-	}
-	aggregate("Flood", flood)
-
-	// Row 2 — Single injection: every frequency × several IDs spanning
-	// the priority range ("the average on every test CAN IDs").
-	var single []scenarioOutcome
-	for _, f := range Table1Frequencies {
-		for draw := 0; draw < 4; draw++ {
-			ids := pickIDs(pool, 1, draw)
-			o, err := runScenario(p, profile, d, pool, attack.Config{
-				Scenario:  attack.Single,
-				IDs:       ids,
-				Frequency: f,
-				Start:     2 * p.Window,
-				Duration:  8 * p.Window,
-				Seed:      nextSeed(),
-			}, "", nextSeed())
-			if err != nil {
-				return Table1Result{}, err
-			}
-			single = append(single, o)
-		}
-	}
-	aggregate("Single Injection", single)
-
-	// Rows 3-5 — Multi injection with 2, 3 and 4 IDs.
-	for _, k := range []int{2, 3, 4} {
-		var multi []scenarioOutcome
-		for _, f := range Table1Frequencies {
-			for draw := 0; draw < 2; draw++ {
-				ids := pickIDs(pool, k, draw)
-				o, err := runScenario(p, profile, d, pool, attack.Config{
-					Scenario:  attack.Multi,
-					IDs:       ids,
-					Frequency: f,
-					Start:     2 * p.Window,
-					Duration:  8 * p.Window,
-					Seed:      nextSeed(),
-				}, "", nextSeed())
-				if err != nil {
-					return Table1Result{}, err
-				}
-				multi = append(multi, o)
-			}
-		}
-		aggregate(fmt.Sprintf("Multiple_Injection_%d", k), multi)
-	}
-
-	// Row 6 — Weak injection: the attacker is confined to a compromised
-	// ECU's transmit filter (we compromise the BCM) and injects one
-	// fixed legal ID per campaign — the paper observes this scenario's
-	// detection result matches single injection.
-	bcm, ok := profile.FindECU("BCM")
-	if !ok {
-		return Table1Result{}, fmt.Errorf("experiments: BCM not in profile")
-	}
-	var weak []scenarioOutcome
-	filter := bcm.IDs()
-	for _, f := range Table1Frequencies {
-		for draw := 0; draw < 2; draw++ {
-			ids := []can.ID{filter[(draw*13+5)%len(filter)]}
-			o, err := runScenario(p, profile, d, pool, attack.Config{
-				Scenario:  attack.Weak,
-				IDs:       ids,
-				Filter:    filter,
-				Frequency: f,
-				Start:     2 * p.Window,
-				Duration:  8 * p.Window,
-				Seed:      nextSeed(),
-			}, "BCM", nextSeed())
-			if err != nil {
-				return Table1Result{}, err
-			}
-			weak = append(weak, o)
-		}
-	}
-	aggregate("Weak Injection", weak)
-
 	return result, nil
 }
 

@@ -272,12 +272,16 @@ func greedyOrder(a detect.Alert, pool []can.ID, width, n int) []can.ID {
 			templateP[b.Bit-1] = b.TemplateP
 		}
 	}
-	signature := func(id can.ID) []float64 {
-		g := make([]float64, width)
+	// signatureInto fills g with the candidate's centered bit vector.
+	// The scratch buffer is shared across the whole ranking — the inner
+	// pick loop evaluates every remaining candidate against the
+	// residual, and allocating a fresh vector per candidate dominated
+	// the cost of inference.
+	g := make([]float64, width)
+	signatureInto := func(id can.ID) {
 		for i := 1; i <= width; i++ {
 			g[i-1] = float64(id.Bit(i, width)) - templateP[i-1]
 		}
-		return g
 	}
 	remaining := make([]can.ID, len(pool))
 	copy(remaining, pool)
@@ -288,7 +292,7 @@ func greedyOrder(a detect.Alert, pool []can.ID, width, n int) []can.ID {
 		bestIdx := -1
 		bestDot := math.Inf(-1)
 		for idx, id := range remaining {
-			g := signature(id)
+			signatureInto(id)
 			dot := 0.0
 			for i := range g {
 				dot += residual[i] * g[i]
@@ -303,7 +307,7 @@ func greedyOrder(a detect.Alert, pool []can.ID, width, n int) []can.ID {
 		id := remaining[bestIdx]
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
 		out = append(out, id)
-		g := signature(id)
+		signatureInto(id)
 		var num, den float64
 		for i := range g {
 			num += residual[i] * g[i]

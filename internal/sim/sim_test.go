@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"math/rand"
 	"testing"
 	"testing/quick"
 	"time"
@@ -153,5 +154,66 @@ func TestSplitSeedProperties(t *testing.T) {
 	}
 	if SplitSeed(1, 0) == SplitSeed(2, 0) {
 		t.Error("different parents should give different children")
+	}
+}
+
+func TestSchedulerAfterAllocs(t *testing.T) {
+	// Steady-state scheduling must not allocate: events are stored by
+	// value and the queue's backing array is reused once warm. A
+	// pre-declared callback keeps closure creation out of the measured
+	// path, as in the simulator's hot loops (bus arbitration, periodic
+	// fire functions are all created once).
+	s := NewScheduler()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		s.After(time.Duration(i)*time.Millisecond, fn)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		s.After(time.Millisecond, fn)
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("warm After+Run allocates %v times per event, want 0", n)
+	}
+}
+
+func TestSchedulerHeapOrderProperty(t *testing.T) {
+	// The 4-ary value heap must drain in exactly (time, FIFO) order for
+	// adversarial insertion patterns.
+	rng := rand.New(rand.NewSource(3))
+	s := NewScheduler()
+	type stamp struct {
+		at  Time
+		seq int
+	}
+	var got []stamp
+	seq := 0
+	for i := 0; i < 500; i++ {
+		at := Time(rng.Intn(50)) * time.Millisecond
+		mySeq := seq
+		seq++
+		s.At(at, func() { got = append(got, stamp{s.Now(), mySeq}) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 500 {
+		t.Fatalf("ran %d events, want 500", len(got))
+	}
+	order := make(map[Time]int)
+	for i := 1; i < len(got); i++ {
+		if got[i].at < got[i-1].at {
+			t.Fatalf("event %d ran at %v after %v", i, got[i].at, got[i-1].at)
+		}
+	}
+	for _, g := range got {
+		if prev, ok := order[g.at]; ok && g.seq < prev {
+			t.Fatalf("FIFO violated at %v: seq %d after %d", g.at, g.seq, prev)
+		}
+		order[g.at] = g.seq
 	}
 }

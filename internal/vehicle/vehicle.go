@@ -64,6 +64,9 @@ func (s Scenario) String() string {
 
 // PayloadGen produces the data bytes of successive transmissions of one
 // message. seq counts transmissions; now is the virtual send time.
+// Generators may reuse one internal buffer across calls — the returned
+// slice is only valid until the next call, and callers must copy it
+// (can.NewFrame does) before invoking the generator again.
 type PayloadGen func(seq uint64, now time.Duration, rng *rand.Rand) []byte
 
 // PayloadFactory creates a fresh, independent PayloadGen. Generators may
@@ -294,8 +297,8 @@ func CounterPayload(dlc int, tag byte) PayloadFactory {
 }
 
 func counterGen(dlc int, tag byte) PayloadGen {
+	b := make([]byte, dlc)
 	return func(seq uint64, _ time.Duration, _ *rand.Rand) []byte {
-		b := make([]byte, dlc)
 		if dlc == 0 {
 			return b
 		}
@@ -324,8 +327,8 @@ func SensorPayload(dlc int, start, step uint16) PayloadFactory {
 }
 
 func sensorGen(dlc int, start, step uint16) PayloadGen {
+	b := make([]byte, dlc)
 	return func(seq uint64, _ time.Duration, rng *rand.Rand) []byte {
-		b := make([]byte, dlc)
 		v := start + uint16(seq)*step
 		if dlc >= 2 {
 			b[0] = byte(v >> 8)
@@ -334,8 +337,12 @@ func sensorGen(dlc int, start, step uint16) PayloadGen {
 			b[0] = byte(v)
 		}
 		for i := 2; i < dlc; i++ {
+			// Unconditional write: the buffer is reused across calls,
+			// so a nil-rng call must not leak a previous call's noise.
 			if rng != nil {
 				b[i] = byte(rng.Intn(4))
+			} else {
+				b[i] = 0
 			}
 		}
 		return b
@@ -348,8 +355,8 @@ func sensorGen(dlc int, start, step uint16) PayloadGen {
 func StatusPayload(dlc int, base byte, flipProb float64) PayloadFactory {
 	return func() PayloadGen {
 		state := base
+		b := make([]byte, dlc)
 		return func(_ uint64, _ time.Duration, rng *rand.Rand) []byte {
-			b := make([]byte, dlc)
 			if rng != nil && rng.Float64() < flipProb {
 				state ^= 1 << rng.Intn(8)
 			}
@@ -409,12 +416,15 @@ func scheduleMessage(sched *sim.Scheduler, port *bus.Port, m Message, rng *rand.
 	if m.Gen != nil {
 		gen = m.Gen()
 	}
+	// Zero payload reused when the message has no generator; NewFrame
+	// copies the bytes into the frame, so sharing across cycles is safe.
+	zeros := make([]byte, m.DLC)
 	var fire func()
 	fire = func() {
 		if port.Disabled() {
 			return
 		}
-		data := make([]byte, m.DLC)
+		data := zeros
 		if gen != nil {
 			data = gen(seq, sched.Now(), rng)
 		}

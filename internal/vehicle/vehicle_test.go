@@ -93,8 +93,10 @@ func TestScenarioString(t *testing.T) {
 func TestPayloadGenerators(t *testing.T) {
 	t.Run("counter", func(t *testing.T) {
 		g := CounterPayload(8, 0xAB)()
-		b0 := g(0, 0, nil)
-		b1 := g(1, 0, nil)
+		// Generators reuse their buffer; copy each result before the
+		// next call, as the PayloadGen contract requires.
+		b0 := append([]byte(nil), g(0, 0, nil)...)
+		b1 := append([]byte(nil), g(1, 0, nil)...)
 		if b0[0] != 0 || b1[0] != 1 {
 			t.Error("rolling counter not advancing")
 		}
@@ -118,8 +120,8 @@ func TestPayloadGenerators(t *testing.T) {
 	t.Run("sensor", func(t *testing.T) {
 		g := SensorPayload(4, 100, 10)()
 		rng := sim.NewRand(1)
-		b0 := g(0, 0, rng)
-		b5 := g(5, 0, rng)
+		b0 := append([]byte(nil), g(0, 0, rng)...)
+		b5 := append([]byte(nil), g(5, 0, rng)...)
 		v0 := uint16(b0[0])<<8 | uint16(b0[1])
 		v5 := uint16(b5[0])<<8 | uint16(b5[1])
 		if v0 != 100 || v5 != 150 {
