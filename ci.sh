@@ -18,6 +18,14 @@ go vet ./...
 go build ./...
 go test ./...
 
+# Concurrency hardening: the streaming engine (internal/engine) fans
+# work across goroutines, so the suite must hold under the race
+# detector; -shuffle=on randomizes test and subtest order to flush out
+# order-dependent tests (a fresh seed every run — the failing seed is
+# printed for reproduction). Either leg failing fails CI.
+go test -race ./...
+go test -shuffle=on ./...
+
 bench_raw=$(go test -run '^$' -bench . -benchtime=1x -benchmem .)
 echo "$bench_raw"
 

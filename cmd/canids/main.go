@@ -9,26 +9,39 @@
 //
 //	canids -detect -template template.json -alpha 5 -rank 10 attacked.csv
 //
-// When the input carries ground truth (csv), detection and inference are
-// also scored.
+// Watch a stream through the sharded engine with live metrics — either
+// a named scenario from the built-in matrix (trains on the matrix's
+// clean traffic, then streams the scenario live) or captured log files:
+//
+//	canids -list-scenarios
+//	canids -watch -scenario fusion/idle/SI-100 -shards 4 -baselines
+//	canids -watch -template template.json -shards 4 attacked.csv
+//
+// When the input carries ground truth (csv, or a matrix scenario),
+// detection and inference are also scored.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
+	"canids/internal/baseline"
 	"canids/internal/can"
 	"canids/internal/core"
 	"canids/internal/detect"
+	"canids/internal/engine"
+	"canids/internal/engine/scenario"
 	"canids/internal/infer"
 	"canids/internal/metrics"
 	"canids/internal/trace"
+	"canids/internal/vehicle"
 )
 
 // templateFile is the JSON document canids persists: the golden template
@@ -50,48 +63,95 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		train    = fs.Bool("train", false, "build a golden template from clean logs")
 		detect   = fs.Bool("detect", false, "run detection over logs")
+		watch    = fs.Bool("watch", false, "stream logs or a scenario through the sharded engine")
+		list     = fs.Bool("list-scenarios", false, "print the scenario-matrix catalogue")
 		tmplPath = fs.String("template", "template.json", "template file path")
 		window   = fs.Duration("window", time.Second, "detection window")
 		alpha    = fs.Float64("alpha", 5, "threshold multiplier α (paper range [3,10])")
 		rank     = fs.Int("rank", infer.DefaultRank, "inference candidate set size")
 		out      = fs.String("o", "", "output file for -train (default: -template path)")
+
+		scenarioName = fs.String("scenario", "", "named scenario from the matrix (see -list-scenarios)")
+		seed         = fs.Int64("seed", 1, "scenario-matrix base seed")
+		duration     = fs.Duration("duration", 0, "override scenario duration")
+		shards       = fs.Int("shards", 1, "engine worker shards")
+		baselines    = fs.Bool("baselines", false, "run the Müter and Song baselines alongside (scenario mode)")
+		metricsEvery = fs.Duration("metrics", 2*time.Second, "live metrics interval for -watch (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	files := fs.Args()
-	switch {
-	case *train == *detect:
-		return fmt.Errorf("exactly one of -train or -detect is required")
-	case len(files) == 0:
-		return fmt.Errorf("no input logs given")
+	modes := 0
+	for _, m := range []bool{*train, *detect, *watch, *list} {
+		if m {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return fmt.Errorf("exactly one of -train, -detect, -watch or -list-scenarios is required")
 	}
 
-	if *train {
+	switch {
+	case *list:
+		return runList(*seed, stdout)
+	case *watch:
+		return runWatch(watchOptions{
+			files:        files,
+			tmplPath:     *tmplPath,
+			window:       *window,
+			alpha:        *alpha,
+			rank:         *rank,
+			scenarioName: *scenarioName,
+			seed:         *seed,
+			duration:     *duration,
+			shards:       *shards,
+			baselines:    *baselines,
+			metricsEvery: *metricsEvery,
+		}, stdout)
+	case *train:
+		if len(files) == 0 {
+			return fmt.Errorf("no input logs given")
+		}
 		dest := *out
 		if dest == "" {
 			dest = *tmplPath
 		}
 		return runTrain(files, *window, dest, stdout)
+	default:
+		if len(files) == 0 {
+			return fmt.Errorf("no input logs given")
+		}
+		return runDetect(files, *tmplPath, *window, *alpha, *rank, stdout)
 	}
-	return runDetect(files, *tmplPath, *window, *alpha, *rank, stdout)
 }
 
-// readLog loads a capture in csv or candump format, by extension first
-// and content as a fallback.
+// runList prints the scenario catalogue.
+func runList(seed int64, stdout io.Writer) error {
+	specs := scenario.Matrix(seed)
+	fmt.Fprintf(stdout, "%d scenarios (base seed %d):\n", len(specs), seed)
+	for _, s := range specs {
+		kind := "clean"
+		if !s.Clean() {
+			kind = fmt.Sprintf("%s @ %.0f Hz", s.Campaign.Attack, s.Campaign.Frequency)
+		}
+		fmt.Fprintf(stdout, "  %-26s %v  %s\n", s.Name, s.Duration, kind)
+	}
+	return nil
+}
+
+// readLog loads a whole capture, picking the format by extension.
 func readLog(path string) (trace.Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	if strings.EqualFold(filepath.Ext(path), ".csv") {
-		return trace.ReadCSV(f)
+	dec, err := trace.NewDecoder(trace.FormatForPath(path), f)
+	if err != nil {
+		return nil, err
 	}
-	if strings.EqualFold(filepath.Ext(path), ".bin") {
-		return trace.ReadBinary(f)
-	}
-	return trace.ReadCandump(f)
+	return trace.ReadAll(dec)
 }
 
 func runTrain(files []string, window time.Duration, dest string, stdout io.Writer) error {
@@ -191,4 +251,220 @@ func formatIDs(ids []can.ID) string {
 		parts[i] = id.String()
 	}
 	return strings.Join(parts, " ")
+}
+
+// watchOptions collects the -watch flags.
+type watchOptions struct {
+	files        []string
+	tmplPath     string
+	window       time.Duration
+	alpha        float64
+	rank         int
+	scenarioName string
+	seed         int64
+	duration     time.Duration
+	shards       int
+	baselines    bool
+	metricsEvery time.Duration
+}
+
+// runWatch streams a scenario or log files through the sharded engine,
+// printing alerts as the ordered merge releases them and a metrics line
+// on a fixed wall-clock cadence.
+func runWatch(opts watchOptions, stdout io.Writer) error {
+	cfg := engine.DefaultConfig()
+	cfg.Shards = opts.shards
+	cfg.Core.Window = opts.window
+	cfg.Core.Alpha = opts.alpha
+
+	if opts.scenarioName != "" {
+		return watchScenario(opts, cfg, stdout)
+	}
+	if len(opts.files) == 0 {
+		return fmt.Errorf("-watch needs log files or -scenario")
+	}
+	if opts.baselines {
+		return fmt.Errorf("-baselines needs -scenario (baselines train on the matrix's clean traffic)")
+	}
+	raw, err := os.ReadFile(opts.tmplPath)
+	if err != nil {
+		return err
+	}
+	var tf templateFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		return fmt.Errorf("%s: %w", opts.tmplPath, err)
+	}
+	eng, err := engine.NewTrained(cfg, tf.Template)
+	if err != nil {
+		return err
+	}
+	for _, path := range opts.files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		src, err := engine.NewLogSource(f, trace.FormatForPath(path))
+		if err != nil {
+			f.Close()
+			return err
+		}
+		fmt.Fprintf(stdout, "== %s\n", path)
+		// CSV and binary captures carry ground truth; tally it in
+		// passing so the stream is scored like -detect would.
+		var injected trace.Trace
+		err = watchStream(eng, teeInjected{src: src, injected: &injected}, tf.Pool, opts, &injected, stdout)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// watchScenario trains on the matrix's clean traffic for the scenario's
+// profile, then streams the scenario live (simulation goroutine →
+// bounded channel → engine).
+func watchScenario(opts watchOptions, cfg engine.Config, stdout io.Writer) error {
+	specs := scenario.Matrix(opts.seed)
+	spec, ok := scenario.Find(specs, opts.scenarioName)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (try -list-scenarios)", opts.scenarioName)
+	}
+	if opts.duration > 0 {
+		spec.Duration = opts.duration
+	}
+
+	windows, err := scenario.TrainingWindows(specs, spec.Profile, cfg.Core.Window)
+	if err != nil {
+		return err
+	}
+	tmpl, err := core.BuildTemplate(windows, cfg.Core.Width, cfg.Core.MinFrames)
+	if err != nil {
+		return err
+	}
+	if opts.baselines {
+		m, err := baseline.NewMuter(baseline.DefaultMuterConfig())
+		if err != nil {
+			return err
+		}
+		s, err := baseline.NewSong(baseline.DefaultSongConfig())
+		if err != nil {
+			return err
+		}
+		for _, d := range []detect.Detector{m, s} {
+			if err := d.Train(windows); err != nil {
+				return fmt.Errorf("train %s: %w", d.Name(), err)
+			}
+		}
+		cfg.Baselines = []detect.Detector{m, s}
+	}
+	eng, err := engine.NewTrained(cfg, tmpl)
+	if err != nil {
+		return err
+	}
+
+	pool := scenarioPool(spec)
+	fmt.Fprintf(stdout, "watching %s (%v, %d shards, template from %d clean windows)\n",
+		spec.Name, spec.Duration, cfg.Shards, tmpl.Windows)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch := make(chan trace.Record, engine.DefaultBuffer)
+	streamErr := make(chan error, 1)
+	go func() { streamErr <- spec.Stream(ctx, ch) }()
+
+	// Tally ground truth on the way past: DetectionRate only inspects
+	// injected records, so keeping just those scores the stream without
+	// retaining it.
+	var injected trace.Trace
+	src := teeInjected{src: engine.NewChanSource(ctx, ch), injected: &injected}
+	if err := watchStream(eng, src, pool, opts, &injected, stdout); err != nil {
+		return err
+	}
+	return <-streamErr
+}
+
+// teeInjected records the injected (ground truth) records of a stream.
+type teeInjected struct {
+	src      engine.Source
+	injected *trace.Trace
+}
+
+func (t teeInjected) Next() (trace.Record, error) {
+	rec, err := t.src.Next()
+	if err == nil && rec.Injected {
+		*t.injected = append(*t.injected, rec)
+	}
+	return rec, err
+}
+
+// scenarioPool returns the legal ID pool of the scenario's profile, for
+// malicious-ID inference on alerts.
+func scenarioPool(spec scenario.Spec) []can.ID {
+	return vehicle.NewFusionProfile(spec.ProfileSeed).IDSet()
+}
+
+// watchStream drives one source through the engine: alerts print as the
+// ordered merge emits them, a metrics goroutine snapshots live Stats on
+// the configured cadence, and the final line summarizes the run. When
+// injected ground truth was collected, the detection rate is scored.
+func watchStream(eng *engine.Engine, src engine.Source, pool []can.ID,
+	opts watchOptions, injected *trace.Trace, stdout io.Writer) error {
+
+	start := time.Now()
+	var mu sync.Mutex // stdout interleaving: sink vs metrics ticker
+	var alerts []detect.Alert
+	sink := func(a detect.Alert) {
+		mu.Lock()
+		defer mu.Unlock()
+		alerts = append(alerts, a)
+		fmt.Fprintf(stdout, "  ALERT %s\n", a)
+		if len(pool) > 0 && len(a.Bits) > 0 {
+			if res, err := infer.Rank(a, pool, can.StandardIDBits, opts.rank); err == nil {
+				fmt.Fprintf(stdout, "        suspected IDs: %s\n", formatIDs(res.Candidates))
+			}
+		}
+	}
+
+	stopMetrics := make(chan struct{})
+	var metricsDone sync.WaitGroup
+	if opts.metricsEvery > 0 {
+		metricsDone.Add(1)
+		go func() {
+			defer metricsDone.Done()
+			tick := time.NewTicker(opts.metricsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					st := eng.Stats()
+					mu.Lock()
+					fmt.Fprintf(stdout, "  -- t=%v frames=%d windows=%d alerts=%d rate=%.0f frames/s\n",
+						st.LastTime.Truncate(time.Millisecond), st.Frames, st.Windows, st.Alerts,
+						float64(st.Frames)/time.Since(start).Seconds())
+					mu.Unlock()
+				case <-stopMetrics:
+					return
+				}
+			}
+		}()
+	}
+
+	st, err := eng.Run(context.Background(), src, sink)
+	close(stopMetrics)
+	metricsDone.Wait()
+	if err != nil {
+		return err
+	}
+
+	elapsed := time.Since(start)
+	fmt.Fprintf(stdout, "done: %d frames in %v (%.0f frames/s), %d windows, %d alerts, shards %v\n",
+		st.Frames, elapsed.Truncate(time.Millisecond), float64(st.Frames)/elapsed.Seconds(),
+		st.Windows, st.Alerts, st.PerShard)
+	if injected != nil && len(*injected) > 0 {
+		dr := metrics.DetectionRate(*injected, alerts)
+		fmt.Fprintf(stdout, "ground truth: %d injected frames, detection rate %.1f%%\n",
+			len(*injected), 100*dr)
+	}
+	return nil
 }

@@ -160,3 +160,89 @@ func TestReadLogFormats(t *testing.T) {
 		t.Errorf("readLog binary: %v %d", err, len(got))
 	}
 }
+
+func TestListScenarios(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list-scenarios"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fusion/idle/SI-100", "fusion-b/cruise/clean", "FI @ 500 Hz"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("catalogue missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestWatchScenario(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-watch", "-scenario", "fusion/idle/SI-100",
+		"-shards", "4", "-alpha", "4", "-metrics", "0"}, &out)
+	if err != nil {
+		t.Fatalf("watch: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"watching fusion/idle/SI-100", "ALERT", "suspected IDs:", "done:", "detection rate"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("watch output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestWatchScenarioWithBaselines(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-watch", "-scenario", "fusion/idle/FI-500",
+		"-shards", "2", "-alpha", "4", "-baselines", "-duration", "6s", "-metrics", "0"}, &out)
+	if err != nil {
+		t.Fatalf("watch: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "[muter-msg-entropy]") {
+		t.Errorf("flooding run shows no baseline alerts:\n%s", text)
+	}
+	if !strings.Contains(text, "done:") {
+		t.Errorf("no final summary:\n%s", text)
+	}
+}
+
+func TestWatchFiles(t *testing.T) {
+	dir := t.TempDir()
+	clean := makeCapture(t, dir, "clean.csv", vehicle.Idle, 5, 8*time.Second, nil)
+	tmpl := filepath.Join(dir, "template.json")
+	if err := run([]string{"-train", "-o", tmpl, clean}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	attacked := makeCapture(t, dir, "attacked.csv", vehicle.Idle, 7, 10*time.Second, &attack.Config{
+		Scenario:  attack.Single,
+		IDs:       []can.ID{0x0B5},
+		Frequency: 100,
+		Start:     2 * time.Second,
+		Seed:      9,
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-watch", "-template", tmpl, "-alpha", "4",
+		"-shards", "2", "-metrics", "0", attacked}, &out); err != nil {
+		t.Fatalf("watch files: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"== " + attacked, "ALERT", "done:", "detection rate"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("watch output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestWatchValidation(t *testing.T) {
+	cases := [][]string{
+		{"-watch"}, // no input
+		{"-watch", "-scenario", "no/such/scenario"},                      // unknown scenario
+		{"-watch", "-scenario", "fusion/idle/SI-100", "-duration", "1s"}, // no room for the attack
+		{"-watch", "-baselines", "x.csv"},                                // baselines need a scenario
+		{"-watch", "-template", "/nonexistent", "x.csv"},                 // missing template
+		{"-watch", "-train"},                                             // two modes
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -20,14 +20,40 @@
 //	internal/entropy     bit-slice counters and entropy math
 //	internal/detect      shared detector interface and alert types
 //	internal/metrics     Ir, Dr, hit rate, confusion counts
-//	internal/trace       candump / CSV / binary log formats
-//	internal/sim         deterministic discrete-event scheduler
+//	internal/trace       candump / CSV / binary log formats + streaming decoders
+//	internal/sim         deterministic discrete-event scheduler, fast seeded RNG
+//	internal/engine      sharded streaming detection engine
+//	internal/engine/scenario  named scenario matrix (profiles × drives × attacks)
 //	internal/experiments one runner per paper table and figure
 //	cmd/...              cangen, canattack, canids, experiments
-//	examples/...         quickstart, livebus, offline, sweep
+//	examples/...         quickstart, livebus, offline, sweep, streaming
 //
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation; see EXPERIMENTS.md for the measured results.
+//
+// # Streaming engine
+//
+// internal/engine turns the one-shot detector into a serving subsystem:
+// a Source abstraction feeds records from trace files (all three log
+// formats decode incrementally), live channels, or generators; a
+// dispatcher shards the per-frame counting across N worker pipelines by
+// CAN ID over bounded channels; per-shard bit counts merge losslessly
+// (they are integers) into whole windows scored through the exact
+// sequential code path (core.Detector.ScoreWindow); and an ordered merge
+// with per-stream watermarks interleaves the bit-entropy stream with
+// optional Müter/Song baseline pipelines into one deterministic
+// (WindowEnd, stream) alert order. The engine's output is bit-identical
+// to a sequential core.Detector at any shard count — pinned by
+// TestEngineMatchesSequential for shards 1, 2 and 8 — and the whole
+// suite holds under go test -race and -shuffle=on (ci.sh runs both).
+//
+// internal/engine/scenario is the workload matrix behind it: vehicle
+// profiles × driving behaviours × attack campaigns composed into named,
+// seeded scenarios ("fusion/idle/SI-100") that replay bit-for-bit.
+// `canids -list-scenarios` prints the catalogue, `canids -watch
+// -scenario <name> -shards N [-baselines]` streams one live with
+// periodic metrics, and examples/streaming demonstrates the
+// sharding-is-invisible contract end to end.
 //
 // # Performance
 //
@@ -51,7 +77,15 @@
 //     nodes; BinaryExact is the reference and the near-edge fallback);
 //   - core.Detector.Observe scores windows into reusable scratch
 //     vectors and only builds per-bit alert detail when a threshold is
-//     actually violated — a clean record stream is 0 allocs/op.
+//     actually violated — a clean record stream is 0 allocs/op;
+//   - sim.NewRand seeds a bit-exact replica of math/rand's generator
+//     ~3x faster than the stdlib path (8-lane Lehmer chain with a
+//     Mersenne fold; rngCooked recovered from public outputs at init) —
+//     the simulator seeds one source per scheduled message, 223 per
+//     vehicle attach;
+//   - the engine's per-frame shard path (receive, BitCounter.Add,
+//     atomic tick) allocates nothing; TestEngineSteadyStateAllocs
+//     bounds a whole run at <0.25 allocs/frame.
 //
 // The experiment pipeline (internal/experiments) memoizes the clean
 // training traffic and golden template per parameter set, caches

@@ -127,11 +127,11 @@ func (m *Muter) Observe(rec trace.Record) []detect.Alert {
 		m.windowStart = rec.Time
 		m.haveWindow = true
 	}
-	for rec.Time >= m.windowStart+m.cfg.Window {
+	for detect.WindowExpired(m.windowStart, rec.Time, m.cfg.Window) {
 		if a := m.closeWindow(); a != nil {
 			alerts = append(alerts, *a)
 		}
-		m.windowStart += m.cfg.Window
+		m.windowStart = detect.NextWindowStart(m.windowStart, rec.Time, m.cfg.Window)
 	}
 	m.counts[rec.Frame.ID]++
 	m.frames++
@@ -192,7 +192,7 @@ func (m *Muter) closeWindow() *detect.Alert {
 	return &detect.Alert{
 		Detector:    MuterName,
 		WindowStart: m.windowStart,
-		WindowEnd:   m.windowStart + m.cfg.Window,
+		WindowEnd:   detect.WindowEnd(m.windowStart, m.cfg.Window),
 		Frames:      m.frames,
 		Score:       dev / th,
 		Detail:      fmt.Sprintf("message entropy %.4f vs template %.4f", h, m.meanH),

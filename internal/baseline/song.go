@@ -127,11 +127,11 @@ func (s *Song) Observe(rec trace.Record) []detect.Alert {
 		s.windowStart = rec.Time
 		s.haveWindow = true
 	}
-	for rec.Time >= s.windowStart+s.cfg.Window {
+	for detect.WindowExpired(s.windowStart, rec.Time, s.cfg.Window) {
 		if a := s.closeWindow(); a != nil {
 			alerts = append(alerts, *a)
 		}
-		s.windowStart += s.cfg.Window
+		s.windowStart = detect.NextWindowStart(s.windowStart, rec.Time, s.cfg.Window)
 	}
 	s.frames++
 	id := rec.Frame.ID
@@ -198,7 +198,7 @@ func (s *Song) closeWindow() *detect.Alert {
 	return &detect.Alert{
 		Detector:    SongName,
 		WindowStart: s.windowStart,
-		WindowEnd:   s.windowStart + s.cfg.Window,
+		WindowEnd:   detect.WindowEnd(s.windowStart, s.cfg.Window),
 		Frames:      frames,
 		Score:       float64(anomalies) / float64(s.cfg.AnomalyThreshold),
 		Detail: fmt.Sprintf("%d interval anomalies (%d unknown-ID frames unscored)",

@@ -173,10 +173,22 @@ func (f Frame) Equal(g Frame) bool {
 // String renders the frame in candump-like notation, e.g. "123#DEADBEEF"
 // or "123#R" for remote frames.
 func (f Frame) String() string {
-	if f.Remote {
-		return fmt.Sprintf("%s#R", f.ID)
+	// An extended frame whose identifier happens to fit in 11 bits must
+	// still print in the 8-digit extended form, or parsing the text
+	// would drop the IDE flag (candump uses digit count to carry it).
+	id := f.ID.String()
+	if f.Extended && f.ID <= MaxStandardID {
+		id = fmt.Sprintf("%08X", uint32(f.ID))
 	}
-	return fmt.Sprintf("%s#%X", f.ID, f.Data[:f.Len])
+	if f.Remote {
+		if f.Len > 0 {
+			// The requested DLC rides along, as in candump's "123#R4";
+			// omitting it would zero the DLC on re-parse.
+			return fmt.Sprintf("%s#R%d", id, f.Len)
+		}
+		return id + "#R"
+	}
+	return fmt.Sprintf("%s#%X", id, f.Data[:f.Len])
 }
 
 // ArbitrationKey returns a sortable key such that the frame that wins

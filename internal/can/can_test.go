@@ -83,7 +83,10 @@ func TestFrameString(t *testing.T) {
 	}{
 		{MustFrame(0x123, []byte{0xDE, 0xAD, 0xBE, 0xEF}), "123#DEADBEEF"},
 		{MustFrame(0x7FF, nil), "7FF#"},
-		{Frame{ID: 0x100, Remote: true, Len: 4}, "100#R"},
+		{Frame{ID: 0x100, Remote: true, Len: 4}, "100#R4"},
+		{Frame{ID: 0x100, Remote: true}, "100#R"},
+		// Extended flag survives printing even when the ID fits 11 bits.
+		{Frame{ID: 0x0F2, Extended: true}, "000000F2#"},
 	}
 	for _, tt := range tests {
 		if got := tt.frame.String(); got != tt.want {

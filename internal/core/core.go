@@ -323,12 +323,14 @@ func (d *Detector) Observe(rec trace.Record) []detect.Alert {
 	}
 	// Close any windows the new record has moved past. A quiet bus can
 	// skip several window slots; they contain no frames and are not
-	// scored.
-	for rec.Time >= d.windowStart+d.cfg.Window {
+	// scored (the walk arithmetic — empty-slot skipping, overflow
+	// guard — lives in detect so the streaming engine steps windows
+	// identically).
+	for detect.WindowExpired(d.windowStart, rec.Time, d.cfg.Window) {
 		if a := d.closeWindow(); a != nil {
 			alerts = append(alerts, *a)
 		}
-		d.windowStart += d.cfg.Window
+		d.windowStart = detect.NextWindowStart(d.windowStart, rec.Time, d.cfg.Window)
 	}
 	d.counter.Add(rec.Frame.ID)
 	return alerts
@@ -380,7 +382,22 @@ func (d *Detector) closeWindow() *detect.Alert {
 	if d.onWindow != nil {
 		d.onWindow(d.windowStart, WindowMeasurement{H: hs, P: ps, Frames: n})
 	}
-	if !d.trained || n < d.cfg.MinFrames {
+	return d.ScoreWindow(d.windowStart, hs, ps, n)
+}
+
+// ScoreWindow scores one already-measured window against the trained
+// template: hs and ps are the per-bit entropy and probability vectors
+// (length Width) and frames is the window's frame count. It returns nil
+// when the detector is untrained, the window is too sparse, or no bit
+// deviates beyond threshold, and the alert otherwise — exactly the
+// verdict Observe reaches when it closes the same window itself.
+//
+// This is the streaming engine's merge point: shards count identifier
+// bits in parallel, their merged counts are measured once, and the
+// measurement is scored here through the same code path as the
+// sequential detector, keeping the engine's alert stream bit-identical.
+func (d *Detector) ScoreWindow(start time.Duration, hs, ps []float64, frames int) *detect.Alert {
+	if !d.trained || frames < d.cfg.MinFrames {
 		return nil
 	}
 	d.windowCount++
@@ -392,9 +409,9 @@ func (d *Detector) closeWindow() *detect.Alert {
 
 	alert := detect.Alert{
 		Detector:    DetectorName,
-		WindowStart: d.windowStart,
-		WindowEnd:   d.windowStart + d.cfg.Window,
-		Frames:      n,
+		WindowStart: start,
+		WindowEnd:   detect.WindowEnd(start, d.cfg.Window),
+		Frames:      frames,
 		Score:       score,
 		Bits:        deviationBits(d.cfg.Width, d.Threshold, d.template, hs, ps),
 	}

@@ -6,6 +6,7 @@ package detect
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -83,6 +84,51 @@ func (a Alert) String() string {
 		sb.WriteString(")")
 	}
 	return sb.String()
+}
+
+// The tumbling-window boundary walk shared by every detector in this
+// repository and by the streaming engine's dispatcher. The engine's
+// sharded output is bit-identical to a sequential detector only because
+// both sides step windows through these exact functions — keep any
+// change to the arithmetic here, not at the call sites.
+
+// WindowExpired reports whether a record at time t has moved past the
+// window starting at start. The first clause guards the sum against
+// int64 wraparound at the far end of the timestamp range: once no
+// further window boundary is representable, records accumulate in the
+// open window forever.
+func WindowExpired(start, t, window time.Duration) bool {
+	return start <= math.MaxInt64-window && t >= start+window
+}
+
+// NextWindowStart advances the window origin past one closed window,
+// jumping arithmetically over any further slots the record at time t
+// has already passed — they are empty once the first window closed, and
+// a quiet gap (or a fuzzed timestamp) can span more slots than a loop
+// should iterate.
+//
+// Callers guarantee t ≥ start+window (WindowExpired held), but the gap
+// t−start itself can exceed int64 when a log jumps from a hugely
+// negative to a hugely positive timestamp, so the remainder is taken in
+// uint64 space, where two's-complement subtraction yields the exact
+// span. The result is the unique boundary congruent to start modulo
+// window with t − result < window — identical to repeatedly stepping
+// one window at a time, without iterating.
+func NextWindowStart(start, t, window time.Duration) time.Duration {
+	start += window
+	span := uint64(t) - uint64(start)
+	return t - time.Duration(span%uint64(window))
+}
+
+// WindowEnd returns start + window, saturating at the top of the int64
+// range instead of wrapping negative, so alerts built at the timestamp
+// boundary keep non-decreasing WindowEnd order (the streaming engine's
+// merge relies on it).
+func WindowEnd(start, window time.Duration) time.Duration {
+	if start > math.MaxInt64-window {
+		return math.MaxInt64
+	}
+	return start + window
 }
 
 // Detector is a windowed anomaly detector over a CAN record stream.

@@ -1,0 +1,67 @@
+package detect
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestWindowWalkMatchesStepwise checks NextWindowStart against the
+// reference one-window-at-a-time walk, including spans wider than int64
+// (a fuzzed log can jump from a hugely negative to a hugely positive
+// timestamp) where naive t−start arithmetic overflows.
+func TestWindowWalkMatchesStepwise(t *testing.T) {
+	const W = time.Second
+	cases := []struct{ start, rec time.Duration }{
+		{0, W},                             // exactly one window
+		{0, W + 1},                         // just past one window
+		{0, 10*W - 1},                      // several windows, partial tail
+		{-5 * W, 3*W + 123},                // negative origin
+		{0, math.MaxInt64 - W},             // near the top
+		{math.MinInt64 + 1, math.MaxInt64}, // full-range span (> int64)
+		{math.MinInt64 + 17, 3 * W},        // huge negative to small positive
+		{-W - 1, math.MaxInt64 - 2*W},      // overflow-prone gap
+	}
+	for _, c := range cases {
+		if !WindowExpired(c.start, c.rec, W) {
+			t.Fatalf("case (%d,%d): window unexpectedly open", c.start, c.rec)
+		}
+		got := NextWindowStart(c.start, c.rec, W)
+		// Reference semantics, overflow-free by construction: the
+		// result is congruent to start+W modulo W with rec-got < W.
+		if got > c.rec {
+			t.Errorf("case (%d,%d): jumped past the record to %d", c.start, c.rec, got)
+		}
+		if span := uint64(c.rec) - uint64(got); span >= uint64(W) {
+			t.Errorf("case (%d,%d): landed %d away from the record, want < window", c.start, c.rec, span)
+		}
+		if phase := (uint64(got) - uint64(c.start)) % uint64(W); phase != 0 {
+			t.Errorf("case (%d,%d): result %d not on the window grid (phase %d)", c.start, c.rec, got, phase)
+		}
+		// The walk must terminate immediately at the result.
+		if WindowExpired(got, c.rec, W) {
+			t.Errorf("case (%d,%d): result %d still expired", c.start, c.rec, got)
+		}
+	}
+}
+
+// TestWindowEndSaturates pins the saturating end so alerts at the
+// timestamp boundary keep non-decreasing WindowEnd order.
+func TestWindowEndSaturates(t *testing.T) {
+	const W = time.Second
+	if got := WindowEnd(0, W); got != W {
+		t.Errorf("WindowEnd(0) = %d", got)
+	}
+	if got := WindowEnd(math.MaxInt64-W/2, W); got != math.MaxInt64 {
+		t.Errorf("WindowEnd near top = %d, want saturation", got)
+	}
+}
+
+// TestWindowExpiredOverflowGuard: no boundary is representable past the
+// top of the range, so the window stays open instead of wrapping.
+func TestWindowExpiredOverflowGuard(t *testing.T) {
+	const W = time.Second
+	if WindowExpired(math.MaxInt64-W/2, math.MaxInt64, W) {
+		t.Error("expired past the representable boundary")
+	}
+}

@@ -1,0 +1,535 @@
+// Package engine is the streaming detection subsystem: it consumes CAN
+// record streams from any Source (trace files, the live simulated bus,
+// generators), shards the per-frame counting work across parallel worker
+// pipelines, and merges every detector's verdicts into one deterministic,
+// timestamp-ordered alert stream.
+//
+// # Architecture
+//
+//	            ┌─ shard 0 ─ BitCounter ─┐
+//	source ─ dispatcher ─ shard 1 ─ ...  ├─ window merger ─┐
+//	            └─ shard N ─ BitCounter ─┘                  ├─ ordered merge ─ sink
+//	            ├─ baseline worker (Müter) ─────────────────┤
+//	            └─ baseline worker (Song) ──────────────────┘
+//
+// The dispatcher reads the source sequentially, tracks the detection
+// window exactly like the sequential core.Detector, routes each record to
+// the shard owning its CAN ID (id mod shards), and broadcasts a flush
+// token to every shard when a window closes. Shards keep one
+// entropy.BitCounter per open window; on flush they hand their partial
+// counts to the window merger, which sums them — integer counts merge
+// losslessly — measures the combined window once, and scores it through
+// core.Detector.ScoreWindow, the same code path the sequential detector
+// uses. The engine's bit-entropy alert stream is therefore bit-identical
+// to a sequential core.Detector fed the same records, for any shard
+// count (pinned by TestEngineMatchesSequential).
+//
+// Optional baseline detectors (Müter, Song) run as dedicated pipeline
+// workers fed the full stream: their window state is not decomposable by
+// identifier (Müter's Shannon entropy needs the whole ID distribution),
+// so they parallelize across detectors rather than within one.
+//
+// All stages connect through bounded channels (Config.Buffer), so a slow
+// sink exerts backpressure instead of growing queues without limit, and
+// every stage honors context cancellation for clean shutdown.
+//
+// # Deterministic alert ordering
+//
+// Each detector stream emits alerts in non-decreasing WindowEnd order
+// and interleaves low-water marks ("no future alert from this stream
+// ends at or before t"). The ordered merge emits the globally smallest
+// (WindowEnd, stream rank) alert as soon as every other open stream has
+// either a pending alert behind it or a watermark at or past it. The
+// emitted order depends only on those data-derived keys — never on
+// goroutine scheduling — so repeated runs of the same input produce the
+// same output stream in the same order, at any shard count.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"canids/internal/core"
+	"canids/internal/detect"
+	"canids/internal/entropy"
+	"canids/internal/trace"
+)
+
+// DefaultBuffer is the default capacity of every inter-stage channel.
+const DefaultBuffer = 128
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Shards is the number of parallel bit-counting workers the frame
+	// stream is partitioned across (by CAN ID). Zero means 1.
+	Shards int
+	// Buffer is the capacity of every inter-stage channel; the bound is
+	// what turns a slow consumer into backpressure. Zero means
+	// DefaultBuffer.
+	Buffer int
+	// Core configures the bit-entropy detector.
+	Core core.Config
+	// Baselines are optional additional detectors run over the full
+	// stream, each in its own pipeline worker. They must be trained by
+	// the caller, emit tumbling-window alerts in non-decreasing
+	// WindowEnd order (Müter and Song both do), and are Reset at the
+	// start of every Run.
+	Baselines []detect.Detector
+}
+
+// DefaultConfig returns a single-shard engine at the paper's detector
+// operating point.
+func DefaultConfig() Config {
+	return Config{Shards: 1, Buffer: DefaultBuffer, Core: core.DefaultConfig()}
+}
+
+// Stats is a snapshot of a run's progress. Counters are updated with
+// atomics, so Stats may be read live from another goroutine while the
+// engine runs (the watch mode's metrics ticker does).
+type Stats struct {
+	// Frames is the number of records consumed from the source.
+	Frames uint64
+	// Windows is the number of detection windows the merger closed.
+	Windows uint64
+	// Alerts is the number of alerts emitted to the sink.
+	Alerts uint64
+	// PerShard is the number of frames routed to each shard.
+	PerShard []uint64
+	// LastTime is the virtual timestamp of the newest dispatched record.
+	LastTime time.Duration
+}
+
+// Engine is a sharded streaming detection pipeline. Create with New,
+// install a trained template (or Train), then Run it over a Source. An
+// engine may be reused for sequential runs but not concurrent ones.
+type Engine struct {
+	cfg Config
+	det *core.Detector
+
+	frames   atomic.Uint64
+	windows  atomic.Uint64
+	alerts   atomic.Uint64
+	perShard []atomic.Uint64
+	lastTime atomic.Int64
+}
+
+// New creates an engine. The detector starts untrained (windows are
+// counted but never alerted); install a template with SetTemplate or
+// train with Train before running detection proper.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = DefaultBuffer
+	}
+	det, err := core.New(cfg.Core)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	return &Engine{
+		cfg:      cfg,
+		det:      det,
+		perShard: make([]atomic.Uint64, cfg.Shards),
+	}, nil
+}
+
+// NewTrained creates an engine with a prebuilt golden template installed.
+func NewTrained(cfg Config, tmpl core.Template) (*Engine, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.SetTemplate(tmpl); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// SetTemplate installs a trained golden template.
+func (e *Engine) SetTemplate(tmpl core.Template) error {
+	return e.det.SetTemplate(tmpl)
+}
+
+// Train builds the golden template from clean training windows.
+func (e *Engine) Train(windows []trace.Trace) error {
+	return e.det.Train(windows)
+}
+
+// Config returns the engine configuration (with defaults applied).
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns a live snapshot of the current (or last) run.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Frames:   e.frames.Load(),
+		Windows:  e.windows.Load(),
+		Alerts:   e.alerts.Load(),
+		PerShard: make([]uint64, len(e.perShard)),
+		LastTime: time.Duration(e.lastTime.Load()),
+	}
+	for i := range e.perShard {
+		st.PerShard[i] = e.perShard[i].Load()
+	}
+	return st
+}
+
+// shardMsg is one dispatcher→shard message: a record, or a window-flush
+// token carrying the closing window's start time.
+type shardMsg struct {
+	rec   trace.Record
+	start time.Duration
+	flush bool
+}
+
+// partial is one shard's contribution to one closed window.
+type partial struct {
+	start   time.Duration
+	counter *entropy.BitCounter
+}
+
+// streamMsg is one detector stream's message to the ordered merge.
+type streamMsg struct {
+	stream int
+	kind   byte // 'a' alert, 'w' watermark, 'c' closed
+	alert  detect.Alert
+	wm     time.Duration
+}
+
+// Run consumes the source until EOF, a source error, or context
+// cancellation, calling sink for every alert in deterministic
+// (WindowEnd, stream) order from the ordered-merge goroutine. On EOF the
+// final partial window is flushed, like the sequential detector's Flush;
+// on error or cancellation in-flight window state is discarded. Run
+// returns the final statistics.
+func (e *Engine) Run(ctx context.Context, src Source, sink func(detect.Alert)) (Stats, error) {
+	K := e.cfg.Shards
+	nStreams := 1 + len(e.cfg.Baselines)
+
+	e.frames.Store(0)
+	e.windows.Store(0)
+	e.alerts.Store(0)
+	for i := range e.perShard {
+		e.perShard[i].Store(0)
+	}
+	e.lastTime.Store(0)
+	e.det.Reset()
+	for _, b := range e.cfg.Baselines {
+		b.Reset()
+	}
+
+	shardIn := make([]chan shardMsg, K)
+	shardOut := make([]chan partial, K)
+	for i := 0; i < K; i++ {
+		shardIn[i] = make(chan shardMsg, e.cfg.Buffer)
+		shardOut[i] = make(chan partial, e.cfg.Buffer)
+	}
+	baseIn := make([]chan trace.Record, len(e.cfg.Baselines))
+	for j := range baseIn {
+		baseIn[j] = make(chan trace.Record, e.cfg.Buffer)
+	}
+	mergeIn := make(chan streamMsg, e.cfg.Buffer)
+
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e.shardWorker(ctx, i, shardIn[i], shardOut[i])
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e.windowMerger(ctx, shardOut, mergeIn)
+	}()
+	for j, b := range e.cfg.Baselines {
+		wg.Add(1)
+		go func(j int, b detect.Detector) {
+			defer wg.Done()
+			e.baselineWorker(ctx, 1+j, b, baseIn[j], mergeIn)
+		}(j, b)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e.orderedMerge(ctx, nStreams, mergeIn, sink)
+	}()
+
+	err := e.dispatch(ctx, src, shardIn, baseIn)
+	for i := range shardIn {
+		close(shardIn[i])
+	}
+	for j := range baseIn {
+		close(baseIn[j])
+	}
+	wg.Wait()
+	if err == nil {
+		err = ctx.Err()
+	}
+	return e.Stats(), err
+}
+
+// Detect runs the engine over an in-memory trace and collects the alerts.
+func (e *Engine) Detect(ctx context.Context, tr trace.Trace) ([]detect.Alert, Stats, error) {
+	var alerts []detect.Alert
+	st, err := e.Run(ctx, NewSliceSource(tr), func(a detect.Alert) { alerts = append(alerts, a) })
+	return alerts, st, err
+}
+
+// send delivers m unless the context is canceled first.
+func send[T any](ctx context.Context, ch chan<- T, m T) bool {
+	select {
+	case ch <- m:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// dispatch reads the source sequentially, maintains the detection window
+// exactly like core.Detector.Observe (same origin, same step, same
+// skip-ahead over empty slots), and fans records out: the owning shard
+// gets the record, every baseline worker gets a copy, and every shard
+// gets a flush token per closed window.
+func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardMsg, baseIn []chan trace.Record) error {
+	W := e.cfg.Core.Window
+	var winStart time.Duration
+	haveWindow := false
+	nShards := uint32(len(shardIn))
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("engine: source: %w", err)
+		}
+		if !haveWindow {
+			winStart = rec.Time
+			haveWindow = true
+		}
+		// Identical boundary walk to core.Detector.Observe — both step
+		// through detect's shared window arithmetic; bit-identical
+		// output depends on it.
+		for detect.WindowExpired(winStart, rec.Time, W) {
+			for i := range shardIn {
+				if !send(ctx, shardIn[i], shardMsg{start: winStart, flush: true}) {
+					return ctx.Err()
+				}
+			}
+			winStart = detect.NextWindowStart(winStart, rec.Time, W)
+		}
+		s := uint32(rec.Frame.ID) % nShards
+		if !send(ctx, shardIn[s], shardMsg{rec: rec}) {
+			return ctx.Err()
+		}
+		for j := range baseIn {
+			if !send(ctx, baseIn[j], rec) {
+				return ctx.Err()
+			}
+		}
+		e.frames.Add(1)
+		e.lastTime.Store(int64(rec.Time))
+	}
+	if haveWindow {
+		// Flush the final partial window, like detect.Detector.Flush.
+		for i := range shardIn {
+			if !send(ctx, shardIn[i], shardMsg{start: winStart, flush: true}) {
+				return ctx.Err()
+			}
+		}
+	}
+	return nil
+}
+
+// shardWorker counts identifier bits for the records routed to one
+// shard. The per-frame path — receive, BitCounter.Add, atomic tick — is
+// allocation-free; a fresh counter is allocated only when a window
+// closes and its predecessor is handed to the merger.
+func (e *Engine) shardWorker(ctx context.Context, i int, in <-chan shardMsg, out chan<- partial) {
+	defer close(out)
+	width := e.cfg.Core.Width
+	counter := entropy.MustBitCounter(width)
+	for {
+		select {
+		case m, ok := <-in:
+			if !ok {
+				return
+			}
+			if m.flush {
+				if !send(ctx, out, partial{start: m.start, counter: counter}) {
+					return
+				}
+				counter = entropy.MustBitCounter(width)
+				continue
+			}
+			counter.Add(m.rec.Frame.ID)
+			e.perShard[i].Add(1)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// windowMerger reassembles whole windows from per-shard partial counts
+// and scores them through the sequential detector's own ScoreWindow.
+// Shards emit exactly one partial per flush token, and tokens are
+// broadcast to every shard, so reading one partial per shard per window
+// pairs them up without any further coordination.
+func (e *Engine) windowMerger(ctx context.Context, shardOut []chan partial, mergeIn chan<- streamMsg) {
+	width := e.cfg.Core.Width
+	master := entropy.MustBitCounter(width)
+	h := make([]float64, width)
+	p := make([]float64, width)
+	for {
+		var start time.Duration
+		for s := range shardOut {
+			select {
+			case pt, ok := <-shardOut[s]:
+				if !ok {
+					// Shards close their outputs together (the
+					// dispatcher broadcasts tokens and closes inputs
+					// to all of them), so the first closed output
+					// means the stream is over.
+					send(ctx, mergeIn, streamMsg{stream: 0, kind: 'c'})
+					return
+				}
+				master.Merge(pt.counter)
+				start = pt.start
+			case <-ctx.Done():
+				return
+			}
+		}
+		e.windows.Add(1)
+		if n := int(master.Total()); n > 0 {
+			master.MeasureInto(h, p)
+			// Same scoring path as the sequential detector; the merged
+			// integer counts make the measurement bit-identical.
+			if a := e.det.ScoreWindow(start, h, p, n); a != nil {
+				if !send(ctx, mergeIn, streamMsg{stream: 0, kind: 'a', alert: *a}) {
+					return
+				}
+			}
+		}
+		master.Reset()
+		if !send(ctx, mergeIn, streamMsg{stream: 0, kind: 'w', wm: detect.WindowEnd(start, e.cfg.Core.Window)}) {
+			return
+		}
+	}
+}
+
+// baselineWorker drives one full-stream baseline detector and reports
+// its alerts plus watermarks. After Observe(rec) returns, a tumbling
+// detector can never again alert on a window ending at or before
+// rec.Time, so rec.Time is a valid low-water mark; one is forwarded per
+// engine window to keep merge latency bounded without flooding.
+func (e *Engine) baselineWorker(ctx context.Context, stream int, det detect.Detector, in <-chan trace.Record, mergeIn chan<- streamMsg) {
+	var lastWM time.Duration
+	haveWM := false
+	cadence := e.cfg.Core.Window
+	for {
+		select {
+		case rec, ok := <-in:
+			if !ok {
+				for _, a := range det.Flush() {
+					if !send(ctx, mergeIn, streamMsg{stream: stream, kind: 'a', alert: a}) {
+						return
+					}
+				}
+				send(ctx, mergeIn, streamMsg{stream: stream, kind: 'c'})
+				return
+			}
+			for _, a := range det.Observe(rec) {
+				if !send(ctx, mergeIn, streamMsg{stream: stream, kind: 'a', alert: a}) {
+					return
+				}
+			}
+			if !haveWM || rec.Time >= lastWM+cadence {
+				if !send(ctx, mergeIn, streamMsg{stream: stream, kind: 'w', wm: rec.Time}) {
+					return
+				}
+				lastWM = rec.Time
+				haveWM = true
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// orderedMerge interleaves the detector streams into one deterministic
+// output ordered by (WindowEnd, stream rank). An alert is released as
+// soon as no other stream can still produce an earlier one — each open
+// stream either has a later alert queued or a watermark at or past the
+// candidate's window end. The resulting order depends only on alert
+// keys, never on goroutine timing.
+func (e *Engine) orderedMerge(ctx context.Context, nStreams int, mergeIn <-chan streamMsg, sink func(detect.Alert)) {
+	queues := make([][]detect.Alert, nStreams)
+	wms := make([]time.Duration, nStreams)
+	closed := make([]bool, nStreams)
+	for i := range wms {
+		wms[i] = math.MinInt64
+	}
+	nClosed := 0
+
+	emit := func(final bool) {
+		for {
+			best := -1
+			for s := range queues {
+				if len(queues[s]) == 0 {
+					continue
+				}
+				if best == -1 ||
+					queues[s][0].WindowEnd < queues[best][0].WindowEnd ||
+					(queues[s][0].WindowEnd == queues[best][0].WindowEnd && s < best) {
+					best = s
+				}
+			}
+			if best == -1 {
+				return
+			}
+			if !final {
+				end := queues[best][0].WindowEnd
+				for s := range queues {
+					if s == best || closed[s] || len(queues[s]) > 0 {
+						continue
+					}
+					if wms[s] < end {
+						return // stream s could still produce an earlier alert
+					}
+				}
+			}
+			a := queues[best][0]
+			queues[best] = queues[best][1:]
+			sink(a)
+			e.alerts.Add(1)
+		}
+	}
+
+	for nClosed < nStreams {
+		select {
+		case m := <-mergeIn:
+			switch m.kind {
+			case 'a':
+				queues[m.stream] = append(queues[m.stream], m.alert)
+			case 'w':
+				if m.wm > wms[m.stream] {
+					wms[m.stream] = m.wm
+				}
+			case 'c':
+				closed[m.stream] = true
+				nClosed++
+			}
+			emit(false)
+		case <-ctx.Done():
+			return
+		}
+	}
+	emit(true)
+}

@@ -1,0 +1,420 @@
+package engine_test
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"canids/internal/baseline"
+	"canids/internal/core"
+	"canids/internal/detect"
+	"canids/internal/engine"
+	"canids/internal/engine/scenario"
+	"canids/internal/trace"
+)
+
+// testBaseSeed anchors the test catalogue.
+const testBaseSeed = 1
+
+// fixture is the shared, expensive test state: the scenario catalogue,
+// the trained template and training windows for the "fusion" profile,
+// and memoized scenario traces.
+var fixture = struct {
+	once    sync.Once
+	specs   []scenario.Spec
+	tmpl    core.Template
+	windows []trace.Trace
+	traces  map[string]trace.Trace
+	err     error
+}{traces: make(map[string]trace.Trace)}
+
+func detectorConfig() core.Config {
+	cfg := core.DefaultConfig()
+	// The substrate's empirical operating point (see EXPERIMENTS.md).
+	cfg.Alpha = 4
+	return cfg
+}
+
+func loadFixture(t *testing.T) ([]scenario.Spec, core.Template, []trace.Trace) {
+	t.Helper()
+	fixture.once.Do(func() {
+		fixture.specs = scenario.Matrix(testBaseSeed)
+		fixture.windows, fixture.err = scenario.TrainingWindows(fixture.specs, "fusion", detectorConfig().Window)
+		if fixture.err != nil {
+			return
+		}
+		fixture.tmpl, fixture.err = core.BuildTemplate(fixture.windows, detectorConfig().Width, detectorConfig().MinFrames)
+	})
+	if fixture.err != nil {
+		t.Fatalf("fixture: %v", fixture.err)
+	}
+	return fixture.specs, fixture.tmpl, fixture.windows
+}
+
+// scenarioTrace memoizes scenario simulations across tests.
+func scenarioTrace(t *testing.T, name string) trace.Trace {
+	t.Helper()
+	specs, _, _ := loadFixture(t)
+	if tr, ok := fixture.traces[name]; ok {
+		return tr
+	}
+	spec, ok := scenario.Find(specs, name)
+	if !ok {
+		t.Fatalf("no scenario %q in catalogue", name)
+	}
+	tr, err := spec.Run()
+	if err != nil {
+		t.Fatalf("run %s: %v", name, err)
+	}
+	fixture.traces[name] = tr
+	return tr
+}
+
+// sequentialAlerts replays a trace through a detector the classic way.
+func sequentialAlerts(d detect.Detector, tr trace.Trace) []detect.Alert {
+	d.Reset()
+	var out []detect.Alert
+	for _, r := range tr {
+		out = append(out, d.Observe(r)...)
+	}
+	out = append(out, d.Flush()...)
+	return out
+}
+
+func newSequentialCore(t *testing.T, tmpl core.Template) *core.Detector {
+	t.Helper()
+	d, err := core.New(detectorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetTemplate(tmpl); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestEngineMatchesSequential is the acceptance criterion: the engine's
+// alert stream on a recorded scenario trace is bit-identical to the
+// sequential core.Detector run on the same frames, for shard counts 1,
+// 2 and 8, across attack types (and a clean trace with no alerts).
+func TestEngineMatchesSequential(t *testing.T) {
+	_, tmpl, _ := loadFixture(t)
+	scenarios := []string{
+		"fusion/idle/SI-100",
+		"fusion/idle/FI-500",
+		"fusion/cruise/MI4-50",
+		"fusion/audio/WI-100",
+		"fusion/idle/clean",
+	}
+	for _, name := range scenarios {
+		tr := scenarioTrace(t, name)
+		want := sequentialAlerts(newSequentialCore(t, tmpl), tr)
+		if !strings.HasSuffix(name, "/clean") && len(want) == 0 {
+			t.Fatalf("%s: sequential detector found no alerts; scenario too weak to test equality", name)
+		}
+		for _, shards := range []int{1, 2, 8} {
+			eng, err := engine.NewTrained(engine.Config{Shards: shards, Core: detectorConfig()}, tmpl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, st, err := eng.Detect(context.Background(), tr)
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", name, shards, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s shards=%d: engine alerts differ from sequential detector\n got %d alerts\nwant %d alerts",
+					name, shards, len(got), len(want))
+			}
+			if st.Frames != uint64(len(tr)) {
+				t.Errorf("%s shards=%d: Stats.Frames = %d, want %d", name, shards, st.Frames, len(tr))
+			}
+			var routed uint64
+			for _, n := range st.PerShard {
+				routed += n
+			}
+			if routed != st.Frames {
+				t.Errorf("%s shards=%d: per-shard sum %d != frames %d", name, shards, routed, st.Frames)
+			}
+			if shards > 1 {
+				busy := 0
+				for _, n := range st.PerShard {
+					if n > 0 {
+						busy++
+					}
+				}
+				if busy < 2 {
+					t.Errorf("%s shards=%d: only %d shards saw traffic — sharding not exercised", name, shards, busy)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineDeterministicAcrossRuns re-runs the same input repeatedly
+// and demands the identical alert sequence every time.
+func TestEngineDeterministicAcrossRuns(t *testing.T) {
+	_, tmpl, _ := loadFixture(t)
+	tr := scenarioTrace(t, "fusion/idle/SI-100")
+	eng, err := engine.NewTrained(engine.Config{Shards: 4, Core: detectorConfig()}, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []detect.Alert
+	for i := 0; i < 5; i++ {
+		got, _, err := eng.Detect(context.Background(), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = got
+			if len(first) == 0 {
+				t.Fatal("no alerts to compare")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d produced a different alert stream", i)
+		}
+	}
+}
+
+// alertKey is the deterministic output order: window end, then stream
+// rank (core before baselines, in Config.Baselines order).
+func alertRank(name string, baselines []detect.Detector) int {
+	for i, b := range baselines {
+		if b.Name() == name {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// TestEngineWithBaselines checks the merged multi-detector stream: it
+// must equal the union of each detector's sequential alerts, ordered by
+// (WindowEnd, stream rank).
+func TestEngineWithBaselines(t *testing.T) {
+	_, tmpl, windows := loadFixture(t)
+	tr := scenarioTrace(t, "fusion/idle/FI-500")
+
+	newBaselines := func() []detect.Detector {
+		m, err := baseline.NewMuter(baseline.DefaultMuterConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := baseline.NewSong(baseline.DefaultSongConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range []detect.Detector{m, s} {
+			if err := d.Train(windows); err != nil {
+				t.Fatalf("train %s: %v", d.Name(), err)
+			}
+		}
+		return []detect.Detector{m, s}
+	}
+
+	// Expected: per-detector sequential streams, merged by key.
+	ref := newBaselines()
+	var want []detect.Alert
+	want = append(want, sequentialAlerts(newSequentialCore(t, tmpl), tr)...)
+	for _, b := range ref {
+		want = append(want, sequentialAlerts(b, tr)...)
+	}
+	sort.SliceStable(want, func(i, j int) bool {
+		if want[i].WindowEnd != want[j].WindowEnd {
+			return want[i].WindowEnd < want[j].WindowEnd
+		}
+		return alertRank(want[i].Detector, ref) < alertRank(want[j].Detector, ref)
+	})
+
+	eng, err := engine.NewTrained(engine.Config{
+		Shards:    3,
+		Core:      detectorConfig(),
+		Baselines: newBaselines(),
+	}, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := eng.Detect(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("expected some alerts from the flooding scenario")
+	}
+	if !reflect.DeepEqual(got, want) {
+		gotN := map[string]int{}
+		for _, a := range got {
+			gotN[a.Detector]++
+		}
+		wantN := map[string]int{}
+		for _, a := range want {
+			wantN[a.Detector]++
+		}
+		t.Fatalf("merged stream differs: got %v, want %v", gotN, wantN)
+	}
+}
+
+// TestEngineBackpressure forces every channel to capacity 1; results
+// must not change, only get slower.
+func TestEngineBackpressure(t *testing.T) {
+	_, tmpl, _ := loadFixture(t)
+	tr := scenarioTrace(t, "fusion/idle/SI-100")
+	want := sequentialAlerts(newSequentialCore(t, tmpl), tr)
+	eng, err := engine.NewTrained(engine.Config{Shards: 8, Buffer: 1, Core: detectorConfig()}, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := eng.Detect(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("Buffer=1 changed the alert stream")
+	}
+}
+
+// TestEngineLiveStream runs a scenario as a live feed (simulation
+// goroutine → bounded channel → engine) and checks it matches the
+// recorded-trace run — the recorded and live paths must agree.
+func TestEngineLiveStream(t *testing.T) {
+	specs, tmpl, _ := loadFixture(t)
+	want := sequentialAlerts(newSequentialCore(t, tmpl), scenarioTrace(t, "fusion/idle/SI-100"))
+
+	spec, _ := scenario.Find(specs, "fusion/idle/SI-100")
+	ctx := context.Background()
+	ch := make(chan trace.Record, 64)
+	streamErr := make(chan error, 1)
+	go func() { streamErr <- spec.Stream(ctx, ch) }()
+
+	eng, err := engine.NewTrained(engine.Config{Shards: 2, Core: detectorConfig()}, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []detect.Alert
+	if _, err := eng.Run(ctx, engine.NewChanSource(ctx, ch), func(a detect.Alert) { got = append(got, a) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-streamErr; err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("live stream alerts differ from recorded trace: got %d want %d", len(got), len(want))
+	}
+}
+
+// TestEngineCancel cancels a run whose source never ends; Run must
+// return promptly with the context error instead of deadlocking.
+func TestEngineCancel(t *testing.T) {
+	_, tmpl, _ := loadFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan trace.Record) // never closed, never fed after cancel
+	eng, err := engine.NewTrained(engine.Config{Shards: 4, Buffer: 2, Core: detectorConfig()}, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.Run(ctx, engine.NewChanSource(ctx, ch), func(detect.Alert) {})
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("canceled run returned nil error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled run did not return within 10s")
+	}
+}
+
+// TestEngineEmptySource: an immediately-EOF source yields no windows, no
+// alerts and no error.
+func TestEngineEmptySource(t *testing.T) {
+	_, tmpl, _ := loadFixture(t)
+	eng, err := engine.NewTrained(engine.Config{Shards: 2, Core: detectorConfig()}, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts, st, err := eng.Detect(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 0 || st.Frames != 0 || st.Windows != 0 {
+		t.Fatalf("empty source produced frames=%d windows=%d alerts=%d", st.Frames, st.Windows, len(alerts))
+	}
+}
+
+// TestEngineSourceError: a decode error mid-stream surfaces as Run's
+// error and shuts the pipeline down cleanly.
+func TestEngineSourceError(t *testing.T) {
+	_, tmpl, _ := loadFixture(t)
+	log := "(1.000000) can0 123#DEAD\n(1.100000) can0 bogus-line\n"
+	src, err := engine.NewLogSource(strings.NewReader(log), trace.FormatCandump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.NewTrained(engine.Config{Shards: 2, Core: detectorConfig()}, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Run(context.Background(), src, func(detect.Alert) {})
+	if err == nil {
+		t.Fatal("malformed log did not surface an error")
+	}
+}
+
+// TestEngineSteadyStateAllocs is the alloc-regression guard for the
+// per-frame shard path: a whole engine run over a clean scenario trace
+// must amortize to well under one allocation per frame. The fixed
+// per-run setup (goroutines, channels) plus one BitCounter per shard
+// per window is ~0.04 allocs/frame at this trace size; a regression
+// that allocates per record lands at ≥1 and trips the bound with 4x
+// margin.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	_, tmpl, _ := loadFixture(t)
+	tr := scenarioTrace(t, "fusion/idle/clean")
+	eng, err := engine.NewTrained(engine.Config{Shards: 4, Core: detectorConfig()}, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, _, err := eng.Detect(ctx, tr); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(3, func() {
+		if _, _, err := eng.Detect(ctx, tr); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perFrame := avg / float64(len(tr)); perFrame > 0.25 {
+		t.Errorf("engine allocates %.3f allocs/frame (%.0f per run over %d frames); per-frame path must stay allocation-free",
+			perFrame, avg, len(tr))
+	}
+}
+
+// TestEngineUntrained: without a template the engine counts windows but
+// never alerts, matching an untrained sequential detector.
+func TestEngineUntrained(t *testing.T) {
+	loadFixture(t)
+	tr := scenarioTrace(t, "fusion/idle/SI-100")
+	eng, err := engine.New(engine.Config{Shards: 2, Core: detectorConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts, st, err := eng.Detect(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 0 {
+		t.Fatalf("untrained engine alerted %d times", len(alerts))
+	}
+	if st.Windows == 0 {
+		t.Fatal("untrained engine closed no windows")
+	}
+}

@@ -1,0 +1,315 @@
+// Package scenario composes vehicle profiles × drive cycles × attack
+// campaigns into a catalogue of named, seeded scenarios — the workload
+// matrix behind the streaming engine's tests, the canids watch mode and
+// the examples.
+//
+// Every Spec is a pure function of the catalogue's base seed: the
+// profile, message phases, payload noise, attack identifiers and attack
+// payloads all derive from it through sim.SplitSeed, so a scenario named
+// "fusion/cruise/MI2-50" replays bit-for-bit on every machine and every
+// run. Campaign identifiers are drawn from the profile's own legal pool
+// (attacks spoof real traffic), except flooding, which uses the
+// changeable high-priority pool from the paper's strong-adversary model.
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"canids/internal/attack"
+	"canids/internal/bus"
+	"canids/internal/can"
+	"canids/internal/core"
+	"canids/internal/sim"
+	"canids/internal/trace"
+	"canids/internal/vehicle"
+)
+
+// DefaultDuration is the simulated length of every catalogue scenario.
+const DefaultDuration = 12 * time.Second
+
+// attackStart is when campaigns begin: two clean windows lead in, so
+// detectors see the transition.
+const attackStart = 2 * time.Second
+
+// Campaign describes one attack pattern of the matrix, before its
+// identifiers are resolved against a concrete profile.
+type Campaign struct {
+	// Label names the campaign inside scenario names, e.g. "SI-100".
+	Label string
+	// Attack selects the injection scenario; zero means clean traffic.
+	Attack attack.Scenario
+	// Frequency is the attempted injection rate in Hz.
+	Frequency float64
+	// IDCount is how many legal identifiers the campaign rotates over
+	// (Single: 1, Multi: ≥2). Ignored for Flood (changeable IDs) and
+	// clean.
+	IDCount int
+	// WeakECU names the compromised ECU for Weak campaigns.
+	WeakECU string
+}
+
+// Clean reports whether the campaign injects nothing.
+func (c Campaign) Clean() bool { return c.Attack == 0 }
+
+// Campaigns is the attack dimension of the matrix: clean traffic plus
+// the paper's four injection scenarios at representative frequencies.
+var Campaigns = []Campaign{
+	{Label: "clean"},
+	{Label: "FI-500", Attack: attack.Flood, Frequency: 500},
+	{Label: "SI-100", Attack: attack.Single, Frequency: 100, IDCount: 1},
+	{Label: "SI-20", Attack: attack.Single, Frequency: 20, IDCount: 1},
+	{Label: "MI2-50", Attack: attack.Multi, Frequency: 50, IDCount: 2},
+	{Label: "MI4-50", Attack: attack.Multi, Frequency: 50, IDCount: 4},
+	{Label: "WI-100", Attack: attack.Weak, Frequency: 100, IDCount: 1, WeakECU: "BCM"},
+}
+
+// profileVariant is one point of the profile dimension.
+type profileVariant struct {
+	name    string
+	seedKey int64 // SplitSeed index deriving the profile seed
+}
+
+// profileVariants lists the vehicles in the matrix: the paper's Fusion
+// profile and a second, differently-seeded instance of it ("fusion-b"),
+// which has the same statistics but a disjoint identifier map — the
+// cheapest way to check nothing is accidentally tuned to one ID layout.
+var profileVariants = []profileVariant{
+	{name: "fusion", seedKey: 0xA},
+	{name: "fusion-b", seedKey: 0xB},
+}
+
+// Spec is one fully-seeded scenario of the matrix.
+type Spec struct {
+	// Name is "<profile>/<drive>/<campaign>", e.g. "fusion/idle/SI-100".
+	Name string
+	// Profile is the profile variant name.
+	Profile string
+	// ProfileSeed generates the vehicle profile.
+	ProfileSeed int64
+	// Drive is the driving behaviour.
+	Drive vehicle.Scenario
+	// Campaign is the attack pattern.
+	Campaign Campaign
+	// Duration is the simulated length.
+	Duration time.Duration
+	// Seed drives message phases, payload noise and attack payloads.
+	Seed int64
+	// BitRate is the bus speed.
+	BitRate int
+}
+
+// Clean reports whether the scenario carries no injected traffic.
+func (s Spec) Clean() bool { return s.Campaign.Clean() }
+
+// Matrix builds the full catalogue for a base seed:
+// len(profileVariants) × len(vehicle.Scenarios) × len(Campaigns) specs.
+func Matrix(baseSeed int64) []Spec {
+	var specs []Spec
+	idx := int64(0)
+	for _, pv := range profileVariants {
+		profileSeed := sim.SplitSeed(baseSeed, pv.seedKey)
+		for _, drive := range vehicle.Scenarios {
+			for _, c := range Campaigns {
+				idx++
+				specs = append(specs, Spec{
+					Name:        fmt.Sprintf("%s/%s/%s", pv.name, drive, c.Label),
+					Profile:     pv.name,
+					ProfileSeed: profileSeed,
+					Drive:       drive,
+					Campaign:    c,
+					Duration:    DefaultDuration,
+					Seed:        sim.SplitSeed(baseSeed, 0x5C0+idx),
+					BitRate:     bus.DefaultMSCANBitRate,
+				})
+			}
+		}
+	}
+	return specs
+}
+
+// Find returns the spec with the given name.
+func Find(specs []Spec, name string) (Spec, bool) {
+	for _, s := range specs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names lists the catalogue's scenario names in order.
+func Names(specs []Spec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// attackConfig resolves the campaign against the profile's identifier
+// pool. IDs are picked deterministically from the spec seed, spanning
+// the pool's priority range.
+func (s Spec) attackConfig(profile vehicle.Profile) (*attack.Config, error) {
+	c := s.Campaign
+	if c.Clean() {
+		return nil, nil
+	}
+	if s.Duration <= attackStart {
+		return nil, fmt.Errorf("scenario: %s: duration %v leaves no time after the attack start (%v)",
+			s.Name, s.Duration, attackStart)
+	}
+	// Full-length scenarios leave a two-window clean tail after the
+	// campaign; a caller-shortened run drops the tail rather than
+	// letting the length go negative (attack.Config treats zero as
+	// "run forever", i.e. to the end of the shortened scenario).
+	length := s.Duration - attackStart - 2*time.Second
+	if length < 0 {
+		length = 0
+	}
+	cfg := &attack.Config{
+		Scenario:  c.Attack,
+		Frequency: c.Frequency,
+		Start:     attackStart,
+		Duration:  length,
+		Seed:      sim.SplitSeed(s.Seed, 0xA77),
+	}
+	switch c.Attack {
+	case attack.Flood:
+		// nil IDs: the changeable high-priority flood pool.
+	case attack.Weak:
+		ecu, ok := profile.FindECU(c.WeakECU)
+		if !ok {
+			return nil, fmt.Errorf("scenario: %s: no ECU %q in profile", s.Name, c.WeakECU)
+		}
+		filter := ecu.IDs()
+		rng := sim.NewRand(sim.SplitSeed(s.Seed, 0xA78))
+		ids := make([]can.ID, 0, c.IDCount)
+		for len(ids) < c.IDCount {
+			ids = append(ids, filter[rng.Intn(len(filter))])
+		}
+		cfg.IDs = ids
+		cfg.Filter = filter
+	default:
+		pool := profile.IDSet()
+		cfg.IDs = pickSpanning(pool, c.IDCount, int(uint64(sim.SplitSeed(s.Seed, 0xA79))%uint64(len(pool))))
+	}
+	return cfg, nil
+}
+
+// pickSpanning selects k identifiers spanning the sorted pool's priority
+// range, rotated by a deterministic draw offset.
+func pickSpanning(pool []can.ID, k, draw int) []can.ID {
+	n := len(pool)
+	out := make([]can.ID, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, pool[(draw+i*n/k)%n])
+	}
+	return out
+}
+
+// Run simulates the scenario and returns its recorded trace.
+func (s Spec) Run() (trace.Trace, error) {
+	var log trace.Trace
+	err := s.simulate(func(r trace.Record) bool {
+		log = append(log, r)
+		return true
+	})
+	return log, err
+}
+
+// Stream simulates the scenario, delivering each record to ch in
+// timestamp order, and closes ch when the scenario ends. It stops early
+// (without error) when ctx is canceled — the live feed analogue of a
+// consumer hanging up.
+func (s Spec) Stream(ctx context.Context, ch chan<- trace.Record) error {
+	defer close(ch)
+	done := ctx.Done()
+	return s.simulate(func(r trace.Record) bool {
+		select {
+		case ch <- r:
+			return true
+		case <-done:
+			return false
+		}
+	})
+}
+
+// simulate runs the scenario, handing every bus record to emit; emit
+// returning false stops the simulation.
+func (s Spec) simulate(emit func(trace.Record) bool) error {
+	sched := sim.NewScheduler()
+	b, err := bus.New(sched, bus.Config{
+		BitRate: s.BitRate,
+		Channel: "ms-can",
+		Guard:   &bus.DominantGuard{Threshold: 0x000, MaxConsecutive: 16},
+	})
+	if err != nil {
+		return fmt.Errorf("scenario: %s: %w", s.Name, err)
+	}
+	b.Tap(func(r trace.Record) {
+		if !emit(r) {
+			sched.Stop()
+		}
+	})
+	profile := vehicle.NewFusionProfile(s.ProfileSeed)
+	fleet := profile.Attach(sched, b, vehicle.Options{Scenario: s.Drive, Seed: s.Seed})
+
+	cfg, err := s.attackConfig(profile)
+	if err != nil {
+		return err
+	}
+	if cfg != nil {
+		var port *bus.Port
+		if s.Campaign.WeakECU != "" {
+			p, ok := fleet.Port(s.Campaign.WeakECU)
+			if !ok {
+				return fmt.Errorf("scenario: %s: no port for ECU %q", s.Name, s.Campaign.WeakECU)
+			}
+			port = p
+		}
+		if _, err := attack.Launch(sched, b, port, *cfg); err != nil {
+			return fmt.Errorf("scenario: %s: %w", s.Name, err)
+		}
+	}
+	if err := sched.RunUntil(s.Duration); err != nil && err != sim.ErrStopped {
+		return fmt.Errorf("scenario: %s: %w", s.Name, err)
+	}
+	return nil
+}
+
+// TrainingWindows simulates the catalogue's clean scenarios of one
+// profile variant — one trace per driving behaviour — and cuts them into
+// detection windows, the diverse-driving training set the paper's
+// template averaging expects. Any detector (core or baseline) can train
+// on the result.
+func TrainingWindows(specs []Spec, profileName string, window time.Duration) ([]trace.Trace, error) {
+	var windows []trace.Trace
+	found := false
+	for _, s := range specs {
+		if s.Profile != profileName || !s.Clean() {
+			continue
+		}
+		found = true
+		tr, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
+		windows = append(windows, tr.Windows(window, false)...)
+	}
+	if !found {
+		return nil, fmt.Errorf("scenario: no clean scenarios for profile %q", profileName)
+	}
+	return windows, nil
+}
+
+// Train builds a golden template from the catalogue's clean scenarios of
+// one profile variant.
+func Train(specs []Spec, profileName string, cfg core.Config) (core.Template, error) {
+	windows, err := TrainingWindows(specs, profileName, cfg.Window)
+	if err != nil {
+		return core.Template{}, err
+	}
+	return core.BuildTemplate(windows, cfg.Width, cfg.MinFrames)
+}

@@ -1,0 +1,202 @@
+package scenario_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"canids/internal/core"
+	"canids/internal/engine/scenario"
+	"canids/internal/trace"
+	"canids/internal/vehicle"
+)
+
+func TestMatrixShape(t *testing.T) {
+	specs := scenario.Matrix(1)
+	wantLen := 2 * len(vehicle.Scenarios) * len(scenario.Campaigns)
+	if len(specs) != wantLen {
+		t.Fatalf("matrix has %d specs, want %d", len(specs), wantLen)
+	}
+	seen := make(map[string]bool)
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if parts := strings.Split(s.Name, "/"); len(parts) != 3 {
+			t.Errorf("name %q is not profile/drive/campaign", s.Name)
+		}
+		if s.Duration <= 0 || s.BitRate <= 0 {
+			t.Errorf("%s: zero duration or bit rate", s.Name)
+		}
+	}
+	// The two profile variants must differ.
+	a, _ := scenario.Find(specs, "fusion/idle/clean")
+	b, _ := scenario.Find(specs, "fusion-b/idle/clean")
+	if a.ProfileSeed == b.ProfileSeed {
+		t.Error("fusion and fusion-b share a profile seed")
+	}
+	if _, ok := scenario.Find(specs, "no/such/scenario"); ok {
+		t.Error("Find invented a scenario")
+	}
+	if names := scenario.Names(specs); len(names) != wantLen || names[0] != specs[0].Name {
+		t.Error("Names does not mirror the catalogue")
+	}
+}
+
+func TestMatrixSeedIsolation(t *testing.T) {
+	a := scenario.Matrix(1)
+	b := scenario.Matrix(2)
+	if a[0].Seed == b[0].Seed {
+		t.Error("different base seeds produced the same spec seed")
+	}
+	a2 := scenario.Matrix(1)
+	if !reflect.DeepEqual(a, a2) {
+		t.Error("Matrix is not deterministic in its base seed")
+	}
+}
+
+func TestSpecRunDeterministic(t *testing.T) {
+	specs := scenario.Matrix(1)
+	spec, ok := scenario.Find(specs, "fusion/idle/SI-100")
+	if !ok {
+		t.Fatal("scenario missing")
+	}
+	spec.Duration = 4 * time.Second
+	tr1, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr1, tr2) {
+		t.Fatal("same spec simulated two different traces")
+	}
+	if len(tr1) == 0 {
+		t.Fatal("empty trace")
+	}
+	if tr1.CountInjected() == 0 {
+		t.Fatal("attack scenario recorded no injected frames")
+	}
+}
+
+func TestCleanSpecHasNoInjections(t *testing.T) {
+	specs := scenario.Matrix(1)
+	spec, _ := scenario.Find(specs, "fusion/lights/clean")
+	spec.Duration = 3 * time.Second
+	tr, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tr.CountInjected(); n != 0 {
+		t.Fatalf("clean scenario carries %d injected frames", n)
+	}
+}
+
+func TestEveryCampaignRuns(t *testing.T) {
+	specs := scenario.Matrix(1)
+	for _, c := range scenario.Campaigns {
+		name := "fusion/idle/" + c.Label
+		spec, ok := scenario.Find(specs, name)
+		if !ok {
+			t.Fatalf("campaign %s missing from catalogue", c.Label)
+		}
+		spec.Duration = 3 * time.Second
+		tr, err := spec.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.Clean() {
+			continue
+		}
+		if tr.CountInjected() == 0 {
+			t.Errorf("%s: no injected frames on the bus", name)
+		}
+	}
+}
+
+func TestShortDurationOverride(t *testing.T) {
+	specs := scenario.Matrix(1)
+	spec, _ := scenario.Find(specs, "fusion/idle/SI-100")
+
+	// Too short to even start the attack: refused, not silently clean.
+	spec.Duration = 2 * time.Second
+	if _, err := spec.Run(); err == nil {
+		t.Error("duration at the attack start was accepted")
+	}
+
+	// Short but valid: the campaign runs from attackStart to the end
+	// (the designed clean tail is dropped, not made negative).
+	spec.Duration = 3 * time.Second
+	tr, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.CountInjected() == 0 {
+		t.Error("shortened attack scenario injected nothing")
+	}
+}
+
+func TestStreamMatchesRun(t *testing.T) {
+	specs := scenario.Matrix(1)
+	spec, _ := scenario.Find(specs, "fusion/idle/MI2-50")
+	spec.Duration = 3 * time.Second
+	want, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan trace.Record, 16)
+	errCh := make(chan error, 1)
+	go func() { errCh <- spec.Stream(context.Background(), ch) }()
+	var got trace.Trace
+	for r := range ch {
+		got = append(got, r)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Stream delivered %d records != Run's %d", len(got), len(want))
+	}
+}
+
+func TestStreamCancel(t *testing.T) {
+	specs := scenario.Matrix(1)
+	spec, _ := scenario.Find(specs, "fusion/idle/clean")
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan trace.Record) // unbuffered: producer blocks immediately
+	errCh := make(chan error, 1)
+	go func() { errCh <- spec.Stream(ctx, ch) }()
+	<-ch // first record arrives
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("canceled stream returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled stream did not stop")
+	}
+}
+
+func TestTrainProducesUsableTemplate(t *testing.T) {
+	specs := scenario.Matrix(1)
+	cfg := core.DefaultConfig()
+	tmpl, err := scenario.Train(specs, "fusion", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tmpl.Windows < 35 {
+		t.Fatalf("only %d training windows; the paper averages 35", tmpl.Windows)
+	}
+	if tmpl.MaxRange() <= 0 || tmpl.MaxRange() > 0.05 {
+		t.Fatalf("template spread %v outside the stable-driving band", tmpl.MaxRange())
+	}
+	if _, err := scenario.Train(specs, "no-such-profile", cfg); err == nil {
+		t.Fatal("Train accepted an unknown profile")
+	}
+}

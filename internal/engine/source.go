@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"context"
+	"io"
+
+	"canids/internal/trace"
+)
+
+// Source is a stream of CAN records in non-decreasing timestamp order.
+// Next returns io.EOF when the stream ends. trace.Decoder satisfies
+// Source, so any log format streams straight into the engine.
+type Source interface {
+	Next() (trace.Record, error)
+}
+
+// SliceSource streams an in-memory trace.
+type SliceSource struct {
+	tr trace.Trace
+	i  int
+}
+
+// NewSliceSource returns a Source over the given records. The trace is
+// not copied; it must not be mutated while the engine runs.
+func NewSliceSource(tr trace.Trace) *SliceSource { return &SliceSource{tr: tr} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (trace.Record, error) {
+	if s.i >= len(s.tr) {
+		return trace.Record{}, io.EOF
+	}
+	r := s.tr[s.i]
+	s.i++
+	return r, nil
+}
+
+// ChanSource adapts a record channel — e.g. one fed by a live bus tap —
+// into a Source. The stream ends when the channel is closed. The context
+// bounds the wait for the next record: a canceled context unblocks a
+// consumer whose producer has stalled, which a plain channel receive
+// could not.
+type ChanSource struct {
+	ctx context.Context
+	ch  <-chan trace.Record
+}
+
+// NewChanSource returns a Source reading from ch until it closes or ctx
+// is canceled.
+func NewChanSource(ctx context.Context, ch <-chan trace.Record) *ChanSource {
+	return &ChanSource{ctx: ctx, ch: ch}
+}
+
+// Next implements Source.
+func (s *ChanSource) Next() (trace.Record, error) {
+	select {
+	case rec, ok := <-s.ch:
+		if !ok {
+			return trace.Record{}, io.EOF
+		}
+		return rec, nil
+	case <-s.ctx.Done():
+		return trace.Record{}, s.ctx.Err()
+	}
+}
+
+// NewLogSource opens a log stream in the given format as a Source. It is
+// the engine's reader path for captures on disk: records decode one at a
+// time, so a capture never has to fit in memory.
+func NewLogSource(r io.Reader, f trace.Format) (Source, error) {
+	return trace.NewDecoder(f, r)
+}

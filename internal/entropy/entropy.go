@@ -12,14 +12,15 @@ package entropy
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"canids/internal/can"
 )
 
 // The Binary lookup table: H(p) sampled at 2^binaryLUTBits+1 uniform
-// nodes over [0,1], evaluated by linear interpolation. H'' = -1/(p(1-p)ln2)
+// nodes over [0,1], evaluated by linear interpolation. H” = -1/(p(1-p)ln2)
 // is bounded by ~30.4 on [binaryLUTLo, binaryLUTHi], so the interpolation
-// error is at most |H''|·dx²/8 ≈ 8.9e-10 < binaryLUTMaxErr there. Outside
+// error is at most |H”|·dx²/8 ≈ 8.9e-10 < binaryLUTMaxErr there. Outside
 // that band the curvature blows up and Binary falls back to the exact
 // two-log form (constant bits have p at or near 0/1 and mostly hit the
 // p<=0 / p>=1 early-out anyway).
@@ -227,6 +228,22 @@ func (c *BitCounter) MeasureInto(h, p []float64) {
 	}
 }
 
+// Merge folds another counter's observations into c, as if every
+// identifier added to o had been added to c instead. Widths must match.
+// Because the counts are integers, a counter assembled by merging
+// per-shard counters measures bit-for-bit the same probabilities and
+// entropies as one counter fed the union stream — the property the
+// streaming engine's sharded windows rely on.
+func (c *BitCounter) Merge(o *BitCounter) {
+	if c.width != o.width {
+		panic(fmt.Sprintf("entropy: Merge width %d into %d", o.width, c.width))
+	}
+	c.total += o.total
+	for i, n := range o.ones {
+		c.ones[i] += n
+	}
+}
+
 // Clone returns an independent copy of the counter.
 func (c *BitCounter) Clone() *BitCounter {
 	ones := make([]uint64, len(c.ones))
@@ -242,22 +259,32 @@ func (c *BitCounter) StateBytes() int { return 8 * (len(c.ones) + 1) }
 // given as occurrence counts. Zero counts are ignored. This is the
 // message-level entropy of Müter & Asaj's detector, which must maintain
 // one count per distinct symbol (identifier).
+//
+// The summation runs over the counts in sorted order, not map order:
+// float addition is not associative, so summing in Go's randomized map
+// iteration order would make the result differ in its last bits from
+// run to run — enough to break the repository's bit-identical
+// reproducibility contract (the entropy depends only on the count
+// multiset, so any canonical order gives one deterministic value).
 func Shannon[K comparable](counts map[K]int) float64 {
 	total := 0
+	ns := make([]int, 0, len(counts))
 	for _, n := range counts {
 		if n < 0 {
 			panic("entropy: negative count")
 		}
+		if n == 0 {
+			continue
+		}
 		total += n
+		ns = append(ns, n)
 	}
 	if total == 0 {
 		return 0
 	}
+	sort.Ints(ns)
 	h := 0.0
-	for _, n := range counts {
-		if n == 0 {
-			continue
-		}
+	for _, n := range ns {
 		p := float64(n) / float64(total)
 		h -= p * math.Log2(p)
 	}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update rewrites the golden files instead of asserting against them:
+//
+//	go test ./internal/experiments -run TestGolden -update
+//
+// Do this only when a change intentionally moves the paper numbers, and
+// say so in the commit.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenCheck renders one experiment table and compares it byte for
+// byte against its snapshot under testdata/golden. The experiments are
+// pure functions of Params, every detector scoring path is
+// deterministic (including float summation order), so a refactor that
+// shifts any reproduced paper number — even in the last printed digit —
+// fails here instead of slipping through.
+func goldenCheck(t *testing.T, name string, render func() (string, error)) {
+	t.Helper()
+	got, err := render()
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s missing (generate with -update): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s: output drifted from golden file.\nIf the change is intentional, regenerate with -update and call the number shift out in the commit message.\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+func TestGoldenFig2(t *testing.T) {
+	goldenCheck(t, "fig2.txt", func() (string, error) {
+		res, err := Fig2(DefaultParams())
+		if err != nil {
+			return "", err
+		}
+		return res.Table(), nil
+	})
+}
+
+func TestGoldenFig3(t *testing.T) {
+	goldenCheck(t, "fig3.txt", func() (string, error) {
+		res, err := Fig3(DefaultParams())
+		if err != nil {
+			return "", err
+		}
+		return res.Table(), nil
+	})
+}
+
+func TestGoldenTable1(t *testing.T) {
+	goldenCheck(t, "table1.txt", func() (string, error) {
+		res, err := Table1(DefaultParams())
+		if err != nil {
+			return "", err
+		}
+		return res.Table(), nil
+	})
+}

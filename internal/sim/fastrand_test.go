@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fastrandSeeds spans the seed space's corners: zero (stdlib remaps
+// it), sign boundaries, modulus boundaries and arbitrary values.
+var fastrandSeeds = []int64{
+	0, 1, -1, 2, 42, 223, 1<<31 - 2, 1<<31 - 1, 1 << 31, -(1<<31 - 1),
+	math.MaxInt64, math.MinInt64, 0x9E3779B97F4A7C15 >> 1, -987654321,
+}
+
+// TestFastSourceMatchesStdlib compares the raw source outputs (both the
+// masked Int63 and the full Uint64) against math/rand for long streams.
+func TestFastSourceMatchesStdlib(t *testing.T) {
+	for _, seed := range fastrandSeeds {
+		want := rand.NewSource(seed).(rand.Source64)
+		got := &fastSource{}
+		got.Seed(seed)
+		for i := 0; i < 3*rngLen; i++ { // cover several register wraps
+			if g, w := got.Uint64(), want.Uint64(); g != w {
+				t.Fatalf("seed %d: Uint64 #%d = %d, want %d", seed, i, g, w)
+			}
+		}
+		want = rand.NewSource(seed).(rand.Source64)
+		got.Seed(seed)
+		for i := 0; i < 100; i++ {
+			if g, w := got.Int63(), want.Int63(); g != w {
+				t.Fatalf("seed %d: Int63 #%d = %d, want %d", seed, i, g, w)
+			}
+		}
+	}
+}
+
+// TestFastSourceReseed checks that re-seeding a used source matches a
+// fresh stdlib source (the simulator never does this, but rand.Rand's
+// Seed method may).
+func TestFastSourceReseed(t *testing.T) {
+	got := &fastSource{}
+	got.Seed(7)
+	for i := 0; i < 1000; i++ {
+		got.Uint64()
+	}
+	got.Seed(12345)
+	want := rand.NewSource(12345).(rand.Source64)
+	for i := 0; i < 1000; i++ {
+		if g, w := got.Uint64(), want.Uint64(); g != w {
+			t.Fatalf("reseeded output #%d = %d, want %d", i, g, w)
+		}
+	}
+}
+
+// TestNewRandMatchesStdlib is the bit-identical-stream guard for the
+// satellite optimization: every derived rand.Rand method the simulator
+// and experiments use must produce the stdlib sequence exactly.
+func TestNewRandMatchesStdlib(t *testing.T) {
+	for _, seed := range fastrandSeeds {
+		got := NewRand(seed)
+		want := rand.New(rand.NewSource(seed))
+		for i := 0; i < 500; i++ {
+			if g, w := got.Float64(), want.Float64(); g != w {
+				t.Fatalf("seed %d: Float64 #%d = %v, want %v", seed, i, g, w)
+			}
+		}
+		for i := 0; i < 500; i++ {
+			if g, w := got.Intn(223), want.Intn(223); g != w {
+				t.Fatalf("seed %d: Intn #%d = %d, want %d", seed, i, g, w)
+			}
+		}
+		for i := 0; i < 100; i++ {
+			if g, w := got.NormFloat64(), want.NormFloat64(); g != w {
+				t.Fatalf("seed %d: NormFloat64 #%d = %v, want %v", seed, i, g, w)
+			}
+		}
+		gb := make([]byte, 64)
+		wb := make([]byte, 64)
+		got.Read(gb)
+		want.Read(wb)
+		if string(gb) != string(wb) {
+			t.Fatalf("seed %d: Read streams differ", seed)
+		}
+		gp := got.Perm(17)
+		wp := want.Perm(17)
+		for i := range gp {
+			if gp[i] != wp[i] {
+				t.Fatalf("seed %d: Perm differs at %d", seed, i)
+			}
+		}
+	}
+}
+
+// TestNewRandManySeeds sweeps a dense block of seeds with a short
+// stream each — the shape Attach actually uses (223 distinct derived
+// seeds, a handful of draws per message).
+func TestNewRandManySeeds(t *testing.T) {
+	for i := int64(0); i < 512; i++ {
+		seed := SplitSeed(99, i)
+		got := NewRand(seed)
+		want := rand.New(rand.NewSource(seed))
+		for j := 0; j < 16; j++ {
+			if g, w := got.Uint64(), want.Uint64(); g != w {
+				t.Fatalf("seed %d: output %d differs", seed, j)
+			}
+		}
+	}
+}
+
+// BenchmarkNewRandSeeding measures the satellite's target: the cost of
+// creating one seeded source.
+func BenchmarkNewRandSeeding(b *testing.B) {
+	b.Run("fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = NewRand(int64(i))
+		}
+	})
+	b.Run("stdlib", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = rand.New(rand.NewSource(int64(i)))
+		}
+	})
+}

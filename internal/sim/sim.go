@@ -176,8 +176,16 @@ func (s *Scheduler) Run() error {
 }
 
 // NewRand returns a deterministic RNG for the given seed. Experiments
-// derive all their randomness from seeds so runs are reproducible.
-func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+// derive all their randomness from seeds so runs are reproducible. The
+// stream is bit-identical to rand.New(rand.NewSource(seed)) — pinned by
+// TestNewRandMatchesStdlib — but seeding runs ~3x faster (see
+// fastrand.go), which matters because the simulator seeds one source
+// per scheduled message.
+func NewRand(seed int64) *rand.Rand {
+	src := &fastSource{}
+	src.Seed(seed)
+	return rand.New(src)
+}
 
 // SplitSeed derives a child seed from a parent seed and an index, so that
 // independent components get independent but reproducible streams.

@@ -8,10 +8,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
-	"strings"
 	"time"
-
-	"canids/internal/can"
 )
 
 // Errors returned by the log readers.
@@ -43,52 +40,17 @@ func WriteCandump(w io.Writer, t Trace) error {
 
 // ReadCandump parses a candump -l text log.
 func ReadCandump(r io.Reader) (Trace, error) {
-	var out Trace
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		fields := strings.Fields(text)
-		if len(fields) != 3 {
-			return nil, fmt.Errorf("%w: line %d: %q", ErrSyntax, line, text)
-		}
-		ts := strings.Trim(fields[0], "()")
-		secStr, usecStr, ok := strings.Cut(ts, ".")
-		if !ok {
-			return nil, fmt.Errorf("%w: line %d: timestamp %q", ErrSyntax, line, ts)
-		}
-		sec, err := strconv.ParseInt(secStr, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("%w: line %d: %v", ErrSyntax, line, err)
-		}
-		usec, err := strconv.ParseInt(usecStr, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("%w: line %d: %v", ErrSyntax, line, err)
-		}
-		frame, err := can.ParseFrame(fields[2])
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
-		}
-		out = append(out, Record{
-			Time:    time.Duration(sec)*time.Second + time.Duration(usec)*time.Microsecond,
-			Channel: fields[1],
-			Frame:   frame,
-		})
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: read candump: %w", err)
-	}
-	return out, nil
+	return ReadAll(NewCandumpDecoder(r))
 }
 
 var csvHeader = []string{"time_us", "channel", "id", "dlc", "data", "source", "injected"}
 
-// WriteCSV writes the trace as CSV with full ground truth.
+// WriteCSV writes the trace as CSV with full ground truth. Frame flags
+// ride in the existing columns, candump-style, so the format loses
+// nothing a capture can contain: extended identifiers print as 8 hex
+// digits (digit count carries the IDE flag even for values that fit 11
+// bits), and remote frames carry "R" in the data column with the
+// requested DLC in its own column.
 func WriteCSV(w io.Writer, t Trace) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
@@ -99,12 +61,20 @@ func WriteCSV(w io.Writer, t Trace) error {
 		if r.Injected {
 			inj = "1"
 		}
+		id := fmt.Sprintf("%X", uint32(r.Frame.ID))
+		if r.Frame.Extended {
+			id = fmt.Sprintf("%08X", uint32(r.Frame.ID))
+		}
+		data := fmt.Sprintf("%X", r.Frame.Data[:r.Frame.Len])
+		if r.Frame.Remote {
+			data = "R"
+		}
 		row := []string{
 			strconv.FormatInt(int64(r.Time/time.Microsecond), 10),
 			r.Channel,
-			fmt.Sprintf("%X", uint32(r.Frame.ID)),
+			id,
 			strconv.Itoa(int(r.Frame.Len)),
-			fmt.Sprintf("%X", r.Frame.Data[:r.Frame.Len]),
+			data,
 			r.Source,
 			inj,
 		}
@@ -121,56 +91,7 @@ func WriteCSV(w io.Writer, t Trace) error {
 
 // ReadCSV parses a trace written by WriteCSV.
 func ReadCSV(r io.Reader) (Trace, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = len(csvHeader)
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("trace: read csv: %w", err)
-	}
-	if len(rows) == 0 {
-		return nil, nil
-	}
-	var out Trace
-	for i, row := range rows {
-		if i == 0 && row[0] == csvHeader[0] {
-			continue // header
-		}
-		us, err := strconv.ParseInt(row[0], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("%w: row %d: %v", ErrSyntax, i+1, err)
-		}
-		idVal, err := strconv.ParseUint(row[2], 16, 32)
-		if err != nil {
-			return nil, fmt.Errorf("%w: row %d: %v", ErrSyntax, i+1, err)
-		}
-		dlc, err := strconv.Atoi(row[3])
-		if err != nil || dlc < 0 || dlc > can.MaxDataLen {
-			return nil, fmt.Errorf("%w: row %d: bad dlc %q", ErrSyntax, i+1, row[3])
-		}
-		var frame can.Frame
-		frame.ID = can.ID(idVal)
-		frame.Extended = frame.ID > can.MaxStandardID
-		frame.Len = uint8(dlc)
-		dataHex := row[4]
-		if len(dataHex) != dlc*2 {
-			return nil, fmt.Errorf("%w: row %d: data length %d != dlc %d", ErrSyntax, i+1, len(dataHex)/2, dlc)
-		}
-		for j := 0; j < dlc; j++ {
-			b, err := strconv.ParseUint(dataHex[2*j:2*j+2], 16, 8)
-			if err != nil {
-				return nil, fmt.Errorf("%w: row %d: %v", ErrSyntax, i+1, err)
-			}
-			frame.Data[j] = byte(b)
-		}
-		out = append(out, Record{
-			Time:     time.Duration(us) * time.Microsecond,
-			Channel:  row[1],
-			Frame:    frame,
-			Source:   row[5],
-			Injected: row[6] == "1",
-		})
-	}
-	return out, nil
+	return ReadAll(NewCSVDecoder(r))
 }
 
 // Binary stream format: a magic header then length-prefixed records.
@@ -220,55 +141,9 @@ func WriteBinary(w io.Writer, t Trace) error {
 	return nil
 }
 
-// ReadBinary reads a trace written by WriteBinary.
+// ReadBinary reads a trace written by WriteBinary. Unlike a pre-sizing
+// reader, it grows the result as records actually decode, so a forged
+// record count cannot force a huge allocation.
 func ReadBinary(r io.Reader) (Trace, error) {
-	br := bufio.NewReader(r)
-	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("trace: read binary: %w", err)
-	}
-	if magic != binaryMagic {
-		return nil, fmt.Errorf("trace: read binary: bad magic %q", magic[:])
-	}
-	var count uint64
-	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return nil, fmt.Errorf("trace: read binary: %w", err)
-	}
-	out := make(Trace, 0, count)
-	for i := uint64(0); i < count; i++ {
-		var ts int64
-		if err := binary.Read(br, binary.LittleEndian, &ts); err != nil {
-			return nil, fmt.Errorf("trace: read binary record %d: %w", i, err)
-		}
-		var frameLen, metaLen uint16
-		if err := binary.Read(br, binary.LittleEndian, &frameLen); err != nil {
-			return nil, fmt.Errorf("trace: read binary record %d: %w", i, err)
-		}
-		if err := binary.Read(br, binary.LittleEndian, &metaLen); err != nil {
-			return nil, fmt.Errorf("trace: read binary record %d: %w", i, err)
-		}
-		inj, err := br.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("trace: read binary record %d: %w", i, err)
-		}
-		frameBytes := make([]byte, frameLen)
-		if _, err := io.ReadFull(br, frameBytes); err != nil {
-			return nil, fmt.Errorf("trace: read binary record %d: %w", i, err)
-		}
-		meta := make([]byte, metaLen)
-		if _, err := io.ReadFull(br, meta); err != nil {
-			return nil, fmt.Errorf("trace: read binary record %d: %w", i, err)
-		}
-		var rec Record
-		rec.Time = time.Duration(ts)
-		if err := rec.Frame.UnmarshalBinary(frameBytes); err != nil {
-			return nil, fmt.Errorf("trace: read binary record %d: %w", i, err)
-		}
-		channel, source, _ := strings.Cut(string(meta), "\x00")
-		rec.Channel = channel
-		rec.Source = source
-		rec.Injected = inj == 1
-		out = append(out, rec)
-	}
-	return out, nil
+	return ReadAll(NewBinaryDecoder(r))
 }

@@ -1,0 +1,319 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"canids/internal/can"
+)
+
+// Timestamp bounds accepted by the text decoders: the value must survive
+// conversion to nanoseconds in an int64 (time.Duration).
+const (
+	maxLogSeconds = int64(math.MaxInt64)/int64(time.Second) - 1
+	maxLogMicros  = int64(math.MaxInt64) / int64(time.Microsecond)
+)
+
+// Decoder yields the records of a log stream one at a time, in the order
+// they were written. Next returns io.EOF after the last record. The
+// streaming engine consumes logs through this interface, so a capture
+// never has to fit in memory at once; the batch readers (ReadCandump,
+// ReadCSV, ReadBinary) are ReadAll over the same decoders.
+type Decoder interface {
+	Next() (Record, error)
+}
+
+// Format identifies a trace log format.
+type Format int
+
+const (
+	// FormatCandump is the candump -l text format (no ground truth).
+	FormatCandump Format = iota + 1
+	// FormatCSV is the Vehicle-Spy-like table with source + injected.
+	FormatCSV
+	// FormatBinary is the compact length-prefixed binary stream.
+	FormatBinary
+)
+
+// String implements fmt.Stringer.
+func (f Format) String() string {
+	switch f {
+	case FormatCandump:
+		return "candump"
+	case FormatCSV:
+		return "csv"
+	case FormatBinary:
+		return "binary"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// FormatForPath picks the log format for a file path by extension:
+// .csv and .bin map to their formats, anything else is candump text.
+func FormatForPath(path string) Format {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".csv":
+		return FormatCSV
+	case ".bin":
+		return FormatBinary
+	default:
+		return FormatCandump
+	}
+}
+
+// NewDecoder returns a streaming decoder for the given format.
+func NewDecoder(f Format, r io.Reader) (Decoder, error) {
+	switch f {
+	case FormatCandump:
+		return NewCandumpDecoder(r), nil
+	case FormatCSV:
+		return NewCSVDecoder(r), nil
+	case FormatBinary:
+		return NewBinaryDecoder(r), nil
+	default:
+		return nil, fmt.Errorf("trace: unknown format %d", int(f))
+	}
+}
+
+// Write writes the trace in the given format.
+func Write(w io.Writer, f Format, t Trace) error {
+	switch f {
+	case FormatCandump:
+		return WriteCandump(w, t)
+	case FormatCSV:
+		return WriteCSV(w, t)
+	case FormatBinary:
+		return WriteBinary(w, t)
+	default:
+		return fmt.Errorf("trace: unknown format %d", int(f))
+	}
+}
+
+// ReadAll drains a decoder into a Trace.
+func ReadAll(d Decoder) (Trace, error) {
+	var out Trace
+	for {
+		rec, err := d.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// CandumpDecoder streams a candump -l text log.
+type CandumpDecoder struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewCandumpDecoder creates a streaming candump reader.
+func NewCandumpDecoder(r io.Reader) *CandumpDecoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &CandumpDecoder{sc: sc}
+}
+
+// Next implements Decoder.
+func (d *CandumpDecoder) Next() (Record, error) {
+	for d.sc.Scan() {
+		d.line++
+		text := strings.TrimSpace(d.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return Record{}, fmt.Errorf("%w: line %d: %q", ErrSyntax, d.line, text)
+		}
+		ts := strings.Trim(fields[0], "()")
+		secStr, usecStr, ok := strings.Cut(ts, ".")
+		if !ok {
+			return Record{}, fmt.Errorf("%w: line %d: timestamp %q", ErrSyntax, d.line, ts)
+		}
+		sec, err := strconv.ParseInt(secStr, 10, 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("%w: line %d: %v", ErrSyntax, d.line, err)
+		}
+		usec, err := strconv.ParseInt(usecStr, 10, 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("%w: line %d: %v", ErrSyntax, d.line, err)
+		}
+		// Negative or overflowing timestamps cannot round-trip through
+		// time.Duration arithmetic; reject rather than wrap.
+		if sec < 0 || sec > maxLogSeconds || usec < 0 || usec > 999_999 {
+			return Record{}, fmt.Errorf("%w: line %d: timestamp %q out of range", ErrSyntax, d.line, ts)
+		}
+		frame, err := can.ParseFrame(fields[2])
+		if err != nil {
+			return Record{}, fmt.Errorf("trace: line %d: %w", d.line, err)
+		}
+		return Record{
+			Time:    time.Duration(sec)*time.Second + time.Duration(usec)*time.Microsecond,
+			Channel: fields[1],
+			Frame:   frame,
+		}, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		return Record{}, fmt.Errorf("trace: read candump: %w", err)
+	}
+	return Record{}, io.EOF
+}
+
+// CSVDecoder streams a trace written by WriteCSV.
+type CSVDecoder struct {
+	cr  *csv.Reader
+	row int
+}
+
+// NewCSVDecoder creates a streaming CSV reader.
+func NewCSVDecoder(r io.Reader) *CSVDecoder {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	return &CSVDecoder{cr: cr}
+}
+
+// Next implements Decoder.
+func (d *CSVDecoder) Next() (Record, error) {
+	for {
+		row, err := d.cr.Read()
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		if err != nil {
+			return Record{}, fmt.Errorf("trace: read csv: %w", err)
+		}
+		d.row++
+		if d.row == 1 && row[0] == csvHeader[0] {
+			continue // header
+		}
+		return parseCSVRow(row, d.row)
+	}
+}
+
+// parseCSVRow decodes one data row; rowNum is 1-based for error messages.
+func parseCSVRow(row []string, rowNum int) (Record, error) {
+	us, err := strconv.ParseInt(row[0], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: row %d: %v", ErrSyntax, rowNum, err)
+	}
+	if us < 0 || us > maxLogMicros {
+		return Record{}, fmt.Errorf("%w: row %d: time_us %d out of range", ErrSyntax, rowNum, us)
+	}
+	idVal, err := strconv.ParseUint(row[2], 16, 32)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: row %d: %v", ErrSyntax, rowNum, err)
+	}
+	dlc, err := strconv.Atoi(row[3])
+	if err != nil || dlc < 0 || dlc > can.MaxDataLen {
+		return Record{}, fmt.Errorf("%w: row %d: bad dlc %q", ErrSyntax, rowNum, row[3])
+	}
+	var frame can.Frame
+	frame.ID = can.ID(idVal)
+	// As in candump text, more than three identifier digits means an
+	// extended frame even when the value fits 11 bits.
+	frame.Extended = len(row[2]) > 3 || frame.ID > can.MaxStandardID
+	frame.Len = uint8(dlc)
+	dataHex := row[4]
+	if dataHex == "R" {
+		frame.Remote = true
+	} else {
+		if len(dataHex) != dlc*2 {
+			return Record{}, fmt.Errorf("%w: row %d: data length %d != dlc %d", ErrSyntax, rowNum, len(dataHex)/2, dlc)
+		}
+		for j := 0; j < dlc; j++ {
+			b, err := strconv.ParseUint(dataHex[2*j:2*j+2], 16, 8)
+			if err != nil {
+				return Record{}, fmt.Errorf("%w: row %d: %v", ErrSyntax, rowNum, err)
+			}
+			frame.Data[j] = byte(b)
+		}
+	}
+	return Record{
+		Time:     time.Duration(us) * time.Microsecond,
+		Channel:  row[1],
+		Frame:    frame,
+		Source:   row[5],
+		Injected: row[6] == "1",
+	}, nil
+}
+
+// BinaryDecoder streams a trace written by WriteBinary.
+type BinaryDecoder struct {
+	br      *bufio.Reader
+	started bool
+	count   uint64
+	read    uint64
+}
+
+// NewBinaryDecoder creates a streaming binary reader.
+func NewBinaryDecoder(r io.Reader) *BinaryDecoder {
+	return &BinaryDecoder{br: bufio.NewReader(r)}
+}
+
+// Next implements Decoder.
+func (d *BinaryDecoder) Next() (Record, error) {
+	if !d.started {
+		d.started = true
+		var magic [4]byte
+		if _, err := io.ReadFull(d.br, magic[:]); err != nil {
+			return Record{}, fmt.Errorf("trace: read binary: %w", err)
+		}
+		if magic != binaryMagic {
+			return Record{}, fmt.Errorf("trace: read binary: bad magic %q", magic[:])
+		}
+		if err := binary.Read(d.br, binary.LittleEndian, &d.count); err != nil {
+			return Record{}, fmt.Errorf("trace: read binary: %w", err)
+		}
+	}
+	if d.read >= d.count {
+		return Record{}, io.EOF
+	}
+	i := d.read
+	var ts int64
+	if err := binary.Read(d.br, binary.LittleEndian, &ts); err != nil {
+		return Record{}, fmt.Errorf("trace: read binary record %d: %w", i, err)
+	}
+	var frameLen, metaLen uint16
+	if err := binary.Read(d.br, binary.LittleEndian, &frameLen); err != nil {
+		return Record{}, fmt.Errorf("trace: read binary record %d: %w", i, err)
+	}
+	if err := binary.Read(d.br, binary.LittleEndian, &metaLen); err != nil {
+		return Record{}, fmt.Errorf("trace: read binary record %d: %w", i, err)
+	}
+	inj, err := d.br.ReadByte()
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: read binary record %d: %w", i, err)
+	}
+	frameBytes := make([]byte, frameLen)
+	if _, err := io.ReadFull(d.br, frameBytes); err != nil {
+		return Record{}, fmt.Errorf("trace: read binary record %d: %w", i, err)
+	}
+	meta := make([]byte, metaLen)
+	if _, err := io.ReadFull(d.br, meta); err != nil {
+		return Record{}, fmt.Errorf("trace: read binary record %d: %w", i, err)
+	}
+	var rec Record
+	rec.Time = time.Duration(ts)
+	if err := rec.Frame.UnmarshalBinary(frameBytes); err != nil {
+		return Record{}, fmt.Errorf("trace: read binary record %d: %w", i, err)
+	}
+	channel, source, _ := strings.Cut(string(meta), "\x00")
+	rec.Channel = channel
+	rec.Source = source
+	rec.Injected = inj == 1
+	d.read++
+	return rec, nil
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"canids/internal/can"
+)
+
+// TestRoundTripFrameFlags pins that no format silently drops the frame
+// flags a capture can carry: extended identifiers that fit 11 bits and
+// remote frames with a DLC survive write→decode in every format that
+// can represent them (candump and CSV encode them candump-style; the
+// binary layout stores the flags directly).
+func TestRoundTripFrameFlags(t *testing.T) {
+	tr := Trace{
+		{Time: 1 * time.Millisecond, Channel: "c0", Frame: can.Frame{ID: 0x0F2, Extended: true}},
+		{Time: 2 * time.Millisecond, Channel: "c0", Frame: can.Frame{ID: 0x100, Remote: true, Len: 4}},
+		{Time: 3 * time.Millisecond, Channel: "c0", Frame: can.MustFrame(0x123, []byte{0xAB}), Source: "ecu", Injected: true},
+	}
+	for _, f := range []Format{FormatCandump, FormatCSV, FormatBinary} {
+		var buf bytes.Buffer
+		if err := Write(&buf, f, tr); err != nil {
+			t.Fatalf("%v: write: %v", f, err)
+		}
+		dec, err := NewDecoder(f, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadAll(dec)
+		if err != nil {
+			t.Fatalf("%v: read: %v", f, err)
+		}
+		if len(back) != len(tr) {
+			t.Fatalf("%v: %d records back, want %d", f, len(back), len(tr))
+		}
+		for i := range tr {
+			if !back[i].Frame.Equal(tr[i].Frame) {
+				t.Errorf("%v: record %d frame mutated: got %+v want %+v", f, i, back[i].Frame, tr[i].Frame)
+			}
+			if back[i].Time != tr[i].Time {
+				t.Errorf("%v: record %d time mutated", f, i)
+			}
+		}
+	}
+}
+
+// TestDecoderStreamsIncrementally checks a decoder yields records one
+// at a time rather than reading ahead to the end.
+func TestDecoderStreamsIncrementally(t *testing.T) {
+	var buf bytes.Buffer
+	tr := Trace{
+		{Time: time.Second, Frame: can.MustFrame(0x123, []byte{1})},
+		{Time: 2 * time.Second, Frame: can.MustFrame(0x124, []byte{2})},
+	}
+	if err := WriteCandump(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	d := NewCandumpDecoder(&buf)
+	r1, err := d.Next()
+	if err != nil || r1.Frame.ID != 0x123 {
+		t.Fatalf("first record: %v %v", r1, err)
+	}
+	r2, err := d.Next()
+	if err != nil || r2.Frame.ID != 0x124 {
+		t.Fatalf("second record: %v %v", r2, err)
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+}
+
+func TestFormatForPath(t *testing.T) {
+	cases := map[string]Format{
+		"a.csv": FormatCSV, "A.CSV": FormatCSV,
+		"a.bin": FormatBinary, "x/y/z.log": FormatCandump, "noext": FormatCandump,
+	}
+	for path, want := range cases {
+		if got := FormatForPath(path); got != want {
+			t.Errorf("FormatForPath(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestDecoderRejectsOutOfRangeTimestamps(t *testing.T) {
+	if _, err := ReadCandump(strings.NewReader("(9223372036.000000) c0 123#00\n")); err == nil {
+		t.Error("candump accepted an ns-overflowing timestamp")
+	}
+	if _, err := ReadCandump(strings.NewReader("(-1.000000) c0 123#00\n")); err == nil {
+		t.Error("candump accepted a negative timestamp")
+	}
+	if _, err := ReadCSV(strings.NewReader("9223372036854775807,c,123,0,,x,0\n")); err == nil {
+		t.Error("csv accepted a µs-overflowing timestamp")
+	}
+}
