@@ -24,8 +24,10 @@ import (
 	"canids/internal/detect"
 	"canids/internal/entropy"
 	"canids/internal/experiments"
+	"canids/internal/gateway"
 	"canids/internal/infer"
 	"canids/internal/metrics"
+	"canids/internal/response"
 	"canids/internal/sim"
 	"canids/internal/trace"
 	"canids/internal/vehicle"
@@ -479,6 +481,57 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			b.ReportMetric(float64(b.N)*float64(len(tr))/b.Elapsed().Seconds(), "frames/s")
 		})
 	}
+}
+
+// BenchmarkEnginePrevention measures what the prevention stage costs:
+// the same recorded attack trace through the same engine, with the
+// filter stage off and with the full gateway → responder → blocklist
+// loop on (including the per-window dispatcher barrier). The "frames/s"
+// metrics of the two sub-benchmarks are directly comparable;
+// allocs/op is reported so the smoke pass records the per-run
+// allocation budget of each path (the per-frame guard proper is
+// TestEnginePreventionSteadyStateAllocs).
+func BenchmarkEnginePrevention(b *testing.B) {
+	tmpl, tr := engineBenchFixture(b)
+	pool := vehicle.NewFusionProfile(scenario.Matrix(1)[0].ProfileSeed).IDSet()
+	run := func(b *testing.B, prevent bool) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := engine.DefaultConfig()
+			cfg.Shards = 4
+			cfg.Core.Alpha = 4
+			if prevent {
+				gw, err := gateway.New(gateway.DefaultConfig(nil))
+				if err != nil {
+					b.Fatal(err)
+				}
+				resp, err := response.New(gw, response.DefaultConfig(pool))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg.Gateway, cfg.Responder = gw, resp
+			}
+			eng, err := engine.NewTrained(cfg, tmpl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			alerts, st, err := eng.Detect(ctx, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(alerts) == 0 || st.Frames != uint64(len(tr)) {
+				b.Fatal("engine dropped frames or alerts")
+			}
+			if prevent && st.DroppedInjected == 0 {
+				b.Fatal("prevention stopped nothing")
+			}
+		}
+		b.ReportMetric(float64(b.N)*float64(len(tr))/b.Elapsed().Seconds(), "frames/s")
+	}
+	b.Run("filter=off", func(b *testing.B) { run(b, false) })
+	b.Run("filter=on", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkScenarioMatrix measures generating one catalogue scenario

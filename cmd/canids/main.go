@@ -17,8 +17,21 @@
 //	canids -watch -scenario fusion/idle/SI-100 -shards 4 -baselines
 //	canids -watch -template template.json -shards 4 attacked.csv
 //
+// Close the paper's prevention loop while watching — a gateway
+// pre-filter ahead of the engine, alerts feeding inference, inferred IDs
+// quarantined so the rest of the attack is dropped mid-stream:
+//
+//	canids -watch -scenario fusion/idle/SI-100 -prevent -quarantine 30s
+//	canids -watch -scenario fusion/idle/FI-500 -prevent -whitelist
+//
+// Serve a capture that carries several buses with one engine per
+// channel:
+//
+//	canids -watch -template template.json -multibus mixed.log
+//
 // When the input carries ground truth (csv, or a matrix scenario),
-// detection and inference are also scored.
+// detection, inference and prevention (attack frames blocked vs
+// legitimate collateral drops) are also scored.
 package main
 
 import (
@@ -28,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -38,8 +52,10 @@ import (
 	"canids/internal/detect"
 	"canids/internal/engine"
 	"canids/internal/engine/scenario"
+	"canids/internal/gateway"
 	"canids/internal/infer"
 	"canids/internal/metrics"
+	"canids/internal/response"
 	"canids/internal/trace"
 	"canids/internal/vehicle"
 )
@@ -77,6 +93,14 @@ func run(args []string, stdout io.Writer) error {
 		shards       = fs.Int("shards", 1, "engine worker shards")
 		baselines    = fs.Bool("baselines", false, "run the Müter and Song baselines alongside (scenario mode)")
 		metricsEvery = fs.Duration("metrics", 2*time.Second, "live metrics interval for -watch (0 disables)")
+
+		prevent    = fs.Bool("prevent", false, "close the loop: gateway pre-filter + alert-driven blocking")
+		whitelist  = fs.Bool("whitelist", false, "with -prevent, also drop IDs outside the legal pool")
+		quarantine = fs.Duration("quarantine", 30*time.Second, "with -prevent, block duration per alert (0 = forever)")
+		blockTop   = fs.Int("block-top", 1, "with -prevent, how many top suspects to block per alert")
+		rateSlack  = fs.Float64("rate-slack", 0, "with -prevent in scenario mode, per-ID rate-limit slack (0 disables)")
+		minScore   = fs.Float64("min-score", 0, "with -prevent, ignore alerts below this score (no knee-jerk blocks)")
+		multibus   = fs.Bool("multibus", false, "serve one engine per bus channel (supervisor)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,6 +132,13 @@ func run(args []string, stdout io.Writer) error {
 			shards:       *shards,
 			baselines:    *baselines,
 			metricsEvery: *metricsEvery,
+			prevent:      *prevent,
+			whitelist:    *whitelist,
+			quarantine:   *quarantine,
+			blockTop:     *blockTop,
+			rateSlack:    *rateSlack,
+			minScore:     *minScore,
+			multibus:     *multibus,
 		}, stdout)
 	case *train:
 		if len(files) == 0 {
@@ -266,12 +297,113 @@ type watchOptions struct {
 	shards       int
 	baselines    bool
 	metricsEvery time.Duration
+	prevent      bool
+	whitelist    bool
+	quarantine   time.Duration
+	blockTop     int
+	rateSlack    float64
+	minScore     float64
+	multibus     bool
+}
+
+func (o watchOptions) validate() error {
+	if !o.prevent {
+		for flag, set := range map[string]bool{
+			"-whitelist":  o.whitelist,
+			"-rate-slack": o.rateSlack != 0,
+			"-min-score":  o.minScore != 0,
+		} {
+			if set {
+				return fmt.Errorf("%s needs -prevent", flag)
+			}
+		}
+	}
+	if o.blockTop <= 0 {
+		return fmt.Errorf("-block-top must be positive, got %d", o.blockTop)
+	}
+	if o.rateSlack > 0 && o.scenarioName == "" {
+		return fmt.Errorf("-rate-slack needs -scenario (rate budgets learn from the matrix's clean traffic)")
+	}
+	return nil
+}
+
+// engineParts is everything needed to build one engine — one per run,
+// or one per bus channel under -multibus. Each build gets private
+// baseline detectors and, with -prevent, a private gateway + responder
+// (per-bus policy state: each bus has its own rate windows and
+// blocklist).
+type engineParts struct {
+	cfg     engine.Config
+	tmpl    core.Template
+	pool    []can.ID      // legal / inference pool; may be empty for bare captures
+	windows []trace.Trace // clean training windows (scenario mode only)
+	opts    watchOptions
+
+	// responders collects what build created, keyed by channel, for the
+	// end-of-run prevention report. Only the goroutine driving the
+	// supervisor demux (or the single-engine caller) writes it.
+	responders map[string]*response.Responder
+	gateways   map[string]*gateway.Gateway
+}
+
+func (p *engineParts) build(channel string) (*engine.Engine, error) {
+	cfg := p.cfg // value copy; Baselines/Gateway/Responder set per build
+	if p.opts.baselines {
+		m, err := baseline.NewMuter(baseline.DefaultMuterConfig())
+		if err != nil {
+			return nil, err
+		}
+		s, err := baseline.NewSong(baseline.DefaultSongConfig())
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range []detect.Detector{m, s} {
+			if err := d.Train(p.windows); err != nil {
+				return nil, fmt.Errorf("train %s: %w", d.Name(), err)
+			}
+		}
+		cfg.Baselines = []detect.Detector{m, s}
+	}
+	if p.opts.prevent {
+		if len(p.pool) == 0 {
+			return nil, fmt.Errorf("-prevent needs a legal ID pool (train with a pool, or use -scenario)")
+		}
+		gwCfg := gateway.Config{RateWindow: cfg.Core.Window, RateSlack: p.opts.rateSlack}
+		if p.opts.whitelist {
+			gwCfg.Legal = p.pool
+		}
+		gw, err := gateway.New(gwCfg)
+		if err != nil {
+			return nil, err
+		}
+		if p.opts.rateSlack > 0 {
+			if err := gw.LearnRates(p.windows); err != nil {
+				return nil, err
+			}
+		}
+		respCfg := response.DefaultConfig(p.pool)
+		respCfg.Rank = p.opts.rank
+		respCfg.BlockTop = p.opts.blockTop
+		respCfg.Quarantine = p.opts.quarantine
+		respCfg.MinScore = p.opts.minScore
+		resp, err := response.New(gw, respCfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Gateway, cfg.Responder = gw, resp
+		p.responders[channel] = resp
+		p.gateways[channel] = gw
+	}
+	return engine.NewTrained(cfg, p.tmpl)
 }
 
 // runWatch streams a scenario or log files through the sharded engine,
 // printing alerts as the ordered merge releases them and a metrics line
 // on a fixed wall-clock cadence.
 func runWatch(opts watchOptions, stdout io.Writer) error {
+	if err := opts.validate(); err != nil {
+		return err
+	}
 	cfg := engine.DefaultConfig()
 	cfg.Shards = opts.shards
 	cfg.Core.Window = opts.window
@@ -294,10 +426,7 @@ func runWatch(opts watchOptions, stdout io.Writer) error {
 	if err := json.Unmarshal(raw, &tf); err != nil {
 		return fmt.Errorf("%s: %w", opts.tmplPath, err)
 	}
-	eng, err := engine.NewTrained(cfg, tf.Template)
-	if err != nil {
-		return err
-	}
+	parts := newEngineParts(cfg, tf.Template, tf.Pool, nil, opts)
 	for _, path := range opts.files {
 		f, err := os.Open(path)
 		if err != nil {
@@ -312,13 +441,22 @@ func runWatch(opts watchOptions, stdout io.Writer) error {
 		// CSV and binary captures carry ground truth; tally it in
 		// passing so the stream is scored like -detect would.
 		var injected trace.Trace
-		err = watchStream(eng, teeInjected{src: src, injected: &injected}, tf.Pool, opts, &injected, stdout)
+		err = watchStream(parts, teeInjected{src: src, injected: &injected}, &injected, stdout)
 		f.Close()
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+func newEngineParts(cfg engine.Config, tmpl core.Template, pool []can.ID,
+	windows []trace.Trace, opts watchOptions) *engineParts {
+	return &engineParts{
+		cfg: cfg, tmpl: tmpl, pool: pool, windows: windows, opts: opts,
+		responders: make(map[string]*response.Responder),
+		gateways:   make(map[string]*gateway.Gateway),
+	}
 }
 
 // watchScenario trains on the matrix's clean traffic for the scenario's
@@ -342,30 +480,13 @@ func watchScenario(opts watchOptions, cfg engine.Config, stdout io.Writer) error
 	if err != nil {
 		return err
 	}
-	if opts.baselines {
-		m, err := baseline.NewMuter(baseline.DefaultMuterConfig())
-		if err != nil {
-			return err
-		}
-		s, err := baseline.NewSong(baseline.DefaultSongConfig())
-		if err != nil {
-			return err
-		}
-		for _, d := range []detect.Detector{m, s} {
-			if err := d.Train(windows); err != nil {
-				return fmt.Errorf("train %s: %w", d.Name(), err)
-			}
-		}
-		cfg.Baselines = []detect.Detector{m, s}
+	parts := newEngineParts(cfg, tmpl, scenarioPool(spec), windows, opts)
+	mode := ""
+	if opts.prevent {
+		mode = ", prevention on"
 	}
-	eng, err := engine.NewTrained(cfg, tmpl)
-	if err != nil {
-		return err
-	}
-
-	pool := scenarioPool(spec)
-	fmt.Fprintf(stdout, "watching %s (%v, %d shards, template from %d clean windows)\n",
-		spec.Name, spec.Duration, cfg.Shards, tmpl.Windows)
+	fmt.Fprintf(stdout, "watching %s (%v, %d shards, template from %d clean windows%s)\n",
+		spec.Name, spec.Duration, cfg.Shards, tmpl.Windows, mode)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -378,7 +499,7 @@ func watchScenario(opts watchOptions, cfg engine.Config, stdout io.Writer) error
 	// retaining it.
 	var injected trace.Trace
 	src := teeInjected{src: engine.NewChanSource(ctx, ch), injected: &injected}
-	if err := watchStream(eng, src, pool, opts, &injected, stdout); err != nil {
+	if err := watchStream(parts, src, &injected, stdout); err != nil {
 		return err
 	}
 	return <-streamErr
@@ -404,25 +525,65 @@ func scenarioPool(spec scenario.Spec) []can.ID {
 	return vehicle.NewFusionProfile(spec.ProfileSeed).IDSet()
 }
 
-// watchStream drives one source through the engine: alerts print as the
-// ordered merge emits them, a metrics goroutine snapshots live Stats on
-// the configured cadence, and the final line summarizes the run. When
-// injected ground truth was collected, the detection rate is scored.
-func watchStream(eng *engine.Engine, src engine.Source, pool []can.ID,
-	opts watchOptions, injected *trace.Trace, stdout io.Writer) error {
+// liveStats abstracts "current run statistics" over the single engine
+// and the multi-bus supervisor for the metrics ticker.
+type liveStats func() engine.Stats
 
+// watchStream drives one source through the engine (or, with -multibus,
+// one engine per bus channel under a supervisor): alerts print as the
+// ordered merge emits them, a metrics goroutine snapshots live Stats on
+// the configured cadence, and the final lines summarize the run. When
+// injected ground truth was collected, detection — and with -prevent,
+// prevention — is scored against it.
+func watchStream(parts *engineParts, src engine.Source, injected *trace.Trace, stdout io.Writer) error {
+	opts := parts.opts
+	// Per-call prevention state: a multi-file run must not replay the
+	// previous file's blocks in this file's report.
+	parts.responders = make(map[string]*response.Responder)
+	parts.gateways = make(map[string]*gateway.Gateway)
 	start := time.Now()
 	var mu sync.Mutex // stdout interleaving: sink vs metrics ticker
 	var alerts []detect.Alert
-	sink := func(a detect.Alert) {
+	sink := func(channel string, a detect.Alert) {
 		mu.Lock()
 		defer mu.Unlock()
 		alerts = append(alerts, a)
-		fmt.Fprintf(stdout, "  ALERT %s\n", a)
-		if len(pool) > 0 && len(a.Bits) > 0 {
-			if res, err := infer.Rank(a, pool, can.StandardIDBits, opts.rank); err == nil {
+		if channel != "" {
+			fmt.Fprintf(stdout, "  ALERT [%s] %s\n", channel, a)
+		} else {
+			fmt.Fprintf(stdout, "  ALERT %s\n", a)
+		}
+		// With -prevent the responder already ranks every alert (the
+		// BLOCK report names the verdict); re-ranking here would double
+		// the inference cost on the merge goroutine the window barrier
+		// waits on.
+		if !opts.prevent && len(parts.pool) > 0 && len(a.Bits) > 0 {
+			if res, err := infer.Rank(a, parts.pool, can.StandardIDBits, opts.rank); err == nil {
 				fmt.Fprintf(stdout, "        suspected IDs: %s\n", formatIDs(res.Candidates))
 			}
+		}
+	}
+
+	var stats liveStats
+	var run func() (engine.Stats, error)
+	if opts.multibus {
+		sup, err := engine.NewSupervisor(engine.SupervisorConfig{NewEngine: parts.build})
+		if err != nil {
+			return err
+		}
+		stats = sup.TotalStats
+		run = func() (engine.Stats, error) {
+			_, err := sup.Run(context.Background(), src, sink)
+			return sup.TotalStats(), err
+		}
+	} else {
+		eng, err := parts.build("")
+		if err != nil {
+			return err
+		}
+		stats = eng.Stats
+		run = func() (engine.Stats, error) {
+			return eng.Run(context.Background(), src, func(a detect.Alert) { sink("", a) })
 		}
 	}
 
@@ -437,11 +598,15 @@ func watchStream(eng *engine.Engine, src engine.Source, pool []can.ID,
 			for {
 				select {
 				case <-tick.C:
-					st := eng.Stats()
+					st := stats()
 					mu.Lock()
-					fmt.Fprintf(stdout, "  -- t=%v frames=%d windows=%d alerts=%d rate=%.0f frames/s\n",
+					line := fmt.Sprintf("  -- t=%v frames=%d windows=%d alerts=%d rate=%.0f frames/s",
 						st.LastTime.Truncate(time.Millisecond), st.Frames, st.Windows, st.Alerts,
 						float64(st.Frames)/time.Since(start).Seconds())
+					if opts.prevent {
+						line += fmt.Sprintf(" blocked=%d", st.Dropped)
+					}
+					fmt.Fprintln(stdout, line)
 					mu.Unlock()
 				case <-stopMetrics:
 					return
@@ -450,7 +615,7 @@ func watchStream(eng *engine.Engine, src engine.Source, pool []can.ID,
 		}()
 	}
 
-	st, err := eng.Run(context.Background(), src, sink)
+	st, err := run()
 	close(stopMetrics)
 	metricsDone.Wait()
 	if err != nil {
@@ -461,10 +626,65 @@ func watchStream(eng *engine.Engine, src engine.Source, pool []can.ID,
 	fmt.Fprintf(stdout, "done: %d frames in %v (%.0f frames/s), %d windows, %d alerts, shards %v\n",
 		st.Frames, elapsed.Truncate(time.Millisecond), float64(st.Frames)/elapsed.Seconds(),
 		st.Windows, st.Alerts, st.PerShard)
+	if opts.prevent {
+		reportPrevention(parts, st, injected, stdout)
+	}
 	if injected != nil && len(*injected) > 0 {
 		dr := metrics.DetectionRate(*injected, alerts)
 		fmt.Fprintf(stdout, "ground truth: %d injected frames, detection rate %.1f%%\n",
 			len(*injected), 100*dr)
 	}
 	return nil
+}
+
+// reportPrevention prints the response history and scores the
+// pre-filter against ground truth: how many attack frames the gateway
+// stopped, and how many legitimate frames it dropped as collateral.
+func reportPrevention(parts *engineParts, st engine.Stats, injected *trace.Trace, stdout io.Writer) {
+	for _, channel := range sortedKeys(parts.responders) {
+		resp := parts.responders[channel]
+		tag := ""
+		if channel != "" {
+			tag = fmt.Sprintf(" [%s]", channel)
+		}
+		for _, act := range resp.Actions() {
+			until := "forever"
+			if act.Until != 0 {
+				until = fmt.Sprint(act.Until)
+			}
+			fmt.Fprintf(stdout, "  BLOCK%s %s until %s (window %v..%v score=%.3f)\n",
+				tag, formatIDs(act.Blocked), until, act.Alert.WindowStart, act.Alert.WindowEnd, act.Alert.Score)
+		}
+		// Expiry is lazy on the gateway; report only quarantines still
+		// live at the end of the stream.
+		var live []can.ID
+		for id, until := range parts.gateways[channel].Quarantines() {
+			if until == 0 || until > st.LastTime {
+				live = append(live, id)
+			}
+		}
+		if len(live) > 0 {
+			sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+			fmt.Fprintf(stdout, "  still quarantined%s: %s\n", tag, formatIDs(live))
+		}
+	}
+	legitDropped := st.Dropped - st.DroppedInjected
+	if injected != nil && len(*injected) > 0 {
+		attackTotal := uint64(len(*injected))
+		legitTotal := st.Frames - attackTotal
+		fmt.Fprintf(stdout, "prevention: %d/%d attack frames blocked (%.1f%%), %d/%d legitimate frames dropped (%.2f%% collateral)\n",
+			st.DroppedInjected, attackTotal, 100*float64(st.DroppedInjected)/float64(attackTotal),
+			legitDropped, legitTotal, 100*float64(legitDropped)/float64(max(legitTotal, 1)))
+	} else {
+		fmt.Fprintf(stdout, "prevention: %d frames dropped at the gateway (no ground truth to score)\n", st.Dropped)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

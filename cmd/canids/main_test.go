@@ -239,10 +239,107 @@ func TestWatchValidation(t *testing.T) {
 		{"-watch", "-baselines", "x.csv"},                                // baselines need a scenario
 		{"-watch", "-template", "/nonexistent", "x.csv"},                 // missing template
 		{"-watch", "-train"},                                             // two modes
+		{"-watch", "-whitelist", "x.csv"},                                // whitelist needs -prevent
+		{"-watch", "-rate-slack", "2", "x.csv"},                          // rate-slack needs -prevent
+		{"-watch", "-prevent", "-rate-slack", "2", "x.csv"},              // rate-slack needs -scenario
+		{"-watch", "-prevent", "-block-top", "0", "x.csv"},               // positive block-top
 	}
 	for _, args := range cases {
 		if err := run(args, &bytes.Buffer{}); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+// TestWatchScenarioPrevent drives the closed loop from the CLI: the
+// spoofed ID must be blocked, prevention scored against ground truth,
+// and the blocked counter surfaced.
+func TestWatchScenarioPrevent(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-watch", "-scenario", "fusion/idle/SI-100",
+		"-shards", "4", "-alpha", "4", "-prevent", "-metrics", "0"}, &out)
+	if err != nil {
+		t.Fatalf("watch -prevent: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"prevention on", "ALERT", "BLOCK", "still quarantined",
+		"attack frames blocked", "collateral", "detection rate"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prevention output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "0/800 attack frames blocked") {
+		t.Errorf("prevention blocked nothing:\n%s", text)
+	}
+}
+
+// TestWatchScenarioPreventWhitelist arms the legal-set filter against a
+// flood of changeable (non-pool) identifiers: the gateway should stop
+// the flood outright.
+func TestWatchScenarioPreventWhitelist(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-watch", "-scenario", "fusion/idle/FI-500",
+		"-shards", "2", "-alpha", "4", "-prevent", "-whitelist", "-duration", "6s", "-metrics", "0"}, &out)
+	if err != nil {
+		t.Fatalf("watch -prevent -whitelist: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "attack frames blocked") {
+		t.Fatalf("no prevention scoring:\n%s", text)
+	}
+	if strings.Contains(text, " 0/") && strings.Contains(text, "(0.0%)") {
+		t.Errorf("whitelist stopped nothing:\n%s", text)
+	}
+}
+
+// TestWatchFilesMultibus splits one capture across two channel names
+// and serves it through the supervisor: alerts must carry bus tags.
+func TestWatchFilesMultibus(t *testing.T) {
+	dir := t.TempDir()
+	clean := makeCapture(t, dir, "clean.csv", vehicle.Idle, 5, 8*time.Second, nil)
+	tmpl := filepath.Join(dir, "template.json")
+	if err := run([]string{"-train", "-o", tmpl, clean}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	attacked := makeCapture(t, dir, "attacked.csv", vehicle.Idle, 7, 10*time.Second, &attack.Config{
+		Scenario:  attack.Single,
+		IDs:       []can.ID{0x0B5},
+		Frequency: 100,
+		Start:     2 * time.Second,
+		Seed:      9,
+	})
+	// Re-tag half the records onto a second bus.
+	tr, err := readLog(attacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr {
+		if i%2 == 1 {
+			tr[i].Channel = "can-b"
+		} else {
+			tr[i].Channel = "can-a"
+		}
+	}
+	mixed := filepath.Join(dir, "mixed.csv")
+	f, err := os.Create(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteCSV(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-watch", "-template", tmpl, "-alpha", "4",
+		"-multibus", "-metrics", "0", mixed}, &out); err != nil {
+		t.Fatalf("watch -multibus: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "ALERT [can-a]") && !strings.Contains(text, "ALERT [can-b]") {
+		t.Errorf("no bus-tagged alerts:\n%s", text)
+	}
+	if !strings.Contains(text, "done:") {
+		t.Errorf("no summary:\n%s", text)
 	}
 }

@@ -19,14 +19,16 @@
 //	internal/baseline    Müter [8] and Song [11] comparison detectors
 //	internal/entropy     bit-slice counters and entropy math
 //	internal/detect      shared detector interface and alert types
+//	internal/gateway     bus gateway filter: whitelist, rate limits, blocklist
+//	internal/response    alerts → inference → gateway blocks (prevention)
 //	internal/metrics     Ir, Dr, hit rate, confusion counts
 //	internal/trace       candump / CSV / binary log formats + streaming decoders
 //	internal/sim         deterministic discrete-event scheduler, fast seeded RNG
-//	internal/engine      sharded streaming detection engine
+//	internal/engine      sharded streaming detection + prevention engine, multi-bus supervisor
 //	internal/engine/scenario  named scenario matrix (profiles × drives × attacks)
 //	internal/experiments one runner per paper table and figure
 //	cmd/...              cangen, canattack, canids, experiments
-//	examples/...         quickstart, livebus, offline, sweep, streaming
+//	examples/...         quickstart, livebus, offline, sweep, streaming, prevention
 //
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation; see EXPERIMENTS.md for the measured results.
@@ -54,6 +56,27 @@
 // -scenario <name> -shards N [-baselines]` streams one live with
 // periodic metrics, and examples/streaming demonstrates the
 // sharding-is-invisible contract end to end.
+//
+// # Prevention
+//
+// The engine also closes the paper's prevention loop ("the malicious
+// messages containing those IDs would be discarded or blocked"): an
+// internal/gateway.Gateway runs as a pre-filter on the dispatch path
+// (whitelist, learned rate limits, dynamic blocklist — all
+// goroutine-safe), the merged alert stream feeds an
+// internal/response.Responder whose inference quarantines the top
+// suspects, and the dispatcher synchronizes at window boundaries so
+// blocks land at a deterministic stream position. The result — alert
+// stream, dropped-frame set, response history — is bit-identical to a
+// sequential classify→observe→respond loop at any shard count
+// (TestEnginePreventionMatchesSequential, shards 1/2/8 under -race).
+// Records batch per channel send (Config.Batch) to amortize channel
+// ops, and engine.Supervisor serves multi-bus captures with one engine
+// (and per-bus policy state) per channel. `canids -watch -prevent
+// [-whitelist] [-multibus]` scores prevention against scenario ground
+// truth — attack frames blocked vs legitimate collateral drops — and
+// examples/prevention shows the loop stopping a live injection
+// mid-stream.
 //
 // # Performance
 //

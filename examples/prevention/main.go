@@ -1,11 +1,15 @@
 // Prevention: the full defensive loop the paper's introduction promises
 // — detect the injection, infer the malicious identifier, and block it
 // at the gateway so "the malicious messages containing those IDs would
-// be discarded or blocked".
+// be discarded or blocked" — running on the sharded streaming engine.
 //
-// Pipeline per frame: gateway classifies → forwarded frames feed the
-// bit-entropy detector → alerts trigger inference → top suspect goes on
-// the gateway blocklist with a quarantine.
+// The engine wires the loop concurrently but deterministically: the
+// gateway classifies every record on the dispatch path, forwarded
+// frames shard across parallel bit-counting workers, the merged alert
+// stream feeds the responder, and each block propagates back to the
+// gateway before the next detection window's records are classified, so
+// the rest of the attack is dropped mid-stream — at any shard count,
+// with the exact same result.
 //
 // Run with:
 //
@@ -13,17 +17,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"canids/internal/attack"
-	"canids/internal/bus"
-	"canids/internal/can"
-	"canids/internal/core"
+	"canids/internal/detect"
+	"canids/internal/engine"
+	"canids/internal/engine/scenario"
 	"canids/internal/gateway"
 	"canids/internal/response"
-	"canids/internal/sim"
 	"canids/internal/trace"
 	"canids/internal/vehicle"
 )
@@ -35,77 +38,71 @@ func main() {
 }
 
 func run() error {
-	profile := vehicle.NewFusionProfile(1)
-
-	// Train the detector on clean multi-scenario traffic.
-	detector := core.MustNew(core.Config{
-		Alpha: 4, Window: time.Second, Width: 11, MinFrames: 50, MinThreshold: 1e-4,
-	})
-	var windows []trace.Trace
-	for si, scen := range vehicle.Scenarios {
-		tr, err := capture(profile, scen, int64(70+si), 10*time.Second, nil)
-		if err != nil {
-			return err
-		}
-		windows = append(windows, tr.Windows(time.Second, false)...)
-	}
-	if err := detector.Train(windows); err != nil {
-		return err
+	// The catalogue's single-ID injection: a legal identifier spoofed at
+	// 100 Hz from t=2s, against the Fusion-like profile.
+	const name = "fusion/idle/SI-100"
+	specs := scenario.Matrix(1)
+	spec, ok := scenario.Find(specs, name)
+	if !ok {
+		return fmt.Errorf("scenario %s missing", name)
 	}
 
-	// Record an attack: a spoofed powertrain message at 100 Hz.
-	injected := profile.IDSet()[25]
-	attacked, err := capture(profile, vehicle.Idle, 80, 15*time.Second, &attack.Config{
-		Scenario:  attack.Single,
-		IDs:       []can.ID{injected},
-		Frequency: 100,
-		Start:     4 * time.Second,
-		Seed:      81,
-	})
+	// Train the golden template on the matrix's clean driving traffic.
+	cfg := engine.DefaultConfig()
+	cfg.Shards = 4
+	cfg.Core.Alpha = 4
+	tmpl, err := scenario.Train(specs, spec.Profile, cfg.Core)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("attack: spoofing ID %s from t=4s (%d injected frames on the wire)\n\n",
-		injected, attacked.CountInjected())
 
-	// Defensive stack: gateway (whitelist) + detector + responder.
-	gw, err := gateway.New(gateway.DefaultConfig(profile.IDSet()))
+	// Defensive stack: gateway pre-filter + responder closing the loop.
+	pool := vehicle.NewFusionProfile(spec.ProfileSeed).IDSet()
+	gw, err := gateway.New(gateway.DefaultConfig(nil)) // blocklist-driven; no whitelist
 	if err != nil {
 		return err
 	}
-	respCfg := response.DefaultConfig(profile.IDSet())
+	respCfg := response.DefaultConfig(pool)
 	respCfg.Quarantine = 60 * time.Second
 	responder, err := response.New(gw, respCfg)
 	if err != nil {
 		return err
 	}
+	cfg.Gateway = gw
+	cfg.Responder = responder
 
-	leaked, stopped := 0, 0
-	for _, r := range attacked {
-		if gw.Classify(r) != gateway.Forward {
-			if r.Injected {
-				stopped++
-			}
-			continue
-		}
-		if r.Injected {
-			leaked++
-		}
-		for _, alert := range detector.Observe(r) {
-			act, err := responder.HandleAlert(alert)
-			if err != nil {
-				return err
-			}
-			if act != nil {
-				fmt.Printf("[t=%v] ALERT %s\n", r.Time.Round(time.Millisecond), alert)
-				fmt.Printf("         blocked %v until %v\n", act.Blocked, act.Until)
-			}
-		}
+	eng, err := engine.NewTrained(cfg, tmpl)
+	if err != nil {
+		return err
 	}
-	detector.Flush()
 
-	fmt.Printf("\noutcome: %d injected frames passed before the block, %d stopped at the gateway\n",
-		leaked, stopped)
+	// Stream the attack live: simulation goroutine → bounded channel →
+	// engine. Injected frames that make it past the gateway are leaks.
+	ctx := context.Background()
+	ch := make(chan trace.Record, engine.DefaultBuffer)
+	streamErr := make(chan error, 1)
+	go func() { streamErr <- spec.Stream(ctx, ch) }()
+
+	fmt.Printf("streaming %s through a %d-shard engine with prevention\n\n", name, cfg.Shards)
+	injected := 0
+	src := countInjected{src: engine.NewChanSource(ctx, ch), injected: &injected}
+	st, err := eng.Run(ctx, src, func(a detect.Alert) {
+		fmt.Printf("ALERT %s\n", a)
+	})
+	if err != nil {
+		return err
+	}
+	if err := <-streamErr; err != nil {
+		return err
+	}
+
+	for _, act := range responder.Actions() {
+		fmt.Printf("  -> blocked %v until %v\n", act.Blocked, act.Until)
+	}
+	stopped := st.DroppedInjected
+	leaked := uint64(injected) - stopped
+	fmt.Printf("\noutcome: %d frames, %d windows; %d/%d injected frames stopped at the gateway, %d leaked through\n",
+		st.Frames, st.Windows, stopped, injected, leaked)
 	fmt.Printf("gateway stats: %+v\n", gw.Stats())
 	if stopped == 0 {
 		return fmt.Errorf("prevention failed: nothing was stopped")
@@ -113,24 +110,17 @@ func run() error {
 	return nil
 }
 
-func capture(profile vehicle.Profile, scen vehicle.Scenario, seed int64,
-	d time.Duration, atk *attack.Config) (trace.Trace, error) {
+// countInjected tallies the attack frames on the wire (ground truth),
+// before the gateway rules on them.
+type countInjected struct {
+	src      engine.Source
+	injected *int
+}
 
-	sched := sim.NewScheduler()
-	b, err := bus.New(sched, bus.Config{BitRate: bus.DefaultMSCANBitRate, Channel: "ms-can"})
-	if err != nil {
-		return nil, err
+func (c countInjected) Next() (trace.Record, error) {
+	rec, err := c.src.Next()
+	if err == nil && rec.Injected {
+		*c.injected++
 	}
-	var log trace.Trace
-	b.Tap(func(r trace.Record) { log = append(log, r) })
-	profile.Attach(sched, b, vehicle.Options{Scenario: scen, Seed: seed})
-	if atk != nil {
-		if _, err := attack.Launch(sched, b, nil, *atk); err != nil {
-			return nil, err
-		}
-	}
-	if err := sched.RunUntil(d); err != nil {
-		return nil, err
-	}
-	return log, nil
+	return rec, err
 }

@@ -2,27 +2,33 @@
 // record streams from any Source (trace files, the live simulated bus,
 // generators), shards the per-frame counting work across parallel worker
 // pipelines, and merges every detector's verdicts into one deterministic,
-// timestamp-ordered alert stream.
+// timestamp-ordered alert stream. With a gateway and responder installed
+// it is also the prevention subsystem: frames are filtered before
+// detection, alerts turn into blocks, and blocks drop the rest of the
+// attack mid-stream.
 //
 // # Architecture
 //
-//	            ┌─ shard 0 ─ BitCounter ─┐
-//	source ─ dispatcher ─ shard 1 ─ ...  ├─ window merger ─┐
-//	            └─ shard N ─ BitCounter ─┘                  ├─ ordered merge ─ sink
-//	            ├─ baseline worker (Müter) ─────────────────┤
-//	            └─ baseline worker (Song) ──────────────────┘
+//	                      ┌─ shard 0 ─ BitCounter ─┐
+//	source ─ [gateway] ─ dispatcher ─ shard 1 ─ ... ├─ window merger ─┐
+//	             ▲        └─ shard N ─ BitCounter ─┘                  ├─ ordered merge ─ sink
+//	             │        ├─ baseline worker (Müter) ─────────────────┤          │
+//	             │        └─ baseline worker (Song) ──────────────────┘          ▼
+//	             └───────────────── blocks ◀─────────────────────────────── responder
 //
 // The dispatcher reads the source sequentially, tracks the detection
 // window exactly like the sequential core.Detector, routes each record to
 // the shard owning its CAN ID (id mod shards), and broadcasts a flush
-// token to every shard when a window closes. Shards keep one
-// entropy.BitCounter per open window; on flush they hand their partial
-// counts to the window merger, which sums them — integer counts merge
-// losslessly — measures the combined window once, and scores it through
-// core.Detector.ScoreWindow, the same code path the sequential detector
-// uses. The engine's bit-entropy alert stream is therefore bit-identical
-// to a sequential core.Detector fed the same records, for any shard
-// count (pinned by TestEngineMatchesSequential).
+// token to every shard when a window closes. Records travel in batches
+// (Config.Batch) to amortize channel operations; a window flush forces
+// the pending batches out first, so batching never reorders work. Shards
+// keep one entropy.BitCounter per open window; on flush they hand their
+// partial counts to the window merger, which sums them — integer counts
+// merge losslessly — measures the combined window once, and scores it
+// through core.Detector.ScoreWindow, the same code path the sequential
+// detector uses. The engine's bit-entropy alert stream is therefore
+// bit-identical to a sequential core.Detector fed the same records, for
+// any shard count (pinned by TestEngineMatchesSequential).
 //
 // Optional baseline detectors (Müter, Song) run as dedicated pipeline
 // workers fed the full stream: their window state is not decomposable by
@@ -32,6 +38,28 @@
 // All stages connect through bounded channels (Config.Buffer), so a slow
 // sink exerts backpressure instead of growing queues without limit, and
 // every stage honors context cancellation for clean shutdown.
+//
+// # Prevention
+//
+// Config.Gateway installs a pre-filter on the dispatch path: every
+// record is classified in stream order, and only forwarded records reach
+// the detectors (dropped ones are counted in Stats and reported through
+// Config.OnDrop). Config.Responder closes the loop: the merge stage
+// hands every bit-entropy alert to the responder, whose inference puts
+// the top suspects on the gateway blocklist, so subsequent attack frames
+// are dropped before they can pollute further windows.
+//
+// Blocking is deterministic. An alert for window W can only exist once W
+// has closed, so the dispatcher — which may run arbitrarily far ahead of
+// the scoring stages — synchronizes at each window boundary: after
+// broadcasting W's flush tokens it waits until the merge stage confirms
+// W's alerts have been handled (and their blocks applied) before
+// classifying the first record of the next window. The blocked-frame set
+// therefore depends only on the record stream, never on goroutine
+// timing or shard count: it equals a sequential loop that classifies
+// each record, feeds forwarded ones to a core.Detector, and hands every
+// alert to the responder before touching the next record (pinned by
+// TestEnginePreventionMatchesSequential).
 //
 // # Deterministic alert ordering
 //
@@ -57,11 +85,17 @@ import (
 	"canids/internal/core"
 	"canids/internal/detect"
 	"canids/internal/entropy"
+	"canids/internal/gateway"
+	"canids/internal/response"
 	"canids/internal/trace"
 )
 
 // DefaultBuffer is the default capacity of every inter-stage channel.
 const DefaultBuffer = 128
+
+// DefaultBatch is the default number of records per channel send on the
+// dispatch fan-out.
+const DefaultBatch = 64
 
 // Config parameterizes an Engine.
 type Config struct {
@@ -72,6 +106,11 @@ type Config struct {
 	// what turns a slow consumer into backpressure. Zero means
 	// DefaultBuffer.
 	Buffer int
+	// Batch is how many records the dispatcher accumulates per channel
+	// send; batching amortizes channel operations without affecting
+	// results (window flushes force pending batches out first). Zero
+	// means DefaultBatch; 1 sends every record individually.
+	Batch int
 	// Core configures the bit-entropy detector.
 	Core core.Config
 	// Baselines are optional additional detectors run over the full
@@ -80,20 +119,45 @@ type Config struct {
 	// WindowEnd order (Müter and Song both do), and are Reset at the
 	// start of every Run.
 	Baselines []detect.Detector
+	// Gateway, when set, is the prevention pre-filter: the dispatcher
+	// classifies every record in stream order and only Forward verdicts
+	// reach the detectors. Run resets the gateway's streaming rate state
+	// and counters; the blocklist persists across runs (a quarantine
+	// outlives the stream that triggered it).
+	Gateway *gateway.Gateway
+	// Responder, when set, closes the detect→infer→block loop: the
+	// merge stage hands it every bit-entropy alert, in window order, and
+	// the dispatcher synchronizes at window boundaries so the resulting
+	// blocks land at a deterministic point in the record stream.
+	// Requires Gateway, and the responder must be bound to that same
+	// gateway (response.Responder.Gateway).
+	Responder *response.Responder
+	// OnDrop, when set, is called synchronously from the dispatch
+	// goroutine, in stream order, for every record the gateway drops —
+	// the hook the watch mode uses to score prevention against ground
+	// truth. It must not call back into the engine.
+	OnDrop func(rec trace.Record, v gateway.Verdict)
 }
 
 // DefaultConfig returns a single-shard engine at the paper's detector
 // operating point.
 func DefaultConfig() Config {
-	return Config{Shards: 1, Buffer: DefaultBuffer, Core: core.DefaultConfig()}
+	return Config{Shards: 1, Buffer: DefaultBuffer, Batch: DefaultBatch, Core: core.DefaultConfig()}
 }
 
 // Stats is a snapshot of a run's progress. Counters are updated with
 // atomics, so Stats may be read live from another goroutine while the
 // engine runs (the watch mode's metrics ticker does).
 type Stats struct {
-	// Frames is the number of records consumed from the source.
+	// Frames is the number of records consumed from the source,
+	// including any the prevention pre-filter dropped.
 	Frames uint64
+	// Dropped is the number of records the gateway refused to forward;
+	// they never reach the detectors.
+	Dropped uint64
+	// DroppedInjected is the subset of Dropped carrying attack ground
+	// truth — the frames prevention actually stopped.
+	DroppedInjected uint64
 	// Windows is the number of detection windows the merger closed.
 	Windows uint64
 	// Alerts is the number of alerts emitted to the sink.
@@ -104,6 +168,10 @@ type Stats struct {
 	LastTime time.Duration
 }
 
+// Forwarded returns the number of records that passed the pre-filter
+// (all of them when no gateway is installed).
+func (s Stats) Forwarded() uint64 { return s.Frames - s.Dropped }
+
 // Engine is a sharded streaming detection pipeline. Create with New,
 // install a trained template (or Train), then Run it over a Source. An
 // engine may be reused for sequential runs but not concurrent ones.
@@ -111,11 +179,18 @@ type Engine struct {
 	cfg Config
 	det *core.Detector
 
-	frames   atomic.Uint64
-	windows  atomic.Uint64
-	alerts   atomic.Uint64
-	perShard []atomic.Uint64
-	lastTime atomic.Int64
+	frames          atomic.Uint64
+	dropped         atomic.Uint64
+	droppedInjected atomic.Uint64
+	windows         atomic.Uint64
+	alerts          atomic.Uint64
+	perShard        []atomic.Uint64
+	lastTime        atomic.Int64
+
+	// asyncErr is the first error raised off the dispatch path (the
+	// responder failing on an alert). Written only by the merge
+	// goroutine, read by Run after the pipeline is joined.
+	asyncErr error
 }
 
 // New creates an engine. The detector starts untrained (windows are
@@ -127,6 +202,17 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Buffer <= 0 {
 		cfg.Buffer = DefaultBuffer
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = DefaultBatch
+	}
+	if cfg.Responder != nil {
+		if cfg.Gateway == nil {
+			return nil, fmt.Errorf("engine: a Responder needs a Gateway to block on")
+		}
+		if cfg.Responder.Gateway() != cfg.Gateway {
+			return nil, fmt.Errorf("engine: Responder is bound to a different gateway; the loop would not close")
+		}
 	}
 	det, err := core.New(cfg.Core)
 	if err != nil {
@@ -167,11 +253,13 @@ func (e *Engine) Config() Config { return e.cfg }
 // Stats returns a live snapshot of the current (or last) run.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		Frames:   e.frames.Load(),
-		Windows:  e.windows.Load(),
-		Alerts:   e.alerts.Load(),
-		PerShard: make([]uint64, len(e.perShard)),
-		LastTime: time.Duration(e.lastTime.Load()),
+		Frames:          e.frames.Load(),
+		Dropped:         e.dropped.Load(),
+		DroppedInjected: e.droppedInjected.Load(),
+		Windows:         e.windows.Load(),
+		Alerts:          e.alerts.Load(),
+		PerShard:        make([]uint64, len(e.perShard)),
+		LastTime:        time.Duration(e.lastTime.Load()),
 	}
 	for i := range e.perShard {
 		st.PerShard[i] = e.perShard[i].Load()
@@ -179,10 +267,10 @@ func (e *Engine) Stats() Stats {
 	return st
 }
 
-// shardMsg is one dispatcher→shard message: a record, or a window-flush
-// token carrying the closing window's start time.
+// shardMsg is one dispatcher→shard message: a batch of records, or a
+// window-flush token carrying the closing window's start time.
 type shardMsg struct {
-	rec   trace.Record
+	recs  []trace.Record
 	start time.Duration
 	flush bool
 }
@@ -201,6 +289,35 @@ type streamMsg struct {
 	wm     time.Duration
 }
 
+// recPool recycles batch slices between the dispatcher and the workers
+// so the steady-state fan-out allocates nothing. Misses (an empty or
+// full free list) fall back to the allocator; the pool is bounded, so a
+// stalled worker can never pin unbounded memory.
+type recPool struct {
+	free chan []trace.Record
+	size int
+}
+
+func newRecPool(slots, size int) *recPool {
+	return &recPool{free: make(chan []trace.Record, slots), size: size}
+}
+
+func (p *recPool) get() []trace.Record {
+	select {
+	case b := <-p.free:
+		return b[:0]
+	default:
+		return make([]trace.Record, 0, p.size)
+	}
+}
+
+func (p *recPool) put(b []trace.Record) {
+	select {
+	case p.free <- b:
+	default:
+	}
+}
+
 // Run consumes the source until EOF, a source error, or context
 // cancellation, calling sink for every alert in deterministic
 // (WindowEnd, stream) order from the ordered-merge goroutine. On EOF the
@@ -212,15 +329,21 @@ func (e *Engine) Run(ctx context.Context, src Source, sink func(detect.Alert)) (
 	nStreams := 1 + len(e.cfg.Baselines)
 
 	e.frames.Store(0)
+	e.dropped.Store(0)
+	e.droppedInjected.Store(0)
 	e.windows.Store(0)
 	e.alerts.Store(0)
 	for i := range e.perShard {
 		e.perShard[i].Store(0)
 	}
 	e.lastTime.Store(0)
+	e.asyncErr = nil
 	e.det.Reset()
 	for _, b := range e.cfg.Baselines {
 		b.Reset()
+	}
+	if e.cfg.Gateway != nil {
+		e.cfg.Gateway.Reset()
 	}
 
 	shardIn := make([]chan shardMsg, K)
@@ -229,18 +352,28 @@ func (e *Engine) Run(ctx context.Context, src Source, sink func(detect.Alert)) (
 		shardIn[i] = make(chan shardMsg, e.cfg.Buffer)
 		shardOut[i] = make(chan partial, e.cfg.Buffer)
 	}
-	baseIn := make([]chan trace.Record, len(e.cfg.Baselines))
+	baseIn := make([]chan []trace.Record, len(e.cfg.Baselines))
 	for j := range baseIn {
-		baseIn[j] = make(chan trace.Record, e.cfg.Buffer)
+		baseIn[j] = make(chan []trace.Record, e.cfg.Buffer)
 	}
 	mergeIn := make(chan streamMsg, e.cfg.Buffer)
+	// syncCh carries the merge stage's per-window acknowledgements back
+	// to the dispatcher when prevention is active. At most one ack is
+	// ever in flight (the dispatcher consumes one before broadcasting
+	// the next flush), except the final EOF flush, whose ack parks in
+	// the buffer — hence capacity 1 keeps the merge from blocking.
+	var syncCh chan struct{}
+	if e.cfg.Responder != nil {
+		syncCh = make(chan struct{}, 1)
+	}
+	pool := newRecPool(4*(K+len(baseIn))+8, e.cfg.Batch)
 
 	var wg sync.WaitGroup
 	for i := 0; i < K; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			e.shardWorker(ctx, i, shardIn[i], shardOut[i])
+			e.shardWorker(ctx, i, shardIn[i], shardOut[i], pool)
 		}(i)
 	}
 	wg.Add(1)
@@ -252,16 +385,16 @@ func (e *Engine) Run(ctx context.Context, src Source, sink func(detect.Alert)) (
 		wg.Add(1)
 		go func(j int, b detect.Detector) {
 			defer wg.Done()
-			e.baselineWorker(ctx, 1+j, b, baseIn[j], mergeIn)
+			e.baselineWorker(ctx, 1+j, b, baseIn[j], mergeIn, pool)
 		}(j, b)
 	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		e.orderedMerge(ctx, nStreams, mergeIn, sink)
+		e.orderedMerge(ctx, nStreams, mergeIn, syncCh, sink)
 	}()
 
-	err := e.dispatch(ctx, src, shardIn, baseIn)
+	err := e.dispatch(ctx, src, shardIn, baseIn, syncCh, pool)
 	for i := range shardIn {
 		close(shardIn[i])
 	}
@@ -269,6 +402,9 @@ func (e *Engine) Run(ctx context.Context, src Source, sink func(detect.Alert)) (
 		close(baseIn[j])
 	}
 	wg.Wait()
+	if err == nil {
+		err = e.asyncErr
+	}
 	if err == nil {
 		err = ctx.Err()
 	}
@@ -292,16 +428,47 @@ func send[T any](ctx context.Context, ch chan<- T, m T) bool {
 	}
 }
 
-// dispatch reads the source sequentially, maintains the detection window
-// exactly like core.Detector.Observe (same origin, same step, same
-// skip-ahead over empty slots), and fans records out: the owning shard
-// gets the record, every baseline worker gets a copy, and every shard
-// gets a flush token per closed window.
-func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardMsg, baseIn []chan trace.Record) error {
+// dispatch reads the source sequentially, classifies each record through
+// the gateway (when prevention is on), maintains the detection window
+// over the forwarded stream exactly like core.Detector.Observe (same
+// origin, same step, same skip-ahead over empty slots), and fans records
+// out in batches: the owning shard gets the record, every baseline
+// worker gets a copy, and every shard gets a flush token per closed
+// window. With a responder installed, the dispatcher waits at each
+// window boundary until the merge stage has handled the closed window's
+// alerts, so blocks land before the next window's first record.
+func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardMsg,
+	baseIn []chan []trace.Record, syncCh chan struct{}, pool *recPool) error {
+
 	W := e.cfg.Core.Window
+	batch := e.cfg.Batch
+	gw := e.cfg.Gateway
 	var winStart time.Duration
 	haveWindow := false
 	nShards := uint32(len(shardIn))
+
+	pendShard := make([][]trace.Record, len(shardIn))
+	pendBase := make([][]trace.Record, len(baseIn))
+	flushPending := func() bool {
+		for i, b := range pendShard {
+			if len(b) > 0 {
+				if !send(ctx, shardIn[i], shardMsg{recs: b}) {
+					return false
+				}
+				pendShard[i] = nil
+			}
+		}
+		for j, b := range pendBase {
+			if len(b) > 0 {
+				if !send(ctx, baseIn[j], b) {
+					return false
+				}
+				pendBase[j] = nil
+			}
+		}
+		return true
+	}
+
 	for {
 		rec, err := src.Next()
 		if err == io.EOF {
@@ -309,6 +476,23 @@ func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardM
 		}
 		if err != nil {
 			return fmt.Errorf("engine: source: %w", err)
+		}
+		e.frames.Add(1)
+		e.lastTime.Store(int64(rec.Time))
+		if gw != nil {
+			// The triggering record is classified with the blocklist as
+			// of its own window: a sequential loop, too, classifies a
+			// record before Observe can close the window behind it.
+			if v := gw.Classify(rec); v != gateway.Forward {
+				e.dropped.Add(1)
+				if rec.Injected {
+					e.droppedInjected.Add(1)
+				}
+				if e.cfg.OnDrop != nil {
+					e.cfg.OnDrop(rec, v)
+				}
+				continue
+			}
 		}
 		if !haveWindow {
 			winStart = rec.Time
@@ -318,27 +502,52 @@ func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardM
 		// through detect's shared window arithmetic; bit-identical
 		// output depends on it.
 		for detect.WindowExpired(winStart, rec.Time, W) {
+			if !flushPending() {
+				return ctx.Err()
+			}
 			for i := range shardIn {
 				if !send(ctx, shardIn[i], shardMsg{start: winStart, flush: true}) {
 					return ctx.Err()
 				}
 			}
 			winStart = detect.NextWindowStart(winStart, rec.Time, W)
-		}
-		s := uint32(rec.Frame.ID) % nShards
-		if !send(ctx, shardIn[s], shardMsg{rec: rec}) {
-			return ctx.Err()
-		}
-		for j := range baseIn {
-			if !send(ctx, baseIn[j], rec) {
-				return ctx.Err()
+			if syncCh != nil {
+				select {
+				case <-syncCh:
+				case <-ctx.Done():
+					return ctx.Err()
+				}
 			}
 		}
-		e.frames.Add(1)
-		e.lastTime.Store(int64(rec.Time))
+		s := uint32(rec.Frame.ID) % nShards
+		if pendShard[s] == nil {
+			pendShard[s] = pool.get()
+		}
+		pendShard[s] = append(pendShard[s], rec)
+		if len(pendShard[s]) >= batch {
+			if !send(ctx, shardIn[s], shardMsg{recs: pendShard[s]}) {
+				return ctx.Err()
+			}
+			pendShard[s] = nil
+		}
+		for j := range baseIn {
+			if pendBase[j] == nil {
+				pendBase[j] = pool.get()
+			}
+			pendBase[j] = append(pendBase[j], rec)
+			if len(pendBase[j]) >= batch {
+				if !send(ctx, baseIn[j], pendBase[j]) {
+					return ctx.Err()
+				}
+				pendBase[j] = nil
+			}
+		}
 	}
 	if haveWindow {
 		// Flush the final partial window, like detect.Detector.Flush.
+		if !flushPending() {
+			return ctx.Err()
+		}
 		for i := range shardIn {
 			if !send(ctx, shardIn[i], shardMsg{start: winStart, flush: true}) {
 				return ctx.Err()
@@ -349,10 +558,11 @@ func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardM
 }
 
 // shardWorker counts identifier bits for the records routed to one
-// shard. The per-frame path — receive, BitCounter.Add, atomic tick — is
-// allocation-free; a fresh counter is allocated only when a window
-// closes and its predecessor is handed to the merger.
-func (e *Engine) shardWorker(ctx context.Context, i int, in <-chan shardMsg, out chan<- partial) {
+// shard. The per-frame path — batched receive, BitCounter.Add, one
+// atomic tick per batch — is allocation-free; a fresh counter is
+// allocated only when a window closes and its predecessor is handed to
+// the merger.
+func (e *Engine) shardWorker(ctx context.Context, i int, in <-chan shardMsg, out chan<- partial, pool *recPool) {
 	defer close(out)
 	width := e.cfg.Core.Width
 	counter := entropy.MustBitCounter(width)
@@ -369,8 +579,11 @@ func (e *Engine) shardWorker(ctx context.Context, i int, in <-chan shardMsg, out
 				counter = entropy.MustBitCounter(width)
 				continue
 			}
-			counter.Add(m.rec.Frame.ID)
-			e.perShard[i].Add(1)
+			for _, r := range m.recs {
+				counter.Add(r.Frame.ID)
+			}
+			e.perShard[i].Add(uint64(len(m.recs)))
+			pool.put(m.recs)
 		case <-ctx.Done():
 			return
 		}
@@ -429,13 +642,15 @@ func (e *Engine) windowMerger(ctx context.Context, shardOut []chan partial, merg
 // detector can never again alert on a window ending at or before
 // rec.Time, so rec.Time is a valid low-water mark; one is forwarded per
 // engine window to keep merge latency bounded without flooding.
-func (e *Engine) baselineWorker(ctx context.Context, stream int, det detect.Detector, in <-chan trace.Record, mergeIn chan<- streamMsg) {
+func (e *Engine) baselineWorker(ctx context.Context, stream int, det detect.Detector,
+	in <-chan []trace.Record, mergeIn chan<- streamMsg, pool *recPool) {
+
 	var lastWM time.Duration
 	haveWM := false
 	cadence := e.cfg.Core.Window
 	for {
 		select {
-		case rec, ok := <-in:
+		case recs, ok := <-in:
 			if !ok {
 				for _, a := range det.Flush() {
 					if !send(ctx, mergeIn, streamMsg{stream: stream, kind: 'a', alert: a}) {
@@ -445,18 +660,21 @@ func (e *Engine) baselineWorker(ctx context.Context, stream int, det detect.Dete
 				send(ctx, mergeIn, streamMsg{stream: stream, kind: 'c'})
 				return
 			}
-			for _, a := range det.Observe(rec) {
-				if !send(ctx, mergeIn, streamMsg{stream: stream, kind: 'a', alert: a}) {
-					return
+			for _, rec := range recs {
+				for _, a := range det.Observe(rec) {
+					if !send(ctx, mergeIn, streamMsg{stream: stream, kind: 'a', alert: a}) {
+						return
+					}
+				}
+				if !haveWM || rec.Time >= lastWM+cadence {
+					if !send(ctx, mergeIn, streamMsg{stream: stream, kind: 'w', wm: rec.Time}) {
+						return
+					}
+					lastWM = rec.Time
+					haveWM = true
 				}
 			}
-			if !haveWM || rec.Time >= lastWM+cadence {
-				if !send(ctx, mergeIn, streamMsg{stream: stream, kind: 'w', wm: rec.Time}) {
-					return
-				}
-				lastWM = rec.Time
-				haveWM = true
-			}
+			pool.put(recs)
 		case <-ctx.Done():
 			return
 		}
@@ -469,7 +687,16 @@ func (e *Engine) baselineWorker(ctx context.Context, stream int, det detect.Dete
 // stream either has a later alert queued or a watermark at or past the
 // candidate's window end. The resulting order depends only on alert
 // keys, never on goroutine timing.
-func (e *Engine) orderedMerge(ctx context.Context, nStreams int, mergeIn <-chan streamMsg, sink func(detect.Alert)) {
+//
+// The merge is also where the response loop closes: every bit-entropy
+// alert is handed to the responder the moment it arrives (stream 0
+// delivers alerts in window order), and each bit-entropy watermark —
+// which follows the window's alert in channel order — acknowledges the
+// dispatcher's window barrier, guaranteeing the blocks are on the
+// gateway before the next window's records are classified.
+func (e *Engine) orderedMerge(ctx context.Context, nStreams int, mergeIn <-chan streamMsg,
+	syncCh chan<- struct{}, sink func(detect.Alert)) {
+
 	queues := make([][]detect.Alert, nStreams)
 	wms := make([]time.Duration, nStreams)
 	closed := make([]bool, nStreams)
@@ -517,8 +744,18 @@ func (e *Engine) orderedMerge(ctx context.Context, nStreams int, mergeIn <-chan 
 		case m := <-mergeIn:
 			switch m.kind {
 			case 'a':
+				if m.stream == 0 && e.cfg.Responder != nil {
+					if _, err := e.cfg.Responder.HandleAlert(m.alert); err != nil && e.asyncErr == nil {
+						e.asyncErr = fmt.Errorf("engine: response: %w", err)
+					}
+				}
 				queues[m.stream] = append(queues[m.stream], m.alert)
 			case 'w':
+				if m.stream == 0 && syncCh != nil {
+					if !send(ctx, syncCh, struct{}{}) {
+						return
+					}
+				}
 				if m.wm > wms[m.stream] {
 					wms[m.stream] = m.wm
 				}

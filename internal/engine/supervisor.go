@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"canids/internal/detect"
+	"canids/internal/trace"
+)
+
+// SupervisorConfig parameterizes multi-bus serving.
+type SupervisorConfig struct {
+	// NewEngine builds the engine for one bus the moment its first
+	// record appears. Called from the demux goroutine, once per distinct
+	// channel name. Typically every engine shares one trained template
+	// and, when prevention is wanted, gets its own gateway + responder
+	// (per-bus policy state cannot be shared: each bus has its own rate
+	// windows and blocklist).
+	NewEngine func(channel string) (*Engine, error)
+	// Buffer is the per-bus feed capacity; zero means DefaultBuffer.
+	Buffer int
+}
+
+// Supervisor serves several buses at once: it demultiplexes one mixed
+// record stream by Record.Channel and runs an independent engine per
+// bus, all sharing the caller's sink. Per-bus alert streams keep the
+// engine's determinism guarantees (each bus sees its records in stream
+// order through its own pipeline); the interleaving *between* buses in
+// the shared sink follows goroutine timing, so order-sensitive
+// consumers should key on the channel argument.
+//
+// A Supervisor may be reused for sequential Runs but not concurrent
+// ones.
+type Supervisor struct {
+	cfg SupervisorConfig
+
+	mu      sync.Mutex
+	engines map[string]*Engine
+}
+
+// NewSupervisor creates a supervisor.
+func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
+	if cfg.NewEngine == nil {
+		return nil, fmt.Errorf("engine: supervisor needs a NewEngine factory")
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = DefaultBuffer
+	}
+	return &Supervisor{cfg: cfg, engines: make(map[string]*Engine)}, nil
+}
+
+// Channels returns the bus names seen so far, ascending. Safe to call
+// while Run is in flight.
+func (s *Supervisor) Channels() []string {
+	s.mu.Lock()
+	out := make([]string, 0, len(s.engines))
+	for ch := range s.engines {
+		out = append(out, ch)
+	}
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Engine returns the engine serving one bus, or nil before its first
+// record.
+func (s *Supervisor) Engine(channel string) *Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engines[channel]
+}
+
+// Stats returns the per-bus statistics, keyed by channel name. Safe to
+// call live: each engine's counters are atomic snapshots.
+func (s *Supervisor) Stats() map[string]Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]Stats, len(s.engines))
+	for ch, e := range s.engines {
+		out[ch] = e.Stats()
+	}
+	return out
+}
+
+// TotalStats aggregates the per-bus statistics into one fleet-wide
+// snapshot. PerShard is omitted (shard layouts differ per engine);
+// LastTime is the newest timestamp across buses.
+func (s *Supervisor) TotalStats() Stats {
+	var total Stats
+	for _, st := range s.Stats() {
+		total.Frames += st.Frames
+		total.Dropped += st.Dropped
+		total.DroppedInjected += st.DroppedInjected
+		total.Windows += st.Windows
+		total.Alerts += st.Alerts
+		if st.LastTime > total.LastTime {
+			total.LastTime = st.LastTime
+		}
+	}
+	return total
+}
+
+// busRun is the in-flight state of one bus pipeline.
+type busRun struct {
+	feed chan trace.Record
+	err  error
+	done chan struct{}
+}
+
+// Run consumes the mixed source until EOF, a source error, or context
+// cancellation, demultiplexing records by channel into one engine per
+// bus. The sink receives every alert tagged with its bus; calls are
+// serialized across buses, so the sink needs no locking of its own. Run
+// returns the final per-bus statistics and the first error any stage
+// hit. Backpressure propagates: one stalled bus pipeline eventually
+// stalls the demux, bounding memory across the fleet.
+func (s *Supervisor) Run(ctx context.Context, src Source, sink func(channel string, a detect.Alert)) (map[string]Stats, error) {
+	runs := make(map[string]*busRun)
+	var sinkMu sync.Mutex
+
+	spawn := func(channel string) (*busRun, error) {
+		s.mu.Lock()
+		eng := s.engines[channel]
+		s.mu.Unlock()
+		if eng == nil {
+			var err error
+			eng, err = s.cfg.NewEngine(channel)
+			if err != nil {
+				return nil, fmt.Errorf("engine: supervisor: bus %q: %w", channel, err)
+			}
+			if eng == nil {
+				return nil, fmt.Errorf("engine: supervisor: NewEngine(%q) returned nil", channel)
+			}
+			s.mu.Lock()
+			s.engines[channel] = eng
+			s.mu.Unlock()
+		}
+		r := &busRun{
+			feed: make(chan trace.Record, s.cfg.Buffer),
+			done: make(chan struct{}),
+		}
+		go func() {
+			defer close(r.done)
+			_, err := eng.Run(ctx, NewChanSource(ctx, r.feed), func(a detect.Alert) {
+				sinkMu.Lock()
+				sink(channel, a)
+				sinkMu.Unlock()
+			})
+			r.err = err
+		}()
+		return r, nil
+	}
+
+	var srcErr error
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			srcErr = fmt.Errorf("engine: source: %w", err)
+			break
+		}
+		r, ok := runs[rec.Channel]
+		if !ok {
+			r, err = spawn(rec.Channel)
+			if err != nil {
+				srcErr = err
+				break
+			}
+			runs[rec.Channel] = r
+		}
+		if !send(ctx, r.feed, rec) {
+			srcErr = ctx.Err()
+			break
+		}
+	}
+	for _, r := range runs {
+		close(r.feed)
+	}
+	err := srcErr
+	// Deterministic join order so the reported error does not depend on
+	// map iteration.
+	names := make([]string, 0, len(runs))
+	for ch := range runs {
+		names = append(names, ch)
+	}
+	sort.Strings(names)
+	for _, ch := range names {
+		r := runs[ch]
+		<-r.done
+		if err == nil && r.err != nil {
+			err = fmt.Errorf("bus %q: %w", ch, r.err)
+		}
+	}
+	if err == nil {
+		err = ctx.Err()
+	}
+	return s.Stats(), err
+}

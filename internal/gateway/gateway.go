@@ -16,14 +16,22 @@
 // it returns a verdict per frame which a bus bridge (or the evaluation
 // harness) acts on. This matches real automotive gateways, which sit
 // between bus segments and forward selectively.
+//
+// A Gateway is safe for concurrent use: the streaming engine classifies
+// records on its dispatch goroutine while the response stage blocks
+// identifiers from the alert-merge goroutine. Classify must still be
+// called from one goroutine at a time in timestamp order for rate
+// limiting to be meaningful.
 package gateway
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"canids/internal/can"
+	"canids/internal/detect"
 	"canids/internal/trace"
 )
 
@@ -86,12 +94,26 @@ type Stats struct {
 // Dropped returns the total dropped frames.
 func (s Stats) Dropped() int { return s.DropUnknown + s.DropRate + s.DropBlocked }
 
+// Sub returns the counter-wise difference s − o: the verdicts recorded
+// between two snapshots. The engine's live metrics diff successive
+// snapshots with it to report per-interval rates.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Forwarded:   s.Forwarded - o.Forwarded,
+		DropUnknown: s.DropUnknown - o.DropUnknown,
+		DropRate:    s.DropRate - o.DropRate,
+		DropBlocked: s.DropBlocked - o.DropBlocked,
+	}
+}
+
 // Gateway is the policy engine. Create with New, optionally LearnRates
 // from clean traffic, then classify frames in timestamp order with
 // Classify.
 type Gateway struct {
-	cfg     Config
-	legal   map[can.ID]bool
+	cfg   Config
+	legal map[can.ID]bool
+
+	mu      sync.Mutex
 	budget  map[can.ID]int // allowed frames per RateWindow
 	blocked map[can.ID]time.Duration
 
@@ -146,39 +168,76 @@ func (g *Gateway) LearnRates(windows []trace.Trace) error {
 	if usable == 0 {
 		return fmt.Errorf("gateway: no usable training windows")
 	}
-	g.budget = make(map[can.ID]int, len(peak))
+	budget := make(map[can.ID]int, len(peak))
 	for id, n := range peak {
 		b := int(float64(n)*g.cfg.RateSlack + 0.999)
 		if b < 1 {
 			b = 1
 		}
-		g.budget[id] = b
+		budget[id] = b
 	}
+	g.mu.Lock()
+	g.budget = budget
+	g.mu.Unlock()
 	return nil
 }
 
 // Block adds an identifier to the blocklist until the given time
-// (zero = forever). The entropy IDS's inference feeds this.
+// (zero = forever). The entropy IDS's inference feeds this. A block
+// never shortens an existing quarantine: when the identifier is already
+// blocked, the later deadline wins, and a forever block (until zero)
+// stays forever.
 func (g *Gateway) Block(id can.ID, until time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if prev, ok := g.blocked[id]; ok {
+		if prev == 0 || (until != 0 && until < prev) {
+			return
+		}
+	}
 	g.blocked[id] = until
 }
 
 // Unblock removes an identifier from the blocklist.
-func (g *Gateway) Unblock(id can.ID) { delete(g.blocked, id) }
+func (g *Gateway) Unblock(id can.ID) {
+	g.mu.Lock()
+	delete(g.blocked, id)
+	g.mu.Unlock()
+}
 
-// Blocked returns the currently blocked identifiers, ascending.
+// Blocked returns the blocklisted identifiers, ascending. Expiry is
+// processed lazily by Classify, so an identifier whose deadline lapsed
+// without another frame arriving is still listed; use Quarantines to
+// filter by deadline.
 func (g *Gateway) Blocked() []can.ID {
+	g.mu.Lock()
 	ids := make([]can.ID, 0, len(g.blocked))
 	for id := range g.blocked {
 		ids = append(ids, id)
 	}
+	g.mu.Unlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
+}
+
+// Quarantines returns a copy of the blocklist with each identifier's
+// deadline (zero = forever), including lazily-expired entries (see
+// Blocked).
+func (g *Gateway) Quarantines() map[can.ID]time.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[can.ID]time.Duration, len(g.blocked))
+	for id, until := range g.blocked {
+		out[id] = until
+	}
+	return out
 }
 
 // Classify returns the verdict for one frame. Records must arrive in
 // non-decreasing timestamp order for rate limiting to be meaningful.
 func (g *Gateway) Classify(rec trace.Record) Verdict {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	id := rec.Frame.ID
 	if until, ok := g.blocked[id]; ok {
 		if until == 0 || rec.Time < until {
@@ -196,8 +255,12 @@ func (g *Gateway) Classify(rec trace.Record) Verdict {
 			g.haveWindow = true
 			g.windowStart = rec.Time
 		}
-		for rec.Time >= g.windowStart+g.cfg.RateWindow {
-			g.windowStart += g.cfg.RateWindow
+		// Same overflow-safe boundary walk as every detector (see
+		// internal/detect): the arithmetic skip makes a huge timestamp
+		// gap O(1) instead of one iteration per elapsed window, and the
+		// expiry check cannot wrap at the top of the int64 range.
+		if detect.WindowExpired(g.windowStart, rec.Time, g.cfg.RateWindow) {
+			g.windowStart = detect.NextWindowStart(g.windowStart, rec.Time, g.cfg.RateWindow)
 			clear(g.seen)
 		}
 		g.seen[id]++
@@ -211,22 +274,30 @@ func (g *Gateway) Classify(rec trace.Record) Verdict {
 }
 
 // Filter classifies a whole trace and returns the forwarded records plus
-// per-verdict counts.
+// the per-verdict counts of this call alone (the delta over the
+// gateway's cumulative Stats).
 func (g *Gateway) Filter(tr trace.Trace) (trace.Trace, Stats) {
+	before := g.Stats()
 	var out trace.Trace
 	for _, r := range tr {
 		if g.Classify(r) == Forward {
 			out = append(out, r)
 		}
 	}
-	return out, g.stats
+	return out, g.Stats().Sub(before)
 }
 
-// Stats returns a copy of the counters.
-func (g *Gateway) Stats() Stats { return g.stats }
+// Stats returns a copy of the cumulative counters.
+func (g *Gateway) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
 
 // Reset clears streaming state (not the learned budgets or blocklist).
 func (g *Gateway) Reset() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.haveWindow = false
 	g.windowStart = 0
 	clear(g.seen)

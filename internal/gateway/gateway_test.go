@@ -1,6 +1,8 @@
 package gateway
 
 import (
+	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -181,6 +183,179 @@ func TestFilter(t *testing.T) {
 	out, st := g.Filter(tr)
 	if len(out) != 2 || st.DropUnknown != 1 {
 		t.Errorf("Filter: %d forwarded, stats %+v", len(out), st)
+	}
+}
+
+// TestRateWindowExtremeGap is the regression test for the hand-rolled
+// window walk the gateway used to share with pre-PR-2 core: a huge
+// timestamp jump (fuzzed logs, absolute epochs) must advance the rate
+// window arithmetically, not one iteration per elapsed window — the
+// naive loop spins for billions of iterations on this input — and the
+// expiry check must not wrap at the top of the int64 range.
+func TestRateWindowExtremeGap(t *testing.T) {
+	g, err := New(Config{RateWindow: time.Second, RateSlack: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.LearnRates(trainingWindows(3)); err != nil {
+		t.Fatal(err)
+	}
+	// Budget for 0x100 is 20/window: exhaust most of the first window...
+	for i := 0; i < 15; i++ {
+		if v := g.Classify(rec(time.Duration(i)*time.Millisecond, 0x100)); v != Forward {
+			t.Fatalf("frame %d verdict %v", i, v)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// ...then jump almost the whole timestamp range forward. The
+		// fresh window must reset the budget.
+		if v := g.Classify(rec(math.MaxInt64-time.Hour, 0x100)); v != Forward {
+			t.Errorf("post-gap verdict %v, want forward (fresh window)", v)
+		}
+		// At the very top of the range, start+window overflows int64;
+		// the guard keeps the last window open instead of wrapping.
+		for i := 0; i < 30; i++ {
+			g.Classify(rec(math.MaxInt64-time.Duration(30-i), 0x100))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("extreme-gap classification did not return (window walk spinning?)")
+	}
+	// A negative-to-positive jump wider than int64 can express in one
+	// difference: remainder arithmetic must still land a valid window.
+	g2, err := New(Config{RateWindow: time.Second, RateSlack: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.LearnRates(trainingWindows(3)); err != nil {
+		t.Fatal(err)
+	}
+	g2.Classify(rec(math.MinInt64+time.Hour, 0x100))
+	if v := g2.Classify(rec(math.MaxInt64-time.Hour, 0x100)); v != Forward {
+		t.Errorf("cross-range gap verdict %v, want forward", v)
+	}
+}
+
+// TestBlockNeverShortens pins the max-deadline rule: a later block for
+// the same identifier can only extend the quarantine.
+func TestBlockNeverShortens(t *testing.T) {
+	g, err := New(DefaultConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A forever block survives a later finite one.
+	g.Block(0x100, 0)
+	g.Block(0x100, 5*time.Second)
+	if v := g.Classify(rec(time.Hour, 0x100)); v != DropBlocked {
+		t.Errorf("forever block was shortened: verdict %v at t=1h", v)
+	}
+	// A longer deadline survives a later shorter one.
+	g.Block(0x200, 10*time.Second)
+	g.Block(0x200, 5*time.Second)
+	if v := g.Classify(rec(7*time.Second, 0x200)); v != DropBlocked {
+		t.Errorf("10s block was shortened to 5s: verdict %v at t=7s", v)
+	}
+	// A later longer deadline extends.
+	g.Block(0x300, 5*time.Second)
+	g.Block(0x300, 10*time.Second)
+	if v := g.Classify(rec(7*time.Second, 0x300)); v != DropBlocked {
+		t.Errorf("block was not extended: verdict %v at t=7s", v)
+	}
+	// A later forever block upgrades a finite one.
+	g.Block(0x400, 5*time.Second)
+	g.Block(0x400, 0)
+	if v := g.Classify(rec(time.Hour, 0x400)); v != DropBlocked {
+		t.Errorf("forever upgrade lost: verdict %v at t=1h", v)
+	}
+}
+
+// TestBlockExpiryBoundary pins the half-open quarantine interval: a
+// frame exactly at the deadline is forwarded, one tick before is not.
+func TestBlockExpiryBoundary(t *testing.T) {
+	g, err := New(DefaultConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Block(0x100, 5*time.Second)
+	if v := g.Classify(rec(5*time.Second-1, 0x100)); v != DropBlocked {
+		t.Errorf("verdict %v just before the deadline", v)
+	}
+	if v := g.Classify(rec(5*time.Second, 0x100)); v != Forward {
+		t.Errorf("verdict %v at the deadline, want forward", v)
+	}
+	if got := len(g.Blocked()); got != 0 {
+		t.Errorf("expired block still listed: %d entries", got)
+	}
+}
+
+// TestFilterReturnsDelta pins the documented contract: Filter's stats
+// are the verdicts of that call alone, not the gateway's running total.
+func TestFilterReturnsDelta(t *testing.T) {
+	g, err := New(DefaultConfig([]can.ID{0x100}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Trace{rec(0, 0x100), rec(1, 0x999)}
+	if _, st := g.Filter(tr); st.Forwarded != 1 || st.DropUnknown != 1 {
+		t.Fatalf("first Filter delta %+v", st)
+	}
+	out, st := g.Filter(trace.Trace{rec(2, 0x100)})
+	if len(out) != 1 || st.Forwarded != 1 || st.DropUnknown != 0 {
+		t.Errorf("second Filter delta %+v (cumulative leak?)", st)
+	}
+	if total := g.Stats(); total.Forwarded != 2 || total.DropUnknown != 1 {
+		t.Errorf("cumulative stats %+v", total)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{Forwarded: 10, DropUnknown: 4, DropRate: 3, DropBlocked: 2}
+	b := Stats{Forwarded: 7, DropUnknown: 1, DropRate: 3, DropBlocked: 0}
+	want := Stats{Forwarded: 3, DropUnknown: 3, DropRate: 0, DropBlocked: 2}
+	if got := a.Sub(b); got != want {
+		t.Errorf("Sub = %+v, want %+v", got, want)
+	}
+	if got := a.Sub(Stats{}); got != a {
+		t.Errorf("Sub(zero) = %+v, want %+v", got, a)
+	}
+}
+
+// TestConcurrentBlockClassify exercises the engine's access pattern —
+// one goroutine classifying in timestamp order while another blocks and
+// inspects — and relies on the -race CI leg to catch unsynchronized
+// state.
+func TestConcurrentBlockClassify(t *testing.T) {
+	g, err := New(Config{RateWindow: time.Second, RateSlack: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.LearnRates(trainingWindows(3)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			g.Classify(rec(time.Duration(i)*time.Millisecond, can.ID(0x100+i%4)))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			g.Block(can.ID(0x100+i%4), time.Duration(i)*time.Millisecond)
+			g.Blocked()
+			g.Stats()
+			g.Unblock(can.ID(0x100 + i%4))
+		}
+	}()
+	wg.Wait()
+	if st := g.Stats(); st.Forwarded+st.Dropped() != 2000 {
+		t.Errorf("lost verdicts: %+v", st)
 	}
 }
 

@@ -3,11 +3,17 @@
 // blocked". A Responder consumes the bit-entropy detector's alerts, runs
 // malicious-ID inference, and pushes the top candidates onto a gateway
 // blocklist for a configurable quarantine period.
+//
+// A Responder is safe for concurrent use: the streaming engine hands it
+// alerts from the merge goroutine while the caller reads Actions from
+// another.
 package response
 
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sync"
 	"time"
 
 	"canids/internal/can"
@@ -68,6 +74,8 @@ type Action struct {
 type Responder struct {
 	cfg     Config
 	gateway *gateway.Gateway
+
+	mu      sync.Mutex
 	actions []Action
 }
 
@@ -107,19 +115,41 @@ func (r *Responder) HandleAlert(a detect.Alert) (*Action, error) {
 	}
 	until := time.Duration(0)
 	if r.cfg.Quarantine > 0 {
-		until = a.WindowEnd + r.cfg.Quarantine
+		// Saturate like detect.WindowEnd: at the top of the timestamp
+		// range the sum would wrap negative and the block would be born
+		// expired.
+		if a.WindowEnd > math.MaxInt64-r.cfg.Quarantine {
+			until = math.MaxInt64
+		} else {
+			until = a.WindowEnd + r.cfg.Quarantine
+		}
 	}
 	act := Action{Alert: a, Until: until}
-	for _, id := range res.Candidates[:r.cfg.BlockTop] {
+	// Inference can return fewer candidates than BlockTop when the pool
+	// is small; block what it found.
+	top := res.Candidates
+	if len(top) > r.cfg.BlockTop {
+		top = top[:r.cfg.BlockTop]
+	}
+	for _, id := range top {
 		r.gateway.Block(id, until)
 		act.Blocked = append(act.Blocked, id)
 	}
+	r.mu.Lock()
 	r.actions = append(r.actions, act)
+	r.mu.Unlock()
 	return &act, nil
 }
 
+// Gateway returns the gateway this responder blocks on, so callers
+// wiring the loop (the streaming engine) can check it is the same
+// gateway that filters the stream.
+func (r *Responder) Gateway() *gateway.Gateway { return r.gateway }
+
 // Actions returns a copy of the response history.
 func (r *Responder) Actions() []Action {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]Action, len(r.actions))
 	copy(out, r.actions)
 	return out

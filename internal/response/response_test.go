@@ -2,6 +2,7 @@ package response
 
 import (
 	"errors"
+	"math"
 	"testing"
 	"time"
 
@@ -99,6 +100,51 @@ func TestHandleAlertBlocksTopSuspect(t *testing.T) {
 	}
 	if len(r.Actions()) != 1 {
 		t.Errorf("actions = %d", len(r.Actions()))
+	}
+}
+
+// TestHandleAlertSmallPool: BlockTop may exceed what inference can
+// return on a small pool; HandleAlert must block what it found instead
+// of panicking on the slice bound.
+func TestHandleAlertSmallPool(t *testing.T) {
+	gw := newGateway(t)
+	pool := []can.ID{0x0B5, 0x100}
+	cfg := DefaultConfig(pool)
+	cfg.BlockTop = 5 // <= Rank (10), > len(pool)
+	r, err := New(gw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act, err := r.HandleAlert(fabricatedAlert(0x0B5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act == nil || len(act.Blocked) == 0 || len(act.Blocked) > len(pool) {
+		t.Fatalf("action = %+v, want 1..%d blocks", act, len(pool))
+	}
+}
+
+// TestHandleAlertQuarantineSaturates: a window ending at the top of
+// the timestamp range must not wrap the quarantine deadline negative
+// (which would make the block born-expired).
+func TestHandleAlertQuarantineSaturates(t *testing.T) {
+	gw := newGateway(t)
+	r, err := New(gw, DefaultConfig([]can.ID{0x0B5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := fabricatedAlert(0x0B5, 5)
+	a.WindowEnd = math.MaxInt64
+	act, err := r.HandleAlert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act == nil || act.Until != math.MaxInt64 {
+		t.Fatalf("Until = %v, want saturated MaxInt64", act)
+	}
+	v := gw.Classify(trace.Record{Time: math.MaxInt64 - time.Second, Frame: can.Frame{ID: 0x0B5}})
+	if v != gateway.DropBlocked {
+		t.Errorf("verdict %v near the top of the range, want drop-blocked", v)
 	}
 }
 
