@@ -6,9 +6,11 @@
 package canids
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"sync"
 
 	"canids/internal/engine"
@@ -28,7 +30,9 @@ import (
 	"canids/internal/infer"
 	"canids/internal/metrics"
 	"canids/internal/response"
+	"canids/internal/server"
 	"canids/internal/sim"
+	"canids/internal/store"
 	"canids/internal/trace"
 	"canids/internal/vehicle"
 )
@@ -568,4 +572,49 @@ func BenchmarkRandSeeding(b *testing.B) {
 			_ = rand.New(rand.NewSource(int64(i)))
 		}
 	})
+}
+
+// BenchmarkServeIngest measures the serving daemon end to end: each
+// iteration starts a server from a trained snapshot, posts the recorded
+// attack scenario as one binary HTTP body through the handler, drains
+// (final windows flush, like the offline detector), and tears down —
+// the full ingest→detect→flush cycle a deployment pays per uploaded
+// capture. The "frames/s" metric is the headline number.
+func BenchmarkServeIngest(b *testing.B) {
+	tmpl, tr := engineBenchFixture(b)
+	cfg := core.DefaultConfig()
+	cfg.Alpha = 4
+	snap, err := store.New(cfg, tmpl, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var body bytes.Buffer
+	if err := trace.WriteBinary(&body, tr); err != nil {
+		b.Fatal(err)
+	}
+	payload := body.Bytes()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv, err := server.New(server.Config{Snapshot: snap, Shards: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.Start(ctx); err != nil {
+			b.Fatal(err)
+		}
+		req := httptest.NewRequest("POST", "/ingest/ms-can?format=binary", bytes.NewReader(payload))
+		w := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(w, req)
+		if w.Code != 200 {
+			b.Fatalf("ingest status %d: %s", w.Code, w.Body.String())
+		}
+		if err := srv.Drain(); err != nil {
+			b.Fatal(err)
+		}
+		if srv.AlertsTotal() == 0 {
+			b.Fatal("served run raised no alerts")
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(len(tr))/b.Elapsed().Seconds(), "frames/s")
 }

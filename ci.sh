@@ -26,6 +26,50 @@ go test ./...
 go test -race ./...
 go test -shuffle=on ./...
 
+# Serve smoke: train once (-save), run the real `canids -serve` daemon
+# on a random port, ingest a ground-truth capture over HTTP, drain via
+# the admin endpoint, and require the served alert count to equal the
+# offline -detect run on the same file and snapshot — the end-to-end
+# parity the serving subsystem guarantees (see internal/server).
+echo "== serve smoke"
+smoke=$(mktemp -d)
+serve_pid=""
+cleanup() {
+  if [[ -n "$serve_pid" ]]; then kill "$serve_pid" 2>/dev/null || true; fi
+  rm -rf "$smoke"
+}
+trap cleanup EXIT
+go build -o "$smoke/canids" ./cmd/canids
+go run ./cmd/cangen -duration 8s -seed 1 -scenario idle -format csv -o "$smoke/clean.csv"
+go run ./cmd/canattack -attack SI -ids 0B5 -freq 100 -duration 10s -seed 1 -o "$smoke/attacked.csv"
+"$smoke/canids" -train -alpha 4 -o "$smoke/template.json" -save "$smoke/model.snap" "$smoke/clean.csv" >/dev/null
+offline=$("$smoke/canids" -detect -load "$smoke/model.snap" "$smoke/attacked.csv" | grep -c 'ALERT \[bit-entropy\]' || true)
+"$smoke/canids" -serve -addr 127.0.0.1:0 -load "$smoke/model.snap" -shards 2 >"$smoke/serve.log" &
+serve_pid=$!
+base=""
+for _ in $(seq 1 100); do
+  base=$(grep -o 'http://[0-9.:]*' "$smoke/serve.log" | head -1 || true)
+  if [[ -n "$base" ]]; then break; fi
+  sleep 0.1
+done
+if [[ -z "$base" ]]; then echo "serve smoke: daemon never announced its address"; cat "$smoke/serve.log"; exit 1; fi
+# Failures below must reach the diagnostic branch (set -e would
+# otherwise abort on the first bad pipeline), so they are guarded.
+if ! curl -sfS --data-binary @"$smoke/attacked.csv" "$base/ingest/ms-can?format=csv" >/dev/null; then
+  echo "serve smoke FAILED: ingest request rejected"
+  cat "$smoke/serve.log"
+  exit 1
+fi
+served=$(curl -sS -X POST "$base/admin/shutdown" | grep -o '"alerts_total":[0-9]*' | grep -o '[0-9]*$' || true)
+wait "$serve_pid"
+serve_pid=""
+if [[ -z "$offline" || "$offline" -eq 0 || "$served" != "$offline" ]]; then
+  echo "serve smoke FAILED: served ${served:-?} alerts, offline run found ${offline:-?}"
+  cat "$smoke/serve.log"
+  exit 1
+fi
+echo "serve smoke: $served alerts served == offline run, clean shutdown"
+
 bench_raw=$(go test -run '^$' -bench . -benchtime=1x -benchmem .)
 echo "$bench_raw"
 

@@ -29,6 +29,23 @@
 //
 //	canids -watch -template template.json -multibus mixed.log
 //
+// Persist the trained model as a versioned, checksummed snapshot
+// (template + pool + gateway/response policy) and reuse it anywhere a
+// mode would otherwise retrain:
+//
+//	canids -train -save model.snap clean1.log clean2.log
+//	canids -watch -scenario fusion/idle/SI-100 -prevent -rate-slack 2 -save model.snap
+//	canids -watch -load model.snap attacked.csv
+//	canids -detect -load model.snap attacked.csv
+//
+// Run the long-lived serving daemon — HTTP ingest per bus, live stats
+// and alerts, snapshot hot reload at window boundaries, graceful drain:
+//
+//	canids -serve -addr 127.0.0.1:8080 -load model.snap -shards 4
+//	curl --data-binary @attacked.csv 'http://127.0.0.1:8080/ingest/ms-can?format=csv'
+//	curl -X POST --data-binary @model2.snap http://127.0.0.1:8080/admin/reload
+//	curl -X POST http://127.0.0.1:8080/admin/shutdown
+//
 // When the input carries ground truth (csv, or a matrix scenario),
 // detection, inference and prevention (attack frames blocked vs
 // legitimate collateral drops) are also scored.
@@ -40,10 +57,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"canids/internal/baseline"
@@ -56,6 +77,8 @@ import (
 	"canids/internal/infer"
 	"canids/internal/metrics"
 	"canids/internal/response"
+	"canids/internal/server"
+	"canids/internal/store"
 	"canids/internal/trace"
 	"canids/internal/vehicle"
 )
@@ -80,8 +103,12 @@ func run(args []string, stdout io.Writer) error {
 		train    = fs.Bool("train", false, "build a golden template from clean logs")
 		detect   = fs.Bool("detect", false, "run detection over logs")
 		watch    = fs.Bool("watch", false, "stream logs or a scenario through the sharded engine")
+		serve    = fs.Bool("serve", false, "run the HTTP serving daemon over a -load snapshot")
 		list     = fs.Bool("list-scenarios", false, "print the scenario-matrix catalogue")
 		tmplPath = fs.String("template", "template.json", "template file path")
+		loadPath = fs.String("load", "", "model snapshot to serve/detect/watch with (skips retraining; persisted gateway/response policy wins over the policy flags)")
+		savePath = fs.String("save", "", "persist the trained model as a snapshot (with -train, or -watch -scenario)")
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address for -serve")
 		window   = fs.Duration("window", time.Second, "detection window")
 		alpha    = fs.Float64("alpha", 5, "threshold multiplier α (paper range [3,10])")
 		rank     = fs.Int("rank", infer.DefaultRank, "inference candidate set size")
@@ -107,22 +134,50 @@ func run(args []string, stdout io.Writer) error {
 	}
 	files := fs.Args()
 	modes := 0
-	for _, m := range []bool{*train, *detect, *watch, *list} {
+	for _, m := range []bool{*train, *detect, *watch, *serve, *list} {
 		if m {
 			modes++
 		}
 	}
 	if modes != 1 {
-		return fmt.Errorf("exactly one of -train, -detect, -watch or -list-scenarios is required")
+		return fmt.Errorf("exactly one of -train, -detect, -watch, -serve or -list-scenarios is required")
+	}
+	if *loadPath != "" && *savePath != "" {
+		return fmt.Errorf("-load and -save are exclusive: nothing is trained when a snapshot is loaded")
+	}
+	if *loadPath != "" {
+		// The snapshot is the model: its core config (window, alpha, …)
+		// and template win, so explicitly giving those flags would be
+		// silently ignored — reject instead, like -rate-slack with -load.
+		explicit := make(map[string]bool)
+		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		for _, name := range []string{"alpha", "window", "template"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s is baked into the snapshot; with -load the model's value wins (retrain to retune)", name)
+			}
+		}
+	}
+	if *savePath != "" && !*train && !(*watch && *scenarioName != "") {
+		return fmt.Errorf("-save needs a mode that trains: -train, or -watch -scenario")
 	}
 
 	switch {
 	case *list:
 		return runList(*seed, stdout)
+	case *serve:
+		if *loadPath == "" {
+			return fmt.Errorf("-serve needs -load <snapshot> (train once with -save, serve forever)")
+		}
+		if len(files) != 0 {
+			return fmt.Errorf("-serve takes no input files; ingest over HTTP")
+		}
+		return runServe(*addr, *loadPath, *shards, stdout)
 	case *watch:
 		return runWatch(watchOptions{
 			files:        files,
 			tmplPath:     *tmplPath,
+			loadPath:     *loadPath,
+			savePath:     *savePath,
 			window:       *window,
 			alpha:        *alpha,
 			rank:         *rank,
@@ -148,12 +203,12 @@ func run(args []string, stdout io.Writer) error {
 		if dest == "" {
 			dest = *tmplPath
 		}
-		return runTrain(files, *window, dest, stdout)
+		return runTrain(files, *window, *alpha, dest, *savePath, stdout)
 	default:
 		if len(files) == 0 {
 			return fmt.Errorf("no input logs given")
 		}
-		return runDetect(files, *tmplPath, *window, *alpha, *rank, stdout)
+		return runDetect(files, *tmplPath, *loadPath, *window, *alpha, *rank, stdout)
 	}
 }
 
@@ -185,7 +240,7 @@ func readLog(path string) (trace.Trace, error) {
 	return trace.ReadAll(dec)
 }
 
-func runTrain(files []string, window time.Duration, dest string, stdout io.Writer) error {
+func runTrain(files []string, window time.Duration, alpha float64, dest, savePath string, stdout io.Writer) error {
 	var windows []trace.Trace
 	poolSet := make(map[can.ID]bool)
 	for _, path := range files {
@@ -200,6 +255,8 @@ func runTrain(files []string, window time.Duration, dest string, stdout io.Write
 		windows = append(windows, tr.Windows(window, false)...)
 	}
 	cfg := core.DefaultConfig()
+	cfg.Window = window
+	cfg.Alpha = alpha
 	tmpl, err := core.BuildTemplate(windows, cfg.Width, cfg.MinFrames)
 	if err != nil {
 		return err
@@ -221,28 +278,57 @@ func runTrain(files []string, window time.Duration, dest string, stdout io.Write
 	}
 	fmt.Fprintf(stdout, "trained template from %d windows (%d IDs); max per-bit range %.3e\nwritten to %s\n",
 		tmpl.Windows, len(pool), tmpl.MaxRange(), dest)
+	if savePath != "" {
+		snap, err := store.New(cfg, tmpl, pool)
+		if err != nil {
+			return err
+		}
+		if err := store.Save(savePath, snap); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "snapshot written to %s\n", savePath)
+	}
 	return nil
 }
 
-func runDetect(files []string, tmplPath string, window time.Duration, alpha float64, rank int, stdout io.Writer) error {
-	raw, err := os.ReadFile(tmplPath)
-	if err != nil {
-		return err
-	}
-	var tf templateFile
-	if err := json.Unmarshal(raw, &tf); err != nil {
-		return fmt.Errorf("%s: %w", tmplPath, err)
+// loadModel restores a detector-ready model either from a store
+// snapshot (-load; the snapshot's own core config wins, so serving and
+// offline runs agree bit for bit) or from the legacy template JSON.
+func loadModel(tmplPath, loadPath string, window time.Duration, alpha float64) (core.Config, core.Template, []can.ID, *store.Snapshot, error) {
+	if loadPath != "" {
+		snap, err := store.Load(loadPath)
+		if err != nil {
+			return core.Config{}, core.Template{}, nil, nil, err
+		}
+		return snap.Core, snap.Template, snap.Pool, snap, nil
 	}
 	cfg := core.DefaultConfig()
 	cfg.Window = window
 	cfg.Alpha = alpha
+	raw, err := os.ReadFile(tmplPath)
+	if err != nil {
+		return core.Config{}, core.Template{}, nil, nil, err
+	}
+	var tf templateFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		return core.Config{}, core.Template{}, nil, nil, fmt.Errorf("%s: %w", tmplPath, err)
+	}
+	return cfg, tf.Template, tf.Pool, nil, nil
+}
+
+func runDetect(files []string, tmplPath, loadPath string, window time.Duration, alpha float64, rank int, stdout io.Writer) error {
+	cfg, tmpl, pool, _, err := loadModel(tmplPath, loadPath, window, alpha)
+	if err != nil {
+		return err
+	}
 	d, err := core.New(cfg)
 	if err != nil {
 		return err
 	}
-	if err := d.SetTemplate(tf.Template); err != nil {
+	if err := d.SetTemplate(tmpl); err != nil {
 		return err
 	}
+	tf := templateFile{Template: tmpl, Pool: pool}
 
 	for _, path := range files {
 		tr, err := readLog(path)
@@ -288,6 +374,8 @@ func formatIDs(ids []can.ID) string {
 type watchOptions struct {
 	files        []string
 	tmplPath     string
+	loadPath     string
+	savePath     string
 	window       time.Duration
 	alpha        float64
 	rank         int
@@ -324,6 +412,9 @@ func (o watchOptions) validate() error {
 	if o.rateSlack > 0 && o.scenarioName == "" {
 		return fmt.Errorf("-rate-slack needs -scenario (rate budgets learn from the matrix's clean traffic)")
 	}
+	if o.rateSlack > 0 && o.loadPath != "" {
+		return fmt.Errorf("-rate-slack retrains budgets; with -load they come from the snapshot")
+	}
 	return nil
 }
 
@@ -335,8 +426,10 @@ func (o watchOptions) validate() error {
 type engineParts struct {
 	cfg     engine.Config
 	tmpl    core.Template
-	pool    []can.ID      // legal / inference pool; may be empty for bare captures
-	windows []trace.Trace // clean training windows (scenario mode only)
+	pool    []can.ID              // legal / inference pool; may be empty for bare captures
+	windows []trace.Trace         // clean training windows (scenario mode only)
+	gwPol   *store.GatewayPolicy  // persisted gateway policy (-load): budgets injected, whitelist restored
+	respPol *store.ResponsePolicy // persisted response policy (-load): replaces the policy flags
 	opts    watchOptions
 
 	// responders collects what build created, keyed by channel, for the
@@ -365,28 +458,7 @@ func (p *engineParts) build(channel string) (*engine.Engine, error) {
 		cfg.Baselines = []detect.Detector{m, s}
 	}
 	if p.opts.prevent {
-		if len(p.pool) == 0 {
-			return nil, fmt.Errorf("-prevent needs a legal ID pool (train with a pool, or use -scenario)")
-		}
-		gwCfg := gateway.Config{RateWindow: cfg.Core.Window, RateSlack: p.opts.rateSlack}
-		if p.opts.whitelist {
-			gwCfg.Legal = p.pool
-		}
-		gw, err := gateway.New(gwCfg)
-		if err != nil {
-			return nil, err
-		}
-		if p.opts.rateSlack > 0 {
-			if err := gw.LearnRates(p.windows); err != nil {
-				return nil, err
-			}
-		}
-		respCfg := response.DefaultConfig(p.pool)
-		respCfg.Rank = p.opts.rank
-		respCfg.BlockTop = p.opts.blockTop
-		respCfg.Quarantine = p.opts.quarantine
-		respCfg.MinScore = p.opts.minScore
-		resp, err := response.New(gw, respCfg)
+		gw, resp, err := p.buildPolicy()
 		if err != nil {
 			return nil, err
 		}
@@ -395,6 +467,59 @@ func (p *engineParts) build(channel string) (*engine.Engine, error) {
 		p.gateways[channel] = gw
 	}
 	return engine.NewTrained(cfg, p.tmpl)
+}
+
+// buildPolicy constructs one gateway + responder pair — the single
+// source of truth for how flags and persisted snapshot policy combine,
+// shared by every engine build and by the -save snapshot export (so
+// what is persisted is exactly what the run enforces).
+func (p *engineParts) buildPolicy() (*gateway.Gateway, *response.Responder, error) {
+	if len(p.pool) == 0 {
+		return nil, nil, fmt.Errorf("-prevent needs a legal ID pool (train with a pool, or use -scenario)")
+	}
+	gwCfg := gateway.Config{RateWindow: p.cfg.Core.Window, RateSlack: p.opts.rateSlack}
+	if p.gwPol != nil && len(p.gwPol.Budgets) > 0 {
+		// Budgets restored from a snapshot: enforce them as-is; no
+		// clean traffic needed.
+		gwCfg.Budgets = p.gwPol.Budgets
+		gwCfg.RateWindow = p.gwPol.RateWindow
+		gwCfg.RateSlack = p.gwPol.RateSlack
+	}
+	if p.gwPol != nil && len(p.gwPol.Legal) > 0 {
+		// The snapshot was trained with a whitelist; restore it, so a
+		// -load replay enforces the model it persisted.
+		gwCfg.Legal = p.gwPol.Legal
+	} else if p.opts.whitelist {
+		gwCfg.Legal = p.pool
+	}
+	gw, err := gateway.New(gwCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.opts.rateSlack > 0 && gwCfg.Budgets == nil {
+		if err := gw.LearnRates(p.windows); err != nil {
+			return nil, nil, err
+		}
+	}
+	respCfg := response.DefaultConfig(p.pool)
+	if p.respPol != nil {
+		// Persisted response policy wins over the flags, like the
+		// serve daemon: the snapshot is the model.
+		respCfg.Rank = p.respPol.Rank
+		respCfg.BlockTop = p.respPol.BlockTop
+		respCfg.Quarantine = p.respPol.Quarantine
+		respCfg.MinScore = p.respPol.MinScore
+	} else {
+		respCfg.Rank = p.opts.rank
+		respCfg.BlockTop = p.opts.blockTop
+		respCfg.Quarantine = p.opts.quarantine
+		respCfg.MinScore = p.opts.minScore
+	}
+	resp, err := response.New(gw, respCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return gw, resp, nil
 }
 
 // runWatch streams a scenario or log files through the sharded engine,
@@ -418,15 +543,16 @@ func runWatch(opts watchOptions, stdout io.Writer) error {
 	if opts.baselines {
 		return fmt.Errorf("-baselines needs -scenario (baselines train on the matrix's clean traffic)")
 	}
-	raw, err := os.ReadFile(opts.tmplPath)
+	coreCfg, tmpl, pool, snap, err := loadModel(opts.tmplPath, opts.loadPath, opts.window, opts.alpha)
 	if err != nil {
 		return err
 	}
-	var tf templateFile
-	if err := json.Unmarshal(raw, &tf); err != nil {
-		return fmt.Errorf("%s: %w", opts.tmplPath, err)
+	cfg.Core = coreCfg
+	parts := newEngineParts(cfg, tmpl, pool, nil, opts)
+	if snap != nil {
+		parts.gwPol = snap.Gateway
+		parts.respPol = snap.Response
 	}
-	parts := newEngineParts(cfg, tf.Template, tf.Pool, nil, opts)
 	for _, path := range opts.files {
 		f, err := os.Open(path)
 		if err != nil {
@@ -472,21 +598,66 @@ func watchScenario(opts watchOptions, cfg engine.Config, stdout io.Writer) error
 		spec.Duration = opts.duration
 	}
 
-	windows, err := scenario.TrainingWindows(specs, spec.Profile, cfg.Core.Window)
-	if err != nil {
-		return err
+	var (
+		tmpl    core.Template
+		pool    []can.ID
+		windows []trace.Trace
+		gwPol   *store.GatewayPolicy
+		respPol *store.ResponsePolicy
+		origin  string
+	)
+	if opts.loadPath != "" {
+		// Persisted model: no retraining. The baselines are not part of
+		// a snapshot, so they still train on the matrix's clean traffic.
+		snap, err := store.Load(opts.loadPath)
+		if err != nil {
+			return err
+		}
+		cfg.Core = snap.Core
+		tmpl = snap.Template
+		gwPol = snap.Gateway
+		respPol = snap.Response
+		if pool = snap.Pool; len(pool) == 0 {
+			pool = scenarioPool(spec)
+		}
+		if opts.baselines {
+			if windows, err = scenario.TrainingWindows(specs, spec.Profile, cfg.Core.Window); err != nil {
+				return err
+			}
+		}
+		origin = fmt.Sprintf("model from %s (%d training windows)", opts.loadPath, tmpl.Windows)
+	} else {
+		var err error
+		windows, err = scenario.TrainingWindows(specs, spec.Profile, cfg.Core.Window)
+		if err != nil {
+			return err
+		}
+		tmpl, err = core.BuildTemplate(windows, cfg.Core.Width, cfg.Core.MinFrames)
+		if err != nil {
+			return err
+		}
+		pool = scenarioPool(spec)
+		origin = fmt.Sprintf("template from %d clean windows", tmpl.Windows)
 	}
-	tmpl, err := core.BuildTemplate(windows, cfg.Core.Width, cfg.Core.MinFrames)
-	if err != nil {
-		return err
+	parts := newEngineParts(cfg, tmpl, pool, windows, opts)
+	parts.gwPol = gwPol
+	parts.respPol = respPol
+	if opts.loadPath == "" && opts.savePath != "" {
+		snap, err := saveScenarioSnapshot(parts, stdout)
+		if err != nil {
+			return err
+		}
+		// Run on exactly what was persisted (budgets injected, not
+		// relearned), so the -save run and a later -load replay enforce
+		// the same model.
+		parts.gwPol, parts.respPol = snap.Gateway, snap.Response
 	}
-	parts := newEngineParts(cfg, tmpl, scenarioPool(spec), windows, opts)
 	mode := ""
 	if opts.prevent {
 		mode = ", prevention on"
 	}
-	fmt.Fprintf(stdout, "watching %s (%v, %d shards, template from %d clean windows%s)\n",
-		spec.Name, spec.Duration, cfg.Shards, tmpl.Windows, mode)
+	fmt.Fprintf(stdout, "watching %s (%v, %d shards, %s%s)\n",
+		spec.Name, spec.Duration, cfg.Shards, origin, mode)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -503,6 +674,97 @@ func watchScenario(opts watchOptions, cfg engine.Config, stdout io.Writer) error
 		return err
 	}
 	return <-streamErr
+}
+
+// saveScenarioSnapshot persists what the scenario run just trained: the
+// template and pool always, and — with -prevent — the gateway policy
+// (whitelist, budgets learned from the clean windows) and the response
+// policy the flags describe, so a later -load or -serve replays the
+// same model without the matrix.
+func saveScenarioSnapshot(parts *engineParts, stdout io.Writer) (*store.Snapshot, error) {
+	opts := parts.opts
+	snap, err := store.New(parts.cfg.Core, parts.tmpl, parts.pool)
+	if err != nil {
+		return nil, err
+	}
+	if opts.prevent {
+		// The same constructor every engine build uses, exported through
+		// store's capture helpers — what is persisted is exactly what
+		// the run enforces.
+		gw, resp, err := parts.buildPolicy()
+		if err != nil {
+			return nil, err
+		}
+		snap.Gateway = store.CaptureGateway(gw)
+		snap.Response = store.CaptureResponse(resp)
+	}
+	if err := store.Save(opts.savePath, snap); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stdout, "snapshot written to %s\n", opts.savePath)
+	return snap, nil
+}
+
+// runServe is the long-running daemon: restore the model from a
+// snapshot, serve the HTTP API until a signal or an admin shutdown,
+// then drain cleanly (final partial windows are flushed, like the
+// offline detector's Flush).
+func runServe(addr, loadPath string, shards int, stdout io.Writer) error {
+	snap, err := store.Load(loadPath)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{Snapshot: snap, Shards: shards})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mode := "detect"
+	if snap.Gateway != nil || snap.Response != nil {
+		mode = "prevent"
+	}
+	// The pipeline deliberately does not run on the signal context: a
+	// signal triggers a graceful drain below, not a mid-window abort.
+	if err := srv.Start(context.Background()); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "serving on http://%s (%s mode, window %v, alpha %g, %d training windows, %d pool IDs, %d shards)\n",
+		ln.Addr(), mode, snap.Core.Window, snap.Core.Alpha, snap.Template.Windows, len(snap.Pool), shards)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// ReadHeaderTimeout bounds idle connections; request bodies stay
+	// unbounded because ingest is deliberately a streaming surface.
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- hs.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		// Restore default signal handling immediately: the drain below
+		// waits for in-flight ingests, and a second Ctrl+C must be able
+		// to kill the process rather than be swallowed.
+		stop()
+		fmt.Fprintln(stdout, "signal received; draining (interrupt again to force quit)")
+	case <-srv.Done():
+		// Admin shutdown (the handler drained before responding), or the
+		// pipeline died; Drain below surfaces which.
+	case err := <-httpErr:
+		srv.Drain()
+		return err
+	}
+	drainErr := srv.Drain()
+	// Let in-flight responses (the admin shutdown summary) finish.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	hs.Shutdown(shutdownCtx)
+	total, _ := srv.Stats()
+	fmt.Fprintf(stdout, "served %d frames, %d windows, %d alerts\n",
+		total.Frames, total.Windows, srv.AlertsTotal())
+	return drainErr
 }
 
 // teeInjected records the injected (ground truth) records of a stream.

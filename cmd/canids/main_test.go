@@ -2,9 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http"
 	"os"
 	"path/filepath"
+	"reflect"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -341,5 +346,249 @@ func TestWatchFilesMultibus(t *testing.T) {
 	}
 	if !strings.Contains(text, "done:") {
 		t.Errorf("no summary:\n%s", text)
+	}
+}
+
+// syncBuffer is a Writer safe to read while run() writes from another
+// goroutine (the in-process serve tests).
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// alertLines extracts the ALERT lines of a run's output — the part that
+// must be invariant between a retrained and a snapshot-loaded model.
+func alertLines(text string) []string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "ALERT") {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// TestTrainSaveDetectLoad pins the persisted-model path end to end: a
+// snapshot saved by -train drives -detect and -watch to byte-identical
+// alert output versus the legacy template file.
+func TestTrainSaveDetectLoad(t *testing.T) {
+	dir := t.TempDir()
+	clean := makeCapture(t, dir, "clean.csv", vehicle.Idle, 5, 8*time.Second, nil)
+	tmpl := filepath.Join(dir, "template.json")
+	snap := filepath.Join(dir, "model.snap")
+
+	var out bytes.Buffer
+	if err := run([]string{"-train", "-alpha", "4", "-o", tmpl, "-save", snap, clean}, &out); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if !strings.Contains(out.String(), "snapshot written to "+snap) {
+		t.Errorf("train output missing snapshot line:\n%s", out.String())
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+
+	attacked := makeCapture(t, dir, "attacked.csv", vehicle.Idle, 7, 10*time.Second, &attack.Config{
+		Scenario:  attack.Single,
+		IDs:       []can.ID{0x0B5},
+		Frequency: 100,
+		Start:     2 * time.Second,
+		Seed:      9,
+	})
+	var viaTemplate, viaSnapshot bytes.Buffer
+	if err := run([]string{"-detect", "-template", tmpl, "-alpha", "4", attacked}, &viaTemplate); err != nil {
+		t.Fatalf("detect -template: %v", err)
+	}
+	if err := run([]string{"-detect", "-load", snap, attacked}, &viaSnapshot); err != nil {
+		t.Fatalf("detect -load: %v", err)
+	}
+	want := alertLines(viaTemplate.String())
+	got := alertLines(viaSnapshot.String())
+	if len(want) == 0 {
+		t.Fatalf("no alerts to compare:\n%s", viaTemplate.String())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("-load alerts differ from -template alerts:\n%v\nvs\n%v", got, want)
+	}
+
+	var watched bytes.Buffer
+	if err := run([]string{"-watch", "-load", snap, "-shards", "2", "-metrics", "0", attacked}, &watched); err != nil {
+		t.Fatalf("watch -load: %v", err)
+	}
+	if got := alertLines(watched.String()); len(got) != len(want) {
+		t.Errorf("watch -load found %d alerts, detect found %d", len(got), len(want))
+	}
+}
+
+// TestWatchScenarioSaveLoad round-trips a scenario-trained prevention
+// model through a snapshot: the -load replay must print the same ALERT
+// lines as the training run, without retraining.
+func TestWatchScenarioSaveLoad(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "model.snap")
+	// The training run arms the full policy through flags...
+	saveArgs := []string{"-watch", "-scenario", "fusion/idle/SI-100", "-alpha", "4",
+		"-shards", "2", "-metrics", "0", "-prevent", "-rate-slack", "4",
+		"-whitelist", "-quarantine", "20s", "-save", snap}
+	var trained bytes.Buffer
+	if err := run(saveArgs, &trained); err != nil {
+		t.Fatalf("watch -save: %v\n%s", err, trained.String())
+	}
+	if !strings.Contains(trained.String(), "snapshot written to "+snap) {
+		t.Fatalf("no snapshot line:\n%s", trained.String())
+	}
+
+	var loaded bytes.Buffer
+	// ...and the replay gives none of the model or policy flags: alpha,
+	// whitelist, budgets, quarantine all come back from the snapshot.
+	loadArgs := []string{"-watch", "-scenario", "fusion/idle/SI-100",
+		"-shards", "2", "-metrics", "0", "-prevent", "-load", snap}
+	if err := run(loadArgs, &loaded); err != nil {
+		t.Fatalf("watch -load: %v\n%s", err, loaded.String())
+	}
+	if !strings.Contains(loaded.String(), "model from "+snap) {
+		t.Errorf("loaded run does not announce the snapshot:\n%s", loaded.String())
+	}
+	for _, section := range []struct {
+		name string
+		pick func(string) []string
+	}{
+		{"ALERT", alertLines},
+		{"BLOCK", func(s string) []string { return matchingLines(s, "BLOCK ") }},
+		{"prevention score", func(s string) []string { return matchingLines(s, "prevention:") }},
+	} {
+		want := section.pick(trained.String())
+		got := section.pick(loaded.String())
+		if len(want) == 0 {
+			t.Fatalf("training run has no %s lines:\n%s", section.name, trained.String())
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("loaded model %s lines differ:\n%v\nvs\n%v", section.name, got, want)
+		}
+	}
+}
+
+// matchingLines returns the output lines containing substr.
+func matchingLines(text, substr string) []string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// TestServeEndToEnd drives the daemon through the real CLI: train+save,
+// serve on a random port, ingest the capture over HTTP, shut down via
+// the admin endpoint, and check the served alert count equals the
+// offline -detect run on the same file.
+func TestServeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	clean := makeCapture(t, dir, "clean.csv", vehicle.Idle, 5, 8*time.Second, nil)
+	snap := filepath.Join(dir, "model.snap")
+	if err := run([]string{"-train", "-alpha", "4", "-o", filepath.Join(dir, "t.json"), "-save", snap, clean}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	attacked := makeCapture(t, dir, "attacked.csv", vehicle.Idle, 7, 10*time.Second, &attack.Config{
+		Scenario:  attack.Single,
+		IDs:       []can.ID{0x0B5},
+		Frequency: 100,
+		Start:     2 * time.Second,
+		Seed:      9,
+	})
+	var offline bytes.Buffer
+	if err := run([]string{"-detect", "-load", snap, attacked}, &offline); err != nil {
+		t.Fatalf("detect: %v", err)
+	}
+	wantAlerts := len(alertLines(offline.String()))
+	if wantAlerts == 0 {
+		t.Fatal("offline run raised no alerts")
+	}
+
+	out := &syncBuffer{}
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- run([]string{"-serve", "-addr", "127.0.0.1:0", "-load", snap, "-shards", "2"}, out)
+	}()
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address:\n%s", out.String())
+		}
+		if m := regexp.MustCompile(`serving on (http://\S+) `).FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	body, err := os.ReadFile(attacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/ingest/ms-can?format=csv", "text/csv", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/admin/shutdown", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var down struct {
+		AlertsTotal int `json:"alerts_total"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&down); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if down.AlertsTotal != wantAlerts {
+		t.Errorf("served %d alerts, offline run found %d", down.AlertsTotal, wantAlerts)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve returned: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "served ") {
+		t.Errorf("no final summary:\n%s", out.String())
+	}
+}
+
+// TestServeValidation pins the new flag-combination errors.
+func TestServeValidation(t *testing.T) {
+	dir := t.TempDir()
+	cases := [][]string{
+		{"-serve"},                                                  // no snapshot
+		{"-serve", "-load", "/nonexistent.snap"},                    // missing snapshot
+		{"-serve", "-load", "x.snap", "file.csv"},                   // no input files
+		{"-serve", "-watch"},                                        // two modes
+		{"-train", "-load", "x.snap", "-save", "y.snap", "c.csv"},   // load+save
+		{"-detect", "-save", filepath.Join(dir, "x.snap"), "a.csv"}, // save without training
+		{"-watch", "-save", filepath.Join(dir, "x.snap"), "a.csv"},  // save in file mode
+		{"-watch", "-scenario", "fusion/idle/SI-100", "-prevent", "-rate-slack", "2", "-load", "x.snap"}, // slack with load
+		{"-detect", "-load", "x.snap", "-alpha", "4", "a.csv"},                                           // alpha is baked into the snapshot
+		{"-watch", "-load", "x.snap", "-window", "2s", "a.csv"},                                          // window is baked into the snapshot
+		{"-detect", "-load", "x.snap", "-template", "t.json", "a.csv"},                                   // template is baked into the snapshot
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
 	}
 }

@@ -26,6 +26,8 @@
 //	internal/sim         deterministic discrete-event scheduler, fast seeded RNG
 //	internal/engine      sharded streaming detection + prevention engine, multi-bus supervisor
 //	internal/engine/scenario  named scenario matrix (profiles × drives × attacks)
+//	internal/store       versioned, checksummed model snapshots (atomic save, strict load)
+//	internal/server      long-running HTTP serving daemon (ingest, stats, hot reload)
 //	internal/experiments one runner per paper table and figure
 //	cmd/...              cangen, canattack, canids, experiments
 //	examples/...         quickstart, livebus, offline, sweep, streaming, prevention
@@ -77,6 +79,45 @@
 // truth — attack frames blocked vs legitimate collateral drops — and
 // examples/prevention shows the loop stopping a live injection
 // mid-stream.
+//
+// # Serving
+//
+// The paper's train-offline/detect-online split becomes a deployment
+// lifecycle: train once on attack-free driving, persist the artifacts,
+// serve detection forever without retraining.
+//
+// internal/store is the persistence layer: one store.Snapshot carries
+// the detector configuration, the golden template, the legal identifier
+// pool, gateway policy (whitelist + learned rate budgets) and response
+// policy, framed as magic + version + payload length + SHA-256 over a
+// canonical-JSON payload. Saves are atomic (write temp, sync, rename);
+// loads are strict — truncation, version skew, checksum mismatch,
+// unknown fields and semantically invalid artifacts all error, never
+// panic (FuzzStoreDecode). A loaded snapshot drives a detector to a
+// bit-identical alert stream versus the never-serialized original
+// (TestSnapshotRoundTripAlerts), because JSON round-trips float64
+// exactly. `canids -train -save` / `-watch -scenario -save` produce
+// snapshots; `-detect/-watch/-serve -load` consume them, with gateway
+// budgets injected instead of relearned (gateway.Config.Budgets).
+//
+// internal/server is the daemon behind `canids -serve`: an HTTP facade
+// over engine.Supervisor with per-bus ingest (POST /ingest/{channel},
+// streaming bodies in all three trace formats), read endpoints
+// (/alerts, /stats, /healthz) and two admin verbs. POST /admin/reload
+// hot-swaps a snapshot: every live engine queues an engine.Swap that
+// the dispatcher consumes at its next window boundary — reusing the
+// prevention window barrier position — so each window is scored wholly
+// under one template, no frames are dropped, and the resulting alert
+// stream is bit-identical to a sequential detector that switches
+// templates at the same boundary, at any shard count
+// (TestEngineHotSwapMatchesSequential, shards 1/2/8 under -race).
+// Gateway budgets/whitelist swap on the dispatch side of the boundary
+// and responder policy rides the merge stream, so the whole policy set
+// changes at one deterministic stream position. POST /admin/shutdown
+// drains: ingest stops, final partial windows flush like the offline
+// detector's Flush, and the response carries the final counts — the
+// invariant ci.sh's serve smoke leg scripts against (served alert count
+// == offline -detect run on the same capture and snapshot).
 //
 // # Performance
 //

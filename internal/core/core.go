@@ -76,7 +76,10 @@ func DefaultConfig() Config {
 	}
 }
 
-func (c Config) validate() error {
+// Validate checks the configuration the same way New does — exposed so
+// a configuration restored from persistent storage can be rejected
+// before a detector is built from it.
+func (c Config) Validate() error {
 	if c.Alpha <= 0 {
 		return fmt.Errorf("%w: %v", ErrBadAlpha, c.Alpha)
 	}
@@ -86,8 +89,16 @@ func (c Config) validate() error {
 	if c.Width < 1 || c.Width > 32 {
 		return fmt.Errorf("core: invalid width %d", c.Width)
 	}
+	if c.MinFrames < 0 {
+		return fmt.Errorf("core: MinFrames must be >= 0, got %d", c.MinFrames)
+	}
+	if c.MinThreshold < 0 {
+		return fmt.Errorf("core: MinThreshold must be >= 0, got %v", c.MinThreshold)
+	}
 	return nil
 }
+
+func (c Config) validate() error { return c.Validate() }
 
 // Template is the golden entropy template learned from clean traffic.
 type Template struct {
@@ -204,13 +215,38 @@ func LoadTemplate(r io.Reader) (Template, error) {
 	if err := json.NewDecoder(r).Decode(&t); err != nil {
 		return Template{}, fmt.Errorf("core: load template: %w", err)
 	}
+	if err := t.Validate(); err != nil {
+		return Template{}, err
+	}
+	return t, nil
+}
+
+// Validate checks the template's shape and value ranges, so a template
+// restored from persistent storage (or handed to a hot swap) cannot
+// smuggle malformed vectors into the detector: vector lengths must
+// match the width, entropies must be finite and within [0, 1] with
+// MinH ≤ MaxH per bit, and probabilities must be within [0, 1]. A
+// template built by BuildTemplate always passes.
+func (t Template) Validate() error {
 	if t.Width < 1 || t.Width > 32 ||
 		len(t.MeanH) != t.Width || len(t.MinH) != t.Width ||
 		len(t.MaxH) != t.Width || len(t.MeanP) != t.Width {
-		return Template{}, fmt.Errorf("%w: width %d, vectors %d/%d/%d/%d",
+		return fmt.Errorf("%w: width %d, vectors %d/%d/%d/%d",
 			ErrTemplateCorrupt, t.Width, len(t.MeanH), len(t.MinH), len(t.MaxH), len(t.MeanP))
 	}
-	return t, nil
+	if t.Windows < 1 {
+		return fmt.Errorf("%w: %d training windows", ErrTemplateCorrupt, t.Windows)
+	}
+	inUnit := func(v float64) bool { return v >= 0 && v <= 1 } // false for NaN too
+	for i := 0; i < t.Width; i++ {
+		if !inUnit(t.MeanH[i]) || !inUnit(t.MinH[i]) || !inUnit(t.MaxH[i]) || !inUnit(t.MeanP[i]) {
+			return fmt.Errorf("%w: bit %d values out of [0,1]", ErrTemplateCorrupt, i+1)
+		}
+		if t.MinH[i] > t.MaxH[i] {
+			return fmt.Errorf("%w: bit %d min entropy %v > max %v", ErrTemplateCorrupt, i+1, t.MinH[i], t.MaxH[i])
+		}
+	}
+	return nil
 }
 
 // Detector is the streaming bit-entropy IDS. Create with New, train with

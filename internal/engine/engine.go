@@ -82,6 +82,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"canids/internal/can"
 	"canids/internal/core"
 	"canids/internal/detect"
 	"canids/internal/entropy"
@@ -191,6 +192,87 @@ type Engine struct {
 	// responder failing on an alert). Written only by the merge
 	// goroutine, read by Run after the pipeline is joined.
 	asyncErr error
+
+	// pendingSwap is the queued model update, installed by the
+	// dispatcher at the next window boundary. Guarded by swapMu; a new
+	// Swap replaces an unconsumed one (the latest model wins).
+	swapMu      sync.Mutex
+	pendingSwap *Swap
+}
+
+// Swap is a model/policy update to install while a stream is running.
+// The dispatcher consumes it at the next window boundary it crosses, so
+// the update lands at a deterministic stream position: every window
+// closing before that boundary is scored (and classified) under the old
+// artifacts, everything from the boundary on under the new — no frames
+// are dropped and no window is torn between templates. Typically built
+// from a store.Snapshot by the serving layer.
+type Swap struct {
+	// Template replaces the detector's golden template. Required; its
+	// width must match the engine's configured identifier width.
+	Template core.Template
+	// Budgets, when non-nil, replaces the gateway's per-identifier rate
+	// budget table (empty disables rate limiting). Requires a Gateway
+	// with a positive rate window.
+	Budgets map[can.ID]int
+	// Legal, when non-nil, replaces the gateway's whitelist (empty
+	// disables the whitelist check). Requires a Gateway.
+	Legal []can.ID
+	// Policy, when non-nil, replaces the responder's policy. Requires a
+	// Responder.
+	Policy *response.Config
+}
+
+// Swap queues a model update for the next window boundary. It validates
+// the update against the engine's configuration up front, so a queued
+// swap cannot fail mid-stream; the previous queued-but-unapplied swap,
+// if any, is replaced. Safe to call from any goroutine while Run is in
+// flight; a swap queued while the engine is idle applies at the first
+// boundary of the next run.
+func (e *Engine) Swap(sw Swap) error {
+	if err := sw.Template.Validate(); err != nil {
+		return fmt.Errorf("engine: swap: %w", err)
+	}
+	if sw.Template.Width != e.cfg.Core.Width {
+		return fmt.Errorf("engine: swap: template width %d, engine width %d",
+			sw.Template.Width, e.cfg.Core.Width)
+	}
+	if (sw.Budgets != nil || sw.Legal != nil) && e.cfg.Gateway == nil {
+		return fmt.Errorf("engine: swap: gateway policy given but no gateway installed")
+	}
+	if sw.Budgets != nil && len(sw.Budgets) > 0 {
+		if e.cfg.Gateway.RateWindow() <= 0 {
+			return fmt.Errorf("engine: swap: budgets need a gateway with a positive rate window")
+		}
+		for id, b := range sw.Budgets {
+			if b < 1 {
+				return fmt.Errorf("engine: swap: budget for %v must be >= 1, got %d", id, b)
+			}
+		}
+	}
+	if sw.Policy != nil {
+		if e.cfg.Responder == nil {
+			return fmt.Errorf("engine: swap: response policy given but no responder installed")
+		}
+		normalized, err := sw.Policy.Normalize()
+		if err != nil {
+			return fmt.Errorf("engine: swap: %w", err)
+		}
+		sw.Policy = &normalized
+	}
+	e.swapMu.Lock()
+	e.pendingSwap = &sw
+	e.swapMu.Unlock()
+	return nil
+}
+
+// takePendingSwap consumes the queued swap, if any.
+func (e *Engine) takePendingSwap() *Swap {
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	sw := e.pendingSwap
+	e.pendingSwap = nil
+	return sw
 }
 
 // New creates an engine. The detector starts untrained (windows are
@@ -284,9 +366,19 @@ type partial struct {
 // streamMsg is one detector stream's message to the ordered merge.
 type streamMsg struct {
 	stream int
-	kind   byte // 'a' alert, 'w' watermark, 'c' closed
+	kind   byte // 'a' alert, 'w' watermark, 'c' closed, 'p' policy swap
 	alert  detect.Alert
 	wm     time.Duration
+	policy *response.Config
+}
+
+// swapMsg carries one queued Swap from the dispatcher to the window
+// merger: the artifacts to install, and the start time of the first
+// window they apply to.
+type swapMsg struct {
+	from   time.Duration
+	tmpl   core.Template
+	policy *response.Config
 }
 
 // recPool recycles batch slices between the dispatcher and the workers
@@ -366,6 +458,10 @@ func (e *Engine) Run(ctx context.Context, src Source, sink func(detect.Alert)) (
 	if e.cfg.Responder != nil {
 		syncCh = make(chan struct{}, 1)
 	}
+	// swapCh hands queued model updates from the dispatcher to the
+	// window merger. Sends happen at window boundaries only, so a small
+	// buffer keeps the dispatcher from blocking on a busy merger.
+	swapCh := make(chan swapMsg, 4)
 	pool := newRecPool(4*(K+len(baseIn))+8, e.cfg.Batch)
 
 	var wg sync.WaitGroup
@@ -379,7 +475,7 @@ func (e *Engine) Run(ctx context.Context, src Source, sink func(detect.Alert)) (
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		e.windowMerger(ctx, shardOut, mergeIn)
+		e.windowMerger(ctx, shardOut, swapCh, mergeIn)
 	}()
 	for j, b := range e.cfg.Baselines {
 		wg.Add(1)
@@ -394,7 +490,7 @@ func (e *Engine) Run(ctx context.Context, src Source, sink func(detect.Alert)) (
 		e.orderedMerge(ctx, nStreams, mergeIn, syncCh, sink)
 	}()
 
-	err := e.dispatch(ctx, src, shardIn, baseIn, syncCh, pool)
+	err := e.dispatch(ctx, src, shardIn, baseIn, syncCh, swapCh, pool)
 	for i := range shardIn {
 		close(shardIn[i])
 	}
@@ -437,8 +533,16 @@ func send[T any](ctx context.Context, ch chan<- T, m T) bool {
 // window. With a responder installed, the dispatcher waits at each
 // window boundary until the merge stage has handled the closed window's
 // alerts, so blocks land before the next window's first record.
+//
+// The dispatcher is also where hot swaps land: a queued Swap is
+// consumed at the first window boundary crossed after it was queued.
+// Gateway policy (budgets, whitelist) is installed right there — the
+// dispatcher is the only goroutine classifying records — while the
+// template and responder policy travel to the scoring stages tagged
+// with the new window's start time, so in-flight earlier windows are
+// still scored under the old model.
 func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardMsg,
-	baseIn []chan []trace.Record, syncCh chan struct{}, pool *recPool) error {
+	baseIn []chan []trace.Record, syncCh chan struct{}, swapCh chan swapMsg, pool *recPool) error {
 
 	W := e.cfg.Core.Window
 	batch := e.cfg.Batch
@@ -515,6 +619,21 @@ func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardM
 				select {
 				case <-syncCh:
 				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			if sw := e.takePendingSwap(); sw != nil {
+				// Swap validated the pieces against the config, so the
+				// gateway setters cannot fail here.
+				if sw.Budgets != nil {
+					if err := gw.SetBudgets(sw.Budgets); err != nil {
+						return fmt.Errorf("engine: swap: %w", err)
+					}
+				}
+				if sw.Legal != nil {
+					gw.SetLegal(sw.Legal)
+				}
+				if !send(ctx, swapCh, swapMsg{from: winStart, tmpl: sw.Template, policy: sw.Policy}) {
 					return ctx.Err()
 				}
 			}
@@ -595,11 +714,20 @@ func (e *Engine) shardWorker(ctx context.Context, i int, in <-chan shardMsg, out
 // Shards emit exactly one partial per flush token, and tokens are
 // broadcast to every shard, so reading one partial per shard per window
 // pairs them up without any further coordination.
-func (e *Engine) windowMerger(ctx context.Context, shardOut []chan partial, mergeIn chan<- streamMsg) {
+//
+// Swaps are applied here in window order: a swapMsg tagged "from W" is
+// installed after every window starting before W has been scored and
+// before the first window starting at or after W is. The dispatcher
+// sends the swapMsg before it dispatches any record of window W, and
+// W's partials can only arrive after those records, so by the time W is
+// assembled the swapMsg is guaranteed to be waiting in swapCh — a
+// non-blocking drain per window cannot miss it.
+func (e *Engine) windowMerger(ctx context.Context, shardOut []chan partial, swapCh <-chan swapMsg, mergeIn chan<- streamMsg) {
 	width := e.cfg.Core.Width
 	master := entropy.MustBitCounter(width)
 	h := make([]float64, width)
 	p := make([]float64, width)
+	var swaps []swapMsg
 	for {
 		var start time.Duration
 		for s := range shardOut {
@@ -618,6 +746,32 @@ func (e *Engine) windowMerger(ctx context.Context, shardOut []chan partial, merg
 			case <-ctx.Done():
 				return
 			}
+		}
+	drain:
+		for {
+			select {
+			case m := <-swapCh:
+				swaps = append(swaps, m)
+			default:
+				break drain
+			}
+		}
+		for len(swaps) > 0 && swaps[0].from <= start {
+			// Validated by Swap; the merger is the only goroutine
+			// touching the detector while the engine runs.
+			if err := e.det.SetTemplate(swaps[0].tmpl); err != nil {
+				panic(fmt.Sprintf("engine: swap template rejected after validation: %v", err))
+			}
+			if swaps[0].policy != nil {
+				// The responder is driven by the ordered merge; route
+				// the policy through the same channel as the alerts so
+				// it lands between the old windows' alerts and the new
+				// ones'.
+				if !send(ctx, mergeIn, streamMsg{stream: 0, kind: 'p', policy: swaps[0].policy}) {
+					return
+				}
+			}
+			swaps = swaps[1:]
 		}
 		e.windows.Add(1)
 		if n := int(master.Total()); n > 0 {
@@ -750,6 +904,16 @@ func (e *Engine) orderedMerge(ctx context.Context, nStreams int, mergeIn <-chan 
 					}
 				}
 				queues[m.stream] = append(queues[m.stream], m.alert)
+			case 'p':
+				// A hot swap's responder policy, routed through the
+				// stream-0 channel so it takes effect after the last
+				// pre-swap alert was handled and before the first
+				// post-swap one.
+				if e.cfg.Responder != nil {
+					if err := e.cfg.Responder.SetPolicy(*m.policy); err != nil && e.asyncErr == nil {
+						e.asyncErr = fmt.Errorf("engine: swap policy: %w", err)
+					}
+				}
 			case 'w':
 				if m.stream == 0 && syncCh != nil {
 					if !send(ctx, syncCh, struct{}{}) {

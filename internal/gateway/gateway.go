@@ -76,6 +76,12 @@ type Config struct {
 	// e.g. 2.0 allows twice the nominal rate before dropping. Zero
 	// disables rate limiting.
 	RateSlack float64
+	// Budgets is an injected per-identifier frame budget table — the
+	// persisted alternative to LearnRates. Values are enforced as-is
+	// (any slack was baked in when the table was learned), so a
+	// snapshot restores rate limiting without clean traffic to relearn
+	// from. Requires a positive RateWindow; every budget must be ≥ 1.
+	Budgets map[can.ID]int
 }
 
 // DefaultConfig returns a permissive gateway: whitelist only.
@@ -128,13 +134,20 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.RateSlack < 0 {
 		return nil, fmt.Errorf("gateway: rate slack must be >= 0, got %v", cfg.RateSlack)
 	}
-	if cfg.RateSlack > 0 && cfg.RateWindow <= 0 {
+	if (cfg.RateSlack > 0 || len(cfg.Budgets) > 0) && cfg.RateWindow <= 0 {
 		return nil, fmt.Errorf("gateway: rate limiting needs a positive window, got %v", cfg.RateWindow)
 	}
 	g := &Gateway{
 		cfg:     cfg,
 		blocked: make(map[can.ID]time.Duration),
 		seen:    make(map[can.ID]int),
+	}
+	if len(cfg.Budgets) > 0 {
+		budget, err := copyBudgets(cfg.Budgets)
+		if err != nil {
+			return nil, err
+		}
+		g.budget = budget
 	}
 	if len(cfg.Legal) > 0 {
 		g.legal = make(map[can.ID]bool, len(cfg.Legal))
@@ -143,6 +156,18 @@ func New(cfg Config) (*Gateway, error) {
 		}
 	}
 	return g, nil
+}
+
+// copyBudgets validates and copies an injected budget table.
+func copyBudgets(budgets map[can.ID]int) (map[can.ID]int, error) {
+	out := make(map[can.ID]int, len(budgets))
+	for id, b := range budgets {
+		if b < 1 {
+			return nil, fmt.Errorf("gateway: budget for %v must be >= 1, got %d", id, b)
+		}
+		out[id] = b
+	}
+	return out, nil
 }
 
 // LearnRates derives each identifier's per-window frame budget from
@@ -181,6 +206,83 @@ func (g *Gateway) LearnRates(windows []trace.Trace) error {
 	g.mu.Unlock()
 	return nil
 }
+
+// Budgets returns a copy of the active per-identifier frame budget
+// table (learned or injected), or nil when rate limiting is off — the
+// export half of persisting gateway policy in a model snapshot.
+func (g *Gateway) Budgets() map[can.ID]int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.budget == nil {
+		return nil
+	}
+	out := make(map[can.ID]int, len(g.budget))
+	for id, b := range g.budget {
+		out[id] = b
+	}
+	return out
+}
+
+// SetBudgets replaces the per-identifier frame budget table, e.g. with
+// one restored from a snapshot at a hot-reload boundary. An empty (or
+// nil) table disables rate limiting. Requires a positive RateWindow,
+// like Config.Budgets.
+func (g *Gateway) SetBudgets(budgets map[can.ID]int) error {
+	if len(budgets) == 0 {
+		g.mu.Lock()
+		g.budget = nil
+		g.mu.Unlock()
+		return nil
+	}
+	if g.cfg.RateWindow <= 0 {
+		return fmt.Errorf("gateway: rate limiting needs a positive window, got %v", g.cfg.RateWindow)
+	}
+	budget, err := copyBudgets(budgets)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.budget = budget
+	g.mu.Unlock()
+	return nil
+}
+
+// SetLegal replaces the whitelist. An empty (or nil) set disables the
+// whitelist check, matching New.
+func (g *Gateway) SetLegal(legal []can.ID) {
+	var set map[can.ID]bool
+	if len(legal) > 0 {
+		set = make(map[can.ID]bool, len(legal))
+		for _, id := range legal {
+			set[id] = true
+		}
+	}
+	g.mu.Lock()
+	g.legal = set
+	g.mu.Unlock()
+}
+
+// Legal returns the whitelisted identifiers, ascending, or nil when the
+// whitelist is disabled.
+func (g *Gateway) Legal() []can.ID {
+	g.mu.Lock()
+	ids := make([]can.ID, 0, len(g.legal))
+	for id := range g.legal {
+		ids = append(ids, id)
+	}
+	g.mu.Unlock()
+	if len(ids) == 0 {
+		return nil
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// RateWindow returns the configured rate-limit horizon.
+func (g *Gateway) RateWindow() time.Duration { return g.cfg.RateWindow }
+
+// RateSlack returns the configured learning slack multiplier.
+func (g *Gateway) RateSlack() float64 { return g.cfg.RateSlack }
 
 // Block adds an identifier to the blocklist until the given time
 // (zero = forever). The entropy IDS's inference feeds this. A block
@@ -250,7 +352,7 @@ func (g *Gateway) Classify(rec trace.Record) Verdict {
 		g.stats.DropUnknown++
 		return DropUnknown
 	}
-	if g.cfg.RateSlack > 0 && g.budget != nil {
+	if g.budget != nil {
 		if !g.haveWindow {
 			g.haveWindow = true
 			g.windowStart = rec.Time

@@ -380,3 +380,136 @@ func TestResetKeepsPolicy(t *testing.T) {
 		t.Error("Reset must keep learned budgets")
 	}
 }
+
+// TestInjectedBudgets pins the persisted-policy path: a gateway built
+// with Config.Budgets enforces them as-is, without LearnRates and
+// without a slack multiplier, and exports the same table back.
+func TestInjectedBudgets(t *testing.T) {
+	budgets := map[can.ID]int{0x100: 2, 0x200: 1}
+	g, err := New(Config{RateWindow: time.Second, Budgets: budgets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exported := g.Budgets()
+	if len(exported) != 2 || exported[0x100] != 2 || exported[0x200] != 1 {
+		t.Fatalf("Budgets() = %v, want the injected table", exported)
+	}
+	// Mutating the export or the original must not affect the gateway.
+	exported[0x100] = 99
+	budgets[0x200] = 99
+	for i, want := range []Verdict{Forward, Forward, DropRate} {
+		if v := g.Classify(rec(time.Duration(i)*time.Millisecond, 0x100)); v != want {
+			t.Errorf("0x100 frame %d: %v, want %v", i, v, want)
+		}
+	}
+	if v := g.Classify(rec(4*time.Millisecond, 0x200)); v != Forward {
+		t.Errorf("0x200 first frame: %v", v)
+	}
+	if v := g.Classify(rec(5*time.Millisecond, 0x200)); v != DropRate {
+		t.Errorf("0x200 second frame: %v, want drop-rate", v)
+	}
+}
+
+// TestInjectedBudgetsValidation covers the injected-table error paths.
+func TestInjectedBudgetsValidation(t *testing.T) {
+	if _, err := New(Config{Budgets: map[can.ID]int{0x1: 1}}); err == nil {
+		t.Error("budgets without a rate window accepted")
+	}
+	if _, err := New(Config{RateWindow: time.Second, Budgets: map[can.ID]int{0x1: 0}}); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+// TestSetBudgets exercises the hot-swap setter: replacing, validating
+// and disabling the budget table on a live gateway.
+func TestSetBudgets(t *testing.T) {
+	g, err := New(Config{RateWindow: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Budgets() != nil {
+		t.Fatal("fresh gateway has budgets")
+	}
+	if err := g.SetBudgets(map[can.ID]int{0x100: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if v := g.Classify(rec(0, 0x100)); v != Forward {
+		t.Errorf("first frame: %v", v)
+	}
+	if v := g.Classify(rec(time.Millisecond, 0x100)); v != DropRate {
+		t.Errorf("second frame: %v, want drop-rate", v)
+	}
+	if err := g.SetBudgets(map[can.ID]int{0x100: -1}); err == nil {
+		t.Error("negative budget accepted")
+	}
+	if err := g.SetBudgets(nil); err != nil {
+		t.Fatal(err)
+	}
+	if v := g.Classify(rec(2*time.Millisecond, 0x100)); v != Forward {
+		t.Errorf("after disabling budgets: %v, want forward", v)
+	}
+	noWin, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := noWin.SetBudgets(map[can.ID]int{0x1: 1}); err == nil {
+		t.Error("SetBudgets without a rate window accepted")
+	}
+}
+
+// TestSetLegal exercises the hot-swap whitelist setter.
+func TestSetLegal(t *testing.T) {
+	g, err := New(DefaultConfig([]can.ID{0x100}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Legal(); len(got) != 1 || got[0] != 0x100 {
+		t.Fatalf("Legal() = %v", got)
+	}
+	g.SetLegal([]can.ID{0x200})
+	if v := g.Classify(rec(0, 0x100)); v != DropUnknown {
+		t.Errorf("old legal ID after swap: %v, want drop-unknown", v)
+	}
+	if v := g.Classify(rec(0, 0x200)); v != Forward {
+		t.Errorf("new legal ID after swap: %v, want forward", v)
+	}
+	g.SetLegal(nil)
+	if v := g.Classify(rec(0, 0x300)); v != Forward {
+		t.Errorf("whitelist disabled: %v, want forward", v)
+	}
+	if g.Legal() != nil {
+		t.Error("Legal() after disable should be nil")
+	}
+}
+
+// TestLearnedBudgetsExport pins that LearnRates' table round-trips
+// through Budgets() into a fresh gateway with identical verdicts.
+func TestLearnedBudgetsExport(t *testing.T) {
+	var w trace.Trace
+	for i := 0; i < 5; i++ {
+		w = append(w, rec(time.Duration(i)*time.Millisecond, 0x123))
+	}
+	g, err := New(Config{RateWindow: time.Second, RateSlack: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.LearnRates([]trace.Trace{w}); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := New(Config{RateWindow: time.Second, Budgets: g.Budgets()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := make(trace.Trace, 8)
+	for i := range probe {
+		probe[i] = rec(time.Duration(i)*time.Millisecond, 0x123)
+	}
+	_, st1 := g.Filter(probe)
+	_, st2 := restored.Filter(probe)
+	if st1 != st2 {
+		t.Errorf("restored budgets classify differently: %+v vs %+v", st2, st1)
+	}
+	if st1.DropRate == 0 {
+		t.Error("probe should exceed the learned budget")
+	}
+}

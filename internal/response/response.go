@@ -70,12 +70,41 @@ type Action struct {
 	Until time.Duration
 }
 
+// Normalize fills the Config's defaulted fields (Width, Rank, BlockTop)
+// and validates the result — the same rules New applies, exposed so a
+// policy restored from a snapshot (or queued for a hot swap) can be
+// checked before it is installed.
+func (c Config) Normalize() (Config, error) {
+	if len(c.Pool) == 0 {
+		return c, ErrNoPool
+	}
+	if c.Width == 0 {
+		c.Width = can.StandardIDBits
+	}
+	if c.Rank <= 0 {
+		c.Rank = infer.DefaultRank
+	}
+	if c.BlockTop <= 0 {
+		c.BlockTop = 1
+	}
+	if c.BlockTop > c.Rank {
+		return c, fmt.Errorf("response: BlockTop %d exceeds Rank %d", c.BlockTop, c.Rank)
+	}
+	if c.MinScore < 0 {
+		return c, fmt.Errorf("response: MinScore must be >= 0, got %v", c.MinScore)
+	}
+	if c.Quarantine < 0 {
+		return c, fmt.Errorf("response: Quarantine must be >= 0, got %v", c.Quarantine)
+	}
+	return c, nil
+}
+
 // Responder turns alerts into gateway blocks.
 type Responder struct {
-	cfg     Config
 	gateway *gateway.Gateway
 
 	mu      sync.Mutex
+	cfg     Config
 	actions []Action
 }
 
@@ -84,52 +113,66 @@ func New(gw *gateway.Gateway, cfg Config) (*Responder, error) {
 	if gw == nil {
 		return nil, ErrNoGateway
 	}
-	if len(cfg.Pool) == 0 {
-		return nil, ErrNoPool
-	}
-	if cfg.Width == 0 {
-		cfg.Width = can.StandardIDBits
-	}
-	if cfg.Rank <= 0 {
-		cfg.Rank = infer.DefaultRank
-	}
-	if cfg.BlockTop <= 0 {
-		cfg.BlockTop = 1
-	}
-	if cfg.BlockTop > cfg.Rank {
-		return nil, fmt.Errorf("response: BlockTop %d exceeds Rank %d", cfg.BlockTop, cfg.Rank)
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
 	}
 	return &Responder{cfg: cfg, gateway: gw}, nil
+}
+
+// Config returns the active (normalized) policy.
+func (r *Responder) Config() Config {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cfg
+}
+
+// SetPolicy replaces the response policy, e.g. with one restored from a
+// snapshot at a hot-reload boundary. The action history is kept: policy
+// swaps reconfigure the responder, they do not rewrite what it already
+// did.
+func (r *Responder) SetPolicy(cfg Config) error {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.cfg = cfg
+	r.mu.Unlock()
+	return nil
 }
 
 // HandleAlert infers the malicious identifiers behind an alert and
 // blocks the top candidates. It returns the action taken, or nil when
 // the alert was below the score floor.
 func (r *Responder) HandleAlert(a detect.Alert) (*Action, error) {
-	if a.Score < r.cfg.MinScore {
+	r.mu.Lock()
+	cfg := r.cfg
+	r.mu.Unlock()
+	if a.Score < cfg.MinScore {
 		return nil, nil
 	}
-	res, err := infer.Rank(a, r.cfg.Pool, r.cfg.Width, r.cfg.Rank)
+	res, err := infer.Rank(a, cfg.Pool, cfg.Width, cfg.Rank)
 	if err != nil {
 		return nil, fmt.Errorf("response: %w", err)
 	}
 	until := time.Duration(0)
-	if r.cfg.Quarantine > 0 {
+	if cfg.Quarantine > 0 {
 		// Saturate like detect.WindowEnd: at the top of the timestamp
 		// range the sum would wrap negative and the block would be born
 		// expired.
-		if a.WindowEnd > math.MaxInt64-r.cfg.Quarantine {
+		if a.WindowEnd > math.MaxInt64-cfg.Quarantine {
 			until = math.MaxInt64
 		} else {
-			until = a.WindowEnd + r.cfg.Quarantine
+			until = a.WindowEnd + cfg.Quarantine
 		}
 	}
 	act := Action{Alert: a, Until: until}
 	// Inference can return fewer candidates than BlockTop when the pool
 	// is small; block what it found.
 	top := res.Candidates
-	if len(top) > r.cfg.BlockTop {
-		top = top[:r.cfg.BlockTop]
+	if len(top) > cfg.BlockTop {
+		top = top[:cfg.BlockTop]
 	}
 	for _, id := range top {
 		r.gateway.Block(id, until)

@@ -1,0 +1,563 @@
+// Package server is the long-running serving layer behind `canids
+// -serve`: an HTTP facade over the streaming engine that ingests live
+// CAN traffic, detects (and optionally prevents) over it with a model
+// restored from a store.Snapshot, and hot-swaps new snapshots without
+// restarting or dropping frames.
+//
+// # Architecture
+//
+//	HTTP ingest ─→ feed channel ─→ engine.Supervisor ─→ one Engine per bus
+//	                                      │
+//	admin reload ─→ Engine.Swap (window-boundary hot swap)
+//	                                      ▼
+//	                      alert ring ←─ serialized sink
+//
+// One goroutine runs the supervisor over a channel-backed source;
+// ingest handlers decode request bodies incrementally (all three trace
+// formats stream) and push records into that channel, so a capture
+// never has to fit in memory and backpressure from the engines
+// propagates to the HTTP client. Records must arrive in non-decreasing
+// timestamp order per bus — the same contract every detector in this
+// repository has; interleaving concurrent ingests for the same bus is
+// the client's responsibility.
+//
+// # Endpoints
+//
+//	POST /ingest?format=candump|csv|binary        mixed-bus ingest (records keep their channel)
+//	POST /ingest/{channel}?format=...             per-bus ingest (channel overrides the records')
+//	GET  /healthz                                 liveness + bus list
+//	GET  /stats                                   live per-bus and total engine statistics
+//	GET  /alerts?n=N                              the most recent alerts (bounded ring)
+//	POST /admin/reload                            hot-swap a snapshot (body: store format)
+//	POST /admin/shutdown                          drain, flush final windows, report summary
+//
+// # Hot reload
+//
+// Reload decodes and validates a full snapshot, then queues an
+// engine.Swap on every live bus engine: the swap lands at each engine's
+// next window boundary (the PR 3 dispatcher barrier position), so every
+// window is scored wholly under one template — zero dropped frames, no
+// torn windows, deterministic for a given record stream. Buses that
+// appear after the reload are built from the new snapshot. The model's
+// structural identity — the detector's core configuration (width,
+// window, alpha…), the presence of gateway and response policy, and
+// the gateway rate window — cannot change across a reload: a snapshot
+// that differs in any of them is rejected, and a rejected reload
+// changes nothing (the snapshot commits only after every live engine
+// accepted the swap).
+//
+// # Shutdown
+//
+// Drain stops ingestion (further ingests get 503), closes the feed so
+// every engine flushes its final partial window — exactly like the
+// offline detector's Flush — and waits for the pipeline to finish. The
+// admin shutdown endpoint responds with the final statistics after the
+// drain, which is what lets the CI smoke leg assert serve == offline
+// alert counts.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"canids/internal/can"
+	"canids/internal/detect"
+	"canids/internal/engine"
+	"canids/internal/gateway"
+	"canids/internal/response"
+	"canids/internal/store"
+	"canids/internal/trace"
+)
+
+// DefaultMaxAlerts is the default alert-ring capacity.
+const DefaultMaxAlerts = 1024
+
+// Errors returned by ingestion.
+var (
+	ErrDraining   = errors.New("server: draining, no further ingest accepted")
+	ErrStopped    = errors.New("server: pipeline stopped")
+	ErrNotStarted = errors.New("server: not started")
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Snapshot is the model to serve. Required and validated at New.
+	Snapshot *store.Snapshot
+	// Shards, Buffer and Batch configure each per-bus engine (zero
+	// means the engine defaults).
+	Shards int
+	Buffer int
+	Batch  int
+	// MaxAlerts bounds the in-memory alert ring served by /alerts; the
+	// total count keeps incrementing past it. Zero means
+	// DefaultMaxAlerts.
+	MaxAlerts int
+}
+
+// TaggedAlert is one emitted alert with its bus.
+type TaggedAlert struct {
+	Channel string       `json:"channel,omitempty"`
+	Alert   detect.Alert `json:"alert"`
+}
+
+// Server serves detection over HTTP. Create with New, Start the
+// pipeline, mount Handler on an http.Server, and Drain to stop.
+type Server struct {
+	cfg  Config
+	sup  *engine.Supervisor
+	feed chan trace.Record
+
+	// mu guards the current snapshot and the engine registry. The
+	// engine factory and Reload both hold it end to end, so an engine is
+	// always either built from the newest snapshot or registered before
+	// a reload collects the engines to swap — no bus can miss an update.
+	mu      sync.Mutex
+	snap    *store.Snapshot
+	engines map[string]*engine.Engine
+
+	// ingestMu guards the feed channel's lifecycle: ingests hold it
+	// shared while pushing, Drain holds it exclusively to close the
+	// feed, so a send on a closed channel cannot happen.
+	ingestMu sync.RWMutex
+	draining bool
+
+	alertsMu    sync.Mutex
+	ring        []TaggedAlert
+	alertsTotal atomic.Uint64
+
+	started   atomic.Bool
+	startTime time.Time
+	drainOnce sync.Once
+	runDone   chan struct{}
+	runErr    error
+}
+
+// New creates a server for the given snapshot. The snapshot is
+// validated and a probe engine is built immediately, so a model that
+// cannot serve fails here, not at the first ingested record.
+func New(cfg Config) (*Server, error) {
+	if cfg.Snapshot == nil {
+		return nil, errors.New("server: a snapshot is required")
+	}
+	if err := cfg.Snapshot.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxAlerts <= 0 {
+		cfg.MaxAlerts = DefaultMaxAlerts
+	}
+	if _, err := buildEngine(cfg.Snapshot, cfg); err != nil {
+		return nil, fmt.Errorf("server: snapshot cannot serve: %w", err)
+	}
+	feedBuf := cfg.Buffer
+	if feedBuf <= 0 {
+		feedBuf = engine.DefaultBuffer
+	}
+	s := &Server{
+		cfg:       cfg,
+		snap:      cfg.Snapshot,
+		feed:      make(chan trace.Record, feedBuf),
+		engines:   make(map[string]*engine.Engine),
+		runDone:   make(chan struct{}),
+		startTime: time.Now(),
+	}
+	sup, err := engine.NewSupervisor(engine.SupervisorConfig{NewEngine: s.newEngine, Buffer: cfg.Buffer})
+	if err != nil {
+		return nil, err
+	}
+	s.sup = sup
+	return s, nil
+}
+
+// buildEngine materializes one bus engine from a snapshot: a private
+// gateway and responder per bus (policy state is per bus), the shared
+// template installed. A snapshot with a response policy but no gateway
+// policy gets a permissive gateway — the blocklist needs somewhere to
+// live.
+func buildEngine(snap *store.Snapshot, cfg Config) (*engine.Engine, error) {
+	ecfg := engine.Config{Shards: cfg.Shards, Buffer: cfg.Buffer, Batch: cfg.Batch, Core: snap.Core}
+	if snap.Gateway != nil || snap.Response != nil {
+		gwCfg := snap.GatewayConfig()
+		if gwCfg.RateWindow <= 0 {
+			// A permissive gateway still gets a rate horizon, so a
+			// budget swap can never hit a zero-window gateway.
+			gwCfg.RateWindow = snap.Core.Window
+		}
+		gw, err := gateway.New(gwCfg)
+		if err != nil {
+			return nil, err
+		}
+		ecfg.Gateway = gw
+		if snap.Response != nil {
+			resp, err := response.New(gw, snap.ResponseConfig())
+			if err != nil {
+				return nil, err
+			}
+			ecfg.Responder = resp
+		}
+	}
+	return engine.NewTrained(ecfg, snap.Template)
+}
+
+// effectiveRateWindow is the rate horizon a gateway built from the
+// snapshot enforces — the persisted window, defaulted like buildEngine.
+func effectiveRateWindow(snap *store.Snapshot) time.Duration {
+	if snap.Gateway != nil && snap.Gateway.RateWindow > 0 {
+		return snap.Gateway.RateWindow
+	}
+	return snap.Core.Window
+}
+
+// newEngine is the supervisor's per-bus factory.
+func (s *Server) newEngine(channel string) (*engine.Engine, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	eng, err := buildEngine(s.snap, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.engines[channel] = eng
+	return eng, nil
+}
+
+// Start launches the serving pipeline. The context bounds the whole
+// run: canceling it aborts in-flight windows (use Drain for a clean
+// flush instead).
+func (s *Server) Start(ctx context.Context) error {
+	if !s.started.CompareAndSwap(false, true) {
+		return errors.New("server: already started")
+	}
+	go func() {
+		_, err := s.sup.Run(ctx, engine.NewChanSource(ctx, s.feed), func(channel string, a detect.Alert) {
+			s.alertsTotal.Add(1)
+			s.alertsMu.Lock()
+			s.ring = append(s.ring, TaggedAlert{Channel: channel, Alert: a})
+			if over := len(s.ring) - s.cfg.MaxAlerts; over > 0 {
+				s.ring = append(s.ring[:0], s.ring[over:]...)
+			}
+			s.alertsMu.Unlock()
+		})
+		s.runErr = err
+		close(s.runDone)
+	}()
+	return nil
+}
+
+// Done is closed when the pipeline has finished — after a Drain
+// flushed the final windows, or after the run context was canceled.
+func (s *Server) Done() <-chan struct{} { return s.runDone }
+
+// Drain stops ingestion, closes the feed so every engine flushes its
+// final partial window, waits for the pipeline to finish, and returns
+// its error. Safe to call more than once. In-flight ingest requests are
+// allowed to finish first (they hold the ingest lock while decoding),
+// so a client that stalls mid-body delays the drain — bound request
+// lifetimes at the HTTP layer when that matters.
+func (s *Server) Drain() error {
+	if !s.started.Load() {
+		return ErrNotStarted
+	}
+	s.drainOnce.Do(func() {
+		s.ingestMu.Lock()
+		s.draining = true
+		close(s.feed)
+		s.ingestMu.Unlock()
+	})
+	<-s.runDone
+	return s.runErr
+}
+
+// Ingest decodes records from r in the given format and feeds them to
+// the pipeline, overriding each record's bus with channel when channel
+// is non-empty. It returns how many records were accepted; on a decode
+// error, records before the malformed one stay ingested (the stream
+// was already live) and the error reports the rest were refused.
+func (s *Server) Ingest(channel string, format trace.Format, r io.Reader) (int, error) {
+	s.ingestMu.RLock()
+	defer s.ingestMu.RUnlock()
+	if s.draining {
+		return 0, ErrDraining
+	}
+	if !s.started.Load() {
+		return 0, ErrNotStarted
+	}
+	dec, err := trace.NewDecoder(format, r)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		rec, err := dec.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if channel != "" {
+			rec.Channel = channel
+		}
+		select {
+		case s.feed <- rec:
+			n++
+		case <-s.runDone:
+			return n, ErrStopped
+		}
+	}
+}
+
+// Snapshot returns the currently served snapshot.
+func (s *Server) Snapshot() *store.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap
+}
+
+// Reload installs a new snapshot: future buses build from it, and every
+// live bus engine gets a queued Swap that lands at its next window
+// boundary. It returns the buses that were swapped. The new snapshot
+// must keep the model's structural identity — the detector's core
+// configuration, the presence/absence of gateway and response policy,
+// and the gateway rate window — those are fixed at startup; changing
+// them needs a restart. The reload is transactional: the snapshot is
+// committed only after every live engine accepted the swap, so a
+// rejected reload leaves the server exactly as it was.
+func (s *Server) Reload(snap *store.Snapshot) ([]string, error) {
+	if err := snap.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if snap.Core != s.snap.Core {
+		return nil, fmt.Errorf("server: reload changes the core config (%+v -> %+v); restart to retune", s.snap.Core, snap.Core)
+	}
+	if (snap.Gateway != nil) != (s.snap.Gateway != nil) || (snap.Response != nil) != (s.snap.Response != nil) {
+		return nil, errors.New("server: reload changes the gateway/responder shape; restart to rearm prevention")
+	}
+	// Compare the window the live gateways actually enforce (buildEngine
+	// defaults a zero RateWindow to the detection window), not the
+	// persisted field, so a whitelist-only snapshot can later gain
+	// budgets at the effective window without a restart.
+	if snap.Gateway != nil && effectiveRateWindow(snap) != effectiveRateWindow(s.snap) {
+		return nil, fmt.Errorf("server: reload changes the rate window (%v -> %v); restart to retime rate limits",
+			effectiveRateWindow(s.snap), effectiveRateWindow(snap))
+	}
+	sw := engine.Swap{Template: snap.Template}
+	if snap.Gateway != nil || snap.Response != nil {
+		// The engines have a gateway; a nil table in the new snapshot
+		// clears the live one (an empty, non-nil value disables the
+		// check), a present table replaces it.
+		sw.Budgets = map[can.ID]int{}
+		sw.Legal = []can.ID{}
+		if snap.Gateway != nil {
+			if snap.Gateway.Budgets != nil {
+				sw.Budgets = snap.Gateway.Budgets
+			}
+			if snap.Gateway.Legal != nil {
+				sw.Legal = snap.Gateway.Legal
+			}
+		}
+	}
+	if snap.Response != nil {
+		cfg := snap.ResponseConfig()
+		sw.Policy = &cfg
+	}
+	buses := make([]string, 0, len(s.engines))
+	for ch := range s.engines {
+		buses = append(buses, ch)
+	}
+	sort.Strings(buses)
+	// Engine.Swap only validates and stores (it never blocks on the
+	// pipeline), so holding s.mu across the loop is safe and keeps the
+	// factory from building a bus from a snapshot the live engines
+	// rejected. With the structural checks above, every engine shares
+	// the swap's preconditions, so a failure here aborts before any
+	// state changed.
+	for _, ch := range buses {
+		if err := s.engines[ch].Swap(sw); err != nil {
+			return nil, fmt.Errorf("server: reload bus %q: %w", ch, err)
+		}
+	}
+	s.snap = snap
+	return buses, nil
+}
+
+// AlertsTotal returns the number of alerts emitted since Start.
+func (s *Server) AlertsTotal() uint64 { return s.alertsTotal.Load() }
+
+// Alerts returns the newest n alerts (all retained ones when n <= 0).
+func (s *Server) Alerts(n int) []TaggedAlert {
+	s.alertsMu.Lock()
+	defer s.alertsMu.Unlock()
+	if n <= 0 || n > len(s.ring) {
+		n = len(s.ring)
+	}
+	out := make([]TaggedAlert, n)
+	copy(out, s.ring[len(s.ring)-n:])
+	return out
+}
+
+// Stats aggregates the live per-bus statistics.
+func (s *Server) Stats() (total engine.Stats, buses map[string]engine.Stats) {
+	return s.sup.TotalStats(), s.sup.Stats()
+}
+
+// maxSnapshotBody bounds an /admin/reload request body: container
+// header plus the store's own payload limit.
+const maxSnapshotBody = store.MaxPayload + 128
+
+// Handler returns the HTTP API. Mount it on any http.Server; the
+// handler is safe for concurrent use.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
+		s.handleIngest(w, r, "")
+	})
+	mux.HandleFunc("POST /ingest/{channel}", func(w http.ResponseWriter, r *http.Request) {
+		s.handleIngest(w, r, r.PathValue("channel"))
+	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /alerts", s.handleAlerts)
+	mux.HandleFunc("POST /admin/reload", s.handleReload)
+	mux.HandleFunc("POST /admin/shutdown", s.handleShutdown)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // headers are out; nothing left to report
+}
+
+type errorResponse struct {
+	Error   string `json:"error"`
+	Records int    `json:"records,omitempty"`
+}
+
+// parseFormat maps the ?format= query value to a trace format
+// (candump when absent, matching the de-facto exchange format).
+func parseFormat(r *http.Request) (trace.Format, error) {
+	switch v := r.URL.Query().Get("format"); v {
+	case "", "candump":
+		return trace.FormatCandump, nil
+	case "csv":
+		return trace.FormatCSV, nil
+	case "binary", "bin":
+		return trace.FormatBinary, nil
+	default:
+		return 0, fmt.Errorf("unknown format %q (want candump, csv or binary)", v)
+	}
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, channel string) {
+	format, err := parseFormat(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	n, err := s.Ingest(channel, format, r.Body)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, map[string]any{"records": n})
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrStopped), errors.Is(err, ErrNotStarted):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error(), Records: n})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Records: n})
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.ingestMu.RLock()
+	status := "ok"
+	if s.draining {
+		status = "draining"
+	}
+	s.ingestMu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         status,
+		"uptime_seconds": time.Since(s.startTime).Seconds(),
+		"buses":          s.sup.Channels(),
+	})
+}
+
+type statsResponse struct {
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	AlertsTotal   uint64                  `json:"alerts_total"`
+	Total         engine.Stats            `json:"total"`
+	Buses         map[string]engine.Stats `json:"buses"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	total, buses := s.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds: time.Since(s.startTime).Seconds(),
+		AlertsTotal:   s.AlertsTotal(),
+		Total:         total,
+		Buses:         buses,
+	})
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad n %q", v)})
+			return
+		}
+		n = parsed
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":  s.AlertsTotal(),
+		"alerts": s.Alerts(n),
+	})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	snap, err := store.Decode(http.MaxBytesReader(w, r.Body, maxSnapshotBody))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	buses, err := s.Reload(snap)
+	if err != nil {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"swapped_buses": buses,
+		"note":          "live buses swap at their next window boundary; new buses serve the new snapshot",
+	})
+}
+
+type shutdownResponse struct {
+	AlertsTotal uint64                  `json:"alerts_total"`
+	Total       engine.Stats            `json:"total"`
+	Buses       map[string]engine.Stats `json:"buses"`
+	Error       string                  `json:"error,omitempty"`
+}
+
+func (s *Server) handleShutdown(w http.ResponseWriter, r *http.Request) {
+	err := s.Drain()
+	total, buses := s.Stats()
+	resp := shutdownResponse{AlertsTotal: s.AlertsTotal(), Total: total, Buses: buses}
+	code := http.StatusOK
+	if err != nil {
+		resp.Error = err.Error()
+		if errors.Is(err, ErrNotStarted) {
+			code = http.StatusServiceUnavailable
+		} else {
+			code = http.StatusInternalServerError
+		}
+	}
+	writeJSON(w, code, resp)
+}

@@ -1,0 +1,594 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"canids/internal/attack"
+	"canids/internal/bus"
+	"canids/internal/can"
+	"canids/internal/core"
+	"canids/internal/detect"
+	"canids/internal/engine"
+	"canids/internal/gateway"
+	"canids/internal/response"
+	"canids/internal/server"
+	"canids/internal/sim"
+	"canids/internal/store"
+	"canids/internal/trace"
+	"canids/internal/vehicle"
+)
+
+// fixture is the shared trained state: a snapshot from clean idle
+// traffic plus clean and attacked probe traces.
+var fixture = struct {
+	once     sync.Once
+	snap     *store.Snapshot
+	clean    trace.Trace
+	attacked trace.Trace
+	err      error
+}{}
+
+func simulate(profileSeed, seed int64, scen vehicle.Scenario, d time.Duration, atk *attack.Config) (trace.Trace, error) {
+	sched := sim.NewScheduler()
+	b, err := bus.New(sched, bus.Config{BitRate: bus.DefaultMSCANBitRate, Channel: "ms-can"})
+	if err != nil {
+		return nil, err
+	}
+	var log trace.Trace
+	b.Tap(func(r trace.Record) { log = append(log, r) })
+	profile := vehicle.NewFusionProfile(profileSeed)
+	profile.Attach(sched, b, vehicle.Options{Scenario: scen, Seed: seed})
+	if atk != nil {
+		if _, err := attack.Launch(sched, b, nil, *atk); err != nil {
+			return nil, err
+		}
+	}
+	if err := sched.RunUntil(d); err != nil {
+		return nil, err
+	}
+	// Round-trip through CSV: the probe traces travel to the server as
+	// CSV bodies (which carry µs timestamps), so the offline references
+	// must see exactly what the wire delivers.
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, log); err != nil {
+		return nil, err
+	}
+	dec, err := trace.NewDecoder(trace.FormatCSV, &buf)
+	if err != nil {
+		return nil, err
+	}
+	return trace.ReadAll(dec)
+}
+
+func loadFixture(t *testing.T) (*store.Snapshot, trace.Trace, trace.Trace) {
+	t.Helper()
+	fixture.once.Do(func() {
+		cfg := core.DefaultConfig()
+		cfg.Alpha = 4
+		training, err := simulate(1, 5, vehicle.Idle, 8*time.Second, nil)
+		if err != nil {
+			fixture.err = err
+			return
+		}
+		windows := training.Windows(cfg.Window, false)
+		tmpl, err := core.BuildTemplate(windows, cfg.Width, cfg.MinFrames)
+		if err != nil {
+			fixture.err = err
+			return
+		}
+		fixture.snap, fixture.err = store.New(cfg, tmpl, training.IDs())
+		if fixture.err != nil {
+			return
+		}
+		fixture.clean, fixture.err = simulate(1, 11, vehicle.Idle, 6*time.Second, nil)
+		if fixture.err != nil {
+			return
+		}
+		fixture.attacked, fixture.err = simulate(1, 7, vehicle.Idle, 10*time.Second, &attack.Config{
+			Scenario: attack.Single, IDs: []can.ID{0x0B5}, Frequency: 100,
+			Start: 2 * time.Second, Seed: 9,
+		})
+	})
+	if fixture.err != nil {
+		t.Fatalf("fixture: %v", fixture.err)
+	}
+	return fixture.snap, fixture.clean, fixture.attacked
+}
+
+// startServer builds, starts and mounts a server, returning the test
+// HTTP base URL and the server itself.
+func startServer(t *testing.T, cfg server.Config) (*server.Server, string) {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := s.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		cancel()
+		<-s.Done()
+	})
+	return s, ts.URL
+}
+
+// post sends body and decodes the JSON response into out.
+func post(t *testing.T, url string, body []byte, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("bad JSON from %s: %v\n%s", url, err, data)
+		}
+	}
+	return resp.StatusCode
+}
+
+func get(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("bad JSON from %s: %v\n%s", url, err, data)
+		}
+	}
+	return resp.StatusCode
+}
+
+func encodeCSV(t *testing.T, tr trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func encodeSnapshot(t *testing.T, snap *store.Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := store.Encode(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// offlineAlerts replays the snapshot's detector sequentially — the
+// reference the served pipeline must match.
+func offlineAlerts(t *testing.T, snap *store.Snapshot, tr trace.Trace) []detect.Alert {
+	t.Helper()
+	d, err := snap.Detector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []detect.Alert
+	for _, r := range tr {
+		out = append(out, d.Observe(r)...)
+	}
+	return append(out, d.Flush()...)
+}
+
+// TestServeMatchesOffline is the end-to-end guarantee the CI smoke leg
+// scripts against: ingest a capture over HTTP, drain, and the alert
+// count (and the alerts themselves) equal the offline sequential run.
+func TestServeMatchesOffline(t *testing.T) {
+	snap, _, attacked := loadFixture(t)
+	want := offlineAlerts(t, snap, attacked)
+	if len(want) == 0 {
+		t.Fatal("offline run found no alerts; fixture too weak")
+	}
+
+	s, url := startServer(t, server.Config{Snapshot: snap, Shards: 4})
+	var ing struct {
+		Records int `json:"records"`
+	}
+	if code := post(t, url+"/ingest/ms-can?format=csv", encodeCSV(t, attacked), &ing); code != http.StatusOK {
+		t.Fatalf("ingest status %d", code)
+	}
+	if ing.Records != len(attacked) {
+		t.Fatalf("ingested %d records, want %d", ing.Records, len(attacked))
+	}
+
+	var down struct {
+		AlertsTotal uint64                  `json:"alerts_total"`
+		Total       engine.Stats            `json:"total"`
+		Buses       map[string]engine.Stats `json:"buses"`
+	}
+	if code := post(t, url+"/admin/shutdown", nil, &down); code != http.StatusOK {
+		t.Fatalf("shutdown status %d", code)
+	}
+	if down.AlertsTotal != uint64(len(want)) {
+		t.Errorf("served %d alerts, offline run has %d", down.AlertsTotal, len(want))
+	}
+	if down.Total.Frames != uint64(len(attacked)) {
+		t.Errorf("served %d frames, want %d", down.Total.Frames, len(attacked))
+	}
+	if _, ok := down.Buses["ms-can"]; !ok || len(down.Buses) != 1 {
+		t.Errorf("buses = %v, want exactly ms-can", down.Buses)
+	}
+
+	got := s.Alerts(0)
+	if len(got) != len(want) {
+		t.Fatalf("alert ring holds %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Channel != "ms-can" || !reflect.DeepEqual(got[i].Alert, want[i]) {
+			t.Fatalf("alert %d differs from offline run", i)
+		}
+	}
+}
+
+// TestServeMultiBus splits one capture across two channels through the
+// mixed-bus endpoint: each bus gets its own engine and stats.
+func TestServeMultiBus(t *testing.T) {
+	snap, _, attacked := loadFixture(t)
+	mixed := append(trace.Trace(nil), attacked...)
+	for i := range mixed {
+		if i%2 == 0 {
+			mixed[i].Channel = "can-a"
+		} else {
+			mixed[i].Channel = "can-b"
+		}
+	}
+	_, url := startServer(t, server.Config{Snapshot: snap, Shards: 2})
+	if code := post(t, url+"/ingest?format=csv", encodeCSV(t, mixed), nil); code != http.StatusOK {
+		t.Fatalf("ingest status %d", code)
+	}
+	var health struct {
+		Status string   `json:"status"`
+		Buses  []string `json:"buses"`
+	}
+	if code := get(t, url+"/healthz", &health); code != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("healthz %d %q", code, health.Status)
+	}
+	var down struct {
+		Buses map[string]engine.Stats `json:"buses"`
+	}
+	if code := post(t, url+"/admin/shutdown", nil, &down); code != http.StatusOK {
+		t.Fatalf("shutdown status %d", code)
+	}
+	if len(down.Buses) != 2 {
+		t.Fatalf("buses = %v, want can-a and can-b", down.Buses)
+	}
+	wantA, wantB := uint64((len(mixed)+1)/2), uint64(len(mixed)/2)
+	if down.Buses["can-a"].Frames != wantA || down.Buses["can-b"].Frames != wantB {
+		t.Errorf("per-bus frames %d/%d, want %d/%d",
+			down.Buses["can-a"].Frames, down.Buses["can-b"].Frames, wantA, wantB)
+	}
+}
+
+// TestServeHotReload serves a clean stream under its own template (no
+// alerts), hot-swaps a foreign template mid-stream, and expects the
+// post-reload windows to alert — the live proof the swap landed without
+// restarting the pipeline.
+func TestServeHotReload(t *testing.T) {
+	snap, clean, _ := loadFixture(t)
+
+	// A template trained on a differently-seeded profile: same shape,
+	// disjoint identifier layout, so the clean stream deviates on it.
+	foreignTraffic, err := simulate(2, 99, vehicle.Idle, 8*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := *snap
+	foreignTmpl, err := core.BuildTemplate(foreignTraffic.Windows(snap.Core.Window, false), snap.Core.Width, snap.Core.MinFrames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign.Template = foreignTmpl
+
+	s, url := startServer(t, server.Config{Snapshot: snap, Shards: 2})
+	half := len(clean) / 2
+	if code := post(t, url+"/ingest/ms-can?format=csv", encodeCSV(t, clean[:half]), nil); code != http.StatusOK {
+		t.Fatalf("first ingest status %d", code)
+	}
+	var rel struct {
+		Swapped []string `json:"swapped_buses"`
+	}
+	if code := post(t, url+"/admin/reload", encodeSnapshot(t, &foreign), &rel); code != http.StatusOK {
+		t.Fatalf("reload status %d", code)
+	}
+	if len(rel.Swapped) != 1 || rel.Swapped[0] != "ms-can" {
+		t.Fatalf("swapped buses %v, want [ms-can]", rel.Swapped)
+	}
+	if code := post(t, url+"/ingest/ms-can?format=csv", encodeCSV(t, clean[half:]), nil); code != http.StatusOK {
+		t.Fatalf("second ingest status %d", code)
+	}
+	if code := post(t, url+"/admin/shutdown", nil, nil); code != http.StatusOK {
+		t.Fatalf("shutdown status %d", code)
+	}
+	alerts := s.Alerts(0)
+	if len(alerts) == 0 {
+		t.Fatal("no alerts after swapping in a foreign template")
+	}
+	// The swap lands at a window boundary at or after the reload point:
+	// nothing before it may alert (the stream is clean under its own
+	// template), and the clean windows before the split must not have
+	// been torn or re-scored.
+	swapAt := clean[half].Time.Truncate(time.Microsecond)
+	for _, a := range alerts {
+		if a.Alert.WindowEnd <= swapAt {
+			t.Errorf("alert for window ending %v predates the reload at %v", a.Alert.WindowEnd, swapAt)
+		}
+	}
+	if got := s.Snapshot(); !reflect.DeepEqual(got.Template, foreignTmpl) {
+		t.Error("Snapshot() does not report the reloaded template")
+	}
+}
+
+// TestServeReloadRejections covers the reload error paths: corrupt
+// bodies, core-config drift, and policy shapes the serving engines
+// cannot adopt.
+func TestServeReloadRejections(t *testing.T) {
+	snap, _, _ := loadFixture(t)
+	_, url := startServer(t, server.Config{Snapshot: snap})
+
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	if code := post(t, url+"/admin/reload", []byte("garbage"), &errResp); code != http.StatusBadRequest {
+		t.Errorf("corrupt reload status %d, want 400", code)
+	}
+
+	retuned := *snap
+	retuned.Core.Alpha = 9
+	if code := post(t, url+"/admin/reload", encodeSnapshot(t, &retuned), &errResp); code != http.StatusConflict {
+		t.Errorf("core-drift reload status %d, want 409", code)
+	}
+	if !strings.Contains(errResp.Error, "core config") {
+		t.Errorf("core-drift error %q", errResp.Error)
+	}
+
+	armed := *snap
+	armed.Gateway = &store.GatewayPolicy{Legal: snap.Pool}
+	if code := post(t, url+"/admin/reload", encodeSnapshot(t, &armed), &errResp); code != http.StatusConflict {
+		t.Errorf("gateway-adding reload status %d, want 409", code)
+	}
+
+	// The symmetric shape checks, against a prevention server: dropping
+	// policy sections or changing the rate window is a restart, not a
+	// reload — and a rejected reload must leave the snapshot untouched.
+	prevented := *snap
+	prevented.Gateway = &store.GatewayPolicy{RateWindow: snap.Core.Window}
+	prevented.Response = &store.ResponsePolicy{Rank: 10, BlockTop: 1}
+	srv, url2 := startServer(t, server.Config{Snapshot: &prevented})
+	detectOnly := *snap
+	if code := post(t, url2+"/admin/reload", encodeSnapshot(t, &detectOnly), &errResp); code != http.StatusConflict {
+		t.Errorf("policy-dropping reload status %d, want 409", code)
+	}
+	retimed := prevented
+	gw := *prevented.Gateway
+	gw.RateWindow = 2 * snap.Core.Window
+	retimed.Gateway = &gw
+	if code := post(t, url2+"/admin/reload", encodeSnapshot(t, &retimed), &errResp); code != http.StatusConflict {
+		t.Errorf("rate-window reload status %d, want 409", code)
+	}
+	if !strings.Contains(errResp.Error, "rate window") {
+		t.Errorf("rate-window error %q", errResp.Error)
+	}
+	if got := srv.Snapshot(); !reflect.DeepEqual(got, &prevented) {
+		t.Error("a rejected reload changed the served snapshot")
+	}
+}
+
+// TestServePrevention serves a snapshot with gateway + response policy:
+// the injection must be blocked mid-stream and the drop counted.
+func TestServePrevention(t *testing.T) {
+	snap, _, attacked := loadFixture(t)
+	armed := *snap
+	armed.Gateway = &store.GatewayPolicy{}
+	armed.Response = &store.ResponsePolicy{Rank: 10, BlockTop: 1, Quarantine: 30 * time.Second}
+
+	_, url := startServer(t, server.Config{Snapshot: &armed, Shards: 2})
+	if code := post(t, url+"/ingest/ms-can?format=csv", encodeCSV(t, attacked), nil); code != http.StatusOK {
+		t.Fatalf("ingest status %d", code)
+	}
+	var down struct {
+		Total engine.Stats `json:"total"`
+	}
+	if code := post(t, url+"/admin/shutdown", nil, &down); code != http.StatusOK {
+		t.Fatalf("shutdown status %d", code)
+	}
+	if down.Total.DroppedInjected == 0 {
+		t.Errorf("prevention stopped nothing: %+v", down.Total)
+	}
+
+	// The served prevention loop must match the engine run directly.
+	gw, err := gateway.New(armed.GatewayConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := response.New(gw, armed.ResponseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.NewTrained(engine.Config{Shards: 2, Core: armed.Core, Gateway: gw, Responder: resp}, armed.Template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := eng.Detect(context.Background(), attacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped != down.Total.Dropped || st.DroppedInjected != down.Total.DroppedInjected {
+		t.Errorf("served drops %d/%d, engine reference %d/%d",
+			down.Total.Dropped, down.Total.DroppedInjected, st.Dropped, st.DroppedInjected)
+	}
+}
+
+// TestServeIngestErrors covers the ingest failure paths: bad format,
+// malformed body (earlier records stay ingested), and 503 after drain.
+func TestServeIngestErrors(t *testing.T) {
+	snap, clean, _ := loadFixture(t)
+	_, url := startServer(t, server.Config{Snapshot: snap})
+
+	if code := post(t, url+"/ingest/ms-can?format=tsv", nil, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown format status %d, want 400", code)
+	}
+
+	body := append(encodeCSV(t, clean[:10]), []byte("this,is,not,a,csv,row,either\n")...)
+	var ing struct {
+		Records int    `json:"records"`
+		Error   string `json:"error"`
+	}
+	if code := post(t, url+"/ingest/ms-can?format=csv", body, &ing); code != http.StatusBadRequest {
+		t.Errorf("malformed body status %d, want 400", code)
+	}
+	if ing.Records != 10 || ing.Error == "" {
+		t.Errorf("malformed body response %+v, want 10 records and an error", ing)
+	}
+
+	if code := post(t, url+"/admin/shutdown", nil, nil); code != http.StatusOK {
+		t.Fatalf("shutdown failed")
+	}
+	if code := post(t, url+"/ingest/ms-can?format=csv", encodeCSV(t, clean[:5]), nil); code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain ingest status %d, want 503", code)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if code := get(t, url+"/healthz", &health); code != http.StatusOK || health.Status != "draining" {
+		t.Errorf("healthz after drain: %d %q", code, health.Status)
+	}
+}
+
+// TestServeStatsAndAlertsEndpoints exercises the read endpoints while
+// the pipeline is live.
+func TestServeStatsAndAlertsEndpoints(t *testing.T) {
+	snap, _, attacked := loadFixture(t)
+	s, url := startServer(t, server.Config{Snapshot: snap, MaxAlerts: 2})
+	if code := post(t, url+"/ingest/ms-can?format=csv", encodeCSV(t, attacked), nil); code != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	var st struct {
+		AlertsTotal uint64                  `json:"alerts_total"`
+		Total       engine.Stats            `json:"total"`
+		Buses       map[string]engine.Stats `json:"buses"`
+	}
+	if code := get(t, url+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Total.Frames != uint64(len(attacked)) || st.AlertsTotal == 0 {
+		t.Errorf("stats %+v", st)
+	}
+
+	var al struct {
+		Total  uint64               `json:"total"`
+		Alerts []server.TaggedAlert `json:"alerts"`
+	}
+	if code := get(t, url+"/alerts?n=1", &al); code != http.StatusOK {
+		t.Fatalf("alerts status %d", code)
+	}
+	if len(al.Alerts) != 1 || al.Total != st.AlertsTotal {
+		t.Errorf("alerts response: %d returned, total %d (stats total %d)", len(al.Alerts), al.Total, st.AlertsTotal)
+	}
+	// MaxAlerts=2 bounds the ring but not the running total.
+	if got := s.Alerts(0); len(got) > 2 {
+		t.Errorf("ring holds %d alerts, cap is 2", len(got))
+	}
+	if code := get(t, url+"/alerts?n=bogus", nil); code != http.StatusBadRequest {
+		t.Errorf("bad n status %d, want 400", code)
+	}
+}
+
+// TestServerLifecycleErrors pins the lifecycle edges: double start,
+// drain before start, ingest before start.
+func TestServerLifecycleErrors(t *testing.T) {
+	snap, _, _ := loadFixture(t)
+	s, err := server.New(server.Config{Snapshot: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(); err == nil {
+		t.Error("Drain before Start succeeded")
+	}
+	if _, err := s.Ingest("ms-can", trace.FormatCSV, bytes.NewReader(nil)); err == nil {
+		t.Error("Ingest before Start succeeded")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := s.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(ctx); err == nil {
+		t.Error("double Start succeeded")
+	}
+	if err := s.Drain(); err != nil {
+		t.Errorf("Drain: %v", err)
+	}
+
+	if _, err := server.New(server.Config{}); err == nil {
+		t.Error("New without snapshot succeeded")
+	}
+	bad := *snap
+	bad.Template.Width = 5
+	if _, err := server.New(server.Config{Snapshot: &bad}); err == nil {
+		t.Error("New with a broken snapshot succeeded")
+	}
+}
+
+// TestServeCancelUnwinds checks that canceling the run context stops
+// the pipeline without a drain and surfaces the cancellation.
+func TestServeCancelUnwinds(t *testing.T) {
+	snap, clean, _ := loadFixture(t)
+	s, err := server.New(server.Config{Snapshot: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := s.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest("ms-can", trace.FormatCSV, bytes.NewReader(encodeCSV(t, clean[:100]))); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case <-s.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("pipeline did not unwind after cancel")
+	}
+	if err := s.Drain(); err == nil {
+		t.Error("Drain after cancel should surface the cancellation")
+	}
+}
+
+func ExampleServer() {
+	fmt.Println("see examples/serving for the end-to-end walkthrough")
+	// Output: see examples/serving for the end-to-end walkthrough
+}

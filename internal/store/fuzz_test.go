@@ -1,0 +1,76 @@
+package store_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"canids/internal/can"
+	"canids/internal/core"
+	"canids/internal/store"
+)
+
+// fuzzSeedSnapshot builds a small valid snapshot without the simulator,
+// so the fuzz corpus stays cheap to regenerate.
+func fuzzSeedSnapshot() *store.Snapshot {
+	cfg := core.DefaultConfig()
+	tmpl := core.Template{Width: cfg.Width, Windows: 3}
+	for i := 0; i < cfg.Width; i++ {
+		tmpl.MeanH = append(tmpl.MeanH, 0.5)
+		tmpl.MinH = append(tmpl.MinH, 0.4)
+		tmpl.MaxH = append(tmpl.MaxH, 0.6)
+		tmpl.MeanP = append(tmpl.MeanP, 0.25)
+	}
+	return &store.Snapshot{Core: cfg, Template: tmpl, Pool: []can.ID{0x100, 0x2A0, 0x7FF}}
+}
+
+// FuzzStoreDecode feeds the snapshot decoder corrupt, truncated and
+// version-skewed inputs: it must always return an error or a fully
+// valid snapshot — never panic, never hand back a partial model. A
+// successful decode must survive its own re-encode bit-identically.
+func FuzzStoreDecode(f *testing.F) {
+	var buf bytes.Buffer
+	if err := store.Encode(&buf, fuzzSeedSnapshot()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(valid)
+	f.Add(valid[:0])
+	f.Add(valid[:8])            // magic only
+	f.Add(valid[:20])           // through the length field
+	f.Add(valid[:len(valid)-1]) // truncated payload
+	f.Add(append(valid, 0xAA))  // trailing garbage
+	f.Add(bytes.Repeat([]byte{0}, 64))
+	bumped := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(bumped[8:], store.Version+1)
+	f.Add(bumped)
+	flipped := append([]byte(nil), valid...)
+	flipped[20] ^= 0xFF // checksum
+	f.Add(flipped)
+	bomb := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(bomb[12:], 1<<62)
+	f.Add(bomb)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := store.Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Decode returned an invalid snapshot: %v", err)
+		}
+		var out bytes.Buffer
+		if err := store.Encode(&out, s); err != nil {
+			t.Fatalf("re-encode of a decoded snapshot failed: %v", err)
+		}
+		s2, err := store.Decode(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(s2, s) {
+			t.Fatal("decode → encode → decode is not a fixed point")
+		}
+	})
+}

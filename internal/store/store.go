@@ -1,0 +1,368 @@
+// Package store persists trained canids artifacts — the bit-entropy
+// golden template with its detector configuration, the legal identifier
+// pool, gateway policy (whitelist + learned rate budgets) and response
+// policy — as one versioned, checksummed snapshot, so a model trained
+// once on attack-free driving serves forever without retraining.
+//
+// # Format
+//
+// A snapshot is a small binary container around a JSON payload:
+//
+//	offset  size  field
+//	0       8     magic "CANIDSS\x01"
+//	8       4     format version (uint32 LE)
+//	12      8     payload length (uint64 LE)
+//	20      32    SHA-256 of the payload
+//	52      n     payload: the Snapshot as canonical encoding/json
+//
+// JSON keeps the payload inspectable (`tail -c +53 model.snap | jq .`)
+// and round-trips float64 exactly (Go emits the shortest representation
+// that parses back bit-identical), which is what makes the package's
+// core guarantee possible: a loaded snapshot drives a detector to a
+// bit-identical alert stream versus the never-serialized original
+// (TestSnapshotRoundTripAlerts).
+//
+// Loading is strict: wrong magic, version skew, truncation, trailing
+// garbage, checksum mismatch, unknown JSON fields and semantically
+// invalid artifacts (template vectors out of range, zero budgets, a
+// response policy without a pool) all return errors — never a panic,
+// never a silently partial model (FuzzStoreDecode pins this over a
+// corrupt/truncated/version-bumped corpus).
+//
+// Saving is atomic: Save writes to a temporary file in the destination
+// directory, syncs, and renames it into place, so a crash mid-write
+// leaves the previous snapshot intact and a reader never observes a
+// half-written file.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"canids/internal/can"
+	"canids/internal/core"
+	"canids/internal/gateway"
+	"canids/internal/response"
+)
+
+// Version is the current snapshot format version. Decode rejects any
+// other version: a model file must be re-trained (or migrated by an
+// explicit tool), never half-understood.
+const Version = 1
+
+// MaxPayload bounds the decoded payload size, so a forged length field
+// cannot make Decode allocate unbounded memory.
+const MaxPayload = 64 << 20
+
+// magic identifies a canids snapshot file.
+var magic = [8]byte{'C', 'A', 'N', 'I', 'D', 'S', 'S', 1}
+
+// headerSize is the fixed prefix before the payload.
+const headerSize = len(magic) + 4 + 8 + sha256.Size
+
+// Errors returned by Decode and Validate. Corruption errors wrap
+// ErrCorrupt; a well-formed file from a different format version wraps
+// ErrVersion.
+var (
+	ErrCorrupt = errors.New("store: snapshot corrupt")
+	ErrVersion = errors.New("store: snapshot version not supported")
+	ErrInvalid = errors.New("store: snapshot invalid")
+)
+
+// GatewayPolicy is the persisted gateway configuration: the whitelist
+// and the per-identifier rate budgets learned from clean traffic (with
+// the learning slack already baked into the values).
+type GatewayPolicy struct {
+	// Legal is the whitelisted identifier set; empty disables the
+	// whitelist check.
+	Legal []can.ID `json:"legal,omitempty"`
+	// RateWindow is the horizon over which budgets are enforced.
+	RateWindow time.Duration `json:"rate_window,omitempty"`
+	// RateSlack records the multiplier the budgets were learned with
+	// (informational — the budgets are enforced as-is).
+	RateSlack float64 `json:"rate_slack,omitempty"`
+	// Budgets is the per-identifier allowed frame count per RateWindow.
+	Budgets map[can.ID]int `json:"budgets,omitempty"`
+}
+
+// ResponsePolicy is the persisted responder configuration. The
+// inference pool is the snapshot's Pool.
+type ResponsePolicy struct {
+	// Rank is the inference candidate-set size.
+	Rank int `json:"rank"`
+	// BlockTop is how many top-ranked candidates to block per alert.
+	BlockTop int `json:"block_top"`
+	// Quarantine is the block duration per alert (0 = until lifted).
+	Quarantine time.Duration `json:"quarantine"`
+	// MinScore is the alert score floor below which no block is issued.
+	MinScore float64 `json:"min_score"`
+}
+
+// Snapshot is everything a serving node needs to detect (and prevent)
+// without retraining.
+type Snapshot struct {
+	// Core is the detector configuration the template was trained for.
+	Core core.Config `json:"core"`
+	// Template is the golden per-bit entropy template.
+	Template core.Template `json:"template"`
+	// Pool is the legal identifier set observed during training, used
+	// by malicious-ID inference and, optionally, as the whitelist.
+	Pool []can.ID `json:"pool,omitempty"`
+	// Gateway, when present, restores the gateway filter's policy.
+	Gateway *GatewayPolicy `json:"gateway,omitempty"`
+	// Response, when present, restores the responder's policy.
+	Response *ResponsePolicy `json:"response,omitempty"`
+}
+
+// New assembles and validates a detector-only snapshot; attach gateway
+// and response policy by setting the exported fields before saving.
+func New(cfg core.Config, tmpl core.Template, pool []can.ID) (*Snapshot, error) {
+	s := &Snapshot{Core: cfg, Template: tmpl, Pool: pool}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// CaptureGateway exports a gateway's live policy (whitelist, rate
+// window, budget table) for persistence. Returns nil for a nil gateway.
+func CaptureGateway(g *gateway.Gateway) *GatewayPolicy {
+	if g == nil {
+		return nil
+	}
+	return &GatewayPolicy{
+		Legal:      g.Legal(),
+		RateWindow: g.RateWindow(),
+		RateSlack:  g.RateSlack(),
+		Budgets:    g.Budgets(),
+	}
+}
+
+// CaptureResponse exports a responder policy for persistence. Returns
+// nil for a nil responder.
+func CaptureResponse(r *response.Responder) *ResponsePolicy {
+	if r == nil {
+		return nil
+	}
+	cfg := r.Config()
+	return &ResponsePolicy{
+		Rank:       cfg.Rank,
+		BlockTop:   cfg.BlockTop,
+		Quarantine: cfg.Quarantine,
+		MinScore:   cfg.MinScore,
+	}
+}
+
+// Validate checks the snapshot's semantic invariants — the last line of
+// defense between a decoded payload and a running detector.
+func (s *Snapshot) Validate() error {
+	if err := s.Core.Validate(); err != nil {
+		return fmt.Errorf("%w: core config: %v", ErrInvalid, err)
+	}
+	if err := s.Template.Validate(); err != nil {
+		return fmt.Errorf("%w: template: %v", ErrInvalid, err)
+	}
+	if s.Template.Width != s.Core.Width {
+		return fmt.Errorf("%w: template width %d, core width %d", ErrInvalid, s.Template.Width, s.Core.Width)
+	}
+	for _, id := range s.Pool {
+		if id > can.MaxExtendedID {
+			return fmt.Errorf("%w: pool identifier %#x out of range", ErrInvalid, uint32(id))
+		}
+	}
+	if g := s.Gateway; g != nil {
+		if g.RateSlack < 0 {
+			return fmt.Errorf("%w: gateway rate slack %v negative", ErrInvalid, g.RateSlack)
+		}
+		if (g.RateSlack > 0 || len(g.Budgets) > 0) && g.RateWindow <= 0 {
+			return fmt.Errorf("%w: gateway budgets without a positive rate window", ErrInvalid)
+		}
+		for _, id := range g.Legal {
+			if id > can.MaxExtendedID {
+				return fmt.Errorf("%w: whitelist identifier %#x out of range", ErrInvalid, uint32(id))
+			}
+		}
+		for id, b := range g.Budgets {
+			if id > can.MaxExtendedID {
+				return fmt.Errorf("%w: budget identifier %#x out of range", ErrInvalid, uint32(id))
+			}
+			if b < 1 {
+				return fmt.Errorf("%w: budget for %v is %d, must be >= 1", ErrInvalid, id, b)
+			}
+		}
+	}
+	if r := s.Response; r != nil {
+		if len(s.Pool) == 0 {
+			return fmt.Errorf("%w: response policy without an identifier pool", ErrInvalid)
+		}
+		if _, err := s.ResponseConfig().Normalize(); err != nil {
+			return fmt.Errorf("%w: response policy: %v", ErrInvalid, err)
+		}
+	}
+	return nil
+}
+
+// Detector builds a trained detector from the snapshot.
+func (s *Snapshot) Detector() (*core.Detector, error) {
+	d, err := core.New(s.Core)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.SetTemplate(s.Template); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// GatewayConfig materializes the persisted gateway policy (the zero
+// Config when the snapshot carries none — a permissive gateway that
+// still serves a blocklist).
+func (s *Snapshot) GatewayConfig() gateway.Config {
+	if s.Gateway == nil {
+		return gateway.Config{}
+	}
+	return gateway.Config{
+		Legal:      s.Gateway.Legal,
+		RateWindow: s.Gateway.RateWindow,
+		RateSlack:  s.Gateway.RateSlack,
+		Budgets:    s.Gateway.Budgets,
+	}
+}
+
+// ResponseConfig materializes the persisted response policy over the
+// snapshot's pool (zero-valued fields when the snapshot carries none;
+// response.Config.Normalize fills the defaults).
+func (s *Snapshot) ResponseConfig() response.Config {
+	cfg := response.Config{Pool: s.Pool, Width: s.Core.Width}
+	if s.Response != nil {
+		cfg.Rank = s.Response.Rank
+		cfg.BlockTop = s.Response.BlockTop
+		cfg.Quarantine = s.Response.Quarantine
+		cfg.MinScore = s.Response.MinScore
+	}
+	return cfg
+}
+
+// Encode writes the snapshot to w in the container format.
+func Encode(w io.Writer, s *Snapshot) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("store: encode: %w", err)
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:], magic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], Version)
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(hdr[20:], sum[:])
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("store: encode: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("store: encode: %w", err)
+	}
+	return nil
+}
+
+// Decode reads one snapshot from r, validating everything: container
+// framing, checksum, strict JSON shape, and semantic invariants. Any
+// malformed input returns an error; Decode never panics and never
+// returns a partially-populated snapshot.
+func Decode(r io.Reader) (*Snapshot, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	if !bytes.Equal(hdr[:8], magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != Version {
+		return nil, fmt.Errorf("%w: file version %d, supported %d", ErrVersion, v, Version)
+	}
+	n := binary.LittleEndian.Uint64(hdr[12:])
+	if n > MaxPayload {
+		return nil, fmt.Errorf("%w: payload length %d exceeds limit %d", ErrCorrupt, n, MaxPayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+	}
+	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], hdr[20:]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	// A snapshot is a whole file, not a stream element: anything after
+	// the payload is corruption (e.g. a truncated rewrite landing on a
+	// longer predecessor).
+	if _, err := io.ReadFull(r, make([]byte, 1)); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after payload", ErrCorrupt)
+	}
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	var s Snapshot
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("%w: payload json: %v", ErrCorrupt, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing json after payload", ErrCorrupt)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Save atomically writes the snapshot to path: encode to a temporary
+// file in the same directory, sync, rename over the destination. On any
+// error the destination is left untouched and the temporary removed.
+func Save(path string, s *Snapshot) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = Encode(f, s); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates the snapshot at path.
+func Load(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: load: %w", err)
+	}
+	defer f.Close()
+	s, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("store: load %s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,328 @@
+package store_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"canids/internal/attack"
+	"canids/internal/bus"
+	"canids/internal/can"
+	"canids/internal/core"
+	"canids/internal/detect"
+	"canids/internal/gateway"
+	"canids/internal/response"
+	"canids/internal/sim"
+	"canids/internal/store"
+	"canids/internal/trace"
+	"canids/internal/vehicle"
+)
+
+// simulate records traffic from the Fusion profile, optionally attacked.
+func simulate(t *testing.T, scen vehicle.Scenario, seed int64, d time.Duration, atk *attack.Config) trace.Trace {
+	t.Helper()
+	sched := sim.NewScheduler()
+	b, err := bus.New(sched, bus.Config{BitRate: bus.DefaultMSCANBitRate, Channel: "ms-can"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log trace.Trace
+	b.Tap(func(r trace.Record) { log = append(log, r) })
+	profile := vehicle.NewFusionProfile(1)
+	profile.Attach(sched, b, vehicle.Options{Scenario: scen, Seed: seed})
+	if atk != nil {
+		if _, err := attack.Launch(sched, b, nil, *atk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sched.RunUntil(d); err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// trainedFixture builds a trained configuration: core config, template,
+// pool and training windows from clean idle traffic.
+func trainedFixture(t *testing.T) (core.Config, core.Template, []can.ID, []trace.Trace) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Alpha = 4
+	clean := simulate(t, vehicle.Idle, 5, 8*time.Second, nil)
+	windows := clean.Windows(cfg.Window, false)
+	tmpl, err := core.BuildTemplate(windows, cfg.Width, cfg.MinFrames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, tmpl, clean.IDs(), windows
+}
+
+func fullSnapshot(t *testing.T) *store.Snapshot {
+	t.Helper()
+	cfg, tmpl, pool, windows := trainedFixture(t)
+	snap, err := store.New(cfg, tmpl, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := gateway.New(gateway.Config{Legal: pool, RateWindow: cfg.Window, RateSlack: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.LearnRates(windows); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := response.New(gw, response.DefaultConfig(pool))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Gateway = store.CaptureGateway(gw)
+	snap.Response = store.CaptureResponse(resp)
+	return snap
+}
+
+func sequentialAlerts(t *testing.T, d *core.Detector, tr trace.Trace) []detect.Alert {
+	t.Helper()
+	d.Reset()
+	var out []detect.Alert
+	for _, r := range tr {
+		out = append(out, d.Observe(r)...)
+	}
+	return append(out, d.Flush()...)
+}
+
+// TestSnapshotRoundTripAlerts is the package's core guarantee: a
+// detector rebuilt from a saved-and-loaded snapshot produces a
+// bit-identical alert stream to the never-serialized original.
+func TestSnapshotRoundTripAlerts(t *testing.T) {
+	snap := fullSnapshot(t)
+	path := filepath.Join(t.TempDir(), "model.snap")
+	if err := store.Save(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := store.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded, snap) {
+		t.Fatal("loaded snapshot differs from the saved one")
+	}
+
+	attacked := simulate(t, vehicle.Idle, 7, 10*time.Second, &attack.Config{
+		Scenario: attack.Single, IDs: []can.ID{0x0B5}, Frequency: 100,
+		Start: 2 * time.Second, Seed: 9,
+	})
+	orig, err := snap.Detector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := loaded.Detector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sequentialAlerts(t, orig, attacked)
+	got := sequentialAlerts(t, restored, attacked)
+	if len(want) == 0 {
+		t.Fatal("no alerts on the attacked trace; fixture too weak")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored detector alert stream differs: got %d alerts, want %d", len(got), len(want))
+	}
+
+	// The gateway rebuilt from the loaded policy classifies identically.
+	gwWant, err := gateway.New(snap.GatewayConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwGot, err := gateway.New(loaded.GatewayConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwdWant, stWant := gwWant.Filter(attacked)
+	fwdGot, stGot := gwGot.Filter(attacked)
+	if !reflect.DeepEqual(fwdGot, fwdWant) || stGot != stWant {
+		t.Fatalf("restored gateway classifies differently: %+v vs %+v", stGot, stWant)
+	}
+}
+
+// TestSaveAtomic pins the write-rename discipline: overwriting an
+// existing snapshot either fully succeeds or leaves it untouched, and
+// no temporary files are left behind.
+func TestSaveAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.snap")
+	snap := fullSnapshot(t)
+	if err := store.Save(path, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second save with a modified model must replace it completely.
+	snap2 := *snap
+	snap2.Core.Alpha = 7
+	if err := store.Save(path, &snap2); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := store.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Core.Alpha != 7 {
+		t.Fatalf("overwrite lost: alpha %v, want 7", loaded.Core.Alpha)
+	}
+
+	// A failing save (invalid snapshot) must leave the file untouched.
+	bad := *snap
+	bad.Template.Width = 0
+	if err := store.Save(path, &bad); err == nil {
+		t.Fatal("saving an invalid snapshot succeeded")
+	}
+	if loaded, err = store.Load(path); err != nil || loaded.Core.Alpha != 7 {
+		t.Fatalf("failed save damaged the snapshot: %v", err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "model.snap" {
+			t.Errorf("leftover file %q after saves", e.Name())
+		}
+	}
+}
+
+// reframe wraps a payload in a fresh, internally-consistent container
+// header, so tests can reach the JSON and semantic validation layers.
+func reframe(payload []byte) []byte {
+	var buf bytes.Buffer
+	buf.Write([]byte{'C', 'A', 'N', 'I', 'D', 'S', 'S', 1})
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], store.Version)
+	buf.Write(v[:])
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(payload)))
+	buf.Write(n[:])
+	sum := sha256.Sum256(payload)
+	buf.Write(sum[:])
+	buf.Write(payload)
+	return buf.Bytes()
+}
+
+// TestDecodeRejectsMalformed sweeps the corruption classes the loader
+// must refuse: framing damage, version skew, checksum mismatch, strict
+// JSON violations and semantically invalid artifacts.
+func TestDecodeRejectsMalformed(t *testing.T) {
+	snap := fullSnapshot(t)
+	var buf bytes.Buffer
+	if err := store.Encode(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	payloadStart := len(valid) - int(binary.LittleEndian.Uint64(valid[12:20]))
+
+	mutate := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), valid...)
+		return f(b)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error // nil = any error
+	}{
+		{"empty", nil, store.ErrCorrupt},
+		{"short header", valid[:10], store.ErrCorrupt},
+		{"bad magic", mutate(func(b []byte) []byte { b[0] = 'X'; return b }), store.ErrCorrupt},
+		{"version bump", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], store.Version+1)
+			return b
+		}), store.ErrVersion},
+		{"truncated payload", valid[:len(valid)-7], store.ErrCorrupt},
+		{"length beyond data", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[12:], uint64(len(valid))) // longer than remaining
+			return b
+		}), store.ErrCorrupt},
+		{"length bomb", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[12:], store.MaxPayload+1)
+			return b
+		}), store.ErrCorrupt},
+		{"checksum flip", mutate(func(b []byte) []byte { b[20] ^= 0xFF; return b }), store.ErrCorrupt},
+		{"payload flip", mutate(func(b []byte) []byte { b[payloadStart] ^= 0xFF; return b }), store.ErrCorrupt},
+		{"trailing garbage", append(append([]byte(nil), valid...), 0), store.ErrCorrupt},
+		{"unknown json field", reframe([]byte(`{"core":{},"template":{},"surprise":1}`)), store.ErrCorrupt},
+		{"json not object", reframe([]byte(`[1,2,3]`)), store.ErrCorrupt},
+		{"empty model", reframe([]byte(`{}`)), store.ErrInvalid},
+	}
+	for _, tc := range cases {
+		_, err := store.Decode(bytes.NewReader(tc.data))
+		if err == nil {
+			t.Errorf("%s: Decode succeeded, want error", tc.name)
+			continue
+		}
+		if tc.want != nil && !errors.Is(err, tc.want) {
+			t.Errorf("%s: error %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestValidateSemantics sweeps the semantic invariants Validate must
+// hold against a structurally well-formed snapshot.
+func TestValidateSemantics(t *testing.T) {
+	base := fullSnapshot(t)
+	cases := []struct {
+		name string
+		mut  func(s *store.Snapshot)
+	}{
+		{"width mismatch", func(s *store.Snapshot) { s.Core.Width = 12 }},
+		{"zero alpha", func(s *store.Snapshot) { s.Core.Alpha = 0 }},
+		{"negative window", func(s *store.Snapshot) { s.Core.Window = -1 }},
+		{"entropy above one", func(s *store.Snapshot) { s.Template.MeanH[0] = 1.5 }},
+		{"entropy NaN", func(s *store.Snapshot) { s.Template.MaxH[3] = math.NaN() }},
+		{"min above max", func(s *store.Snapshot) { s.Template.MinH[2] = s.Template.MaxH[2] + 0.1 }},
+		{"probability negative", func(s *store.Snapshot) { s.Template.MeanP[1] = -0.2 }},
+		{"no training windows", func(s *store.Snapshot) { s.Template.Windows = 0 }},
+		{"short vector", func(s *store.Snapshot) { s.Template.MeanH = s.Template.MeanH[:5] }},
+		{"pool id out of range", func(s *store.Snapshot) { s.Pool = append(s.Pool, can.MaxExtendedID+1) }},
+		{"zero budget", func(s *store.Snapshot) { s.Gateway.Budgets[0x100] = 0 }},
+		{"budgets without window", func(s *store.Snapshot) { s.Gateway.RateWindow = 0 }},
+		{"response without pool", func(s *store.Snapshot) { s.Pool = nil }},
+		{"blocktop above rank", func(s *store.Snapshot) { s.Response.BlockTop = s.Response.Rank + 1 }},
+		{"negative quarantine", func(s *store.Snapshot) { s.Response.Quarantine = -time.Second }},
+	}
+	for _, tc := range cases {
+		// Deep-copy via the codec so mutations don't leak between cases.
+		var buf bytes.Buffer
+		if err := store.Encode(&buf, base); err != nil {
+			t.Fatal(err)
+		}
+		s, err := store.Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.mut(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the snapshot", tc.name)
+		} else if !errors.Is(err, store.ErrInvalid) {
+			t.Errorf("%s: error %v does not wrap ErrInvalid", tc.name, err)
+		}
+	}
+}
+
+// TestPayloadIsInspectableJSON documents the debugging affordance: the
+// payload after the fixed header is plain JSON.
+func TestPayloadIsInspectableJSON(t *testing.T) {
+	snap := fullSnapshot(t)
+	var buf bytes.Buffer
+	if err := store.Encode(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	payload := buf.Bytes()[52:]
+	if !strings.HasPrefix(string(payload), `{"core":`) {
+		t.Errorf("payload does not start with JSON object: %.40q", payload)
+	}
+}
