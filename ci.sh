@@ -70,6 +70,81 @@ if [[ -z "$offline" || "$offline" -eq 0 || "$served" != "$offline" ]]; then
 fi
 echo "serve smoke: $served alerts served == offline run, clean shutdown"
 
+# Adapt smoke: serve the trained snapshot with online adaptation and
+# checkpointing behind an admin token, ingest drifted clean traffic
+# (cruise driving against an idle-trained model), require at least one
+# model promotion in /stats and a 401 on unauthenticated admin verbs,
+# checkpoint, restart the daemon from the version-2 checkpoint, ingest
+# the same traffic again, and require the served counts to match — the
+# adapted model survives the restart (see internal/adapt).
+echo "== adapt smoke"
+# Same vehicle (profile seed 1, like the training capture), different
+# traffic randomness: clean drift the idle-trained model never saw.
+go run ./cmd/cangen -duration 12s -seed 1 -traffic-seed 9 -scenario idle -format csv -o "$smoke/drift.csv"
+token=smoke-token
+"$smoke/canids" -serve -addr 127.0.0.1:0 -load "$smoke/model.snap" -shards 2 \
+  -adapt -adapt-every 3 -checkpoint "$smoke/ck.snap" -admin-token "$token" >"$smoke/adapt.log" &
+serve_pid=$!
+base=""
+for _ in $(seq 1 100); do
+  base=$(grep -o 'http://[0-9.:]*' "$smoke/adapt.log" | head -1 || true)
+  if [[ -n "$base" ]]; then break; fi
+  sleep 0.1
+done
+if [[ -z "$base" ]]; then echo "adapt smoke: daemon never announced its address"; cat "$smoke/adapt.log"; exit 1; fi
+if ! curl -sfS --data-binary @"$smoke/drift.csv" "$base/ingest/ms-can?format=csv" >/dev/null; then
+  echo "adapt smoke FAILED: ingest rejected"; cat "$smoke/adapt.log"; exit 1
+fi
+promoted=""
+for _ in $(seq 1 100); do
+  if curl -sS "$base/stats" | grep -qE '"promotions":[1-9]'; then promoted=yes; break; fi
+  sleep 0.1
+done
+if [[ -z "$promoted" ]]; then
+  echo "adapt smoke FAILED: no promotion in /stats"; curl -sS "$base/stats"; cat "$smoke/adapt.log"; exit 1
+fi
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/admin/checkpoint")
+if [[ "$code" != "401" ]]; then
+  echo "adapt smoke FAILED: unauthenticated admin checkpoint answered $code, want 401"; exit 1
+fi
+if ! curl -sfS -X POST -H "Authorization: Bearer $token" "$base/admin/checkpoint" >/dev/null; then
+  echo "adapt smoke FAILED: authorized checkpoint rejected"; cat "$smoke/adapt.log"; exit 1
+fi
+down1=$(curl -sS -X POST -H "Authorization: Bearer $token" "$base/admin/shutdown")
+first=$(echo "$down1" | grep -o '"Frames":[0-9]*' | head -1)
+first_alerts=$(echo "$down1" | grep -o '"alerts_total":[0-9]*' | head -1)
+wait "$serve_pid"
+serve_pid=""
+ck="$smoke/ck.ms-can.snap"
+if [[ ! -f "$ck" ]]; then echo "adapt smoke FAILED: checkpoint file missing"; ls "$smoke"; exit 1; fi
+"$smoke/canids" -serve -addr 127.0.0.1:0 -load "$ck" -shards 2 >"$smoke/adapt2.log" &
+serve_pid=$!
+base=""
+for _ in $(seq 1 100); do
+  base=$(grep -o 'http://[0-9.:]*' "$smoke/adapt2.log" | head -1 || true)
+  if [[ -n "$base" ]]; then break; fi
+  sleep 0.1
+done
+if [[ -z "$base" ]]; then echo "adapt smoke: restarted daemon never announced its address"; cat "$smoke/adapt2.log"; exit 1; fi
+if ! grep -q "adaptation provenance" "$smoke/adapt2.log"; then
+  echo "adapt smoke FAILED: restart does not announce the checkpoint's adaptation metadata"; cat "$smoke/adapt2.log"; exit 1
+fi
+if ! curl -sfS --data-binary @"$smoke/drift.csv" "$base/ingest/ms-can?format=csv" >/dev/null; then
+  echo "adapt smoke FAILED: restart ingest rejected"; cat "$smoke/adapt2.log"; exit 1
+fi
+down2=$(curl -sS -X POST "$base/admin/shutdown")
+second=$(echo "$down2" | grep -o '"Frames":[0-9]*' | head -1)
+second_alerts=$(echo "$down2" | grep -o '"alerts_total":[0-9]*' | head -1)
+wait "$serve_pid"
+serve_pid=""
+# Frames pin the transport; alerts_total pins the model — a checkpoint
+# restored to the wrong (un-adapted) template would score differently.
+if [[ -z "$first" || "$first" != "$second" || -z "$first_alerts" || "$first_alerts" != "$second_alerts" ]]; then
+  echo "adapt smoke FAILED: served counts differ across the restart (${first:-?}/${first_alerts:-?} vs ${second:-?}/${second_alerts:-?})"
+  cat "$smoke/adapt.log" "$smoke/adapt2.log"; exit 1
+fi
+echo "adapt smoke: promotion observed, checkpoint restarted, $second + $second_alerts served across restart"
+
 bench_raw=$(go test -run '^$' -bench . -benchtime=1x -benchmem .)
 echo "$bench_raw"
 

@@ -34,6 +34,7 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		duration = fs.Duration("duration", 30*time.Second, "simulated capture length")
 		seed     = fs.Int64("seed", 1, "profile and traffic seed")
+		traffic  = fs.Int64("traffic-seed", 0, "traffic randomness seed (0 = -seed): vary payloads and timing without changing the vehicle's identifier map")
 		scenario = fs.String("scenario", "idle", "driving scenario: idle|audio|lights|cruise")
 		format   = fs.String("format", "candump", "output format: candump|csv|binary")
 		bitrate  = fs.Int("bitrate", bus.DefaultMSCANBitRate, "bus bit rate (bit/s)")
@@ -56,7 +57,11 @@ func run(args []string, stdout io.Writer) error {
 	var log trace.Trace
 	b.Tap(func(r trace.Record) { log = append(log, r) })
 	profile := vehicle.NewFusionProfile(*seed)
-	profile.Attach(sched, b, vehicle.Options{Scenario: scen, Seed: *seed})
+	trafficSeed := *traffic
+	if trafficSeed == 0 {
+		trafficSeed = *seed
+	}
+	profile.Attach(sched, b, vehicle.Options{Scenario: scen, Seed: trafficSeed})
 	if err := sched.RunUntil(*duration); err != nil {
 		return err
 	}

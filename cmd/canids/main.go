@@ -46,6 +46,17 @@
 //	curl -X POST --data-binary @model2.snap http://127.0.0.1:8080/admin/reload
 //	curl -X POST http://127.0.0.1:8080/admin/shutdown
 //
+// Adapt online while serving — clean live windows re-learn the gateway
+// rate budgets and refresh the template, promotions land at window
+// boundaries, and checkpoints persist what was learned as version-2
+// snapshots that a restart -loads; protect the admin verbs with a
+// bearer token:
+//
+//	canids -serve -load model.snap -adapt -checkpoint ck.snap -admin-token $TOKEN
+//	curl http://127.0.0.1:8080/admin/adapt -H "Authorization: Bearer $TOKEN"
+//	curl -X POST 'http://127.0.0.1:8080/admin/adapt?action=pause' -H "Authorization: Bearer $TOKEN"
+//	canids -serve -load ck.ms-can.snap    # budgets survive the restart
+//
 // When the input carries ground truth (csv, or a matrix scenario),
 // detection, inference and prevention (attack frames blocked vs
 // legitimate collateral drops) are also scored.
@@ -121,6 +132,11 @@ func run(args []string, stdout io.Writer) error {
 		baselines    = fs.Bool("baselines", false, "run the Müter and Song baselines alongside (scenario mode)")
 		metricsEvery = fs.Duration("metrics", 2*time.Second, "live metrics interval for -watch (0 disables)")
 
+		adaptOn    = fs.Bool("adapt", false, "with -serve, learn budgets/template online from live clean windows")
+		adaptEvery = fs.Int("adapt-every", 0, "with -adapt, promotion cadence in clean windows, also the warm-up before the first promotion (0 = defaults)")
+		checkpoint = fs.String("checkpoint", "", "with -adapt, persist adapted models as v2 snapshots to this base path (per bus: model.<bus>.snap)")
+		adminToken = fs.String("admin-token", os.Getenv("CANIDS_ADMIN_TOKEN"), "with -serve, require this bearer token on /admin/* (default $CANIDS_ADMIN_TOKEN; empty = open)")
+
 		prevent    = fs.Bool("prevent", false, "close the loop: gateway pre-filter + alert-driven blocking")
 		whitelist  = fs.Bool("whitelist", false, "with -prevent, also drop IDs outside the legal pool")
 		quarantine = fs.Duration("quarantine", 30*time.Second, "with -prevent, block duration per alert (0 = forever)")
@@ -160,6 +176,15 @@ func run(args []string, stdout io.Writer) error {
 	if *savePath != "" && !*train && !(*watch && *scenarioName != "") {
 		return fmt.Errorf("-save needs a mode that trains: -train, or -watch -scenario")
 	}
+	if !*serve {
+		explicit := make(map[string]bool)
+		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		for _, name := range []string{"adapt", "adapt-every", "checkpoint", "admin-token"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s needs -serve", name)
+			}
+		}
+	}
 
 	switch {
 	case *list:
@@ -171,7 +196,25 @@ func run(args []string, stdout io.Writer) error {
 		if len(files) != 0 {
 			return fmt.Errorf("-serve takes no input files; ingest over HTTP")
 		}
-		return runServe(*addr, *loadPath, *shards, stdout)
+		if !*adaptOn {
+			for flag, set := range map[string]bool{
+				"-adapt-every": *adaptEvery != 0,
+				"-checkpoint":  *checkpoint != "",
+			} {
+				if set {
+					return fmt.Errorf("%s needs -adapt", flag)
+				}
+			}
+		}
+		return runServe(serveOptions{
+			addr:       *addr,
+			loadPath:   *loadPath,
+			shards:     *shards,
+			adapt:      *adaptOn,
+			adaptEvery: *adaptEvery,
+			checkpoint: *checkpoint,
+			adminToken: *adminToken,
+		}, stdout)
 	case *watch:
 		return runWatch(watchOptions{
 			files:        files,
@@ -705,20 +748,43 @@ func saveScenarioSnapshot(parts *engineParts, stdout io.Writer) (*store.Snapshot
 	return snap, nil
 }
 
+// serveOptions collects the -serve flags.
+type serveOptions struct {
+	addr       string
+	loadPath   string
+	shards     int
+	adapt      bool
+	adaptEvery int
+	checkpoint string
+	adminToken string
+}
+
 // runServe is the long-running daemon: restore the model from a
 // snapshot, serve the HTTP API until a signal or an admin shutdown,
 // then drain cleanly (final partial windows are flushed, like the
-// offline detector's Flush).
-func runServe(addr, loadPath string, shards int, stdout io.Writer) error {
-	snap, err := store.Load(loadPath)
+// offline detector's Flush). With -adapt the daemon also learns from
+// live clean windows and, with -checkpoint, persists what it learned.
+func runServe(opts serveOptions, stdout io.Writer) error {
+	snap, err := store.Load(opts.loadPath)
 	if err != nil {
 		return err
 	}
-	srv, err := server.New(server.Config{Snapshot: snap, Shards: shards})
+	cfg := server.Config{
+		Snapshot:       snap,
+		Shards:         opts.shards,
+		CheckpointPath: opts.checkpoint,
+		AdminToken:     opts.adminToken,
+	}
+	if opts.adapt {
+		// The cadence doubles as the warm-up: "-adapt-every 3" promotes
+		// first after 3 clean windows, then every 3.
+		cfg.Adapt = &server.AdaptOptions{Every: opts.adaptEvery, MinWindows: opts.adaptEvery}
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err
 	}
@@ -726,13 +792,20 @@ func runServe(addr, loadPath string, shards int, stdout io.Writer) error {
 	if snap.Gateway != nil || snap.Response != nil {
 		mode = "prevent"
 	}
+	if opts.adapt {
+		mode += "+adapt"
+	}
 	// The pipeline deliberately does not run on the signal context: a
 	// signal triggers a graceful drain below, not a mid-window abort.
 	if err := srv.Start(context.Background()); err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "serving on http://%s (%s mode, window %v, alpha %g, %d training windows, %d pool IDs, %d shards)\n",
-		ln.Addr(), mode, snap.Core.Window, snap.Core.Alpha, snap.Template.Windows, len(snap.Pool), shards)
+		ln.Addr(), mode, snap.Core.Window, snap.Core.Alpha, snap.Template.Windows, len(snap.Pool), opts.shards)
+	if snap.Adapt != nil {
+		fmt.Fprintf(stdout, "snapshot carries adaptation provenance: %d promotions over %d windows (drift %.2e)\n",
+			snap.Adapt.Promotions, snap.Adapt.Windows, snap.Adapt.Drift)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -764,6 +837,14 @@ func runServe(addr, loadPath string, shards int, stdout io.Writer) error {
 	total, _ := srv.Stats()
 	fmt.Fprintf(stdout, "served %d frames, %d windows, %d alerts\n",
 		total.Frames, total.Windows, srv.AlertsTotal())
+	if opts.adapt {
+		var promotions, windows uint64
+		for _, st := range srv.AdaptStatus() {
+			promotions += st.Promotions
+			windows += st.Windows
+		}
+		fmt.Fprintf(stdout, "adaptation: %d promotions over %d windows\n", promotions, windows)
+	}
 	return drainErr
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -585,6 +586,138 @@ func TestServeValidation(t *testing.T) {
 		{"-detect", "-load", "x.snap", "-alpha", "4", "a.csv"},                                           // alpha is baked into the snapshot
 		{"-watch", "-load", "x.snap", "-window", "2s", "a.csv"},                                          // window is baked into the snapshot
 		{"-detect", "-load", "x.snap", "-template", "t.json", "a.csv"},                                   // template is baked into the snapshot
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestServeAdaptEndToEnd drives online adaptation through the real
+// CLI: serve -adapt -checkpoint behind an admin token, ingest clean
+// traffic, require a promotion in /stats, checkpoint through the
+// (authenticated) admin verb, and restart the daemon from the
+// version-2 checkpoint.
+func TestServeAdaptEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	clean := makeCapture(t, dir, "clean.csv", vehicle.Idle, 5, 8*time.Second, nil)
+	snap := filepath.Join(dir, "model.snap")
+	if err := run([]string{"-train", "-alpha", "4", "-o", filepath.Join(dir, "t.json"), "-save", snap, clean}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	drifted := makeCapture(t, dir, "drifted.csv", vehicle.Idle, 21, 10*time.Second, nil)
+	ck := filepath.Join(dir, "ck.snap")
+
+	startDaemon := func(args []string, out *syncBuffer) (string, chan error) {
+		t.Helper()
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- run(args, out) }()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if time.Now().After(deadline) {
+				t.Fatalf("server never announced its address:\n%s", out.String())
+			}
+			if m := regexp.MustCompile(`serving on (http://\S+) `).FindStringSubmatch(out.String()); m != nil {
+				return m[1], serveErr
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	req := func(method, url, token string, body []byte) (int, string) {
+		t.Helper()
+		r, err := http.NewRequest(method, url, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			r.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(data)
+	}
+
+	out := &syncBuffer{}
+	base, serveErr := startDaemon([]string{
+		"-serve", "-addr", "127.0.0.1:0", "-load", snap, "-shards", "2",
+		"-adapt", "-adapt-every", "3", "-checkpoint", ck, "-admin-token", "tok",
+	}, out)
+	if !strings.Contains(out.String(), "+adapt mode") {
+		t.Errorf("startup line does not announce adaptation:\n%s", out.String())
+	}
+
+	body, err := os.ReadFile(drifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, resp := req("POST", base+"/ingest/ms-can?format=csv", "", body); code != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", code, resp)
+	}
+	// Ingest returns once every record is in the (buffered) feed; the
+	// engines may still be scoring, so poll for the promotion.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, stats := req("GET", base+"/stats", "", nil)
+		if code == http.StatusOK && regexp.MustCompile(`"promotions":[1-9]`).MatchString(stats) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no promotion in /stats (%d):\n%s", code, stats)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if code, _ := req("POST", base+"/admin/checkpoint", "", nil); code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated checkpoint: %d, want 401", code)
+	}
+	if code, resp := req("POST", base+"/admin/checkpoint", "tok", nil); code != http.StatusOK {
+		t.Fatalf("checkpoint status %d: %s", code, resp)
+	}
+	if code, _ := req("POST", base+"/admin/shutdown", "tok", nil); code != http.StatusOK {
+		t.Fatalf("shutdown failed: %d", code)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve returned: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "adaptation: ") {
+		t.Errorf("no adaptation summary:\n%s", out.String())
+	}
+
+	// Restart from the per-bus checkpoint: the v2 snapshot loads, its
+	// provenance is announced, and the daemon serves.
+	ckFile := filepath.Join(dir, "ck.ms-can.snap")
+	if _, err := os.Stat(ckFile); err != nil {
+		t.Fatalf("checkpoint file missing: %v", err)
+	}
+	out2 := &syncBuffer{}
+	base2, serveErr2 := startDaemon([]string{"-serve", "-addr", "127.0.0.1:0", "-load", ckFile, "-shards", "2"}, out2)
+	if !strings.Contains(out2.String(), "adaptation provenance") {
+		t.Errorf("restart does not announce the snapshot's adaptation metadata:\n%s", out2.String())
+	}
+	if code, resp := req("POST", base2+"/ingest/ms-can?format=csv", "", body); code != http.StatusOK {
+		t.Fatalf("restart ingest status %d: %s", code, resp)
+	}
+	if code, _ := req("POST", base2+"/admin/shutdown", "", nil); code != http.StatusOK {
+		t.Fatalf("restart shutdown failed: %d", code)
+	}
+	if err := <-serveErr2; err != nil {
+		t.Fatalf("restarted serve returned: %v\n%s", err, out2.String())
+	}
+}
+
+// TestServeAdaptValidation pins the adaptation flag-combination errors.
+func TestServeAdaptValidation(t *testing.T) {
+	cases := [][]string{
+		{"-serve", "-load", "x.snap", "-checkpoint", "c.snap"}, // checkpoint without adapt
+		{"-serve", "-load", "x.snap", "-adapt-every", "3"},     // adapt-every without adapt
+		{"-watch", "-adapt", "a.csv"},                          // adapt without serve
+		{"-detect", "-checkpoint", "c.snap", "a.csv"},          // checkpoint without serve
+		{"-train", "-admin-token", "t", "a.csv"},               // token without serve
+		{"-detect", "-adapt-every", "2", "a.csv"},              // cadence without serve
 	}
 	for _, args := range cases {
 		if err := run(args, &bytes.Buffer{}); err == nil {

@@ -26,11 +26,12 @@
 //	internal/sim         deterministic discrete-event scheduler, fast seeded RNG
 //	internal/engine      sharded streaming detection + prevention engine, multi-bus supervisor
 //	internal/engine/scenario  named scenario matrix (profiles × drives × attacks)
-//	internal/store       versioned, checksummed model snapshots (atomic save, strict load)
-//	internal/server      long-running HTTP serving daemon (ingest, stats, hot reload)
+//	internal/store       versioned, checksummed model snapshots (atomic save, strict load, v1→v2 migration)
+//	internal/server      long-running HTTP serving daemon (ingest, stats, hot reload, adaptation, checkpoints)
+//	internal/adapt       online adaptation: clean-window learning, boundary-pinned promotions
 //	internal/experiments one runner per paper table and figure
 //	cmd/...              cangen, canattack, canids, experiments
-//	examples/...         quickstart, livebus, offline, sweep, streaming, prevention
+//	examples/...         quickstart, livebus, offline, sweep, streaming, prevention, serving, adaptation
 //
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation; see EXPERIMENTS.md for the measured results.
@@ -119,6 +120,42 @@
 // invariant ci.sh's serve smoke leg scripts against (served alert count
 // == offline -detect run on the same capture and snapshot).
 //
+// # Online adaptation
+//
+// A daemon that serves for months meets drift the training capture
+// never saw — new ECUs after a firmware update, seasonal bus load,
+// changed duty cycles. internal/adapt closes that loop without an
+// operator: an Adapter rides the engine's adaptation hook
+// (engine.Config.Adapt), classifies every closed detection window —
+// clean means alert-free, gateway-pass, dense enough to score — and
+// learns only from the clean ones: per-identifier rate peaks feed a
+// bounded ring (gateway.RateLearner, the incremental form of the
+// LearnRates math, pinned equal by TestRateLearnerMatchesBatch), and
+// the template's per-bit means are EWMA-refreshed while its trained
+// thresholds stay fixed. On a clean-window cadence the adapter promotes
+// the re-learned budgets and refreshed template through the same
+// engine.Swap window-boundary mechanism a hot reload uses, so the
+// adapted run stays deterministic: the alert stream is bit-identical to
+// a sequential classify→observe→adapt loop swapping the same models at
+// the same boundaries, at shards 1/2/8 under -race
+// (TestEngineAdaptMatchesSequential).
+//
+// `canids -serve -adapt` arms one adapter per bus; /admin/adapt serves
+// the counters and the pause/resume/force controls, and /stats carries
+// the per-bus adaptation section. With -checkpoint, every promotion
+// (and the final drain) persists the adapted model as a version-2
+// snapshot — the first snapshot schema evolution: format 2 adds
+// adaptation provenance (windows observed, promotions, last promotion
+// boundary, drift), and store.Decode migrates format-1 files in code so
+// every pre-existing snapshot still loads bit-identically
+// (TestSnapshotV1MigratesToV2). A restarted daemon -loads the
+// checkpoint and the learned budgets survive, which ci.sh's adapt smoke
+// leg scripts end to end. The admin surface hardens accordingly:
+// Config.AdminToken puts every /admin/* verb behind a bearer token
+// (401 otherwise). The daemon itself deliberately speaks plain HTTP —
+// for any untrusted transport, terminate TLS in front (nginx, caddy, a
+// service mesh) and carry the token only inside that tunnel.
+//
 // # Performance
 //
 // The paper's core claim is that bit-level entropy detection is
@@ -149,7 +186,13 @@
 //     vehicle attach;
 //   - the engine's per-frame shard path (receive, BitCounter.Add,
 //     atomic tick) allocates nothing; TestEngineSteadyStateAllocs
-//     bounds a whole run at <0.25 allocs/frame.
+//     bounds a whole run at <0.25 allocs/frame;
+//   - serve ingest batches decoded records into recycled
+//     []trace.Record slabs (engine.RecordPool) through the feed channel
+//     and the supervisor demux, mirroring the engine's internal
+//     Config.Batch — one channel operation per batch instead of per
+//     record lifted BenchmarkServeIngest from ~1.9M to ~2.5M frames/s
+//     (BENCH_4 → BENCH_5).
 //
 // The experiment pipeline (internal/experiments) memoizes the clean
 // training traffic and golden template per parameter set, caches

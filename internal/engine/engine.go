@@ -138,6 +138,51 @@ type Config struct {
 	// the hook the watch mode uses to score prevention against ground
 	// truth. It must not call back into the engine.
 	OnDrop func(rec trace.Record, v gateway.Verdict)
+	// Adapt, when set, is the online-adaptation hook (internal/adapt
+	// implements it): Observe sees every forwarded record on the
+	// dispatch goroutine, and WindowClosed runs at every window boundary
+	// — after the closed window's alerts have been handled — so a
+	// returned Swap lands at that exact boundary. Installing a hook
+	// enables the same per-window dispatcher barrier prevention uses,
+	// which is what makes the closed window's verdict available at the
+	// boundary deterministically. The hook must not call back into the
+	// engine.
+	Adapt AdaptHook
+}
+
+// WindowInfo describes one closed detection window to the adaptation
+// hook. Start/End delimit the closed window; NextStart is the start of
+// the window now opening — the stream position a Swap returned from
+// WindowClosed applies from (after a quiet gap it can be later than
+// End).
+type WindowInfo struct {
+	Start, End time.Duration
+	NextStart  time.Duration
+	// Alerted reports whether the bit-entropy detector alerted on the
+	// closed window (baseline detectors do not count: adaptation learns
+	// the primary model).
+	Alerted bool
+	// Dropped is how many records the gateway refused while the window
+	// was open (classification precedes the window walk, so a drop is
+	// attributed to the window that was open when it was classified;
+	// drops before the first window count toward the first).
+	Dropped uint64
+}
+
+// AdaptHook observes the forwarded stream and proposes model updates at
+// window boundaries. Both methods are called from the dispatch
+// goroutine, in stream order, so a deterministic hook makes the whole
+// adapted run a pure function of the record stream.
+type AdaptHook interface {
+	// Observe is called for every record the gateway forwarded, after
+	// the boundary walk — the record belongs to the currently open
+	// window.
+	Observe(rec trace.Record)
+	// WindowClosed is called once per closed window. A non-nil Swap is
+	// validated like Engine.Swap and installed at this boundary: every
+	// window from info.NextStart on is scored (and classified) under
+	// the returned artifacts.
+	WindowClosed(info WindowInfo) *Swap
 }
 
 // DefaultConfig returns a single-shard engine at the paper's detector
@@ -230,6 +275,20 @@ type Swap struct {
 // flight; a swap queued while the engine is idle applies at the first
 // boundary of the next run.
 func (e *Engine) Swap(sw Swap) error {
+	if err := e.validateSwap(&sw); err != nil {
+		return err
+	}
+	e.swapMu.Lock()
+	e.pendingSwap = &sw
+	e.swapMu.Unlock()
+	return nil
+}
+
+// validateSwap checks a model update against the engine's configuration
+// and normalizes its response policy in place, so an accepted swap can
+// never fail when it is installed mid-stream. Shared by Swap (queued
+// updates) and the dispatcher's adaptation path (hook-returned updates).
+func (e *Engine) validateSwap(sw *Swap) error {
 	if err := sw.Template.Validate(); err != nil {
 		return fmt.Errorf("engine: swap: %w", err)
 	}
@@ -240,7 +299,7 @@ func (e *Engine) Swap(sw Swap) error {
 	if (sw.Budgets != nil || sw.Legal != nil) && e.cfg.Gateway == nil {
 		return fmt.Errorf("engine: swap: gateway policy given but no gateway installed")
 	}
-	if sw.Budgets != nil && len(sw.Budgets) > 0 {
+	if len(sw.Budgets) > 0 {
 		if e.cfg.Gateway.RateWindow() <= 0 {
 			return fmt.Errorf("engine: swap: budgets need a gateway with a positive rate window")
 		}
@@ -260,9 +319,6 @@ func (e *Engine) Swap(sw Swap) error {
 		}
 		sw.Policy = &normalized
 	}
-	e.swapMu.Lock()
-	e.pendingSwap = &sw
-	e.swapMu.Unlock()
 	return nil
 }
 
@@ -381,20 +437,33 @@ type swapMsg struct {
 	policy *response.Config
 }
 
-// recPool recycles batch slices between the dispatcher and the workers
-// so the steady-state fan-out allocates nothing. Misses (an empty or
-// full free list) fall back to the allocator; the pool is bounded, so a
-// stalled worker can never pin unbounded memory.
-type recPool struct {
+// windowAck is the merge stage's per-window acknowledgement to the
+// dispatcher barrier: the closed window's alerts have been handled
+// (blocks applied), and whether the bit-entropy detector alerted on it.
+type windowAck struct {
+	alerted bool
+}
+
+// RecordPool recycles record-batch slices so a steady-state batched
+// fan-out allocates nothing: the engine's dispatcher and workers share
+// one, the multi-bus supervisor recycles its demux slabs through one,
+// and the serving layer's ingest path feeds slabs from its own.
+// Misses (an empty or full free list) fall back to the allocator; the
+// pool is bounded, so a stalled consumer can never pin unbounded
+// memory. Safe for concurrent use.
+type RecordPool struct {
 	free chan []trace.Record
 	size int
 }
 
-func newRecPool(slots, size int) *recPool {
-	return &recPool{free: make(chan []trace.Record, slots), size: size}
+// NewRecordPool creates a pool holding up to slots free slices of the
+// given capacity.
+func NewRecordPool(slots, size int) *RecordPool {
+	return &RecordPool{free: make(chan []trace.Record, slots), size: size}
 }
 
-func (p *recPool) get() []trace.Record {
+// Get returns an empty slice, recycled when one is free.
+func (p *RecordPool) Get() []trace.Record {
 	select {
 	case b := <-p.free:
 		return b[:0]
@@ -403,7 +472,8 @@ func (p *recPool) get() []trace.Record {
 	}
 }
 
-func (p *recPool) put(b []trace.Record) {
+// Put returns a slice to the pool (dropped when the free list is full).
+func (p *RecordPool) Put(b []trace.Record) {
 	select {
 	case p.free <- b:
 	default:
@@ -450,19 +520,21 @@ func (e *Engine) Run(ctx context.Context, src Source, sink func(detect.Alert)) (
 	}
 	mergeIn := make(chan streamMsg, e.cfg.Buffer)
 	// syncCh carries the merge stage's per-window acknowledgements back
-	// to the dispatcher when prevention is active. At most one ack is
-	// ever in flight (the dispatcher consumes one before broadcasting
-	// the next flush), except the final EOF flush, whose ack parks in
-	// the buffer — hence capacity 1 keeps the merge from blocking.
-	var syncCh chan struct{}
-	if e.cfg.Responder != nil {
-		syncCh = make(chan struct{}, 1)
+	// to the dispatcher when prevention or adaptation is active. Each
+	// ack reports whether the closed window alerted — the verdict the
+	// adaptation hook learns from. At most one ack is ever in flight
+	// (the dispatcher consumes one before broadcasting the next flush),
+	// except the final EOF flush, whose ack parks in the buffer — hence
+	// capacity 1 keeps the merge from blocking.
+	var syncCh chan windowAck
+	if e.cfg.Responder != nil || e.cfg.Adapt != nil {
+		syncCh = make(chan windowAck, 1)
 	}
 	// swapCh hands queued model updates from the dispatcher to the
 	// window merger. Sends happen at window boundaries only, so a small
 	// buffer keeps the dispatcher from blocking on a busy merger.
 	swapCh := make(chan swapMsg, 4)
-	pool := newRecPool(4*(K+len(baseIn))+8, e.cfg.Batch)
+	pool := NewRecordPool(4*(K+len(baseIn))+8, e.cfg.Batch)
 
 	var wg sync.WaitGroup
 	for i := 0; i < K; i++ {
@@ -541,13 +613,21 @@ func send[T any](ctx context.Context, ch chan<- T, m T) bool {
 // template and responder policy travel to the scoring stages tagged
 // with the new window's start time, so in-flight earlier windows are
 // still scored under the old model.
+//
+// The adaptation hook rides the same boundary: after the barrier ack
+// confirms the closed window's verdict, WindowClosed may return a Swap,
+// which is applied exactly like a queued one — adaptation first, then
+// any externally queued swap, so an operator reload always wins over a
+// concurrent promotion.
 func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardMsg,
-	baseIn []chan []trace.Record, syncCh chan struct{}, swapCh chan swapMsg, pool *recPool) error {
+	baseIn []chan []trace.Record, syncCh chan windowAck, swapCh chan swapMsg, pool *RecordPool) error {
 
 	W := e.cfg.Core.Window
 	batch := e.cfg.Batch
 	gw := e.cfg.Gateway
+	adapt := e.cfg.Adapt
 	var winStart time.Duration
+	var winDropped uint64
 	haveWindow := false
 	nShards := uint32(len(shardIn))
 
@@ -589,6 +669,7 @@ func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardM
 			// record before Observe can close the window behind it.
 			if v := gw.Classify(rec); v != gateway.Forward {
 				e.dropped.Add(1)
+				winDropped++
 				if rec.Injected {
 					e.droppedInjected.Add(1)
 				}
@@ -614,17 +695,23 @@ func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardM
 					return ctx.Err()
 				}
 			}
+			closedStart := winStart
 			winStart = detect.NextWindowStart(winStart, rec.Time, W)
+			var ack windowAck
 			if syncCh != nil {
 				select {
-				case <-syncCh:
+				case ack = <-syncCh:
 				case <-ctx.Done():
 					return ctx.Err()
 				}
 			}
-			if sw := e.takePendingSwap(); sw != nil {
-				// Swap validated the pieces against the config, so the
-				// gateway setters cannot fail here.
+			// applySwap installs one validated update at this boundary:
+			// gateway policy right here (the dispatcher is the only
+			// goroutine classifying records), template and responder
+			// policy via the merger, tagged with the new window's start.
+			// Swap/validateSwap checked the pieces against the config, so
+			// the gateway setters cannot fail here.
+			applySwap := func(sw *Swap) error {
 				if sw.Budgets != nil {
 					if err := gw.SetBudgets(sw.Budgets); err != nil {
 						return fmt.Errorf("engine: swap: %w", err)
@@ -636,11 +723,38 @@ func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardM
 				if !send(ctx, swapCh, swapMsg{from: winStart, tmpl: sw.Template, policy: sw.Policy}) {
 					return ctx.Err()
 				}
+				return nil
 			}
+			if adapt != nil {
+				info := WindowInfo{
+					Start:     closedStart,
+					End:       detect.WindowEnd(closedStart, W),
+					NextStart: winStart,
+					Alerted:   ack.alerted,
+					Dropped:   winDropped,
+				}
+				winDropped = 0
+				if sw := adapt.WindowClosed(info); sw != nil {
+					if err := e.validateSwap(sw); err != nil {
+						return fmt.Errorf("engine: adapt: %w", err)
+					}
+					if err := applySwap(sw); err != nil {
+						return err
+					}
+				}
+			}
+			if sw := e.takePendingSwap(); sw != nil {
+				if err := applySwap(sw); err != nil {
+					return err
+				}
+			}
+		}
+		if adapt != nil {
+			adapt.Observe(rec)
 		}
 		s := uint32(rec.Frame.ID) % nShards
 		if pendShard[s] == nil {
-			pendShard[s] = pool.get()
+			pendShard[s] = pool.Get()
 		}
 		pendShard[s] = append(pendShard[s], rec)
 		if len(pendShard[s]) >= batch {
@@ -651,7 +765,7 @@ func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardM
 		}
 		for j := range baseIn {
 			if pendBase[j] == nil {
-				pendBase[j] = pool.get()
+				pendBase[j] = pool.Get()
 			}
 			pendBase[j] = append(pendBase[j], rec)
 			if len(pendBase[j]) >= batch {
@@ -681,7 +795,7 @@ func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardM
 // atomic tick per batch — is allocation-free; a fresh counter is
 // allocated only when a window closes and its predecessor is handed to
 // the merger.
-func (e *Engine) shardWorker(ctx context.Context, i int, in <-chan shardMsg, out chan<- partial, pool *recPool) {
+func (e *Engine) shardWorker(ctx context.Context, i int, in <-chan shardMsg, out chan<- partial, pool *RecordPool) {
 	defer close(out)
 	width := e.cfg.Core.Width
 	counter := entropy.MustBitCounter(width)
@@ -702,7 +816,7 @@ func (e *Engine) shardWorker(ctx context.Context, i int, in <-chan shardMsg, out
 				counter.Add(r.Frame.ID)
 			}
 			e.perShard[i].Add(uint64(len(m.recs)))
-			pool.put(m.recs)
+			pool.Put(m.recs)
 		case <-ctx.Done():
 			return
 		}
@@ -797,7 +911,7 @@ func (e *Engine) windowMerger(ctx context.Context, shardOut []chan partial, swap
 // rec.Time, so rec.Time is a valid low-water mark; one is forwarded per
 // engine window to keep merge latency bounded without flooding.
 func (e *Engine) baselineWorker(ctx context.Context, stream int, det detect.Detector,
-	in <-chan []trace.Record, mergeIn chan<- streamMsg, pool *recPool) {
+	in <-chan []trace.Record, mergeIn chan<- streamMsg, pool *RecordPool) {
 
 	var lastWM time.Duration
 	haveWM := false
@@ -828,7 +942,7 @@ func (e *Engine) baselineWorker(ctx context.Context, stream int, det detect.Dete
 					haveWM = true
 				}
 			}
-			pool.put(recs)
+			pool.Put(recs)
 		case <-ctx.Done():
 			return
 		}
@@ -849,7 +963,7 @@ func (e *Engine) baselineWorker(ctx context.Context, stream int, det detect.Dete
 // dispatcher's window barrier, guaranteeing the blocks are on the
 // gateway before the next window's records are classified.
 func (e *Engine) orderedMerge(ctx context.Context, nStreams int, mergeIn <-chan streamMsg,
-	syncCh chan<- struct{}, sink func(detect.Alert)) {
+	syncCh chan<- windowAck, sink func(detect.Alert)) {
 
 	queues := make([][]detect.Alert, nStreams)
 	wms := make([]time.Duration, nStreams)
@@ -858,6 +972,11 @@ func (e *Engine) orderedMerge(ctx context.Context, nStreams int, mergeIn <-chan 
 		wms[i] = math.MinInt64
 	}
 	nClosed := 0
+	// winAlerted tracks whether stream 0 alerted on the window whose
+	// watermark has not arrived yet: the stream-0 channel delivers a
+	// window's alert (if any) strictly before its watermark, so the flag
+	// is always settled when the ack is sent.
+	winAlerted := false
 
 	emit := func(final bool) {
 		for {
@@ -898,9 +1017,12 @@ func (e *Engine) orderedMerge(ctx context.Context, nStreams int, mergeIn <-chan 
 		case m := <-mergeIn:
 			switch m.kind {
 			case 'a':
-				if m.stream == 0 && e.cfg.Responder != nil {
-					if _, err := e.cfg.Responder.HandleAlert(m.alert); err != nil && e.asyncErr == nil {
-						e.asyncErr = fmt.Errorf("engine: response: %w", err)
+				if m.stream == 0 {
+					winAlerted = true
+					if e.cfg.Responder != nil {
+						if _, err := e.cfg.Responder.HandleAlert(m.alert); err != nil && e.asyncErr == nil {
+							e.asyncErr = fmt.Errorf("engine: response: %w", err)
+						}
 					}
 				}
 				queues[m.stream] = append(queues[m.stream], m.alert)
@@ -915,10 +1037,13 @@ func (e *Engine) orderedMerge(ctx context.Context, nStreams int, mergeIn <-chan 
 					}
 				}
 			case 'w':
-				if m.stream == 0 && syncCh != nil {
-					if !send(ctx, syncCh, struct{}{}) {
-						return
+				if m.stream == 0 {
+					if syncCh != nil {
+						if !send(ctx, syncCh, windowAck{alerted: winAlerted}) {
+							return
+						}
 					}
+					winAlerted = false
 				}
 				if m.wm > wms[m.stream] {
 					wms[m.stream] = m.wm

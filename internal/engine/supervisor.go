@@ -103,9 +103,12 @@ func (s *Supervisor) TotalStats() Stats {
 	return total
 }
 
-// busRun is the in-flight state of one bus pipeline.
+// busRun is the in-flight state of one bus pipeline. The feed carries
+// record slabs, not records: the demux moves whole batches per channel
+// operation and the engine consumes them through a ChanBatchSource, so
+// per-record sends never dominate multi-bus serving.
 type busRun struct {
-	feed chan trace.Record
+	feed chan []trace.Record
 	err  error
 	done chan struct{}
 }
@@ -117,9 +120,27 @@ type busRun struct {
 // returns the final per-bus statistics and the first error any stage
 // hit. Backpressure propagates: one stalled bus pipeline eventually
 // stalls the demux, bounding memory across the fleet.
+//
+// When the source is a BatchSource (the serving layer's feed), the
+// demux consumes whole slabs and forwards per-bus sub-slabs through a
+// recycled pool — one channel send per bus per incoming slab instead of
+// one per record. Every pending sub-slab is flushed before the next
+// input slab is awaited, so batching never delays a record behind an
+// idle feed. Per-record sources travel as single-record slabs through
+// the same pool, preserving their latency.
 func (s *Supervisor) Run(ctx context.Context, src Source, sink func(channel string, a detect.Alert)) (map[string]Stats, error) {
 	runs := make(map[string]*busRun)
 	var sinkMu sync.Mutex
+	// Slab capacity follows the source: batch sources demux into
+	// DefaultBatch-sized sub-slabs, per-record sources travel as
+	// single-record slabs — so a pool miss under backlog allocates one
+	// record's worth, not a 64-slot slab per record, and buffered feeds
+	// pin no more memory than the records they hold.
+	_, batched := src.(BatchSource)
+	pool := NewRecordPool(64, DefaultBatch)
+	if !batched {
+		pool = NewRecordPool(256, 1)
+	}
 
 	spawn := func(channel string) (*busRun, error) {
 		s.mu.Lock()
@@ -139,12 +160,12 @@ func (s *Supervisor) Run(ctx context.Context, src Source, sink func(channel stri
 			s.mu.Unlock()
 		}
 		r := &busRun{
-			feed: make(chan trace.Record, s.cfg.Buffer),
+			feed: make(chan []trace.Record, s.cfg.Buffer),
 			done: make(chan struct{}),
 		}
 		go func() {
 			defer close(r.done)
-			_, err := eng.Run(ctx, NewChanSource(ctx, r.feed), func(a detect.Alert) {
+			_, err := eng.Run(ctx, NewChanBatchSource(ctx, r.feed, pool.Put), func(a detect.Alert) {
 				sinkMu.Lock()
 				sink(channel, a)
 				sinkMu.Unlock()
@@ -154,28 +175,40 @@ func (s *Supervisor) Run(ctx context.Context, src Source, sink func(channel stri
 		return r, nil
 	}
 
-	var srcErr error
-	for {
-		rec, err := src.Next()
-		if err == io.EOF {
-			break
+	getRun := func(channel string) (*busRun, error) {
+		if r, ok := runs[channel]; ok {
+			return r, nil
 		}
+		r, err := spawn(channel)
 		if err != nil {
-			srcErr = fmt.Errorf("engine: source: %w", err)
-			break
+			return nil, err
 		}
-		r, ok := runs[rec.Channel]
-		if !ok {
-			r, err = spawn(rec.Channel)
+		runs[channel] = r
+		return r, nil
+	}
+
+	var srcErr error
+	if batched {
+		srcErr = s.demuxBatches(ctx, src.(BatchSource), getRun, pool)
+	} else {
+		for {
+			rec, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				srcErr = fmt.Errorf("engine: source: %w", err)
+				break
+			}
+			r, err := getRun(rec.Channel)
 			if err != nil {
 				srcErr = err
 				break
 			}
-			runs[rec.Channel] = r
-		}
-		if !send(ctx, r.feed, rec) {
-			srcErr = ctx.Err()
-			break
+			if !send(ctx, r.feed, append(pool.Get(), rec)) {
+				srcErr = ctx.Err()
+				break
+			}
 		}
 	}
 	for _, r := range runs {
@@ -200,4 +233,58 @@ func (s *Supervisor) Run(ctx context.Context, src Source, sink func(channel stri
 		err = ctx.Err()
 	}
 	return s.Stats(), err
+}
+
+// busPend is one bus's pending sub-slab during batched demux.
+type busPend struct {
+	run  *busRun
+	slab []trace.Record
+}
+
+// demuxBatches is the slab fast path: split each incoming batch by
+// channel into pooled sub-slabs and flush them all before waiting for
+// the next batch. The single-bus common case degenerates to moving the
+// whole slab in one send.
+func (s *Supervisor) demuxBatches(ctx context.Context, bs BatchSource,
+	getRun func(string) (*busRun, error), pool *RecordPool) error {
+
+	pend := make(map[string]*busPend)
+	// The last-channel cache skips the map lookup while consecutive
+	// records share a bus — which is every record, on a single-bus feed.
+	var last *busPend
+	lastCh := ""
+	haveLast := false
+	for {
+		slab, err := bs.NextBatch()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("engine: source: %w", err)
+		}
+		for _, rec := range slab {
+			if !haveLast || rec.Channel != lastCh {
+				p, ok := pend[rec.Channel]
+				if !ok {
+					r, err := getRun(rec.Channel)
+					if err != nil {
+						return err
+					}
+					p = &busPend{run: r, slab: pool.Get()}
+					pend[rec.Channel] = p
+				}
+				last, lastCh, haveLast = p, rec.Channel, true
+			}
+			last.slab = append(last.slab, rec)
+		}
+		for _, p := range pend {
+			if len(p.slab) == 0 {
+				continue
+			}
+			if !send(ctx, p.run.feed, p.slab) {
+				return ctx.Err()
+			}
+			p.slab = pool.Get()
+		}
+	}
 }

@@ -209,3 +209,71 @@ func TestSupervisorCancel(t *testing.T) {
 		t.Fatal("canceled supervisor did not return")
 	}
 }
+
+// TestSupervisorBatchedMatchesPerRecord pins the slab fast path: a
+// supervisor fed the mixed stream through a ChanBatchSource (slabs of
+// varying sizes, recycled through a pool) produces exactly the per-bus
+// alert streams of a per-record source — batching is a transport
+// detail, never a semantic one.
+func TestSupervisorBatchedMatchesPerRecord(t *testing.T) {
+	_, tmpl, _ := loadFixture(t)
+	busA := retag(scenarioTrace(t, "fusion/idle/SI-100"), "can-a")
+	busB := retag(scenarioTrace(t, "fusion/idle/FI-500"), "can-b")
+	mixed := interleave(busA, busB)
+
+	newSup := func() *engine.Supervisor {
+		sup, err := engine.NewSupervisor(engine.SupervisorConfig{
+			NewEngine: func(string) (*engine.Engine, error) {
+				return engine.NewTrained(engine.Config{Shards: 2, Core: detectorConfig()}, tmpl)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sup
+	}
+	collect := func(sup *engine.Supervisor, src engine.Source) map[string][]detect.Alert {
+		got := make(map[string][]detect.Alert)
+		if _, err := sup.Run(context.Background(), src, func(ch string, a detect.Alert) {
+			got[ch] = append(got[ch], a)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	want := collect(newSup(), engine.NewSliceSource(mixed))
+
+	pool := engine.NewRecordPool(8, 64)
+	feed := make(chan []trace.Record, 4)
+	recycled := 0
+	go func() {
+		defer close(feed)
+		// Deterministically varied slab sizes, including size 1 and a
+		// deliberately empty slab the source must skip.
+		sizes := []int{1, 7, 64, 0, 13, 100}
+		i, k := 0, 0
+		for i < len(mixed) {
+			n := sizes[k%len(sizes)]
+			k++
+			if n > len(mixed)-i {
+				n = len(mixed) - i
+			}
+			slab := append(pool.Get(), mixed[i:i+n]...)
+			feed <- slab
+			i += n
+		}
+	}()
+	src := engine.NewChanBatchSource(context.Background(), feed, func(b []trace.Record) {
+		recycled++
+		pool.Put(b)
+	})
+	got := collect(newSup(), src)
+
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("batched feed alerts differ from per-record feed (buses got %d, want %d)", len(got), len(want))
+	}
+	if recycled == 0 {
+		t.Error("batch source never recycled a slab")
+	}
+}

@@ -26,6 +26,7 @@ package gateway
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -131,7 +132,7 @@ type Gateway struct {
 
 // New creates a gateway.
 func New(cfg Config) (*Gateway, error) {
-	if cfg.RateSlack < 0 {
+	if math.IsNaN(cfg.RateSlack) || cfg.RateSlack < 0 {
 		return nil, fmt.Errorf("gateway: rate slack must be >= 0, got %v", cfg.RateSlack)
 	}
 	if (cfg.RateSlack > 0 || len(cfg.Budgets) > 0) && cfg.RateWindow <= 0 {
@@ -170,6 +171,75 @@ func copyBudgets(budgets map[can.ID]int) (map[can.ID]int, error) {
 	return out, nil
 }
 
+// RateLearner derives per-identifier frame budgets from clean traffic
+// one window at a time — the incremental form of the batch LearnRates
+// math, for callers (the online-adaptation subsystem) that see windows
+// as they close rather than as a slice up front. Feeding the same
+// windows produces the same budgets as LearnRates, in any order
+// (TestRateLearnerMatchesBatch pins it). A RateLearner is not safe for
+// concurrent use.
+type RateLearner struct {
+	slack   float64
+	peak    map[can.ID]int
+	windows int
+}
+
+// NewRateLearner creates a learner with the given slack multiplier
+// (the same role as Config.RateSlack; must be positive).
+func NewRateLearner(slack float64) (*RateLearner, error) {
+	// NaN slips past ordered comparisons and would yield a degenerate
+	// all-ones budget table; reject it explicitly.
+	if math.IsNaN(slack) || slack <= 0 {
+		return nil, fmt.Errorf("gateway: rate slack must be > 0, got %v", slack)
+	}
+	return &RateLearner{slack: slack, peak: make(map[can.ID]int)}, nil
+}
+
+// ObserveWindow folds one clean window of records into the learner.
+// Empty windows are ignored, like LearnRates.
+func (l *RateLearner) ObserveWindow(w trace.Trace) {
+	if len(w) == 0 {
+		return
+	}
+	l.ObserveCounts(w.IDCounts())
+}
+
+// ObserveCounts folds one clean window's per-identifier frame counts
+// into the learner — for callers that already count identifiers as the
+// window accumulates. Empty counts are ignored.
+func (l *RateLearner) ObserveCounts(counts map[can.ID]int) {
+	if len(counts) == 0 {
+		return
+	}
+	l.windows++
+	for id, n := range counts {
+		if n > l.peak[id] {
+			l.peak[id] = n
+		}
+	}
+}
+
+// Windows returns how many non-empty windows were observed.
+func (l *RateLearner) Windows() int { return l.windows }
+
+// Budgets returns the learned per-identifier budget table:
+// ceil(max observed per window × slack), floored at 1 — exactly the
+// LearnRates math. It errors when no usable window was observed.
+func (l *RateLearner) Budgets() (map[can.ID]int, error) {
+	if l.windows == 0 {
+		return nil, fmt.Errorf("gateway: no usable training windows")
+	}
+	budget := make(map[can.ID]int, len(l.peak))
+	for id, n := range l.peak {
+		b := int(float64(n)*l.slack + 0.999)
+		if b < 1 {
+			b = 1
+		}
+		budget[id] = b
+	}
+	return budget, nil
+}
+
 // LearnRates derives each identifier's per-window frame budget from
 // clean traffic windows: budget = ceil(max observed per window) ×
 // RateSlack. Must be called before Classify when RateSlack > 0.
@@ -177,29 +247,16 @@ func (g *Gateway) LearnRates(windows []trace.Trace) error {
 	if g.cfg.RateSlack <= 0 {
 		return fmt.Errorf("gateway: rate limiting disabled (slack %v)", g.cfg.RateSlack)
 	}
-	peak := make(map[can.ID]int)
-	usable := 0
+	l, err := NewRateLearner(g.cfg.RateSlack)
+	if err != nil {
+		return err
+	}
 	for _, w := range windows {
-		if len(w) == 0 {
-			continue
-		}
-		usable++
-		for id, n := range w.IDCounts() {
-			if n > peak[id] {
-				peak[id] = n
-			}
-		}
+		l.ObserveWindow(w)
 	}
-	if usable == 0 {
-		return fmt.Errorf("gateway: no usable training windows")
-	}
-	budget := make(map[can.ID]int, len(peak))
-	for id, n := range peak {
-		b := int(float64(n)*g.cfg.RateSlack + 0.999)
-		if b < 1 {
-			b = 1
-		}
-		budget[id] = b
+	budget, err := l.Budgets()
+	if err != nil {
+		return err
 	}
 	g.mu.Lock()
 	g.budget = budget

@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"maps"
 	"math"
 	"sync"
 	"testing"
@@ -511,5 +512,77 @@ func TestLearnedBudgetsExport(t *testing.T) {
 	}
 	if st1.DropRate == 0 {
 		t.Error("probe should exceed the learned budget")
+	}
+}
+
+// TestRateLearnerMatchesBatch pins the incremental learner to the
+// batch path: feeding the same clean windows one at a time (in any
+// order, with Trace and Counts forms mixed) yields exactly the budget
+// table LearnRates derives, at several slack settings.
+func TestRateLearnerMatchesBatch(t *testing.T) {
+	mkWindow := func(seed int) trace.Trace {
+		var w trace.Trace
+		for i := 0; i < 3+seed%5; i++ {
+			w = append(w, rec(time.Duration(i)*time.Millisecond, can.ID(0x100+seed%3)))
+		}
+		for i := 0; i < seed%7; i++ {
+			w = append(w, rec(time.Duration(i)*time.Millisecond, 0x2A0))
+		}
+		return w
+	}
+	windows := []trace.Trace{{}} // empty window: both paths must skip it
+	for seed := 0; seed < 12; seed++ {
+		windows = append(windows, mkWindow(seed))
+	}
+	for _, slack := range []float64{1, 1.5, 2, 3.7} {
+		g, err := New(Config{RateWindow: time.Second, RateSlack: slack})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.LearnRates(windows); err != nil {
+			t.Fatal(err)
+		}
+		want := g.Budgets()
+
+		l, err := NewRateLearner(slack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reverse order, alternating the window and counts forms: the
+		// peaks are order-independent and the forms equivalent.
+		for i := len(windows) - 1; i >= 0; i-- {
+			if i%2 == 0 {
+				l.ObserveWindow(windows[i])
+			} else {
+				l.ObserveCounts(windows[i].IDCounts())
+			}
+		}
+		got, err := l.Budgets()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !maps.Equal(got, want) {
+			t.Errorf("slack %v: incremental budgets %v != batch %v", slack, got, want)
+		}
+		if l.Windows() != len(windows)-1 {
+			t.Errorf("learner counted %d windows, want %d (empty skipped)", l.Windows(), len(windows)-1)
+		}
+	}
+}
+
+func TestRateLearnerValidation(t *testing.T) {
+	if _, err := NewRateLearner(0); err == nil {
+		t.Error("zero slack accepted")
+	}
+	l, err := NewRateLearner(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Budgets(); err == nil {
+		t.Error("budgets from zero windows accepted")
+	}
+	l.ObserveCounts(nil) // empty: must not count
+	if l.Windows() != 0 {
+		t.Error("empty counts counted as a window")
 	}
 }

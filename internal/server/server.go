@@ -26,10 +26,31 @@
 //	POST /ingest?format=candump|csv|binary        mixed-bus ingest (records keep their channel)
 //	POST /ingest/{channel}?format=...             per-bus ingest (channel overrides the records')
 //	GET  /healthz                                 liveness + bus list
-//	GET  /stats                                   live per-bus and total engine statistics
+//	GET  /stats                                   live per-bus and total engine statistics (+ adaptation)
 //	GET  /alerts?n=N                              the most recent alerts (bounded ring)
 //	POST /admin/reload                            hot-swap a snapshot (body: store format)
 //	POST /admin/shutdown                          drain, flush final windows, report summary
+//	GET  /admin/adapt                             per-bus adaptation counters
+//	POST /admin/adapt?action=pause|resume|force   adaptation controls ([&channel=bus])
+//	POST /admin/checkpoint                        persist the adapted models now
+//
+// With Config.AdminToken set, every /admin/* verb requires
+// "Authorization: Bearer <token>" and answers 401 otherwise.
+//
+// # Online adaptation
+//
+// Config.Adapt arms one adapt.Adapter per bus (internal/adapt): live
+// windows the detector scored clean re-learn the gateway rate budgets
+// and EWMA-refresh the template, and promotions land through the same
+// engine.Swap window-boundary hook a reload uses — so the adapted alert
+// stream stays bit-identical to a sequential run swapping the same
+// models at the same boundaries (TestEngineAdaptMatchesSequential).
+// Config.CheckpointPath persists each bus's adapted model as a
+// version-2 snapshot (with adaptation metadata) after every promotion
+// and at drain; a restart -loads the checkpoint and the learned budgets
+// survive. An /admin/reload rebases every adapter on the reloaded
+// model: adaptation restarts from it rather than promoting artifacts
+// learned against the replaced template.
 //
 // # Hot reload
 //
@@ -58,17 +79,21 @@ package server
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"canids/internal/adapt"
 	"canids/internal/can"
 	"canids/internal/detect"
 	"canids/internal/engine"
@@ -88,12 +113,34 @@ var (
 	ErrNotStarted = errors.New("server: not started")
 )
 
+// AdaptOptions tunes the per-bus online adapters (see internal/adapt);
+// a nil options pointer disables adaptation. Zero-valued knobs take the
+// adapt package defaults; RateSlack additionally falls back to the
+// snapshot's persisted learning slack before the package default.
+type AdaptOptions struct {
+	// Every is the promotion cadence in clean windows.
+	Every int
+	// Ring is the clean-window ring capacity budgets are learned over.
+	Ring int
+	// MinWindows is the ring fill required before the first promotion.
+	MinWindows int
+	// RateSlack multiplies the learned per-window peaks.
+	RateSlack float64
+	// TemplateEWMA is the template-mean smoothing factor λ.
+	TemplateEWMA float64
+	// FreezeTemplate pins the template (budget-only adaptation).
+	FreezeTemplate bool
+}
+
 // Config parameterizes a Server.
 type Config struct {
 	// Snapshot is the model to serve. Required and validated at New.
 	Snapshot *store.Snapshot
 	// Shards, Buffer and Batch configure each per-bus engine (zero
-	// means the engine defaults).
+	// means the engine defaults). Batch also sizes the ingest feed
+	// slabs: decoded records travel to the supervisor in recycled
+	// []trace.Record batches, so per-record channel sends never
+	// dominate ingest (BenchmarkServeIngest).
 	Shards int
 	Buffer int
 	Batch  int
@@ -101,6 +148,20 @@ type Config struct {
 	// total count keeps incrementing past it. Zero means
 	// DefaultMaxAlerts.
 	MaxAlerts int
+	// Adapt, when non-nil, enables online adaptation: every bus engine
+	// gets its own adapt.Adapter promoting re-learned budgets (when the
+	// model carries a gateway) and an EWMA-refreshed template at window
+	// boundaries. See /admin/adapt for the runtime controls.
+	Adapt *AdaptOptions
+	// CheckpointPath, when set (requires Adapt), persists each bus's
+	// adapted model as a version-2 snapshot after every promotion and
+	// once more at drain — atomically, to CheckpointFile(path, bus).
+	CheckpointPath string
+	// AdminToken, when set, locks every /admin/* endpoint behind
+	// "Authorization: Bearer <token>". The daemon itself speaks plain
+	// HTTP — terminate TLS in front of it before crossing a network you
+	// do not trust, or the token travels in cleartext (see doc.go).
+	AdminToken string
 }
 
 // TaggedAlert is one emitted alert with its bus.
@@ -112,17 +173,25 @@ type TaggedAlert struct {
 // Server serves detection over HTTP. Create with New, Start the
 // pipeline, mount Handler on an http.Server, and Drain to stop.
 type Server struct {
-	cfg  Config
-	sup  *engine.Supervisor
-	feed chan trace.Record
+	cfg   Config
+	sup   *engine.Supervisor
+	feed  chan []trace.Record
+	pool  *engine.RecordPool
+	batch int
 
-	// mu guards the current snapshot and the engine registry. The
-	// engine factory and Reload both hold it end to end, so an engine is
-	// always either built from the newest snapshot or registered before
-	// a reload collects the engines to swap — no bus can miss an update.
-	mu      sync.Mutex
-	snap    *store.Snapshot
-	engines map[string]*engine.Engine
+	// mu guards the current snapshot and the engine/adapter registries.
+	// The engine factory and Reload both hold it end to end, so an
+	// engine is always either built from the newest snapshot or
+	// registered before a reload collects the engines to swap — no bus
+	// can miss an update.
+	mu       sync.Mutex
+	snap     *store.Snapshot
+	engines  map[string]*engine.Engine
+	adapters map[string]*adapt.Adapter
+	// adaptPaused is the fleet-wide pause: buses that appear while it is
+	// set start their adapters paused, so a pause issued before (or
+	// between) buses cannot be outrun by new traffic.
+	adaptPaused bool
 
 	// ingestMu guards the feed channel's lifecycle: ingests hold it
 	// shared while pushing, Drain holds it exclusively to close the
@@ -134,6 +203,16 @@ type Server struct {
 	ring        []TaggedAlert
 	alertsTotal atomic.Uint64
 
+	// ckCh nudges the checkpoint goroutine after a promotion; ckMu
+	// serializes concurrent Checkpoint calls (background vs admin) and
+	// guards ckErr, the outcome of the most recent checkpoint attempt
+	// (surfaced by /admin/adapt so silent background failures cannot
+	// hide).
+	ckCh   chan struct{}
+	ckDone chan struct{}
+	ckMu   sync.Mutex
+	ckErr  error
+
 	started   atomic.Bool
 	startTime time.Time
 	drainOnce sync.Once
@@ -142,8 +221,9 @@ type Server struct {
 }
 
 // New creates a server for the given snapshot. The snapshot is
-// validated and a probe engine is built immediately, so a model that
-// cannot serve fails here, not at the first ingested record.
+// validated and a probe engine (and, with adaptation enabled, a probe
+// adapter) is built immediately, so a model that cannot serve fails
+// here, not at the first ingested record.
 func New(cfg Config) (*Server, error) {
 	if cfg.Snapshot == nil {
 		return nil, errors.New("server: a snapshot is required")
@@ -154,20 +234,42 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxAlerts <= 0 {
 		cfg.MaxAlerts = DefaultMaxAlerts
 	}
-	if _, err := buildEngine(cfg.Snapshot, cfg); err != nil {
-		return nil, fmt.Errorf("server: snapshot cannot serve: %w", err)
+	if cfg.CheckpointPath != "" && cfg.Adapt == nil {
+		return nil, errors.New("server: checkpointing needs adaptation enabled")
 	}
 	feedBuf := cfg.Buffer
 	if feedBuf <= 0 {
 		feedBuf = engine.DefaultBuffer
 	}
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = engine.DefaultBatch
+	}
 	s := &Server{
-		cfg:       cfg,
-		snap:      cfg.Snapshot,
-		feed:      make(chan trace.Record, feedBuf),
+		cfg:  cfg,
+		snap: cfg.Snapshot,
+		// The pool covers the whole feed buffer plus in-flight slabs, so
+		// a steady ingest stream recycles instead of allocating even when
+		// the engines lag a full buffer behind.
+		feed:      make(chan []trace.Record, feedBuf),
+		pool:      engine.NewRecordPool(feedBuf+16, batch),
+		batch:     batch,
 		engines:   make(map[string]*engine.Engine),
+		adapters:  make(map[string]*adapt.Adapter),
 		runDone:   make(chan struct{}),
 		startTime: time.Now(),
+	}
+	if cfg.CheckpointPath != "" {
+		s.ckCh = make(chan struct{}, 1)
+		s.ckDone = make(chan struct{})
+	}
+	if _, err := buildEngine(cfg.Snapshot, cfg, nil); err != nil {
+		return nil, fmt.Errorf("server: snapshot cannot serve: %w", err)
+	}
+	if cfg.Adapt != nil {
+		if _, err := s.newAdapter(cfg.Snapshot); err != nil {
+			return nil, fmt.Errorf("server: snapshot cannot adapt: %w", err)
+		}
 	}
 	sup, err := engine.NewSupervisor(engine.SupervisorConfig{NewEngine: s.newEngine, Buffer: cfg.Buffer})
 	if err != nil {
@@ -179,11 +281,11 @@ func New(cfg Config) (*Server, error) {
 
 // buildEngine materializes one bus engine from a snapshot: a private
 // gateway and responder per bus (policy state is per bus), the shared
-// template installed. A snapshot with a response policy but no gateway
-// policy gets a permissive gateway — the blocklist needs somewhere to
-// live.
-func buildEngine(snap *store.Snapshot, cfg Config) (*engine.Engine, error) {
-	ecfg := engine.Config{Shards: cfg.Shards, Buffer: cfg.Buffer, Batch: cfg.Batch, Core: snap.Core}
+// template installed, and the bus's adaptation hook when one is given.
+// A snapshot with a response policy but no gateway policy gets a
+// permissive gateway — the blocklist needs somewhere to live.
+func buildEngine(snap *store.Snapshot, cfg Config, hook engine.AdaptHook) (*engine.Engine, error) {
+	ecfg := engine.Config{Shards: cfg.Shards, Buffer: cfg.Buffer, Batch: cfg.Batch, Core: snap.Core, Adapt: hook}
 	if snap.Gateway != nil || snap.Response != nil {
 		gwCfg := snap.GatewayConfig()
 		if gwCfg.RateWindow <= 0 {
@@ -207,6 +309,45 @@ func buildEngine(snap *store.Snapshot, cfg Config) (*engine.Engine, error) {
 	return engine.NewTrained(ecfg, snap.Template)
 }
 
+// newAdapter builds one bus's adapter from the snapshot and the
+// configured options. Budget learning turns on exactly when the engine
+// gets a gateway (same condition as buildEngine), seeded from the
+// snapshot's persisted budgets.
+func (s *Server) newAdapter(snap *store.Snapshot) (*adapt.Adapter, error) {
+	o := s.cfg.Adapt
+	ac := adapt.Config{
+		Core:           snap.Core,
+		Template:       snap.Template,
+		Every:          o.Every,
+		Ring:           o.Ring,
+		MinWindows:     o.MinWindows,
+		RateSlack:      o.RateSlack,
+		TemplateEWMA:   o.TemplateEWMA,
+		FreezeTemplate: o.FreezeTemplate,
+	}
+	if snap.Gateway != nil || snap.Response != nil {
+		ac.LearnBudgets = true
+		ac.RateWindow = effectiveRateWindow(snap)
+		if snap.Gateway != nil {
+			ac.Budgets = snap.Gateway.Budgets
+			if ac.RateSlack == 0 && snap.Gateway.RateSlack > 0 {
+				ac.RateSlack = snap.Gateway.RateSlack
+			}
+		}
+	}
+	if s.ckCh != nil {
+		ac.OnPromote = func(adapt.Promotion) {
+			// Non-blocking nudge: the checkpoint goroutine persists every
+			// adapter's latest model, so collapsed nudges lose nothing.
+			select {
+			case s.ckCh <- struct{}{}:
+			default:
+			}
+		}
+	}
+	return adapt.New(ac)
+}
+
 // effectiveRateWindow is the rate horizon a gateway built from the
 // snapshot enforces — the persisted window, defaulted like buildEngine.
 func effectiveRateWindow(snap *store.Snapshot) time.Duration {
@@ -220,11 +361,26 @@ func effectiveRateWindow(snap *store.Snapshot) time.Duration {
 func (s *Server) newEngine(channel string) (*engine.Engine, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	eng, err := buildEngine(s.snap, s.cfg)
+	var hook engine.AdaptHook
+	var ad *adapt.Adapter
+	if s.cfg.Adapt != nil {
+		var err error
+		if ad, err = s.newAdapter(s.snap); err != nil {
+			return nil, err
+		}
+		hook = ad
+	}
+	eng, err := buildEngine(s.snap, s.cfg, hook)
 	if err != nil {
 		return nil, err
 	}
 	s.engines[channel] = eng
+	if ad != nil {
+		if s.adaptPaused {
+			ad.Pause()
+		}
+		s.adapters[channel] = ad
+	}
 	return eng, nil
 }
 
@@ -236,7 +392,7 @@ func (s *Server) Start(ctx context.Context) error {
 		return errors.New("server: already started")
 	}
 	go func() {
-		_, err := s.sup.Run(ctx, engine.NewChanSource(ctx, s.feed), func(channel string, a detect.Alert) {
+		_, err := s.sup.Run(ctx, engine.NewChanBatchSource(ctx, s.feed, s.pool.Put), func(channel string, a detect.Alert) {
 			s.alertsTotal.Add(1)
 			s.alertsMu.Lock()
 			s.ring = append(s.ring, TaggedAlert{Channel: channel, Alert: a})
@@ -248,7 +404,40 @@ func (s *Server) Start(ctx context.Context) error {
 		s.runErr = err
 		close(s.runDone)
 	}()
+	if s.ckCh != nil {
+		go s.checkpointLoop()
+	}
 	return nil
+}
+
+// checkpointLoop persists the adapted models after every promotion
+// nudge and once more when the pipeline finishes, so a drain never
+// loses the last promotions. Each attempt's outcome is recorded in
+// ckErr: /admin/adapt reports the most recent failure, and an explicit
+// /admin/checkpoint re-attempts the same saves and returns its own
+// result.
+func (s *Server) checkpointLoop() {
+	defer close(s.ckDone)
+	for {
+		select {
+		case <-s.ckCh:
+			s.Checkpoint() //nolint:errcheck // recorded in ckErr, surfaced by /admin/adapt
+		case <-s.runDone:
+			s.Checkpoint() //nolint:errcheck
+			return
+		}
+	}
+}
+
+// lastCheckpointError returns the outcome of the most recent
+// checkpoint attempt ("" when it succeeded or none ran yet).
+func (s *Server) lastCheckpointError() string {
+	s.ckMu.Lock()
+	defer s.ckMu.Unlock()
+	if s.ckErr != nil {
+		return s.ckErr.Error()
+	}
+	return ""
 }
 
 // Done is closed when the pipeline has finished — after a Drain
@@ -272,14 +461,23 @@ func (s *Server) Drain() error {
 		s.ingestMu.Unlock()
 	})
 	<-s.runDone
+	if s.ckDone != nil {
+		// The final checkpoint captures promotions from the flushed
+		// windows.
+		<-s.ckDone
+	}
 	return s.runErr
 }
 
 // Ingest decodes records from r in the given format and feeds them to
 // the pipeline, overriding each record's bus with channel when channel
-// is non-empty. It returns how many records were accepted; on a decode
-// error, records before the malformed one stay ingested (the stream
-// was already live) and the error reports the rest were refused.
+// is non-empty. Records travel in recycled slabs of Config.Batch, so a
+// heavy upload costs one channel operation per batch instead of one
+// per record; the slab in progress is flushed at end of body, so every
+// record of a finished request is in the pipeline when Ingest returns.
+// It returns how many records were accepted; on a decode error,
+// records before the malformed one stay ingested (the stream was
+// already live) and the error reports the rest were refused.
 func (s *Server) Ingest(channel string, format trace.Format, r io.Reader) (int, error) {
 	s.ingestMu.RLock()
 	defer s.ingestMu.RUnlock()
@@ -294,22 +492,43 @@ func (s *Server) Ingest(channel string, format trace.Format, r io.Reader) (int, 
 		return 0, err
 	}
 	n := 0
+	slab := s.pool.Get()
+	defer func() { s.pool.Put(slab) }()
+	flush := func() error {
+		if len(slab) == 0 {
+			return nil
+		}
+		select {
+		case s.feed <- slab:
+			n += len(slab)
+			slab = s.pool.Get()
+			return nil
+		case <-s.runDone:
+			return ErrStopped
+		}
+	}
 	for {
 		rec, err := dec.Next()
 		if err == io.EOF {
-			return n, nil
+			// Flush before reading n: the closure adds the final slab's
+			// records to the accepted count.
+			ferr := flush()
+			return n, ferr
 		}
 		if err != nil {
+			if ferr := flush(); ferr != nil {
+				return n, ferr
+			}
 			return n, err
 		}
 		if channel != "" {
 			rec.Channel = channel
 		}
-		select {
-		case s.feed <- rec:
-			n++
-		case <-s.runDone:
-			return n, ErrStopped
+		slab = append(slab, rec)
+		if len(slab) >= s.batch {
+			if err := flush(); err != nil {
+				return n, err
+			}
 		}
 	}
 }
@@ -339,14 +558,20 @@ func (s *Server) Reload(snap *store.Snapshot) ([]string, error) {
 	if snap.Core != s.snap.Core {
 		return nil, fmt.Errorf("server: reload changes the core config (%+v -> %+v); restart to retune", s.snap.Core, snap.Core)
 	}
-	if (snap.Gateway != nil) != (s.snap.Gateway != nil) || (snap.Response != nil) != (s.snap.Response != nil) {
+	// Shape is compared as the engines actually materialize it: a
+	// response-only snapshot gets a permissive gateway (buildEngine), so
+	// a later snapshot that adds explicit gateway policy — e.g. a
+	// checkpoint that learned budgets while serving a response-only
+	// model — still matches the live engines and can hot-swap in.
+	hasGateway := func(s *store.Snapshot) bool { return s.Gateway != nil || s.Response != nil }
+	if hasGateway(snap) != hasGateway(s.snap) || (snap.Response != nil) != (s.snap.Response != nil) {
 		return nil, errors.New("server: reload changes the gateway/responder shape; restart to rearm prevention")
 	}
 	// Compare the window the live gateways actually enforce (buildEngine
 	// defaults a zero RateWindow to the detection window), not the
 	// persisted field, so a whitelist-only snapshot can later gain
 	// budgets at the effective window without a restart.
-	if snap.Gateway != nil && effectiveRateWindow(snap) != effectiveRateWindow(s.snap) {
+	if hasGateway(snap) && effectiveRateWindow(snap) != effectiveRateWindow(s.snap) {
 		return nil, fmt.Errorf("server: reload changes the rate window (%v -> %v); restart to retime rate limits",
 			effectiveRateWindow(s.snap), effectiveRateWindow(snap))
 	}
@@ -386,8 +611,179 @@ func (s *Server) Reload(snap *store.Snapshot) ([]string, error) {
 			return nil, fmt.Errorf("server: reload bus %q: %w", ch, err)
 		}
 	}
+	// Adaptation restarts from the reloaded model: promoting artifacts
+	// learned against the replaced template would resurrect it.
+	var budgets map[can.ID]int
+	if snap.Gateway != nil {
+		budgets = snap.Gateway.Budgets
+	}
+	for ch, ad := range s.adapters {
+		if err := ad.Rebase(snap.Template, budgets); err != nil {
+			return nil, fmt.Errorf("server: reload bus %q: %w", ch, err)
+		}
+	}
 	s.snap = snap
 	return buses, nil
+}
+
+// AdaptStatus returns each adapting bus's counters (nil when
+// adaptation is disabled).
+func (s *Server) AdaptStatus() map[string]adapt.Status {
+	if s.cfg.Adapt == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]adapt.Status, len(s.adapters))
+	for ch, ad := range s.adapters {
+		out[ch] = ad.Status()
+	}
+	return out
+}
+
+// adaptControl applies one admin action to the named bus's adapter, or
+// to every adapter when channel is empty. A fleet-wide pause/resume
+// also sets the default for buses that have not appeared yet, so a
+// pause cannot be outrun by new traffic. It returns the buses acted
+// on, sorted.
+func (s *Server) adaptControl(action, channel string) ([]string, error) {
+	if s.cfg.Adapt == nil {
+		return nil, errors.New("server: adaptation is not enabled")
+	}
+	switch action {
+	case "pause", "resume", "force":
+	default:
+		return nil, fmt.Errorf("server: unknown adapt action %q (want pause, resume or force)", action)
+	}
+	s.mu.Lock()
+	if channel == "" {
+		switch action {
+		case "pause":
+			s.adaptPaused = true
+		case "resume":
+			s.adaptPaused = false
+		}
+	}
+	targets := make(map[string]*adapt.Adapter, len(s.adapters))
+	for ch, ad := range s.adapters {
+		if channel == "" || ch == channel {
+			targets[ch] = ad
+		}
+	}
+	s.mu.Unlock()
+	if channel != "" && len(targets) == 0 {
+		return nil, fmt.Errorf("server: no adapting bus %q", channel)
+	}
+	buses := make([]string, 0, len(targets))
+	for ch, ad := range targets {
+		switch action {
+		case "pause":
+			ad.Pause()
+		case "resume":
+			ad.Resume()
+		case "force":
+			ad.Force()
+		}
+		buses = append(buses, ch)
+	}
+	sort.Strings(buses)
+	return buses, nil
+}
+
+// CheckpointFile derives the per-bus checkpoint destination from the
+// configured base path: "model.snap" serving bus "ms-can" checkpoints
+// to "model.ms-can.snap". Per-bus files because adaptation is per bus:
+// two buses drift independently and their models must not overwrite
+// each other — which is also why the sanitization is injective:
+// [A-Za-z0-9-] bytes pass through, every other byte (including '_',
+// the escape introducer) becomes "_xx" hex, and the empty channel maps
+// to "_" (which no escaped name can produce). Distinct channels can
+// never share a file.
+func CheckpointFile(base, channel string) string {
+	var sb strings.Builder
+	for i := 0; i < len(channel); i++ {
+		switch b := channel[i]; {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9', b == '-':
+			sb.WriteByte(b)
+		default:
+			fmt.Fprintf(&sb, "_%02x", b)
+		}
+	}
+	sanitized := sb.String()
+	if sanitized == "" {
+		sanitized = "_"
+	}
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "." + sanitized + ext
+}
+
+// Checkpoint persists every adapting bus's latest promoted model as a
+// version-2 snapshot (atomic write-rename per file, like any store
+// save) and returns the files written, keyed by bus. Buses that have
+// not appeared yet have nothing to checkpoint.
+func (s *Server) Checkpoint() (files map[string]string, err error) {
+	if s.cfg.CheckpointPath == "" {
+		return nil, errors.New("server: checkpointing is not configured")
+	}
+	s.ckMu.Lock()
+	defer s.ckMu.Unlock()
+	defer func() { s.ckErr = err }()
+	s.mu.Lock()
+	snap := s.snap
+	adapters := make(map[string]*adapt.Adapter, len(s.adapters))
+	for ch, ad := range s.adapters {
+		adapters[ch] = ad
+	}
+	s.mu.Unlock()
+	files = make(map[string]string, len(adapters))
+	for ch, ad := range adapters {
+		ck, err := checkpointSnapshot(snap, ad)
+		if err != nil {
+			return files, fmt.Errorf("server: checkpoint bus %q: %w", ch, err)
+		}
+		path := CheckpointFile(s.cfg.CheckpointPath, ch)
+		if err := store.Save(path, ck); err != nil {
+			return files, fmt.Errorf("server: checkpoint bus %q: %w", ch, err)
+		}
+		files[ch] = path
+	}
+	return files, nil
+}
+
+// checkpointSnapshot assembles the version-2 snapshot for one bus: the
+// served snapshot's identity (core config, pool, policies) with the
+// adapter's latest promoted template and budgets, plus the adaptation
+// metadata. The result passes the same validation as any snapshot, so
+// a restart can -load it and an /admin/reload can swap it in.
+func checkpointSnapshot(snap *store.Snapshot, ad *adapt.Adapter) (*store.Snapshot, error) {
+	tmpl, budgets, st := ad.Model()
+	ck := *snap
+	ck.Template = tmpl
+	if snap.Gateway != nil || snap.Response != nil {
+		var gp store.GatewayPolicy
+		if snap.Gateway != nil {
+			gp = *snap.Gateway
+		}
+		if gp.RateWindow <= 0 {
+			// Same default buildEngine applies to the live gateway.
+			gp.RateWindow = snap.Core.Window
+		}
+		if budgets != nil {
+			gp.Budgets = budgets
+		}
+		ck.Gateway = &gp
+	}
+	ck.Adapt = &store.AdaptMeta{
+		Windows:      st.Windows,
+		Clean:        st.Clean,
+		Promotions:   st.Promotions,
+		LastBoundary: st.LastBoundary,
+		Drift:        st.Drift,
+	}
+	if err := ck.Validate(); err != nil {
+		return nil, err
+	}
+	return &ck, nil
 }
 
 // AlertsTotal returns the number of alerts emitted since Start.
@@ -415,7 +811,10 @@ func (s *Server) Stats() (total engine.Stats, buses map[string]engine.Stats) {
 const maxSnapshotBody = store.MaxPayload + 128
 
 // Handler returns the HTTP API. Mount it on any http.Server; the
-// handler is safe for concurrent use.
+// handler is safe for concurrent use. With Config.AdminToken set,
+// every /admin/* route demands the bearer token; the read and ingest
+// surface stays open (run the whole daemon behind TLS termination when
+// the transport is untrusted — see doc.go).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
@@ -427,8 +826,26 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /alerts", s.handleAlerts)
-	mux.HandleFunc("POST /admin/reload", s.handleReload)
-	mux.HandleFunc("POST /admin/shutdown", s.handleShutdown)
+	admin := func(h http.HandlerFunc) http.HandlerFunc {
+		if s.cfg.AdminToken == "" {
+			return h
+		}
+		want := []byte("Bearer " + s.cfg.AdminToken)
+		return func(w http.ResponseWriter, r *http.Request) {
+			got := []byte(r.Header.Get("Authorization"))
+			if subtle.ConstantTimeCompare(got, want) != 1 {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="canids-admin"`)
+				writeJSON(w, http.StatusUnauthorized, errorResponse{Error: "admin endpoints need the bearer token"})
+				return
+			}
+			h(w, r)
+		}
+	}
+	mux.HandleFunc("POST /admin/reload", admin(s.handleReload))
+	mux.HandleFunc("POST /admin/shutdown", admin(s.handleShutdown))
+	mux.HandleFunc("GET /admin/adapt", admin(s.handleAdaptStatus))
+	mux.HandleFunc("POST /admin/adapt", admin(s.handleAdaptControl))
+	mux.HandleFunc("POST /admin/checkpoint", admin(s.handleCheckpoint))
 	return mux
 }
 
@@ -494,6 +911,7 @@ type statsResponse struct {
 	AlertsTotal   uint64                  `json:"alerts_total"`
 	Total         engine.Stats            `json:"total"`
 	Buses         map[string]engine.Stats `json:"buses"`
+	Adapt         map[string]adapt.Status `json:"adapt,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -503,7 +921,51 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		AlertsTotal:   s.AlertsTotal(),
 		Total:         total,
 		Buses:         buses,
+		Adapt:         s.AdaptStatus(),
 	})
+}
+
+func (s *Server) handleAdaptStatus(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Adapt == nil {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: "adaptation is not enabled"})
+		return
+	}
+	resp := map[string]any{
+		"enabled":      true,
+		"checkpointed": s.cfg.CheckpointPath != "",
+		"buses":        s.AdaptStatus(),
+	}
+	if e := s.lastCheckpointError(); e != "" {
+		resp["last_checkpoint_error"] = e
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAdaptControl(w http.ResponseWriter, r *http.Request) {
+	action := r.URL.Query().Get("action")
+	buses, err := s.adaptControl(action, r.URL.Query().Get("channel"))
+	if err != nil {
+		code := http.StatusBadRequest
+		if s.cfg.Adapt == nil {
+			code = http.StatusConflict
+		}
+		writeJSON(w, code, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"action": action, "buses": buses})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	files, err := s.Checkpoint()
+	if err != nil {
+		code := http.StatusInternalServerError
+		if s.cfg.CheckpointPath == "" {
+			code = http.StatusConflict
+		}
+		writeJSON(w, code, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"files": files})
 }
 
 func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {

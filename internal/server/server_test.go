@@ -8,11 +8,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"canids/internal/adapt"
 
 	"canids/internal/attack"
 	"canids/internal/bus"
@@ -591,4 +594,382 @@ func TestServeCancelUnwinds(t *testing.T) {
 func ExampleServer() {
 	fmt.Println("see examples/serving for the end-to-end walkthrough")
 	// Output: see examples/serving for the end-to-end walkthrough
+}
+
+// --- Online adaptation, checkpointing, admin auth --------------------
+
+// gatewaySnapshot derives a snapshot that arms the gateway (whitelist
+// off, no budgets yet): serving it with adaptation enabled learns rate
+// budgets from live clean traffic.
+func gatewaySnapshot(t *testing.T) *store.Snapshot {
+	snap, _, _ := loadFixture(t)
+	s := *snap
+	s.Gateway = &store.GatewayPolicy{RateWindow: s.Core.Window}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return &s
+}
+
+// testStats mirrors the /stats payload for tests.
+type testStats struct {
+	AlertsTotal uint64                  `json:"alerts_total"`
+	Total       engine.Stats            `json:"total"`
+	Buses       map[string]engine.Stats `json:"buses"`
+	Adapt       map[string]adapt.Status `json:"adapt"`
+}
+
+// authReq issues a request with an optional bearer token and decodes
+// the JSON response.
+func authReq(t *testing.T, method, url, token string, body []byte, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("bad JSON from %s: %v\n%s", url, err, data)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServeAdaptLifecycle drives the full online-adaptation story over
+// HTTP: serve with adaptation and checkpointing on, ingest clean
+// traffic, watch budgets get promoted, exercise the admin controls,
+// checkpoint, and restart a second server from the version-2
+// checkpoint with the learned budgets intact.
+func TestServeAdaptLifecycle(t *testing.T) {
+	snap := gatewaySnapshot(t)
+	_, clean, _ := loadFixture(t)
+	dir := t.TempDir()
+	base := filepath.Join(dir, "model.snap")
+	const token = "s3cret"
+	srv, url := startServer(t, server.Config{
+		Snapshot:       snap,
+		Shards:         2,
+		Adapt:          &server.AdaptOptions{Every: 2, MinWindows: 2, RateSlack: 1.5},
+		CheckpointPath: base,
+		AdminToken:     token,
+	})
+	if code := post(t, url+"/ingest/ms-can?format=csv", encodeCSV(t, clean), nil); code != http.StatusOK {
+		t.Fatalf("ingest status %d", code)
+	}
+
+	// Ingest returns once the records are in the buffered feed; the
+	// engines may still be scoring, so poll for the promotion.
+	var ast adapt.Status
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var stats testStats
+		if code := get(t, url+"/stats", &stats); code != http.StatusOK {
+			t.Fatalf("stats status %d", code)
+		}
+		var ok bool
+		if ast, ok = stats.Adapt["ms-can"]; ok && ast.Promotions > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no promotion after clean ingest: %+v", stats.Adapt)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if ast.Clean == 0 || ast.Windows < ast.Clean {
+		t.Errorf("implausible window counters: %+v", ast)
+	}
+
+	var adaptStatus struct {
+		Enabled bool                    `json:"enabled"`
+		Buses   map[string]adapt.Status `json:"buses"`
+	}
+	if code := authReq(t, "GET", url+"/admin/adapt", token, nil, &adaptStatus); code != http.StatusOK {
+		t.Fatalf("admin adapt status %d", code)
+	}
+	// Promotions only grow between the two reads (the pipeline may still
+	// be scoring).
+	if !adaptStatus.Enabled || adaptStatus.Buses["ms-can"].Promotions < ast.Promotions {
+		t.Errorf("admin adapt view disagrees with /stats: %+v", adaptStatus)
+	}
+
+	// Controls: pause sticks, bogus action is rejected, resume + force
+	// re-arm.
+	if code := authReq(t, "POST", url+"/admin/adapt?action=pause", token, nil, nil); code != http.StatusOK {
+		t.Fatalf("pause status %d", code)
+	}
+	if code := authReq(t, "POST", url+"/admin/adapt?action=bogus", token, nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("bogus action status %d", code)
+	}
+	if code := authReq(t, "POST", url+"/admin/adapt?action=resume&channel=nope", token, nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown channel status %d", code)
+	}
+	if code := authReq(t, "POST", url+"/admin/adapt?action=resume&channel=ms-can", token, nil, nil); code != http.StatusOK {
+		t.Fatalf("resume status %d", code)
+	}
+	if code := authReq(t, "POST", url+"/admin/adapt?action=force", token, nil, nil); code != http.StatusOK {
+		t.Fatalf("force status %d", code)
+	}
+
+	// Checkpoint now and restart from the file.
+	var ck struct {
+		Files map[string]string `json:"files"`
+	}
+	if code := authReq(t, "POST", url+"/admin/checkpoint", token, nil, &ck); code != http.StatusOK {
+		t.Fatalf("checkpoint status %d", code)
+	}
+	path, ok := ck.Files["ms-can"]
+	if !ok || path != server.CheckpointFile(base, "ms-can") {
+		t.Fatalf("checkpoint files = %v", ck.Files)
+	}
+	loaded, err := store.Load(path)
+	if err != nil {
+		t.Fatalf("checkpoint does not load: %v", err)
+	}
+	if loaded.Adapt == nil || loaded.Adapt.Promotions == 0 {
+		t.Fatalf("checkpoint lost the adaptation metadata: %+v", loaded.Adapt)
+	}
+	if loaded.Gateway == nil || len(loaded.Gateway.Budgets) == 0 {
+		t.Fatal("checkpoint lost the learned budgets")
+	}
+	if loaded.Core != snap.Core {
+		t.Fatal("checkpoint changed the core config")
+	}
+
+	// A reload rebases the adapter: the learning state starts over from
+	// the reloaded model.
+	if code := authReq(t, "POST", url+"/admin/reload", token, encodeSnapshot(t, loaded), nil); code != http.StatusOK {
+		t.Fatalf("reload of the checkpoint status %d", code)
+	}
+	if code := authReq(t, "GET", url+"/admin/adapt", token, nil, &adaptStatus); code != http.StatusOK {
+		t.Fatalf("admin adapt status %d", code)
+	}
+	if st := adaptStatus.Buses["ms-can"]; st.RingFill != 0 || st.CleanSince != 0 {
+		t.Errorf("reload did not rebase the adapter: %+v", st)
+	}
+	_ = srv
+
+	// Restart: a fresh server built from the checkpoint serves the
+	// learned budgets without adaptation.
+	srv2, url2 := startServer(t, server.Config{Snapshot: loaded, Shards: 2})
+	if code := post(t, url2+"/ingest/ms-can?format=csv", encodeCSV(t, clean), nil); code != http.StatusOK {
+		t.Fatalf("restart ingest status %d", code)
+	}
+	if err := srv2.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	total, _ := srv2.Stats()
+	if total.Frames != uint64(len(clean)) {
+		t.Errorf("restart served %d frames, want %d", total.Frames, len(clean))
+	}
+}
+
+// TestServeAdaptDisabled pins the adaptation surface on a plain server:
+// the endpoints answer 409, /stats carries no adapt section, and
+// checkpointing without adaptation is rejected at New.
+func TestServeAdaptDisabled(t *testing.T) {
+	snap, _, _ := loadFixture(t)
+	_, url := startServer(t, server.Config{Snapshot: snap})
+	if code := authReq(t, "GET", url+"/admin/adapt", "", nil, nil); code != http.StatusConflict {
+		t.Errorf("adapt status on plain server: %d, want 409", code)
+	}
+	if code := authReq(t, "POST", url+"/admin/adapt?action=pause", "", nil, nil); code != http.StatusConflict {
+		t.Errorf("adapt control on plain server: %d, want 409", code)
+	}
+	if code := authReq(t, "POST", url+"/admin/checkpoint", "", nil, nil); code != http.StatusConflict {
+		t.Errorf("checkpoint on plain server: %d, want 409", code)
+	}
+	var stats testStats
+	get(t, url+"/stats", &stats)
+	if stats.Adapt != nil {
+		t.Errorf("plain server reports adaptation: %+v", stats.Adapt)
+	}
+	if _, err := server.New(server.Config{Snapshot: snap, CheckpointPath: "x.snap"}); err == nil {
+		t.Error("checkpointing without adaptation accepted")
+	}
+}
+
+// TestServeAdminAuth locks the admin surface behind the bearer token:
+// no token and wrong token answer 401 without side effects, the right
+// token works, and the read/ingest surface stays open.
+func TestServeAdminAuth(t *testing.T) {
+	snap, clean, _ := loadFixture(t)
+	const token = "hunter2"
+	srv, url := startServer(t, server.Config{Snapshot: snap, AdminToken: token})
+	if code := authReq(t, "POST", url+"/admin/shutdown", "", nil, nil); code != http.StatusUnauthorized {
+		t.Fatalf("shutdown without token: %d, want 401", code)
+	}
+	if code := authReq(t, "POST", url+"/admin/shutdown", "wrong", nil, nil); code != http.StatusUnauthorized {
+		t.Fatalf("shutdown with wrong token: %d, want 401", code)
+	}
+	if code := authReq(t, "POST", url+"/admin/reload", "", encodeSnapshot(t, snap), nil); code != http.StatusUnauthorized {
+		t.Fatalf("reload without token: %d, want 401", code)
+	}
+	// The 401s must not have drained anything: ingest and reads still work.
+	if code := post(t, url+"/ingest/ms-can?format=csv", encodeCSV(t, clean), nil); code != http.StatusOK {
+		t.Fatalf("open ingest status %d", code)
+	}
+	if code := get(t, url+"/stats", nil); code != http.StatusOK {
+		t.Fatalf("open stats status %d", code)
+	}
+	var resp shutdownResponse2
+	if code := authReq(t, "POST", url+"/admin/shutdown", token, nil, &resp); code != http.StatusOK {
+		t.Fatalf("authorized shutdown status %d", code)
+	}
+	if resp.Total.Frames != uint64(len(clean)) {
+		t.Errorf("drained %d frames, want %d", resp.Total.Frames, len(clean))
+	}
+	_ = srv
+}
+
+// shutdownResponse2 mirrors the handler's shutdown payload for tests.
+type shutdownResponse2 struct {
+	AlertsTotal uint64                  `json:"alerts_total"`
+	Total       engine.Stats            `json:"total"`
+	Buses       map[string]engine.Stats `json:"buses"`
+}
+
+func TestCheckpointFile(t *testing.T) {
+	cases := []struct{ base, channel, want string }{
+		{"model.snap", "ms-can", "model.ms-can.snap"},
+		{"/var/lib/canids/model.snap", "can0", "/var/lib/canids/model.can0.snap"},
+		{"model.snap", "", "model._.snap"},
+		{"model.snap", "weird/../bus", "model.weird_2f_2e_2e_2fbus.snap"},
+		{"noext", "can0", "noext.can0"},
+	}
+	for _, tc := range cases {
+		if got := server.CheckpointFile(tc.base, tc.channel); got != tc.want {
+			t.Errorf("CheckpointFile(%q, %q) = %q, want %q", tc.base, tc.channel, got, tc.want)
+		}
+	}
+	// The mapping must be injective: channels differing only in escaped
+	// bytes (or colliding with the escape character itself) must land in
+	// distinct files, or two buses would overwrite each other's models.
+	seen := make(map[string]string)
+	for _, ch := range []string{"can.0", "can_0", "can_2e0", "bus", "_", "", "a/b", "a_2fb"} {
+		got := server.CheckpointFile("m.snap", ch)
+		if prev, dup := seen[got]; dup {
+			t.Errorf("channels %q and %q collide on %q", prev, ch, got)
+		}
+		seen[got] = ch
+	}
+}
+
+// TestServeAdaptFleetPauseCoversNewBuses pins the fix for a pause
+// raced by traffic: a fleet-wide pause issued before a bus's first
+// record must leave that bus's adapter paused when it appears.
+func TestServeAdaptFleetPauseCoversNewBuses(t *testing.T) {
+	snap := gatewaySnapshot(t)
+	_, clean, _ := loadFixture(t)
+	_, url := startServer(t, server.Config{
+		Snapshot: snap,
+		Adapt:    &server.AdaptOptions{Every: 1, MinWindows: 1, RateSlack: 2},
+	})
+	// Pause with zero buses live.
+	if code := authReq(t, "POST", url+"/admin/adapt?action=pause", "", nil, nil); code != http.StatusOK {
+		t.Fatalf("fleet pause status %d", code)
+	}
+	if code := post(t, url+"/ingest/late-bus?format=csv", encodeCSV(t, clean), nil); code != http.StatusOK {
+		t.Fatalf("ingest status %d", code)
+	}
+	var st struct {
+		Buses map[string]adapt.Status `json:"buses"`
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		authReq(t, "GET", url+"/admin/adapt", "", nil, &st)
+		if b, ok := st.Buses["late-bus"]; ok && b.Windows > 0 {
+			if !b.Paused {
+				t.Fatalf("bus born after the fleet pause is not paused: %+v", b)
+			}
+			if b.Promotions != 0 {
+				t.Fatalf("paused new bus promoted: %+v", b)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("late-bus never appeared: %+v", st.Buses)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// A fleet resume lifts the default again for the next bus.
+	if code := authReq(t, "POST", url+"/admin/adapt?action=resume", "", nil, nil); code != http.StatusOK {
+		t.Fatalf("fleet resume status %d", code)
+	}
+	if code := post(t, url+"/ingest/later-bus?format=csv", encodeCSV(t, clean), nil); code != http.StatusOK {
+		t.Fatalf("second ingest status %d", code)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		authReq(t, "GET", url+"/admin/adapt", "", nil, &st)
+		if b, ok := st.Buses["later-bus"]; ok {
+			if b.Paused {
+				t.Fatalf("bus born after the fleet resume is paused: %+v", b)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("later-bus never appeared: %+v", st.Buses)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServeReloadAcceptsOwnCheckpoint pins that a checkpoint the
+// daemon produced can always be hot-reloaded into the daemon that
+// produced it — including the response-only case, where the checkpoint
+// gains explicit gateway policy (learned budgets) that the live
+// engines materialized implicitly.
+func TestServeReloadAcceptsOwnCheckpoint(t *testing.T) {
+	snap, clean, _ := loadFixture(t)
+	respOnly := *snap
+	respOnly.Response = &store.ResponsePolicy{Rank: 10, BlockTop: 1, Quarantine: 30 * time.Second}
+	if err := respOnly.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(t.TempDir(), "model.snap")
+	_, url := startServer(t, server.Config{
+		Snapshot:       &respOnly,
+		Adapt:          &server.AdaptOptions{Every: 2, MinWindows: 2, RateSlack: 2},
+		CheckpointPath: base,
+	})
+	if code := post(t, url+"/ingest/ms-can?format=csv", encodeCSV(t, clean), nil); code != http.StatusOK {
+		t.Fatalf("ingest status %d", code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	var ck struct {
+		Files map[string]string `json:"files"`
+	}
+	for {
+		if code := authReq(t, "POST", url+"/admin/checkpoint", "", nil, &ck); code != http.StatusOK {
+			t.Fatalf("checkpoint status %d", code)
+		}
+		loaded, err := store.Load(ck.Files["ms-can"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.Gateway != nil && len(loaded.Gateway.Budgets) > 0 {
+			// The response-only model grew explicit budget policy; the
+			// daemon must still accept its own artifact.
+			if code := authReq(t, "POST", url+"/admin/reload", "", encodeSnapshot(t, loaded), nil); code != http.StatusOK {
+				t.Fatalf("daemon rejected its own checkpoint: status %d", code)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no budgets promoted into the checkpoint: %+v", loaded.Gateway)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }

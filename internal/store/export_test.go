@@ -1,0 +1,44 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// EncodeLegacyV1 writes s in the retired version-1 container format —
+// test-only, so the migration path can be exercised against freshly
+// minted v1 bytes without keeping a writable v1 encoder in the
+// production surface. The adaptation metadata, which format 1 cannot
+// express, must be absent.
+func EncodeLegacyV1(w io.Writer, s *Snapshot) error {
+	if s.Adapt != nil {
+		return fmt.Errorf("store: version 1 cannot carry adaptation metadata")
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(snapshotV1{
+		Core:     s.Core,
+		Template: s.Template,
+		Pool:     s.Pool,
+		Gateway:  s.Gateway,
+		Response: s.Response,
+	})
+	if err != nil {
+		return err
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:], magic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], versionV1)
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(hdr[20:], sum[:])
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}

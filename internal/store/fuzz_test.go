@@ -2,14 +2,34 @@ package store_test
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
 	"reflect"
 	"testing"
+	"time"
 
 	"canids/internal/can"
 	"canids/internal/core"
 	"canids/internal/store"
 )
+
+// reframeFuzz wraps a payload in an internally-consistent container
+// header at the given version, so seeds can target the JSON and
+// semantic layers behind an intact checksum.
+func reframeFuzz(version uint32, payload []byte) []byte {
+	var buf bytes.Buffer
+	buf.Write([]byte{'C', 'A', 'N', 'I', 'D', 'S', 'S', 1})
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], version)
+	buf.Write(v[:])
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(payload)))
+	buf.Write(n[:])
+	sum := sha256.Sum256(payload)
+	buf.Write(sum[:])
+	buf.Write(payload)
+	return buf.Bytes()
+}
 
 // fuzzSeedSnapshot builds a small valid snapshot without the simulator,
 // so the fuzz corpus stays cheap to regenerate.
@@ -25,10 +45,20 @@ func fuzzSeedSnapshot() *store.Snapshot {
 	return &store.Snapshot{Core: cfg, Template: tmpl, Pool: []can.ID{0x100, 0x2A0, 0x7FF}}
 }
 
+// fuzzSeedSnapshotV2 is the seed with version-2 adaptation metadata.
+func fuzzSeedSnapshotV2() *store.Snapshot {
+	s := fuzzSeedSnapshot()
+	s.Adapt = &store.AdaptMeta{Windows: 40, Clean: 30, Promotions: 3, LastBoundary: 39 * time.Second, Drift: 0.02}
+	return s
+}
+
 // FuzzStoreDecode feeds the snapshot decoder corrupt, truncated and
-// version-skewed inputs: it must always return an error or a fully
-// valid snapshot — never panic, never hand back a partial model. A
-// successful decode must survive its own re-encode bit-identically.
+// version-skewed inputs — including version-1 bodies that exercise the
+// migration path: it must always return an error or a fully valid
+// snapshot — never panic, never hand back a partial model. A
+// successful decode must survive its own re-encode bit-identically
+// (a migrated v1 model re-encodes as v2 and must be a fixed point from
+// there on).
 func FuzzStoreDecode(f *testing.F) {
 	var buf bytes.Buffer
 	if err := store.Encode(&buf, fuzzSeedSnapshot()); err != nil {
@@ -52,6 +82,32 @@ func FuzzStoreDecode(f *testing.F) {
 	bomb := append([]byte(nil), valid...)
 	binary.LittleEndian.PutUint64(bomb[12:], 1<<62)
 	f.Add(bomb)
+
+	// Version-2 body with adaptation metadata.
+	var v2 bytes.Buffer
+	if err := store.Encode(&v2, fuzzSeedSnapshotV2()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	// Semantically corrupt metadata under a valid checksum: reframe a
+	// hand-built payload so only Validate can refuse it.
+	f.Add(reframeFuzz(store.Version, []byte(`{"core":{"Alpha":5,"Window":1000000000,"Width":11,"MinFrames":50,"MinThreshold":0.0001},"template":{"width":11,"windows":1,"mean_h":[0,0,0,0,0,0,0,0,0,0,0],"min_h":[0,0,0,0,0,0,0,0,0,0,0],"max_h":[0,0,0,0,0,0,0,0,0,0,0],"mean_p":[0,0,0,0,0,0,0,0,0,0,0]},"adapt":{"windows":1,"clean":2,"promotions":3}}`)))
+
+	// Version-1 bodies through the migration path: intact, truncated,
+	// payload-flipped, and one smuggling the v2-only "adapt" field under
+	// a recomputed (valid) checksum — the schema check alone must refuse
+	// that one.
+	var v1 bytes.Buffer
+	if err := store.EncodeLegacyV1(&v1, fuzzSeedSnapshot()); err != nil {
+		f.Fatal(err)
+	}
+	legacy := v1.Bytes()
+	f.Add(legacy)
+	f.Add(legacy[:len(legacy)-3])
+	flippedV1 := append([]byte(nil), legacy...)
+	flippedV1[len(flippedV1)-2] ^= 0x40
+	f.Add(flippedV1)
+	f.Add(reframeFuzz(1, v2.Bytes()[52:]))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := store.Decode(bytes.NewReader(data))

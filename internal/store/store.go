@@ -29,6 +29,19 @@
 // never a silently partial model (FuzzStoreDecode pins this over a
 // corrupt/truncated/version-bumped corpus).
 //
+// # Versions and migration
+//
+// Format 2 (current) added optional online-adaptation metadata
+// ("adapt" in the payload: windows observed, promotions, last
+// promotion boundary, drift) — what `canids -serve -adapt` checkpoints
+// alongside the adapted model. Format 1 files still load: Decode
+// recognizes the version-1 header, decodes the payload against the
+// explicit version-1 schema (so a v1 file cannot smuggle fields that
+// did not exist then), and migrates it field for field — every
+// pre-migration snapshot drives a detector bit-identically to the day
+// it was saved (TestSnapshotV1MigratesToV2). Encode always writes the
+// current version.
+//
 // Saving is atomic: Save writes to a temporary file in the destination
 // directory, syncs, and renames it into place, so a crash mid-write
 // leaves the previous snapshot intact and a reader never observes a
@@ -53,10 +66,15 @@ import (
 	"canids/internal/response"
 )
 
-// Version is the current snapshot format version. Decode rejects any
-// other version: a model file must be re-trained (or migrated by an
-// explicit tool), never half-understood.
-const Version = 1
+// Version is the current snapshot format version. Version 2 added the
+// online-adaptation metadata (Snapshot.Adapt). Decode accepts the
+// current version and migrates version 1 in code (see migrateV1);
+// anything else is rejected — a model file is never half-understood.
+const Version = 2
+
+// versionV1 is the pre-adaptation format: the same container framing
+// around a payload without the "adapt" field.
+const versionV1 = 1
 
 // MaxPayload bounds the decoded payload size, so a forged length field
 // cannot make Decode allocate unbounded memory.
@@ -106,6 +124,48 @@ type ResponsePolicy struct {
 	MinScore float64 `json:"min_score"`
 }
 
+// AdaptMeta is the version-2 addition: what online adaptation learned
+// before this snapshot was checkpointed. It is provenance, not model —
+// a detector built from the snapshot ignores it — but it is what lets a
+// restarted daemon (and its operator) see that the served budgets and
+// template are the adapted ones, not the originally trained ones.
+type AdaptMeta struct {
+	// Windows is the number of detection windows the adapter observed.
+	Windows uint64 `json:"windows"`
+	// Clean is the subset that was alert-free, gateway-pass and dense
+	// enough to learn from.
+	Clean uint64 `json:"clean,omitempty"`
+	// Promotions is the number of model promotions before the
+	// checkpoint.
+	Promotions uint64 `json:"promotions"`
+	// LastBoundary is the window boundary the last promotion applied
+	// from.
+	LastBoundary time.Duration `json:"last_boundary,omitempty"`
+	// Drift is the largest per-bit |Δmean entropy| of the promoted
+	// template versus the originally trained one.
+	Drift float64 `json:"drift,omitempty"`
+}
+
+// Validate checks the metadata's semantic invariants.
+func (m *AdaptMeta) Validate() error {
+	if m.Clean > m.Windows {
+		return fmt.Errorf("%w: adapt: %d clean windows out of %d observed", ErrInvalid, m.Clean, m.Windows)
+	}
+	if m.Promotions > 0 && m.Clean == 0 {
+		// Forced promotions can outnumber clean windows (each re-promotes
+		// the current ring), but promoting with nothing learned cannot
+		// happen.
+		return fmt.Errorf("%w: adapt: %d promotions with no clean windows", ErrInvalid, m.Promotions)
+	}
+	if m.LastBoundary < 0 {
+		return fmt.Errorf("%w: adapt: negative promotion boundary %v", ErrInvalid, m.LastBoundary)
+	}
+	if m.Drift < 0 || m.Drift > 1 || m.Drift != m.Drift {
+		return fmt.Errorf("%w: adapt: drift %v outside [0, 1]", ErrInvalid, m.Drift)
+	}
+	return nil
+}
+
 // Snapshot is everything a serving node needs to detect (and prevent)
 // without retraining.
 type Snapshot struct {
@@ -120,6 +180,36 @@ type Snapshot struct {
 	Gateway *GatewayPolicy `json:"gateway,omitempty"`
 	// Response, when present, restores the responder's policy.
 	Response *ResponsePolicy `json:"response,omitempty"`
+	// Adapt, when present, records what online adaptation learned
+	// before the snapshot was checkpointed (version 2).
+	Adapt *AdaptMeta `json:"adapt,omitempty"`
+}
+
+// snapshotV1 is the version-1 payload schema — exactly the Snapshot
+// without adaptation metadata. Migration is explicit code, not schema
+// leniency: a version-1 payload smuggling an "adapt" field is corrupt,
+// because that field did not exist in format 1.
+type snapshotV1 struct {
+	Core     core.Config     `json:"core"`
+	Template core.Template   `json:"template"`
+	Pool     []can.ID        `json:"pool,omitempty"`
+	Gateway  *GatewayPolicy  `json:"gateway,omitempty"`
+	Response *ResponsePolicy `json:"response,omitempty"`
+}
+
+// migrate lifts a version-1 payload into the current schema. Every
+// field carries over unchanged — a migrated model detects bit-identically
+// to the snapshot it was saved as (TestSnapshotV1MigratesToV2) — and
+// the adaptation metadata is absent, which is the truth: nothing was
+// adapted when format 1 wrote it.
+func (v snapshotV1) migrate() *Snapshot {
+	return &Snapshot{
+		Core:     v.Core,
+		Template: v.Template,
+		Pool:     v.Pool,
+		Gateway:  v.Gateway,
+		Response: v.Response,
+	}
 }
 
 // New assembles and validates a detector-only snapshot; attach gateway
@@ -207,6 +297,11 @@ func (s *Snapshot) Validate() error {
 			return fmt.Errorf("%w: response policy: %v", ErrInvalid, err)
 		}
 	}
+	if s.Adapt != nil {
+		if err := s.Adapt.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -287,8 +382,10 @@ func Decode(r io.Reader) (*Snapshot, error) {
 	if !bytes.Equal(hdr[:8], magic[:]) {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:8])
 	}
-	if v := binary.LittleEndian.Uint32(hdr[8:]); v != Version {
-		return nil, fmt.Errorf("%w: file version %d, supported %d", ErrVersion, v, Version)
+	version := binary.LittleEndian.Uint32(hdr[8:])
+	if version != Version && version != versionV1 {
+		return nil, fmt.Errorf("%w: file version %d, supported %d (and %d via migration)",
+			ErrVersion, version, Version, versionV1)
 	}
 	n := binary.LittleEndian.Uint64(hdr[12:])
 	if n > MaxPayload {
@@ -309,9 +406,22 @@ func Decode(r io.Reader) (*Snapshot, error) {
 	}
 	dec := json.NewDecoder(bytes.NewReader(payload))
 	dec.DisallowUnknownFields()
-	var s Snapshot
-	if err := dec.Decode(&s); err != nil {
-		return nil, fmt.Errorf("%w: payload json: %v", ErrCorrupt, err)
+	var s *Snapshot
+	if version == versionV1 {
+		// The migration path: decode against the version-1 schema (so a
+		// v1 payload cannot carry fields that did not exist in format 1),
+		// then lift it field for field. Every pre-migration snapshot
+		// loads bit-identically — no retraining, no checksum relaxation.
+		var v1 snapshotV1
+		if err := dec.Decode(&v1); err != nil {
+			return nil, fmt.Errorf("%w: payload json (v1): %v", ErrCorrupt, err)
+		}
+		s = v1.migrate()
+	} else {
+		s = new(Snapshot)
+		if err := dec.Decode(s); err != nil {
+			return nil, fmt.Errorf("%w: payload json: %v", ErrCorrupt, err)
+		}
 	}
 	if dec.More() {
 		return nil, fmt.Errorf("%w: trailing json after payload", ErrCorrupt)
@@ -319,7 +429,7 @@ func Decode(r io.Reader) (*Snapshot, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	return &s, nil
+	return s, nil
 }
 
 // Save atomically writes the snapshot to path: encode to a temporary
