@@ -34,8 +34,13 @@ go test -shuffle=on ./...
 echo "== serve smoke"
 smoke=$(mktemp -d)
 serve_pid=""
+probe_pid=""
 cleanup() {
-  if [[ -n "$serve_pid" ]]; then kill "$serve_pid" 2>/dev/null || true; fi
+  if [[ -n "$probe_pid" ]]; then kill "$probe_pid" 2>/dev/null || true; fi
+  if [[ -n "$serve_pid" ]]; then
+    kill "$serve_pid" 2>/dev/null || true
+    wait "$serve_pid" 2>/dev/null || true
+  fi
   rm -rf "$smoke"
 }
 trap cleanup EXIT
@@ -144,6 +149,99 @@ if [[ -z "$first" || "$first" != "$second" || -z "$first_alerts" || "$first_aler
   cat "$smoke/adapt.log" "$smoke/adapt2.log"; exit 1
 fi
 echo "adapt smoke: promotion observed, checkpoint restarted, $second + $second_alerts served across restart"
+
+# Chaos smoke: the fault-tolerance story end to end against the real
+# daemon (see internal/fault). Serve with adaptation and an injected
+# fault plan: the first checkpoint write fails (a retry or the next
+# promotion must land it anyway), then the bus engine panics mid-ingest
+# (the supervisor must restart it from that checkpoint). The daemon has
+# to stay up throughout: /healthz dips to "degraded" while the bus
+# restarts and returns to "ok", a third ingest is served by the
+# recovered engine, and the final counters reconcile exactly —
+# Frames + Lost == 3 ingests of the same capture, with every frame
+# dropped during the crash window counted in Lost, not vanished.
+echo "== chaos smoke"
+first_n=${first#*:}
+panic_at=$((first_n + 100))
+"$smoke/canids" -serve -addr 127.0.0.1:0 -load "$smoke/model.snap" -shards 2 \
+  -adapt -adapt-every 3 -checkpoint "$smoke/ck2.snap" \
+  -faults "engine.frame[ms-can]:panic@${panic_at};checkpoint.save:error@1" >"$smoke/chaos.log" &
+serve_pid=$!
+base=""
+for _ in $(seq 1 100); do
+  base=$(grep -o 'http://[0-9.:]*' "$smoke/chaos.log" | head -1 || true)
+  if [[ -n "$base" ]]; then break; fi
+  sleep 0.1
+done
+if [[ -z "$base" ]]; then echo "chaos smoke: daemon never announced its address"; cat "$smoke/chaos.log"; exit 1; fi
+if ! grep -q "fault injection armed" "$smoke/chaos.log"; then
+  echo "chaos smoke FAILED: daemon did not announce the armed fault plan"; cat "$smoke/chaos.log"; exit 1
+fi
+# Ingest 1: clean drift, adaptation promotes, and the first checkpoint
+# write fails by injection — the loop must absorb it (retry timer or
+# the next promotion's re-attempt) and still land a file on disk.
+if ! curl -sfS --data-binary @"$smoke/drift.csv" "$base/ingest/ms-can?format=csv" >/dev/null; then
+  echo "chaos smoke FAILED: first ingest rejected"; cat "$smoke/chaos.log"; exit 1
+fi
+ck2=""
+for _ in $(seq 1 100); do
+  if [[ -f "$smoke/ck2.ms-can.snap" ]]; then ck2=yes; break; fi
+  sleep 0.1
+done
+if [[ -z "$ck2" ]]; then
+  echo "chaos smoke FAILED: checkpoint never landed after the injected write failure"
+  curl -sS "$base/stats"; cat "$smoke/chaos.log"; exit 1
+fi
+# Ingest 2: the engine panics at frame $panic_at; the rest of the
+# capture arrives while the bus is down and must be counted lost, not
+# dropped silently. Sample /healthz concurrently to catch the transient
+# degraded window.
+: > "$smoke/healthz.log"
+( while :; do curl -sS "$base/healthz" >>"$smoke/healthz.log" 2>/dev/null; echo >>"$smoke/healthz.log"; done ) &
+probe_pid=$!
+curl -sS --data-binary @"$smoke/drift.csv" "$base/ingest/ms-can?format=csv" >/dev/null || true
+recovered=""
+for _ in $(seq 1 100); do
+  if curl -sS "$base/stats" | grep -qE '"restarts":1'; then recovered=yes; break; fi
+  sleep 0.1
+done
+kill "$probe_pid" 2>/dev/null || true
+wait "$probe_pid" 2>/dev/null || true
+probe_pid=""
+if [[ -z "$recovered" ]]; then
+  echo "chaos smoke FAILED: supervisor never recorded the restart"
+  curl -sS "$base/stats"; cat "$smoke/chaos.log"; exit 1
+fi
+if ! grep -q '"status":"degraded"' "$smoke/healthz.log"; then
+  echo "chaos smoke FAILED: /healthz never reported the restart window as degraded"; exit 1
+fi
+ok=""
+for _ in $(seq 1 100); do
+  if curl -sS "$base/healthz" | grep -q '"status":"ok"'; then ok=yes; break; fi
+  sleep 0.1
+done
+if [[ -z "$ok" ]]; then
+  echo "chaos smoke FAILED: /healthz stuck degraded after the restart"; curl -sS "$base/healthz"; exit 1
+fi
+# Ingest 3: the restarted engine (restored from the checkpoint) must
+# keep serving as if nothing happened.
+if ! curl -sfS --data-binary @"$smoke/drift.csv" "$base/ingest/ms-can?format=csv" >/dev/null; then
+  echo "chaos smoke FAILED: post-restart ingest rejected"; cat "$smoke/chaos.log"; exit 1
+fi
+down3=$(curl -sS -X POST "$base/admin/shutdown")
+wait "$serve_pid"
+serve_pid=""
+if echo "$down3" | grep -q '"error"'; then
+  echo "chaos smoke FAILED: drain reported an error: $down3"; cat "$smoke/chaos.log"; exit 1
+fi
+frames3=$(echo "$down3" | grep -o '"Frames":[0-9]*' | head -1 | grep -o '[0-9]*$')
+lost3=$(echo "$down3" | grep -o '"Lost":[0-9]*' | head -1 | grep -o '[0-9]*$')
+want=$((3 * first_n))
+if [[ -z "$frames3" || -z "$lost3" || "$lost3" -eq 0 || $((frames3 + lost3)) -ne "$want" ]]; then
+  echo "chaos smoke FAILED: counters do not reconcile: Frames=${frames3:-?} + Lost=${lost3:-?} != $want"
+  echo "$down3"; cat "$smoke/chaos.log"; exit 1
+fi
+echo "chaos smoke: checkpoint survived an injected write failure, crash restart absorbed, $frames3 + $lost3 lost == $want ingested"
 
 bench_raw=$(go test -run '^$' -bench . -benchtime=1x -benchmem .)
 echo "$bench_raw"

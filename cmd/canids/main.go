@@ -72,6 +72,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -84,6 +85,7 @@ import (
 	"canids/internal/detect"
 	"canids/internal/engine"
 	"canids/internal/engine/scenario"
+	"canids/internal/fault"
 	"canids/internal/gateway"
 	"canids/internal/infer"
 	"canids/internal/metrics"
@@ -136,6 +138,9 @@ func run(args []string, stdout io.Writer) error {
 		adaptEvery = fs.Int("adapt-every", 0, "with -adapt, promotion cadence in clean windows, also the warm-up before the first promotion (0 = defaults)")
 		checkpoint = fs.String("checkpoint", "", "with -adapt, persist adapted models as v2 snapshots to this base path (per bus: model.<bus>.snap)")
 		adminToken = fs.String("admin-token", os.Getenv("CANIDS_ADMIN_TOKEN"), "with -serve, require this bearer token on /admin/* (default $CANIDS_ADMIN_TOKEN; empty = open)")
+		maxBody    = fs.Int64("max-body", 256<<20, "with -serve, max ingest request body bytes (413 beyond; 0 = unlimited)")
+		ingestTO   = fs.Duration("ingest-timeout", time.Minute, "with -serve, per-read deadline on ingest bodies (408 on stall; 0 disables)")
+		faultSpec  = fs.String("faults", "", "with -serve, arm deterministic fault injection for chaos drills (spec: point[scope]:kind@N[xM];...)")
 
 		prevent    = fs.Bool("prevent", false, "close the loop: gateway pre-filter + alert-driven blocking")
 		whitelist  = fs.Bool("whitelist", false, "with -prevent, also drop IDs outside the legal pool")
@@ -179,7 +184,7 @@ func run(args []string, stdout io.Writer) error {
 	if !*serve {
 		explicit := make(map[string]bool)
 		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-		for _, name := range []string{"adapt", "adapt-every", "checkpoint", "admin-token"} {
+		for _, name := range []string{"adapt", "adapt-every", "checkpoint", "admin-token", "max-body", "ingest-timeout", "faults"} {
 			if explicit[name] {
 				return fmt.Errorf("-%s needs -serve", name)
 			}
@@ -206,14 +211,23 @@ func run(args []string, stdout io.Writer) error {
 				}
 			}
 		}
+		if *maxBody < 0 {
+			return fmt.Errorf("-max-body must be >= 0, got %d", *maxBody)
+		}
+		if *ingestTO < 0 {
+			return fmt.Errorf("-ingest-timeout must be >= 0, got %v", *ingestTO)
+		}
 		return runServe(serveOptions{
-			addr:       *addr,
-			loadPath:   *loadPath,
-			shards:     *shards,
-			adapt:      *adaptOn,
-			adaptEvery: *adaptEvery,
-			checkpoint: *checkpoint,
-			adminToken: *adminToken,
+			addr:          *addr,
+			loadPath:      *loadPath,
+			shards:        *shards,
+			adapt:         *adaptOn,
+			adaptEvery:    *adaptEvery,
+			checkpoint:    *checkpoint,
+			adminToken:    *adminToken,
+			maxBody:       *maxBody,
+			ingestTimeout: *ingestTO,
+			faults:        *faultSpec,
 		}, stdout)
 	case *watch:
 		return runWatch(watchOptions{
@@ -750,13 +764,16 @@ func saveScenarioSnapshot(parts *engineParts, stdout io.Writer) (*store.Snapshot
 
 // serveOptions collects the -serve flags.
 type serveOptions struct {
-	addr       string
-	loadPath   string
-	shards     int
-	adapt      bool
-	adaptEvery int
-	checkpoint string
-	adminToken string
+	addr          string
+	loadPath      string
+	shards        int
+	adapt         bool
+	adaptEvery    int
+	checkpoint    string
+	adminToken    string
+	maxBody       int64
+	ingestTimeout time.Duration
+	faults        string
 }
 
 // runServe is the long-running daemon: restore the model from a
@@ -765,15 +782,48 @@ type serveOptions struct {
 // offline detector's Flush). With -adapt the daemon also learns from
 // live clean windows and, with -checkpoint, persists what it learned.
 func runServe(opts serveOptions, stdout io.Writer) error {
+	var inj *fault.Injector
+	if opts.faults != "" {
+		parsed, err := fault.Parse(opts.faults)
+		if err != nil {
+			return err
+		}
+		inj = parsed
+		defer inj.Close()
+		fmt.Fprintf(stdout, "fault injection armed: %s\n", inj)
+	}
 	snap, err := store.Load(opts.loadPath)
+	var degraded []string
 	if err != nil {
-		return err
+		// The base snapshot is unusable. With checkpointing configured,
+		// a previous run's adapted models are on disk right next to it —
+		// starting degraded from the newest valid one beats refusing to
+		// protect the bus at all. The fallback is loud: a warning here,
+		// and a note in /stats and /healthz for as long as the daemon
+		// runs.
+		if opts.checkpoint == "" {
+			return err
+		}
+		ck, name, cerr := newestCheckpoint(opts.checkpoint)
+		if cerr != nil {
+			return fmt.Errorf("%w (checkpoint fallback: %v)", err, cerr)
+		}
+		fmt.Fprintf(stdout, "warning: %v; starting from checkpoint %s\n", err, name)
+		degraded = append(degraded, fmt.Sprintf("started from checkpoint %s: %v", name, err))
+		snap = ck
 	}
 	cfg := server.Config{
 		Snapshot:       snap,
 		Shards:         opts.shards,
 		CheckpointPath: opts.checkpoint,
 		AdminToken:     opts.adminToken,
+		MaxBody:        opts.maxBody,
+		IngestTimeout:  opts.ingestTimeout,
+		// A slab that cannot enter the feed in 5s means the engines are
+		// hopelessly behind — shed with 429 rather than stall the client.
+		ShedAfter: 5 * time.Second,
+		Fault:     inj,
+		Degraded:  degraded,
 	}
 	if opts.adapt {
 		// The cadence doubles as the warm-up: "-adapt-every 3" promotes
@@ -809,9 +859,18 @@ func runServe(opts serveOptions, stdout io.Writer) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	// ReadHeaderTimeout bounds idle connections; request bodies stay
-	// unbounded because ingest is deliberately a streaming surface.
-	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	// ReadHeaderTimeout bounds idle connections and IdleTimeout reaps
+	// keep-alives. ReadTimeout seeds the whole-request deadline; the
+	// ingest handler extends it per read via ResponseController, so a
+	// long streaming body stays alive as long as bytes keep arriving.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if opts.ingestTimeout > 0 {
+		hs.ReadTimeout = opts.ingestTimeout
+	}
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- hs.Serve(ln) }()
 
@@ -846,6 +905,42 @@ func runServe(opts serveOptions, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "adaptation: %d promotions over %d windows\n", promotions, windows)
 	}
 	return drainErr
+}
+
+// newestCheckpoint scans the per-bus checkpoint files derived from base
+// (model.snap -> model.<bus>.snap, plus their .prev generations) and
+// returns the newest one that still loads and validates. Corrupt or
+// missing candidates are skipped; an error means no usable checkpoint
+// exists at all.
+func newestCheckpoint(base string) (*store.Snapshot, string, error) {
+	ext := filepath.Ext(base)
+	pattern := strings.TrimSuffix(base, ext) + ".*" + ext
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, "", err
+	}
+	prev, _ := filepath.Glob(pattern + ".prev")
+	paths = append(paths, prev...)
+	var (
+		best     *store.Snapshot
+		bestName string
+		bestMod  time.Time
+	)
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil || (best != nil && !info.ModTime().After(bestMod)) {
+			continue
+		}
+		snap, err := store.Load(p)
+		if err != nil {
+			continue
+		}
+		best, bestName, bestMod = snap, p, info.ModTime()
+	}
+	if best == nil {
+		return nil, "", fmt.Errorf("no usable checkpoint matches %s", pattern)
+	}
+	return best, bestName, nil
 }
 
 // teeInjected records the injected (ground truth) records of a stream.

@@ -571,6 +571,115 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestNewestCheckpoint pins the startup-fallback scan: the base path
+// itself never matches, corrupt candidates are skipped even when they
+// are newer, and the newest loadable per-bus checkpoint wins.
+func TestNewestCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	clean := makeCapture(t, dir, "clean.csv", vehicle.Idle, 5, 6*time.Second, nil)
+	model := filepath.Join(dir, "model.snap")
+	if err := run([]string{"-train", "-alpha", "4", "-o", filepath.Join(dir, "t.json"), "-save", model, clean}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	base := filepath.Join(dir, "ck.snap")
+	if _, _, err := newestCheckpoint(base); err == nil {
+		t.Fatal("scan with no candidates succeeded, want error")
+	}
+	if _, _, err := newestCheckpoint(model); err == nil {
+		t.Fatal("base snapshot matched its own checkpoint pattern")
+	}
+	data, err := os.ReadFile(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := filepath.Join(dir, "ck.ms-can.snap")
+	if err := os.WriteFile(valid, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ck.other.snap"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(valid, old, old); err != nil {
+		t.Fatal(err)
+	}
+	_, name, err := newestCheckpoint(base)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if name != valid {
+		t.Errorf("picked %s, want %s (corrupt-but-newer candidate must lose)", name, valid)
+	}
+}
+
+// TestServeStartsFromCheckpoint covers the startup fallback end to end:
+// with the base snapshot gone, -serve -checkpoint boots from the newest
+// per-bus checkpoint, warns on stdout, and surfaces the degradation in
+// /stats for the life of the daemon.
+func TestServeStartsFromCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	clean := makeCapture(t, dir, "clean.csv", vehicle.Idle, 5, 6*time.Second, nil)
+	model := filepath.Join(dir, "model.snap")
+	if err := run([]string{"-train", "-alpha", "4", "-o", filepath.Join(dir, "t.json"), "-save", model, clean}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	ck := filepath.Join(dir, "ck.snap")
+	data, err := os.ReadFile(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ck.ms-can.snap"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := &syncBuffer{}
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- run([]string{"-serve", "-addr", "127.0.0.1:0",
+			"-load", filepath.Join(dir, "gone.snap"), "-adapt", "-checkpoint", ck}, out)
+	}()
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address:\n%s", out.String())
+		}
+		if m := regexp.MustCompile(`serving on (http://\S+) `).FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if !strings.Contains(out.String(), "starting from checkpoint") {
+		t.Errorf("no fallback warning:\n%s", out.String())
+	}
+
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(stats), "started from checkpoint") {
+		t.Errorf("degradation missing from /stats: %s", stats)
+	}
+
+	resp, err = http.Post(base+"/admin/shutdown", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shutdown status %d", resp.StatusCode)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve returned: %v\n%s", err, out.String())
+	}
+}
+
 // TestServeValidation pins the new flag-combination errors.
 func TestServeValidation(t *testing.T) {
 	dir := t.TempDir()
@@ -586,6 +695,12 @@ func TestServeValidation(t *testing.T) {
 		{"-detect", "-load", "x.snap", "-alpha", "4", "a.csv"},                                           // alpha is baked into the snapshot
 		{"-watch", "-load", "x.snap", "-window", "2s", "a.csv"},                                          // window is baked into the snapshot
 		{"-detect", "-load", "x.snap", "-template", "t.json", "a.csv"},                                   // template is baked into the snapshot
+		{"-watch", "-load", "x.snap", "-max-body", "1024", "a.csv"},                                      // ingest limits need -serve
+		{"-watch", "-load", "x.snap", "-ingest-timeout", "5s", "a.csv"},                                  // ingest limits need -serve
+		{"-watch", "-load", "x.snap", "-faults", "engine.frame:panic@1", "a.csv"},                        // fault injection needs -serve
+		{"-serve", "-load", "x.snap", "-max-body", "-1"},                                                 // negative body cap
+		{"-serve", "-load", "x.snap", "-ingest-timeout", "-1s"},                                          // negative read deadline
+		{"-serve", "-load", "x.snap", "-faults", "bogus spec"},                                           // malformed fault rule
 	}
 	for _, args := range cases {
 		if err := run(args, &bytes.Buffer{}); err == nil {

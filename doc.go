@@ -29,6 +29,7 @@
 //	internal/store       versioned, checksummed model snapshots (atomic save, strict load, v1→v2 migration)
 //	internal/server      long-running HTTP serving daemon (ingest, stats, hot reload, adaptation, checkpoints)
 //	internal/adapt       online adaptation: clean-window learning, boundary-pinned promotions
+//	internal/fault       deterministic fault injection (panic/error/stall at named seams)
 //	internal/experiments one runner per paper table and figure
 //	cmd/...              cangen, canattack, canids, experiments
 //	examples/...         quickstart, livebus, offline, sweep, streaming, prevention, serving, adaptation
@@ -155,6 +156,44 @@
 // (401 otherwise). The daemon itself deliberately speaks plain HTTP —
 // for any untrusted transport, terminate TLS in front (nginx, caddy, a
 // service mesh) and carry the token only inside that tunnel.
+//
+// # Fault tolerance
+//
+// A daemon that protects several buses must not let one bus's failure
+// take down the rest. engine.Supervisor runs every bus engine under
+// panic recovery: a panicking or erroring bus is torn down and
+// restarted from its last checkpoint (or the base snapshot) with capped
+// exponential backoff, while the other buses keep streaming — their
+// alert output stays bit-identical to an undisturbed run, pinned by the
+// chaos suite at shards 1/2/8 under -race. Frames that arrive while a
+// bus is down are not silently dropped: the supervisor counts every one
+// in Stats.Lost, so accepted == served + lost reconciles exactly after
+// a drain. A bus that exhausts its restart budget is marked dead —
+// /healthz answers 503 "degraded" and the daemon keeps serving the
+// survivors instead of crashing.
+//
+// Checkpoint writes rotate the previous generation to a .prev file and
+// retry failures with capped backoff; a restart that finds its
+// checkpoint corrupt falls back newest-valid-then-base, and every
+// degradation on that ladder is surfaced in /stats and /healthz rather
+// than logged and lost. The ingest surface hardens the same way:
+// per-read deadlines (408), a configurable body cap (413), and a
+// bounded feed backlog that sheds load with 429 + Retry-After when the
+// engines cannot keep up, instead of letting one slow client wedge the
+// daemon.
+//
+// All of it is driven by internal/fault, a deterministic fault-injection
+// harness: an Injector armed from a compact spec ("engine.frame[ms-can]:
+// panic@500;checkpoint.save:error@1") fires panics, errors, or stalls at
+// named seams threaded through the engine and server — the Nth frame of
+// a bus, a template swap install, a checkpoint write. Faults are exact,
+// not probabilistic, so every chaos test replays bit-for-bit. `canids
+// -serve -faults <spec>` arms the same plan against the real daemon,
+// which is how ci.sh's chaos smoke leg scripts the whole story: an
+// injected checkpoint write failure retried to disk, two mid-ingest
+// engine panics absorbed by checkpoint restarts, /healthz dipping to
+// degraded and recovering, and final counters that reconcile to the
+// frame.
 //
 // # Performance
 //

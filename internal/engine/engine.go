@@ -78,6 +78,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -86,6 +87,7 @@ import (
 	"canids/internal/core"
 	"canids/internal/detect"
 	"canids/internal/entropy"
+	"canids/internal/fault"
 	"canids/internal/gateway"
 	"canids/internal/response"
 	"canids/internal/trace"
@@ -148,6 +150,15 @@ type Config struct {
 	// boundary deterministically. The hook must not call back into the
 	// engine.
 	Adapt AdaptHook
+	// Fault, when set, arms deterministic fault injection: the dispatch
+	// goroutine consults the fault.EngineFrame seam once per consumed
+	// record and the window merger consults fault.EngineSwap per template
+	// install, both scoped by FaultScope. Nil (the default) costs one
+	// cached nil check on the hot path.
+	Fault *fault.Injector
+	// FaultScope tags this engine's seams — the serving layer sets the
+	// bus channel, so one spec can target one bus of a fleet.
+	FaultScope string
 }
 
 // WindowInfo describes one closed detection window to the adaptation
@@ -208,10 +219,38 @@ type Stats struct {
 	Windows uint64
 	// Alerts is the number of alerts emitted to the sink.
 	Alerts uint64
+	// Lost is the number of records that never reached a bus's engine
+	// because it was down — drained while a crashed engine restarted, or
+	// after it was marked dead. Always zero for a directly Run engine;
+	// only the supervisor's crash-isolation path loses frames, and it
+	// counts every one exactly (see Supervisor and BusHealth.Accepted).
+	Lost uint64
 	// PerShard is the number of frames routed to each shard.
 	PerShard []uint64
 	// LastTime is the virtual timestamp of the newest dispatched record.
 	LastTime time.Duration
+}
+
+// accumulate folds another incarnation's counters into s — how the
+// supervisor carries a restarted bus's history forward. PerShard adds
+// element-wise when the layouts match (restarts keep the shard count).
+func (s *Stats) accumulate(o Stats) {
+	s.Frames += o.Frames
+	s.Dropped += o.Dropped
+	s.DroppedInjected += o.DroppedInjected
+	s.Windows += o.Windows
+	s.Alerts += o.Alerts
+	s.Lost += o.Lost
+	if s.PerShard == nil {
+		s.PerShard = append([]uint64(nil), o.PerShard...)
+	} else if len(s.PerShard) == len(o.PerShard) {
+		for i := range s.PerShard {
+			s.PerShard[i] += o.PerShard[i]
+		}
+	}
+	if o.LastTime > s.LastTime {
+		s.LastTime = o.LastTime
+	}
 }
 
 // Forwarded returns the number of records that passed the pre-filter
@@ -233,16 +272,70 @@ type Engine struct {
 	perShard        []atomic.Uint64
 	lastTime        atomic.Int64
 
-	// asyncErr is the first error raised off the dispatch path (the
-	// responder failing on an alert). Written only by the merge
+	// asyncErr is the first non-fatal error raised off the dispatch path
+	// (the responder failing on an alert). Written only by the merge
 	// goroutine, read by Run after the pipeline is joined.
 	asyncErr error
+
+	// failMu guards the fatal-error latch: the first pipeline failure —
+	// a recovered panic in any stage, or a swap template rejected at
+	// install — is recorded here and cancels the run's internal context,
+	// so every stage (including a dispatcher parked on the window
+	// barrier) unwinds instead of deadlocking behind the dead stage.
+	failMu    sync.Mutex
+	failErr   error
+	runCancel context.CancelFunc
 
 	// pendingSwap is the queued model update, installed by the
 	// dispatcher at the next window boundary. Guarded by swapMu; a new
 	// Swap replaces an unconsumed one (the latest model wins).
 	swapMu      sync.Mutex
 	pendingSwap *Swap
+}
+
+// PanicError is a pipeline goroutine's panic converted into an error —
+// the engine's fault-isolation boundary. Run returns it instead of
+// crashing the process; the supervisor's restart path treats it like
+// any other engine failure.
+type PanicError struct {
+	// Stage names the pipeline stage that panicked (dispatch, shard,
+	// merger, baseline, merge).
+	Stage string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: panic in %s stage: %v", e.Stage, e.Value)
+}
+
+// fail records the run's first fatal error and cancels the internal run
+// context so every stage unwinds. Safe from any pipeline goroutine.
+func (e *Engine) fail(err error) {
+	e.failMu.Lock()
+	if e.failErr == nil {
+		e.failErr = err
+	}
+	cancel := e.runCancel
+	e.failMu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// guard runs one pipeline stage under panic recovery: a panic becomes
+// the run's fatal error instead of crashing the process. The stage's
+// own defers (closing its output channel) still run during the unwind,
+// so downstream stages observe a normal end of stream or the cancel.
+func (e *Engine) guard(stage string, f func()) {
+	defer func() {
+		if v := recover(); v != nil {
+			e.fail(&PanicError{Stage: stage, Value: v, Stack: debug.Stack()})
+		}
+	}()
+	f()
 }
 
 // Swap is a model/policy update to install while a stream is running.
@@ -486,9 +579,24 @@ func (p *RecordPool) Put(b []trace.Record) {
 // final partial window is flushed, like the sequential detector's Flush;
 // on error or cancellation in-flight window state is discarded. Run
 // returns the final statistics.
+//
+// Every pipeline stage runs under panic recovery: a panic anywhere —
+// including a panicking sink or adaptation hook — surfaces as a
+// *PanicError from Run instead of crashing the process, which is what
+// lets the multi-bus supervisor isolate and restart a crashed bus.
 func (e *Engine) Run(ctx context.Context, src Source, sink func(detect.Alert)) (Stats, error) {
 	K := e.cfg.Shards
 	nStreams := 1 + len(e.cfg.Baselines)
+
+	// The internal run context lets a fatal stage failure unwind the
+	// whole pipeline (fail cancels it); the caller's ctx stays the
+	// authority on what error a plain cancellation reports.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	e.failMu.Lock()
+	e.failErr = nil
+	e.runCancel = cancel
+	e.failMu.Unlock()
 
 	e.frames.Store(0)
 	e.dropped.Store(0)
@@ -541,28 +649,28 @@ func (e *Engine) Run(ctx context.Context, src Source, sink func(detect.Alert)) (
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			e.shardWorker(ctx, i, shardIn[i], shardOut[i], pool)
+			e.guard("shard", func() { e.shardWorker(runCtx, i, shardIn[i], shardOut[i], pool) })
 		}(i)
 	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		e.windowMerger(ctx, shardOut, swapCh, mergeIn)
+		e.guard("merger", func() { e.windowMerger(runCtx, shardOut, swapCh, mergeIn) })
 	}()
 	for j, b := range e.cfg.Baselines {
 		wg.Add(1)
 		go func(j int, b detect.Detector) {
 			defer wg.Done()
-			e.baselineWorker(ctx, 1+j, b, baseIn[j], mergeIn, pool)
+			e.guard("baseline", func() { e.baselineWorker(runCtx, 1+j, b, baseIn[j], mergeIn, pool) })
 		}(j, b)
 	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		e.orderedMerge(ctx, nStreams, mergeIn, syncCh, sink)
+		e.guard("merge", func() { e.orderedMerge(runCtx, nStreams, mergeIn, syncCh, sink) })
 	}()
 
-	err := e.dispatch(ctx, src, shardIn, baseIn, syncCh, swapCh, pool)
+	err := e.dispatchGuarded(runCtx, src, shardIn, baseIn, syncCh, swapCh, pool)
 	for i := range shardIn {
 		close(shardIn[i])
 	}
@@ -570,6 +678,15 @@ func (e *Engine) Run(ctx context.Context, src Source, sink func(detect.Alert)) (
 		close(baseIn[j])
 	}
 	wg.Wait()
+	e.failMu.Lock()
+	ferr := e.failErr
+	e.runCancel = nil
+	e.failMu.Unlock()
+	if ferr != nil {
+		// A fatal stage failure outranks the cancellation noise it caused
+		// in the other stages.
+		err = ferr
+	}
 	if err == nil {
 		err = e.asyncErr
 	}
@@ -577,6 +694,20 @@ func (e *Engine) Run(ctx context.Context, src Source, sink func(detect.Alert)) (
 		err = ctx.Err()
 	}
 	return e.Stats(), err
+}
+
+// dispatchGuarded runs dispatch under the same panic recovery as the
+// other stages, on Run's own goroutine.
+func (e *Engine) dispatchGuarded(ctx context.Context, src Source, shardIn []chan shardMsg,
+	baseIn []chan []trace.Record, syncCh chan windowAck, swapCh chan swapMsg, pool *RecordPool) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			perr := &PanicError{Stage: "dispatch", Value: v, Stack: debug.Stack()}
+			e.fail(perr)
+			err = perr
+		}
+	}()
+	return e.dispatch(ctx, src, shardIn, baseIn, syncCh, swapCh, pool)
 }
 
 // Detect runs the engine over an in-memory trace and collects the alerts.
@@ -626,6 +757,7 @@ func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardM
 	batch := e.cfg.Batch
 	gw := e.cfg.Gateway
 	adapt := e.cfg.Adapt
+	flt, fltScope := e.cfg.Fault, e.cfg.FaultScope
 	var winStart time.Duration
 	var winDropped uint64
 	haveWindow := false
@@ -663,6 +795,14 @@ func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardM
 		}
 		e.frames.Add(1)
 		e.lastTime.Store(int64(rec.Time))
+		if flt != nil {
+			// The seam fires after the count, so a record that triggers a
+			// fault is still accounted as consumed — the supervisor's
+			// lost-frame reconciliation stays exact across a crash.
+			if err := flt.Hit(fault.EngineFrame, fltScope); err != nil {
+				return fmt.Errorf("engine: %w", err)
+			}
+		}
 		if gw != nil {
 			// The triggering record is classified with the blocklist as
 			// of its own window: a sequential loop, too, classifies a
@@ -872,9 +1012,19 @@ func (e *Engine) windowMerger(ctx context.Context, shardOut []chan partial, swap
 		}
 		for len(swaps) > 0 && swaps[0].from <= start {
 			// Validated by Swap; the merger is the only goroutine
-			// touching the detector while the engine runs.
-			if err := e.det.SetTemplate(swaps[0].tmpl); err != nil {
-				panic(fmt.Sprintf("engine: swap template rejected after validation: %v", err))
+			// touching the detector while the engine runs. An install
+			// rejection is therefore unreachable in practice, but a panic
+			// here would kill the process — make it an engine-fatal error
+			// instead, which the supervisor's restart path absorbs like
+			// any other crash. The fault.EngineSwap seam is how the
+			// regression test forces this path.
+			err := e.det.SetTemplate(swaps[0].tmpl)
+			if err == nil && e.cfg.Fault != nil {
+				err = e.cfg.Fault.Hit(fault.EngineSwap, e.cfg.FaultScope)
+			}
+			if err != nil {
+				e.fail(fmt.Errorf("engine: swap template rejected at install: %w", err))
+				return
 			}
 			if swaps[0].policy != nil {
 				// The responder is driven by the ordered merge; route

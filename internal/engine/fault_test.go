@@ -1,0 +1,324 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"canids/internal/detect"
+	"canids/internal/engine"
+	"canids/internal/fault"
+)
+
+// TestEngineRunRecoversPanic: a panic on the dispatch path surfaces as
+// a *PanicError from Run instead of crashing the process — the contract
+// the supervisor's restart loop is built on.
+func TestEngineRunRecoversPanic(t *testing.T) {
+	_, tmpl, _ := loadFixture(t)
+	tr := scenarioTrace(t, "fusion/idle/SI-100")
+	inj := fault.New()
+	inj.ArmPanic(fault.EngineFrame, "", 500, 1)
+	eng, err := engine.NewTrained(engine.Config{
+		Shards: 2, Core: detectorConfig(), Fault: inj,
+	}, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Run(context.Background(), engine.NewSliceSource(tr), func(detect.Alert) {})
+	var perr *engine.PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("Run error = %v (%T), want *engine.PanicError", err, err)
+	}
+	if perr.Stage != "dispatch" {
+		t.Errorf("panic stage = %q, want dispatch", perr.Stage)
+	}
+	if len(perr.Stack) == 0 {
+		t.Error("panic error carries no stack")
+	}
+	if eng.Stats().Frames != 500 {
+		t.Errorf("Frames = %d, want 500 (panicking record still counted)", eng.Stats().Frames)
+	}
+}
+
+// TestEngineRunRecoversStagePanic: a panic on a worker goroutine (here
+// the merger, via the swap-install seam) also lands in Run's error, and
+// does not deadlock the dispatcher parked on the window barrier.
+func TestEngineRunRecoversStagePanic(t *testing.T) {
+	_, tmpl, _ := loadFixture(t)
+	tr := scenarioTrace(t, "fusion/idle/SI-100")
+	inj := fault.New()
+	inj.ArmPanic(fault.EngineSwap, "", 1, 1)
+	eng, err := engine.NewTrained(engine.Config{
+		Shards: 2, Core: detectorConfig(), Fault: inj,
+	}, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Swap(engine.Swap{Template: tmpl}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.Run(context.Background(), engine.NewSliceSource(tr), func(detect.Alert) {})
+		done <- err
+	}()
+	select {
+	case err = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run did not return after merger panic (barrier deadlock)")
+	}
+	var perr *engine.PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("Run error = %v (%T), want *engine.PanicError", err, err)
+	}
+	if perr.Stage != "merger" {
+		t.Errorf("panic stage = %q, want merger", perr.Stage)
+	}
+}
+
+// TestEngineSwapInstallFailure is the regression test for the former
+// install-path panic: a swap that fails at install (reachable only
+// through the fault seam, since validation happens at queue time) must
+// come back as an engine-fatal error, not a process crash.
+func TestEngineSwapInstallFailure(t *testing.T) {
+	_, tmpl, _ := loadFixture(t)
+	tr := scenarioTrace(t, "fusion/idle/SI-100")
+	inj := fault.New()
+	inj.ArmError(fault.EngineSwap, "", 1, 1)
+	eng, err := engine.NewTrained(engine.Config{
+		Shards: 2, Core: detectorConfig(), Fault: inj,
+	}, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Swap(engine.Swap{Template: tmpl}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Run(context.Background(), engine.NewSliceSource(tr), func(detect.Alert) {})
+	if err == nil || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Run error = %v, want injected install failure", err)
+	}
+	if !strings.Contains(err.Error(), "swap template rejected at install") {
+		t.Errorf("error %q does not name the install path", err)
+	}
+}
+
+// faultFleet runs a two-bus supervisor over SI-100 (can-a) + FI-500
+// (can-b) with the given config mutator and returns the per-bus alert
+// streams, stats, health, and Run's error.
+func faultFleet(t *testing.T, mutate func(*engine.SupervisorConfig)) (
+	map[string][]detect.Alert, map[string]engine.Stats, map[string]engine.BusHealth, *engine.Supervisor, error) {
+	t.Helper()
+	busA := retag(scenarioTrace(t, "fusion/idle/SI-100"), "can-a")
+	busB := retag(scenarioTrace(t, "fusion/idle/FI-500"), "can-b")
+	mixed := interleave(busA, busB)
+
+	cfg := engine.SupervisorConfig{
+		RestartBackoff: time.Millisecond,
+	}
+	mutate(&cfg)
+	sup, err := engine.NewSupervisor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string][]detect.Alert)
+	stats, runErr := sup.Run(context.Background(), engine.NewSliceSource(mixed), func(ch string, a detect.Alert) {
+		got[ch] = append(got[ch], a)
+	})
+	return got, stats, sup.Health(), sup, runErr
+}
+
+// dedicatedAlerts is the undisturbed single-bus reference run.
+func dedicatedAlerts(t *testing.T, name, channel string) []detect.Alert {
+	t.Helper()
+	_, tmpl, _ := loadFixture(t)
+	tr := retag(scenarioTrace(t, name), channel)
+	eng, err := engine.NewTrained(engine.Config{Shards: 2, Core: detectorConfig()}, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts, _, err := eng.Detect(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) == 0 {
+		t.Fatalf("%s: reference run found no alerts", name)
+	}
+	return alerts
+}
+
+// TestSupervisorRestartsCrashedBus is the crash-isolation contract: bus
+// A's engine panics mid-stream and is restarted; bus B's alert stream
+// is bit-identical to an undisturbed run, the fleet-level Run reports
+// no error, and bus A's accounting is exact — every record the demux
+// accepted is either in Frames (some incarnation consumed it) or in
+// Lost (it arrived while the bus was down), with no estimate anywhere.
+func TestSupervisorRestartsCrashedBus(t *testing.T) {
+	_, tmpl, _ := loadFixture(t)
+	wantB := dedicatedAlerts(t, "fusion/idle/FI-500", "can-b")
+
+	inj := fault.New()
+	inj.ArmPanic(fault.EngineFrame, "can-a", 700, 1)
+	newEngine := func(channel string) (*engine.Engine, error) {
+		return engine.NewTrained(engine.Config{
+			Shards: 2, Core: detectorConfig(),
+			Fault: inj, FaultScope: channel,
+		}, tmpl)
+	}
+	var restartedCh string
+	var restartedAttempt int
+	got, stats, health, _, runErr := faultFleet(t, func(cfg *engine.SupervisorConfig) {
+		cfg.NewEngine = newEngine
+		cfg.RestartEngine = func(channel string, attempt int) (*engine.Engine, error) {
+			restartedCh, restartedAttempt = channel, attempt
+			return newEngine(channel)
+		}
+	})
+	if runErr != nil {
+		t.Fatalf("Run = %v, want nil (restart should absorb the crash)", runErr)
+	}
+	if !reflect.DeepEqual(got["can-b"], wantB) {
+		t.Errorf("can-b alerts disturbed by can-a crash: got %d, want %d", len(got["can-b"]), len(wantB))
+	}
+	if restartedCh != "can-a" || restartedAttempt != 1 {
+		t.Errorf("restart factory called with (%q, %d), want (can-a, 1)", restartedCh, restartedAttempt)
+	}
+
+	hA, hB := health["can-a"], health["can-b"]
+	if hA.State != engine.BusOK || hA.Restarts != 1 {
+		t.Errorf("can-a health = %+v, want ok with 1 restart", hA)
+	}
+	if hA.LastError == "" || !strings.Contains(hA.LastError, "panic") {
+		t.Errorf("can-a last error %q does not record the panic", hA.LastError)
+	}
+	if hB.State != engine.BusOK || hB.Restarts != 0 || hB.Lost != 0 {
+		t.Errorf("can-b health = %+v, want undisturbed", hB)
+	}
+
+	// Exact reconciliation, both buses: accepted == consumed + lost.
+	for _, ch := range []string{"can-a", "can-b"} {
+		h, st := health[ch], stats[ch]
+		if h.Accepted != st.Frames+st.Lost {
+			t.Errorf("%s: accepted %d != frames %d + lost %d", ch, h.Accepted, st.Frames, st.Lost)
+		}
+		if h.Lost != st.Lost {
+			t.Errorf("%s: health lost %d != stats lost %d", ch, h.Lost, st.Lost)
+		}
+	}
+	busLen := uint64(len(scenarioTrace(t, "fusion/idle/FI-500")))
+	if health["can-b"].Accepted != busLen || stats["can-b"].Frames != busLen {
+		t.Errorf("can-b accounting %d/%d, want all %d frames consumed",
+			health["can-b"].Accepted, stats["can-b"].Frames, busLen)
+	}
+	// The crashed incarnation consumed exactly 700 records (the
+	// panicking one included); the sum across incarnations must keep
+	// them.
+	if stats["can-a"].Frames < 700 {
+		t.Errorf("can-a frames %d, want >= 700 (crashed incarnation's count kept)", stats["can-a"].Frames)
+	}
+}
+
+// TestSupervisorDeadBus: a bus whose restart budget is exhausted goes
+// dead and drains — the fleet keeps serving, the other bus's stream is
+// untouched, and the dead bus's accounting stays exact.
+func TestSupervisorDeadBus(t *testing.T) {
+	wantB := dedicatedAlerts(t, "fusion/idle/FI-500", "can-b")
+	_, tmpl, _ := loadFixture(t)
+
+	inj := fault.New()
+	inj.ArmPanic(fault.EngineFrame, "can-a", 300, 0) // every record from 300 on
+	var busErrs []string
+	got, stats, health, _, runErr := faultFleet(t, func(cfg *engine.SupervisorConfig) {
+		cfg.NewEngine = func(channel string) (*engine.Engine, error) {
+			return engine.NewTrained(engine.Config{
+				Shards: 2, Core: detectorConfig(),
+				Fault: inj, FaultScope: channel,
+			}, tmpl)
+		}
+		cfg.MaxRestarts = 2
+		cfg.OnBusError = func(channel string, err error, willRestart bool) {
+			busErrs = append(busErrs, channel)
+		}
+	})
+	if runErr == nil || !strings.Contains(runErr.Error(), `bus "can-a"`) || !strings.Contains(runErr.Error(), "dead") {
+		t.Fatalf("Run = %v, want dead-bus error naming can-a", runErr)
+	}
+	if !reflect.DeepEqual(got["can-b"], wantB) {
+		t.Errorf("can-b alerts disturbed by can-a death: got %d, want %d", len(got["can-b"]), len(wantB))
+	}
+	hA := health["can-a"]
+	if hA.State != engine.BusDead || hA.Restarts != 2 {
+		t.Errorf("can-a health = %+v, want dead after 2 restarts", hA)
+	}
+	if hA.Lost == 0 {
+		t.Error("dead bus lost no frames — drain accounting missing")
+	}
+	if hA.Accepted != stats["can-a"].Frames+stats["can-a"].Lost {
+		t.Errorf("can-a: accepted %d != frames %d + lost %d",
+			hA.Accepted, stats["can-a"].Frames, stats["can-a"].Lost)
+	}
+	// Crash + 2 failed incarnations = at least 3 error callbacks, all
+	// for can-a.
+	if len(busErrs) < 3 {
+		t.Errorf("OnBusError fired %d times, want >= 3", len(busErrs))
+	}
+	for _, ch := range busErrs {
+		if ch != "can-a" {
+			t.Errorf("OnBusError fired for %q", ch)
+		}
+	}
+	if health["can-b"].State != engine.BusOK {
+		t.Errorf("can-b health = %+v", health["can-b"])
+	}
+}
+
+// TestSupervisorRestartFactoryError: a restart factory that itself
+// fails burns budget but does not wedge the loop — the bus retries and
+// eventually dies cleanly.
+func TestSupervisorRestartFactoryError(t *testing.T) {
+	_, tmpl, _ := loadFixture(t)
+	inj := fault.New()
+	inj.ArmPanic(fault.EngineFrame, "can-a", 100, 1)
+	_, _, health, _, runErr := faultFleet(t, func(cfg *engine.SupervisorConfig) {
+		cfg.NewEngine = func(channel string) (*engine.Engine, error) {
+			return engine.NewTrained(engine.Config{
+				Shards: 2, Core: detectorConfig(),
+				Fault: inj, FaultScope: channel,
+			}, tmpl)
+		}
+		cfg.MaxRestarts = 2
+		cfg.RestartEngine = func(channel string, attempt int) (*engine.Engine, error) {
+			return nil, errors.New("store offline")
+		}
+	})
+	if runErr == nil || !strings.Contains(runErr.Error(), "dead") {
+		t.Fatalf("Run = %v, want dead bus", runErr)
+	}
+	hA := health["can-a"]
+	if hA.State != engine.BusDead || hA.Restarts != 2 {
+		t.Errorf("can-a health = %+v, want dead after 2 attempts", hA)
+	}
+	if !strings.Contains(hA.LastError, "store offline") {
+		t.Errorf("last error %q does not surface the factory failure", hA.LastError)
+	}
+}
+
+// TestStatsLostDirectRun: an engine run directly (no supervisor) never
+// reports lost frames.
+func TestStatsLostDirectRun(t *testing.T) {
+	_, tmpl, _ := loadFixture(t)
+	tr := scenarioTrace(t, "fusion/idle/clean")
+	eng, err := engine.NewTrained(engine.Config{Shards: 2, Core: detectorConfig()}, tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Detect(context.Background(), tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Lost; got != 0 {
+		t.Errorf("Lost = %d on a direct run", got)
+	}
+}

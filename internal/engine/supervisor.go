@@ -4,11 +4,51 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"canids/internal/detect"
 	"canids/internal/trace"
+)
+
+// Restart-policy defaults (see SupervisorConfig).
+const (
+	// DefaultMaxRestarts is the per-bus restart budget per Run.
+	DefaultMaxRestarts = 5
+	// DefaultRestartBackoff is the first restart delay; consecutive
+	// attempts double it, capped at maxRestartBackoff.
+	DefaultRestartBackoff = 100 * time.Millisecond
+	maxRestartBackoff     = 5 * time.Second
+	// DefaultStallAfter is how long a bus may refuse frames (demux
+	// blocked on a full feed) before Health reports it stalled.
+	DefaultStallAfter = 10 * time.Second
+)
+
+// Bus health states reported by Supervisor.Health.
+const (
+	// BusOK: the engine is live and accepting frames.
+	BusOK = "ok"
+	// BusStalled: the engine is live but has not accepted a waiting
+	// frame within StallAfter — backpressure degenerated into a stall.
+	BusStalled = "stalled"
+	// BusRestarting: the engine crashed and a restart is in progress
+	// (frames arriving now are counted lost).
+	BusRestarting = "restarting"
+	// BusDead: the restart budget is exhausted; the bus drains its feed
+	// (counting every record lost) so the rest of the fleet keeps
+	// serving.
+	BusDead = "dead"
+)
+
+// internal state machine behind the health strings (stalled is derived
+// from stallSince, not a stored state).
+const (
+	stateOK int32 = iota
+	stateRestarting
+	stateDead
 )
 
 // SupervisorConfig parameterizes multi-bus serving.
@@ -20,6 +60,30 @@ type SupervisorConfig struct {
 	// (per-bus policy state cannot be shared: each bus has its own rate
 	// windows and blocklist).
 	NewEngine func(channel string) (*Engine, error)
+	// RestartEngine, when set, rebuilds a crashed bus's engine for its
+	// attempt-th restart (1-based) — the serving layer uses it to
+	// restore from the newest valid checkpoint instead of the base
+	// model. Nil falls back to NewEngine. Called from the bus's own
+	// supervision goroutine.
+	RestartEngine func(channel string, attempt int) (*Engine, error)
+	// MaxRestarts is the per-bus restart budget for one Run: after this
+	// many failed incarnations the bus is marked dead and its feed is
+	// drained (lost frames counted) instead of crashing the fleet. Zero
+	// means DefaultMaxRestarts; negative disables restarts entirely.
+	MaxRestarts int
+	// RestartBackoff is the delay before the first restart; consecutive
+	// attempts double it, capped at 5s. Zero means
+	// DefaultRestartBackoff. The feed keeps draining during the backoff
+	// — a crashed bus exerts no backpressure on its siblings.
+	RestartBackoff time.Duration
+	// StallAfter is the stall watchdog deadline: a bus with a frame
+	// waiting that its engine has not accepted for this long reports
+	// BusStalled in Health. Zero means DefaultStallAfter.
+	StallAfter time.Duration
+	// OnBusError, when set, is called from the failing bus's supervision
+	// goroutine after each engine failure, before the restart (or the
+	// death) it triggers. It must not call back into the supervisor.
+	OnBusError func(channel string, err error, willRestart bool)
 	// Buffer is the per-bus feed capacity; zero means DefaultBuffer.
 	Buffer int
 }
@@ -32,6 +96,16 @@ type SupervisorConfig struct {
 // the shared sink follows goroutine timing, so order-sensitive
 // consumers should key on the channel argument.
 //
+// Buses are crash-isolated: every engine runs under panic recovery,
+// and a failing engine is restarted — via RestartEngine when set —
+// with capped exponential backoff while its feed drains, so the other
+// buses' alert streams are bit-identical to an undisturbed run. Frames
+// that arrive while a bus is down are counted, exactly, in its
+// Stats.Lost: at the end of a drained run, Accepted == Frames + Lost
+// per bus (BusHealth carries all three). A bus that exhausts its
+// restart budget goes dead (Health reports it; /healthz turns 503)
+// rather than taking the daemon down.
+//
 // A Supervisor may be reused for sequential Runs but not concurrent
 // ones.
 type Supervisor struct {
@@ -39,6 +113,7 @@ type Supervisor struct {
 
 	mu      sync.Mutex
 	engines map[string]*Engine
+	runs    map[string]*busState
 }
 
 // NewSupervisor creates a supervisor.
@@ -48,6 +123,18 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	}
 	if cfg.Buffer <= 0 {
 		cfg.Buffer = DefaultBuffer
+	}
+	switch {
+	case cfg.MaxRestarts == 0:
+		cfg.MaxRestarts = DefaultMaxRestarts
+	case cfg.MaxRestarts < 0:
+		cfg.MaxRestarts = 0
+	}
+	if cfg.RestartBackoff <= 0 {
+		cfg.RestartBackoff = DefaultRestartBackoff
+	}
+	if cfg.StallAfter <= 0 {
+		cfg.StallAfter = DefaultStallAfter
 	}
 	return &Supervisor{cfg: cfg, engines: make(map[string]*Engine)}, nil
 }
@@ -66,7 +153,7 @@ func (s *Supervisor) Channels() []string {
 }
 
 // Engine returns the engine serving one bus, or nil before its first
-// record.
+// record. After a restart it is the newest incarnation.
 func (s *Supervisor) Engine(channel string) *Engine {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -74,13 +161,26 @@ func (s *Supervisor) Engine(channel string) *Engine {
 }
 
 // Stats returns the per-bus statistics, keyed by channel name. Safe to
-// call live: each engine's counters are atomic snapshots.
+// call live: each engine's counters are atomic snapshots. Counters
+// accumulate across a bus's restarts within a Run — a restarted bus
+// reports its whole history, not just the newest incarnation — and
+// Lost carries the frames that arrived while the bus was down.
 func (s *Supervisor) Stats() map[string]Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make(map[string]Stats, len(s.engines))
 	for ch, e := range s.engines {
-		out[ch] = e.Stats()
+		st := e.Stats()
+		if r := s.runs[ch]; r != nil {
+			r.mu.Lock()
+			base := r.base
+			base.PerShard = append([]uint64(nil), r.base.PerShard...)
+			r.mu.Unlock()
+			base.accumulate(st)
+			st = base
+			st.Lost = r.lost.Load()
+		}
+		out[ch] = st
 	}
 	return out
 }
@@ -96,6 +196,7 @@ func (s *Supervisor) TotalStats() Stats {
 		total.DroppedInjected += st.DroppedInjected
 		total.Windows += st.Windows
 		total.Alerts += st.Alerts
+		total.Lost += st.Lost
 		if st.LastTime > total.LastTime {
 			total.LastTime = st.LastTime
 		}
@@ -103,14 +204,95 @@ func (s *Supervisor) TotalStats() Stats {
 	return total
 }
 
-// busRun is the in-flight state of one bus pipeline. The feed carries
-// record slabs, not records: the demux moves whole batches per channel
-// operation and the engine consumes them through a ChanBatchSource, so
-// per-record sends never dominate multi-bus serving.
-type busRun struct {
+// BusHealth is one bus's liveness report.
+type BusHealth struct {
+	// State is one of BusOK, BusStalled, BusRestarting, BusDead.
+	State string `json:"state"`
+	// Restarts counts engine restarts this Run (failed rebuild attempts
+	// included).
+	Restarts uint64 `json:"restarts,omitempty"`
+	// Accepted counts records the demux delivered into the bus feed;
+	// after a drain, Accepted == Stats.Frames + Stats.Lost exactly.
+	Accepted uint64 `json:"accepted"`
+	// Lost counts records that arrived while the bus was down; the same
+	// value is surfaced as Stats.Lost.
+	Lost uint64 `json:"lost,omitempty"`
+	// LastError is the most recent engine failure, if any.
+	LastError string `json:"last_error,omitempty"`
+	// StalledSeconds is how long the oldest waiting frame has been
+	// refused (only set in state BusStalled).
+	StalledSeconds float64 `json:"stalled_seconds,omitempty"`
+}
+
+// Health reports each bus's liveness. Safe to call while Run is in
+// flight; buses appear with their first record.
+func (s *Supervisor) Health() map[string]BusHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	out := make(map[string]BusHealth, len(s.runs))
+	for ch, r := range s.runs {
+		h := BusHealth{
+			Restarts: r.restarts.Load(),
+			Accepted: r.accepted.Load(),
+			Lost:     r.lost.Load(),
+		}
+		switch r.state.Load() {
+		case stateDead:
+			h.State = BusDead
+		case stateRestarting:
+			h.State = BusRestarting
+		default:
+			h.State = BusOK
+			if since := r.stallSince.Load(); since != 0 {
+				if stalled := now.Sub(time.Unix(0, since)); stalled >= s.cfg.StallAfter {
+					h.State = BusStalled
+					h.StalledSeconds = stalled.Seconds()
+				}
+			}
+		}
+		r.mu.Lock()
+		h.LastError = r.lastErr
+		r.mu.Unlock()
+		out[ch] = h
+	}
+	return out
+}
+
+// busState is the supervision state of one bus pipeline. The feed
+// carries record slabs, not records: the demux moves whole batches per
+// channel operation and the engine consumes them through a
+// ChanBatchSource, so per-record sends never dominate multi-bus
+// serving.
+type busState struct {
 	feed chan []trace.Record
-	err  error
 	done chan struct{}
+	err  error // set before done closes
+
+	state    atomic.Int32
+	restarts atomic.Uint64
+	lost     atomic.Uint64
+	accepted atomic.Uint64
+	// stallSince is when the demux first blocked sending to this feed
+	// (unix nanos; 0 = not blocked). The stall watchdog derives
+	// BusStalled from it.
+	stallSince atomic.Int64
+
+	mu      sync.Mutex
+	lastErr string
+	base    Stats // accumulated counters of replaced incarnations
+}
+
+func (r *busState) noteError(err error) {
+	r.mu.Lock()
+	r.lastErr = err.Error()
+	r.mu.Unlock()
+}
+
+func (r *busState) addBase(st Stats) {
+	r.mu.Lock()
+	r.base.accumulate(st)
+	r.mu.Unlock()
 }
 
 // Run consumes the mixed source until EOF, a source error, or context
@@ -118,8 +300,11 @@ type busRun struct {
 // bus. The sink receives every alert tagged with its bus; calls are
 // serialized across buses, so the sink needs no locking of its own. Run
 // returns the final per-bus statistics and the first error any stage
-// hit. Backpressure propagates: one stalled bus pipeline eventually
-// stalls the demux, bounding memory across the fleet.
+// hit (a bus that crashed but was successfully restarted is not an
+// error; a dead bus is). Backpressure propagates: one stalled bus
+// pipeline eventually stalls the demux, bounding memory across the
+// fleet — but a *crashed* bus does not: its feed drains (counting
+// lost frames) while it restarts or after it dies.
 //
 // When the source is a BatchSource (the serving layer's feed), the
 // demux consumes whole slabs and forwards per-bus sub-slabs through a
@@ -129,7 +314,10 @@ type busRun struct {
 // idle feed. Per-record sources travel as single-record slabs through
 // the same pool, preserving their latency.
 func (s *Supervisor) Run(ctx context.Context, src Source, sink func(channel string, a detect.Alert)) (map[string]Stats, error) {
-	runs := make(map[string]*busRun)
+	runs := make(map[string]*busState)
+	s.mu.Lock()
+	s.runs = runs
+	s.mu.Unlock()
 	var sinkMu sync.Mutex
 	// Slab capacity follows the source: batch sources demux into
 	// DefaultBatch-sized sub-slabs, per-record sources travel as
@@ -142,7 +330,7 @@ func (s *Supervisor) Run(ctx context.Context, src Source, sink func(channel stri
 		pool = NewRecordPool(256, 1)
 	}
 
-	spawn := func(channel string) (*busRun, error) {
+	spawn := func(channel string) (*busState, error) {
 		s.mu.Lock()
 		eng := s.engines[channel]
 		s.mu.Unlock()
@@ -159,23 +347,18 @@ func (s *Supervisor) Run(ctx context.Context, src Source, sink func(channel stri
 			s.engines[channel] = eng
 			s.mu.Unlock()
 		}
-		r := &busRun{
+		r := &busState{
 			feed: make(chan []trace.Record, s.cfg.Buffer),
 			done: make(chan struct{}),
 		}
-		go func() {
-			defer close(r.done)
-			_, err := eng.Run(ctx, NewChanBatchSource(ctx, r.feed, pool.Put), func(a detect.Alert) {
-				sinkMu.Lock()
-				sink(channel, a)
-				sinkMu.Unlock()
-			})
-			r.err = err
-		}()
+		s.mu.Lock()
+		s.runs[channel] = r
+		s.mu.Unlock()
+		go s.serveBus(ctx, channel, r, eng, sink, &sinkMu, pool)
 		return r, nil
 	}
 
-	getRun := func(channel string) (*busRun, error) {
+	getRun := func(channel string) (*busState, error) {
 		if r, ok := runs[channel]; ok {
 			return r, nil
 		}
@@ -205,7 +388,7 @@ func (s *Supervisor) Run(ctx context.Context, src Source, sink func(channel stri
 				srcErr = err
 				break
 			}
-			if !send(ctx, r.feed, append(pool.Get(), rec)) {
+			if !s.sendFeed(ctx, r, append(pool.Get(), rec)) {
 				srcErr = ctx.Err()
 				break
 			}
@@ -235,9 +418,189 @@ func (s *Supervisor) Run(ctx context.Context, src Source, sink func(channel stri
 	return s.Stats(), err
 }
 
+// serveBus is one bus's supervision loop: run the engine, and on a
+// failure (panic or error) restart it from a freshly built engine with
+// capped exponential backoff, draining the feed in the meantime so the
+// demux never blocks behind a dead stage. A clean feed close ends the
+// loop; an exhausted restart budget marks the bus dead and keeps
+// draining until the feed closes.
+func (s *Supervisor) serveBus(ctx context.Context, channel string, r *busState, eng *Engine,
+	sink func(string, detect.Alert), sinkMu *sync.Mutex, pool *RecordPool) {
+
+	defer close(r.done)
+	attempt := 0
+	for {
+		err := r.runOnce(ctx, eng, channel, sink, sinkMu, pool)
+		if err == nil {
+			return // feed closed; clean end of stream
+		}
+		if ctx.Err() != nil {
+			r.err = err
+			return
+		}
+		r.noteError(err)
+		if s.cfg.OnBusError != nil {
+			s.cfg.OnBusError(channel, err, attempt < s.cfg.MaxRestarts)
+		}
+		for {
+			if attempt >= s.cfg.MaxRestarts {
+				r.state.Store(stateDead)
+				r.err = fmt.Errorf("dead after %d restarts: %w", attempt, err)
+				s.drainFeed(ctx, r, pool)
+				return
+			}
+			attempt++
+			r.restarts.Add(1)
+			r.state.Store(stateRestarting)
+			if closed := s.backoffDrain(ctx, r, restartBackoff(s.cfg.RestartBackoff, attempt), pool); closed {
+				// The stream ended while the bus was down; report the
+				// crash rather than resurrect an engine with nothing to
+				// do.
+				r.err = err
+				return
+			}
+			if ctx.Err() != nil {
+				r.err = err
+				return
+			}
+			next, ferr := s.rebuild(channel, attempt)
+			if ferr != nil {
+				err = ferr
+				r.noteError(ferr)
+				if s.cfg.OnBusError != nil {
+					s.cfg.OnBusError(channel, ferr, attempt < s.cfg.MaxRestarts)
+				}
+				continue
+			}
+			// Fold the crashed incarnation's counters into the base, then
+			// publish the replacement.
+			r.addBase(eng.Stats())
+			s.mu.Lock()
+			s.engines[channel] = next
+			s.mu.Unlock()
+			eng = next
+			r.state.Store(stateOK)
+			break
+		}
+	}
+}
+
+// runOnce runs one engine incarnation over the bus feed under panic
+// recovery. On failure, records the source had pulled off the feed but
+// not yet delivered are counted lost — the engine's Frames counter plus
+// this remainder plus the drained slabs is exactly what the demux
+// accepted.
+func (r *busState) runOnce(ctx context.Context, eng *Engine, channel string,
+	sink func(string, detect.Alert), sinkMu *sync.Mutex, pool *RecordPool) (err error) {
+
+	src := NewChanBatchSource(ctx, r.feed, pool.Put)
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Stage: "bus", Value: v, Stack: debug.Stack()}
+		}
+		if err != nil {
+			r.lost.Add(uint64(src.Leftover()))
+		}
+	}()
+	_, err = eng.Run(ctx, src, func(a detect.Alert) {
+		sinkMu.Lock()
+		sink(channel, a)
+		sinkMu.Unlock()
+	})
+	return err
+}
+
+// rebuild constructs the next engine incarnation for a crashed bus.
+func (s *Supervisor) rebuild(channel string, attempt int) (*Engine, error) {
+	var eng *Engine
+	var err error
+	if s.cfg.RestartEngine != nil {
+		eng, err = s.cfg.RestartEngine(channel, attempt)
+	} else {
+		eng, err = s.cfg.NewEngine(channel)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("engine: supervisor: restart bus %q: %w", channel, err)
+	}
+	if eng == nil {
+		return nil, fmt.Errorf("engine: supervisor: restart factory for %q returned nil", channel)
+	}
+	return eng, nil
+}
+
+// restartBackoff is the delay before the attempt-th restart (1-based):
+// base doubling per attempt, capped.
+func restartBackoff(base time.Duration, attempt int) time.Duration {
+	d := base << (attempt - 1)
+	if d > maxRestartBackoff || d <= 0 {
+		d = maxRestartBackoff
+	}
+	return d
+}
+
+// backoffDrain waits out one restart backoff while consuming the feed
+// (every drained record is lost and counted). Returns true when the
+// feed closed — the stream is over and there is nothing to restart for.
+func (s *Supervisor) backoffDrain(ctx context.Context, r *busState, d time.Duration, pool *RecordPool) (feedClosed bool) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for {
+		select {
+		case slab, ok := <-r.feed:
+			if !ok {
+				return true
+			}
+			r.lost.Add(uint64(len(slab)))
+			pool.Put(slab)
+		case <-timer.C:
+			return false
+		case <-ctx.Done():
+			return false
+		}
+	}
+}
+
+// drainFeed consumes a dead bus's feed until it closes, counting every
+// record lost, so the demux never blocks behind the corpse.
+func (s *Supervisor) drainFeed(ctx context.Context, r *busState, pool *RecordPool) {
+	for {
+		select {
+		case slab, ok := <-r.feed:
+			if !ok {
+				return
+			}
+			r.lost.Add(uint64(len(slab)))
+			pool.Put(slab)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// sendFeed delivers one slab into a bus feed, tracking acceptance and
+// the stall watchdog: a blocked send records when it started waiting,
+// so Health can report a bus that stopped consuming. The fast path is
+// one non-blocking send.
+func (s *Supervisor) sendFeed(ctx context.Context, r *busState, slab []trace.Record) bool {
+	n := uint64(len(slab))
+	select {
+	case r.feed <- slab:
+		r.accepted.Add(n)
+		return true
+	default:
+	}
+	r.stallSince.CompareAndSwap(0, time.Now().UnixNano())
+	if !send(ctx, r.feed, slab) {
+		return false
+	}
+	r.stallSince.Store(0)
+	r.accepted.Add(n)
+	return true
+}
+
 // busPend is one bus's pending sub-slab during batched demux.
 type busPend struct {
-	run  *busRun
+	run  *busState
 	slab []trace.Record
 }
 
@@ -246,7 +609,7 @@ type busPend struct {
 // the next batch. The single-bus common case degenerates to moving the
 // whole slab in one send.
 func (s *Supervisor) demuxBatches(ctx context.Context, bs BatchSource,
-	getRun func(string) (*busRun, error), pool *RecordPool) error {
+	getRun func(string) (*busState, error), pool *RecordPool) error {
 
 	pend := make(map[string]*busPend)
 	// The last-channel cache skips the map lookup while consecutive
@@ -281,7 +644,7 @@ func (s *Supervisor) demuxBatches(ctx context.Context, bs BatchSource,
 			if len(p.slab) == 0 {
 				continue
 			}
-			if !send(ctx, p.run.feed, p.slab) {
+			if !s.sendFeed(ctx, p.run, p.slab) {
 				return ctx.Err()
 			}
 			p.slab = pool.Get()

@@ -1,0 +1,216 @@
+package fault_test
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"canids/internal/fault"
+	"canids/internal/trace"
+)
+
+// TestHitCounting pins the firing window: a rule armed @N x M fires on
+// exactly hits N..N+M-1 of its scope, and on no other.
+func TestHitCounting(t *testing.T) {
+	in := fault.New()
+	in.ArmError(fault.EngineFrame, "bus-a", 3, 2)
+	var fired []int
+	for i := 1; i <= 8; i++ {
+		if err := in.Hit(fault.EngineFrame, "bus-a"); err != nil {
+			if !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("hit %d: error does not wrap ErrInjected: %v", i, err)
+			}
+			fired = append(fired, i)
+		}
+	}
+	if want := []int{3, 4}; len(fired) != 2 || fired[0] != want[0] || fired[1] != want[1] {
+		t.Errorf("fired on hits %v, want %v", fired, want)
+	}
+	if got := in.Hits(fault.EngineFrame); got != 8 {
+		t.Errorf("Hits = %d, want 8", got)
+	}
+}
+
+// TestScopeFilter: a scoped rule only counts (and fires on) its own
+// scope; an unscoped rule matches everything.
+func TestScopeFilter(t *testing.T) {
+	in := fault.New()
+	in.ArmError(fault.CheckpointSave, "bus-a", 1, 0)
+	if err := in.Hit(fault.CheckpointSave, "bus-b"); err != nil {
+		t.Errorf("scoped rule fired on foreign scope: %v", err)
+	}
+	if err := in.Hit(fault.CheckpointSave, "bus-a"); err == nil {
+		t.Error("scoped rule did not fire on its own scope")
+	}
+	un := fault.New()
+	un.ArmError(fault.CheckpointSave, "", 1, 0)
+	if err := un.Hit(fault.CheckpointSave, "anything"); err == nil {
+		t.Error("unscoped rule did not fire")
+	}
+}
+
+// TestPanicKind: the panic value identifies the seam.
+func TestPanicKind(t *testing.T) {
+	in := fault.New()
+	in.ArmPanic(fault.EngineSwap, "", 1, 1)
+	defer func() {
+		v := recover()
+		p, ok := v.(*fault.Panic)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *fault.Panic", v, v)
+		}
+		if p.Point != fault.EngineSwap {
+			t.Errorf("panic point = %q", p.Point)
+		}
+	}()
+	in.Hit(fault.EngineSwap, "x") //nolint:errcheck // panics
+	t.Fatal("armed panic did not fire")
+}
+
+// TestStallInterruptible: Close releases a stalled hit long before the
+// armed duration.
+func TestStallInterruptible(t *testing.T) {
+	in := fault.New()
+	in.ArmStall(fault.SourceNext, "", 1, 0, time.Hour)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := in.Hit(fault.SourceNext, ""); err != nil {
+			t.Errorf("stall returned error: %v", err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	in.Close()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not release the stall")
+	}
+}
+
+// TestParseRoundTrip: the spec grammar parses, and String renders it
+// back.
+func TestParseRoundTrip(t *testing.T) {
+	spec := "engine.frame[ms-can]:panic@500;checkpoint.save:error@1x2;source.next:stall=50ms@10x0"
+	in, err := fault.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.String(); got != spec {
+		t.Errorf("String() = %q, want %q", got, spec)
+	}
+	if in2, err := fault.Parse(""); err != nil || in2.String() != "" {
+		t.Errorf("empty spec: %v, %q", err, in2.String())
+	}
+}
+
+// TestParseRejects pins the validation surface.
+func TestParseRejects(t *testing.T) {
+	for _, spec := range []string{
+		"engine.frame",                  // no kind
+		"engine.frame:panic",            // no hit count
+		"engine.frame:panic@0",          // count < 1
+		"engine.frame:panic@x",          // not a number
+		"bogus.point:panic@1",           // unknown point
+		"engine.frame[oops:panic@1",     // unterminated scope
+		"engine.frame:stall@1",          // stall without duration
+		"engine.frame:stall=-1s@1",      // negative stall
+		"engine.frame:explode@1",        // unknown kind
+		"checkpoint.save:error@1x-2",    // bad repeat
+		"checkpoint.save:error@1;;bad:", // trailing garbage entry
+	} {
+		if _, err := fault.Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+// TestNilInjector: every method is a no-op on a nil receiver — the
+// production seams rely on it.
+func TestNilInjector(t *testing.T) {
+	var in *fault.Injector
+	if err := in.Hit(fault.EngineFrame, "x"); err != nil {
+		t.Errorf("nil Hit = %v", err)
+	}
+	if in.Hits(fault.EngineFrame) != 0 || in.String() != "" {
+		t.Error("nil accessors not zero")
+	}
+	in.Close()
+}
+
+// TestConcurrentHits: the injector is race-free under parallel seams
+// (run under -race in CI).
+func TestConcurrentHits(t *testing.T) {
+	in := fault.New()
+	in.ArmError(fault.EngineFrame, "", 100, 0)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	n := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := in.Hit(fault.EngineFrame, "any"); err != nil {
+					mu.Lock()
+					n++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Hits(fault.EngineFrame); got != 400 {
+		t.Errorf("Hits = %d, want 400", got)
+	}
+	// 400 total hits, rule fires from hit 100 on, forever.
+	if n != 301 {
+		t.Errorf("fired %d times, want 301", n)
+	}
+}
+
+// TestSourceSeam: a wrapped source fails at the exact armed record.
+func TestSourceSeam(t *testing.T) {
+	tr := make(trace.Trace, 10)
+	in := fault.New()
+	in.ArmError(fault.SourceNext, "", 4, 1)
+	s := &fault.Source{Src: &iter{tr: tr}, Inj: in}
+	for i := 1; i <= 3; i++ {
+		if _, err := s.Next(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	if _, err := s.Next(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("record 4: err = %v, want injected", err)
+	}
+}
+
+type iter struct {
+	tr trace.Trace
+	i  int
+}
+
+func (s *iter) Next() (trace.Record, error) {
+	if s.i >= len(s.tr) {
+		return trace.Record{}, io.EOF
+	}
+	r := s.tr[s.i]
+	s.i++
+	return r, nil
+}
+
+// TestReaderTruncates: the reader delivers exactly TruncateAfter bytes
+// then the configured error.
+func TestReaderTruncates(t *testing.T) {
+	r := &fault.Reader{R: strings.NewReader(strings.Repeat("a", 100)), TruncateAfter: 37}
+	got, err := io.ReadAll(r)
+	if len(got) != 37 {
+		t.Errorf("read %d bytes, want 37", len(got))
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("err = %v, want unexpected EOF", err)
+	}
+}

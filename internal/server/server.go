@@ -67,6 +67,23 @@
 // changes nothing (the snapshot commits only after every live engine
 // accepted the swap).
 //
+// # Fault tolerance
+//
+// Buses are crash-isolated (engine.Supervisor): a panicking or erroring
+// bus engine is torn down and rebuilt — from its newest valid
+// checkpoint when checkpointing is on, walking checkpoint →
+// checkpoint.prev → base snapshot and logging every fallback — with
+// capped exponential backoff, while the other buses keep serving
+// bit-identical alert streams. Frames that arrive while a bus is down
+// are counted exactly in its Stats.Lost; a bus that exhausts its
+// restart budget goes dead and /healthz turns 503 "degraded" instead of
+// the daemon crashing. Checkpoint writes rotate the previous generation
+// to .prev and retry failures with capped backoff. Ingest is hardened
+// separately: Config.MaxBody (413), Config.IngestTimeout per-read
+// deadlines (408), and Config.ShedAfter load-shedding (429 +
+// Retry-After). Config.Fault arms the deterministic chaos harness
+// (internal/fault) behind all of it.
+//
 // # Shutdown
 //
 // Drain stops ingestion (further ingests get 503), closes the feed so
@@ -85,6 +102,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -97,6 +115,7 @@ import (
 	"canids/internal/can"
 	"canids/internal/detect"
 	"canids/internal/engine"
+	"canids/internal/fault"
 	"canids/internal/gateway"
 	"canids/internal/response"
 	"canids/internal/store"
@@ -106,11 +125,27 @@ import (
 // DefaultMaxAlerts is the default alert-ring capacity.
 const DefaultMaxAlerts = 1024
 
+// DefaultCheckpointBackoff is the first retry delay after a failed
+// background checkpoint; consecutive failures double it, capped at
+// maxCheckpointBackoff.
+const (
+	DefaultCheckpointBackoff = time.Second
+	maxCheckpointBackoff     = 30 * time.Second
+)
+
+// maxDegradedNotes bounds the degradation log surfaced by /stats; a
+// server degraded enough to exhaust it has said all it needs to.
+const maxDegradedNotes = 32
+
 // Errors returned by ingestion.
 var (
 	ErrDraining   = errors.New("server: draining, no further ingest accepted")
 	ErrStopped    = errors.New("server: pipeline stopped")
 	ErrNotStarted = errors.New("server: not started")
+	// ErrBacklog sheds an ingest whose slab could not enter the feed
+	// within Config.ShedAfter — the engines are not keeping up, and a
+	// bounded wait plus 429 beats an unbounded client stall.
+	ErrBacklog = errors.New("server: ingest backlog, retry later")
 )
 
 // AdaptOptions tunes the per-bus online adapters (see internal/adapt);
@@ -162,6 +197,41 @@ type Config struct {
 	// HTTP — terminate TLS in front of it before crossing a network you
 	// do not trust, or the token travels in cleartext (see doc.go).
 	AdminToken string
+
+	// MaxBody bounds one ingest request body in bytes; a larger upload
+	// gets 413. Zero means unbounded.
+	MaxBody int64
+	// IngestTimeout bounds each read of an ingest request body; a
+	// client that stalls longer mid-body gets 408 instead of pinning an
+	// ingest slot (and, worse, delaying a drain) forever. Zero disables
+	// the per-read deadline.
+	IngestTimeout time.Duration
+	// ShedAfter bounds how long an ingest may wait to push a slab into
+	// the feed before the request is shed with ErrBacklog (429 +
+	// Retry-After at the HTTP layer). Zero keeps the pre-existing
+	// behavior: backpressure propagates to the client indefinitely.
+	ShedAfter time.Duration
+
+	// MaxRestarts, RestartBackoff and StallAfter pass through to the
+	// supervisor's per-bus restart policy (engine.SupervisorConfig);
+	// zero values take the engine defaults.
+	MaxRestarts    int
+	RestartBackoff time.Duration
+	StallAfter     time.Duration
+	// CheckpointBackoff is the retry delay after a failed background
+	// checkpoint write, doubling per consecutive failure up to 30s.
+	// Zero means DefaultCheckpointBackoff.
+	CheckpointBackoff time.Duration
+
+	// Fault, when non-nil, arms the deterministic fault-injection
+	// harness: the injector is handed to every bus engine (scoped by
+	// bus channel) and consulted at the checkpoint-write seam. Chaos
+	// drills only; leave nil in production.
+	Fault *fault.Injector
+	// Degraded seeds the degradation notes surfaced by /stats and
+	// /healthz — the CLI records a startup checkpoint fallback here so
+	// an operator can tell a degraded start from a clean one.
+	Degraded []string
 }
 
 // TaggedAlert is one emitted alert with its bus.
@@ -207,11 +277,19 @@ type Server struct {
 	// serializes concurrent Checkpoint calls (background vs admin) and
 	// guards ckErr, the outcome of the most recent checkpoint attempt
 	// (surfaced by /admin/adapt so silent background failures cannot
-	// hide).
-	ckCh   chan struct{}
-	ckDone chan struct{}
-	ckMu   sync.Mutex
-	ckErr  error
+	// hide). ckRetries counts background retry attempts after failed
+	// writes (surfaced by /stats).
+	ckCh      chan struct{}
+	ckDone    chan struct{}
+	ckMu      sync.Mutex
+	ckErr     error
+	ckRetries atomic.Uint64
+
+	// degraded is the bounded log of degradation events — checkpoint
+	// fallbacks, restores from stale generations — surfaced by /stats
+	// and /healthz so a server limping along says so.
+	degradedMu sync.Mutex
+	degraded   []string
 
 	started   atomic.Bool
 	startTime time.Time
@@ -263,7 +341,13 @@ func New(cfg Config) (*Server, error) {
 		s.ckCh = make(chan struct{}, 1)
 		s.ckDone = make(chan struct{})
 	}
-	if _, err := buildEngine(cfg.Snapshot, cfg, nil); err != nil {
+	if cfg.CheckpointBackoff <= 0 {
+		s.cfg.CheckpointBackoff = DefaultCheckpointBackoff
+	}
+	for _, note := range cfg.Degraded {
+		s.noteDegraded("%s", note)
+	}
+	if _, err := buildEngine(cfg.Snapshot, cfg, nil, ""); err != nil {
 		return nil, fmt.Errorf("server: snapshot cannot serve: %w", err)
 	}
 	if cfg.Adapt != nil {
@@ -271,7 +355,14 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: snapshot cannot adapt: %w", err)
 		}
 	}
-	sup, err := engine.NewSupervisor(engine.SupervisorConfig{NewEngine: s.newEngine, Buffer: cfg.Buffer})
+	sup, err := engine.NewSupervisor(engine.SupervisorConfig{
+		NewEngine:      s.newEngine,
+		RestartEngine:  s.restartEngine,
+		MaxRestarts:    cfg.MaxRestarts,
+		RestartBackoff: cfg.RestartBackoff,
+		StallAfter:     cfg.StallAfter,
+		Buffer:         cfg.Buffer,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -279,13 +370,31 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// noteDegraded appends one line to the bounded degradation log.
+func (s *Server) noteDegraded(format string, args ...any) {
+	s.degradedMu.Lock()
+	if len(s.degraded) < maxDegradedNotes {
+		s.degraded = append(s.degraded, fmt.Sprintf(format, args...))
+	}
+	s.degradedMu.Unlock()
+}
+
+// DegradedNotes returns the degradation events recorded so far.
+func (s *Server) DegradedNotes() []string {
+	s.degradedMu.Lock()
+	defer s.degradedMu.Unlock()
+	return append([]string(nil), s.degraded...)
+}
+
 // buildEngine materializes one bus engine from a snapshot: a private
 // gateway and responder per bus (policy state is per bus), the shared
 // template installed, and the bus's adaptation hook when one is given.
 // A snapshot with a response policy but no gateway policy gets a
-// permissive gateway — the blocklist needs somewhere to live.
-func buildEngine(snap *store.Snapshot, cfg Config, hook engine.AdaptHook) (*engine.Engine, error) {
-	ecfg := engine.Config{Shards: cfg.Shards, Buffer: cfg.Buffer, Batch: cfg.Batch, Core: snap.Core, Adapt: hook}
+// permissive gateway — the blocklist needs somewhere to live. The
+// channel scopes the fault injector, when one is armed.
+func buildEngine(snap *store.Snapshot, cfg Config, hook engine.AdaptHook, channel string) (*engine.Engine, error) {
+	ecfg := engine.Config{Shards: cfg.Shards, Buffer: cfg.Buffer, Batch: cfg.Batch, Core: snap.Core, Adapt: hook,
+		Fault: cfg.Fault, FaultScope: channel}
 	if snap.Gateway != nil || snap.Response != nil {
 		gwCfg := snap.GatewayConfig()
 		if gwCfg.RateWindow <= 0 {
@@ -357,6 +466,32 @@ func effectiveRateWindow(snap *store.Snapshot) time.Duration {
 	return snap.Core.Window
 }
 
+// snapshotCompatible reports whether next keeps cur's structural
+// identity — the detector's core configuration, the gateway/responder
+// shape as the engines actually materialize it (a response-only
+// snapshot gets a permissive gateway, see buildEngine), and the
+// effective rate window. Those are fixed for the life of the process;
+// Reload rejects a snapshot that changes any of them, and the restart
+// fallback ladder skips a checkpoint that does.
+func snapshotCompatible(cur, next *store.Snapshot) error {
+	if next.Core != cur.Core {
+		return fmt.Errorf("server: reload changes the core config (%+v -> %+v); restart to retune", cur.Core, next.Core)
+	}
+	hasGateway := func(s *store.Snapshot) bool { return s.Gateway != nil || s.Response != nil }
+	if hasGateway(next) != hasGateway(cur) || (next.Response != nil) != (cur.Response != nil) {
+		return errors.New("server: reload changes the gateway/responder shape; restart to rearm prevention")
+	}
+	// Compare the window the live gateways actually enforce (buildEngine
+	// defaults a zero RateWindow to the detection window), not the
+	// persisted field, so a whitelist-only snapshot can later gain
+	// budgets at the effective window without a restart.
+	if hasGateway(next) && effectiveRateWindow(next) != effectiveRateWindow(cur) {
+		return fmt.Errorf("server: reload changes the rate window (%v -> %v); restart to retime rate limits",
+			effectiveRateWindow(cur), effectiveRateWindow(next))
+	}
+	return nil
+}
+
 // newEngine is the supervisor's per-bus factory.
 func (s *Server) newEngine(channel string) (*engine.Engine, error) {
 	s.mu.Lock()
@@ -370,7 +505,7 @@ func (s *Server) newEngine(channel string) (*engine.Engine, error) {
 		}
 		hook = ad
 	}
-	eng, err := buildEngine(s.snap, s.cfg, hook)
+	eng, err := buildEngine(s.snap, s.cfg, hook, channel)
 	if err != nil {
 		return nil, err
 	}
@@ -382,6 +517,74 @@ func (s *Server) newEngine(channel string) (*engine.Engine, error) {
 		s.adapters[channel] = ad
 	}
 	return eng, nil
+}
+
+// restartEngine is the supervisor's factory for a crashed bus: it
+// rebuilds the engine from the newest usable model — the bus's own
+// checkpoint, then the checkpoint's previous generation, then the
+// served snapshot — and rebuilds the bus's adapter from the same model,
+// so a restarted bus resumes with everything it had learned up to its
+// last durable promotion. Every fallback step is recorded in the
+// degradation log.
+func (s *Server) restartEngine(channel string, attempt int) (*engine.Engine, error) {
+	snap := s.restoreSnapshot(channel)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var hook engine.AdaptHook
+	var ad *adapt.Adapter
+	if s.cfg.Adapt != nil {
+		var err error
+		if ad, err = s.newAdapter(snap); err != nil {
+			return nil, err
+		}
+		hook = ad
+	}
+	eng, err := buildEngine(snap, s.cfg, hook, channel)
+	if err != nil {
+		return nil, err
+	}
+	s.engines[channel] = eng
+	if ad != nil {
+		if s.adaptPaused {
+			ad.Pause()
+		}
+		s.adapters[channel] = ad
+	}
+	return eng, nil
+}
+
+// restoreSnapshot walks the restart fallback ladder for one bus:
+// checkpoint, checkpoint.prev, served snapshot. A candidate that is
+// missing is skipped silently (a bus that never promoted has no
+// checkpoint — that is a clean start, not degradation); one that is
+// corrupt or structurally incompatible is skipped with a degradation
+// note.
+func (s *Server) restoreSnapshot(channel string) *store.Snapshot {
+	s.mu.Lock()
+	base := s.snap
+	s.mu.Unlock()
+	if s.cfg.CheckpointPath == "" {
+		return base
+	}
+	ck := CheckpointFile(s.cfg.CheckpointPath, channel)
+	for _, path := range []string{ck, ck + ".prev"} {
+		snap, err := store.Load(path)
+		if err != nil {
+			if !errors.Is(err, os.ErrNotExist) {
+				s.noteDegraded("bus %q restart: checkpoint %s unusable: %v", channel, filepath.Base(path), err)
+			}
+			continue
+		}
+		if err := snapshotCompatible(base, snap); err != nil {
+			s.noteDegraded("bus %q restart: checkpoint %s incompatible: %v", channel, filepath.Base(path), err)
+			continue
+		}
+		if path != ck {
+			s.noteDegraded("bus %q restarted from previous checkpoint generation %s", channel, filepath.Base(path))
+		}
+		return snap
+	}
+	return base
 }
 
 // Start launches the serving pipeline. The context bounds the whole
@@ -412,22 +615,70 @@ func (s *Server) Start(ctx context.Context) error {
 
 // checkpointLoop persists the adapted models after every promotion
 // nudge and once more when the pipeline finishes, so a drain never
-// loses the last promotions. Each attempt's outcome is recorded in
-// ckErr: /admin/adapt reports the most recent failure, and an explicit
-// /admin/checkpoint re-attempts the same saves and returns its own
-// result.
+// loses the last promotions. A failed write is retried with capped
+// exponential backoff (Config.CheckpointBackoff) until it lands or a
+// newer nudge supersedes it, so a transiently full or slow disk does
+// not silently cost the run its durability; /stats counts the retries.
+// Each attempt's outcome is recorded in ckErr: /admin/adapt reports the
+// most recent failure, and an explicit /admin/checkpoint re-attempts
+// the same saves and returns its own result. The final drain-time
+// checkpoint retries a bounded number of times — a drain must finish
+// even on a dead disk.
 func (s *Server) checkpointLoop() {
 	defer close(s.ckDone)
+	failures := 0
+	var timer *time.Timer
+	var retry <-chan time.Time
+	stopTimer := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, retry = nil, nil
+		}
+	}
+	attempt := func() {
+		stopTimer()
+		if _, err := s.Checkpoint(); err != nil {
+			d := checkpointBackoff(s.cfg.CheckpointBackoff, failures)
+			failures++
+			timer = time.NewTimer(d)
+			retry = timer.C
+		} else {
+			failures = 0
+		}
+	}
 	for {
 		select {
 		case <-s.ckCh:
-			s.Checkpoint() //nolint:errcheck // recorded in ckErr, surfaced by /admin/adapt
+			attempt()
+		case <-retry:
+			timer, retry = nil, nil
+			s.ckRetries.Add(1)
+			attempt()
 		case <-s.runDone:
-			s.Checkpoint() //nolint:errcheck
-			return
+			stopTimer()
+			for i := 0; ; i++ {
+				if _, err := s.Checkpoint(); err == nil || i >= 2 {
+					return
+				}
+				s.ckRetries.Add(1)
+				time.Sleep(checkpointBackoff(s.cfg.CheckpointBackoff, i))
+			}
 		}
 	}
 }
+
+// checkpointBackoff is the retry delay after the n-th consecutive
+// failure (0-based): base doubling per failure, capped.
+func checkpointBackoff(base time.Duration, n int) time.Duration {
+	d := base << n
+	if d > maxCheckpointBackoff || d <= 0 {
+		d = maxCheckpointBackoff
+	}
+	return d
+}
+
+// CheckpointRetries returns how many background checkpoint retries ran.
+func (s *Server) CheckpointRetries() uint64 { return s.ckRetries.Load() }
 
 // lastCheckpointError returns the outcome of the most recent
 // checkpoint attempt ("" when it succeeded or none ran yet).
@@ -477,7 +728,10 @@ func (s *Server) Drain() error {
 // record of a finished request is in the pipeline when Ingest returns.
 // It returns how many records were accepted; on a decode error,
 // records before the malformed one stay ingested (the stream was
-// already live) and the error reports the rest were refused.
+// already live) and the error reports the rest were refused. With
+// Config.ShedAfter set, a slab that cannot enter the feed within that
+// bound sheds the request with ErrBacklog instead of stalling the
+// client against a backed-up pipeline.
 func (s *Server) Ingest(channel string, format trace.Format, r io.Reader) (int, error) {
 	s.ingestMu.RLock()
 	defer s.ingestMu.RUnlock()
@@ -494,9 +748,24 @@ func (s *Server) Ingest(channel string, format trace.Format, r io.Reader) (int, 
 	n := 0
 	slab := s.pool.Get()
 	defer func() { s.pool.Put(slab) }()
+	var shedTimer *time.Timer
+	defer func() {
+		if shedTimer != nil {
+			shedTimer.Stop()
+		}
+	}()
 	flush := func() error {
 		if len(slab) == 0 {
 			return nil
+		}
+		var shed <-chan time.Time
+		if s.cfg.ShedAfter > 0 {
+			if shedTimer == nil {
+				shedTimer = time.NewTimer(s.cfg.ShedAfter)
+			} else {
+				shedTimer.Reset(s.cfg.ShedAfter)
+			}
+			shed = shedTimer.C
 		}
 		select {
 		case s.feed <- slab:
@@ -505,6 +774,9 @@ func (s *Server) Ingest(channel string, format trace.Format, r io.Reader) (int, 
 			return nil
 		case <-s.runDone:
 			return ErrStopped
+		case <-shed:
+			shedTimer = nil
+			return ErrBacklog
 		}
 	}
 	for {
@@ -555,25 +827,8 @@ func (s *Server) Reload(snap *store.Snapshot) ([]string, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if snap.Core != s.snap.Core {
-		return nil, fmt.Errorf("server: reload changes the core config (%+v -> %+v); restart to retune", s.snap.Core, snap.Core)
-	}
-	// Shape is compared as the engines actually materialize it: a
-	// response-only snapshot gets a permissive gateway (buildEngine), so
-	// a later snapshot that adds explicit gateway policy — e.g. a
-	// checkpoint that learned budgets while serving a response-only
-	// model — still matches the live engines and can hot-swap in.
-	hasGateway := func(s *store.Snapshot) bool { return s.Gateway != nil || s.Response != nil }
-	if hasGateway(snap) != hasGateway(s.snap) || (snap.Response != nil) != (s.snap.Response != nil) {
-		return nil, errors.New("server: reload changes the gateway/responder shape; restart to rearm prevention")
-	}
-	// Compare the window the live gateways actually enforce (buildEngine
-	// defaults a zero RateWindow to the detection window), not the
-	// persisted field, so a whitelist-only snapshot can later gain
-	// budgets at the effective window without a restart.
-	if hasGateway(snap) && effectiveRateWindow(snap) != effectiveRateWindow(s.snap) {
-		return nil, fmt.Errorf("server: reload changes the rate window (%v -> %v); restart to retime rate limits",
-			effectiveRateWindow(s.snap), effectiveRateWindow(snap))
+	if err := snapshotCompatible(s.snap, snap); err != nil {
+		return nil, err
 	}
 	sw := engine.Swap{Template: snap.Template}
 	if snap.Gateway != nil || snap.Response != nil {
@@ -736,18 +991,32 @@ func (s *Server) Checkpoint() (files map[string]string, err error) {
 	}
 	s.mu.Unlock()
 	files = make(map[string]string, len(adapters))
+	var errs []error
 	for ch, ad := range adapters {
 		ck, err := checkpointSnapshot(snap, ad)
 		if err != nil {
-			return files, fmt.Errorf("server: checkpoint bus %q: %w", ch, err)
+			errs = append(errs, fmt.Errorf("server: checkpoint bus %q: %w", ch, err))
+			continue
 		}
 		path := CheckpointFile(s.cfg.CheckpointPath, ch)
-		if err := store.Save(path, ck); err != nil {
-			return files, fmt.Errorf("server: checkpoint bus %q: %w", ch, err)
+		// Keep the previous generation: the restart fallback ladder reads
+		// path, then path+".prev", then the base snapshot, so one corrupt
+		// write never strands a bus on the unadapted model. Best-effort —
+		// a missing .prev is the first checkpoint, not a failure.
+		if _, err := os.Stat(path); err == nil {
+			os.Rename(path, path+".prev") //nolint:errcheck // rotation is best-effort
+		}
+		err = s.cfg.Fault.Hit(fault.CheckpointSave, ch)
+		if err == nil {
+			err = store.Save(path, ck)
+		}
+		if err != nil {
+			errs = append(errs, fmt.Errorf("server: checkpoint bus %q: %w", ch, err))
+			continue
 		}
 		files[ch] = path
 	}
-	return files, nil
+	return files, errors.Join(errs...)
 }
 
 // checkpointSnapshot assembles the version-2 snapshot for one bus: the
@@ -875,16 +1144,75 @@ func parseFormat(r *http.Request) (trace.Format, error) {
 	}
 }
 
+// deadlineReader arms a fresh read deadline on the underlying
+// connection before every body read, so the budget bounds client
+// stalls, not total upload time — a steady heavy upload is welcome, a
+// slow-loris body is not. Transports without deadline support (e.g.
+// httptest recorders) degrade to unbounded reads.
+type deadlineReader struct {
+	r           io.Reader
+	rc          *http.ResponseController
+	d           time.Duration
+	unsupported bool
+}
+
+func (dr *deadlineReader) Read(p []byte) (int, error) {
+	if !dr.unsupported {
+		if err := dr.rc.SetReadDeadline(time.Now().Add(dr.d)); err != nil {
+			dr.unsupported = true
+		}
+	}
+	return dr.r.Read(p)
+}
+
+// readTracker latches the first non-EOF error the body reader returns.
+// The decoders wrap read failures in their own parse errors, so the
+// handler needs the untranslated cause to pick the right status code.
+type readTracker struct {
+	r   io.Reader
+	err error
+}
+
+func (t *readTracker) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if err != nil && err != io.EOF && t.err == nil {
+		t.err = err
+	}
+	return n, err
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, channel string) {
 	format, err := parseFormat(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	n, err := s.Ingest(channel, format, r.Body)
+	body := io.Reader(r.Body)
+	if s.cfg.MaxBody > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	}
+	if s.cfg.IngestTimeout > 0 {
+		rc := http.NewResponseController(w)
+		body = &deadlineReader{r: body, rc: rc, d: s.cfg.IngestTimeout}
+		// Clear the deadline so writing the response is not bounded by
+		// the last read's budget.
+		defer rc.SetReadDeadline(time.Time{}) //nolint:errcheck // unsupported transports never had one
+	}
+	tracker := &readTracker{r: body}
+	n, err := s.Ingest(channel, format, tracker)
+	var maxBytes *http.MaxBytesError
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, map[string]any{"records": n})
+	case errors.Is(err, ErrBacklog):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error(), Records: n})
+	case errors.As(tracker.err, &maxBytes):
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+			Error: fmt.Sprintf("body exceeds the %d byte ingest limit", maxBytes.Limit), Records: n})
+	case errors.Is(tracker.err, os.ErrDeadlineExceeded):
+		writeJSON(w, http.StatusRequestTimeout, errorResponse{
+			Error: fmt.Sprintf("body read stalled past %v", s.cfg.IngestTimeout), Records: n})
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrStopped), errors.Is(err, ErrNotStarted):
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error(), Records: n})
 	default:
@@ -892,36 +1220,70 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, channel st
 	}
 }
 
+// handleHealthz is the liveness probe with crash-isolation semantics: a
+// fleet with a dead bus answers 503 ("degraded") so orchestration can
+// see the partial outage, while a bus that is merely restarting or
+// stalled keeps 200 but flips the status to "degraded" — the daemon is
+// still doing its job on every other bus.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.ingestMu.RLock()
-	status := "ok"
-	if s.draining {
-		status = "draining"
-	}
+	draining := s.draining
 	s.ingestMu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	health := s.sup.Health()
+	anyDead, anyHurt := false, false
+	for _, h := range health {
+		switch h.State {
+		case engine.BusDead:
+			anyDead = true
+		case engine.BusRestarting, engine.BusStalled:
+			anyHurt = true
+		}
+	}
+	status, code := "ok", http.StatusOK
+	switch {
+	case draining:
+		status = "draining"
+	case anyDead:
+		status, code = "degraded", http.StatusServiceUnavailable
+	case anyHurt:
+		status = "degraded"
+	}
+	resp := map[string]any{
 		"status":         status,
 		"uptime_seconds": time.Since(s.startTime).Seconds(),
 		"buses":          s.sup.Channels(),
-	})
+	}
+	if len(health) > 0 {
+		resp["bus_health"] = health
+	}
+	if notes := s.DegradedNotes(); len(notes) > 0 {
+		resp["degraded"] = notes
+	}
+	writeJSON(w, code, resp)
 }
 
 type statsResponse struct {
-	UptimeSeconds float64                 `json:"uptime_seconds"`
-	AlertsTotal   uint64                  `json:"alerts_total"`
-	Total         engine.Stats            `json:"total"`
-	Buses         map[string]engine.Stats `json:"buses"`
-	Adapt         map[string]adapt.Status `json:"adapt,omitempty"`
+	UptimeSeconds     float64                     `json:"uptime_seconds"`
+	AlertsTotal       uint64                      `json:"alerts_total"`
+	Total             engine.Stats                `json:"total"`
+	Buses             map[string]engine.Stats     `json:"buses"`
+	Health            map[string]engine.BusHealth `json:"health,omitempty"`
+	Degraded          []string                    `json:"degraded,omitempty"`
+	CheckpointRetries uint64                      `json:"checkpoint_retries,omitempty"`
+	Adapt             map[string]adapt.Status     `json:"adapt,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	total, buses := s.Stats()
 	writeJSON(w, http.StatusOK, statsResponse{
-		UptimeSeconds: time.Since(s.startTime).Seconds(),
-		AlertsTotal:   s.AlertsTotal(),
-		Total:         total,
-		Buses:         buses,
-		Adapt:         s.AdaptStatus(),
+		UptimeSeconds:     time.Since(s.startTime).Seconds(),
+		AlertsTotal:       s.AlertsTotal(),
+		Total:             total,
+		Buses:             buses,
+		Health:            s.sup.Health(),
+		Degraded:          s.DegradedNotes(),
+		CheckpointRetries: s.CheckpointRetries(),
+		Adapt:             s.AdaptStatus(),
 	})
 }
 
