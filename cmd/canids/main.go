@@ -57,12 +57,24 @@
 //	curl -X POST 'http://127.0.0.1:8080/admin/adapt?action=pause' -H "Authorization: Bearer $TOKEN"
 //	canids -serve -load ck.ms-can.snap    # budgets survive the restart
 //
+// Record an incident while serving, then replay it as a local test
+// case — the capture carries the snapshot, the exact per-bus record
+// stream, and the alert journal, and the replay must reproduce that
+// journal bit for bit; scrape /metrics for Prometheus-format counters:
+//
+//	canids -serve -load model.snap -record incident
+//	curl --data-binary @attacked.csv 'http://127.0.0.1:8080/ingest/ms-can?format=csv'
+//	curl http://127.0.0.1:8080/metrics
+//	curl -X POST http://127.0.0.1:8080/admin/shutdown
+//	canids -replay incident
+//
 // When the input carries ground truth (csv, or a matrix scenario),
 // detection, inference and prevention (attack frames blocked vs
 // legitimate collateral drops) are also scored.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -134,6 +146,9 @@ func run(args []string, stdout io.Writer) error {
 		baselines    = fs.Bool("baselines", false, "run the Müter and Song baselines alongside (scenario mode)")
 		metricsEvery = fs.Duration("metrics", 2*time.Second, "live metrics interval for -watch (0 disables)")
 
+		replayDir  = fs.String("replay", "", "re-run a -record capture directory and reproduce its alert journal bit-for-bit")
+		recordDir  = fs.String("record", "", "with -serve, capture the post-demux record stream + snapshot into this directory for -replay")
+		journalDir = fs.String("journal", "", "with -serve, append alerts to rotating per-bus binary journals under this directory (default <record>/journal with -record)")
 		adaptOn    = fs.Bool("adapt", false, "with -serve, learn budgets/template online from live clean windows")
 		adaptEvery = fs.Int("adapt-every", 0, "with -adapt, promotion cadence in clean windows, also the warm-up before the first promotion (0 = defaults)")
 		checkpoint = fs.String("checkpoint", "", "with -adapt, persist adapted models as v2 snapshots to this base path (per bus: model.<bus>.snap)")
@@ -155,13 +170,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 	files := fs.Args()
 	modes := 0
-	for _, m := range []bool{*train, *detect, *watch, *serve, *list} {
+	for _, m := range []bool{*train, *detect, *watch, *serve, *list, *replayDir != ""} {
 		if m {
 			modes++
 		}
 	}
 	if modes != 1 {
-		return fmt.Errorf("exactly one of -train, -detect, -watch, -serve or -list-scenarios is required")
+		return fmt.Errorf("exactly one of -train, -detect, -watch, -serve, -replay or -list-scenarios is required")
 	}
 	if *loadPath != "" && *savePath != "" {
 		return fmt.Errorf("-load and -save are exclusive: nothing is trained when a snapshot is loaded")
@@ -184,7 +199,7 @@ func run(args []string, stdout io.Writer) error {
 	if !*serve {
 		explicit := make(map[string]bool)
 		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-		for _, name := range []string{"adapt", "adapt-every", "checkpoint", "admin-token", "max-body", "ingest-timeout", "faults"} {
+		for _, name := range []string{"adapt", "adapt-every", "checkpoint", "admin-token", "max-body", "ingest-timeout", "faults", "record", "journal"} {
 			if explicit[name] {
 				return fmt.Errorf("-%s needs -serve", name)
 			}
@@ -194,6 +209,11 @@ func run(args []string, stdout io.Writer) error {
 	switch {
 	case *list:
 		return runList(*seed, stdout)
+	case *replayDir != "":
+		if len(files) != 0 {
+			return fmt.Errorf("-replay takes no input files; the capture directory carries the stream")
+		}
+		return runReplay(*replayDir, stdout)
 	case *serve:
 		if *loadPath == "" {
 			return fmt.Errorf("-serve needs -load <snapshot> (train once with -save, serve forever)")
@@ -217,6 +237,11 @@ func run(args []string, stdout io.Writer) error {
 		if *ingestTO < 0 {
 			return fmt.Errorf("-ingest-timeout must be >= 0, got %v", *ingestTO)
 		}
+		if *journalDir == "" && *recordDir != "" {
+			// A capture without an alert journal has nothing for -replay
+			// to diff against; default it into the capture directory.
+			*journalDir = filepath.Join(*recordDir, "journal")
+		}
 		return runServe(serveOptions{
 			addr:          *addr,
 			loadPath:      *loadPath,
@@ -228,6 +253,8 @@ func run(args []string, stdout io.Writer) error {
 			maxBody:       *maxBody,
 			ingestTimeout: *ingestTO,
 			faults:        *faultSpec,
+			record:        *recordDir,
+			journal:       *journalDir,
 		}, stdout)
 	case *watch:
 		return runWatch(watchOptions{
@@ -774,6 +801,8 @@ type serveOptions struct {
 	maxBody       int64
 	ingestTimeout time.Duration
 	faults        string
+	record        string
+	journal       string
 }
 
 // runServe is the long-running daemon: restore the model from a
@@ -821,9 +850,11 @@ func runServe(opts serveOptions, stdout io.Writer) error {
 		IngestTimeout:  opts.ingestTimeout,
 		// A slab that cannot enter the feed in 5s means the engines are
 		// hopelessly behind — shed with 429 rather than stall the client.
-		ShedAfter: 5 * time.Second,
-		Fault:     inj,
-		Degraded:  degraded,
+		ShedAfter:  5 * time.Second,
+		Fault:      inj,
+		Degraded:   degraded,
+		RecordDir:  opts.record,
+		JournalDir: opts.journal,
 	}
 	if opts.adapt {
 		// The cadence doubles as the warm-up: "-adapt-every 3" promotes
@@ -852,6 +883,12 @@ func runServe(opts serveOptions, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "serving on http://%s (%s mode, window %v, alpha %g, %d training windows, %d pool IDs, %d shards)\n",
 		ln.Addr(), mode, snap.Core.Window, snap.Core.Alpha, snap.Template.Windows, len(snap.Pool), opts.shards)
+	if opts.record != "" {
+		fmt.Fprintf(stdout, "recording to %s (replay with: canids -replay %s)\n", opts.record, opts.record)
+	}
+	if opts.journal != "" {
+		fmt.Fprintf(stdout, "alert journal: %s\n", opts.journal)
+	}
 	if snap.Adapt != nil {
 		fmt.Fprintf(stdout, "snapshot carries adaptation provenance: %d promotions over %d windows (drift %.2e)\n",
 			snap.Adapt.Promotions, snap.Adapt.Windows, snap.Adapt.Drift)
@@ -907,11 +944,125 @@ func runServe(opts serveOptions, stdout io.Writer) error {
 	return drainErr
 }
 
+// runReplay re-runs a -record capture as a local incident
+// reproduction: the same snapshot (checksum-verified against the
+// manifest), the same shards/batching/adaptation options, and the
+// captured per-bus record stream pushed through the same supervisor
+// path the daemon served it on. When the recorded run kept an alert
+// journal, the replayed journal must match it byte for byte — any
+// divergence is an error.
+func runReplay(dir string, stdout io.Writer) error {
+	m, err := server.LoadManifest(dir)
+	if err != nil {
+		return err
+	}
+	snap, err := m.LoadSnapshot(dir)
+	if err != nil {
+		return err
+	}
+	replayJournal := filepath.Join(dir, "replay")
+	// A previous replay's journal would byte-diff against stale
+	// segments; start clean.
+	if err := os.RemoveAll(replayJournal); err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Snapshot:   snap,
+		Shards:     m.Shards,
+		Buffer:     m.Buffer,
+		Batch:      m.Batch,
+		Adapt:      m.Adapt,
+		JournalDir: replayJournal,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(context.Background()); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "replaying %s (window %v, alpha %g, %d shards)\n",
+		dir, snap.Core.Window, snap.Core.Alpha, m.Shards)
+	records, replayErr := srv.ReplayCapture(dir)
+	drainErr := srv.Drain()
+	if replayErr != nil {
+		return replayErr
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	total, _ := srv.Stats()
+	fmt.Fprintf(stdout, "replayed %d records: %d frames, %d windows, %d alerts\n",
+		records, total.Frames, total.Windows, srv.AlertsTotal())
+	for _, note := range srv.DegradedNotes() {
+		fmt.Fprintf(stdout, "note: %s\n", note)
+	}
+	recorded := m.JournalDir(dir)
+	if recorded == "" {
+		fmt.Fprintln(stdout, "recorded run kept no alert journal; nothing to verify")
+		return nil
+	}
+	if err := compareJournalDirs(recorded, replayJournal); err != nil {
+		return fmt.Errorf("replay diverged from the recorded run: %w", err)
+	}
+	fmt.Fprintf(stdout, "alert journal reproduced bit-for-bit (%s == %s)\n", recorded, replayJournal)
+	return nil
+}
+
+// compareJournalDirs byte-compares two alert-journal directories: the
+// same files (rotated segments included) holding the same bytes.
+func compareJournalDirs(want, got string) error {
+	wantNames, err := journalFiles(want)
+	if err != nil {
+		return err
+	}
+	gotNames, err := journalFiles(got)
+	if err != nil {
+		return err
+	}
+	if strings.Join(wantNames, "\n") != strings.Join(gotNames, "\n") {
+		return fmt.Errorf("journal files differ: recorded %v, replayed %v", wantNames, gotNames)
+	}
+	for _, name := range wantNames {
+		a, err := os.ReadFile(filepath.Join(want, name))
+		if err != nil {
+			return err
+		}
+		b, err := os.ReadFile(filepath.Join(got, name))
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(a, b) {
+			return fmt.Errorf("journal %s differs (%d recorded bytes vs %d replayed)", name, len(a), len(b))
+		}
+	}
+	return nil
+}
+
+// journalFiles lists a journal directory's file names, sorted.
+func journalFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
 // newestCheckpoint scans the per-bus checkpoint files derived from base
 // (model.snap -> model.<bus>.snap, plus their .prev generations) and
 // returns the newest one that still loads and validates. Corrupt or
 // missing candidates are skipped; an error means no usable checkpoint
-// exists at all.
+// exists at all. Coarse-mtime filesystems make timestamp ties common,
+// so equal mtimes break deterministically — a primary checkpoint beats
+// a .prev generation (rotation keeps the primary at least as fresh),
+// then the lexicographically smaller name wins — rather than letting
+// glob order decide.
 func newestCheckpoint(base string) (*store.Snapshot, string, error) {
 	ext := filepath.Ext(base)
 	pattern := strings.TrimSuffix(base, ext) + ".*" + ext
@@ -920,15 +1071,38 @@ func newestCheckpoint(base string) (*store.Snapshot, string, error) {
 		return nil, "", err
 	}
 	prev, _ := filepath.Glob(pattern + ".prev")
-	paths = append(paths, prev...)
+	// An extensionless base makes pattern "base.*", which matched the
+	// .prev generations already — dedupe so no candidate is stat'd and
+	// loaded twice.
+	seen := make(map[string]bool, len(paths)+len(prev))
+	candidates := make([]string, 0, len(paths)+len(prev))
+	for _, p := range append(paths, prev...) {
+		if !seen[p] {
+			seen[p] = true
+			candidates = append(candidates, p)
+		}
+	}
 	var (
 		best     *store.Snapshot
 		bestName string
 		bestMod  time.Time
 	)
-	for _, p := range paths {
+	better := func(p string, mod time.Time) bool {
+		if best == nil {
+			return true
+		}
+		if !mod.Equal(bestMod) {
+			return mod.After(bestMod)
+		}
+		pPrev := strings.HasSuffix(p, ".prev")
+		if bPrev := strings.HasSuffix(bestName, ".prev"); pPrev != bPrev {
+			return !pPrev
+		}
+		return p < bestName
+	}
+	for _, p := range candidates {
 		info, err := os.Stat(p)
-		if err != nil || (best != nil && !info.ModTime().After(bestMod)) {
+		if err != nil || !better(p, info.ModTime()) {
 			continue
 		}
 		snap, err := store.Load(p)

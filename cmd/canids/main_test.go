@@ -701,6 +701,11 @@ func TestServeValidation(t *testing.T) {
 		{"-serve", "-load", "x.snap", "-max-body", "-1"},                                                 // negative body cap
 		{"-serve", "-load", "x.snap", "-ingest-timeout", "-1s"},                                          // negative read deadline
 		{"-serve", "-load", "x.snap", "-faults", "bogus spec"},                                           // malformed fault rule
+		{"-watch", "-load", "x.snap", "-record", dir, "a.csv"},                                           // recording needs -serve
+		{"-detect", "-load", "x.snap", "-journal", dir, "a.csv"},                                         // journaling needs -serve
+		{"-serve", "-load", "x.snap", "-replay", dir},                                                    // two modes
+		{"-replay", filepath.Join(dir, "no-such-capture")},                                               // missing capture
+		{"-replay", dir, "stray.csv"},                                                                    // replay takes no files
 	}
 	for _, args := range cases {
 		if err := run(args, &bytes.Buffer{}); err == nil {
@@ -821,6 +826,157 @@ func TestServeAdaptEndToEnd(t *testing.T) {
 	}
 	if err := <-serveErr2; err != nil {
 		t.Fatalf("restarted serve returned: %v\n%s", err, out2.String())
+	}
+}
+
+// TestNewestCheckpointTieBreak pins the equal-mtime fix: coarse
+// filesystem timestamps make ties routine (a rotation writes the
+// primary and its .prev generation within the same tick), and the old
+// scan let glob order decide — with an extensionless base, a stale
+// .prev generation that sorted first would beat a primary checkpoint
+// of the same age. Ties now break primary-first, then by name.
+func TestNewestCheckpointTieBreak(t *testing.T) {
+	dir := t.TempDir()
+	clean := makeCapture(t, dir, "clean.csv", vehicle.Idle, 5, 6*time.Second, nil)
+	model := filepath.Join(dir, "model.snap")
+	if err := run([]string{"-train", "-alpha", "4", "-o", filepath.Join(dir, "t.json"), "-save", model, clean}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	data, err := os.ReadFile(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	when := time.Now().Add(-time.Hour).Truncate(time.Second)
+	write := func(name string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(p, when, when); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Extensionless base: the pattern "ck.*" matches the .prev
+	// generations too (they are also deduped against the explicit .prev
+	// glob), and "ck.aa.prev" sorts before "ck.zz".
+	stalePrev := write("ck.aa.prev")
+	primary := write("ck.zz")
+	_, name, err := newestCheckpoint(filepath.Join(dir, "ck"))
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if name != primary {
+		t.Errorf("equal mtimes picked %s, want the primary %s", name, primary)
+	}
+
+	// Recency still beats generation: a strictly newer .prev wins.
+	newer := when.Add(time.Minute)
+	if err := os.Chtimes(stalePrev, newer, newer); err != nil {
+		t.Fatal(err)
+	}
+	if _, name, err = newestCheckpoint(filepath.Join(dir, "ck")); err != nil || name != stalePrev {
+		t.Errorf("newer .prev generation lost the scan: %s, %v", name, err)
+	}
+
+	// With an extension, a primary ties against its own rotated .prev.
+	pri := write("ck2.ms-can.snap")
+	write("ck2.ms-can.snap.prev")
+	if _, name, err = newestCheckpoint(filepath.Join(dir, "ck2.snap")); err != nil || name != pri {
+		t.Errorf("primary vs own .prev at equal mtime: picked %s (%v), want %s", name, err, pri)
+	}
+
+	// Two tied primaries: the lexicographically smaller name, always.
+	first := write("ck3.aa.snap")
+	write("ck3.bb.snap")
+	if _, name, err = newestCheckpoint(filepath.Join(dir, "ck3.snap")); err != nil || name != first {
+		t.Errorf("tied primaries: picked %s (%v), want %s", name, err, first)
+	}
+}
+
+// TestServeRecordReplayEndToEnd drives the incident workflow through
+// the real CLI: serve with -record, ingest an attacked capture over
+// HTTP, shut down, then -replay the capture directory and require the
+// bit-for-bit journal verdict on stdout.
+func TestServeRecordReplayEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	clean := makeCapture(t, dir, "clean.csv", vehicle.Idle, 5, 8*time.Second, nil)
+	snap := filepath.Join(dir, "model.snap")
+	if err := run([]string{"-train", "-alpha", "4", "-o", filepath.Join(dir, "t.json"), "-save", snap, clean}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	attacked := makeCapture(t, dir, "attacked.csv", vehicle.Idle, 7, 10*time.Second, &attack.Config{
+		Scenario:  attack.Single,
+		IDs:       []can.ID{0x0B5},
+		Frequency: 100,
+		Start:     2 * time.Second,
+		Seed:      9,
+	})
+	capture := filepath.Join(dir, "incident")
+
+	out := &syncBuffer{}
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- run([]string{"-serve", "-addr", "127.0.0.1:0", "-load", snap,
+			"-shards", "2", "-record", capture}, out)
+	}()
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address:\n%s", out.String())
+		}
+		if m := regexp.MustCompile(`serving on (http://\S+) `).FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if !strings.Contains(out.String(), "recording to "+capture) {
+		t.Errorf("serve does not announce the recording:\n%s", out.String())
+	}
+	// -record with no -journal defaults the alert journal into the capture.
+	if !strings.Contains(out.String(), "alert journal: "+filepath.Join(capture, "journal")) {
+		t.Errorf("journal did not default into the capture directory:\n%s", out.String())
+	}
+
+	body, err := os.ReadFile(attacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/ingest/ms-can?format=csv", "text/csv", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(base+"/admin/shutdown", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve returned: %v\n%s", err, out.String())
+	}
+
+	var rep bytes.Buffer
+	if err := run([]string{"-replay", capture}, &rep); err != nil {
+		t.Fatalf("replay: %v\n%s", err, rep.String())
+	}
+	text := rep.String()
+	if !strings.Contains(text, "alert journal reproduced bit-for-bit") {
+		t.Fatalf("replay did not verify the journal:\n%s", text)
+	}
+	m := regexp.MustCompile(`replayed \d+ records: \d+ frames, \d+ windows, (\d+) alerts`).FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("no replay summary:\n%s", text)
+	}
+	if m[1] == "0" {
+		t.Errorf("replay reproduced zero alerts; the verdict is vacuous:\n%s", text)
 	}
 }
 

@@ -30,6 +30,7 @@
 //	internal/server      long-running HTTP serving daemon (ingest, stats, hot reload, adaptation, checkpoints)
 //	internal/adapt       online adaptation: clean-window learning, boundary-pinned promotions
 //	internal/fault       deterministic fault injection (panic/error/stall at named seams)
+//	internal/journal     append-only CRC-framed binary journals (rotation, torn-tail recovery)
 //	internal/experiments one runner per paper table and figure
 //	cmd/...              cangen, canattack, canids, experiments
 //	examples/...         quickstart, livebus, offline, sweep, streaming, prevention, serving, adaptation
@@ -194,6 +195,41 @@
 // engine panics absorbed by checkpoint restarts, /healthz dipping to
 // degraded and recovering, and final counters that reconcile to the
 // frame.
+//
+// # Observability and incident replay
+//
+// A long-running daemon is operated, not watched: GET /metrics exports
+// every counter the server already keeps — per-bus frames, drops,
+// windows, alerts, lost frames, restarts, one-hot health state, and the
+// adaptation and checkpoint-retry totals — in the Prometheus text
+// exposition format, hand-rolled (the repo takes no dependencies) with
+// sorted buses and shortest-float samples so identical state scrapes to
+// identical bytes. The counters reconcile exactly with /stats:
+// accepted == frames + lost per bus after a drain, pinned by
+// TestMetricsReconcileAfterChaos against a fault-injected run.
+//
+// Alerts additionally persist to disk: internal/journal is an
+// append-only, length-prefixed, CRC-32-checked binary journal with size
+// rotation and torn-tail recovery (a crash mid-write truncates back to
+// the last intact entry on reopen, never discards one), and
+// Config.JournalDir (`canids -serve -journal <dir>`) appends every
+// alert to one journal per bus beside the in-memory ring. The /alerts
+// ring itself is a true circular buffer — steady state retains alerts
+// with zero allocations (TestAlertRingSteadyStateAllocs).
+//
+// `-serve -record <dir>` turns an incident into a test case: a tap on
+// the supervisor's demux seam captures the exact post-demux record
+// stream — per-bus content, order, and batch boundaries — plus the
+// served snapshot (checksummed) and every determinism-relevant knob in
+// a manifest, with the alert journal defaulted into the capture.
+// `canids -replay <dir>` rebuilds the same pipeline from the manifest,
+// pushes the captured stream back through the same server path, and
+// verifies the replayed alert journal equals the recorded one byte for
+// byte — the engine's per-bus determinism guarantee made operational
+// (TestRecordReplayDeterminism at shards 1/2/8 under -race, and ci.sh's
+// observability smoke leg against the real daemon). The contract covers
+// clean-drain runs; a crash-restart loses frames the capture still
+// carries, so those replays run but may legitimately diverge.
 //
 // # Performance
 //

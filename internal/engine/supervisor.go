@@ -84,6 +84,15 @@ type SupervisorConfig struct {
 	// goroutine after each engine failure, before the restart (or the
 	// death) it triggers. It must not call back into the supervisor.
 	OnBusError func(channel string, err error, willRestart bool)
+	// Tap, when set, observes every demuxed slab exactly as it is about
+	// to enter its bus feed — the record/replay capture seam: per-bus
+	// content, order and batch boundaries are exactly what the engines
+	// will consume. Called from the demux goroutine before the delivery
+	// (after it the consumer owns the slab and may recycle it), so the
+	// tap must copy what it keeps and stalls the whole demux while it
+	// runs. A slab the tap saw may still be dropped by a canceled
+	// context before delivery.
+	Tap func(channel string, slab []trace.Record)
 	// Buffer is the per-bus feed capacity; zero means DefaultBuffer.
 	Buffer int
 }
@@ -388,7 +397,11 @@ func (s *Supervisor) Run(ctx context.Context, src Source, sink func(channel stri
 				srcErr = err
 				break
 			}
-			if !s.sendFeed(ctx, r, append(pool.Get(), rec)) {
+			slab := append(pool.Get(), rec)
+			if s.cfg.Tap != nil {
+				s.cfg.Tap(rec.Channel, slab)
+			}
+			if !s.sendFeed(ctx, r, slab) {
 				srcErr = ctx.Err()
 				break
 			}
@@ -640,9 +653,12 @@ func (s *Supervisor) demuxBatches(ctx context.Context, bs BatchSource,
 			}
 			last.slab = append(last.slab, rec)
 		}
-		for _, p := range pend {
+		for ch, p := range pend {
 			if len(p.slab) == 0 {
 				continue
+			}
+			if s.cfg.Tap != nil {
+				s.cfg.Tap(ch, p.slab)
 			}
 			if !s.sendFeed(ctx, p.run, p.slab) {
 				return ctx.Err()

@@ -1,0 +1,263 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// entriesEqual asserts got matches the expected payloads, in order.
+func entriesEqual(t *testing.T, got [][]byte, want [][]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("entry %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.jnl")
+	w, err := OpenWriter(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		p := []byte(fmt.Sprintf("entry-%03d", i))
+		want = append(want, p)
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An empty payload is a legal entry.
+	want = append(want, []byte{})
+	if err := w.Append(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, torn, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn {
+		t.Error("clean journal reported torn")
+	}
+	entriesEqual(t, got, want)
+}
+
+// TestJournalRotation drives the writer past MaxBytes repeatedly and
+// checks that segments stay bounded, order survives rotation, and a
+// reopened writer continues in the next free slot.
+func TestJournalRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.jnl")
+	const maxBytes = 256
+	w, err := OpenWriter(path, Options{MaxBytes: maxBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	append50 := func() {
+		for i := 0; i < 50; i++ {
+			p := []byte(fmt.Sprintf("payload-%04d", len(want)))
+			want = append(want, p)
+			if err := w.Append(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	append50()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := Segments(path)
+	if len(segs) == 0 {
+		t.Fatalf("no rotated segments after %d bytes of entries", 20*len(want))
+	}
+	for _, seg := range append(segs, path) {
+		info, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() > maxBytes {
+			t.Errorf("%s is %d bytes, cap %d", seg, info.Size(), maxBytes)
+		}
+	}
+	// Reopen and keep appending: the writer must rotate into fresh
+	// slots, never clobber a sealed segment.
+	w, err = OpenWriter(path, Options{MaxBytes: maxBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	append50()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, torn, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn {
+		t.Error("rotated journal reported torn")
+	}
+	entriesEqual(t, got, want)
+}
+
+// TestJournalTornTail crashes the journal at every possible tail
+// length of the final entry and checks that reopening truncates back
+// to the last intact entry and appending resumes cleanly.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	intact := [][]byte{[]byte("first"), []byte("second")}
+	build := func(name string) (string, int64) {
+		path := filepath.Join(dir, name)
+		w, err := OpenWriter(path, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range intact {
+			if err := w.Append(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		size, _ := w.f.Seek(0, io.SeekCurrent)
+		if err := w.Append([]byte("torn-away")); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path, size
+	}
+	full, intactSize := build("full.jnl")
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every cut strictly inside the final entry is a torn tail; cut at
+	// intactSize is a clean file that simply lost the entry.
+	for cut := intactSize; cut < int64(len(data)); cut++ {
+		path := filepath.Join(dir, fmt.Sprintf("cut-%d.jnl", cut))
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, torn, err := Read(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if wantTorn := cut > intactSize; torn != wantTorn {
+			t.Errorf("cut %d: torn=%v, want %v", cut, torn, wantTorn)
+		}
+		entriesEqual(t, got, intact)
+
+		// Recovery: reopen, append, and the journal is whole again.
+		w, err := OpenWriter(path, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if err := w.Append([]byte("recovered")); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, torn, err = Read(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if torn {
+			t.Errorf("cut %d: recovered journal still torn", cut)
+		}
+		entriesEqual(t, got, append(append([][]byte{}, intact...), []byte("recovered")))
+	}
+}
+
+// TestJournalCorruptPayload flips a byte inside an entry: the CRC must
+// refuse it and recovery must truncate from the damaged entry on.
+func TestJournalCorruptPayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.jnl")
+	w, err := OpenWriter(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"keep", "damage"} {
+		if err := w.Append([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, torn, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn {
+		t.Error("corrupt payload not reported torn")
+	}
+	entriesEqual(t, got, [][]byte{[]byte("keep")})
+}
+
+// TestJournalRefusesForeignFile pins the recovery guard: a file that
+// is not a journal must not be truncated into one.
+func TestJournalRefusesForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.jnl")
+	if err := os.WriteFile(path, []byte("definitely not a journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWriter(path, Options{}); err == nil {
+		t.Fatal("opened a non-journal file for appending")
+	}
+	if _, _, err := Read(path); err == nil {
+		t.Fatal("read a non-journal file as a journal")
+	}
+}
+
+func TestSetKeysAreIsolatedAndSanitized(t *testing.T) {
+	dir := t.TempDir()
+	set, err := OpenSet(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"ms-can", "hs/can", "", "_", "hs_can"}
+	for i, k := range keys {
+		if err := set.Append(k, []byte(fmt.Sprintf("%d:%s", i, k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := set.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	for i, k := range keys {
+		name := FileName(k)
+		if names[name] {
+			t.Fatalf("key %q collides on file %q", k, name)
+		}
+		names[name] = true
+		got, torn, err := Read(filepath.Join(dir, name))
+		if err != nil || torn {
+			t.Fatalf("key %q: err=%v torn=%v", k, err, torn)
+		}
+		entriesEqual(t, got, [][]byte{[]byte(fmt.Sprintf("%d:%s", i, k))})
+	}
+	if err := set.Append("x", nil); err == nil {
+		t.Error("append on a closed set succeeded")
+	}
+}

@@ -27,6 +27,7 @@
 //	POST /ingest/{channel}?format=...             per-bus ingest (channel overrides the records')
 //	GET  /healthz                                 liveness + bus list
 //	GET  /stats                                   live per-bus and total engine statistics (+ adaptation)
+//	GET  /metrics                                 Prometheus text exposition of the same counters
 //	GET  /alerts?n=N                              the most recent alerts (bounded ring)
 //	POST /admin/reload                            hot-swap a snapshot (body: store format)
 //	POST /admin/shutdown                          drain, flush final windows, report summary
@@ -84,6 +85,21 @@
 // Retry-After). Config.Fault arms the deterministic chaos harness
 // (internal/fault) behind all of it.
 //
+// # Observability and incident replay
+//
+// GET /metrics renders the live counters — per-bus frames, drops,
+// losses, alerts, restarts, health state, adaptation progress,
+// checkpoint retries — in the Prometheus text exposition format
+// (hand-rolled; no dependency), reconciling exactly with /stats:
+// after a drain, accepted == frames + lost per bus, faults included.
+// Config.JournalDir additionally appends every alert to a durable
+// per-bus journal (internal/journal) next to the in-memory ring, and
+// Config.RecordDir captures the exact post-demux record stream per
+// bus plus the served snapshot, which ReplayCapture (canids -replay)
+// pushes back through an identical pipeline to reproduce the alert
+// journal bit for bit — see record.go for the directory layout and
+// the determinism contract.
+//
 // # Shutdown
 //
 // Drain stops ingestion (further ingests get 503), closes the feed so
@@ -117,6 +133,7 @@ import (
 	"canids/internal/engine"
 	"canids/internal/fault"
 	"canids/internal/gateway"
+	"canids/internal/journal"
 	"canids/internal/response"
 	"canids/internal/store"
 	"canids/internal/trace"
@@ -124,6 +141,10 @@ import (
 
 // DefaultMaxAlerts is the default alert-ring capacity.
 const DefaultMaxAlerts = 1024
+
+// DefaultJournalMaxBytes is the default alert-journal segment cap
+// before rotation (Config.JournalMaxBytes).
+const DefaultJournalMaxBytes int64 = 64 << 20
 
 // DefaultCheckpointBackoff is the first retry delay after a failed
 // background checkpoint; consecutive failures double it, capped at
@@ -223,6 +244,25 @@ type Config struct {
 	// Zero means DefaultCheckpointBackoff.
 	CheckpointBackoff time.Duration
 
+	// JournalDir, when set, appends every alert — as it lands in the
+	// in-memory ring — to a per-bus binary journal under this directory
+	// (internal/journal: length-prefixed, CRC-checked, size-rotated,
+	// torn-tail recovered on open). Per-bus files because only the
+	// per-bus alert order is deterministic; the interleaving between
+	// buses follows goroutine timing.
+	JournalDir string
+	// JournalMaxBytes caps one journal segment before rotation. Zero
+	// means DefaultJournalMaxBytes.
+	JournalMaxBytes int64
+	// RecordDir, when set, arms incident recording: the served
+	// snapshot and a manifest of the serving configuration are written
+	// at New, and every demuxed record slab is captured per bus —
+	// timestamps, channel tags and batch boundaries exactly as the
+	// engines consume them — so `canids -replay` can re-run the stream
+	// through an identical pipeline and reproduce the per-bus alert
+	// journal bit for bit.
+	RecordDir string
+
 	// Fault, when non-nil, arms the deterministic fault-injection
 	// harness: the injector is handed to every bus engine (scoped by
 	// bus channel) and consulted at the checkpoint-write seam. Chaos
@@ -269,9 +309,25 @@ type Server struct {
 	ingestMu sync.RWMutex
 	draining bool
 
+	// The alert ring is a fixed circular buffer of the newest
+	// cfg.MaxAlerts alerts (allocated on the first alert): ringHead is
+	// the oldest retained entry, ringLen how many are live. A full ring
+	// overwrites in place — steady-state alert retention allocates
+	// nothing (TestAlertRingSteadyStateAllocs).
 	alertsMu    sync.Mutex
 	ring        []TaggedAlert
+	ringHead    int
+	ringLen     int
 	alertsTotal atomic.Uint64
+
+	// journal is the durable per-bus alert journal (Config.JournalDir);
+	// capture is the record/replay slab capture (Config.RecordDir).
+	// Both nil when unconfigured; their first write error disables them
+	// with a degradation note rather than failing the pipeline.
+	journal     *journal.Set
+	capture     *journal.Set
+	journalFail atomic.Bool
+	captureFail atomic.Bool
 
 	// ckCh nudges the checkpoint goroutine after a promotion; ckMu
 	// serializes concurrent Checkpoint calls (background vs admin) and
@@ -355,6 +411,26 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: snapshot cannot adapt: %w", err)
 		}
 	}
+	if cfg.JournalDir != "" {
+		maxBytes := cfg.JournalMaxBytes
+		if maxBytes <= 0 {
+			maxBytes = DefaultJournalMaxBytes
+		}
+		set, err := journal.OpenSet(cfg.JournalDir, journal.Options{MaxBytes: maxBytes})
+		if err != nil {
+			return nil, fmt.Errorf("server: alert journal: %w", err)
+		}
+		s.journal = set
+	}
+	if cfg.RecordDir != "" {
+		if err := s.setupRecord(); err != nil {
+			return nil, fmt.Errorf("server: record: %w", err)
+		}
+	}
+	var tap func(string, []trace.Record)
+	if s.capture != nil {
+		tap = s.captureSlab
+	}
 	sup, err := engine.NewSupervisor(engine.SupervisorConfig{
 		NewEngine:      s.newEngine,
 		RestartEngine:  s.restartEngine,
@@ -362,6 +438,7 @@ func New(cfg Config) (*Server, error) {
 		RestartBackoff: cfg.RestartBackoff,
 		StallAfter:     cfg.StallAfter,
 		Buffer:         cfg.Buffer,
+		Tap:            tap,
 	})
 	if err != nil {
 		return nil, err
@@ -595,15 +672,19 @@ func (s *Server) Start(ctx context.Context) error {
 		return errors.New("server: already started")
 	}
 	go func() {
-		_, err := s.sup.Run(ctx, engine.NewChanBatchSource(ctx, s.feed, s.pool.Put), func(channel string, a detect.Alert) {
-			s.alertsTotal.Add(1)
-			s.alertsMu.Lock()
-			s.ring = append(s.ring, TaggedAlert{Channel: channel, Alert: a})
-			if over := len(s.ring) - s.cfg.MaxAlerts; over > 0 {
-				s.ring = append(s.ring[:0], s.ring[over:]...)
+		_, err := s.sup.Run(ctx, engine.NewChanBatchSource(ctx, s.feed, s.pool.Put), s.recordAlert)
+		// Seal the journal and capture files before the run is reported
+		// done: whoever awaits Drain may byte-compare them immediately.
+		if s.journal != nil {
+			if cerr := s.journal.Close(); cerr != nil {
+				s.noteDegraded("alert journal close: %v", cerr)
 			}
-			s.alertsMu.Unlock()
-		})
+		}
+		if s.capture != nil {
+			if cerr := s.capture.Close(); cerr != nil {
+				s.noteDegraded("record capture close: %v", cerr)
+			}
+		}
 		s.runErr = err
 		close(s.runDone)
 	}()
@@ -1058,15 +1139,53 @@ func checkpointSnapshot(snap *store.Snapshot, ad *adapt.Adapter) (*store.Snapsho
 // AlertsTotal returns the number of alerts emitted since Start.
 func (s *Server) AlertsTotal() uint64 { return s.alertsTotal.Load() }
 
-// Alerts returns the newest n alerts (all retained ones when n <= 0).
+// recordAlert is the supervisor's sink: count the alert, retain it in
+// the bounded ring, and append it to the durable per-bus journal when
+// one is configured. The supervisor serializes sink calls, so the
+// journal needs no ordering of its own; the ring lock only fences
+// /alerts readers. A full ring overwrites its oldest slot in place —
+// no allocation, no copying of the surviving window.
+func (s *Server) recordAlert(channel string, a detect.Alert) {
+	s.alertsTotal.Add(1)
+	ta := TaggedAlert{Channel: channel, Alert: a}
+	s.alertsMu.Lock()
+	if s.ring == nil {
+		s.ring = make([]TaggedAlert, s.cfg.MaxAlerts)
+	}
+	if s.ringLen < len(s.ring) {
+		s.ring[(s.ringHead+s.ringLen)%len(s.ring)] = ta
+		s.ringLen++
+	} else {
+		s.ring[s.ringHead] = ta
+		s.ringHead++
+		if s.ringHead == len(s.ring) {
+			s.ringHead = 0
+		}
+	}
+	s.alertsMu.Unlock()
+	if s.journal != nil && !s.journalFail.Load() {
+		payload, err := json.Marshal(ta)
+		if err == nil {
+			err = s.journal.Append(channel, payload)
+		}
+		if err != nil && s.journalFail.CompareAndSwap(false, true) {
+			s.noteDegraded("alert journal disabled: bus %q: %v", channel, err)
+		}
+	}
+}
+
+// Alerts returns the newest n alerts (all retained ones when n <= 0),
+// oldest first.
 func (s *Server) Alerts(n int) []TaggedAlert {
 	s.alertsMu.Lock()
 	defer s.alertsMu.Unlock()
-	if n <= 0 || n > len(s.ring) {
-		n = len(s.ring)
+	if n <= 0 || n > s.ringLen {
+		n = s.ringLen
 	}
 	out := make([]TaggedAlert, n)
-	copy(out, s.ring[len(s.ring)-n:])
+	for i := 0; i < n; i++ {
+		out[i] = s.ring[(s.ringHead+s.ringLen-n+i)%len(s.ring)]
+	}
 	return out
 }
 
@@ -1094,6 +1213,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /alerts", s.handleAlerts)
 	admin := func(h http.HandlerFunc) http.HandlerFunc {
 		if s.cfg.AdminToken == "" {
@@ -1181,6 +1301,30 @@ func (t *readTracker) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// retryAfterHint derives the 429 Retry-After from the shed bound and
+// the observed backlog: the client already waited ShedAfter without a
+// slot opening, so ShedAfter (rounded up to a whole second) is the
+// floor, scaled up by how full the feed still is — a fully backed-up
+// feed doubles the hint. Bounded so a misconfigured ShedAfter cannot
+// tell clients to go away for hours.
+func (s *Server) retryAfterHint() string {
+	d := s.cfg.ShedAfter
+	if d <= 0 {
+		d = time.Second
+	}
+	if c := cap(s.feed); c > 0 {
+		d += time.Duration(float64(d) * float64(len(s.feed)) / float64(c))
+	}
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return strconv.Itoa(secs)
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, channel string) {
 	format, err := parseFormat(r)
 	if err != nil {
@@ -1205,7 +1349,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, channel st
 	case err == nil:
 		writeJSON(w, http.StatusOK, map[string]any{"records": n})
 	case errors.Is(err, ErrBacklog):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterHint())
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error(), Records: n})
 	case errors.As(tracker.err, &maxBytes):
 		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
