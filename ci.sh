@@ -318,6 +318,84 @@ for f in "$smoke/incident/journal/"*; do
 done
 echo "observability smoke: /metrics reconciled ($m_frames frames, $m_alerts alerts), replay reproduced the journal byte-for-byte"
 
+# Fleet smoke: the multiplexed serving story end to end (see
+# internal/engine's fleet supervisor and internal/model). Retag the
+# clean capture round-robin across ten vehicle channels, serve them all
+# over TWO shared host engines (-fleet 2), ingest half, hot-reload the
+# snapshot through /admin/reload — one model install that every lane
+# must converge to — ingest the rest, and require /metrics to show a
+# single model epoch (2) on all ten vehicles before the drain, whose
+# per-vehicle counts must sum exactly to the frames ingested.
+echo "== fleet smoke"
+awk -F, 'BEGIN{OFS=","} NR==1{print;next}{$2="veh-" ((NR-2)%10); print}' "$smoke/clean.csv" > "$smoke/fleet.csv"
+fleet_total=$(($(wc -l < "$smoke/fleet.csv") - 1))
+half=$((fleet_total / 2))
+head -n $((half + 1)) "$smoke/fleet.csv" > "$smoke/fleet1.csv"
+{ head -1 "$smoke/fleet.csv"; tail -n $((fleet_total - half)) "$smoke/fleet.csv"; } > "$smoke/fleet2.csv"
+"$smoke/canids" -serve -addr 127.0.0.1:0 -load "$smoke/model.snap" -shards 2 -fleet 2 >"$smoke/fleet.log" &
+serve_pid=$!
+base=""
+for _ in $(seq 1 100); do
+  base=$(grep -o 'http://[0-9.:]*' "$smoke/fleet.log" | head -1 || true)
+  if [[ -n "$base" ]]; then break; fi
+  sleep 0.1
+done
+if [[ -z "$base" ]]; then echo "fleet smoke: daemon never announced its address"; cat "$smoke/fleet.log"; exit 1; fi
+if ! grep -q "fleet/2" "$smoke/fleet.log"; then
+  echo "fleet smoke FAILED: daemon did not announce fleet mode"; cat "$smoke/fleet.log"; exit 1
+fi
+if ! curl -sfS --data-binary @"$smoke/fleet1.csv" "$base/ingest?format=csv" >/dev/null; then
+  echo "fleet smoke FAILED: first ingest rejected"; cat "$smoke/fleet.log"; exit 1
+fi
+swapped=$(curl -sfS --data-binary @"$smoke/model.snap" "$base/admin/reload" | grep -o '"veh-' | wc -l || true)
+if [[ "$swapped" -ne 10 ]]; then
+  echo "fleet smoke FAILED: reload reached $swapped lanes, want 10"; cat "$smoke/fleet.log"; exit 1
+fi
+if ! curl -sfS --data-binary @"$smoke/fleet2.csv" "$base/ingest?format=csv" >/dev/null; then
+  echo "fleet smoke FAILED: second ingest rejected"; cat "$smoke/fleet.log"; exit 1
+fi
+# Lanes install the reloaded model at their next window boundary; the
+# second half of the capture carries every vehicle across several. Poll
+# the scrape until all ten lanes report the new epoch.
+fleet_ok=""
+for _ in $(seq 1 100); do
+  mtx=$(curl -sS "$base/metrics")
+  n=$(echo "$mtx" | grep -c 'canids_model_epoch{bus="veh-[0-9]"} 2' || true)
+  if [[ "$n" -eq 10 ]] && echo "$mtx" | grep -q '^canids_serving_epoch 2'; then fleet_ok=yes; break; fi
+  sleep 0.1
+done
+if [[ -z "$fleet_ok" ]]; then
+  echo "fleet smoke FAILED: lanes never converged to epoch 2 after the reload"
+  echo "$mtx" | grep 'epoch' || true; cat "$smoke/fleet.log"; exit 1
+fi
+down_fleet=$(curl -sS -X POST "$base/admin/shutdown")
+wait "$serve_pid"
+serve_pid=""
+fleet_counts=$(echo "$down_fleet" | grep -o '"Frames":[0-9]*' | grep -o '[0-9]*$' | awk -v want="$fleet_total" '
+  NR==1 { total = $1; next }
+  { sum += $1; buses++ }
+  END {
+    if (buses == 10 && total == want && sum == total) print "ok " total
+    else printf "buses=%d total=%s sum=%s want=%s", buses, total, sum, want
+  }')
+if [[ "$fleet_counts" != ok* ]]; then
+  echo "fleet smoke FAILED: counts do not reconcile ($fleet_counts)"
+  echo "$down_fleet"; cat "$smoke/fleet.log"; exit 1
+fi
+if echo "$down_fleet" | grep -o '"Lost":[0-9]*' | grep -qv '"Lost":0'; then
+  echo "fleet smoke FAILED: fleet drain lost frames"; echo "$down_fleet"; exit 1
+fi
+echo "fleet smoke: 10 vehicles over 2 engines, ${fleet_counts#ok } frames reconciled, one reload -> epoch 2 everywhere"
+
+# Shard scaling: the engine's shards-vs-throughput curve at whatever
+# parallelism this box offers. GOMAXPROCS is pinned to the full core
+# count so a multi-core machine measures real scaling; on a 1-CPU CI
+# box the curve records the sharding overhead instead (flat to slightly
+# negative) — see EXPERIMENTS.md's shard-scaling table for the honest
+# reading of both cases.
+echo "== shard scaling (GOMAXPROCS=$(nproc))"
+GOMAXPROCS=$(nproc) go test -run '^$' -bench '^BenchmarkEngineThroughput$' -benchtime=3x .
+
 bench_raw=$(go test -run '^$' -bench . -benchtime=1x -benchmem .)
 echo "$bench_raw"
 

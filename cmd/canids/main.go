@@ -46,6 +46,15 @@
 //	curl -X POST --data-binary @model2.snap http://127.0.0.1:8080/admin/reload
 //	curl -X POST http://127.0.0.1:8080/admin/shutdown
 //
+// Serve a whole fleet on a fixed engine pool — vehicles (channels) are
+// consistent-hashed onto -fleet engines, idle vehicles are torn down
+// after -fleet-idle, and per-vehicle ingest quotas shed floods with
+// 429; terminate TLS in-process instead of behind a proxy:
+//
+//	canids -serve -load model.snap -fleet 8 -fleet-idle 5m \
+//	    -quota-frames 100000 -quota-window 1m \
+//	    -tls-cert server.crt -tls-key server.key
+//
 // Adapt online while serving — clean live windows re-learn the gateway
 // rate budgets and refresh the template, promotions land at window
 // boundaries, and checkpoints persist what was learned as version-2
@@ -76,6 +85,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"crypto/tls"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -156,6 +166,12 @@ func run(args []string, stdout io.Writer) error {
 		maxBody    = fs.Int64("max-body", 256<<20, "with -serve, max ingest request body bytes (413 beyond; 0 = unlimited)")
 		ingestTO   = fs.Duration("ingest-timeout", time.Minute, "with -serve, per-read deadline on ingest bodies (408 on stall; 0 disables)")
 		faultSpec  = fs.String("faults", "", "with -serve, arm deterministic fault injection for chaos drills (spec: point[scope]:kind@N[xM];...)")
+		fleet      = fs.Int("fleet", 0, "with -serve, share this many engines across all vehicles (consistent hashing; 0 = one engine per bus)")
+		fleetIdle  = fs.Duration("fleet-idle", 0, "with -fleet, tear down a vehicle's lane after this idle stream time (0 = never)")
+		quotaN     = fs.Int("quota-frames", 0, "with -serve, per-vehicle ingest quota in frames per -quota-window (0 = unlimited)")
+		quotaW     = fs.Duration("quota-window", time.Minute, "with -quota-frames, the quota accounting window (stream time)")
+		tlsCert    = fs.String("tls-cert", "", "with -serve, terminate TLS with this PEM certificate (needs -tls-key)")
+		tlsKey     = fs.String("tls-key", "", "with -serve, the PEM private key for -tls-cert")
 
 		prevent    = fs.Bool("prevent", false, "close the loop: gateway pre-filter + alert-driven blocking")
 		whitelist  = fs.Bool("whitelist", false, "with -prevent, also drop IDs outside the legal pool")
@@ -199,7 +215,7 @@ func run(args []string, stdout io.Writer) error {
 	if !*serve {
 		explicit := make(map[string]bool)
 		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-		for _, name := range []string{"adapt", "adapt-every", "checkpoint", "admin-token", "max-body", "ingest-timeout", "faults", "record", "journal"} {
+		for _, name := range []string{"adapt", "adapt-every", "checkpoint", "admin-token", "max-body", "ingest-timeout", "faults", "record", "journal", "fleet", "fleet-idle", "quota-frames", "quota-window", "tls-cert", "tls-key"} {
 			if explicit[name] {
 				return fmt.Errorf("-%s needs -serve", name)
 			}
@@ -237,6 +253,21 @@ func run(args []string, stdout io.Writer) error {
 		if *ingestTO < 0 {
 			return fmt.Errorf("-ingest-timeout must be >= 0, got %v", *ingestTO)
 		}
+		if *fleet < 0 {
+			return fmt.Errorf("-fleet must be >= 0, got %d", *fleet)
+		}
+		if *fleet == 0 && *fleetIdle != 0 {
+			return fmt.Errorf("-fleet-idle needs -fleet")
+		}
+		if *quotaN < 0 {
+			return fmt.Errorf("-quota-frames must be >= 0, got %d", *quotaN)
+		}
+		if *quotaN > 0 && *quotaW <= 0 {
+			return fmt.Errorf("-quota-window must be positive with -quota-frames, got %v", *quotaW)
+		}
+		if (*tlsCert == "") != (*tlsKey == "") {
+			return fmt.Errorf("-tls-cert and -tls-key come as a pair: both or neither")
+		}
 		if *journalDir == "" && *recordDir != "" {
 			// A capture without an alert journal has nothing for -replay
 			// to diff against; default it into the capture directory.
@@ -255,6 +286,12 @@ func run(args []string, stdout io.Writer) error {
 			faults:        *faultSpec,
 			record:        *recordDir,
 			journal:       *journalDir,
+			fleet:         *fleet,
+			fleetIdle:     *fleetIdle,
+			quotaFrames:   *quotaN,
+			quotaWindow:   *quotaW,
+			tlsCert:       *tlsCert,
+			tlsKey:        *tlsKey,
 		}, stdout)
 	case *watch:
 		return runWatch(watchOptions{
@@ -803,6 +840,12 @@ type serveOptions struct {
 	faults        string
 	record        string
 	journal       string
+	fleet         int
+	fleetIdle     time.Duration
+	quotaFrames   int
+	quotaWindow   time.Duration
+	tlsCert       string
+	tlsKey        string
 }
 
 // runServe is the long-running daemon: restore the model from a
@@ -841,6 +884,16 @@ func runServe(opts serveOptions, stdout io.Writer) error {
 		degraded = append(degraded, fmt.Sprintf("started from checkpoint %s: %v", name, err))
 		snap = ck
 	}
+	// Surface a broken key pair before the pipeline spins up, not at the
+	// first TLS handshake.
+	var tlsCert tls.Certificate
+	if opts.tlsCert != "" {
+		cert, err := tls.LoadX509KeyPair(opts.tlsCert, opts.tlsKey)
+		if err != nil {
+			return fmt.Errorf("load TLS key pair: %w", err)
+		}
+		tlsCert = cert
+	}
 	cfg := server.Config{
 		Snapshot:       snap,
 		Shards:         opts.shards,
@@ -850,11 +903,16 @@ func runServe(opts serveOptions, stdout io.Writer) error {
 		IngestTimeout:  opts.ingestTimeout,
 		// A slab that cannot enter the feed in 5s means the engines are
 		// hopelessly behind — shed with 429 rather than stall the client.
-		ShedAfter:  5 * time.Second,
-		Fault:      inj,
-		Degraded:   degraded,
-		RecordDir:  opts.record,
-		JournalDir: opts.journal,
+		ShedAfter:   5 * time.Second,
+		Fault:       inj,
+		Degraded:    degraded,
+		RecordDir:   opts.record,
+		JournalDir:  opts.journal,
+		QuotaFrames: opts.quotaFrames,
+		QuotaWindow: opts.quotaWindow,
+	}
+	if opts.fleet > 0 {
+		cfg.Fleet = &server.FleetOptions{Engines: opts.fleet, IdleAfter: opts.fleetIdle}
 	}
 	if opts.adapt {
 		// The cadence doubles as the warm-up: "-adapt-every 3" promotes
@@ -876,13 +934,23 @@ func runServe(opts serveOptions, stdout io.Writer) error {
 	if opts.adapt {
 		mode += "+adapt"
 	}
+	if opts.fleet > 0 {
+		mode += fmt.Sprintf("+fleet/%d", opts.fleet)
+	}
 	// The pipeline deliberately does not run on the signal context: a
 	// signal triggers a graceful drain below, not a mid-window abort.
 	if err := srv.Start(context.Background()); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "serving on http://%s (%s mode, window %v, alpha %g, %d training windows, %d pool IDs, %d shards)\n",
-		ln.Addr(), mode, snap.Core.Window, snap.Core.Alpha, snap.Template.Windows, len(snap.Pool), opts.shards)
+	scheme := "http"
+	if opts.tlsCert != "" {
+		scheme = "https"
+	}
+	fmt.Fprintf(stdout, "serving on %s://%s (%s mode, window %v, alpha %g, %d training windows, %d pool IDs, %d shards)\n",
+		scheme, ln.Addr(), mode, snap.Core.Window, snap.Core.Alpha, snap.Template.Windows, len(snap.Pool), opts.shards)
+	if opts.quotaFrames > 0 {
+		fmt.Fprintf(stdout, "per-vehicle ingest quota: %d frames per %v\n", opts.quotaFrames, opts.quotaWindow)
+	}
 	if opts.record != "" {
 		fmt.Fprintf(stdout, "recording to %s (replay with: canids -replay %s)\n", opts.record, opts.record)
 	}
@@ -909,7 +977,12 @@ func runServe(opts serveOptions, stdout io.Writer) error {
 		hs.ReadTimeout = opts.ingestTimeout
 	}
 	httpErr := make(chan error, 1)
-	go func() { httpErr <- hs.Serve(ln) }()
+	if opts.tlsCert != "" {
+		hs.TLSConfig = &tls.Config{Certificates: []tls.Certificate{tlsCert}, MinVersion: tls.VersionTLS12}
+		go func() { httpErr <- hs.ServeTLS(ln, "", "") }()
+	} else {
+		go func() { httpErr <- hs.Serve(ln) }()
+	}
 
 	select {
 	case <-ctx.Done():

@@ -26,6 +26,7 @@
 //	internal/sim         deterministic discrete-event scheduler, fast seeded RNG
 //	internal/engine      sharded streaming detection + prevention engine, multi-bus supervisor
 //	internal/engine/scenario  named scenario matrix (profiles × drives × attacks)
+//	internal/model       immutable epoch-numbered model value (config + template + policies), the single swap unit
 //	internal/store       versioned, checksummed model snapshots (atomic save, strict load, v1→v2 migration)
 //	internal/server      long-running HTTP serving daemon (ingest, stats, hot reload, adaptation, checkpoints)
 //	internal/adapt       online adaptation: clean-window learning, boundary-pinned promotions
@@ -107,13 +108,14 @@
 // over engine.Supervisor with per-bus ingest (POST /ingest/{channel},
 // streaming bodies in all three trace formats), read endpoints
 // (/alerts, /stats, /healthz) and two admin verbs. POST /admin/reload
-// hot-swaps a snapshot: every live engine queues an engine.Swap that
-// the dispatcher consumes at its next window boundary — reusing the
-// prevention window barrier position — so each window is scored wholly
-// under one template, no frames are dropped, and the resulting alert
-// stream is bit-identical to a sequential detector that switches
-// templates at the same boundary, at any shard count
-// (TestEngineHotSwapMatchesSequential, shards 1/2/8 under -race).
+// hot-swaps a snapshot: every live engine queues the new model.Model
+// (engine.Swap) that the dispatcher installs at its next window
+// boundary — reusing the prevention window barrier position — so each
+// window is scored wholly under one template, no frames are dropped,
+// and the resulting alert stream is bit-identical to a sequential
+// detector that switches templates at the same boundary, at any shard
+// count (TestEngineHotSwapMatchesSequential, shards 1/2/8 under
+// -race).
 // Gateway budgets/whitelist swap on the dispatch side of the boundary
 // and responder policy rides the merge stream, so the whole policy set
 // changes at one deterministic stream position. POST /admin/shutdown
@@ -154,9 +156,15 @@
 // checkpoint and the learned budgets survive, which ci.sh's adapt smoke
 // leg scripts end to end. The admin surface hardens accordingly:
 // Config.AdminToken puts every /admin/* verb behind a bearer token
-// (401 otherwise). The daemon itself deliberately speaks plain HTTP —
-// for any untrusted transport, terminate TLS in front (nginx, caddy, a
-// service mesh) and carry the token only inside that tunnel.
+// (401 otherwise), and the daemon terminates TLS in process when
+// handed a key pair (`-tls-cert`/`-tls-key`, TLS 1.2+, serve-only
+// flags validated as a pair) — carrying the token over an untrusted
+// transport no longer requires an external terminator, though a
+// reverse proxy or mesh in front still works for plain-HTTP
+// deployments. Live buses can also be retuned without a restart:
+// POST /admin/adapt?action=configure&every=N&min_windows=M[&channel=b]
+// adjusts a bus's promotion cadence and warm-up on the fly, applied
+// between windows on the dispatch goroutine so determinism holds.
 //
 // # Fault tolerance
 //
@@ -230,6 +238,55 @@
 // observability smoke leg against the real daemon). The contract covers
 // clean-drain runs; a crash-restart loses frames the capture still
 // carries, so those replays run but may legitimately diverge.
+//
+// # Model & fleet serving
+//
+// Everything a detector serves with — core config, golden template,
+// legal identifier pool, gateway policy (whitelist + rate budgets),
+// response policy — is one immutable internal/model.Model value,
+// stamped with a monotonic epoch. model.New validates the whole set
+// once at construction; derivations (WithTemplate, WithGatewayBudgets,
+// WithEpoch) share every unchanged part structurally, so deriving an
+// adapted model from a 64-bit-template base copies kilobytes, not the
+// model. All four ways a model reaches an engine — initial build from
+// a snapshot, /admin/reload, an adapt promotion, a checkpoint restore
+// — construct the same type and funnel through the same install:
+// engine.Swap(*model.Model) queues it, and the dispatcher installs it
+// whole at the next window boundary (template, gateway policy,
+// responder policy in one step), so every window is scored under
+// exactly one epoch. The serving epoch is observable end to end:
+// /stats carries it, /metrics exports canids_serving_epoch and
+// per-bus canids_model_epoch{bus} gauges, and ci.sh's fleet smoke leg
+// asserts a single reload converges every lane to one epoch.
+//
+// Because the model is immutable, the hot paths need no policy locks:
+// gateway.Gateway and response.Responder read their policy through an
+// atomic.Pointer snapshot (gateway.Policy is itself immutable), and
+// only the genuinely mutable per-engine state — quarantine deadlines,
+// rate-window counters — keeps a mutex. Classify and HandleAlert are
+// lock-free on the policy read, and the steady-state allocation guard
+// (<0.25 allocs/frame) still holds.
+//
+// The shared model is what makes fleet serving cheap. `canids -serve
+// -fleet K` multiplexes every vehicle (channel) onto K host engines by
+// consistent hashing (FNV-64a ring, 16 virtual nodes per engine), so a
+// vehicle's frames always reach the same engine and per-vehicle
+// detector state stays exact. Lanes spin up lazily on a vehicle's
+// first frame and, with -fleet-idle, tear down after idle stream time
+// — a returning vehicle's lane skips ahead to its next frame exactly
+// like a dedicated engine crossing the same gap, so multiplexed alert
+// streams are bit-identical to one-engine-per-vehicle at shards 1/2/8
+// under -race (TestFleetMatchesDedicatedEngines,
+// TestFleetPreventionMatchesDedicated, TestFleetIdleTeardownLifecycle).
+// Per-vehicle ingest quotas (-quota-frames per -quota-window) shed
+// floods deterministically at the demux — counted in Stats.Shed and
+// canids_bus_shed_total, answered 429 + Retry-After at HTTP once the
+// gate latches — so one chatty vehicle cannot starve the fleet. The
+// marginal cost per vehicle drops from ~280 kB (a full engine + model
+// copy each) to ~15 kB (a lane over shared engines and one shared
+// model): a 100-vehicle serve runs in ~14 MB RSS where the
+// one-engine-per-bus shape needs ~40 MB — the measured transcript is
+// in EXPERIMENTS.md.
 //
 // # Performance
 //

@@ -49,6 +49,7 @@ import (
 	"canids/internal/engine"
 	"canids/internal/entropy"
 	"canids/internal/gateway"
+	"canids/internal/model"
 	"canids/internal/trace"
 )
 
@@ -72,27 +73,22 @@ const (
 
 // Config parameterizes an Adapter.
 type Config struct {
-	// Core is the detector configuration the engine runs (window length,
-	// width, MinFrames — the adapter mirrors its cleanliness bar).
-	Core core.Config
-	// Template is the model being served when adaptation starts; the
-	// EWMA refresh starts from its means, and drift is measured against
-	// them.
-	Template core.Template
-	// Budgets is the budget table being served when adaptation starts
-	// (nil when rate limiting is off); promotion deltas are counted
-	// against it.
-	Budgets map[can.ID]int
-	// LearnBudgets enables budget promotions. Requires RateWindow ==
-	// Core.Window: clean windows are detection windows, and a
-	// per-window peak only transfers to the gateway's rate horizon when
-	// the horizons match.
+	// Base is the immutable model being served when adaptation starts
+	// (internal/model): the EWMA refresh starts from its template means,
+	// drift is measured against them, promotion deltas are counted
+	// against its budgets, and every promotion is derived from it — same
+	// core config, pool and policies, same epoch (learning refines a
+	// generation, it does not mint one). Required.
+	Base *model.Model
+	// LearnBudgets enables budget promotions. Requires the base model to
+	// carry a gateway policy whose rate window equals the detection
+	// window: clean windows are detection windows, and a per-window peak
+	// only transfers to the gateway's rate horizon when the horizons
+	// match.
 	LearnBudgets bool
-	// RateWindow is the gateway's rate-limit horizon (only checked when
-	// LearnBudgets is set).
-	RateWindow time.Duration
 	// RateSlack multiplies the learned per-window peaks, exactly like
-	// gateway.Config.RateSlack. Zero means DefaultRateSlack.
+	// gateway.Config.RateSlack. Zero falls back to the base model's
+	// persisted gateway slack, then DefaultRateSlack.
 	RateSlack float64
 	// FreezeTemplate pins the template: promotions carry the current
 	// template unchanged (budget-only adaptation).
@@ -161,6 +157,12 @@ type Status struct {
 	// Paused and ForcePending mirror the admin controls.
 	Paused       bool `json:"paused"`
 	ForcePending bool `json:"force_pending"`
+	// Every and MinWindows are the live promotion knobs (Configure can
+	// change them per bus at runtime).
+	Every      int `json:"every"`
+	MinWindows int `json:"min_windows"`
+	// Epoch is the base model generation promotions derive from.
+	Epoch uint64 `json:"epoch"`
 }
 
 // Adapter accumulates clean-window statistics and proposes model
@@ -169,7 +171,8 @@ type Status struct {
 // Resume, Force, Rebase, Status, Model) may be called concurrently from
 // anywhere.
 type Adapter struct {
-	cfg Config
+	cfg  Config
+	core core.Config
 
 	mu sync.Mutex
 	// Current-window accumulation.
@@ -184,7 +187,10 @@ type Adapter struct {
 	ringFill int
 	// EWMA state, seeded from the initial template's means.
 	ewmaH, ewmaP []float64
-	// The currently promoted model.
+	// cur is the currently promoted model (initially the base);
+	// promotions derive from it, keeping its epoch. tmpl and budgets
+	// mirror its adapted pieces for delta counting.
+	cur     *model.Model
 	tmpl    core.Template
 	budgets map[can.ID]int
 	// origMeanH anchors cumulative drift reporting.
@@ -204,14 +210,22 @@ var _ engine.AdaptHook = (*Adapter)(nil)
 // New creates an adapter. The configuration is validated up front so a
 // running engine can never receive an invalid promotion.
 func New(cfg Config) (*Adapter, error) {
-	if err := cfg.Core.Validate(); err != nil {
-		return nil, fmt.Errorf("adapt: core config: %w", err)
+	if cfg.Base == nil {
+		return nil, fmt.Errorf("adapt: a base model is required")
 	}
-	if err := cfg.Template.Validate(); err != nil {
-		return nil, fmt.Errorf("adapt: template: %w", err)
-	}
-	if cfg.Template.Width != cfg.Core.Width {
-		return nil, fmt.Errorf("adapt: template width %d, core width %d", cfg.Template.Width, cfg.Core.Width)
+	coreCfg := cfg.Base.Core()
+	if cfg.LearnBudgets {
+		gp := cfg.Base.Gateway()
+		if gp == nil {
+			return nil, fmt.Errorf("adapt: budget learning needs a base model carrying gateway policy")
+		}
+		if gp.RateWindow() != coreCfg.Window {
+			return nil, fmt.Errorf("adapt: budget learning needs the gateway rate window (%v) to equal the detection window (%v); clean windows are detection windows",
+				gp.RateWindow(), coreCfg.Window)
+		}
+		if cfg.RateSlack == 0 && gp.RateSlack() > 0 {
+			cfg.RateSlack = gp.RateSlack()
+		}
 	}
 	if cfg.RateSlack == 0 {
 		cfg.RateSlack = DefaultRateSlack
@@ -221,10 +235,6 @@ func New(cfg Config) (*Adapter, error) {
 	// adapter can never hand the engine an invalid promotion.
 	if math.IsNaN(cfg.RateSlack) || cfg.RateSlack <= 0 {
 		return nil, fmt.Errorf("adapt: rate slack must be > 0, got %v", cfg.RateSlack)
-	}
-	if cfg.LearnBudgets && cfg.RateWindow != cfg.Core.Window {
-		return nil, fmt.Errorf("adapt: budget learning needs the gateway rate window (%v) to equal the detection window (%v); clean windows are detection windows",
-			cfg.RateWindow, cfg.Core.Window)
 	}
 	if cfg.TemplateEWMA == 0 {
 		cfg.TemplateEWMA = DefaultTemplateEWMA
@@ -257,44 +267,33 @@ func New(cfg Config) (*Adapter, error) {
 	if cfg.MinWindows > cfg.Ring {
 		return nil, fmt.Errorf("adapt: MinWindows %d exceeds ring capacity %d", cfg.MinWindows, cfg.Ring)
 	}
-	for id, b := range cfg.Budgets {
-		if b < 1 {
-			return nil, fmt.Errorf("adapt: budget for %v must be >= 1, got %d", id, b)
-		}
-	}
 	a := &Adapter{
 		cfg:      cfg,
-		counter:  entropy.MustBitCounter(cfg.Core.Width),
+		core:     coreCfg,
+		counter:  entropy.MustBitCounter(coreCfg.Width),
 		counts:   make(map[can.ID]int),
-		scratchH: make([]float64, cfg.Core.Width),
-		scratchP: make([]float64, cfg.Core.Width),
+		scratchH: make([]float64, coreCfg.Width),
+		scratchP: make([]float64, coreCfg.Width),
 		ring:     make([]map[can.ID]int, cfg.Ring),
 	}
-	a.seedModel(cfg.Template, cfg.Budgets)
+	a.seedModel(cfg.Base)
 	return a, nil
 }
 
-// seedModel installs tmpl/budgets as the adapter's current model and
-// re-anchors the EWMA and drift state on it. Caller holds mu (or is the
+// seedModel installs m as the adapter's current model and re-anchors
+// the EWMA and drift state on it. Caller holds mu (or is the
 // constructor).
-func (a *Adapter) seedModel(tmpl core.Template, budgets map[can.ID]int) {
-	a.tmpl = tmpl
-	a.budgets = copyBudgets(budgets)
-	a.ewmaH = append([]float64(nil), tmpl.MeanH...)
-	a.ewmaP = append([]float64(nil), tmpl.MeanP...)
-	a.origMeanH = append([]float64(nil), tmpl.MeanH...)
+func (a *Adapter) seedModel(m *model.Model) {
+	a.cur = m
+	a.tmpl = m.Template()
+	a.budgets = nil
+	if gp := m.Gateway(); gp != nil {
+		a.budgets = gp.Budgets()
+	}
+	a.ewmaH = append([]float64(nil), a.tmpl.MeanH...)
+	a.ewmaP = append([]float64(nil), a.tmpl.MeanP...)
+	a.origMeanH = append([]float64(nil), a.tmpl.MeanH...)
 	a.drift = 0
-}
-
-func copyBudgets(budgets map[can.ID]int) map[can.ID]int {
-	if budgets == nil {
-		return nil
-	}
-	out := make(map[can.ID]int, len(budgets))
-	for id, b := range budgets {
-		out[id] = b
-	}
-	return out
 }
 
 // Observe implements engine.AdaptHook: fold one forwarded record into
@@ -308,12 +307,12 @@ func (a *Adapter) Observe(rec trace.Record) {
 }
 
 // WindowClosed implements engine.AdaptHook: classify the closed window,
-// learn from it when clean, and return a promotion when the cadence
-// (or a forced promotion) fires.
-func (a *Adapter) WindowClosed(info engine.WindowInfo) *engine.Swap {
+// learn from it when clean, and return a promoted model when the
+// cadence (or a forced promotion) fires.
+func (a *Adapter) WindowClosed(info engine.WindowInfo) *model.Model {
 	a.mu.Lock()
 	a.windows++
-	minFrames := a.cfg.Core.MinFrames
+	minFrames := a.core.MinFrames
 	if minFrames < 1 {
 		minFrames = 1
 	}
@@ -354,18 +353,19 @@ func (a *Adapter) WindowClosed(info engine.WindowInfo) *engine.Swap {
 		a.mu.Unlock()
 		return nil
 	}
-	sw, prom := a.promote(info.NextStart)
+	m, prom := a.promote(info.NextStart)
 	onPromote := a.cfg.OnPromote
 	a.mu.Unlock()
 	if onPromote != nil {
 		onPromote(prom)
 	}
-	return sw
+	return m
 }
 
-// promote builds the promoted model from the ring and records it as
-// current. Caller holds mu.
-func (a *Adapter) promote(boundary time.Duration) (*engine.Swap, Promotion) {
+// promote derives the promoted model from the current one — same core
+// config, pool, policies and epoch; refreshed template and/or budgets —
+// and records it as current. Caller holds mu.
+func (a *Adapter) promote(boundary time.Duration) (*model.Model, Promotion) {
 	newTmpl := a.tmpl
 	if !a.cfg.FreezeTemplate {
 		newTmpl.MeanH = append([]float64(nil), a.ewmaH...)
@@ -377,7 +377,13 @@ func (a *Adapter) promote(boundary time.Duration) (*engine.Swap, Promotion) {
 			prom.Drift = d
 		}
 	}
-	sw := &engine.Swap{Template: newTmpl}
+	// The With* derivations cannot fail: the template keeps the
+	// validated width, and budget learning was validated against the
+	// base model's gateway policy at New.
+	m, err := a.cur.WithTemplate(newTmpl)
+	if err != nil {
+		panic(fmt.Sprintf("adapt: template rejected after validation: %v", err))
+	}
 	if a.cfg.LearnBudgets {
 		// Budgets() cannot fail: the ring holds at least one non-empty
 		// window (clean windows carry >= 1 frame), and the slack was
@@ -404,8 +410,11 @@ func (a *Adapter) promote(boundary time.Duration) (*engine.Swap, Promotion) {
 			}
 		}
 		a.budgets = newBudgets
-		sw.Budgets = copyBudgets(newBudgets)
+		if m, err = m.WithGatewayBudgets(newBudgets); err != nil {
+			panic(fmt.Sprintf("adapt: budgets rejected after validation: %v", err))
+		}
 	}
+	a.cur = m
 	a.tmpl = newTmpl
 	for i := range newTmpl.MeanH {
 		if d := math.Abs(newTmpl.MeanH[i] - a.origMeanH[i]); d > a.drift {
@@ -416,7 +425,7 @@ func (a *Adapter) promote(boundary time.Duration) (*engine.Swap, Promotion) {
 	a.lastBoundary = boundary
 	a.cleanSince = 0
 	a.force = false
-	return sw, prom
+	return m, prom
 }
 
 // Pause suspends promotions (windows keep being observed and learned
@@ -461,43 +470,73 @@ func (a *Adapter) Status() Status {
 		BudgetIDs:    len(a.budgets),
 		Paused:       a.paused,
 		ForcePending: a.force,
+		Every:        a.cfg.Every,
+		MinWindows:   a.cfg.MinWindows,
+		Epoch:        a.cur.Epoch(),
 	}
 }
 
-// Model returns the currently promoted model — the template, the budget
-// table (nil when budget learning is off and none was seeded) and the
-// counters — for checkpointing. The model is "latest promoted": a
-// checkpoint taken between a promotion and the engine installing it at
-// the boundary persists the promotion, which is the conservative side
-// (a restart serves at least what was learned).
-func (a *Adapter) Model() (core.Template, map[can.ID]int, Status) {
+// Configure adjusts the live promotion knobs: every is the cadence in
+// clean windows, minWindows the ring fill required before the first
+// promotion. A zero leaves the corresponding knob unchanged; the
+// /admin/adapt HTTP surface drives this per bus. The change is applied
+// atomically against the hook's own reads, so it takes effect at the
+// next window boundary.
+func (a *Adapter) Configure(every, minWindows int) error {
 	a.mu.Lock()
-	tmpl := a.tmpl
-	budgets := copyBudgets(a.budgets)
+	defer a.mu.Unlock()
+	if every < 0 || minWindows < 0 {
+		return fmt.Errorf("adapt: every/min-windows must be >= 1, got %d/%d", every, minWindows)
+	}
+	if minWindows > len(a.ring) {
+		return fmt.Errorf("adapt: MinWindows %d exceeds ring capacity %d", minWindows, len(a.ring))
+	}
+	if every > 0 {
+		a.cfg.Every = every
+	}
+	if minWindows > 0 {
+		a.cfg.MinWindows = minWindows
+	}
+	return nil
+}
+
+// Model returns the currently promoted model and the counters, for
+// checkpointing. The model is "latest promoted": a checkpoint taken
+// between a promotion and the engine installing it at the boundary
+// persists the promotion, which is the conservative side (a restart
+// serves at least what was learned).
+func (a *Adapter) Model() (*model.Model, Status) {
+	a.mu.Lock()
+	m := a.cur
 	a.mu.Unlock()
-	return tmpl, budgets, a.Status()
+	return m, a.Status()
 }
 
 // Rebase re-anchors the adapter on a new model — the serving layer
 // calls it when an operator hot-reloads a snapshot, so adaptation
-// restarts from the reloaded artifacts instead of promoting stale ones.
-// The learning state (ring, EWMA, cadence) resets; the cumulative
-// window counters and promotion count are kept.
-func (a *Adapter) Rebase(tmpl core.Template, budgets map[can.ID]int) error {
-	if err := tmpl.Validate(); err != nil {
-		return fmt.Errorf("adapt: rebase template: %w", err)
+// restarts from the reloaded model instead of promoting stale
+// artifacts. The learning state (ring, EWMA, cadence) resets; the
+// cumulative window counters and promotion count are kept.
+func (a *Adapter) Rebase(m *model.Model) error {
+	if m == nil {
+		return fmt.Errorf("adapt: rebase needs a model")
 	}
-	if tmpl.Width != a.cfg.Core.Width {
-		return fmt.Errorf("adapt: rebase template width %d, core width %d", tmpl.Width, a.cfg.Core.Width)
+	if m.Core() != a.core {
+		return fmt.Errorf("adapt: rebase model core config %+v does not match %+v", m.Core(), a.core)
 	}
-	for id, b := range budgets {
-		if b < 1 {
-			return fmt.Errorf("adapt: rebase budget for %v must be >= 1, got %d", id, b)
+	if a.cfg.LearnBudgets {
+		gp := m.Gateway()
+		if gp == nil {
+			return fmt.Errorf("adapt: rebase model carries no gateway policy but budget learning is on")
+		}
+		if gp.RateWindow() != a.core.Window {
+			return fmt.Errorf("adapt: rebase gateway rate window %v does not equal the detection window %v",
+				gp.RateWindow(), a.core.Window)
 		}
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.seedModel(tmpl, budgets)
+	a.seedModel(m)
 	for i := range a.ring {
 		a.ring[i] = nil
 	}

@@ -18,6 +18,7 @@ import (
 	"canids/internal/engine"
 	"canids/internal/entropy"
 	"canids/internal/gateway"
+	"canids/internal/model"
 	"canids/internal/sim"
 	"canids/internal/trace"
 	"canids/internal/vehicle"
@@ -35,17 +36,33 @@ func testTemplate(width int) core.Template {
 	return t
 }
 
-// testConfig is a tight adapter for synthetic unit tests: every window
-// counts (MinFrames 1), short cadence, frozen template so budget
-// content is easy to assert.
-func testConfig() adapt.Config {
+// testModel freezes a base model for synthetic unit tests: the default
+// core config with MinFrames 1 (every window counts), the flat test
+// template, and a budget-less gateway policy at the detection window.
+func testModel(mutate func(*core.Config, *gateway.Config)) *model.Model {
 	cfg := core.DefaultConfig()
 	cfg.MinFrames = 1
+	gwCfg := gateway.Config{RateWindow: cfg.Window, RateSlack: 1}
+	if mutate != nil {
+		mutate(&cfg, &gwCfg)
+	}
+	gp, err := gateway.NewPolicy(gwCfg)
+	if err != nil {
+		panic(err)
+	}
+	m, err := model.New(model.Spec{Epoch: 1, Core: cfg, Template: testTemplate(cfg.Width), Gateway: gp})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// testConfig is a tight adapter for synthetic unit tests: short
+// cadence, frozen template so budget content is easy to assert.
+func testConfig() adapt.Config {
 	return adapt.Config{
-		Core:           cfg,
-		Template:       testTemplate(cfg.Width),
+		Base:           testModel(nil),
 		LearnBudgets:   true,
-		RateWindow:     cfg.Window,
 		RateSlack:      1,
 		FreezeTemplate: true,
 		Ring:           4,
@@ -56,7 +73,7 @@ func testConfig() adapt.Config {
 
 // feedWindow observes counts[id] records per identifier and closes the
 // window with the given verdict flags.
-func feedWindow(a *adapt.Adapter, n int, counts map[can.ID]int, alerted bool, dropped uint64) *engine.Swap {
+func feedWindow(a *adapt.Adapter, n int, counts map[can.ID]int, alerted bool, dropped uint64) *model.Model {
 	start := time.Duration(n) * time.Second
 	for id, c := range counts {
 		for i := 0; i < c; i++ {
@@ -87,11 +104,14 @@ func TestAdapterPromotesBudgetsFromCleanWindows(t *testing.T) {
 		t.Fatal("no promotion after two clean windows at Every=2")
 	}
 	want := map[can.ID]int{0x100: 7, 0x200: 5, 0x300: 2} // slack 1 → peaks
-	if !reflect.DeepEqual(sw.Budgets, want) {
-		t.Errorf("promoted budgets = %v, want %v", sw.Budgets, want)
+	if got := sw.Gateway().Budgets(); !reflect.DeepEqual(got, want) {
+		t.Errorf("promoted budgets = %v, want %v", got, want)
 	}
-	if !reflect.DeepEqual(sw.Template, testTemplate(11)) {
+	if !reflect.DeepEqual(sw.Template(), testTemplate(11)) {
 		t.Error("frozen template changed across promotion")
+	}
+	if sw.Epoch() != 1 {
+		t.Errorf("promotion minted epoch %d; learning must keep the base generation", sw.Epoch())
 	}
 	st := a.Status()
 	if st.Promotions != 1 || st.Clean != 2 || st.CleanSince != 0 || st.BudgetIDs != 3 {
@@ -123,7 +143,7 @@ func TestAdapterExcludesDirtyWindows(t *testing.T) {
 	if sw == nil {
 		t.Fatal("two clean windows did not promote")
 	}
-	if got := sw.Budgets[0x100]; got != 2 {
+	if got := sw.Gateway().Budgets()[0x100]; got != 2 {
 		t.Errorf("budget learned from dirty windows: 0x100 → %d, want 2", got)
 	}
 	st := a.Status()
@@ -151,7 +171,7 @@ func TestAdapterRingBoundsLearning(t *testing.T) {
 	}
 	// The ring holds the last two clean windows (counts 6 and 5): the
 	// peak of 50 must have aged out.
-	if got := sw.Budgets[0x100]; got != 6 {
+	if got := sw.Gateway().Budgets()[0x100]; got != 6 {
 		t.Errorf("budget = %d, want 6 (ring should have evicted the 50-frame window)", got)
 	}
 }
@@ -204,12 +224,13 @@ func TestAdapterTemplateEWMARefresh(t *testing.T) {
 	if sw == nil {
 		t.Fatal("no promotion")
 	}
-	for i, h := range sw.Template.MeanH {
+	tmpl := sw.Template()
+	for i, h := range tmpl.MeanH {
 		if diff := h - 0.125; diff > 1e-12 || diff < -1e-12 {
 			t.Fatalf("bit %d: EWMA mean = %v, want 0.125", i+1, h)
 		}
 	}
-	if sw.Template.MinH[0] != 0.4 || sw.Template.MaxH[0] != 0.6 {
+	if tmpl.MinH[0] != 0.4 || tmpl.MaxH[0] != 0.6 {
 		t.Error("promotion changed the trained min/max spread; thresholds must stay")
 	}
 	if st := a.Status(); st.Drift < 0.374 || st.Drift > 0.376 {
@@ -226,37 +247,58 @@ func TestAdapterRebase(t *testing.T) {
 	feedWindow(a, 0, clean, false, 0)
 	newTmpl := testTemplate(11)
 	newTmpl.MeanH[0] = 0.55
-	if err := a.Rebase(newTmpl, map[can.ID]int{0x100: 3}); err != nil {
+	base := testModel(func(_ *core.Config, g *gateway.Config) {
+		g.Budgets = map[can.ID]int{0x100: 3}
+	})
+	reloaded, err := base.WithTemplate(newTmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Rebase(reloaded); err != nil {
 		t.Fatal(err)
 	}
 	st := a.Status()
 	if st.RingFill != 0 || st.CleanSince != 0 || st.BudgetIDs != 1 {
 		t.Errorf("rebase did not reset learning state: %+v", st)
 	}
-	tmpl, budgets, _ := a.Model()
-	if tmpl.MeanH[0] != 0.55 || budgets[0x100] != 3 {
-		t.Errorf("rebase model not installed: %v %v", tmpl.MeanH[0], budgets)
+	m, _ := a.Model()
+	if m.Template().MeanH[0] != 0.55 || m.Gateway().Budgets()[0x100] != 3 {
+		t.Errorf("rebase model not installed: %v %v", m.Template().MeanH[0], m.Gateway().Budgets())
 	}
-	bad := testTemplate(7)
-	if err := a.Rebase(bad, nil); err == nil {
-		t.Error("rebase accepted a width-mismatched template")
+	bad := testModel(func(c *core.Config, g *gateway.Config) {
+		c.Width = 7
+	})
+	if err := a.Rebase(bad); err == nil {
+		t.Error("rebase accepted a core-mismatched model")
+	}
+	if err := a.Rebase(nil); err == nil {
+		t.Error("rebase accepted a nil model")
 	}
 }
 
 func TestAdapterConfigValidation(t *testing.T) {
-	base := testConfig()
+	noGateway := func() *model.Model {
+		cfg := core.DefaultConfig()
+		cfg.MinFrames = 1
+		m, err := model.New(model.Spec{Epoch: 1, Core: cfg, Template: testTemplate(cfg.Width)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
 	cases := map[string]func(*adapt.Config){
-		"rate window mismatch": func(c *adapt.Config) { c.RateWindow = c.Core.Window / 2 },
-		"negative slack":       func(c *adapt.Config) { c.RateSlack = -1 },
-		"ewma out of range":    func(c *adapt.Config) { c.FreezeTemplate = false; c.TemplateEWMA = 1.5 },
-		"nothing to adapt":     func(c *adapt.Config) { c.LearnBudgets = false },
-		"min exceeds ring":     func(c *adapt.Config) { c.MinWindows = 10 },
-		"zero budget":          func(c *adapt.Config) { c.Budgets = map[can.ID]int{1: 0} },
-		"bad template":         func(c *adapt.Config) { c.Template.MeanH[0] = 2 },
+		"nil base": func(c *adapt.Config) { c.Base = nil },
+		"rate window mismatch": func(c *adapt.Config) {
+			c.Base = testModel(func(cc *core.Config, g *gateway.Config) { g.RateWindow = cc.Window / 2 })
+		},
+		"learning without gateway": func(c *adapt.Config) { c.Base = noGateway() },
+		"negative slack":           func(c *adapt.Config) { c.RateSlack = -1 },
+		"ewma out of range":        func(c *adapt.Config) { c.FreezeTemplate = false; c.TemplateEWMA = 1.5 },
+		"nothing to adapt":         func(c *adapt.Config) { c.LearnBudgets = false },
+		"min exceeds ring":         func(c *adapt.Config) { c.MinWindows = 10 },
 	}
 	for name, mutate := range cases {
-		cfg := base
-		cfg.Template = testTemplate(cfg.Core.Width)
+		cfg := testConfig()
 		mutate(&cfg)
 		if _, err := adapt.New(cfg); err == nil {
 			t.Errorf("%s: config accepted", name)
@@ -327,12 +369,19 @@ func loadFixture(t *testing.T) (core.Config, core.Template, trace.Trace) {
 	return fixture.cfg, fixture.tmpl, fixture.attacked
 }
 
-func adapterConfig(cfg core.Config, tmpl core.Template) adapt.Config {
+func adapterConfig(t *testing.T, cfg core.Config, tmpl core.Template) adapt.Config {
+	t.Helper()
+	gp, err := gateway.NewPolicy(gateway.Config{RateWindow: cfg.Window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.New(model.Spec{Epoch: 1, Core: cfg, Template: tmpl, Gateway: gp})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return adapt.Config{
-		Core:         cfg,
-		Template:     tmpl,
+		Base:         m,
 		LearnBudgets: true,
-		RateWindow:   cfg.Window,
 		RateSlack:    1, // tight: promoted budgets visibly throttle the attack
 		MinWindows:   4,
 		Every:        4,
@@ -347,7 +396,7 @@ func adapterConfig(cfg core.Config, tmpl core.Template) adapt.Config {
 // window at or after the boundary is about to be scored.
 func sequentialAdaptAlerts(t *testing.T, cfg core.Config, tmpl core.Template, tr trace.Trace) ([]detect.Alert, uint64) {
 	t.Helper()
-	ad, err := adapt.New(adapterConfig(cfg, tmpl))
+	ad, err := adapt.New(adapterConfig(t, cfg, tmpl))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,13 +453,13 @@ func sequentialAdaptAlerts(t *testing.T, cfg core.Config, tmpl core.Template, tr
 			})
 			winDropped = 0
 			if sw != nil {
-				if err := d.SetTemplate(sw.Template); err != nil {
+				// Mirror the engine's boundary install exactly: swap the
+				// whole policy, not individual budget fields.
+				if err := d.SetTemplate(sw.Template()); err != nil {
 					t.Fatal(err)
 				}
-				if sw.Budgets != nil {
-					if err := gw.SetBudgets(sw.Budgets); err != nil {
-						t.Fatal(err)
-					}
+				if gp := sw.Gateway(); gp != nil {
+					gw.SetPolicy(gp)
 				}
 			}
 		}
@@ -455,7 +504,7 @@ func TestEngineAdaptMatchesSequential(t *testing.T) {
 
 	for _, shards := range []int{1, 2, 8} {
 		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
-			ad, err := adapt.New(adapterConfig(cfg, tmpl))
+			ad, err := adapt.New(adapterConfig(t, cfg, tmpl))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -493,7 +542,7 @@ func TestEngineAdaptDeterministicAcrossRuns(t *testing.T) {
 	var firstAlerts []detect.Alert
 	var firstStatus adapt.Status
 	for i := 0; i < 3; i++ {
-		ad, err := adapt.New(adapterConfig(cfg, tmpl))
+		ad, err := adapt.New(adapterConfig(t, cfg, tmpl))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -545,17 +594,19 @@ func TestAdapterEWMAMeasurementUsesWindowCounts(t *testing.T) {
 	if sw == nil {
 		t.Fatal("no promotion at Every=1")
 	}
-	c := entropy.MustBitCounter(cfg.Core.Width)
+	width := cfg.Base.Core().Width
+	c := entropy.MustBitCounter(width)
 	for id, n := range counts {
 		for i := 0; i < n; i++ {
 			c.Add(id)
 		}
 	}
-	h := make([]float64, cfg.Core.Width)
-	p := make([]float64, cfg.Core.Width)
+	h := make([]float64, width)
+	p := make([]float64, width)
 	c.MeasureInto(h, p)
-	if !reflect.DeepEqual(sw.Template.MeanH, h) || !reflect.DeepEqual(sw.Template.MeanP, p) {
-		t.Errorf("λ=1 promotion should equal the window measurement\n got H %v\nwant H %v", sw.Template.MeanH, h)
+	tmpl := sw.Template()
+	if !reflect.DeepEqual(tmpl.MeanH, h) || !reflect.DeepEqual(tmpl.MeanP, p) {
+		t.Errorf("λ=1 promotion should equal the window measurement\n got H %v\nwant H %v", tmpl.MeanH, h)
 	}
 }
 

@@ -349,6 +349,18 @@ func (d *Detector) OnWindow(fn func(start time.Duration, m WindowMeasurement)) {
 	d.onWindow = fn
 }
 
+// SeedWindow opens the detection window at the given origin before any
+// record is observed — the resume path for a fleet lane respun after an
+// idle teardown: the tumbling phase must match the stream's original
+// first record, not the record that happened to wake the lane. The
+// caller advances the origin over the silent gap with
+// detect.NextWindowStart; the counter starts empty, exactly the state
+// an uninterrupted detector reaches once the gap expires its window.
+func (d *Detector) SeedWindow(start time.Duration) {
+	d.windowStart = start
+	d.haveWindow = true
+}
+
 // Observe implements detect.Detector. Records must arrive in
 // non-decreasing timestamp order.
 func (d *Detector) Observe(rec trace.Record) []detect.Alert {

@@ -83,12 +83,12 @@ import (
 	"sync/atomic"
 	"time"
 
-	"canids/internal/can"
 	"canids/internal/core"
 	"canids/internal/detect"
 	"canids/internal/entropy"
 	"canids/internal/fault"
 	"canids/internal/gateway"
+	"canids/internal/model"
 	"canids/internal/response"
 	"canids/internal/trace"
 )
@@ -144,7 +144,7 @@ type Config struct {
 	// implements it): Observe sees every forwarded record on the
 	// dispatch goroutine, and WindowClosed runs at every window boundary
 	// — after the closed window's alerts have been handled — so a
-	// returned Swap lands at that exact boundary. Installing a hook
+	// returned model lands at that exact boundary. Installing a hook
 	// enables the same per-window dispatcher barrier prevention uses,
 	// which is what makes the closed window's verdict available at the
 	// boundary deterministically. The hook must not call back into the
@@ -189,11 +189,11 @@ type AdaptHook interface {
 	// the boundary walk — the record belongs to the currently open
 	// window.
 	Observe(rec trace.Record)
-	// WindowClosed is called once per closed window. A non-nil Swap is
+	// WindowClosed is called once per closed window. A non-nil model is
 	// validated like Engine.Swap and installed at this boundary: every
 	// window from info.NextStart on is scored (and classified) under
-	// the returned artifacts.
-	WindowClosed(info WindowInfo) *Swap
+	// the returned model.
+	WindowClosed(info WindowInfo) *model.Model
 }
 
 // DefaultConfig returns a single-shard engine at the paper's detector
@@ -225,6 +225,11 @@ type Stats struct {
 	// only the supervisor's crash-isolation path loses frames, and it
 	// counts every one exactly (see Supervisor and BusHealth.Accepted).
 	Lost uint64
+	// Shed is the number of records the supervisor's per-channel ingest
+	// quota refused before they reached the bus — deliberate,
+	// deterministic shedding, distinct from Lost's crash fallout. Zero
+	// unless a quota is configured.
+	Shed uint64
 	// PerShard is the number of frames routed to each shard.
 	PerShard []uint64
 	// LastTime is the virtual timestamp of the newest dispatched record.
@@ -241,6 +246,7 @@ func (s *Stats) accumulate(o Stats) {
 	s.Windows += o.Windows
 	s.Alerts += o.Alerts
 	s.Lost += o.Lost
+	s.Shed += o.Shed
 	if s.PerShard == nil {
 		s.PerShard = append([]uint64(nil), o.PerShard...)
 	} else if len(s.PerShard) == len(o.PerShard) {
@@ -286,11 +292,17 @@ type Engine struct {
 	failErr   error
 	runCancel context.CancelFunc
 
-	// pendingSwap is the queued model update, installed by the
-	// dispatcher at the next window boundary. Guarded by swapMu; a new
-	// Swap replaces an unconsumed one (the latest model wins).
+	// pendingSwap is the queued model, installed by the dispatcher at
+	// the next window boundary. Guarded by swapMu; a new Swap replaces
+	// an unconsumed one (the latest model wins).
 	swapMu      sync.Mutex
-	pendingSwap *Swap
+	pendingSwap *model.Model
+
+	// curModel is the model the engine is serving right now: published
+	// at construction (NewFromModel) and at every boundary install, read
+	// by Model() for checkpointing and the /stats epoch. Nil for engines
+	// assembled piecemeal (New + SetTemplate) rather than from a model.
+	curModel atomic.Pointer[model.Model]
 }
 
 // PanicError is a pipeline goroutine's panic converted into an error —
@@ -338,91 +350,67 @@ func (e *Engine) guard(stage string, f func()) {
 	f()
 }
 
-// Swap is a model/policy update to install while a stream is running.
-// The dispatcher consumes it at the next window boundary it crosses, so
-// the update lands at a deterministic stream position: every window
+// Swap queues an immutable model (internal/model) for the next window
+// boundary. The dispatcher consumes it at the next boundary it crosses,
+// so the update lands at a deterministic stream position: every window
 // closing before that boundary is scored (and classified) under the old
-// artifacts, everything from the boundary on under the new — no frames
-// are dropped and no window is torn between templates. Typically built
-// from a store.Snapshot by the serving layer.
-type Swap struct {
-	// Template replaces the detector's golden template. Required; its
-	// width must match the engine's configured identifier width.
-	Template core.Template
-	// Budgets, when non-nil, replaces the gateway's per-identifier rate
-	// budget table (empty disables rate limiting). Requires a Gateway
-	// with a positive rate window.
-	Budgets map[can.ID]int
-	// Legal, when non-nil, replaces the gateway's whitelist (empty
-	// disables the whitelist check). Requires a Gateway.
-	Legal []can.ID
-	// Policy, when non-nil, replaces the responder's policy. Requires a
-	// Responder.
-	Policy *response.Config
-}
-
-// Swap queues a model update for the next window boundary. It validates
-// the update against the engine's configuration up front, so a queued
-// swap cannot fail mid-stream; the previous queued-but-unapplied swap,
-// if any, is replaced. Safe to call from any goroutine while Run is in
-// flight; a swap queued while the engine is idle applies at the first
-// boundary of the next run.
-func (e *Engine) Swap(sw Swap) error {
-	if err := e.validateSwap(&sw); err != nil {
+// model, everything from the boundary on under the new — no frames are
+// dropped and no window is torn between templates. All four swap paths
+// — operator reload, adaptation promotion, checkpoint restore and the
+// initial build — construct the same model.Model and funnel through the
+// same boundary install.
+//
+// Swap validates the model against the engine's configuration up front,
+// so a queued swap cannot fail mid-stream; the previous
+// queued-but-unapplied model, if any, is replaced (the latest wins).
+// Safe to call from any goroutine while Run is in flight; a model
+// queued while the engine is idle applies at the first boundary of the
+// next run.
+func (e *Engine) Swap(m *model.Model) error {
+	if err := e.validateModel(m); err != nil {
 		return err
 	}
 	e.swapMu.Lock()
-	e.pendingSwap = &sw
+	e.pendingSwap = m
 	e.swapMu.Unlock()
 	return nil
 }
 
-// validateSwap checks a model update against the engine's configuration
-// and normalizes its response policy in place, so an accepted swap can
-// never fail when it is installed mid-stream. Shared by Swap (queued
-// updates) and the dispatcher's adaptation path (hook-returned updates).
-func (e *Engine) validateSwap(sw *Swap) error {
-	if err := sw.Template.Validate(); err != nil {
-		return fmt.Errorf("engine: swap: %w", err)
+// validateModel checks a model against the engine's configuration, so
+// an accepted model can never fail when it is installed mid-stream.
+// Shared by Swap (queued models), the dispatcher's adaptation path
+// (hook-returned models) and NewFromModel (the initial build). The
+// model must match the engine structurally: same core configuration,
+// gateway policy exactly when a gateway is installed, response policy
+// exactly when a responder is.
+func (e *Engine) validateModel(m *model.Model) error {
+	if m == nil {
+		return fmt.Errorf("engine: swap: nil model")
 	}
-	if sw.Template.Width != e.cfg.Core.Width {
-		return fmt.Errorf("engine: swap: template width %d, engine width %d",
-			sw.Template.Width, e.cfg.Core.Width)
+	if m.Core() != e.cfg.Core {
+		return fmt.Errorf("engine: swap: model core config %+v does not match engine %+v", m.Core(), e.cfg.Core)
 	}
-	if (sw.Budgets != nil || sw.Legal != nil) && e.cfg.Gateway == nil {
-		return fmt.Errorf("engine: swap: gateway policy given but no gateway installed")
+	if (m.Gateway() != nil) != (e.cfg.Gateway != nil) {
+		return fmt.Errorf("engine: swap: model and engine disagree on gateway policy")
 	}
-	if len(sw.Budgets) > 0 {
-		if e.cfg.Gateway.RateWindow() <= 0 {
-			return fmt.Errorf("engine: swap: budgets need a gateway with a positive rate window")
-		}
-		for id, b := range sw.Budgets {
-			if b < 1 {
-				return fmt.Errorf("engine: swap: budget for %v must be >= 1, got %d", id, b)
-			}
-		}
-	}
-	if sw.Policy != nil {
-		if e.cfg.Responder == nil {
-			return fmt.Errorf("engine: swap: response policy given but no responder installed")
-		}
-		normalized, err := sw.Policy.Normalize()
-		if err != nil {
-			return fmt.Errorf("engine: swap: %w", err)
-		}
-		sw.Policy = &normalized
+	if (m.Response() != nil) != (e.cfg.Responder != nil) {
+		return fmt.Errorf("engine: swap: model and engine disagree on response policy")
 	}
 	return nil
 }
 
-// takePendingSwap consumes the queued swap, if any.
-func (e *Engine) takePendingSwap() *Swap {
+// takePendingSwap consumes the queued model, if any.
+func (e *Engine) takePendingSwap() *model.Model {
 	e.swapMu.Lock()
 	defer e.swapMu.Unlock()
-	sw := e.pendingSwap
+	m := e.pendingSwap
 	e.pendingSwap = nil
-	return sw
+	return m
 }
+
+// Model returns the model the engine is currently serving, or nil for
+// an engine assembled without one (New + SetTemplate/Train).
+func (e *Engine) Model() *model.Model { return e.curModel.Load() }
 
 // New creates an engine. The detector starts untrained (windows are
 // counted but never alerted); install a template with SetTemplate or
@@ -466,6 +454,54 @@ func NewTrained(cfg Config, tmpl core.Template) (*Engine, error) {
 		return nil, err
 	}
 	return e, nil
+}
+
+// NewFromModel creates an engine serving an immutable model — the
+// initial-build leg of the single swap path. cfg's Core is taken from
+// the model; its Gateway/Responder must structurally match the model
+// (a gateway exactly when the model carries gateway policy, a
+// responder exactly when it carries response policy), and the model's
+// template and policies are installed through the same validation a
+// boundary swap uses.
+func NewFromModel(cfg Config, m *model.Model) (*Engine, error) {
+	if m == nil {
+		return nil, fmt.Errorf("engine: nil model")
+	}
+	cfg.Core = m.Core()
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.validateModel(m); err != nil {
+		return nil, err
+	}
+	if err := e.install(m); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// install applies a validated model to the engine's components while no
+// stream is running: template into the detector, policy snapshots into
+// the gateway and responder, and the model pointer published. The
+// running counterpart is the dispatcher's boundary install, which
+// routes the template through the window merger instead.
+func (e *Engine) install(m *model.Model) error {
+	if err := e.det.SetTemplate(m.Template()); err != nil {
+		return err
+	}
+	if gw := e.cfg.Gateway; gw != nil {
+		if err := gw.SetPolicy(m.Gateway()); err != nil {
+			return err
+		}
+	}
+	if r := e.cfg.Responder; r != nil {
+		if err := r.SetPolicy(*m.Response()); err != nil {
+			return err
+		}
+	}
+	e.curModel.Store(m)
+	return nil
 }
 
 // SetTemplate installs a trained golden template.
@@ -521,13 +557,12 @@ type streamMsg struct {
 	policy *response.Config
 }
 
-// swapMsg carries one queued Swap from the dispatcher to the window
-// merger: the artifacts to install, and the start time of the first
-// window they apply to.
+// swapMsg carries one queued model from the dispatcher to the window
+// merger: the model to install, and the start time of the first window
+// it applies to.
 type swapMsg struct {
-	from   time.Duration
-	tmpl   core.Template
-	policy *response.Config
+	from time.Duration
+	m    *model.Model
 }
 
 // windowAck is the merge stage's per-window acknowledgement to the
@@ -737,19 +772,19 @@ func send[T any](ctx context.Context, ch chan<- T, m T) bool {
 // window boundary until the merge stage has handled the closed window's
 // alerts, so blocks land before the next window's first record.
 //
-// The dispatcher is also where hot swaps land: a queued Swap is
+// The dispatcher is also where hot swaps land: a queued model is
 // consumed at the first window boundary crossed after it was queued.
-// Gateway policy (budgets, whitelist) is installed right there — the
-// dispatcher is the only goroutine classifying records — while the
+// Gateway policy is installed right there as one atomic pointer store —
+// the dispatcher is the only goroutine classifying records — while the
 // template and responder policy travel to the scoring stages tagged
 // with the new window's start time, so in-flight earlier windows are
 // still scored under the old model.
 //
 // The adaptation hook rides the same boundary: after the barrier ack
-// confirms the closed window's verdict, WindowClosed may return a Swap,
-// which is applied exactly like a queued one — adaptation first, then
-// any externally queued swap, so an operator reload always wins over a
-// concurrent promotion.
+// confirms the closed window's verdict, WindowClosed may return a
+// model, which is applied exactly like a queued one — adaptation first,
+// then any externally queued swap, so an operator reload always wins
+// over a concurrent promotion.
 func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardMsg,
 	baseIn []chan []trace.Record, syncCh chan windowAck, swapCh chan swapMsg, pool *RecordPool) error {
 
@@ -845,24 +880,23 @@ func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardM
 					return ctx.Err()
 				}
 			}
-			// applySwap installs one validated update at this boundary:
+			// applySwap installs one validated model at this boundary —
+			// the single code path every swap source funnels through:
 			// gateway policy right here (the dispatcher is the only
-			// goroutine classifying records), template and responder
-			// policy via the merger, tagged with the new window's start.
-			// Swap/validateSwap checked the pieces against the config, so
-			// the gateway setters cannot fail here.
-			applySwap := func(sw *Swap) error {
-				if sw.Budgets != nil {
-					if err := gw.SetBudgets(sw.Budgets); err != nil {
+			// goroutine classifying records) as one atomic pointer
+			// store, template and responder policy via the merger,
+			// tagged with the new window's start. validateModel checked
+			// the model against the config, so the install cannot fail.
+			applySwap := func(m *model.Model) error {
+				if gw != nil {
+					if err := gw.SetPolicy(m.Gateway()); err != nil {
 						return fmt.Errorf("engine: swap: %w", err)
 					}
 				}
-				if sw.Legal != nil {
-					gw.SetLegal(sw.Legal)
-				}
-				if !send(ctx, swapCh, swapMsg{from: winStart, tmpl: sw.Template, policy: sw.Policy}) {
+				if !send(ctx, swapCh, swapMsg{from: winStart, m: m}) {
 					return ctx.Err()
 				}
+				e.curModel.Store(m)
 				return nil
 			}
 			if adapt != nil {
@@ -874,17 +908,17 @@ func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardM
 					Dropped:   winDropped,
 				}
 				winDropped = 0
-				if sw := adapt.WindowClosed(info); sw != nil {
-					if err := e.validateSwap(sw); err != nil {
+				if m := adapt.WindowClosed(info); m != nil {
+					if err := e.validateModel(m); err != nil {
 						return fmt.Errorf("engine: adapt: %w", err)
 					}
-					if err := applySwap(sw); err != nil {
+					if err := applySwap(m); err != nil {
 						return err
 					}
 				}
 			}
-			if sw := e.takePendingSwap(); sw != nil {
-				if err := applySwap(sw); err != nil {
+			if m := e.takePendingSwap(); m != nil {
+				if err := applySwap(m); err != nil {
 					return err
 				}
 			}
@@ -1018,7 +1052,7 @@ func (e *Engine) windowMerger(ctx context.Context, shardOut []chan partial, swap
 			// instead, which the supervisor's restart path absorbs like
 			// any other crash. The fault.EngineSwap seam is how the
 			// regression test forces this path.
-			err := e.det.SetTemplate(swaps[0].tmpl)
+			err := e.det.SetTemplate(swaps[0].m.Template())
 			if err == nil && e.cfg.Fault != nil {
 				err = e.cfg.Fault.Hit(fault.EngineSwap, e.cfg.FaultScope)
 			}
@@ -1026,12 +1060,12 @@ func (e *Engine) windowMerger(ctx context.Context, shardOut []chan partial, swap
 				e.fail(fmt.Errorf("engine: swap template rejected at install: %w", err))
 				return
 			}
-			if swaps[0].policy != nil {
+			if p := swaps[0].m.Response(); p != nil {
 				// The responder is driven by the ordered merge; route
 				// the policy through the same channel as the alerts so
 				// it lands between the old windows' alerts and the new
 				// ones'.
-				if !send(ctx, mergeIn, streamMsg{stream: 0, kind: 'p', policy: swaps[0].policy}) {
+				if !send(ctx, mergeIn, streamMsg{stream: 0, kind: 'p', policy: p}) {
 					return
 				}
 			}

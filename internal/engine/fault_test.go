@@ -57,7 +57,7 @@ func TestEngineRunRecoversStagePanic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.Swap(engine.Swap{Template: tmpl}); err != nil {
+	if err := eng.Swap(templateModel(t, detectorConfig(), tmpl)); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
@@ -94,7 +94,7 @@ func TestEngineSwapInstallFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := eng.Swap(engine.Swap{Template: tmpl}); err != nil {
+	if err := eng.Swap(templateModel(t, detectorConfig(), tmpl)); err != nil {
 		t.Fatal(err)
 	}
 	_, err = eng.Run(context.Background(), engine.NewSliceSource(tr), func(detect.Alert) {})

@@ -14,6 +14,7 @@ import (
 	"canids/internal/engine"
 	"canids/internal/engine/scenario"
 	"canids/internal/gateway"
+	"canids/internal/model"
 	"canids/internal/response"
 	"canids/internal/trace"
 )
@@ -49,8 +50,19 @@ type swapAtSource struct {
 	i   int
 	n   int
 	eng *engine.Engine
-	sw  engine.Swap
+	sw  *model.Model
 	t   *testing.T
+}
+
+// templateModel freezes a bare detection model (no gateway, no
+// responder) for swapping into engines assembled with NewTrained.
+func templateModel(t *testing.T, cfg core.Config, tmpl core.Template) *model.Model {
+	t.Helper()
+	m, err := model.New(model.Spec{Epoch: 1, Core: cfg, Template: tmpl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
 }
 
 func (s *swapAtSource) Next() (trace.Record, error) {
@@ -134,7 +146,7 @@ func TestEngineHotSwapMatchesSequential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			src := &swapAtSource{tr: tr, n: n, eng: eng, sw: engine.Swap{Template: alt}, t: t}
+			src := &swapAtSource{tr: tr, n: n, eng: eng, sw: templateModel(t, detectorConfig(), alt), t: t}
 			var got []detect.Alert
 			if _, err := eng.Run(context.Background(), src, func(a detect.Alert) { got = append(got, a) }); err != nil {
 				t.Fatalf("%s shards=%d: %v", name, shards, err)
@@ -160,7 +172,7 @@ func TestEngineHotSwapDeterministicAcrossRuns(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		src := &swapAtSource{tr: tr, n: len(tr) / 3, eng: eng, sw: engine.Swap{Template: alt}, t: t}
+		src := &swapAtSource{tr: tr, n: len(tr) / 3, eng: eng, sw: templateModel(t, detectorConfig(), alt), t: t}
 		var got []detect.Alert
 		if _, err := eng.Run(context.Background(), src, func(a detect.Alert) { got = append(got, a) }); err != nil {
 			t.Fatal(err)
@@ -223,7 +235,17 @@ func TestEngineHotSwapPolicy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sw := engine.Swap{Template: tmpl, Budgets: budgets, Policy: &newPolicy}
+	gp, err := gateway.NewPolicy(gateway.Config{RateWindow: detectorConfig().Window, Budgets: budgets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := model.New(model.Spec{
+		Epoch: 2, Core: detectorConfig(), Template: tmpl, Pool: pool,
+		Gateway: gp, Response: &newPolicy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	src := &swapAtSource{tr: tr, n: n, eng: eng, sw: sw, t: t}
 	if _, err := eng.Run(context.Background(), src, func(detect.Alert) {}); err != nil {
 		t.Fatal(err)

@@ -95,6 +95,19 @@ type SupervisorConfig struct {
 	Tap func(channel string, slab []trace.Record)
 	// Buffer is the per-bus feed capacity; zero means DefaultBuffer.
 	Buffer int
+	// QuotaFrames and QuotaWindow, when both set, cap each channel's
+	// ingest to QuotaFrames records per QuotaWindow of record time
+	// (tumbling, phased from the channel's first record). Excess records
+	// are shed deterministically at the demux — before the tap, before
+	// the engine — and counted per channel in Stats.Shed and
+	// BusHealth.Shed. Applies in both classic and fleet mode.
+	QuotaFrames int
+	QuotaWindow time.Duration
+	// Fleet, when set, multiplexes N vehicle channels over
+	// Fleet.Engines host goroutines instead of one full Engine per bus
+	// — see FleetConfig. NewEngine/RestartEngine are ignored in fleet
+	// mode; every lane serves Fleet.Model.
+	Fleet *FleetConfig
 }
 
 // Supervisor serves several buses at once: it demultiplexes one mixed
@@ -120,6 +133,9 @@ type SupervisorConfig struct {
 type Supervisor struct {
 	cfg SupervisorConfig
 
+	// fleet is non-nil in fleet mode; see fleet.go.
+	fleet *fleetRun
+
 	mu      sync.Mutex
 	engines map[string]*Engine
 	runs    map[string]*busState
@@ -127,8 +143,11 @@ type Supervisor struct {
 
 // NewSupervisor creates a supervisor.
 func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
-	if cfg.NewEngine == nil {
+	if cfg.Fleet == nil && cfg.NewEngine == nil {
 		return nil, fmt.Errorf("engine: supervisor needs a NewEngine factory")
+	}
+	if cfg.QuotaFrames > 0 && cfg.QuotaWindow <= 0 {
+		return nil, fmt.Errorf("engine: ingest quota needs a positive QuotaWindow")
 	}
 	if cfg.Buffer <= 0 {
 		cfg.Buffer = DefaultBuffer
@@ -145,12 +164,43 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	if cfg.StallAfter <= 0 {
 		cfg.StallAfter = DefaultStallAfter
 	}
-	return &Supervisor{cfg: cfg, engines: make(map[string]*Engine)}, nil
+	s := &Supervisor{cfg: cfg, engines: make(map[string]*Engine)}
+	if fc := cfg.Fleet; fc != nil {
+		if fc.Model == nil {
+			return nil, fmt.Errorf("engine: fleet mode needs a model")
+		}
+		if fc.Engines < 1 {
+			return nil, fmt.Errorf("engine: fleet mode needs at least 1 engine, got %d", fc.Engines)
+		}
+		if fc.Vnodes <= 0 {
+			fc2 := *fc
+			fc2.Vnodes = DefaultVnodes
+			fc = &fc2
+		}
+		if fc.IdleAfter != 0 {
+			if fc.IdleAfter < fc.Model.Core().Window {
+				return nil, fmt.Errorf("engine: fleet IdleAfter %v shorter than the detection window %v — teardown would lose in-window state", fc.IdleAfter, fc.Model.Core().Window)
+			}
+			if gp := fc.Model.Gateway(); gp != nil && fc.IdleAfter < gp.RateWindow() {
+				return nil, fmt.Errorf("engine: fleet IdleAfter %v shorter than the gateway rate window %v — teardown would lose rate state", fc.IdleAfter, gp.RateWindow())
+			}
+		}
+		s.fleet = &fleetRun{
+			cfg:   *fc,
+			ring:  newHashRing(fc.Engines, fc.Vnodes),
+			lanes: make(map[string]*laneState),
+		}
+		s.fleet.curModel.Store(fc.Model)
+	}
+	return s, nil
 }
 
 // Channels returns the bus names seen so far, ascending. Safe to call
 // while Run is in flight.
 func (s *Supervisor) Channels() []string {
+	if s.fleet != nil {
+		return s.fleet.laneNames()
+	}
 	s.mu.Lock()
 	out := make([]string, 0, len(s.engines))
 	for ch := range s.engines {
@@ -162,7 +212,8 @@ func (s *Supervisor) Channels() []string {
 }
 
 // Engine returns the engine serving one bus, or nil before its first
-// record. After a restart it is the newest incarnation.
+// record. After a restart it is the newest incarnation. Fleet lanes are
+// not Engines; in fleet mode this always returns nil.
 func (s *Supervisor) Engine(channel string) *Engine {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -175,6 +226,9 @@ func (s *Supervisor) Engine(channel string) *Engine {
 // reports its whole history, not just the newest incarnation — and
 // Lost carries the frames that arrived while the bus was down.
 func (s *Supervisor) Stats() map[string]Stats {
+	if s.fleet != nil {
+		return s.fleet.stats()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make(map[string]Stats, len(s.engines))
@@ -188,6 +242,7 @@ func (s *Supervisor) Stats() map[string]Stats {
 			base.accumulate(st)
 			st = base
 			st.Lost = r.lost.Load()
+			st.Shed = r.quota.shed.Load()
 		}
 		out[ch] = st
 	}
@@ -206,6 +261,7 @@ func (s *Supervisor) TotalStats() Stats {
 		total.Windows += st.Windows
 		total.Alerts += st.Alerts
 		total.Lost += st.Lost
+		total.Shed += st.Shed
 		if st.LastTime > total.LastTime {
 			total.LastTime = st.LastTime
 		}
@@ -226,6 +282,13 @@ type BusHealth struct {
 	// Lost counts records that arrived while the bus was down; the same
 	// value is surfaced as Stats.Lost.
 	Lost uint64 `json:"lost,omitempty"`
+	// Shed counts records the per-channel ingest quota refused at the
+	// demux (see SupervisorConfig.QuotaFrames).
+	Shed uint64 `json:"shed,omitempty"`
+	// Epoch is the generation of the model this bus is serving — the
+	// fleet-wide convergence signal after a reload. Zero when the bus's
+	// engine was assembled without a model.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// LastError is the most recent engine failure, if any.
 	LastError string `json:"last_error,omitempty"`
 	// StalledSeconds is how long the oldest waiting frame has been
@@ -236,6 +299,9 @@ type BusHealth struct {
 // Health reports each bus's liveness. Safe to call while Run is in
 // flight; buses appear with their first record.
 func (s *Supervisor) Health() map[string]BusHealth {
+	if s.fleet != nil {
+		return s.fleet.health()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	now := time.Now()
@@ -245,6 +311,12 @@ func (s *Supervisor) Health() map[string]BusHealth {
 			Restarts: r.restarts.Load(),
 			Accepted: r.accepted.Load(),
 			Lost:     r.lost.Load(),
+			Shed:     r.quota.shed.Load(),
+		}
+		if e := s.engines[ch]; e != nil {
+			if m := e.Model(); m != nil {
+				h.Epoch = m.Epoch()
+			}
 		}
 		switch r.state.Load() {
 		case stateDead:
@@ -287,6 +359,10 @@ type busState struct {
 	// BusStalled from it.
 	stallSince atomic.Int64
 
+	// quota is the channel's ingest-quota gate; the demux goroutine
+	// admits through it before anything else sees the record.
+	quota quotaState
+
 	mu      sync.Mutex
 	lastErr string
 	base    Stats // accumulated counters of replaced incarnations
@@ -323,6 +399,9 @@ func (r *busState) addBase(st Stats) {
 // idle feed. Per-record sources travel as single-record slabs through
 // the same pool, preserving their latency.
 func (s *Supervisor) Run(ctx context.Context, src Source, sink func(channel string, a detect.Alert)) (map[string]Stats, error) {
+	if s.fleet != nil {
+		return s.runFleet(ctx, src, sink)
+	}
 	runs := make(map[string]*busState)
 	s.mu.Lock()
 	s.runs = runs
@@ -396,6 +475,9 @@ func (s *Supervisor) Run(ctx context.Context, src Source, sink func(channel stri
 			if err != nil {
 				srcErr = err
 				break
+			}
+			if !r.quota.admit(rec.Time, s.cfg.QuotaFrames, s.cfg.QuotaWindow) {
+				continue
 			}
 			slab := append(pool.Get(), rec)
 			if s.cfg.Tap != nil {
@@ -650,6 +732,9 @@ func (s *Supervisor) demuxBatches(ctx context.Context, bs BatchSource,
 					pend[rec.Channel] = p
 				}
 				last, lastCh, haveLast = p, rec.Channel, true
+			}
+			if !last.run.quota.admit(rec.Time, s.cfg.QuotaFrames, s.cfg.QuotaWindow) {
+				continue
 			}
 			last.slab = append(last.slab, rec)
 		}

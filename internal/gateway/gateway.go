@@ -17,6 +17,19 @@
 // harness) acts on. This matches real automotive gateways, which sit
 // between bus segments and forward selectively.
 //
+// # Policy vs state
+//
+// A gateway splits into an immutable half and a mutable half. The
+// immutable half is Policy — whitelist, rate budgets, rate horizon —
+// built once and never mutated; swapping policy means installing a
+// fresh Policy value behind an atomic pointer, so the classify hot
+// path reads it without taking any lock and any number of gateways (a
+// fleet of vehicle lanes) can share one Policy. The mutable half is
+// per-gateway: the dynamic quarantine blocklist (written by the
+// response stage, guarded by a small mutex that the hot path skips
+// entirely while the blocklist is empty) and the rate-window counters
+// (owned by the classify caller, like every detector's window state).
+//
 // A Gateway is safe for concurrent use: the streaming engine classifies
 // records on its dispatch goroutine while the response stage blocks
 // identifiers from the alert-merge goroutine. Classify must still be
@@ -29,6 +42,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"canids/internal/can"
@@ -113,50 +127,159 @@ func (s Stats) Sub(o Stats) Stats {
 	}
 }
 
-// Gateway is the policy engine. Create with New, optionally LearnRates
-// from clean traffic, then classify frames in timestamp order with
-// Classify.
-type Gateway struct {
-	cfg   Config
-	legal map[can.ID]bool
-
-	mu      sync.Mutex
-	budget  map[can.ID]int // allowed frames per RateWindow
-	blocked map[can.ID]time.Duration
-
-	windowStart time.Duration
-	haveWindow  bool
-	seen        map[can.ID]int
-	stats       Stats
+// Policy is the immutable half of a gateway: the whitelist, the
+// per-identifier rate budgets and the rate horizon. A Policy is never
+// mutated after construction — derive a changed one with WithBudgets
+// or WithLegal and install it with Gateway.SetPolicy — so readers
+// never need a lock and many gateways can share one value.
+type Policy struct {
+	legal      map[can.ID]bool
+	budget     map[can.ID]int
+	rateWindow time.Duration
+	rateSlack  float64
 }
 
-// New creates a gateway.
-func New(cfg Config) (*Gateway, error) {
+// NewPolicy validates cfg and builds an immutable policy from it.
+func NewPolicy(cfg Config) (*Policy, error) {
 	if math.IsNaN(cfg.RateSlack) || cfg.RateSlack < 0 {
 		return nil, fmt.Errorf("gateway: rate slack must be >= 0, got %v", cfg.RateSlack)
 	}
 	if (cfg.RateSlack > 0 || len(cfg.Budgets) > 0) && cfg.RateWindow <= 0 {
 		return nil, fmt.Errorf("gateway: rate limiting needs a positive window, got %v", cfg.RateWindow)
 	}
-	g := &Gateway{
-		cfg:     cfg,
-		blocked: make(map[can.ID]time.Duration),
-		seen:    make(map[can.ID]int),
-	}
+	p := &Policy{rateWindow: cfg.RateWindow, rateSlack: cfg.RateSlack}
 	if len(cfg.Budgets) > 0 {
 		budget, err := copyBudgets(cfg.Budgets)
 		if err != nil {
 			return nil, err
 		}
-		g.budget = budget
+		p.budget = budget
 	}
 	if len(cfg.Legal) > 0 {
-		g.legal = make(map[can.ID]bool, len(cfg.Legal))
+		p.legal = make(map[can.ID]bool, len(cfg.Legal))
 		for _, id := range cfg.Legal {
-			g.legal[id] = true
+			p.legal[id] = true
 		}
 	}
-	return g, nil
+	return p, nil
+}
+
+// WithBudgets derives a policy with the budget table replaced. An
+// empty (or nil) table disables rate limiting. A non-empty table
+// requires the policy's rate horizon to be positive, like
+// Config.Budgets.
+func (p *Policy) WithBudgets(budgets map[can.ID]int) (*Policy, error) {
+	next := *p
+	if len(budgets) == 0 {
+		next.budget = nil
+		return &next, nil
+	}
+	if p.rateWindow <= 0 {
+		return nil, fmt.Errorf("gateway: rate limiting needs a positive window, got %v", p.rateWindow)
+	}
+	budget, err := copyBudgets(budgets)
+	if err != nil {
+		return nil, err
+	}
+	next.budget = budget
+	return &next, nil
+}
+
+// WithLegal derives a policy with the whitelist replaced. An empty (or
+// nil) set disables the whitelist check.
+func (p *Policy) WithLegal(legal []can.ID) *Policy {
+	next := *p
+	next.legal = nil
+	if len(legal) > 0 {
+		next.legal = make(map[can.ID]bool, len(legal))
+		for _, id := range legal {
+			next.legal[id] = true
+		}
+	}
+	return &next
+}
+
+// Legal returns the whitelisted identifiers, ascending, or nil when
+// the whitelist is disabled.
+func (p *Policy) Legal() []can.ID {
+	if len(p.legal) == 0 {
+		return nil
+	}
+	ids := make([]can.ID, 0, len(p.legal))
+	for id := range p.legal {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Budgets returns a copy of the per-identifier budget table, or nil
+// when rate limiting is off.
+func (p *Policy) Budgets() map[can.ID]int {
+	if p.budget == nil {
+		return nil
+	}
+	out := make(map[can.ID]int, len(p.budget))
+	for id, b := range p.budget {
+		out[id] = b
+	}
+	return out
+}
+
+// RateWindow returns the rate-limit horizon.
+func (p *Policy) RateWindow() time.Duration { return p.rateWindow }
+
+// RateSlack returns the learning slack multiplier.
+func (p *Policy) RateSlack() float64 { return p.rateSlack }
+
+// Gateway is the policy engine. Create with New, optionally LearnRates
+// from clean traffic, then classify frames in timestamp order with
+// Classify.
+type Gateway struct {
+	// policy is the immutable policy snapshot; Classify loads it
+	// lock-free, writers replace it wholesale under swapMu (which only
+	// serializes writers against each other, never readers).
+	policy atomic.Pointer[Policy]
+	swapMu sync.Mutex
+
+	// The quarantine blocklist is per-gateway mutable state written by
+	// the response stage. nBlocked mirrors len(blocked) so the classify
+	// hot path skips the mutex entirely while nothing is quarantined.
+	quarMu   sync.Mutex
+	blocked  map[can.ID]time.Duration
+	nBlocked atomic.Int64
+
+	// Rate-window counters, owned by the classify caller (Classify is
+	// single-goroutine, like every detector's window walk).
+	windowStart time.Duration
+	haveWindow  bool
+	seen        map[can.ID]int
+
+	forwarded   atomic.Int64
+	dropUnknown atomic.Int64
+	dropRate    atomic.Int64
+	dropBlocked atomic.Int64
+}
+
+// New creates a gateway.
+func New(cfg Config) (*Gateway, error) {
+	p, err := NewPolicy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithPolicy(p), nil
+}
+
+// NewWithPolicy creates a gateway sharing an existing immutable
+// policy — the fleet path, where hundreds of vehicle lanes reference
+// one Policy value instead of copying its tables.
+func NewWithPolicy(p *Policy) *Gateway {
+	g := &Gateway{
+		blocked: make(map[can.ID]time.Duration),
+		seen:    make(map[can.ID]int),
+	}
+	g.policy.Store(p)
+	return g
 }
 
 // copyBudgets validates and copies an injected budget table.
@@ -244,10 +367,10 @@ func (l *RateLearner) Budgets() (map[can.ID]int, error) {
 // clean traffic windows: budget = ceil(max observed per window) ×
 // RateSlack. Must be called before Classify when RateSlack > 0.
 func (g *Gateway) LearnRates(windows []trace.Trace) error {
-	if g.cfg.RateSlack <= 0 {
-		return fmt.Errorf("gateway: rate limiting disabled (slack %v)", g.cfg.RateSlack)
+	if g.RateSlack() <= 0 {
+		return fmt.Errorf("gateway: rate limiting disabled (slack %v)", g.RateSlack())
 	}
-	l, err := NewRateLearner(g.cfg.RateSlack)
+	l, err := NewRateLearner(g.RateSlack())
 	if err != nil {
 		return err
 	}
@@ -258,9 +381,22 @@ func (g *Gateway) LearnRates(windows []trace.Trace) error {
 	if err != nil {
 		return err
 	}
-	g.mu.Lock()
-	g.budget = budget
-	g.mu.Unlock()
+	return g.SetBudgets(budget)
+}
+
+// Policy returns the active immutable policy snapshot.
+func (g *Gateway) Policy() *Policy { return g.policy.Load() }
+
+// SetPolicy installs a policy snapshot wholesale — the single swap
+// path hot reload, adaptation and fleet model swaps all funnel
+// through. A nil policy is rejected.
+func (g *Gateway) SetPolicy(p *Policy) error {
+	if p == nil {
+		return fmt.Errorf("gateway: nil policy")
+	}
+	g.swapMu.Lock()
+	g.policy.Store(p)
+	g.swapMu.Unlock()
 	return nil
 }
 
@@ -268,16 +404,7 @@ func (g *Gateway) LearnRates(windows []trace.Trace) error {
 // table (learned or injected), or nil when rate limiting is off — the
 // export half of persisting gateway policy in a model snapshot.
 func (g *Gateway) Budgets() map[can.ID]int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.budget == nil {
-		return nil
-	}
-	out := make(map[can.ID]int, len(g.budget))
-	for id, b := range g.budget {
-		out[id] = b
-	}
-	return out
+	return g.policy.Load().Budgets()
 }
 
 // SetBudgets replaces the per-identifier frame budget table, e.g. with
@@ -285,61 +412,33 @@ func (g *Gateway) Budgets() map[can.ID]int {
 // nil) table disables rate limiting. Requires a positive RateWindow,
 // like Config.Budgets.
 func (g *Gateway) SetBudgets(budgets map[can.ID]int) error {
-	if len(budgets) == 0 {
-		g.mu.Lock()
-		g.budget = nil
-		g.mu.Unlock()
-		return nil
-	}
-	if g.cfg.RateWindow <= 0 {
-		return fmt.Errorf("gateway: rate limiting needs a positive window, got %v", g.cfg.RateWindow)
-	}
-	budget, err := copyBudgets(budgets)
+	g.swapMu.Lock()
+	defer g.swapMu.Unlock()
+	next, err := g.policy.Load().WithBudgets(budgets)
 	if err != nil {
 		return err
 	}
-	g.mu.Lock()
-	g.budget = budget
-	g.mu.Unlock()
+	g.policy.Store(next)
 	return nil
 }
 
 // SetLegal replaces the whitelist. An empty (or nil) set disables the
 // whitelist check, matching New.
 func (g *Gateway) SetLegal(legal []can.ID) {
-	var set map[can.ID]bool
-	if len(legal) > 0 {
-		set = make(map[can.ID]bool, len(legal))
-		for _, id := range legal {
-			set[id] = true
-		}
-	}
-	g.mu.Lock()
-	g.legal = set
-	g.mu.Unlock()
+	g.swapMu.Lock()
+	g.policy.Store(g.policy.Load().WithLegal(legal))
+	g.swapMu.Unlock()
 }
 
 // Legal returns the whitelisted identifiers, ascending, or nil when the
 // whitelist is disabled.
-func (g *Gateway) Legal() []can.ID {
-	g.mu.Lock()
-	ids := make([]can.ID, 0, len(g.legal))
-	for id := range g.legal {
-		ids = append(ids, id)
-	}
-	g.mu.Unlock()
-	if len(ids) == 0 {
-		return nil
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
-}
+func (g *Gateway) Legal() []can.ID { return g.policy.Load().Legal() }
 
 // RateWindow returns the configured rate-limit horizon.
-func (g *Gateway) RateWindow() time.Duration { return g.cfg.RateWindow }
+func (g *Gateway) RateWindow() time.Duration { return g.policy.Load().rateWindow }
 
 // RateSlack returns the configured learning slack multiplier.
-func (g *Gateway) RateSlack() float64 { return g.cfg.RateSlack }
+func (g *Gateway) RateSlack() float64 { return g.policy.Load().rateSlack }
 
 // Block adds an identifier to the blocklist until the given time
 // (zero = forever). The entropy IDS's inference feeds this. A block
@@ -347,21 +446,27 @@ func (g *Gateway) RateSlack() float64 { return g.cfg.RateSlack }
 // blocked, the later deadline wins, and a forever block (until zero)
 // stays forever.
 func (g *Gateway) Block(id can.ID, until time.Duration) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.quarMu.Lock()
+	defer g.quarMu.Unlock()
 	if prev, ok := g.blocked[id]; ok {
 		if prev == 0 || (until != 0 && until < prev) {
 			return
 		}
+		g.blocked[id] = until
+		return
 	}
 	g.blocked[id] = until
+	g.nBlocked.Add(1)
 }
 
 // Unblock removes an identifier from the blocklist.
 func (g *Gateway) Unblock(id can.ID) {
-	g.mu.Lock()
-	delete(g.blocked, id)
-	g.mu.Unlock()
+	g.quarMu.Lock()
+	if _, ok := g.blocked[id]; ok {
+		delete(g.blocked, id)
+		g.nBlocked.Add(-1)
+	}
+	g.quarMu.Unlock()
 }
 
 // Blocked returns the blocklisted identifiers, ascending. Expiry is
@@ -369,12 +474,12 @@ func (g *Gateway) Unblock(id can.ID) {
 // without another frame arriving is still listed; use Quarantines to
 // filter by deadline.
 func (g *Gateway) Blocked() []can.ID {
-	g.mu.Lock()
+	g.quarMu.Lock()
 	ids := make([]can.ID, 0, len(g.blocked))
 	for id := range g.blocked {
 		ids = append(ids, id)
 	}
-	g.mu.Unlock()
+	g.quarMu.Unlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
@@ -383,8 +488,8 @@ func (g *Gateway) Blocked() []can.ID {
 // deadline (zero = forever), including lazily-expired entries (see
 // Blocked).
 func (g *Gateway) Quarantines() map[can.ID]time.Duration {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.quarMu.Lock()
+	defer g.quarMu.Unlock()
 	out := make(map[can.ID]time.Duration, len(g.blocked))
 	for id, until := range g.blocked {
 		out[id] = until
@@ -392,24 +497,59 @@ func (g *Gateway) Quarantines() map[can.ID]time.Duration {
 	return out
 }
 
+// RestoreQuarantines seeds the blocklist from a saved copy — the fleet
+// path re-arming a vehicle lane that was torn down idle. Existing
+// entries keep the later deadline, like Block.
+func (g *Gateway) RestoreQuarantines(q map[can.ID]time.Duration) {
+	for id, until := range q {
+		g.Block(id, until)
+	}
+}
+
+// RateWindowStart returns the open rate window's origin, and whether a
+// window is open at all — the phase half of a torn-down fleet lane's
+// residue (budget enforcement tumbles from the stream's first record,
+// so a resumed lane must keep the same phase to drop the same frames).
+func (g *Gateway) RateWindowStart() (time.Duration, bool) {
+	return g.windowStart, g.haveWindow
+}
+
+// SeedRateWindow restores the rate-window origin saved by
+// RateWindowStart before the first record of a resumed stream is
+// classified. The caller advances the origin over the silent gap with
+// detect.NextWindowStart; the counters start empty, which is exactly
+// the state an uninterrupted gateway reaches when the gap expired its
+// window.
+func (g *Gateway) SeedRateWindow(start time.Duration) {
+	g.windowStart = start
+	g.haveWindow = true
+}
+
 // Classify returns the verdict for one frame. Records must arrive in
 // non-decreasing timestamp order for rate limiting to be meaningful.
+// The policy read is lock-free; the quarantine mutex is touched only
+// while the blocklist is non-empty.
 func (g *Gateway) Classify(rec trace.Record) Verdict {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	p := g.policy.Load()
 	id := rec.Frame.ID
-	if until, ok := g.blocked[id]; ok {
-		if until == 0 || rec.Time < until {
-			g.stats.DropBlocked++
-			return DropBlocked
+	if g.nBlocked.Load() != 0 {
+		g.quarMu.Lock()
+		if until, ok := g.blocked[id]; ok {
+			if until == 0 || rec.Time < until {
+				g.quarMu.Unlock()
+				g.dropBlocked.Add(1)
+				return DropBlocked
+			}
+			delete(g.blocked, id)
+			g.nBlocked.Add(-1)
 		}
-		delete(g.blocked, id)
+		g.quarMu.Unlock()
 	}
-	if g.legal != nil && !g.legal[id] {
-		g.stats.DropUnknown++
+	if p.legal != nil && !p.legal[id] {
+		g.dropUnknown.Add(1)
 		return DropUnknown
 	}
-	if g.budget != nil {
+	if p.budget != nil {
 		if !g.haveWindow {
 			g.haveWindow = true
 			g.windowStart = rec.Time
@@ -418,17 +558,17 @@ func (g *Gateway) Classify(rec trace.Record) Verdict {
 		// internal/detect): the arithmetic skip makes a huge timestamp
 		// gap O(1) instead of one iteration per elapsed window, and the
 		// expiry check cannot wrap at the top of the int64 range.
-		if detect.WindowExpired(g.windowStart, rec.Time, g.cfg.RateWindow) {
-			g.windowStart = detect.NextWindowStart(g.windowStart, rec.Time, g.cfg.RateWindow)
+		if detect.WindowExpired(g.windowStart, rec.Time, p.rateWindow) {
+			g.windowStart = detect.NextWindowStart(g.windowStart, rec.Time, p.rateWindow)
 			clear(g.seen)
 		}
 		g.seen[id]++
-		if budget, ok := g.budget[id]; ok && g.seen[id] > budget {
-			g.stats.DropRate++
+		if budget, ok := p.budget[id]; ok && g.seen[id] > budget {
+			g.dropRate.Add(1)
 			return DropRate
 		}
 	}
-	g.stats.Forwarded++
+	g.forwarded.Add(1)
 	return Forward
 }
 
@@ -448,17 +588,21 @@ func (g *Gateway) Filter(tr trace.Trace) (trace.Trace, Stats) {
 
 // Stats returns a copy of the cumulative counters.
 func (g *Gateway) Stats() Stats {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.stats
+	return Stats{
+		Forwarded:   int(g.forwarded.Load()),
+		DropUnknown: int(g.dropUnknown.Load()),
+		DropRate:    int(g.dropRate.Load()),
+		DropBlocked: int(g.dropBlocked.Load()),
+	}
 }
 
 // Reset clears streaming state (not the learned budgets or blocklist).
 func (g *Gateway) Reset() {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	g.haveWindow = false
 	g.windowStart = 0
 	clear(g.seen)
-	g.stats = Stats{}
+	g.forwarded.Store(0)
+	g.dropUnknown.Store(0)
+	g.dropRate.Store(0)
+	g.dropBlocked.Store(0)
 }

@@ -377,7 +377,7 @@ func TestResetKeepsPolicy(t *testing.T) {
 	if v := g.Classify(rec(0, 0x050)); v != DropBlocked {
 		t.Error("Reset must keep the blocklist")
 	}
-	if g.budget == nil {
+	if g.Budgets() == nil {
 		t.Error("Reset must keep learned budgets")
 	}
 }

@@ -6,7 +6,9 @@
 //
 // A Responder is safe for concurrent use: the streaming engine hands it
 // alerts from the merge goroutine while the caller reads Actions from
-// another.
+// another. The policy itself is an immutable snapshot behind an atomic
+// pointer — HandleAlert reads it without taking a lock; only the
+// per-responder action history is mutex-guarded.
 package response
 
 import (
@@ -14,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"canids/internal/can"
@@ -103,8 +106,12 @@ func (c Config) Normalize() (Config, error) {
 type Responder struct {
 	gateway *gateway.Gateway
 
+	// cfg is the immutable policy snapshot; HandleAlert loads it
+	// lock-free, SetPolicy replaces it wholesale. The struct behind
+	// the pointer is never mutated in place.
+	cfg atomic.Pointer[Config]
+
 	mu      sync.Mutex
-	cfg     Config
 	actions []Action
 }
 
@@ -117,15 +124,13 @@ func New(gw *gateway.Gateway, cfg Config) (*Responder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Responder{cfg: cfg, gateway: gw}, nil
+	r := &Responder{gateway: gw}
+	r.cfg.Store(&cfg)
+	return r, nil
 }
 
 // Config returns the active (normalized) policy.
-func (r *Responder) Config() Config {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.cfg
-}
+func (r *Responder) Config() Config { return *r.cfg.Load() }
 
 // SetPolicy replaces the response policy, e.g. with one restored from a
 // snapshot at a hot-reload boundary. The action history is kept: policy
@@ -136,19 +141,15 @@ func (r *Responder) SetPolicy(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	r.mu.Lock()
-	r.cfg = cfg
-	r.mu.Unlock()
+	r.cfg.Store(&cfg)
 	return nil
 }
 
 // HandleAlert infers the malicious identifiers behind an alert and
 // blocks the top candidates. It returns the action taken, or nil when
-// the alert was below the score floor.
+// the alert was below the score floor. The policy read is lock-free.
 func (r *Responder) HandleAlert(a detect.Alert) (*Action, error) {
-	r.mu.Lock()
-	cfg := r.cfg
-	r.mu.Unlock()
+	cfg := *r.cfg.Load()
 	if a.Score < cfg.MinScore {
 		return nil, nil
 	}

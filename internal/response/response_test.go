@@ -47,8 +47,8 @@ func TestDefaultsApplied(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.cfg.Width != 11 || r.cfg.Rank != 10 || r.cfg.BlockTop != 1 {
-		t.Errorf("defaults not applied: %+v", r.cfg)
+	if cfg := r.Config(); cfg.Width != 11 || cfg.Rank != 10 || cfg.BlockTop != 1 {
+		t.Errorf("defaults not applied: %+v", cfg)
 	}
 }
 

@@ -51,6 +51,8 @@ func (s *Server) metricsText() []byte {
 	m.sample("canids_checkpoint_retries_total", nil, promUint(s.CheckpointRetries()))
 	m.family("canids_degraded_notes", "gauge", "Degradation events recorded so far (text in /stats).")
 	m.sample("canids_degraded_notes", nil, strconv.Itoa(len(s.DegradedNotes())))
+	m.family("canids_serving_epoch", "gauge", "Model generation the server is serving (bumped by /admin/reload).")
+	m.sample("canids_serving_epoch", nil, promUint(s.Model().Epoch()))
 
 	for _, fam := range []struct {
 		name, help string
@@ -62,6 +64,7 @@ func (s *Server) metricsText() []byte {
 		{"canids_bus_windows_total", "Detection windows closed.", func(st engine.Stats) uint64 { return st.Windows }},
 		{"canids_bus_alerts_total", "Alerts the bus emitted.", func(st engine.Stats) uint64 { return st.Alerts }},
 		{"canids_bus_lost_total", "Frames that arrived while the bus was down.", func(st engine.Stats) uint64 { return st.Lost }},
+		{"canids_bus_shed_total", "Frames the per-channel ingest quota refused at the demux.", func(st engine.Stats) uint64 { return st.Shed }},
 	} {
 		m.family(fam.name, "counter", fam.help)
 		for _, ch := range names {
@@ -72,6 +75,10 @@ func (s *Server) metricsText() []byte {
 	m.family("canids_bus_accepted_total", "counter", "Records the demux delivered into the bus feed; equals frames + lost after a drain.")
 	for _, ch := range names {
 		m.sample("canids_bus_accepted_total", busLabel(ch), promUint(health[ch].Accepted))
+	}
+	m.family("canids_model_epoch", "gauge", "Model generation each bus is serving; all buses converge after a reload.")
+	for _, ch := range names {
+		m.sample("canids_model_epoch", busLabel(ch), promUint(health[ch].Epoch))
 	}
 	m.family("canids_bus_restarts_total", "counter", "Engine restarts (crash recoveries) this run.")
 	for _, ch := range names {

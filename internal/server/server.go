@@ -33,6 +33,8 @@
 //	POST /admin/shutdown                          drain, flush final windows, report summary
 //	GET  /admin/adapt                             per-bus adaptation counters
 //	POST /admin/adapt?action=pause|resume|force   adaptation controls ([&channel=bus])
+//	POST /admin/adapt?action=configure            set promotion knobs ([&channel=bus]
+//	     &every=N&min_windows=M                    — zero/absent leaves a knob alone)
 //	POST /admin/checkpoint                        persist the adapted models now
 //
 // With Config.AdminToken set, every /admin/* verb requires
@@ -128,12 +130,12 @@ import (
 	"time"
 
 	"canids/internal/adapt"
-	"canids/internal/can"
 	"canids/internal/detect"
 	"canids/internal/engine"
 	"canids/internal/fault"
 	"canids/internal/gateway"
 	"canids/internal/journal"
+	"canids/internal/model"
 	"canids/internal/response"
 	"canids/internal/store"
 	"canids/internal/trace"
@@ -188,6 +190,23 @@ type AdaptOptions struct {
 	FreezeTemplate bool
 }
 
+// FleetOptions arms fleet serving: many vehicle channels multiplexed
+// over a fixed pool of engine hosts, all sharing one immutable
+// model.Model (the per-vehicle marginal state shrinks to detector
+// counters and the quarantine list). Fleet mode gates off online
+// adaptation, checkpointing and fault injection — one model serves the
+// whole fleet, swapped atomically by /admin/reload.
+type FleetOptions struct {
+	// Engines is the host-goroutine pool size (K in "N vehicles over K
+	// engines"). At least 1.
+	Engines int
+	// IdleAfter tears an idle vehicle lane down once fleet stream time
+	// has advanced this far past its newest record; zero disables
+	// teardown. Must cover the detection window and the gateway rate
+	// window.
+	IdleAfter time.Duration
+}
+
 // Config parameterizes a Server.
 type Config struct {
 	// Snapshot is the model to serve. Required and validated at New.
@@ -214,10 +233,21 @@ type Config struct {
 	// once more at drain — atomically, to CheckpointFile(path, bus).
 	CheckpointPath string
 	// AdminToken, when set, locks every /admin/* endpoint behind
-	// "Authorization: Bearer <token>". The daemon itself speaks plain
-	// HTTP — terminate TLS in front of it before crossing a network you
-	// do not trust, or the token travels in cleartext (see doc.go).
+	// "Authorization: Bearer <token>". The daemon speaks plain HTTP
+	// unless the CLI's -tls-cert/-tls-key arm in-process TLS; without
+	// TLS (in-process or terminated in front), the token travels in
+	// cleartext (see doc.go).
 	AdminToken string
+	// Fleet, when non-nil, serves in fleet mode (see FleetOptions).
+	// Incompatible with Adapt and Fault.
+	Fleet *FleetOptions
+	// QuotaFrames and QuotaWindow arm the per-channel ingest quota: at
+	// most QuotaFrames records per QuotaWindow of stream time per
+	// channel; the excess is shed deterministically at the demux
+	// (counted in Stats.Shed) and the channel's ingests answer 429
+	// while it is over quota. Zero QuotaFrames disables the quota.
+	QuotaFrames int
+	QuotaWindow time.Duration
 
 	// MaxBody bounds one ingest request body in bytes; a larger upload
 	// gets 413. Zero means unbounded.
@@ -289,13 +319,17 @@ type Server struct {
 	pool  *engine.RecordPool
 	batch int
 
-	// mu guards the current snapshot and the engine/adapter registries.
-	// The engine factory and Reload both hold it end to end, so an
-	// engine is always either built from the newest snapshot or
+	// mu guards the served snapshot/model pair and the engine/adapter
+	// registries. The engine factory and Reload both hold it end to
+	// end, so an engine is always either built from the newest model or
 	// registered before a reload collects the engines to swap — no bus
-	// can miss an update.
+	// can miss an update. snap is the store-level form (what /admin/
+	// reload compares against and the record manifest persists); model
+	// is the same thing frozen into the immutable model.Model every
+	// layer serves, carrying the operator epoch.
 	mu       sync.Mutex
 	snap     *store.Snapshot
+	model    *model.Model
 	engines  map[string]*engine.Engine
 	adapters map[string]*adapt.Adapter
 	// adaptPaused is the fleet-wide pause: buses that appear while it is
@@ -371,6 +405,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CheckpointPath != "" && cfg.Adapt == nil {
 		return nil, errors.New("server: checkpointing needs adaptation enabled")
 	}
+	if cfg.Fleet != nil {
+		if cfg.Adapt != nil {
+			return nil, errors.New("server: fleet serving does not adapt; drop one of the two")
+		}
+		if cfg.Fault != nil {
+			return nil, errors.New("server: fleet serving does not inject faults")
+		}
+	}
+	if cfg.QuotaFrames > 0 && cfg.QuotaWindow <= 0 {
+		return nil, errors.New("server: an ingest quota needs a positive quota window")
+	}
 	feedBuf := cfg.Buffer
 	if feedBuf <= 0 {
 		feedBuf = engine.DefaultBuffer
@@ -379,9 +424,16 @@ func New(cfg Config) (*Server, error) {
 	if batch <= 0 {
 		batch = engine.DefaultBatch
 	}
+	// Epoch 1 is the initial build; every /admin/reload mints the next
+	// generation, and zero stays reserved for "no model".
+	base, err := cfg.Snapshot.BuildModel(1)
+	if err != nil {
+		return nil, fmt.Errorf("server: snapshot cannot serve: %w", err)
+	}
 	s := &Server{
-		cfg:  cfg,
-		snap: cfg.Snapshot,
+		cfg:   cfg,
+		snap:  cfg.Snapshot,
+		model: base,
 		// The pool covers the whole feed buffer plus in-flight slabs, so
 		// a steady ingest stream recycles instead of allocating even when
 		// the engines lag a full buffer behind.
@@ -403,11 +455,11 @@ func New(cfg Config) (*Server, error) {
 	for _, note := range cfg.Degraded {
 		s.noteDegraded("%s", note)
 	}
-	if _, err := buildEngine(cfg.Snapshot, cfg, nil, ""); err != nil {
+	if _, err := buildEngine(base, cfg, nil, ""); err != nil {
 		return nil, fmt.Errorf("server: snapshot cannot serve: %w", err)
 	}
 	if cfg.Adapt != nil {
-		if _, err := s.newAdapter(cfg.Snapshot); err != nil {
+		if _, err := s.newAdapter(base); err != nil {
 			return nil, fmt.Errorf("server: snapshot cannot adapt: %w", err)
 		}
 	}
@@ -431,7 +483,7 @@ func New(cfg Config) (*Server, error) {
 	if s.capture != nil {
 		tap = s.captureSlab
 	}
-	sup, err := engine.NewSupervisor(engine.SupervisorConfig{
+	scfg := engine.SupervisorConfig{
 		NewEngine:      s.newEngine,
 		RestartEngine:  s.restartEngine,
 		MaxRestarts:    cfg.MaxRestarts,
@@ -439,7 +491,19 @@ func New(cfg Config) (*Server, error) {
 		StallAfter:     cfg.StallAfter,
 		Buffer:         cfg.Buffer,
 		Tap:            tap,
-	})
+		QuotaFrames:    cfg.QuotaFrames,
+		QuotaWindow:    cfg.QuotaWindow,
+	}
+	if cfg.Fleet != nil {
+		scfg.NewEngine = nil
+		scfg.RestartEngine = nil
+		scfg.Fleet = &engine.FleetConfig{
+			Engines:   cfg.Fleet.Engines,
+			Model:     base,
+			IdleAfter: cfg.Fleet.IdleAfter,
+		}
+	}
+	sup, err := engine.NewSupervisor(scfg)
 	if err != nil {
 		return nil, err
 	}
@@ -463,63 +527,46 @@ func (s *Server) DegradedNotes() []string {
 	return append([]string(nil), s.degraded...)
 }
 
-// buildEngine materializes one bus engine from a snapshot: a private
-// gateway and responder per bus (policy state is per bus), the shared
-// template installed, and the bus's adaptation hook when one is given.
-// A snapshot with a response policy but no gateway policy gets a
-// permissive gateway — the blocklist needs somewhere to live. The
-// channel scopes the fault injector, when one is armed.
-func buildEngine(snap *store.Snapshot, cfg Config, hook engine.AdaptHook, channel string) (*engine.Engine, error) {
-	ecfg := engine.Config{Shards: cfg.Shards, Buffer: cfg.Buffer, Batch: cfg.Batch, Core: snap.Core, Adapt: hook,
+// buildEngine materializes one bus engine serving an immutable model:
+// a private gateway and responder per bus (their streaming state —
+// rate windows, quarantines — is per bus; the policy snapshot they
+// read is the model's, shared and lock-free), and the bus's adaptation
+// hook when one is given. The model already carries a permissive
+// gateway policy for response-only snapshots (store.Snapshot.
+// BuildModel). The channel scopes the fault injector, when one is
+// armed.
+func buildEngine(m *model.Model, cfg Config, hook engine.AdaptHook, channel string) (*engine.Engine, error) {
+	ecfg := engine.Config{Shards: cfg.Shards, Buffer: cfg.Buffer, Batch: cfg.Batch, Adapt: hook,
 		Fault: cfg.Fault, FaultScope: channel}
-	if snap.Gateway != nil || snap.Response != nil {
-		gwCfg := snap.GatewayConfig()
-		if gwCfg.RateWindow <= 0 {
-			// A permissive gateway still gets a rate horizon, so a
-			// budget swap can never hit a zero-window gateway.
-			gwCfg.RateWindow = snap.Core.Window
-		}
-		gw, err := gateway.New(gwCfg)
-		if err != nil {
-			return nil, err
-		}
+	if gp := m.Gateway(); gp != nil {
+		gw := gateway.NewWithPolicy(gp)
 		ecfg.Gateway = gw
-		if snap.Response != nil {
-			resp, err := response.New(gw, snap.ResponseConfig())
+		if rc := m.Response(); rc != nil {
+			resp, err := response.New(gw, *rc)
 			if err != nil {
 				return nil, err
 			}
 			ecfg.Responder = resp
 		}
 	}
-	return engine.NewTrained(ecfg, snap.Template)
+	return engine.NewFromModel(ecfg, m)
 }
 
-// newAdapter builds one bus's adapter from the snapshot and the
-// configured options. Budget learning turns on exactly when the engine
-// gets a gateway (same condition as buildEngine), seeded from the
-// snapshot's persisted budgets.
-func (s *Server) newAdapter(snap *store.Snapshot) (*adapt.Adapter, error) {
+// newAdapter builds one bus's adapter on the given base model. Budget
+// learning turns on exactly when the model carries gateway policy
+// (same condition as buildEngine); the learning slack falls back to
+// the policy's persisted slack inside adapt.New.
+func (s *Server) newAdapter(m *model.Model) (*adapt.Adapter, error) {
 	o := s.cfg.Adapt
 	ac := adapt.Config{
-		Core:           snap.Core,
-		Template:       snap.Template,
+		Base:           m,
 		Every:          o.Every,
 		Ring:           o.Ring,
 		MinWindows:     o.MinWindows,
 		RateSlack:      o.RateSlack,
 		TemplateEWMA:   o.TemplateEWMA,
 		FreezeTemplate: o.FreezeTemplate,
-	}
-	if snap.Gateway != nil || snap.Response != nil {
-		ac.LearnBudgets = true
-		ac.RateWindow = effectiveRateWindow(snap)
-		if snap.Gateway != nil {
-			ac.Budgets = snap.Gateway.Budgets
-			if ac.RateSlack == 0 && snap.Gateway.RateSlack > 0 {
-				ac.RateSlack = snap.Gateway.RateSlack
-			}
-		}
+		LearnBudgets:   m.Gateway() != nil,
 	}
 	if s.ckCh != nil {
 		ac.OnPromote = func(adapt.Promotion) {
@@ -573,16 +620,22 @@ func snapshotCompatible(cur, next *store.Snapshot) error {
 func (s *Server) newEngine(channel string) (*engine.Engine, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.buildBus(s.model, channel)
+}
+
+// buildBus assembles one bus's engine (and adapter, when adaptation is
+// on) from the given model and registers both. Caller holds s.mu.
+func (s *Server) buildBus(m *model.Model, channel string) (*engine.Engine, error) {
 	var hook engine.AdaptHook
 	var ad *adapt.Adapter
 	if s.cfg.Adapt != nil {
 		var err error
-		if ad, err = s.newAdapter(s.snap); err != nil {
+		if ad, err = s.newAdapter(m); err != nil {
 			return nil, err
 		}
 		hook = ad
 	}
-	eng, err := buildEngine(s.snap, s.cfg, hook, channel)
+	eng, err := buildEngine(m, s.cfg, hook, channel)
 	if err != nil {
 		return nil, err
 	}
@@ -604,41 +657,23 @@ func (s *Server) newEngine(channel string) (*engine.Engine, error) {
 // last durable promotion. Every fallback step is recorded in the
 // degradation log.
 func (s *Server) restartEngine(channel string, attempt int) (*engine.Engine, error) {
-	snap := s.restoreSnapshot(channel)
+	m := s.restoreModel(channel)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var hook engine.AdaptHook
-	var ad *adapt.Adapter
-	if s.cfg.Adapt != nil {
-		var err error
-		if ad, err = s.newAdapter(snap); err != nil {
-			return nil, err
-		}
-		hook = ad
-	}
-	eng, err := buildEngine(snap, s.cfg, hook, channel)
-	if err != nil {
-		return nil, err
-	}
-	s.engines[channel] = eng
-	if ad != nil {
-		if s.adaptPaused {
-			ad.Pause()
-		}
-		s.adapters[channel] = ad
-	}
-	return eng, nil
+	return s.buildBus(m, channel)
 }
 
-// restoreSnapshot walks the restart fallback ladder for one bus:
-// checkpoint, checkpoint.prev, served snapshot. A candidate that is
+// restoreModel walks the restart fallback ladder for one bus:
+// checkpoint, checkpoint.prev, served model. A candidate that is
 // missing is skipped silently (a bus that never promoted has no
 // checkpoint — that is a clean start, not degradation); one that is
 // corrupt or structurally incompatible is skipped with a degradation
-// note.
-func (s *Server) restoreSnapshot(channel string) *store.Snapshot {
+// note. The restored model keeps the currently served epoch: a
+// checkpoint is background learning layered on an operator generation,
+// not a generation of its own.
+func (s *Server) restoreModel(channel string) *model.Model {
 	s.mu.Lock()
-	base := s.snap
+	base, baseSnap := s.model, s.snap
 	s.mu.Unlock()
 	if s.cfg.CheckpointPath == "" {
 		return base
@@ -652,14 +687,19 @@ func (s *Server) restoreSnapshot(channel string) *store.Snapshot {
 			}
 			continue
 		}
-		if err := snapshotCompatible(base, snap); err != nil {
+		if err := snapshotCompatible(baseSnap, snap); err != nil {
 			s.noteDegraded("bus %q restart: checkpoint %s incompatible: %v", channel, filepath.Base(path), err)
+			continue
+		}
+		m, err := snap.BuildModel(base.Epoch())
+		if err != nil {
+			s.noteDegraded("bus %q restart: checkpoint %s unusable: %v", channel, filepath.Base(path), err)
 			continue
 		}
 		if path != ck {
 			s.noteDegraded("bus %q restarted from previous checkpoint generation %s", channel, filepath.Base(path))
 		}
-		return snap
+		return m
 	}
 	return base
 }
@@ -893,15 +933,18 @@ func (s *Server) Snapshot() *store.Snapshot {
 	return s.snap
 }
 
-// Reload installs a new snapshot: future buses build from it, and every
-// live bus engine gets a queued Swap that lands at its next window
-// boundary. It returns the buses that were swapped. The new snapshot
-// must keep the model's structural identity — the detector's core
-// configuration, the presence/absence of gateway and response policy,
-// and the gateway rate window — those are fixed at startup; changing
-// them needs a restart. The reload is transactional: the snapshot is
-// committed only after every live engine accepted the swap, so a
-// rejected reload leaves the server exactly as it was.
+// Reload installs a new snapshot: it is frozen into one immutable
+// model.Model carrying the next operator epoch, future buses build
+// from it, and every live bus engine gets a queued Swap of that same
+// model landing at its next window boundary (in fleet mode, one
+// Supervisor.SwapModel swaps every vehicle lane). It returns the buses
+// that were swapped. The new snapshot must keep the model's structural
+// identity — the detector's core configuration, the presence/absence
+// of gateway and response policy, and the gateway rate window — those
+// are fixed at startup; changing them needs a restart. The reload is
+// transactional: the model is committed only after every live engine
+// accepted the swap, so a rejected reload leaves the server exactly as
+// it was.
 func (s *Server) Reload(snap *store.Snapshot) ([]string, error) {
 	if err := snap.Validate(); err != nil {
 		return nil, err
@@ -911,25 +954,16 @@ func (s *Server) Reload(snap *store.Snapshot) ([]string, error) {
 	if err := snapshotCompatible(s.snap, snap); err != nil {
 		return nil, err
 	}
-	sw := engine.Swap{Template: snap.Template}
-	if snap.Gateway != nil || snap.Response != nil {
-		// The engines have a gateway; a nil table in the new snapshot
-		// clears the live one (an empty, non-nil value disables the
-		// check), a present table replaces it.
-		sw.Budgets = map[can.ID]int{}
-		sw.Legal = []can.ID{}
-		if snap.Gateway != nil {
-			if snap.Gateway.Budgets != nil {
-				sw.Budgets = snap.Gateway.Budgets
-			}
-			if snap.Gateway.Legal != nil {
-				sw.Legal = snap.Gateway.Legal
-			}
-		}
+	m, err := snap.BuildModel(s.model.Epoch() + 1)
+	if err != nil {
+		return nil, err
 	}
-	if snap.Response != nil {
-		cfg := snap.ResponseConfig()
-		sw.Policy = &cfg
+	if s.cfg.Fleet != nil {
+		if err := s.sup.SwapModel(m); err != nil {
+			return nil, err
+		}
+		s.snap, s.model = snap, m
+		return s.sup.Channels(), nil
 	}
 	buses := make([]string, 0, len(s.engines))
 	for ch := range s.engines {
@@ -938,28 +972,37 @@ func (s *Server) Reload(snap *store.Snapshot) ([]string, error) {
 	sort.Strings(buses)
 	// Engine.Swap only validates and stores (it never blocks on the
 	// pipeline), so holding s.mu across the loop is safe and keeps the
-	// factory from building a bus from a snapshot the live engines
+	// factory from building a bus from a model the live engines
 	// rejected. With the structural checks above, every engine shares
 	// the swap's preconditions, so a failure here aborts before any
 	// state changed.
 	for _, ch := range buses {
-		if err := s.engines[ch].Swap(sw); err != nil {
+		if err := s.engines[ch].Swap(m); err != nil {
 			return nil, fmt.Errorf("server: reload bus %q: %w", ch, err)
 		}
 	}
 	// Adaptation restarts from the reloaded model: promoting artifacts
 	// learned against the replaced template would resurrect it.
-	var budgets map[can.ID]int
-	if snap.Gateway != nil {
-		budgets = snap.Gateway.Budgets
-	}
 	for ch, ad := range s.adapters {
-		if err := ad.Rebase(snap.Template, budgets); err != nil {
+		if err := ad.Rebase(m); err != nil {
 			return nil, fmt.Errorf("server: reload bus %q: %w", ch, err)
 		}
 	}
-	s.snap = snap
+	s.snap, s.model = snap, m
 	return buses, nil
+}
+
+// Model returns the immutable model generation currently served.
+func (s *Server) Model() *model.Model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.model
+}
+
+// Health returns per-bus health as the supervisor reports it — the
+// same map /healthz and /stats expose.
+func (s *Server) Health() map[string]engine.BusHealth {
+	return s.sup.Health()
 }
 
 // AdaptStatus returns each adapting bus's counters (nil when
@@ -980,16 +1023,22 @@ func (s *Server) AdaptStatus() map[string]adapt.Status {
 // adaptControl applies one admin action to the named bus's adapter, or
 // to every adapter when channel is empty. A fleet-wide pause/resume
 // also sets the default for buses that have not appeared yet, so a
-// pause cannot be outrun by new traffic. It returns the buses acted
-// on, sorted.
-func (s *Server) adaptControl(action, channel string) ([]string, error) {
+// pause cannot be outrun by new traffic. The configure action adjusts
+// the live promotion knobs (every, minWindows; zero leaves a knob
+// unchanged) — per bus when channel names one, fleet-wide otherwise.
+// It returns the buses acted on, sorted.
+func (s *Server) adaptControl(action, channel string, every, minWindows int) ([]string, error) {
 	if s.cfg.Adapt == nil {
 		return nil, errors.New("server: adaptation is not enabled")
 	}
 	switch action {
 	case "pause", "resume", "force":
+	case "configure":
+		if every <= 0 && minWindows <= 0 {
+			return nil, errors.New("server: configure needs every and/or min_windows")
+		}
 	default:
-		return nil, fmt.Errorf("server: unknown adapt action %q (want pause, resume or force)", action)
+		return nil, fmt.Errorf("server: unknown adapt action %q (want pause, resume, force or configure)", action)
 	}
 	s.mu.Lock()
 	if channel == "" {
@@ -1019,6 +1068,10 @@ func (s *Server) adaptControl(action, channel string) ([]string, error) {
 			ad.Resume()
 		case "force":
 			ad.Force()
+		case "configure":
+			if err := ad.Configure(every, minWindows); err != nil {
+				return nil, fmt.Errorf("server: configure bus %q: %w", ch, err)
+			}
 		}
 		buses = append(buses, ch)
 	}
@@ -1065,7 +1118,6 @@ func (s *Server) Checkpoint() (files map[string]string, err error) {
 	defer s.ckMu.Unlock()
 	defer func() { s.ckErr = err }()
 	s.mu.Lock()
-	snap := s.snap
 	adapters := make(map[string]*adapt.Adapter, len(s.adapters))
 	for ch, ad := range s.adapters {
 		adapters[ch] = ad
@@ -1074,7 +1126,7 @@ func (s *Server) Checkpoint() (files map[string]string, err error) {
 	files = make(map[string]string, len(adapters))
 	var errs []error
 	for ch, ad := range adapters {
-		ck, err := checkpointSnapshot(snap, ad)
+		ck, err := checkpointSnapshot(ad)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("server: checkpoint bus %q: %w", ch, err))
 			continue
@@ -1100,40 +1152,20 @@ func (s *Server) Checkpoint() (files map[string]string, err error) {
 	return files, errors.Join(errs...)
 }
 
-// checkpointSnapshot assembles the version-2 snapshot for one bus: the
-// served snapshot's identity (core config, pool, policies) with the
-// adapter's latest promoted template and budgets, plus the adaptation
-// metadata. The result passes the same validation as any snapshot, so
-// a restart can -load it and an /admin/reload can swap it in.
-func checkpointSnapshot(snap *store.Snapshot, ad *adapt.Adapter) (*store.Snapshot, error) {
-	tmpl, budgets, st := ad.Model()
-	ck := *snap
-	ck.Template = tmpl
-	if snap.Gateway != nil || snap.Response != nil {
-		var gp store.GatewayPolicy
-		if snap.Gateway != nil {
-			gp = *snap.Gateway
-		}
-		if gp.RateWindow <= 0 {
-			// Same default buildEngine applies to the live gateway.
-			gp.RateWindow = snap.Core.Window
-		}
-		if budgets != nil {
-			gp.Budgets = budgets
-		}
-		ck.Gateway = &gp
-	}
-	ck.Adapt = &store.AdaptMeta{
+// checkpointSnapshot flattens one bus's latest promoted model back
+// into a version-2 snapshot (store.FromModel) with the adaptation
+// metadata attached. The result passes the same validation as any
+// snapshot, so a restart can -load it and an /admin/reload can swap it
+// in.
+func checkpointSnapshot(ad *adapt.Adapter) (*store.Snapshot, error) {
+	m, st := ad.Model()
+	return store.FromModel(m, &store.AdaptMeta{
 		Windows:      st.Windows,
 		Clean:        st.Clean,
 		Promotions:   st.Promotions,
 		LastBoundary: st.LastBoundary,
 		Drift:        st.Drift,
-	}
-	if err := ck.Validate(); err != nil {
-		return nil, err
-	}
-	return &ck, nil
+	})
 }
 
 // AlertsTotal returns the number of alerts emitted since Start.
@@ -1331,6 +1363,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, channel st
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	// Advisory per-channel quota check: the demux sheds over-quota
+	// records deterministically either way; answering 429 up front
+	// spares a client the upload. Only the per-channel ingest route can
+	// know which quota applies before decoding.
+	if channel != "" && s.cfg.QuotaFrames > 0 && s.sup.OverQuota(channel) {
+		w.Header().Set("Retry-After", s.retryAfterHint())
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			Error: fmt.Sprintf("channel %q is over its ingest quota (%d frames per %v)",
+				channel, s.cfg.QuotaFrames, s.cfg.QuotaWindow)})
+		return
+	}
 	body := io.Reader(r.Body)
 	if s.cfg.MaxBody > 0 {
 		body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
@@ -1408,6 +1451,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 type statsResponse struct {
 	UptimeSeconds     float64                     `json:"uptime_seconds"`
+	Epoch             uint64                      `json:"epoch"`
 	AlertsTotal       uint64                      `json:"alerts_total"`
 	Total             engine.Stats                `json:"total"`
 	Buses             map[string]engine.Stats     `json:"buses"`
@@ -1421,6 +1465,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	total, buses := s.Stats()
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSeconds:     time.Since(s.startTime).Seconds(),
+		Epoch:             s.Model().Epoch(),
 		AlertsTotal:       s.AlertsTotal(),
 		Total:             total,
 		Buses:             buses,
@@ -1448,17 +1493,48 @@ func (s *Server) handleAdaptStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAdaptControl(w http.ResponseWriter, r *http.Request) {
-	action := r.URL.Query().Get("action")
-	buses, err := s.adaptControl(action, r.URL.Query().Get("channel"))
-	if err != nil {
-		code := http.StatusBadRequest
-		if s.cfg.Adapt == nil {
-			code = http.StatusConflict
+	q := r.URL.Query()
+	action := q.Get("action")
+	every, err := queryInt(q.Get("every"))
+	if err == nil {
+		var minWindows int
+		minWindows, err = queryInt(q.Get("min_windows"))
+		if err == nil {
+			var buses []string
+			buses, err = s.adaptControl(action, q.Get("channel"), every, minWindows)
+			if err == nil {
+				resp := map[string]any{"action": action, "buses": buses}
+				if action == "configure" {
+					if every > 0 {
+						resp["every"] = every
+					}
+					if minWindows > 0 {
+						resp["min_windows"] = minWindows
+					}
+				}
+				writeJSON(w, http.StatusOK, resp)
+				return
+			}
 		}
-		writeJSON(w, code, errorResponse{Error: err.Error()})
-		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"action": action, "buses": buses})
+	code := http.StatusBadRequest
+	if s.cfg.Adapt == nil {
+		code = http.StatusConflict
+	}
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// queryInt parses an optional non-negative integer query value ("" is
+// zero: knob untouched).
+func queryInt(v string) (int, error) {
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("server: bad count %q", v)
+	}
+	return n, nil
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {

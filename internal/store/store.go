@@ -63,6 +63,7 @@ import (
 	"canids/internal/can"
 	"canids/internal/core"
 	"canids/internal/gateway"
+	"canids/internal/model"
 	"canids/internal/response"
 )
 
@@ -344,6 +345,79 @@ func (s *Snapshot) ResponseConfig() response.Config {
 		cfg.MinScore = s.Response.MinScore
 	}
 	return cfg
+}
+
+// BuildModel materializes the snapshot as one immutable serving model
+// at the given epoch — the single construction path every consumer
+// (initial build, hot reload, checkpoint restore) funnels through. A
+// gateway policy is built whenever the snapshot carries a gateway or a
+// response policy (the responder needs a gateway to block on); a
+// persisted rate window of zero defaults to the detection window, so
+// budget enforcement and detection share one horizon.
+func (s *Snapshot) BuildModel(epoch uint64) (*model.Model, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	spec := model.Spec{
+		Epoch:    epoch,
+		Core:     s.Core,
+		Template: s.Template,
+		Pool:     s.Pool,
+	}
+	if s.Gateway != nil || s.Response != nil {
+		cfg := s.GatewayConfig()
+		if cfg.RateWindow <= 0 {
+			cfg.RateWindow = s.Core.Window
+		}
+		gp, err := gateway.NewPolicy(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("store: build model: %w", err)
+		}
+		spec.Gateway = gp
+	}
+	if s.Response != nil {
+		cfg := s.ResponseConfig()
+		spec.Response = &cfg
+	}
+	m, err := model.New(spec)
+	if err != nil {
+		return nil, fmt.Errorf("store: build model: %w", err)
+	}
+	return m, nil
+}
+
+// FromModel captures a serving model as a snapshot — the checkpoint
+// path. Adaptation metadata, when present, rides along as provenance.
+func FromModel(m *model.Model, adapt *AdaptMeta) (*Snapshot, error) {
+	if m == nil {
+		return nil, fmt.Errorf("%w: nil model", ErrInvalid)
+	}
+	s := &Snapshot{
+		Core:     m.Core(),
+		Template: m.Template(),
+		Pool:     m.Pool(),
+		Adapt:    adapt,
+	}
+	if gp := m.Gateway(); gp != nil {
+		s.Gateway = &GatewayPolicy{
+			Legal:      gp.Legal(),
+			RateWindow: gp.RateWindow(),
+			RateSlack:  gp.RateSlack(),
+			Budgets:    gp.Budgets(),
+		}
+	}
+	if rc := m.Response(); rc != nil {
+		s.Response = &ResponsePolicy{
+			Rank:       rc.Rank,
+			BlockTop:   rc.BlockTop,
+			Quarantine: rc.Quarantine,
+			MinScore:   rc.MinScore,
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // Encode writes the snapshot to w in the container format.
