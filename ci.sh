@@ -252,10 +252,14 @@ echo "chaos smoke: checkpoint survived an injected write failure, crash restart 
 # smoke. Then shut down and `canids -replay` the capture: the replayed
 # alert journal must reproduce the recorded one bit for bit — asserted
 # twice, by the replay's own verdict and by an explicit cmp of every
-# journal file.
+# journal file. The same run checks the latency-observability surface:
+# histogram buckets monotone and reconciling with the window/alert
+# counters, pprof and the /admin/diag incident bundle served through
+# bearer auth (and refused without it).
 echo "== observability smoke"
+obs_token="obs-secret"
 "$smoke/canids" -serve -addr 127.0.0.1:0 -load "$smoke/model.snap" -shards 2 \
-  -record "$smoke/incident" >"$smoke/record.log" &
+  -record "$smoke/incident" -admin-token "$obs_token" >"$smoke/record.log" &
 serve_pid=$!
 base=""
 for _ in $(seq 1 100); do
@@ -289,10 +293,64 @@ if [[ -z "$m_ok" ]]; then
   echo "observability smoke FAILED: /metrics never reconciled (frames=${m_frames:-?} accepted=${m_accept:-?} alerts=${m_alerts:-?}, ingested=$ingested)"
   echo "$mtx"; cat "$smoke/record.log"; exit 1
 fi
-if ! echo "$mtx" | grep -q 'canids_bus_state{bus="ms-can",state="ok"} 1'; then
+# (herestrings, not `echo | grep -q`: grep exits at the first match, and
+# a /metrics body bigger than the pipe buffer would then SIGPIPE the
+# echo — a pipefail failure on a successful match.)
+if ! grep -q 'canids_bus_state{bus="ms-can",state="ok"} 1' <<<"$mtx"; then
   echo "observability smoke FAILED: bus not reported ok"; echo "$mtx"; exit 1
 fi
-down_obs=$(curl -sS -X POST "$base/admin/shutdown")
+# Latency histograms: the engines may still be scoring the tail when the
+# frame counters reconcile, so poll until the histogram counts agree
+# with the counters they shadow — one pipeline observation per closed
+# window, one detection observation per alert, one ingest observation
+# for the single ingest call.
+h_ok=""
+for _ in $(seq 1 100); do
+  mtx=$(curl -sS "$base/metrics")
+  h_windows=$(echo "$mtx" | grep -o 'canids_bus_windows_total{bus="ms-can"} [0-9]*' | grep -o '[0-9]*$' || true)
+  h_busalerts=$(echo "$mtx" | grep -o 'canids_bus_alerts_total{bus="ms-can"} [0-9]*' | grep -o '[0-9]*$' || true)
+  h_pipe=$(echo "$mtx" | grep -o 'canids_pipeline_latency_seconds_count{bus="ms-can"} [0-9]*' | grep -o '[0-9]*$' || true)
+  h_det=$(echo "$mtx" | grep -o 'canids_detect_latency_seconds_count{bus="ms-can"} [0-9]*' | grep -o '[0-9]*$' || true)
+  h_ing=$(echo "$mtx" | grep -o '^canids_ingest_request_seconds_count [0-9]*' | grep -o '[0-9]*$' || true)
+  if [[ -n "$h_windows" && "$h_windows" -gt 0 && "$h_pipe" == "$h_windows" \
+        && "$h_det" == "$h_busalerts" && "$h_ing" == "1" ]]; then h_ok=yes; break; fi
+  sleep 0.1
+done
+if [[ -z "$h_ok" ]]; then
+  echo "observability smoke FAILED: histogram counts never reconciled (pipeline=${h_pipe:-?}/windows=${h_windows:-?}, detect=${h_det:-?}/alerts=${h_busalerts:-?}, ingest=${h_ing:-?})"
+  echo "$mtx" | grep -E 'latency|ingest_request|windows_total|alerts_total'; exit 1
+fi
+# Bucket sanity on the detection-latency histogram: cumulative values
+# never decrease and the +Inf bucket equals _count.
+if ! echo "$mtx" | grep 'canids_detect_latency_seconds_bucket{bus="ms-can"' \
+  | awk -v count="$h_det" '
+      { v=$2; if (v < last) { bad=1 } last=v; inf=v }
+      END { if (bad) { print "non-monotone"; exit 1 }
+            if (inf != count) { print "+Inf " inf " != _count " count; exit 1 } }'; then
+  echo "observability smoke FAILED: detection-latency buckets malformed"
+  echo "$mtx" | grep 'canids_detect_latency_seconds'; exit 1
+fi
+# Profiling and the incident bundle are admin surface: 401 without the
+# bearer token, real payloads with it.
+pprof_code=$(curl -sS -o /dev/null -w '%{http_code}' "$base/admin/pprof/goroutine?debug=1")
+if [[ "$pprof_code" != "401" ]]; then
+  echo "observability smoke FAILED: unauthenticated pprof got $pprof_code, want 401"; exit 1
+fi
+curl -sfS -H "Authorization: Bearer $obs_token" -o "$smoke/goroutine.pprof" "$base/admin/pprof/goroutine?debug=1"
+if ! grep -q 'goroutine profile:' "$smoke/goroutine.pprof"; then
+  echo "observability smoke FAILED: authorized pprof did not return a goroutine profile"; exit 1
+fi
+if ! curl -sfS -H "Authorization: Bearer $obs_token" -o "$smoke/diag.tar.gz" "$base/admin/diag"; then
+  echo "observability smoke FAILED: /admin/diag fetch failed"; exit 1
+fi
+tar -tzf "$smoke/diag.tar.gz" > "$smoke/diag.list"
+for member in stats.json metrics.txt healthz.json goroutines.txt; do
+  if ! grep -qx "$member" "$smoke/diag.list"; then
+    echo "observability smoke FAILED: diag bundle missing $member"
+    cat "$smoke/diag.list"; exit 1
+  fi
+done
+down_obs=$(curl -sS -X POST -H "Authorization: Bearer $obs_token" "$base/admin/shutdown")
 wait "$serve_pid"
 serve_pid=""
 obs_alerts=$(echo "$down_obs" | grep -o '"alerts_total":[0-9]*' | grep -o '[0-9]*$' || true)
@@ -316,7 +374,7 @@ for f in "$smoke/incident/journal/"*; do
     cat "$smoke/replay.log"; exit 1
   fi
 done
-echo "observability smoke: /metrics reconciled ($m_frames frames, $m_alerts alerts), replay reproduced the journal byte-for-byte"
+echo "observability smoke: /metrics reconciled ($m_frames frames, $m_alerts alerts, $h_pipe pipeline / $h_det detection latency observations), pprof+diag served through auth, replay reproduced the journal byte-for-byte"
 
 # Fleet smoke: the multiplexed serving story end to end (see
 # internal/engine's fleet supervisor and internal/model). Retag the
@@ -361,7 +419,7 @@ fleet_ok=""
 for _ in $(seq 1 100); do
   mtx=$(curl -sS "$base/metrics")
   n=$(echo "$mtx" | grep -c 'canids_model_epoch{bus="veh-[0-9]"} 2' || true)
-  if [[ "$n" -eq 10 ]] && echo "$mtx" | grep -q '^canids_serving_epoch 2'; then fleet_ok=yes; break; fi
+  if [[ "$n" -eq 10 ]] && grep -q '^canids_serving_epoch 2' <<<"$mtx"; then fleet_ok=yes; break; fi
   sleep 0.1
 done
 if [[ -z "$fleet_ok" ]]; then

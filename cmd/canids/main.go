@@ -90,6 +90,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -156,6 +157,9 @@ func run(args []string, stdout io.Writer) error {
 		baselines    = fs.Bool("baselines", false, "run the Müter and Song baselines alongside (scenario mode)")
 		metricsEvery = fs.Duration("metrics", 2*time.Second, "live metrics interval for -watch (0 disables)")
 
+		logLevel  = fs.String("log-level", "info", "structured-log threshold on stderr: debug, info, warn or error")
+		logFormat = fs.String("log-format", "text", "structured-log encoding on stderr: text or json")
+
 		replayDir  = fs.String("replay", "", "re-run a -record capture directory and reproduce its alert journal bit-for-bit")
 		recordDir  = fs.String("record", "", "with -serve, capture the post-demux record stream + snapshot into this directory for -replay")
 		journalDir = fs.String("journal", "", "with -serve, append alerts to rotating per-bus binary journals under this directory (default <record>/journal with -record)")
@@ -182,6 +186,10 @@ func run(args []string, stdout io.Writer) error {
 		multibus   = fs.Bool("multibus", false, "serve one engine per bus channel (supervisor)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 	files := fs.Args()
@@ -229,7 +237,7 @@ func run(args []string, stdout io.Writer) error {
 		if len(files) != 0 {
 			return fmt.Errorf("-replay takes no input files; the capture directory carries the stream")
 		}
-		return runReplay(*replayDir, stdout)
+		return runReplay(*replayDir, logger, stdout)
 	case *serve:
 		if *loadPath == "" {
 			return fmt.Errorf("-serve needs -load <snapshot> (train once with -save, serve forever)")
@@ -292,6 +300,7 @@ func run(args []string, stdout io.Writer) error {
 			quotaWindow:   *quotaW,
 			tlsCert:       *tlsCert,
 			tlsKey:        *tlsKey,
+			logger:        logger,
 		}, stdout)
 	case *watch:
 		return runWatch(watchOptions{
@@ -315,6 +324,7 @@ func run(args []string, stdout io.Writer) error {
 			rateSlack:    *rateSlack,
 			minScore:     *minScore,
 			multibus:     *multibus,
+			logger:       logger,
 		}, stdout)
 	case *train:
 		if len(files) == 0 {
@@ -330,6 +340,34 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("no input logs given")
 		}
 		return runDetect(files, *tmplPath, *loadPath, *window, *alpha, *rank, stdout)
+	}
+}
+
+// buildLogger turns the -log-level/-log-format flags into the process
+// logger. Structured logs go to stderr; stdout stays reserved for the
+// mode transcripts that scripts (and ci.sh) parse.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level must be debug, info, warn or error, got %q", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format must be text or json, got %q", format)
 	}
 }
 
@@ -513,6 +551,7 @@ type watchOptions struct {
 	rateSlack    float64
 	minScore     float64
 	multibus     bool
+	logger       *slog.Logger
 }
 
 func (o watchOptions) validate() error {
@@ -654,6 +693,7 @@ func runWatch(opts watchOptions, stdout io.Writer) error {
 	cfg.Shards = opts.shards
 	cfg.Core.Window = opts.window
 	cfg.Core.Alpha = opts.alpha
+	cfg.Logger = opts.logger
 
 	if opts.scenarioName != "" {
 		return watchScenario(opts, cfg, stdout)
@@ -846,6 +886,7 @@ type serveOptions struct {
 	quotaWindow   time.Duration
 	tlsCert       string
 	tlsKey        string
+	logger        *slog.Logger
 }
 
 // runServe is the long-running daemon: restore the model from a
@@ -910,6 +951,7 @@ func runServe(opts serveOptions, stdout io.Writer) error {
 		JournalDir:  opts.journal,
 		QuotaFrames: opts.quotaFrames,
 		QuotaWindow: opts.quotaWindow,
+		Logger:      opts.logger,
 	}
 	if opts.fleet > 0 {
 		cfg.Fleet = &server.FleetOptions{Engines: opts.fleet, IdleAfter: opts.fleetIdle}
@@ -1024,7 +1066,7 @@ func runServe(opts serveOptions, stdout io.Writer) error {
 // path the daemon served it on. When the recorded run kept an alert
 // journal, the replayed journal must match it byte for byte — any
 // divergence is an error.
-func runReplay(dir string, stdout io.Writer) error {
+func runReplay(dir string, logger *slog.Logger, stdout io.Writer) error {
 	m, err := server.LoadManifest(dir)
 	if err != nil {
 		return err
@@ -1046,6 +1088,7 @@ func runReplay(dir string, stdout io.Writer) error {
 		Batch:      m.Batch,
 		Adapt:      m.Adapt,
 		JournalDir: replayJournal,
+		Logger:     logger,
 	})
 	if err != nil {
 		return err

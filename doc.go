@@ -239,6 +239,54 @@
 // clean-drain runs; a crash-restart loses frames the capture still
 // carries, so those replays run but may legitimately diverge.
 //
+// # Latency & profiling
+//
+// Counters say how much; latency histograms say how long. internal/hist
+// is a dependency-free, fixed-bucket log-linear histogram — base-2 with
+// two sub-buckets per octave, first bound 4.096µs, last finite bound
+// ~68.7s — whose Observe is one atomic add per bucket plus one for the
+// sum: allocation-free, so it rides the engine hot path without
+// disturbing the <0.25 allocs/frame guards, and a nil *Histogram is a
+// valid no-op receiver, so timing is a nil check when disabled. Bucket
+// bounds render from strings precomputed at init, making the Prometheus
+// exposition byte-stable for equal state (TestMetricsHistogramByteStable
+// scrapes twice and diffs).
+//
+// /metrics exports six histogram families, each with a counter it must
+// agree with at quiescence: canids_ingest_request_seconds (one
+// observation per HTTP ingest call) and canids_ingest_decode_seconds
+// per wire format (request time minus feed backpressure);
+// canids_pipeline_latency_seconds{bus} — a wall stamp rides the
+// engine's flush token from the dispatcher's broadcast to the merged
+// window being scored, one observation per closed window, so _count
+// equals canids_bus_windows_total; canids_barrier_stall_seconds{bus},
+// the dispatcher's wait on the per-window barrier;
+// canids_detect_latency_seconds{bus} — end-to-end detection latency
+// from record ingest to alert emit, resolved through a bounded
+// per-bus watermark ring pairing stream time with arrival wall time at
+// the demux tap, one observation per alert, so _count equals
+// canids_bus_alerts_total (fleet mode included; the per-engine pipeline
+// histograms ride per-bus engine builds, which fleet lanes bypass); and
+// canids_checkpoint_save_seconds. The timing is side-band only: stamps
+// ride existing channel messages and never branch the pipeline, so the
+// deterministic alert stream and record/replay bit-identity are
+// untouched (the shards-1/2/8 -race parity suites pin this).
+//
+// The daemon's own voice is structured: log/slog on stderr (stdout
+// stays reserved for the mode transcripts scripts parse), with
+// -log-level debug|info|warn|error and -log-format text|json, and
+// per-bus/epoch attrs on engine restarts, model installs, checkpoint
+// saves and degradations. For the questions counters cannot answer,
+// the full net/http/pprof surface is mounted at /admin/pprof/ behind
+// the same bearer token as every other admin route (unauthenticated
+// requests get 401 before any profiling runs), alongside Go runtime
+// gauges (canids_goroutines, canids_heap_alloc_bytes, ...) on
+// /metrics. GET /admin/diag captures the whole observable surface in
+// one shot — stats, metrics, health, recent alerts, degradation notes,
+// redacted effective config, build info, full goroutine dump — as a
+// tar.gz incident bundle, so "grab diagnostics before restarting" is
+// one curl (TestDiagBundle, and ci.sh fetches one through auth).
+//
 // # Model & fleet serving
 //
 // Everything a detector serves with — core config, golden template,

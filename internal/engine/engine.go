@@ -77,6 +77,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"runtime/debug"
 	"sync"
@@ -88,6 +89,7 @@ import (
 	"canids/internal/entropy"
 	"canids/internal/fault"
 	"canids/internal/gateway"
+	"canids/internal/hist"
 	"canids/internal/model"
 	"canids/internal/response"
 	"canids/internal/trace"
@@ -159,6 +161,32 @@ type Config struct {
 	// FaultScope tags this engine's seams — the serving layer sets the
 	// bus channel, so one spec can target one bus of a fleet.
 	FaultScope string
+	// Timing arms side-band latency instrumentation. It is
+	// observability-only: wall-clock timestamps ride the existing flush
+	// tokens and never influence control flow, so the deterministic
+	// alert stream and record/replay bit-identity are untouched. Each
+	// nil histogram costs one cached nil check per window boundary —
+	// nothing on the per-frame path.
+	Timing Timing
+	// Logger receives structured pipeline events (fatal stage failures,
+	// boundary model installs). Nil discards.
+	Logger *slog.Logger
+}
+
+// Timing is the engine's set of side-band latency histograms. Every
+// field is optional; a nil histogram disables that measurement
+// (hist.Histogram's Observe is nil-receiver-safe).
+type Timing struct {
+	// WindowClose observes demux→window-close pipeline latency: the
+	// wall-clock time from the dispatcher broadcasting a window's flush
+	// tokens to the window merger finishing that window's scoring. One
+	// observation per closed window, so its _count reconciles with the
+	// Windows counter at quiescence.
+	WindowClose *hist.Histogram
+	// BarrierStall observes how long the dispatcher parks on the
+	// per-window barrier waiting for the merge stage's ack. Only
+	// populated when prevention or adaptation arms the barrier.
+	BarrierStall *hist.Histogram
 }
 
 // WindowInfo describes one closed detection window to the adaptation
@@ -327,11 +355,15 @@ func (e *PanicError) Error() string {
 // context so every stage unwinds. Safe from any pipeline goroutine.
 func (e *Engine) fail(err error) {
 	e.failMu.Lock()
-	if e.failErr == nil {
+	first := e.failErr == nil
+	if first {
 		e.failErr = err
 	}
 	cancel := e.runCancel
 	e.failMu.Unlock()
+	if first {
+		e.cfg.Logger.Error("engine pipeline failure", "scope", e.cfg.FaultScope, "err", err)
+	}
 	if cancel != nil {
 		cancel()
 	}
@@ -432,6 +464,9 @@ func New(cfg Config) (*Engine, error) {
 		if cfg.Responder.Gateway() != cfg.Gateway {
 			return nil, fmt.Errorf("engine: Responder is bound to a different gateway; the loop would not close")
 		}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
 	det, err := core.New(cfg.Core)
 	if err != nil {
@@ -535,16 +570,21 @@ func (e *Engine) Stats() Stats {
 }
 
 // shardMsg is one dispatcher→shard message: a batch of records, or a
-// window-flush token carrying the closing window's start time.
+// window-flush token carrying the closing window's start time. wall is
+// the side-band timing stamp taken at flush broadcast (zero when
+// Timing.WindowClose is nil); it rides the token unchanged and never
+// affects control flow.
 type shardMsg struct {
 	recs  []trace.Record
 	start time.Duration
+	wall  time.Time
 	flush bool
 }
 
 // partial is one shard's contribution to one closed window.
 type partial struct {
 	start   time.Duration
+	wall    time.Time
 	counter *entropy.BitCounter
 }
 
@@ -793,6 +833,8 @@ func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardM
 	gw := e.cfg.Gateway
 	adapt := e.cfg.Adapt
 	flt, fltScope := e.cfg.Fault, e.cfg.FaultScope
+	closeHist := e.cfg.Timing.WindowClose
+	stallHist := e.cfg.Timing.BarrierStall
 	var winStart time.Duration
 	var winDropped uint64
 	haveWindow := false
@@ -865,8 +907,12 @@ func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardM
 			if !flushPending() {
 				return ctx.Err()
 			}
+			var wall time.Time
+			if closeHist != nil {
+				wall = time.Now()
+			}
 			for i := range shardIn {
-				if !send(ctx, shardIn[i], shardMsg{start: winStart, flush: true}) {
+				if !send(ctx, shardIn[i], shardMsg{start: winStart, wall: wall, flush: true}) {
 					return ctx.Err()
 				}
 			}
@@ -874,10 +920,17 @@ func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardM
 			winStart = detect.NextWindowStart(winStart, rec.Time, W)
 			var ack windowAck
 			if syncCh != nil {
+				var parked time.Time
+				if stallHist != nil {
+					parked = time.Now()
+				}
 				select {
 				case ack = <-syncCh:
 				case <-ctx.Done():
 					return ctx.Err()
+				}
+				if stallHist != nil {
+					stallHist.Observe(time.Since(parked))
 				}
 			}
 			// applySwap installs one validated model at this boundary —
@@ -897,6 +950,8 @@ func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardM
 					return ctx.Err()
 				}
 				e.curModel.Store(m)
+				e.cfg.Logger.Debug("model installed at window boundary",
+					"scope", fltScope, "epoch", m.Epoch(), "from", winStart.String())
 				return nil
 			}
 			if adapt != nil {
@@ -955,8 +1010,12 @@ func (e *Engine) dispatch(ctx context.Context, src Source, shardIn []chan shardM
 		if !flushPending() {
 			return ctx.Err()
 		}
+		var wall time.Time
+		if closeHist != nil {
+			wall = time.Now()
+		}
 		for i := range shardIn {
-			if !send(ctx, shardIn[i], shardMsg{start: winStart, flush: true}) {
+			if !send(ctx, shardIn[i], shardMsg{start: winStart, wall: wall, flush: true}) {
 				return ctx.Err()
 			}
 		}
@@ -980,7 +1039,7 @@ func (e *Engine) shardWorker(ctx context.Context, i int, in <-chan shardMsg, out
 				return
 			}
 			if m.flush {
-				if !send(ctx, out, partial{start: m.start, counter: counter}) {
+				if !send(ctx, out, partial{start: m.start, wall: m.wall, counter: counter}) {
 					return
 				}
 				counter = entropy.MustBitCounter(width)
@@ -1015,9 +1074,11 @@ func (e *Engine) windowMerger(ctx context.Context, shardOut []chan partial, swap
 	master := entropy.MustBitCounter(width)
 	h := make([]float64, width)
 	p := make([]float64, width)
+	closeHist := e.cfg.Timing.WindowClose
 	var swaps []swapMsg
 	for {
 		var start time.Duration
+		var wall time.Time
 		for s := range shardOut {
 			select {
 			case pt, ok := <-shardOut[s]:
@@ -1031,6 +1092,7 @@ func (e *Engine) windowMerger(ctx context.Context, shardOut []chan partial, swap
 				}
 				master.Merge(pt.counter)
 				start = pt.start
+				wall = pt.wall
 			case <-ctx.Done():
 				return
 			}
@@ -1083,6 +1145,11 @@ func (e *Engine) windowMerger(ctx context.Context, shardOut []chan partial, swap
 			}
 		}
 		master.Reset()
+		if closeHist != nil && !wall.IsZero() {
+			// One observation per closed window, taken once scoring is
+			// done, so the histogram count reconciles with Windows.
+			closeHist.Observe(time.Since(wall))
+		}
 		if !send(ctx, mergeIn, streamMsg{stream: 0, kind: 'w', wm: detect.WindowEnd(start, e.cfg.Core.Window)}) {
 			return
 		}

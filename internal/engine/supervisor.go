@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime/debug"
 	"sort"
 	"sync"
@@ -84,6 +85,9 @@ type SupervisorConfig struct {
 	// goroutine after each engine failure, before the restart (or the
 	// death) it triggers. It must not call back into the supervisor.
 	OnBusError func(channel string, err error, willRestart bool)
+	// Logger receives structured supervision events (bus crashes,
+	// restarts, dead buses) with per-bus attrs. Nil discards.
+	Logger *slog.Logger
 	// Tap, when set, observes every demuxed slab exactly as it is about
 	// to enter its bus feed — the record/replay capture seam: per-bus
 	// content, order and batch boundaries are exactly what the engines
@@ -163,6 +167,9 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	}
 	if cfg.StallAfter <= 0 {
 		cfg.StallAfter = DefaultStallAfter
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
 	s := &Supervisor{cfg: cfg, engines: make(map[string]*Engine)}
 	if fc := cfg.Fleet; fc != nil {
@@ -534,6 +541,7 @@ func (s *Supervisor) serveBus(ctx context.Context, channel string, r *busState, 
 			return
 		}
 		r.noteError(err)
+		s.cfg.Logger.Error("bus engine failed", "bus", channel, "attempt", attempt, "err", err)
 		if s.cfg.OnBusError != nil {
 			s.cfg.OnBusError(channel, err, attempt < s.cfg.MaxRestarts)
 		}
@@ -541,6 +549,7 @@ func (s *Supervisor) serveBus(ctx context.Context, channel string, r *busState, 
 			if attempt >= s.cfg.MaxRestarts {
 				r.state.Store(stateDead)
 				r.err = fmt.Errorf("dead after %d restarts: %w", attempt, err)
+				s.cfg.Logger.Error("bus dead; draining feed", "bus", channel, "restarts", attempt, "err", err)
 				s.drainFeed(ctx, r, pool)
 				return
 			}
@@ -575,6 +584,7 @@ func (s *Supervisor) serveBus(ctx context.Context, channel string, r *busState, 
 			s.mu.Unlock()
 			eng = next
 			r.state.Store(stateOK)
+			s.cfg.Logger.Info("bus engine restarted", "bus", channel, "attempt", attempt)
 			break
 		}
 	}

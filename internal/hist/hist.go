@@ -1,0 +1,196 @@
+// Package hist provides a dependency-free, fixed-bucket log-linear
+// latency histogram with an atomic, allocation-free Observe and
+// byte-stable Prometheus 0.0.4 histogram exposition.
+//
+// Geometry: base-2 log-linear with two sub-buckets per octave. The
+// first bucket covers (0, 4.096µs] (2^12 ns) and the last finite bound
+// is 2^36 ns (~68.7s); observations beyond that land in an overflow
+// slot that only appears in the +Inf bucket. Bucket bounds are
+// precomputed as strings once at package init so that two scrapes of
+// equal state render byte-identical output.
+//
+// A nil *Histogram is a valid receiver for every method: Observe on a
+// nil histogram is a single branch and does nothing, so call sites can
+// keep unconditional Observe calls on hot paths and pay only a nil
+// check when timing is disabled.
+package hist
+
+import (
+	"bytes"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	minShift = 12 // first bound: 2^12 ns = 4.096µs
+	maxShift = 36 // last finite bound: 2^36 ns ≈ 68.7s
+	// bucket 0 plus two sub-buckets per octave in [minShift, maxShift).
+	numBounds  = 1 + 2*(maxShift-minShift) // 49 finite bounds
+	numBuckets = numBounds + 1             // plus one overflow slot
+)
+
+// boundNanos returns the inclusive upper bound, in nanoseconds, of
+// finite bucket i.
+func boundNanos(i int) uint64 {
+	if i == 0 {
+		return 1 << minShift
+	}
+	o := minShift + uint((i-1)/2)
+	if (i-1)%2 == 0 {
+		return 1<<o + 1<<(o-1) // 1.5 * 2^o
+	}
+	return 1 << (o + 1)
+}
+
+// boundStrs holds the `le` label values (seconds, FormatFloat 'g') for
+// each finite bound, precomputed for byte-stable exposition.
+var boundStrs = func() [numBounds]string {
+	var s [numBounds]string
+	for i := range s {
+		s[i] = strconv.FormatFloat(float64(boundNanos(i))/1e9, 'g', -1, 64)
+	}
+	return s
+}()
+
+// bucketIndex maps a non-negative duration in nanoseconds to its
+// bucket slot (0..numBuckets-1).
+func bucketIndex(n uint64) int {
+	if n <= 1<<minShift {
+		return 0
+	}
+	if n > 1<<maxShift {
+		return numBuckets - 1
+	}
+	u := n - 1 // make upper bounds inclusive
+	o := uint(bits.Len64(u)) - 1
+	sub := int(u>>(o-1)) & 1
+	return 1 + 2*int(o-minShift) + sub
+}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// use. The zero value is ready; Observe never allocates.
+type Histogram struct {
+	counts [numBuckets]atomic.Uint64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// New returns an empty histogram.
+func New() *Histogram { return &Histogram{} }
+
+// Observe records one duration. Negative durations clamp to zero. A
+// nil receiver is a no-op.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	n := int64(d)
+	if n < 0 {
+		n = 0
+	}
+	h.counts[bucketIndex(uint64(n))].Add(1)
+	h.sum.Add(n)
+}
+
+// Snapshot is a point-in-time copy of a histogram's state.
+type Snapshot struct {
+	Buckets  [numBuckets]uint64
+	SumNanos int64
+	Count    uint64
+}
+
+// Snapshot copies the current counters. The total count is derived
+// from the bucket slots so that the +Inf cumulative bucket always
+// equals Count exactly, even if observations race the copy.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	if h == nil {
+		return s
+	}
+	for i := range s.Buckets {
+		c := h.counts[i].Load()
+		s.Buckets[i] = c
+		s.Count += c
+	}
+	s.SumNanos = h.sum.Load()
+	return s
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// WriteProm appends Prometheus 0.0.4 histogram sample lines for h to
+// b: cumulative `name_bucket` lines for every finite bound plus +Inf,
+// then `name_sum` (seconds) and `name_count`. labels is either empty
+// or a pre-rendered `k="v",...` list (no braces) that is prefixed to
+// the `le` label; the caller emits the `# HELP`/`# TYPE` header. Equal
+// state renders byte-identical output.
+func (h *Histogram) WriteProm(b *bytes.Buffer, name, labels string) {
+	s := h.Snapshot()
+	var cum uint64
+	for i := 0; i < numBounds; i++ {
+		cum += s.Buckets[i]
+		b.WriteString(name)
+		b.WriteString(`_bucket{`)
+		if labels != "" {
+			b.WriteString(labels)
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(boundStrs[i])
+		b.WriteString(`"} `)
+		b.WriteString(strconv.FormatUint(cum, 10))
+		b.WriteByte('\n')
+	}
+	b.WriteString(name)
+	b.WriteString(`_bucket{`)
+	if labels != "" {
+		b.WriteString(labels)
+		b.WriteByte(',')
+	}
+	b.WriteString(`le="+Inf"} `)
+	b.WriteString(strconv.FormatUint(s.Count, 10))
+	b.WriteByte('\n')
+
+	b.WriteString(name)
+	b.WriteString("_sum")
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatFloat(float64(s.SumNanos)/1e9, 'g', -1, 64))
+	b.WriteByte('\n')
+
+	b.WriteString(name)
+	b.WriteString("_count")
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(s.Count, 10))
+	b.WriteByte('\n')
+}
+
+// Bounds returns the finite bucket upper bounds in seconds, ascending.
+// Exposed for tests.
+func Bounds() []float64 {
+	out := make([]float64, numBounds)
+	for i := range out {
+		out[i] = float64(boundNanos(i)) / 1e9
+	}
+	return out
+}

@@ -181,6 +181,15 @@ func (w *Writer) rotate() error {
 	return w.openActive()
 }
 
+// Size returns the active segment's size in bytes, including the magic
+// header. Rotated segments are capped at Options.MaxBytes and not
+// counted here.
+func (w *Writer) Size() int64 { return w.size }
+
+// Segments returns how many segment files the journal currently spans:
+// rotated slots plus the active segment.
+func (w *Writer) Segments() int { return w.seq }
+
 // Sync forces the active segment down to stable storage.
 func (w *Writer) Sync() error {
 	if w.f == nil {
@@ -313,6 +322,9 @@ type Set struct {
 	mu      sync.Mutex
 	writers map[string]*Writer
 	closed  bool
+	// finalStats freezes the per-key sizes at Close, keeping the
+	// serving layer's journal gauges truthful after a drain.
+	finalStats []KeyStats
 }
 
 // OpenSet opens (creating the directory if needed) a journal set.
@@ -343,6 +355,39 @@ func (s *Set) Append(key string, payload []byte) error {
 	return w.Append(payload)
 }
 
+// KeyStats describes one key's journal at a point in time — the
+// serving layer's /metrics gauges.
+type KeyStats struct {
+	// Key is the journal key (a bus channel).
+	Key string
+	// ActiveBytes is the active segment's size, including the header.
+	ActiveBytes int64
+	// Segments is the number of segment files: rotated plus active.
+	Segments int
+}
+
+// Stats reports every open journal in the set, sorted by key. Keys
+// that have never been appended to do not appear (writers open
+// lazily). After Close the final sizes remain readable, so a /metrics
+// scrape of a drained server still reports what was journaled.
+func (s *Set) Stats() []KeyStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.finalStats
+	}
+	return s.statsLocked()
+}
+
+func (s *Set) statsLocked() []KeyStats {
+	out := make([]KeyStats, 0, len(s.writers))
+	for key, w := range s.writers {
+		out = append(out, KeyStats{Key: key, ActiveBytes: w.Size(), Segments: w.Segments()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
 // Sync forces every open journal down to stable storage.
 func (s *Set) Sync() error {
 	s.mu.Lock()
@@ -358,6 +403,9 @@ func (s *Set) Sync() error {
 func (s *Set) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !s.closed {
+		s.finalStats = s.statsLocked()
+	}
 	s.closed = true
 	var errs []error
 	for _, w := range s.writers {

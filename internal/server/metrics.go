@@ -10,12 +10,16 @@ package server
 import (
 	"bytes"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"canids/internal/engine"
+	"canids/internal/trace"
 )
 
 // busStates are the health states exported as a one-hot
@@ -119,8 +123,85 @@ func (s *Server) metricsText() []byte {
 			}
 		}
 	}
+
+	m.family("canids_journal_errors_total", "counter", "Alert-journal append failures (the first one disables the journal).")
+	m.sample("canids_journal_errors_total", nil, promUint(s.journalErrors.Load()))
+	if s.journal != nil {
+		jst := s.journal.Stats()
+		m.family("canids_journal_bytes", "gauge", "Active alert-journal segment size per bus, header included.")
+		for _, ks := range jst {
+			m.sample("canids_journal_bytes", busLabel(ks.Key), strconv.FormatInt(ks.ActiveBytes, 10))
+		}
+		m.family("canids_journal_segments", "gauge", "Alert-journal segment files per bus, rotated plus active.")
+		for _, ks := range jst {
+			m.sample("canids_journal_segments", busLabel(ks.Key), strconv.Itoa(ks.Segments))
+		}
+	}
+
+	version, goVersion := buildInfo()
+	m.family("canids_build_info", "gauge", "Build metadata as labels; the value is always 1.")
+	m.sample("canids_build_info", [][2]string{{"version", version}, {"go_version", goVersion}}, "1")
+
+	// Latency histograms (internal/hist): cumulative le buckets in
+	// seconds, byte-stable for equal state. Counts reconcile with the
+	// counters above at quiescence: one ingest observation per Ingest
+	// call, one pipeline observation per closed window, one detection
+	// observation per alert, one checkpoint observation per save.
+	histBus := func(ch string) string { return `bus="` + promEscape(ch) + `"` }
+	m.family("canids_ingest_request_seconds", "histogram", "Whole ingest call duration: decode plus feed backpressure.")
+	s.obs.ingest.WriteProm(&b, "canids_ingest_request_seconds", "")
+	m.family("canids_ingest_decode_seconds", "histogram", "Ingest decode time per wire format (request duration minus feed wait).")
+	for _, f := range []trace.Format{trace.FormatCandump, trace.FormatCSV, trace.FormatBinary} {
+		s.obs.decode[f].WriteProm(&b, "canids_ingest_decode_seconds", `format="`+f.String()+`"`)
+	}
+	obsNames, obsBuses := s.obs.snapshotBuses()
+	m.family("canids_pipeline_latency_seconds", "histogram", "Flush broadcast to window scored, per bus (engine pipeline latency).")
+	for i, ch := range obsNames {
+		obsBuses[i].pipeline.WriteProm(&b, "canids_pipeline_latency_seconds", histBus(ch))
+	}
+	m.family("canids_barrier_stall_seconds", "histogram", "Dispatcher stall on the per-window barrier, per bus (prevention/adaptation only).")
+	for i, ch := range obsNames {
+		obsBuses[i].barrier.WriteProm(&b, "canids_barrier_stall_seconds", histBus(ch))
+	}
+	m.family("canids_detect_latency_seconds", "histogram", "End-to-end detection latency per bus: record ingest to alert emit.")
+	for i, ch := range obsNames {
+		obsBuses[i].detect.WriteProm(&b, "canids_detect_latency_seconds", histBus(ch))
+	}
+	m.family("canids_checkpoint_save_seconds", "histogram", "One checkpoint save, fault seam included.")
+	s.obs.checkpoint.WriteProm(&b, "canids_checkpoint_save_seconds", "")
+
+	// Go runtime gauges, for the pprof-adjacent questions (/admin/pprof
+	// has the detail): scheduler and heap pressure at scrape time.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.family("canids_goroutines", "gauge", "Live goroutines.")
+	m.sample("canids_goroutines", nil, strconv.Itoa(runtime.NumGoroutine()))
+	m.family("canids_heap_alloc_bytes", "gauge", "Bytes of live heap objects.")
+	m.sample("canids_heap_alloc_bytes", nil, promUint(ms.HeapAlloc))
+	m.family("canids_heap_objects", "gauge", "Live heap objects.")
+	m.sample("canids_heap_objects", nil, promUint(ms.HeapObjects))
+	m.family("canids_gc_cycles_total", "counter", "Completed GC cycles.")
+	m.sample("canids_gc_cycles_total", nil, promUint(uint64(ms.NumGC)))
+	m.family("canids_gc_pause_seconds_total", "counter", "Cumulative stop-the-world GC pause time.")
+	m.sample("canids_gc_pause_seconds_total", nil, promFloat(float64(ms.PauseTotalNs)/1e9))
 	return b.Bytes()
 }
+
+// buildInfo resolves the module version and Go toolchain version once;
+// both are constant for the process, keeping canids_build_info
+// byte-stable across scrapes.
+var buildInfo = sync.OnceValues(func() (string, string) {
+	version, goVersion := "unknown", runtime.Version()
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+	}
+	return version, goVersion
+})
 
 // promBuf accumulates one exposition document.
 type promBuf struct {

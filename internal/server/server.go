@@ -119,6 +119,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -298,6 +299,11 @@ type Config struct {
 	// bus channel) and consulted at the checkpoint-write seam. Chaos
 	// drills only; leave nil in production.
 	Fault *fault.Injector
+	// Logger receives the server's structured log stream (degradation
+	// notes, reloads, checkpoint failures) and is threaded, with
+	// per-bus attrs, into the supervisor and every bus engine. Nil
+	// discards — stdout/stderr stay silent by default.
+	Logger *slog.Logger
 	// Degraded seeds the degradation notes surfaced by /stats and
 	// /healthz — the CLI records a startup checkpoint fallback here so
 	// an operator can tell a degraded start from a clean one.
@@ -381,6 +387,12 @@ type Server struct {
 	degradedMu sync.Mutex
 	degraded   []string
 
+	// obs is the latency-histogram registry (/metrics histogram
+	// families); journalErrors counts alert-journal append failures.
+	obs           *observability
+	journalErrors atomic.Uint64
+	log           *slog.Logger
+
 	started   atomic.Bool
 	startTime time.Time
 	drainOnce sync.Once
@@ -444,6 +456,11 @@ func New(cfg Config) (*Server, error) {
 		adapters:  make(map[string]*adapt.Adapter),
 		runDone:   make(chan struct{}),
 		startTime: time.Now(),
+		obs:       newObservability(),
+		log:       cfg.Logger,
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
 	}
 	if cfg.CheckpointPath != "" {
 		s.ckCh = make(chan struct{}, 1)
@@ -455,7 +472,7 @@ func New(cfg Config) (*Server, error) {
 	for _, note := range cfg.Degraded {
 		s.noteDegraded("%s", note)
 	}
-	if _, err := buildEngine(base, cfg, nil, ""); err != nil {
+	if _, err := buildEngine(base, cfg, nil, "", engine.Timing{}, nil); err != nil {
 		return nil, fmt.Errorf("server: snapshot cannot serve: %w", err)
 	}
 	if cfg.Adapt != nil {
@@ -479,9 +496,15 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: record: %w", err)
 		}
 	}
-	var tap func(string, []trace.Record)
+	// The tap always carries the detection-latency watermark stamp;
+	// with recording armed it also captures the slab. Stamping first
+	// keeps the capture's failure path from skewing the clock.
+	tap := s.observeTap
 	if s.capture != nil {
-		tap = s.captureSlab
+		tap = func(channel string, slab []trace.Record) {
+			s.observeTap(channel, slab)
+			s.captureSlab(channel, slab)
+		}
 	}
 	scfg := engine.SupervisorConfig{
 		NewEngine:      s.newEngine,
@@ -493,6 +516,7 @@ func New(cfg Config) (*Server, error) {
 		Tap:            tap,
 		QuotaFrames:    cfg.QuotaFrames,
 		QuotaWindow:    cfg.QuotaWindow,
+		Logger:         s.log,
 	}
 	if cfg.Fleet != nil {
 		scfg.NewEngine = nil
@@ -511,13 +535,17 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// noteDegraded appends one line to the bounded degradation log.
+// noteDegraded appends one line to the bounded degradation log and
+// mirrors it to the structured log (the log stream is unbounded; the
+// /stats surface stays capped).
 func (s *Server) noteDegraded(format string, args ...any) {
+	note := fmt.Sprintf(format, args...)
 	s.degradedMu.Lock()
 	if len(s.degraded) < maxDegradedNotes {
-		s.degraded = append(s.degraded, fmt.Sprintf(format, args...))
+		s.degraded = append(s.degraded, note)
 	}
 	s.degradedMu.Unlock()
+	s.log.Warn("serving degraded", "note", note)
 }
 
 // DegradedNotes returns the degradation events recorded so far.
@@ -534,10 +562,12 @@ func (s *Server) DegradedNotes() []string {
 // hook when one is given. The model already carries a permissive
 // gateway policy for response-only snapshots (store.Snapshot.
 // BuildModel). The channel scopes the fault injector, when one is
-// armed.
-func buildEngine(m *model.Model, cfg Config, hook engine.AdaptHook, channel string) (*engine.Engine, error) {
+// armed; timing and logger are the bus's side-band observability
+// hooks (zero/nil for the New-time probe build).
+func buildEngine(m *model.Model, cfg Config, hook engine.AdaptHook, channel string,
+	timing engine.Timing, logger *slog.Logger) (*engine.Engine, error) {
 	ecfg := engine.Config{Shards: cfg.Shards, Buffer: cfg.Buffer, Batch: cfg.Batch, Adapt: hook,
-		Fault: cfg.Fault, FaultScope: channel}
+		Fault: cfg.Fault, FaultScope: channel, Timing: timing, Logger: logger}
 	if gp := m.Gateway(); gp != nil {
 		gw := gateway.NewWithPolicy(gp)
 		ecfg.Gateway = gw
@@ -635,7 +665,9 @@ func (s *Server) buildBus(m *model.Model, channel string) (*engine.Engine, error
 		}
 		hook = ad
 	}
-	eng, err := buildEngine(m, s.cfg, hook, channel)
+	b := s.obs.bus(channel)
+	timing := engine.Timing{WindowClose: b.pipeline, BarrierStall: b.barrier}
+	eng, err := buildEngine(m, s.cfg, hook, channel, timing, s.log.With("bus", channel))
 	if err != nil {
 		return nil, err
 	}
@@ -831,6 +863,7 @@ func (s *Server) Drain() error {
 		s.draining = true
 		close(s.feed)
 		s.ingestMu.Unlock()
+		s.log.Info("draining: ingest closed, flushing final windows")
 	})
 	<-s.runDone
 	if s.ckDone != nil {
@@ -866,6 +899,18 @@ func (s *Server) Ingest(channel string, format trace.Format, r io.Reader) (int, 
 	if err != nil {
 		return 0, err
 	}
+	// Request duration is the whole Ingest call; decode duration is the
+	// same interval minus time spent parked on the feed channel — the
+	// decode/backpressure split the ROADMAP's serve-vs-engine gap needs.
+	reqStart := time.Now()
+	var feedWait time.Duration
+	defer func() {
+		total := time.Since(reqStart)
+		s.obs.ingest.Observe(total)
+		if int(format) < len(s.obs.decode) {
+			s.obs.decode[format].Observe(total - feedWait)
+		}
+	}()
 	n := 0
 	slab := s.pool.Get()
 	defer func() { s.pool.Put(slab) }()
@@ -888,6 +933,8 @@ func (s *Server) Ingest(channel string, format trace.Format, r io.Reader) (int, 
 			}
 			shed = shedTimer.C
 		}
+		parked := time.Now()
+		defer func() { feedWait += time.Since(parked) }()
 		select {
 		case s.feed <- slab:
 			n += len(slab)
@@ -963,6 +1010,7 @@ func (s *Server) Reload(snap *store.Snapshot) ([]string, error) {
 			return nil, err
 		}
 		s.snap, s.model = snap, m
+		s.log.Info("snapshot reloaded", "epoch", m.Epoch(), "mode", "fleet")
 		return s.sup.Channels(), nil
 	}
 	buses := make([]string, 0, len(s.engines))
@@ -989,6 +1037,7 @@ func (s *Server) Reload(snap *store.Snapshot) ([]string, error) {
 		}
 	}
 	s.snap, s.model = snap, m
+	s.log.Info("snapshot reloaded", "epoch", m.Epoch(), "buses", len(buses))
 	return buses, nil
 }
 
@@ -1139,15 +1188,19 @@ func (s *Server) Checkpoint() (files map[string]string, err error) {
 		if _, err := os.Stat(path); err == nil {
 			os.Rename(path, path+".prev") //nolint:errcheck // rotation is best-effort
 		}
+		saveStart := time.Now()
 		err = s.cfg.Fault.Hit(fault.CheckpointSave, ch)
 		if err == nil {
 			err = store.Save(path, ck)
 		}
+		s.obs.checkpoint.Observe(time.Since(saveStart))
 		if err != nil {
 			errs = append(errs, fmt.Errorf("server: checkpoint bus %q: %w", ch, err))
+			s.log.Warn("checkpoint save failed", "bus", ch, "path", path, "err", err)
 			continue
 		}
 		files[ch] = path
+		s.log.Debug("checkpoint saved", "bus", ch, "path", path)
 	}
 	return files, errors.Join(errs...)
 }
@@ -1200,10 +1253,16 @@ func (s *Server) recordAlert(channel string, a detect.Alert) {
 		if err == nil {
 			err = s.journal.Append(channel, payload)
 		}
-		if err != nil && s.journalFail.CompareAndSwap(false, true) {
-			s.noteDegraded("alert journal disabled: bus %q: %v", channel, err)
+		if err != nil {
+			s.journalErrors.Add(1)
+			if s.journalFail.CompareAndSwap(false, true) {
+				s.noteDegraded("alert journal disabled: bus %q: %v", channel, err)
+			}
 		}
 	}
+	// End-to-end detection latency, after the alert is durably visible
+	// (ring + journal) — ingest wall clock to alert emit.
+	s.observeAlert(channel, a)
 }
 
 // Alerts returns the newest n alerts (all retained ones when n <= 0),
@@ -1267,6 +1326,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /admin/adapt", admin(s.handleAdaptStatus))
 	mux.HandleFunc("POST /admin/adapt", admin(s.handleAdaptControl))
 	mux.HandleFunc("POST /admin/checkpoint", admin(s.handleCheckpoint))
+	mux.HandleFunc("GET /admin/pprof/", admin(s.handlePprof))
+	mux.HandleFunc("GET /admin/diag", admin(s.handleDiag))
 	return mux
 }
 
@@ -1438,6 +1499,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{
 		"status":         status,
 		"uptime_seconds": time.Since(s.startTime).Seconds(),
+		"epoch":          s.Model().Epoch(),
 		"buses":          s.sup.Channels(),
 	}
 	if len(health) > 0 {
