@@ -445,6 +445,40 @@ if echo "$down_fleet" | grep -o '"Lost":[0-9]*' | grep -qv '"Lost":0'; then
 fi
 echo "fleet smoke: 10 vehicles over 2 engines, ${fleet_counts#ok } frames reconciled, one reload -> epoch 2 everywhere"
 
+# Dataset-eval smoke: the -eval harness over every committed dialect
+# fixture must produce a byte-identical transcript across two runs —
+# here at different shard counts, since the transcript is shard-
+# independent by construction — and its accounting line must reconcile
+# exactly: imported+skipped == rows and detected+missed == attacks.
+echo "== dataset-eval smoke"
+for fx in internal/dataset/testdata/hcrl.csv internal/dataset/testdata/survival.csv internal/dataset/testdata/otids.log; do
+  name=$(basename "$fx")
+  "$smoke/canids" -eval "$fx" -shards 2 > "$smoke/eval1.txt"
+  "$smoke/canids" -eval "$fx" -shards 8 > "$smoke/eval2.txt"
+  if ! cmp -s "$smoke/eval1.txt" "$smoke/eval2.txt"; then
+    echo "dataset-eval smoke FAILED: $name transcript differs between runs/shard counts"
+    diff "$smoke/eval1.txt" "$smoke/eval2.txt" || true
+    exit 1
+  fi
+  acct=$(grep "^accounting $name:" "$smoke/eval1.txt" || true)
+  if [[ -z "$acct" ]]; then
+    echo "dataset-eval smoke FAILED: $name transcript has no accounting line"
+    cat "$smoke/eval1.txt"; exit 1
+  fi
+  recon=$(echo "$acct" | awk '{
+    for (i = 1; i <= NF; i++) if (split($i, kv, "=") == 2) v[kv[1]] = kv[2]
+    if (v["imported"] + v["skipped"] == v["rows"] && v["detected"] + v["missed"] == v["attacks"])
+      print "ok rows=" v["rows"] " attacks=" v["attacks"] " detected=" v["detected"]
+    else
+      print "mismatch: " $0
+  }')
+  if [[ "$recon" != ok* ]]; then
+    echo "dataset-eval smoke FAILED: $name accounting does not reconcile ($recon)"
+    echo "$acct"; exit 1
+  fi
+  echo "dataset-eval smoke: $name deterministic across shard counts, ${recon#ok }"
+done
+
 # Shard scaling: the engine's shards-vs-throughput curve at whatever
 # parallelism this box offers. GOMAXPROCS is pinned to the full core
 # count so a multi-core machine measures real scaling; on a 1-CPU CI

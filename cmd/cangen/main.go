@@ -4,9 +4,14 @@
 // Usage:
 //
 //	cangen -duration 30s -scenario idle -seed 1 -format candump -o traffic.log
+//	cangen -dialect hcrl -attack SI -attack-start 5s -epoch 1478198371 -o hcrl.csv
 //
 // Formats: candump (text, no ground truth), csv (with source/injected
-// ground truth), binary (compact stream).
+// ground truth), binary (compact stream). Alternatively -dialect writes
+// the capture in a public-dataset dialect (hcrl|survival|otids) for the
+// internal/dataset importers — with -attack it arms one of the paper's
+// injection scenarios so the emitted capture carries labeled attack
+// traffic, which is how the committed dataset fixtures are produced.
 package main
 
 import (
@@ -14,9 +19,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
+	"canids/internal/attack"
 	"canids/internal/bus"
+	"canids/internal/can"
+	"canids/internal/dataset"
 	"canids/internal/sim"
 	"canids/internal/trace"
 	"canids/internal/vehicle"
@@ -37,6 +46,12 @@ func run(args []string, stdout io.Writer) error {
 		traffic  = fs.Int64("traffic-seed", 0, "traffic randomness seed (0 = -seed): vary payloads and timing without changing the vehicle's identifier map")
 		scenario = fs.String("scenario", "idle", "driving scenario: idle|audio|lights|cruise")
 		format   = fs.String("format", "candump", "output format: candump|csv|binary")
+		dialect  = fs.String("dialect", "", "write a public-dataset dialect instead of -format: "+dataset.SupportedNames())
+		epoch    = fs.Int64("epoch", 0, "absolute epoch seconds added to dialect timestamps (dialect output only)")
+		atkName  = fs.String("attack", "", "arm an injection attack: FI|SI|MI|WI (empty = clean capture)")
+		atkFreq  = fs.Float64("attack-freq", 100, "injection attempts per second per attacker")
+		atkStart = fs.Duration("attack-start", 2*time.Second, "attack start time")
+		atkDur   = fs.Duration("attack-duration", 0, "attack length (0 = until capture ends)")
 		bitrate  = fs.Int("bitrate", bus.DefaultMSCANBitRate, "bus bit rate (bit/s)")
 		out      = fs.String("o", "", "output file (default stdout)")
 	)
@@ -47,6 +62,41 @@ func run(args []string, stdout io.Writer) error {
 	scen, err := parseScenario(*scenario)
 	if err != nil {
 		return err
+	}
+	var dia dataset.Dialect
+	if *dialect != "" {
+		if dia, err = dataset.ParseDialect(*dialect); err != nil {
+			return err
+		}
+	}
+	formatSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "format" {
+			formatSet = true
+		}
+	})
+	if *dialect == "" {
+		if *epoch != 0 {
+			return fmt.Errorf("-epoch requires -dialect")
+		}
+	} else if formatSet {
+		return fmt.Errorf("-dialect and -format are mutually exclusive")
+	}
+	if *epoch < 0 {
+		return fmt.Errorf("-epoch must be non-negative")
+	}
+	if *atkName == "" {
+		for _, f := range []string{"attack-freq", "attack-start", "attack-duration"} {
+			set := false
+			fs.Visit(func(fl *flag.Flag) {
+				if fl.Name == f {
+					set = true
+				}
+			})
+			if set {
+				return fmt.Errorf("-%s requires -attack", f)
+			}
+		}
 	}
 
 	sched := sim.NewScheduler()
@@ -61,7 +111,43 @@ func run(args []string, stdout io.Writer) error {
 	if trafficSeed == 0 {
 		trafficSeed = *seed
 	}
-	profile.Attach(sched, b, vehicle.Options{Scenario: scen, Seed: trafficSeed})
+	fleet := profile.Attach(sched, b, vehicle.Options{Scenario: scen, Seed: trafficSeed})
+
+	if *atkName != "" {
+		ascen, err := parseAttack(*atkName)
+		if err != nil {
+			return err
+		}
+		cfg := attack.Config{
+			Scenario:  ascen,
+			Frequency: *atkFreq,
+			Start:     *atkStart,
+			Duration:  *atkDur,
+			Seed:      sim.SplitSeed(*seed, 0xA77),
+		}
+		var port *bus.Port
+		// ID choices mirror canattack's 'auto' picks so a dialect
+		// fixture exercises the same targets as the experiment runs.
+		switch ascen {
+		case attack.Weak:
+			e, ok := profile.FindECU("BCM")
+			if !ok {
+				return fmt.Errorf("profile has no BCM ECU for the WI scenario")
+			}
+			cfg.Filter = e.IDs()
+			cfg.IDs = e.IDs()[:1]
+			port, _ = fleet.Port("BCM")
+		case attack.Single:
+			cfg.IDs = profile.IDSet()[:1]
+		case attack.Multi:
+			pool := profile.IDSet()
+			cfg.IDs = []can.ID{pool[10], pool[100], pool[200]}
+		}
+		if _, err := attack.Launch(sched, b, port, cfg); err != nil {
+			return err
+		}
+	}
+
 	if err := sched.RunUntil(*duration); err != nil {
 		return err
 	}
@@ -75,21 +161,25 @@ func run(args []string, stdout io.Writer) error {
 		defer f.Close()
 		w = f
 	}
-	switch *format {
-	case "candump":
-		err = trace.WriteCandump(w, log)
-	case "csv":
-		err = trace.WriteCSV(w, log)
-	case "binary":
-		err = trace.WriteBinary(w, log)
-	default:
-		err = fmt.Errorf("unknown format %q", *format)
+	if *dialect != "" {
+		err = dataset.Write(w, dia, log, time.Duration(*epoch)*time.Second)
+	} else {
+		switch *format {
+		case "candump":
+			err = trace.WriteCandump(w, log)
+		case "csv":
+			err = trace.WriteCSV(w, log)
+		case "binary":
+			err = trace.WriteBinary(w, log)
+		default:
+			err = fmt.Errorf("unknown format %q", *format)
+		}
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "cangen: %d frames over %v (%d IDs, bus load %.1f%%)\n",
-		len(log), *duration, len(log.IDs()), 100*b.Load())
+	fmt.Fprintf(os.Stderr, "cangen: %d frames over %v (%d IDs, %d injected, bus load %.1f%%)\n",
+		len(log), *duration, len(log.IDs()), log.CountInjected(), 100*b.Load())
 	return nil
 }
 
@@ -105,5 +195,20 @@ func parseScenario(s string) (vehicle.Scenario, error) {
 		return vehicle.Cruise, nil
 	default:
 		return 0, fmt.Errorf("unknown scenario %q", s)
+	}
+}
+
+func parseAttack(s string) (attack.Scenario, error) {
+	switch strings.ToUpper(s) {
+	case "FI", "FLOOD":
+		return attack.Flood, nil
+	case "SI", "SINGLE":
+		return attack.Single, nil
+	case "MI", "MULTI":
+		return attack.Multi, nil
+	case "WI", "WEAK":
+		return attack.Weak, nil
+	default:
+		return 0, fmt.Errorf("unknown attack %q", s)
 	}
 }

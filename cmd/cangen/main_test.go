@@ -107,3 +107,52 @@ func TestRunDeterministicBySeed(t *testing.T) {
 		t.Error("same seed should produce identical logs")
 	}
 }
+
+// fixtureSpecs are the exact invocations that produced the committed
+// dataset fixtures. TestDialectFixturesPinned regenerates each one and
+// byte-compares it against the checked-in file, so any drift in the
+// simulator, the attack streams or the dialect writers that would
+// silently re-date the fixtures fails loudly instead.
+var fixtureSpecs = []struct {
+	file string
+	args []string
+}{
+	{"hcrl.csv", []string{"-dialect", "hcrl", "-duration", "10s", "-seed", "1", "-attack", "SI", "-attack-freq", "100", "-attack-start", "6s", "-epoch", "1478198371"}},
+	{"survival.csv", []string{"-dialect", "survival", "-duration", "10s", "-seed", "2", "-attack", "MI", "-attack-freq", "50", "-attack-start", "6s", "-epoch", "1513468793"}},
+	{"otids.log", []string{"-dialect", "otids", "-duration", "10s", "-seed", "3", "-attack", "FI", "-attack-freq", "150", "-attack-start", "6s", "-epoch", "1479121434"}},
+}
+
+func TestDialectFixturesPinned(t *testing.T) {
+	for _, spec := range fixtureSpecs {
+		t.Run(spec.file, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("..", "..", "internal", "dataset", "testdata", spec.file))
+			if err != nil {
+				t.Fatalf("read committed fixture: %v", err)
+			}
+			var out bytes.Buffer
+			if err := run(spec.args, &out); err != nil {
+				t.Fatalf("run(%v): %v", spec.args, err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Fatalf("regenerated %s differs from the committed fixture (%d vs %d bytes); re-run cangen with the documented args if the change is intended", spec.file, out.Len(), len(want))
+			}
+		})
+	}
+}
+
+func TestDialectFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-dialect", "pcap"},                   // unknown dialect
+		{"-dialect", "hcrl", "-format", "csv"}, // mutually exclusive
+		{"-epoch", "100"},                      // -epoch without -dialect
+		{"-dialect", "hcrl", "-epoch", "-5"},   // negative epoch
+		{"-attack-freq", "50"},                 // attack knob without -attack
+		{"-attack", "XX", "-dialect", "hcrl"},  // unknown attack
+		{"-attack-start", "1s"},                // attack knob without -attack
+	}
+	for _, args := range cases {
+		if err := run(append([]string{"-duration", "100ms"}, args...), &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -105,6 +105,7 @@ import (
 	"canids/internal/baseline"
 	"canids/internal/can"
 	"canids/internal/core"
+	"canids/internal/dataset"
 	"canids/internal/detect"
 	"canids/internal/engine"
 	"canids/internal/engine/scenario"
@@ -184,6 +185,11 @@ func run(args []string, stdout io.Writer) error {
 		rateSlack  = fs.Float64("rate-slack", 0, "with -prevent in scenario mode, per-ID rate-limit slack (0 disables)")
 		minScore   = fs.Float64("min-score", 0, "with -prevent, ignore alerts below this score (no knee-jerk blocks)")
 		multibus   = fs.Bool("multibus", false, "serve one engine per bus channel (supervisor)")
+
+		evalPath     = fs.String("eval", "", "evaluate a real-dialect capture file or directory: train on the attack-free part, stream the rest through the engine")
+		evalSplit    = fs.Float64("eval-split", 0.3, "with -eval, cap on the training-prefix fraction per capture")
+		evalDialect  = fs.String("eval-dialect", "", "with -eval, force the capture dialect instead of sniffing: "+dataset.SupportedNames())
+		listDialects = fs.Bool("list-dialects", false, "print the supported dataset dialects")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -194,13 +200,22 @@ func run(args []string, stdout io.Writer) error {
 	}
 	files := fs.Args()
 	modes := 0
-	for _, m := range []bool{*train, *detect, *watch, *serve, *list, *replayDir != ""} {
+	for _, m := range []bool{*train, *detect, *watch, *serve, *list, *replayDir != "", *evalPath != "", *listDialects} {
 		if m {
 			modes++
 		}
 	}
 	if modes != 1 {
-		return fmt.Errorf("exactly one of -train, -detect, -watch, -serve, -replay or -list-scenarios is required")
+		return fmt.Errorf("exactly one of -train, -detect, -watch, -serve, -replay, -eval, -list-dialects or -list-scenarios is required")
+	}
+	if *evalPath == "" {
+		explicit := make(map[string]bool)
+		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		for _, name := range []string{"eval-split", "eval-dialect"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s needs -eval", name)
+			}
+		}
 	}
 	if *loadPath != "" && *savePath != "" {
 		return fmt.Errorf("-load and -save are exclusive: nothing is trained when a snapshot is loaded")
@@ -231,6 +246,24 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	switch {
+	case *listDialects:
+		return runListDialects(stdout)
+	case *evalPath != "":
+		if len(files) != 0 {
+			return fmt.Errorf("-eval takes no positional files; pass the capture (or directory) to -eval itself")
+		}
+		if *evalSplit <= 0 || *evalSplit >= 1 {
+			return fmt.Errorf("-eval-split must be in (0,1), got %v", *evalSplit)
+		}
+		return runEval(evalOptions{
+			target:  *evalPath,
+			split:   *evalSplit,
+			dialect: *evalDialect,
+			window:  *window,
+			alpha:   *alpha,
+			shards:  *shards,
+			logger:  logger,
+		}, stdout)
 	case *list:
 		return runList(*seed, stdout)
 	case *replayDir != "":

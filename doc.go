@@ -22,7 +22,8 @@
 //	internal/gateway     bus gateway filter: whitelist, rate limits, blocklist
 //	internal/response    alerts → inference → gateway blocks (prevention)
 //	internal/metrics     Ir, Dr, hit rate, confusion counts
-//	internal/trace       candump / CSV / binary log formats + streaming decoders
+//	internal/trace       candump / CSV / binary log formats + streaming decoders, jitter-horizon reordering
+//	internal/dataset     real-world CAN capture dialects (HCRL, survival, OTIDS): sniffing, streaming importers, writers
 //	internal/sim         deterministic discrete-event scheduler, fast seeded RNG
 //	internal/engine      sharded streaming detection + prevention engine, multi-bus supervisor
 //	internal/engine/scenario  named scenario matrix (profiles × drives × attacks)
@@ -335,6 +336,43 @@
 // model): a 100-vehicle serve runs in ~14 MB RSS where the
 // one-engine-per-bus shape needs ~40 MB — the measured transcript is
 // in EXPERIMENTS.md.
+//
+// # Dataset evaluation
+//
+// Every number above is measured against the in-repo simulator;
+// internal/dataset confronts the detector with real traffic dialects.
+// Streaming importers normalize the public CAN capture formats — the
+// HCRL car-hacking CSV family (one column per payload byte, R/T ground
+// truth), the survival-analysis CSV variant (contiguous hex payload),
+// and OTIDS-style candump-like logs (keyword-tagged, unlabeled) — into
+// trace.Record streams. Each importer is a trace.Decoder, hence an
+// engine.Source: files are never buffered whole. Dialect quirks are
+// handled deterministically: absolute epoch timestamps are rebased to
+// trace-relative time; out-of-order rows are sorted within a jitter
+// horizon (trace.ReorderDecoder — opt-in, the plain decoders keep their
+// strict file-order behavior); DLC/payload mismatches are repaired
+// toward the bytes actually present; attack labels in all their
+// spellings (R/T, 0/1, Normal/Attack) fold into Record.Injected. The
+// accounting is exact: Stats guarantees imported + skipped == rows,
+// with repaired/late sub-counts (FuzzDatasetDecode pins the invariants
+// on arbitrary input).
+//
+// `canids -eval <dir|file> [-eval-split 0.3] [-eval-dialect d]` is the
+// evaluation harness on top: it sniffs each capture's dialect (majority
+// vote over the head; -list-dialects enumerates the grammars), trains
+// the core config + template + gateway budgets on the attack-free part
+// — a labeled clean capture trains wholly, otherwise each file's clean
+// prefix capped at the split fraction — streams the remainder through
+// the sharded engine, and prints a per-capture detection/FP/latency
+// table next to Table1 (shared renderer: experiments.RenderTable). The
+// whole transcript is a pure function of the capture bytes and flags:
+// bit-identical at shards 1, 2 and 8 (TestEvalShardDeterminism under
+// -race, plus ci.sh's dataset-eval smoke leg, which also reconciles the
+// accounting lines exactly). The committed fixtures under
+// internal/dataset/testdata are generated by `cangen -dialect
+// hcrl|survival|otids [-attack SI ...] [-epoch N]` and pinned
+// byte-for-byte by TestDialectFixturesPinned, so the eval path runs
+// hermetically with no downloads.
 //
 // # Performance
 //

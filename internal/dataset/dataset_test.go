@@ -1,0 +1,416 @@
+package dataset
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"canids/internal/can"
+	"canids/internal/trace"
+)
+
+func importAll(t *testing.T, d Dialect, input string, opts Options) ([]trace.Record, Stats) {
+	t.Helper()
+	im, err := NewImporter(d, strings.NewReader(input), opts)
+	if err != nil {
+		t.Fatalf("NewImporter: %v", err)
+	}
+	var out []trace.Record
+	for {
+		rec, err := im.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, rec)
+	}
+	st := im.Stats()
+	if st.Imported+st.Skipped != st.Rows {
+		t.Fatalf("accounting broken: imported %d + skipped %d != rows %d", st.Imported, st.Skipped, st.Rows)
+	}
+	if st.Imported != len(out) {
+		t.Fatalf("Imported = %d, released %d records", st.Imported, len(out))
+	}
+	return out, st
+}
+
+func TestSniffDialects(t *testing.T) {
+	cases := []struct {
+		name   string
+		sample string
+		want   Dialect
+	}{
+		{"hcrl", "1478198376.389427,0316,8,05,21,68,09,21,21,00,6f,R\n1478198376.389636,018f,8,fe,5b,00,00,00,3c,00,00,R\n", DialectHCRL},
+		{"hcrl-no-label", "1478198376.389427,0316,8,05,21,68,09,21,21,00,6f\n", DialectHCRL},
+		{"survival", "1513468795.000100,0316,8,052168092121006f,R\n1513468795.000350,018f,8,fe5b0000003c0000,T\n", DialectSurvival},
+		{"otids", "Timestamp: 1479121434.850202        ID: 0545    000    DLC: 8    d8 00 00 8a 00 00 00 00\n", DialectOTIDS},
+		{"header-skipped", "Timestamp,ID,DLC,Data\n1478198376.389427,0316,2,05,21,R\n", DialectHCRL},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Sniff([]byte(tc.sample))
+			if err != nil {
+				t.Fatalf("Sniff: %v", err)
+			}
+			if got != tc.want {
+				t.Fatalf("Sniff = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSniffFailureListsDialects(t *testing.T) {
+	_, err := Sniff([]byte("garbage\nmore garbage\n"))
+	if err == nil {
+		t.Fatal("Sniff accepted garbage")
+	}
+	for _, name := range []string{"hcrl", "survival", "otids"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("sniff error %q does not name dialect %q", err, name)
+		}
+	}
+}
+
+func TestHCRLLabelVariants(t *testing.T) {
+	input := "100.000001,0316,2,05,21,R\n" +
+		"100.000002,0316,2,05,21,T\n" +
+		"100.000003,0316,2,05,21,0\n" +
+		"100.000004,0316,2,05,21,1\n" +
+		"100.000005,0316,2,05,21,Normal\n" +
+		"100.000006,0316,2,05,21,Attack\n" +
+		"100.000007,0316,2,05,21\n" // attack-free capture: no label column
+	out, st := importAll(t, DialectHCRL, input, Options{})
+	if len(out) != 7 {
+		t.Fatalf("imported %d rows, want 7", len(out))
+	}
+	wantInjected := []bool{false, true, false, true, false, true, false}
+	for i, w := range wantInjected {
+		if out[i].Injected != w {
+			t.Errorf("row %d: Injected = %v, want %v", i, out[i].Injected, w)
+		}
+	}
+	if st.Attacks != 3 {
+		t.Errorf("Attacks = %d, want 3", st.Attacks)
+	}
+	if !st.Labeled {
+		t.Error("Labeled = false, want true")
+	}
+	if st.Repaired != 0 {
+		t.Errorf("Repaired = %d, want 0", st.Repaired)
+	}
+}
+
+func TestHCRLUnlabeledCapture(t *testing.T) {
+	_, st := importAll(t, DialectHCRL, "100.0,0316,2,05,21\n100.1,018f,1,fe\n", Options{})
+	if st.Labeled {
+		t.Error("Labeled = true for a capture with no label column")
+	}
+	if st.Attacks != 0 {
+		t.Errorf("Attacks = %d, want 0", st.Attacks)
+	}
+}
+
+func TestHCRLDLCPayloadMismatch(t *testing.T) {
+	input := "100.000001,0316,8,05,21,R\n" + // DLC says 8, two bytes present
+		"100.000002,0316,1,05,21,68,T\n" + // DLC says 1, three bytes present
+		"100.000003,0316,0,R\n" + // empty payload, label only
+		"100.000004,0316,3,05,21,68,R\n" // consistent
+	out, st := importAll(t, DialectHCRL, input, Options{})
+	if len(out) != 4 {
+		t.Fatalf("imported %d rows, want 4", len(out))
+	}
+	wantLen := []uint8{2, 3, 0, 3}
+	for i, w := range wantLen {
+		if out[i].Frame.Len != w {
+			t.Errorf("row %d: Len = %d, want %d", i, out[i].Frame.Len, w)
+		}
+	}
+	if !out[1].Injected {
+		t.Error("repaired row lost its T label")
+	}
+	if st.Repaired != 2 {
+		t.Errorf("Repaired = %d, want 2", st.Repaired)
+	}
+}
+
+func TestHCRLMalformedRowsSkipped(t *testing.T) {
+	input := "100.000001,0316,2,05,21,R\n" +
+		"not,a,row\n" + // bad timestamp
+		"100.000002,zzzz,2,05,21,R\n" + // bad ID
+		"100.000003,0316,9,05,21,R\n" + // DLC out of range
+		"100.000004,0316,2,xx,21,R\n" + // bad byte
+		"100.000005,0316,2,05,21,05,21,05,21,05,21,05,R\n" + // >8 payload bytes
+		"100.000006,0316,2,05,21,T\n"
+	out, st := importAll(t, DialectHCRL, input, Options{})
+	if len(out) != 2 {
+		t.Fatalf("imported %d rows, want 2", len(out))
+	}
+	if st.Rows != 7 || st.Skipped != 5 {
+		t.Errorf("Rows = %d, Skipped = %d; want 7, 5", st.Rows, st.Skipped)
+	}
+}
+
+func TestStrictModeFailsOnMalformed(t *testing.T) {
+	im, err := NewImporter(DialectHCRL, strings.NewReader("bogus line\n"), Options{Strict: true})
+	if err != nil {
+		t.Fatalf("NewImporter: %v", err)
+	}
+	if _, err := im.Next(); err == nil || err == io.EOF {
+		t.Fatalf("strict import of malformed row: err = %v, want parse failure", err)
+	}
+}
+
+func TestSurvivalPayloadHandling(t *testing.T) {
+	input := "100.000001,0316,8,052168092121006f,R\n" +
+		"100.000002,0316,8,0521,T\n" + // payload shorter than DLC: repaired
+		"100.000003,0316,2,,R\n" + // empty payload with DLC 2: repaired to 0
+		"100.000004,0316,4,R,R\n" + // remote frame marker
+		"100.000005,0316,2,052,R\n" + // odd-length payload: malformed
+		"100.000006,0316,2,0521\n" // no label column
+	out, st := importAll(t, DialectSurvival, input, Options{})
+	if len(out) != 5 {
+		t.Fatalf("imported %d rows, want 5", len(out))
+	}
+	if out[0].Frame.Len != 8 || out[0].Frame.Data != [8]byte{0x05, 0x21, 0x68, 0x09, 0x21, 0x21, 0x00, 0x6f} {
+		t.Errorf("row 0 payload wrong: %+v", out[0].Frame)
+	}
+	if out[1].Frame.Len != 2 || !out[1].Injected {
+		t.Errorf("row 1: Len = %d (want 2), Injected = %v (want true)", out[1].Frame.Len, out[1].Injected)
+	}
+	if out[2].Frame.Len != 0 {
+		t.Errorf("row 2: Len = %d, want 0", out[2].Frame.Len)
+	}
+	if !out[3].Frame.Remote || out[3].Frame.Len != 4 {
+		t.Errorf("row 3: Remote = %v, Len = %d; want remote with DLC 4", out[3].Frame.Remote, out[3].Frame.Len)
+	}
+	if st.Skipped != 1 || st.Repaired != 2 {
+		t.Errorf("Skipped = %d, Repaired = %d; want 1, 2", st.Skipped, st.Repaired)
+	}
+}
+
+func TestOTIDSParsing(t *testing.T) {
+	input := "Timestamp: 100.000100        ID: 0545    000    DLC: 8    d8 00 00 8a 00 00 00 00\n" +
+		"Timestamp: 100.000200        ID: 05f0    000    DLC: 2    01 23 45\n" + // 3 bytes vs DLC 2: repaired
+		"Timestamp: 100.000300 ID: 0690 DLC: 1 7f\n" + // no status column
+		"Timestamp: 100.000400        ID: 0545\n" // truncated row
+	out, st := importAll(t, DialectOTIDS, input, Options{})
+	if len(out) != 3 {
+		t.Fatalf("imported %d rows, want 3", len(out))
+	}
+	if out[0].Frame.ID != 0x545 || out[0].Frame.Len != 8 || out[0].Frame.Data[0] != 0xd8 {
+		t.Errorf("row 0 wrong: %+v", out[0].Frame)
+	}
+	if out[1].Frame.Len != 3 {
+		t.Errorf("row 1: Len = %d, want 3 (repaired)", out[1].Frame.Len)
+	}
+	if out[2].Frame.ID != 0x690 {
+		t.Errorf("row 2: ID = %v, want 0x690", out[2].Frame.ID)
+	}
+	if st.Skipped != 1 || st.Repaired != 1 {
+		t.Errorf("Skipped = %d, Repaired = %d; want 1, 1", st.Skipped, st.Repaired)
+	}
+	if st.Labeled || st.Attacks != 0 {
+		t.Errorf("OTIDS must be unlabeled: Labeled = %v, Attacks = %d", st.Labeled, st.Attacks)
+	}
+}
+
+func TestEpochRebaseAcrossMidnight(t *testing.T) {
+	// 1513468800 is midnight UTC; the capture starts 500µs before it.
+	input := "1513468799.999500,0316,1,05,R\n" +
+		"1513468799.999900,0316,1,06,R\n" +
+		"1513468800.000200,0316,1,07,T\n"
+	out, _ := importAll(t, DialectHCRL, input, Options{})
+	want := []time.Duration{0, 400 * time.Microsecond, 700 * time.Microsecond}
+	for i, w := range want {
+		if out[i].Time != w {
+			t.Errorf("row %d: Time = %v, want %v (epoch must rebase to trace-relative)", i, out[i].Time, w)
+		}
+	}
+}
+
+func TestJitterReordersWithinHorizon(t *testing.T) {
+	input := "100.000300,0316,1,03,R\n" +
+		"100.000100,0316,1,01,R\n" + // 200µs regression: inside horizon
+		"100.000200,0316,1,02,R\n" +
+		"100.000400,0316,1,04,R\n"
+	out, st := importAll(t, DialectHCRL, input, Options{Jitter: time.Millisecond})
+	if len(out) != 4 {
+		t.Fatalf("imported %d rows, want 4", len(out))
+	}
+	wantByte := []byte{1, 2, 3, 4}
+	for i, w := range wantByte {
+		if out[i].Frame.Data[0] != w {
+			t.Errorf("row %d: byte = %02x, want %02x (rows must sort within the horizon)", i, out[i].Frame.Data[0], w)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Time < out[i-1].Time {
+			t.Errorf("row %d regresses: %v < %v", i, out[i].Time, out[i-1].Time)
+		}
+	}
+	if st.Late != 0 {
+		t.Errorf("Late = %d, want 0", st.Late)
+	}
+}
+
+func TestJitterDropsBeyondHorizon(t *testing.T) {
+	input := "100.000000,0316,1,01,R\n" +
+		"100.100000,0316,1,02,R\n" +
+		"100.200000,0316,1,03,R\n" +
+		"100.000500,0316,1,04,R\n" + // 199.5ms behind the max: beyond the 1ms horizon
+		"100.300000,0316,1,05,R\n"
+	out, st := importAll(t, DialectHCRL, input, Options{Jitter: time.Millisecond})
+	if len(out) != 4 {
+		t.Fatalf("imported %d rows, want 4", len(out))
+	}
+	if st.Late != 1 || st.Skipped != 1 {
+		t.Errorf("Late = %d, Skipped = %d; want 1, 1", st.Late, st.Skipped)
+	}
+}
+
+func TestStrictJitterRegressionFails(t *testing.T) {
+	input := "100.000000,0316,1,01,R\n" +
+		"100.100000,0316,1,02,R\n" +
+		"100.200000,0316,1,03,R\n" +
+		"100.000500,0316,1,04,R\n" // behind the last released row: unplaceable
+	im, err := NewImporter(DialectHCRL, strings.NewReader(input), Options{Jitter: time.Millisecond, Strict: true})
+	if err != nil {
+		t.Fatalf("NewImporter: %v", err)
+	}
+	for {
+		_, err := im.Next()
+		if err == io.EOF {
+			t.Fatal("strict import swallowed an out-of-horizon regression")
+		}
+		if err != nil {
+			if !errors.Is(err, trace.ErrTimeRegression) {
+				t.Fatalf("err = %v, want ErrTimeRegression", err)
+			}
+			return
+		}
+	}
+}
+
+func TestExtendedIDByValue(t *testing.T) {
+	input := "100.000001,0316,1,05,R\n" + // 4 padded digits, still a standard ID
+		"100.000002,18db33f1,1,05,R\n" // 29-bit value
+	out, _ := importAll(t, DialectHCRL, input, Options{})
+	if out[0].Frame.Extended {
+		t.Error("zero-padded standard ID imported as extended")
+	}
+	if !out[1].Frame.Extended || out[1].Frame.ID != 0x18db33f1 {
+		t.Errorf("extended ID wrong: %+v", out[1].Frame)
+	}
+}
+
+func TestChannelAndSourceStamping(t *testing.T) {
+	out, _ := importAll(t, DialectHCRL, "100.0,0316,1,05,R\n", Options{})
+	if out[0].Channel != DefaultChannel || out[0].Source != "hcrl" {
+		t.Errorf("Channel = %q, Source = %q; want %q, hcrl", out[0].Channel, out[0].Source, DefaultChannel)
+	}
+	out, _ = importAll(t, DialectHCRL, "100.0,0316,1,05,R\n", Options{Channel: "vcan9"})
+	if out[0].Channel != "vcan9" {
+		t.Errorf("Channel = %q, want vcan9", out[0].Channel)
+	}
+}
+
+func TestOpenSniffsAndReplaysPrefix(t *testing.T) {
+	input := "100.000001,0316,2,05,21,R\n100.000002,018f,1,fe,T\n"
+	im, err := Open(strings.NewReader(input), Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if im.Dialect() != DialectHCRL {
+		t.Fatalf("Dialect = %v, want hcrl", im.Dialect())
+	}
+	n := 0
+	for {
+		_, err := im.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("imported %d rows through Open, want 2 (sniffed prefix must be replayed)", n)
+	}
+}
+
+func TestParseDialect(t *testing.T) {
+	for _, d := range Dialects() {
+		got, err := ParseDialect(d.String())
+		if err != nil || got != d {
+			t.Errorf("ParseDialect(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	if _, err := ParseDialect("pcap"); err == nil || !strings.Contains(err.Error(), "hcrl") {
+		t.Errorf("ParseDialect(pcap) error %v must list supported dialects", err)
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	tr := trace.Trace{
+		mkRec(0, 0x316, []byte{0x05, 0x21}, false),
+		mkRec(1500*time.Microsecond, 0x18db33f1, []byte{0xfe}, true),
+		mkRec(3*time.Millisecond, 0x18f, nil, false),
+	}
+	const epoch = 1478198376 * time.Second
+	for _, d := range Dialects() {
+		t.Run(d.String(), func(t *testing.T) {
+			var sb strings.Builder
+			if err := Write(&sb, d, tr, epoch); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+			sniffed, err := Sniff([]byte(sb.String()))
+			if err != nil {
+				t.Fatalf("Sniff of own output: %v", err)
+			}
+			if sniffed != d {
+				t.Fatalf("Sniff of %v output = %v", d, sniffed)
+			}
+			out, st := importAll(t, d, sb.String(), Options{})
+			if len(out) != len(tr) {
+				t.Fatalf("round-trip imported %d rows, want %d", len(out), len(tr))
+			}
+			for i := range tr {
+				if out[i].Time != tr[i].Time {
+					t.Errorf("row %d: Time = %v, want %v", i, out[i].Time, tr[i].Time)
+				}
+				if out[i].Frame.ID != tr[i].Frame.ID || out[i].Frame.Len != tr[i].Frame.Len || out[i].Frame.Data != tr[i].Frame.Data {
+					t.Errorf("row %d: frame %+v, want %+v", i, out[i].Frame, tr[i].Frame)
+				}
+				if d != DialectOTIDS && out[i].Injected != tr[i].Injected {
+					t.Errorf("row %d: Injected = %v, want %v", i, out[i].Injected, tr[i].Injected)
+				}
+			}
+			if d == DialectOTIDS {
+				if st.Labeled || st.Attacks != 0 {
+					t.Error("OTIDS output must drop ground truth")
+				}
+			} else if st.Attacks != 1 {
+				t.Errorf("Attacks = %d, want 1", st.Attacks)
+			}
+			if st.Repaired != 0 || st.Skipped != 0 {
+				t.Errorf("clean round-trip repaired %d, skipped %d rows", st.Repaired, st.Skipped)
+			}
+		})
+	}
+}
+
+func mkRec(t time.Duration, id can.ID, data []byte, injected bool) trace.Record {
+	var r trace.Record
+	r.Time = t
+	r.Frame.ID = id
+	r.Frame.Extended = id > can.MaxStandardID
+	r.Frame.Len = uint8(len(data))
+	copy(r.Frame.Data[:], data)
+	r.Injected = injected
+	return r
+}

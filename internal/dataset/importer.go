@@ -1,0 +1,431 @@
+package dataset
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"canids/internal/can"
+	"canids/internal/trace"
+)
+
+// maxEpochSeconds bounds a parsed timestamp so it converts to a
+// time.Duration without overflow.
+const maxEpochSeconds = int64(math.MaxInt64)/int64(time.Second) - 1
+
+// errMalformed tags a row-level parse failure; rows failing with it are
+// skipped (or fail the stream under Options.Strict).
+var errMalformed = errors.New("malformed row")
+
+// Importer streams one capture file as trace.Records. It implements
+// trace.Decoder and therefore engine.Source: rows are parsed lazily,
+// sorted within the jitter horizon, and rebased so the first released
+// record is at time zero — the file is never buffered whole.
+type Importer struct {
+	dialect Dialect
+	rows    *rowDecoder
+	reorder *trace.ReorderDecoder
+	strict  bool
+
+	base     time.Duration
+	haveBase bool
+	imported int
+	attacks  int
+}
+
+// NewImporter builds an importer for one capture stream in the given
+// dialect.
+func NewImporter(d Dialect, r io.Reader, opts Options) (*Importer, error) {
+	switch d {
+	case DialectHCRL, DialectSurvival, DialectOTIDS:
+	default:
+		return nil, fmt.Errorf("dataset: no importer for dialect %q (supported: %s)", d, SupportedNames())
+	}
+	if opts.Channel == "" {
+		opts.Channel = DefaultChannel
+	}
+	jitter := opts.Jitter
+	switch {
+	case jitter == 0:
+		jitter = DefaultJitter
+	case jitter < 0:
+		jitter = 0
+	}
+	rows := &rowDecoder{
+		dialect: d,
+		sc:      bufio.NewScanner(r),
+		opts:    opts,
+	}
+	rows.sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	re := trace.NewReorderDecoder(rows, jitter)
+	re.SetDropLate(!opts.Strict)
+	return &Importer{dialect: d, rows: rows, reorder: re, strict: opts.Strict}, nil
+}
+
+// Open sniffs the dialect from the head of r and returns an importer
+// positioned at the start of the stream. The reader must support
+// io.ReadSeeker-free operation, so the sniffed prefix is replayed via
+// io.MultiReader.
+func Open(r io.Reader, opts Options) (*Importer, error) {
+	head := make([]byte, SniffBytes)
+	n, err := io.ReadFull(r, head)
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return nil, fmt.Errorf("dataset: sniff: %w", err)
+	}
+	head = head[:n]
+	d, err := Sniff(head)
+	if err != nil {
+		return nil, err
+	}
+	return NewImporter(d, io.MultiReader(bytes.NewReader(head), r), opts)
+}
+
+// Dialect returns the dialect this importer decodes.
+func (im *Importer) Dialect() Dialect { return im.dialect }
+
+// Next implements trace.Decoder. Records come out in non-decreasing,
+// trace-relative time with Source set to the dialect name and Injected
+// reflecting the row's ground-truth label where the dialect has one.
+func (im *Importer) Next() (trace.Record, error) {
+	rec, err := im.reorder.Next()
+	if err != nil {
+		return trace.Record{}, err
+	}
+	if !im.haveBase {
+		im.base = rec.Time
+		im.haveBase = true
+	}
+	rec.Time -= im.base
+	im.imported++
+	if rec.Injected {
+		im.attacks++
+	}
+	return rec, nil
+}
+
+// Stats returns the row accounting so far. After the stream has ended,
+// Imported + Skipped == Rows holds exactly.
+func (im *Importer) Stats() Stats {
+	late := im.reorder.Late()
+	return Stats{
+		Rows:     im.rows.rows,
+		Imported: im.imported,
+		Skipped:  im.rows.skipped + late,
+		Repaired: im.rows.repaired,
+		Late:     late,
+		Attacks:  im.attacks,
+		Labeled:  im.rows.labeled,
+	}
+}
+
+// rowDecoder parses raw dialect rows in file order, skipping (or, under
+// Strict, failing on) malformed ones. It feeds the ReorderDecoder.
+type rowDecoder struct {
+	dialect Dialect
+	sc      *bufio.Scanner
+	opts    Options
+	line    int
+
+	rows     int
+	skipped  int
+	repaired int
+	labeled  bool
+	sawData  bool
+}
+
+func (d *rowDecoder) Next() (trace.Record, error) {
+	for d.sc.Scan() {
+		d.line++
+		text := strings.TrimSpace(d.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if !d.sawData && looksLikeHeader(text) {
+			continue
+		}
+		d.sawData = true
+		d.rows++
+		rec, repaired, err := d.parse(text)
+		if err != nil {
+			if d.opts.Strict {
+				return trace.Record{}, fmt.Errorf("dataset: %s line %d: %w", d.dialect, d.line, err)
+			}
+			d.skipped++
+			continue
+		}
+		if repaired {
+			d.repaired++
+		}
+		rec.Channel = d.opts.Channel
+		rec.Source = d.dialect.String()
+		return rec, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		return trace.Record{}, fmt.Errorf("dataset: read: %w", err)
+	}
+	return trace.Record{}, io.EOF
+}
+
+func (d *rowDecoder) parse(text string) (trace.Record, bool, error) {
+	switch d.dialect {
+	case DialectHCRL:
+		return d.parseHCRL(text)
+	case DialectSurvival:
+		return d.parseSurvival(text)
+	default:
+		return d.parseOTIDS(text)
+	}
+}
+
+// parseHCRL decodes "epoch,id,dlc,b0,..,bN[,label]". The label column
+// is recognized structurally: in the dlc+1 position any label token
+// counts, elsewhere only tokens that cannot be a hex byte (R, T,
+// Normal, Attack) are treated as labels. A payload column count that
+// disagrees with the DLC is repaired toward the bytes actually present.
+func (d *rowDecoder) parseHCRL(text string) (trace.Record, bool, error) {
+	fields := splitCSV(text)
+	if len(fields) < 3 {
+		return trace.Record{}, false, fmt.Errorf("%w: %d columns", errMalformed, len(fields))
+	}
+	rec, err := d.parseTimeIDDLC(fields[0], fields[1], fields[2])
+	if err != nil {
+		return trace.Record{}, false, err
+	}
+	dlc := int(rec.Frame.Len)
+	rest := fields[3:]
+	label := ""
+	if n := len(rest); n > 0 {
+		last := rest[n-1]
+		if isLabel(last) && (n == dlc+1 || !isHexByte(last)) {
+			label = last
+			rest = rest[:n-1]
+		}
+	}
+	repaired := false
+	if len(rest) != dlc {
+		if len(rest) > can.MaxDataLen {
+			return trace.Record{}, false, fmt.Errorf("%w: %d payload bytes", errMalformed, len(rest))
+		}
+		rec.Frame.Len = uint8(len(rest))
+		repaired = true
+	}
+	for i, tok := range rest {
+		b, err := parseHexByte(tok)
+		if err != nil {
+			return trace.Record{}, false, err
+		}
+		rec.Frame.Data[i] = b
+	}
+	d.applyLabel(&rec, label)
+	return rec, repaired, nil
+}
+
+// parseSurvival decodes "epoch,id,dlc,payloadhex[,label]" with the
+// payload as one contiguous hex field. A payload length that disagrees
+// with the DLC is repaired toward the bytes actually present.
+func (d *rowDecoder) parseSurvival(text string) (trace.Record, bool, error) {
+	fields := splitCSV(text)
+	if len(fields) < 4 || len(fields) > 5 {
+		return trace.Record{}, false, fmt.Errorf("%w: %d columns", errMalformed, len(fields))
+	}
+	rec, err := d.parseTimeIDDLC(fields[0], fields[1], fields[2])
+	if err != nil {
+		return trace.Record{}, false, err
+	}
+	if len(fields) == 5 {
+		if !isLabel(fields[4]) {
+			return trace.Record{}, false, fmt.Errorf("%w: bad label %q", errMalformed, fields[4])
+		}
+		d.applyLabel(&rec, fields[4])
+	}
+	payload := fields[3]
+	dlc := int(rec.Frame.Len)
+	repaired := false
+	switch {
+	case payload == "":
+		if dlc != 0 {
+			rec.Frame.Len = 0
+			repaired = true
+		}
+	case strings.EqualFold(payload, "R"):
+		// Remote frame: requested DLC, no data bytes.
+		rec.Frame.Remote = true
+	default:
+		if len(payload)%2 != 0 {
+			return trace.Record{}, false, fmt.Errorf("%w: odd-length payload %q", errMalformed, payload)
+		}
+		n := len(payload) / 2
+		if n > can.MaxDataLen {
+			return trace.Record{}, false, fmt.Errorf("%w: %d payload bytes", errMalformed, n)
+		}
+		for i := 0; i < n; i++ {
+			b, err := parseHexByte(payload[2*i : 2*i+2])
+			if err != nil {
+				return trace.Record{}, false, err
+			}
+			rec.Frame.Data[i] = b
+		}
+		if n != dlc {
+			rec.Frame.Len = uint8(n)
+			repaired = true
+		}
+	}
+	return rec, repaired, nil
+}
+
+// parseOTIDS decodes "Timestamp: <sec> ID: <hex> <status> DLC: <n>
+// <bytes...>". The dialect carries no ground-truth labels; Injected is
+// always false. A byte count that disagrees with the DLC is repaired
+// toward the bytes actually present.
+func (d *rowDecoder) parseOTIDS(text string) (trace.Record, bool, error) {
+	tok := strings.Fields(text)
+	if len(tok) < 4 || !strings.EqualFold(tok[0], "Timestamp:") {
+		return trace.Record{}, false, fmt.Errorf("%w: missing Timestamp tag", errMalformed)
+	}
+	if !strings.EqualFold(tok[2], "ID:") {
+		return trace.Record{}, false, fmt.Errorf("%w: missing ID tag", errMalformed)
+	}
+	i := 4
+	// A status column ("000") may sit between the ID and the DLC tag.
+	if i < len(tok) && !strings.EqualFold(tok[i], "DLC:") {
+		i++
+	}
+	if i+1 >= len(tok) || !strings.EqualFold(tok[i], "DLC:") {
+		return trace.Record{}, false, fmt.Errorf("%w: missing DLC tag", errMalformed)
+	}
+	rec, err := d.parseTimeIDDLC(tok[1], tok[3], tok[i+1])
+	if err != nil {
+		return trace.Record{}, false, err
+	}
+	bytesTok := tok[i+2:]
+	if len(bytesTok) > can.MaxDataLen {
+		return trace.Record{}, false, fmt.Errorf("%w: %d payload bytes", errMalformed, len(bytesTok))
+	}
+	repaired := false
+	if len(bytesTok) != int(rec.Frame.Len) {
+		rec.Frame.Len = uint8(len(bytesTok))
+		repaired = true
+	}
+	for j, t := range bytesTok {
+		b, err := parseHexByte(t)
+		if err != nil {
+			return trace.Record{}, false, err
+		}
+		rec.Frame.Data[j] = b
+	}
+	return rec, repaired, nil
+}
+
+// parseTimeIDDLC handles the fields every dialect shares. Unlike the
+// repo's own CSV format, capture dialects zero-pad standard IDs to four
+// digits, so extendedness is decided by value, not digit count.
+func (d *rowDecoder) parseTimeIDDLC(ts, idTok, dlcTok string) (trace.Record, error) {
+	t, err := parseEpoch(ts)
+	if err != nil {
+		return trace.Record{}, err
+	}
+	id, err := strconv.ParseUint(strings.TrimSpace(idTok), 16, 32)
+	if err != nil || can.ID(id) > can.MaxExtendedID {
+		return trace.Record{}, fmt.Errorf("%w: bad ID %q", errMalformed, idTok)
+	}
+	dlc, err := strconv.Atoi(strings.TrimSpace(dlcTok))
+	if err != nil || dlc < 0 || dlc > can.MaxDataLen {
+		return trace.Record{}, fmt.Errorf("%w: bad DLC %q", errMalformed, dlcTok)
+	}
+	var rec trace.Record
+	rec.Time = t
+	rec.Frame.ID = can.ID(id)
+	rec.Frame.Extended = can.ID(id) > can.MaxStandardID
+	rec.Frame.Len = uint8(dlc)
+	return rec, nil
+}
+
+// applyLabel folds a ground-truth token into the record and marks the
+// stream as labeled.
+func (d *rowDecoder) applyLabel(rec *trace.Record, label string) {
+	if label == "" {
+		return
+	}
+	d.labeled = true
+	switch strings.ToLower(label) {
+	case "t", "1", "attack", "injected":
+		rec.Injected = true
+	}
+}
+
+// isLabel reports whether tok is a recognized ground-truth token.
+func isLabel(tok string) bool {
+	switch strings.ToLower(tok) {
+	case "r", "t", "0", "1", "normal", "attack", "injected":
+		return true
+	}
+	return false
+}
+
+// isHexByte reports whether tok could also be a 1–2 digit hex payload
+// byte (which makes a label token positionally ambiguous).
+func isHexByte(tok string) bool {
+	if len(tok) == 0 || len(tok) > 2 {
+		return false
+	}
+	_, err := strconv.ParseUint(tok, 16, 8)
+	return err == nil
+}
+
+func parseHexByte(tok string) (byte, error) {
+	if len(tok) == 0 || len(tok) > 2 {
+		return 0, fmt.Errorf("%w: bad byte %q", errMalformed, tok)
+	}
+	b, err := strconv.ParseUint(tok, 16, 8)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad byte %q", errMalformed, tok)
+	}
+	return byte(b), nil
+}
+
+// parseEpoch converts a decimal-seconds timestamp (absolute epoch or
+// trace-relative) to a duration without going through float64, so the
+// nanosecond value is exact and deterministic for any input digits.
+func parseEpoch(s string) (time.Duration, error) {
+	s = strings.TrimSpace(s)
+	secStr, fracStr, _ := strings.Cut(s, ".")
+	if secStr == "" {
+		secStr = "0"
+	}
+	sec, err := strconv.ParseInt(secStr, 10, 64)
+	if err != nil || sec < 0 || sec > maxEpochSeconds {
+		return 0, fmt.Errorf("%w: bad timestamp %q", errMalformed, s)
+	}
+	var nanos int64
+	if fracStr != "" {
+		if len(fracStr) > 9 {
+			fracStr = fracStr[:9]
+		}
+		frac, err := strconv.ParseInt(fracStr, 10, 64)
+		if err != nil || frac < 0 {
+			return 0, fmt.Errorf("%w: bad timestamp %q", errMalformed, s)
+		}
+		for i := len(fracStr); i < 9; i++ {
+			frac *= 10
+		}
+		nanos = frac
+	}
+	return time.Duration(sec)*time.Second + time.Duration(nanos), nil
+}
+
+// splitCSV splits a comma-separated row and trims each field. The
+// dialects never quote fields, so encoding/csv's machinery (and its
+// fixed column-count enforcement) is unnecessary.
+func splitCSV(line string) []string {
+	fields := strings.Split(line, ",")
+	for i, f := range fields {
+		fields[i] = strings.TrimSpace(f)
+	}
+	return fields
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import "strings"
+
+// RenderTable lays out rows under a header in the fixed-width style of
+// the experiment tables: every column is padded to its widest cell, the
+// first column left-aligned (row labels), the rest right-aligned
+// (numbers), with two spaces between columns and a dashed rule under
+// the header. Ragged rows are padded with empty cells. The output is a
+// pure function of the cell strings, so callers that need byte-stable
+// tables (the dataset eval transcript, golden files) get them for free.
+func RenderTable(header []string, rows [][]string) string {
+	cols := len(header)
+	for _, row := range rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	measure(header)
+	for _, row := range rows {
+		measure(row)
+	}
+
+	var sb strings.Builder
+	writeRow := func(row []string) {
+		var line strings.Builder
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			pad := strings.Repeat(" ", widths[i]-len(cell))
+			if i == 0 {
+				line.WriteString(cell)
+				line.WriteString(pad)
+			} else {
+				line.WriteString(pad)
+				line.WriteString(cell)
+			}
+		}
+		// Padding the last column leaves trailing spaces; drop them.
+		sb.WriteString(strings.TrimRight(line.String(), " "))
+		sb.WriteString("\n")
+	}
+	writeRow(header)
+	rule := make([]string, cols)
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+func TestRenderTable(t *testing.T) {
+	got := RenderTable(
+		[]string{"capture", "rows", "Dr"},
+		[][]string{
+			{"hcrl.csv", "12345", "98.0%"},
+			{"x", "7"}, // ragged row pads with an empty cell
+		},
+	)
+	want := "" +
+		"capture    rows     Dr\n" +
+		"--------  -----  -----\n" +
+		"hcrl.csv  12345  98.0%\n" +
+		"x             7\n"
+	if got != want {
+		t.Fatalf("RenderTable mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRenderTableDeterministic(t *testing.T) {
+	header := []string{"a", "bb"}
+	rows := [][]string{{"1", "2"}, {"333", "4"}}
+	if RenderTable(header, rows) != RenderTable(header, rows) {
+		t.Fatal("RenderTable is not a pure function of its cells")
+	}
+}

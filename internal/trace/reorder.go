@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ErrTimeRegression reports a record whose timestamp precedes an
+// already-released record by more than the reorder horizon — sorting
+// inside the horizon cannot place it anymore.
+var ErrTimeRegression = errors.New("trace: timestamp regression beyond jitter horizon")
+
+// ReorderDecoder wraps a Decoder and releases its records in
+// non-decreasing timestamp order, tolerating bounded regressions: a
+// record may arrive up to `horizon` earlier than the newest timestamp
+// seen so far and still be sorted into place. Real-world captures are
+// not monotonic (multi-controller logging, userspace timestamping), but
+// the engine's Source contract requires order; this adapter bridges the
+// two without buffering more than the horizon's worth of records.
+//
+// The plain decoders (candump / CSV / binary) stay strict: they return
+// records exactly in file order, jitter included — pinned by
+// TestDecodersKeepFileOrder — so existing readers see no behavior
+// change. Reordering is opt-in by wrapping, which is what the dataset
+// importers do.
+//
+// A record older than the last released one by more than the horizon is
+// unplaceable: Next returns ErrTimeRegression, or — with SetDropLate —
+// skips the record and counts it in Late, the accounting mode the
+// importers use. A zero horizon buffers nothing and turns the wrapper
+// into a strict monotonicity check.
+//
+// Records with equal timestamps keep their arrival order (the heap
+// tie-breaks on sequence), so the released stream is a deterministic
+// function of the input.
+type ReorderDecoder struct {
+	src      Decoder
+	horizon  time.Duration
+	dropLate bool
+
+	buf     reorderHeap
+	seq     uint64
+	maxSeen time.Duration
+	haveMax bool
+	last    time.Duration
+	emitted bool
+	late    int
+	done    bool
+}
+
+// NewReorderDecoder wraps src with a reorder buffer of the given
+// horizon. A negative horizon is treated as zero.
+func NewReorderDecoder(src Decoder, horizon time.Duration) *ReorderDecoder {
+	if horizon < 0 {
+		horizon = 0
+	}
+	return &ReorderDecoder{src: src, horizon: horizon}
+}
+
+// SetDropLate selects what happens to a record that regresses beyond
+// the horizon: false (the default) fails the stream with
+// ErrTimeRegression; true silently skips the record and counts it in
+// Late.
+func (d *ReorderDecoder) SetDropLate(v bool) { d.dropLate = v }
+
+// Late returns how many unplaceable records were skipped under
+// SetDropLate(true).
+func (d *ReorderDecoder) Late() int { return d.late }
+
+// Next implements Decoder, releasing records in non-decreasing
+// timestamp order.
+func (d *ReorderDecoder) Next() (Record, error) {
+	// Fill until the oldest buffered record is safe to release: once
+	// the newest timestamp seen is a full horizon past it, no
+	// in-horizon arrival can still sort before it. The gap is computed
+	// in uint64 two's-complement space so extreme (fuzzed) timestamp
+	// ranges cannot overflow the comparison.
+	for !d.done && (d.buf.Len() == 0 ||
+		uint64(d.maxSeen)-uint64(d.buf.items[0].rec.Time) < uint64(d.horizon)) {
+		rec, err := d.src.Next()
+		if err == io.EOF {
+			d.done = true
+			break
+		}
+		if err != nil {
+			return Record{}, err
+		}
+		if !d.haveMax || rec.Time > d.maxSeen {
+			d.maxSeen = rec.Time
+			d.haveMax = true
+		}
+		if d.emitted && rec.Time < d.last {
+			if d.dropLate {
+				d.late++
+				continue
+			}
+			return Record{}, fmt.Errorf("%w: %v after %v released", ErrTimeRegression, rec.Time, d.last)
+		}
+		heap.Push(&d.buf, reorderItem{rec: rec, seq: d.seq})
+		d.seq++
+	}
+	if d.buf.Len() == 0 {
+		return Record{}, io.EOF
+	}
+	it := heap.Pop(&d.buf).(reorderItem)
+	d.last = it.rec.Time
+	d.emitted = true
+	return it.rec, nil
+}
+
+// reorderItem is one buffered record with its arrival sequence number.
+type reorderItem struct {
+	rec Record
+	seq uint64
+}
+
+// reorderHeap is a min-heap on (Time, seq).
+type reorderHeap struct {
+	items []reorderItem
+}
+
+func (h *reorderHeap) Len() int { return len(h.items) }
+func (h *reorderHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.rec.Time != b.rec.Time {
+		return a.rec.Time < b.rec.Time
+	}
+	return a.seq < b.seq
+}
+func (h *reorderHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *reorderHeap) Push(x any)    { h.items = append(h.items, x.(reorderItem)) }
+func (h *reorderHeap) Pop() any {
+	n := len(h.items)
+	it := h.items[n-1]
+	h.items[n-1] = reorderItem{}
+	h.items = h.items[:n-1]
+	return it
+}

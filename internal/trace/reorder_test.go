@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"canids/internal/can"
+)
+
+// sliceDecoder feeds a fixed slice of records, in order, as a Decoder.
+type sliceDecoder struct {
+	recs []Record
+	next int
+}
+
+func (d *sliceDecoder) Next() (Record, error) {
+	if d.next >= len(d.recs) {
+		return Record{}, io.EOF
+	}
+	r := d.recs[d.next]
+	d.next++
+	return r, nil
+}
+
+func recAt(t time.Duration, id can.ID) Record {
+	r := Record{Time: t}
+	r.Frame.ID = id
+	return r
+}
+
+func drain(t *testing.T, d Decoder) []Record {
+	t.Helper()
+	var out []Record
+	for {
+		r, err := d.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, r)
+	}
+}
+
+func TestReorderSortsWithinHorizon(t *testing.T) {
+	src := &sliceDecoder{recs: []Record{
+		recAt(0, 1),
+		recAt(5*time.Millisecond, 2),
+		recAt(3*time.Millisecond, 3), // regresses 2ms, inside the 10ms horizon
+		recAt(4*time.Millisecond, 4),
+		recAt(20*time.Millisecond, 5),
+		recAt(12*time.Millisecond, 6), // regresses 8ms, inside horizon
+	}}
+	d := NewReorderDecoder(src, 10*time.Millisecond)
+	out := drain(t, d)
+	want := []can.ID{1, 3, 4, 2, 6, 5}
+	if len(out) != len(want) {
+		t.Fatalf("got %d records, want %d", len(out), len(want))
+	}
+	for i, id := range want {
+		if out[i].Frame.ID != id {
+			t.Errorf("record %d: got ID %d, want %d", i, out[i].Frame.ID, id)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Time < out[i-1].Time {
+			t.Errorf("record %d: time %v < previous %v", i, out[i].Time, out[i-1].Time)
+		}
+	}
+	if d.Late() != 0 {
+		t.Errorf("Late() = %d, want 0", d.Late())
+	}
+}
+
+func TestReorderStableOnEqualTimestamps(t *testing.T) {
+	src := &sliceDecoder{recs: []Record{
+		recAt(2*time.Millisecond, 1),
+		recAt(time.Millisecond, 2),
+		recAt(time.Millisecond, 3),
+		recAt(time.Millisecond, 4),
+	}}
+	out := drain(t, NewReorderDecoder(src, 5*time.Millisecond))
+	want := []can.ID{2, 3, 4, 1}
+	for i, id := range want {
+		if out[i].Frame.ID != id {
+			t.Errorf("record %d: got ID %d, want %d (equal timestamps must keep arrival order)", i, out[i].Frame.ID, id)
+		}
+	}
+}
+
+func TestReorderBeyondHorizonErrors(t *testing.T) {
+	src := &sliceDecoder{recs: []Record{
+		recAt(0, 1),
+		recAt(100*time.Millisecond, 2),
+		recAt(200*time.Millisecond, 3),
+		recAt(50*time.Millisecond, 4), // regresses far beyond the 10ms horizon
+	}}
+	d := NewReorderDecoder(src, 10*time.Millisecond)
+	for {
+		_, err := d.Next()
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrTimeRegression) {
+			t.Fatalf("got %v, want ErrTimeRegression", err)
+		}
+		return
+	}
+}
+
+func TestReorderDropLateCounts(t *testing.T) {
+	src := &sliceDecoder{recs: []Record{
+		recAt(0, 1),
+		recAt(100*time.Millisecond, 2),
+		recAt(200*time.Millisecond, 3),
+		recAt(50*time.Millisecond, 4),  // dropped: released stream is already past 50ms+horizon
+		recAt(300*time.Millisecond, 5), // stream continues after the drop
+	}}
+	d := NewReorderDecoder(src, 10*time.Millisecond)
+	d.SetDropLate(true)
+	out := drain(t, d)
+	want := []can.ID{1, 2, 3, 5}
+	if len(out) != len(want) {
+		t.Fatalf("got %d records, want %d", len(out), len(want))
+	}
+	for i, id := range want {
+		if out[i].Frame.ID != id {
+			t.Errorf("record %d: got ID %d, want %d", i, out[i].Frame.ID, id)
+		}
+	}
+	if d.Late() != 1 {
+		t.Errorf("Late() = %d, want 1", d.Late())
+	}
+}
+
+func TestReorderZeroHorizonIsStrict(t *testing.T) {
+	src := &sliceDecoder{recs: []Record{
+		recAt(time.Millisecond, 1),
+		recAt(2*time.Millisecond, 2),
+		recAt(time.Millisecond, 3), // any regression at all is unplaceable
+	}}
+	d := NewReorderDecoder(src, 0)
+	var err error
+	for err == nil {
+		_, err = d.Next()
+	}
+	if !errors.Is(err, ErrTimeRegression) {
+		t.Fatalf("got %v, want ErrTimeRegression", err)
+	}
+
+	// Monotonic input passes through unchanged.
+	src = &sliceDecoder{recs: []Record{recAt(0, 1), recAt(0, 2), recAt(time.Millisecond, 3)}}
+	out := drain(t, NewReorderDecoder(src, 0))
+	if len(out) != 3 || out[0].Frame.ID != 1 || out[1].Frame.ID != 2 || out[2].Frame.ID != 3 {
+		t.Fatalf("monotonic passthrough broken: %+v", out)
+	}
+}
+
+func TestReorderEmptySource(t *testing.T) {
+	d := NewReorderDecoder(&sliceDecoder{}, time.Second)
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("got %v, want io.EOF", err)
+	}
+}
+
+// TestDecodersKeepFileOrder pins the pre-existing strict behavior: the
+// plain format decoders emit records exactly in file order, without
+// sorting or rejecting timestamp regressions. Reordering is strictly
+// opt-in via ReorderDecoder.
+func TestDecodersKeepFileOrder(t *testing.T) {
+	const candump = "(0.000200) can0 101#01\n(0.000100) can0 102#02\n"
+	const csv = "time_us,channel,id,dlc,data,source,injected\n" +
+		"200,can0,101,1,01,ecu,false\n" +
+		"100,can0,102,1,02,ecu,false\n"
+	cases := []struct {
+		name string
+		dec  Decoder
+	}{
+		{"candump", NewCandumpDecoder(strings.NewReader(candump))},
+		{"csv", NewCSVDecoder(strings.NewReader(csv))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := drain(t, tc.dec)
+			if len(out) != 2 {
+				t.Fatalf("got %d records, want 2", len(out))
+			}
+			if out[0].Time != 200*time.Microsecond || out[1].Time != 100*time.Microsecond {
+				t.Fatalf("file order not preserved: %v then %v", out[0].Time, out[1].Time)
+			}
+		})
+	}
+}
